@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of the real cryptographic primitives — the
+//! quantities §4.2 attributes SFS's costs to (software encryption, MACs,
+//! public-key operations). Unlike the `fig*` binaries (virtual time),
+//! these measure genuine CPU time on the host machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sfs_bignum::XorShiftSource;
+use sfs_crypto::arc4::Arc4;
+use sfs_crypto::blowfish::Blowfish;
+use sfs_crypto::eksblowfish::bcrypt_hash;
+use sfs_crypto::mac::SfsMac;
+use sfs_crypto::rabin::generate_keypair;
+use sfs_crypto::sha1::sha1;
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    for size in [64usize, 1024, 8192, 65536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| sha1(d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_arc4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arc4");
+    for size in [1024usize, 8192, 65536] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
+            let mut cipher = Arc4::new(b"a-twenty-byte-key!!!");
+            let mut buf = vec![0u8; s];
+            b.iter(|| cipher.process(&mut buf))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sfs_mac(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sfs_mac");
+    let key = [7u8; 32];
+    for size in [128usize, 8192] {
+        let data = vec![1u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| SfsMac::compute(&key, d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_blowfish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blowfish");
+    g.bench_function("key_schedule_20B", |b| {
+        b.iter(|| Blowfish::new(b"a-twenty-byte-key!!!"))
+    });
+    let bf = Blowfish::new(b"a-twenty-byte-key!!!");
+    g.bench_function("cbc_encrypt_24B_handle", |b| {
+        let mut handle = [0u8; 24];
+        b.iter(|| bf.cbc_encrypt(&mut handle))
+    });
+    g.finish();
+}
+
+fn bench_eksblowfish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eksblowfish");
+    g.sample_size(10);
+    let salt = [9u8; 16];
+    // "Even as hardware improves, guessing attacks should continue to
+    // take almost a full second" — show the cost doubling per step.
+    for cost in [2u32, 4, 6] {
+        g.bench_with_input(BenchmarkId::new("bcrypt_cost", cost), &cost, |b, &cost| {
+            b.iter(|| bcrypt_hash(cost, &salt, b"hunter2"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rabin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rabin_768");
+    g.sample_size(20);
+    let mut rng = XorShiftSource::new(0xBE4C);
+    let key = generate_keypair(768, &mut rng);
+    let msg = b"16-byte-session!";
+    let cipher = key.public().encrypt(msg, &mut rng).unwrap();
+    let sig = key.sign(b"a message to sign");
+    // "Like low-exponent RSA, encryption and signature verification are
+    // particularly fast in Rabin because they do not require modular
+    // exponentiation" — these four bars show the asymmetry.
+    g.bench_function("encrypt", |b| {
+        let mut rng = XorShiftSource::new(1);
+        b.iter(|| key.public().encrypt(msg, &mut rng).unwrap())
+    });
+    g.bench_function("decrypt", |b| b.iter(|| key.decrypt(&cipher).unwrap()));
+    g.bench_function("sign", |b| b.iter(|| key.sign(b"a message to sign")));
+    g.bench_function("verify", |b| {
+        b.iter(|| assert!(key.public().verify(b"a message to sign", &sig)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha1,
+    bench_arc4,
+    bench_sfs_mac,
+    bench_blowfish,
+    bench_eksblowfish,
+    bench_rabin
+);
+criterion_main!(benches);

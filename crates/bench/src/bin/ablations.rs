@@ -1,0 +1,60 @@
+//! §4.3's ablation experiments:
+//!
+//! - "Without enhanced caching, MAB takes a total of 6.6 seconds, 0.7
+//!   seconds slower than with caching and 1.3 seconds slower than NFS 3
+//!   over UDP."
+//! - "We disabled encryption in SFS and observed only an 0.2 second
+//!   performance improvement [on MAB]."
+//! - "Disabling software encryption in SFS sped up the \[kernel\] compile
+//!   by only 3 seconds or 1.5%."
+//! - (Figure 8) "without attribute caching SFS performs 1 second worse
+//!   [than NFS 3 on the LFS create phase]."
+
+use sfs_bench::calib::{build_fs, System};
+use sfs_bench::report::secs;
+use sfs_bench::workloads::{kernel_build, lfs_small, mab, total, KernelBuildConfig, MabConfig};
+
+fn mab_total(system: System) -> f64 {
+    let (fs, _clock, prefix, _) = build_fs(system);
+    secs(total(&mab(fs.as_ref(), &prefix, &MabConfig::default())))
+}
+
+fn main() {
+    println!("== Ablations (§4.3, §4.4) ==\n");
+
+    let sfs = mab_total(System::Sfs);
+    let nocache = mab_total(System::SfsNoCache);
+    let noenc = mab_total(System::SfsNoEncrypt);
+    let nfs = mab_total(System::NfsUdp);
+    println!("MAB totals (s):");
+    println!("  NFS 3 (UDP)                {nfs:6.2}");
+    println!("  SFS                        {sfs:6.2}");
+    println!(
+        "  SFS w/o enhanced caching   {nocache:6.2}   (paper: 6.6; +{:.1}s over SFS, paper +0.7)",
+        nocache - sfs
+    );
+    println!(
+        "  SFS w/o encryption         {noenc:6.2}   (paper: SFS −0.2; measured −{:.1}s)",
+        sfs - noenc
+    );
+
+    println!("\nLFS small-file create phase (s):");
+    for system in [System::NfsUdp, System::Sfs, System::SfsNoCache] {
+        let (fs, _clock, prefix, _) = build_fs(system);
+        let phases = lfs_small(fs.as_ref(), &prefix, 1000);
+        let create = phases.iter().find(|p| p.name == "create").unwrap();
+        println!("  {:26} {:6.2}", system.label(), secs(create.time));
+    }
+    println!("  (paper: SFS ≈ NFS; w/o attribute caching ≈ 1 s worse)");
+
+    println!("\nKernel compile (s):");
+    let cfg = KernelBuildConfig::default();
+    for (system, note) in [
+        (System::Sfs, ""),
+        (System::SfsNoEncrypt, "(paper: 3 s / 1.5% faster than SFS)"),
+    ] {
+        let (fs, _clock, prefix, _) = build_fs(system);
+        let t = kernel_build(fs.as_ref(), &prefix, &cfg);
+        println!("  {:26} {:6.1} {note}", system.label(), secs(t));
+    }
+}

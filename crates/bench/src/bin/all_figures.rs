@@ -1,0 +1,17 @@
+//! Runs every §4 reproduction in sequence (Figures 5–9 plus the
+//! ablations) — the one-shot regeneration backing EXPERIMENTS.md.
+
+use std::process::Command;
+
+fn main() {
+    let bins = ["fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "hardware_trend", "rpc_counts"];
+    let self_path = std::env::current_exe().expect("current exe");
+    let dir = self_path.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n################ {bin} ################\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 5: micro-benchmarks for basic operations — RPC latency
+//! (unauthorized `fchown`, µs) and sequential-read throughput (MB/s).
+
+use sfs_bench::calib::{build_fs, System};
+use sfs_bench::report::{Compared, Table};
+use sfs_bench::workloads::{micro_latency, micro_throughput};
+
+fn main() {
+    let mut table = Table::new(
+        "Figure 5: micro-benchmarks for basic operations",
+        "µs / MB/s",
+        &["latency (µs)", "throughput (MB/s)"],
+    );
+    let rows: [(System, Option<f64>, Option<f64>); 4] = [
+        (System::NfsUdp, Some(200.0), Some(9.3)),
+        (System::NfsTcp, Some(220.0), Some(7.6)),
+        (System::Sfs, Some(790.0), Some(4.1)),
+        (System::SfsNoEncrypt, Some(770.0), Some(7.1)),
+    ];
+    for (system, paper_lat, paper_tp) in rows {
+        let (fs, _clock, prefix, _) = build_fs(system);
+        let lat = micro_latency(fs.as_ref(), &prefix);
+        let (fs2, _clock2, prefix2, _) = build_fs(system);
+        let tp = micro_throughput(fs2.as_ref(), &prefix2);
+        table.push_row(
+            system.label(),
+            vec![Compared::new(lat, paper_lat), Compared::new(tp, paper_tp)],
+        );
+    }
+    println!("{}", table.render());
+}

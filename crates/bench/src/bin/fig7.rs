@@ -1,0 +1,30 @@
+//! Figure 7: compiling the GENERIC FreeBSD 3.3 kernel.
+//!
+//! Paper values: Local 140 s, NFS 3/UDP 178 s, NFS 3/TCP 207 s,
+//! SFS 197 s. "SFS performs 16% worse (29 seconds) than NFS 3 over UDP
+//! and 5% better (10 seconds) than NFS 3 over TCP."
+
+use sfs_bench::calib::{build_fs, System};
+use sfs_bench::report::{secs, Compared, Table};
+use sfs_bench::workloads::{kernel_build, KernelBuildConfig};
+
+fn main() {
+    let cfg = KernelBuildConfig::default();
+    let mut table = Table::new(
+        "Figure 7: compiling the GENERIC FreeBSD 3.3 kernel",
+        "s",
+        &["time (s)"],
+    );
+    let rows: [(System, Option<f64>); 4] = [
+        (System::Local, Some(140.0)),
+        (System::NfsUdp, Some(178.0)),
+        (System::NfsTcp, Some(207.0)),
+        (System::Sfs, Some(197.0)),
+    ];
+    for (system, paper) in rows {
+        let (fs, _clock, prefix, _) = build_fs(system);
+        let t = kernel_build(fs.as_ref(), &prefix, &cfg);
+        table.push_row(system.label(), vec![Compared::new(secs(t), paper)]);
+    }
+    println!("{}", table.render());
+}

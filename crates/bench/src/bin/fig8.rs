@@ -1,0 +1,48 @@
+//! Figure 8: the Sprite LFS small-file benchmark — create, read, and
+//! unlink 1,000 1 KB files.
+//!
+//! Shapes from §4.4: "On the create phase, SFS performs about the same as
+//! NFS 3 over UDP … On the read phase, SFS is 3 times slower than NFS 3
+//! over UDP … The unlink phase is almost completely dominated by
+//! synchronous writes to the disk \[so\] all file systems have roughly the
+//! same performance."
+
+use sfs_bench::calib::{build_fs, System};
+use sfs_bench::report::{secs, Compared, Table};
+use sfs_bench::workloads::lfs_small;
+
+fn main() {
+    let mut table = Table::new(
+        "Figure 8: Sprite LFS small-file benchmark (1,000 × 1 KB)",
+        "s",
+        &["create", "read", "unlink"],
+    );
+    let mut results = Vec::new();
+    for system in System::main_four() {
+        let (fs, _clock, prefix, _) = build_fs(system);
+        let phases = lfs_small(fs.as_ref(), &prefix, 1000);
+        let cells: Vec<Compared> = phases
+            .iter()
+            .map(|p| Compared::new(secs(p.time), None))
+            .collect();
+        results.push((system, phases));
+        table.push_row(system.label(), cells);
+    }
+    println!("{}", table.render());
+    let read_of = |sys: System| {
+        results
+            .iter()
+            .find(|(s, _)| *s == sys)
+            .unwrap()
+            .1
+            .iter()
+            .find(|p| p.name == "read")
+            .unwrap()
+            .time
+            .as_secs_f64()
+    };
+    println!(
+        "SFS read phase vs NFS 3 (UDP): {:.1}x (paper: ~3x)",
+        read_of(System::Sfs) / read_of(System::NfsUdp)
+    );
+}

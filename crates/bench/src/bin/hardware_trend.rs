@@ -1,0 +1,50 @@
+//! §4.5's forward-looking claim: "We expect SFS's performance penalty to
+//! decline as hardware improves. The relative performance difference of
+//! SFS and NFS 3 on MAB shrunk by a factor of two when we moved from
+//! 200 MHz Pentium Pros to 550 MHz Pentium IIIs. We expect this trend to
+//! continue."
+//!
+//! This harness runs MAB on three generations of CPU (network and disk
+//! held constant) and reports the SFS-over-NFS/UDP penalty at each.
+//!
+//! Modeling note: the *protocol-stack* CPU costs (daemon crossings,
+//! crypto, RPC processing) scale with the processor generation while the
+//! application's own compile time is held constant. This isolates what
+//! the paper's claim is about — the protocol overhead's hardware
+//! sensitivity; scaling the application CPU too would mix in the
+//! workload's own speedup.
+
+use sfs_bench::calib::{build_fs_with_cpu, System};
+use sfs_bench::report::secs;
+use sfs_bench::workloads::{mab, total, MabConfig};
+use sfs_sim::CpuCosts;
+
+fn mab_total(system: System, cpu: CpuCosts) -> f64 {
+    let (fs, _clock, prefix, _) = build_fs_with_cpu(system, cpu);
+    secs(total(&mab(fs.as_ref(), &prefix, &MabConfig::default())))
+}
+
+fn main() {
+    println!("== §4.5 hardware trend: MAB penalty of SFS vs NFS 3 (UDP) ==\n");
+    let generations: [(&str, CpuCosts); 3] = [
+        ("Pentium Pro 200", CpuCosts::pentium_pro_200()),
+        ("Pentium III 550", CpuCosts::pentium_iii_550()),
+        ("hypothetical 2x PIII", CpuCosts::pentium_iii_550().scaled(0.5)),
+    ];
+    let mut penalties = Vec::new();
+    for (name, cpu) in generations {
+        let nfs = mab_total(System::NfsUdp, cpu);
+        let sfs = mab_total(System::Sfs, cpu);
+        let penalty = (sfs / nfs - 1.0) * 100.0;
+        penalties.push(penalty);
+        println!("  {name:22} NFS/UDP {nfs:6.2}s   SFS {sfs:6.2}s   penalty {penalty:+5.1}%");
+    }
+    println!(
+        "\nPPro→PIII penalty ratio: {:.2}x (paper: \"shrunk by a factor of two\")",
+        penalties[0] / penalties[1]
+    );
+    println!(
+        "PIII→2x penalty ratio:   {:.2}x (\"we expect this trend to continue\")",
+        penalties[1] / penalties[2]
+    );
+}

@@ -1,0 +1,283 @@
+//! Testbed assembly with the calibrated cost model.
+//!
+//! §4.1: "We measured file system performance between two 550 MHz Pentium
+//! IIIs running FreeBSD 3.3. The client and server were connected by
+//! 100 Mbit/sec switched Ethernet. … an IBM 18ES 9 Gigabyte SCSI disk."
+//!
+//! The cost constants live in [`sfs_sim::CpuCosts::pentium_iii_550`] and
+//! [`sfs_sim::NetParams::switched_100mbit`]; they are fitted *only* to the
+//! four corners of Figure 5 (the micro-benchmarks). Every other figure is
+//! then produced by running the real protocol code over this single model
+//! — no per-figure tuning.
+
+use std::sync::Arc;
+
+use sfs::authserver::{AuthServer, UserRecord};
+use sfs::client::{SfsClient, SfsNetwork};
+use sfs::server::{ServerConfig, SfsServer};
+use sfs_bignum::XorShiftSource;
+use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
+use sfs_crypto::srp::SrpGroup;
+use sfs_crypto::SfsPrg;
+use sfs_nfs3::Nfs3Server;
+use sfs_sim::{CpuCosts, DiskParams, NetParams, SimClock, SimDisk, Transport, Wire};
+use sfs_vfs::{Credentials, Vfs};
+
+use crate::kernel::{FsBench, KernelNfs, LocalFs, SfsBench};
+
+/// The benchmark user.
+pub const BENCH_UID: u32 = 1000;
+
+/// The systems compared throughout §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// FreeBSD's local FFS on the server machine.
+    Local,
+    /// NFS 3 over UDP.
+    NfsUdp,
+    /// NFS 3 over TCP.
+    NfsTcp,
+    /// SFS (secure channel, user-level daemons, enhanced caching).
+    Sfs,
+    /// SFS with software encryption disabled (§4.2/§4.3 ablation).
+    SfsNoEncrypt,
+    /// SFS without the enhanced attribute/access caching (§4.3 ablation).
+    SfsNoCache,
+}
+
+impl System {
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Local => "Local",
+            System::NfsUdp => "NFS 3 (UDP)",
+            System::NfsTcp => "NFS 3 (TCP)",
+            System::Sfs => "SFS",
+            System::SfsNoEncrypt => "SFS w/o encryption",
+            System::SfsNoCache => "SFS w/o enhanced caching",
+        }
+    }
+
+    /// The four systems of Figures 6–9.
+    pub fn main_four() -> [System; 4] {
+        [System::Local, System::NfsUdp, System::NfsTcp, System::Sfs]
+    }
+}
+
+/// Disk parameters for the benchmarks: the IBM 18ES with FFS-style
+/// cylinder-group clustering of metadata (an effective ~4.5 ms positioning
+/// cost for the small synchronous metadata writes that dominate the LFS
+/// small-file benchmark).
+pub fn bench_disk_params() -> DiskParams {
+    DiskParams {
+        seek_ns: 4_500_000,
+        bandwidth_bps: 13_000_000,
+        block_size: 8192,
+        write_path_ns_per_byte: 36,
+    }
+}
+
+/// A fully assembled single-system testbed.
+pub struct Testbed {
+    /// The virtual clock everything charges.
+    pub clock: SimClock,
+    /// The file-system stack under test.
+    pub fs: Box<dyn FsBench>,
+    /// The server-side file system (for cache-state control).
+    pub server_vfs: Vfs,
+}
+
+fn server_key() -> RabinPrivateKey {
+    // Deterministic testbed key: benchmarks must be reproducible.
+    let mut rng = XorShiftSource::new(0x5F5_BE7C);
+    generate_keypair(768, &mut rng)
+}
+
+fn user_key() -> RabinPrivateKey {
+    let mut rng = XorShiftSource::new(0xBE7C_0001);
+    generate_keypair(512, &mut rng)
+}
+
+fn srp_group() -> SrpGroup {
+    let mut rng = XorShiftSource::new(0x5209);
+    SrpGroup::generate(128, &mut rng)
+}
+
+impl Testbed {
+    /// Builds the testbed for one system. The exported file system starts
+    /// with a world-writable `bench` directory.
+    pub fn build(system: System) -> Testbed {
+        Self::build_with_cpu(system, CpuCosts::pentium_iii_550())
+    }
+
+    /// Builds the testbed with explicit CPU costs (the §4.5 hardware-
+    /// trend experiment swaps in slower/faster processors).
+    pub fn build_with_cpu(system: System, cpu: CpuCosts) -> Testbed {
+        let clock = SimClock::new();
+        let disk = SimDisk::new(clock.clone(), bench_disk_params());
+        let vfs = Vfs::new(7, clock.clone()).with_disk(disk);
+        let root_creds = Credentials::root();
+        let bench_dir = vfs.mkdir_p("/bench").unwrap();
+        vfs.setattr(
+            &root_creds,
+            bench_dir,
+            sfs_vfs::SetAttr {
+                mode: Some(0o777),
+                uid: Some(BENCH_UID),
+                gid: Some(100),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        let fs: Box<dyn FsBench> = match system {
+            System::Local => Box::new(LocalFs::new(vfs.clone(), clock.clone())),
+            System::NfsUdp | System::NfsTcp => {
+                let transport = if system == System::NfsUdp {
+                    Transport::Udp
+                } else {
+                    Transport::Tcp
+                };
+                let wire =
+                    Wire::new(clock.clone(), NetParams::switched_100mbit(transport));
+                let server = Nfs3Server::new(vfs.clone());
+                Box::new(KernelNfs::new(
+                    system.label(),
+                    clock.clone(),
+                    wire,
+                    server,
+                    cpu,
+                ))
+            }
+            System::Sfs | System::SfsNoEncrypt | System::SfsNoCache => {
+                let auth = Arc::new(AuthServer::new(srp_group(), 2));
+                let ukey = user_key();
+                auth.register_user(UserRecord {
+                    user: "bench".into(),
+                    uid: BENCH_UID,
+                    gids: vec![100],
+                    public_key: ukey.public().to_bytes(),
+                });
+                let server = SfsServer::new(
+                    ServerConfig::new("server.bench"),
+                    server_key(),
+                    vfs.clone(),
+                    auth,
+                    SfsPrg::from_entropy(b"bench-server"),
+                );
+                let net = SfsNetwork::new(
+                    clock.clone(),
+                    NetParams::switched_100mbit(Transport::Tcp),
+                );
+                net.register(server.clone());
+                let client = SfsClient::with_costs(net, b"bench-client", cpu);
+                client.agent(BENCH_UID).lock().add_key(ukey);
+                match system {
+                    System::SfsNoEncrypt => client.set_charge_crypto(false),
+                    System::SfsNoCache => client.set_caching(false),
+                    _ => {}
+                }
+                let prefix = format!("{}/bench", server.path().full_path());
+                let bench = SfsBench::new(system.label(), client, BENCH_UID, &prefix);
+                return Testbed { clock, fs: Box::new(bench), server_vfs: vfs };
+            }
+        };
+        Testbed { clock, fs, server_vfs: vfs }
+    }
+
+    /// Path prefix used by workloads ("" = the bench directory itself).
+    /// Local and NFS stacks address the bench dir explicitly.
+    pub fn root_dir(&self, system: System) -> &'static str {
+        match system {
+            System::Sfs | System::SfsNoEncrypt | System::SfsNoCache => "",
+            _ => "bench",
+        }
+    }
+}
+
+/// Convenience: build a testbed and return (fs, clock) with workload paths
+/// rooted correctly. The returned prefix already contains the trailing
+/// component separator handling — workloads join with `/`.
+pub fn build_fs(system: System) -> (Box<dyn FsBench>, SimClock, String, Vfs) {
+    let tb = Testbed::build(system);
+    let prefix = tb.root_dir(system).to_string();
+    (tb.fs, tb.clock, prefix, tb.server_vfs)
+}
+
+/// [`build_fs`] with explicit CPU costs.
+pub fn build_fs_with_cpu(
+    system: System,
+    cpu: CpuCosts,
+) -> (Box<dyn FsBench>, SimClock, String, Vfs) {
+    let tb = Testbed::build_with_cpu(system, cpu);
+    let prefix = tb.root_dir(system).to_string();
+    (tb.fs, tb.clock, prefix, tb.server_vfs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmarks_are_deterministic() {
+        // The simulator's core promise: identical runs give identical
+        // virtual times, bit for bit.
+        let run = || {
+            let (fs, clock, prefix, _) = build_fs(System::Sfs);
+            let p = format!("{prefix}/det").trim_start_matches('/').to_string();
+            fs.create(&p).unwrap();
+            fs.write(&p, 0, b"determinism").unwrap();
+            for _ in 0..10 {
+                fs.read(&p, 0, 11).unwrap();
+                fs.stat(&p).unwrap();
+            }
+            clock.now().as_nanos()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn all_systems_build_and_do_io() {
+        for system in [
+            System::Local,
+            System::NfsUdp,
+            System::NfsTcp,
+            System::Sfs,
+            System::SfsNoEncrypt,
+            System::SfsNoCache,
+        ] {
+            let (fs, clock, prefix, _) = build_fs(system);
+            let p = |name: &str| {
+                if prefix.is_empty() {
+                    name.to_string()
+                } else {
+                    format!("{prefix}/{name}")
+                }
+            };
+            fs.create(&p("hello")).unwrap();
+            fs.write(&p("hello"), 0, b"world").unwrap();
+            assert_eq!(fs.read(&p("hello"), 0, 5).unwrap(), b"world");
+            assert_eq!(fs.stat(&p("hello")).unwrap(), 5);
+            fs.unlink(&p("hello")).unwrap();
+            assert!(clock.now().as_nanos() > 0, "{system:?} charged no time");
+        }
+    }
+
+    #[test]
+    fn sfs_slower_than_nfs_on_rpc_latency() {
+        // The Figure-5 ordering must hold structurally.
+        let mut times = Vec::new();
+        for system in [System::NfsUdp, System::NfsTcp, System::Sfs] {
+            let (fs, clock, prefix, _) = build_fs(system);
+            let p = format!("{prefix}/f").trim_start_matches('/').to_string();
+            fs.create(&p).unwrap();
+            let t0 = clock.now();
+            for _ in 0..100 {
+                fs.chown_fail(&p).unwrap();
+            }
+            times.push(clock.now().since(t0).as_nanos());
+        }
+        assert!(times[0] < times[1], "UDP < TCP: {times:?}");
+        assert!(times[1] < times[2], "TCP < SFS: {times:?}");
+    }
+}

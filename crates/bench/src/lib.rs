@@ -1,0 +1,23 @@
+//! Benchmark harness reproducing every table and figure in §4 of the SFS
+//! paper.
+//!
+//! - [`kernel`]: the simulated kernel file-system layers — page cache,
+//!   name cache, and attribute caching — over three stacks: the local FFS
+//!   baseline, kernel NFS3 (UDP or TCP), and SFS;
+//! - [`calib`]: testbed assembly with the calibrated Pentium III / 100
+//!   Mbit cost model;
+//! - [`workloads`]: the paper's workloads — the §4.2 micro-benchmarks, the
+//!   Modified Andrew Benchmark (§4.3), the FreeBSD kernel build (§4.3),
+//!   and the Sprite LFS small/large-file benchmarks (§4.4);
+//! - [`report`]: table formatting and paper-vs-measured comparison.
+//!
+//! Each `fig*` binary regenerates one figure; `all_figures` runs
+//! everything and prints the deltas recorded in EXPERIMENTS.md.
+
+pub mod calib;
+pub mod kernel;
+pub mod report;
+pub mod workloads;
+
+pub use calib::{System, Testbed};
+pub use kernel::FsBench;

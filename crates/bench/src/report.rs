@@ -1,0 +1,130 @@
+//! Table formatting and paper-vs-measured reporting.
+
+use sfs_sim::SimTime;
+
+/// One cell comparing a measurement with the paper's published value.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Compared {
+    /// Measured value.
+    pub measured: f64,
+    /// The paper's value, when published.
+    pub paper: Option<f64>,
+}
+
+impl Compared {
+    /// Builds a comparison.
+    pub fn new(measured: f64, paper: Option<f64>) -> Self {
+        Compared { measured, paper }
+    }
+
+    /// measured / paper, when the paper value exists.
+    pub fn ratio(&self) -> Option<f64> {
+        self.paper.map(|p| self.measured / p)
+    }
+}
+
+/// A complete figure/table reproduction.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table {
+    /// Title ("Figure 5: micro-benchmarks").
+    pub title: String,
+    /// Unit of the cells ("µs", "MB/s", "s").
+    pub unit: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows: (label, cells).
+    pub rows: Vec<(String, Vec<Compared>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, unit: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            unit: unit.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, label: &str, cells: Vec<Compared>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.to_string(), cells));
+    }
+
+    /// Renders the table with measured values and paper values side by
+    /// side.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} (unit: {}) ==\n", self.title, self.unit));
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(6))
+            .max()
+            .unwrap_or(8);
+        out.push_str(&format!("{:label_w$}", ""));
+        for c in &self.columns {
+            out.push_str(&format!(" | {c:>22}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(label_w + self.columns.len() * 25));
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("{label:label_w$}"));
+            for cell in cells {
+                let m = format_val(cell.measured);
+                match cell.paper {
+                    Some(p) => {
+                        out.push_str(&format!(" | {m:>8} (paper {:>6})", format_val(p)))
+                    }
+                    None => out.push_str(&format!(" | {m:>8} {:>14}", "")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_val(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Seconds from a [`SimTime`], for table cells.
+pub fn secs(t: SimTime) -> f64 {
+    t.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_render() {
+        let mut t = Table::new("Figure X", "s", &["total"]);
+        t.push_row("NFS 3 (UDP)", vec![Compared::new(5.2, Some(5.3))]);
+        t.push_row("SFS", vec![Compared::new(6.0, None)]);
+        let c = &t.rows[0].1[0];
+        assert!((c.ratio().unwrap() - 0.981).abs() < 0.01);
+        let s = t.render();
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("paper"));
+        assert!(s.contains("SFS"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "s", &["a", "b"]);
+        t.push_row("x", vec![Compared::new(1.0, None)]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Primality testing and prime generation.
+//!
+//! Rabin–Williams key generation (paper §3.1.3) needs primes with specific
+//! residues modulo 8 (`p ≡ 3`, `q ≡ 7`), so generation takes a congruence
+//! constraint. Testing is Miller–Rabin with trial division by small primes
+//! first.
+
+use crate::modular::modpow;
+use crate::nat::Nat;
+use crate::rand_source::RandomSource;
+
+/// Number of Miller–Rabin rounds used by default (error probability
+/// ≤ 4^-64).
+pub const MR_ROUNDS: usize = 64;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Tests whether `n` is (probably) prime using trial division plus
+/// `rounds` Miller–Rabin iterations with bases drawn from `rng`.
+pub fn is_probable_prime<R: RandomSource>(n: &Nat, rounds: usize, rng: &mut R) -> bool {
+    if n.cmp_u64(2) == std::cmp::Ordering::Less {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        if n.cmp_u64(p) == std::cmp::Ordering::Equal {
+            return true;
+        }
+        let (_, r) = n.div_rem_u64(p);
+        if r == 0 {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^s with d odd.
+    let n_minus_1 = n.checked_sub(&Nat::one()).unwrap();
+    let s = n_minus_1.trailing_zeros().unwrap();
+    let d = n_minus_1.shr_bits(s);
+
+    let two = Nat::from(2u64);
+    let n_minus_3 = match n.checked_sub(&Nat::from(4u64)) {
+        Some(v) => v.add_nat(&Nat::one()), // n - 3
+        None => Nat::one(),
+    };
+
+    'witness: for _ in 0..rounds {
+        // a in [2, n-2].
+        let a = rng.random_below(&n_minus_3).add_nat(&two);
+        let mut x = modpow(&a, &d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.square().rem_nat(n).unwrap();
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime of exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gen_prime<R: RandomSource>(bits: usize, rng: &mut R) -> Nat {
+    gen_prime_congruent(bits, 1, 2, rng)
+}
+
+/// Generates a probable prime of exactly `bits` bits that is congruent to
+/// `residue` modulo `modulus`.
+///
+/// Used for Rabin–Williams: `gen_prime_congruent(bits, 3, 8, …)` and
+/// `gen_prime_congruent(bits, 7, 8, …)`; and for SRP safe-prime style
+/// groups in tests.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`, `modulus == 0`, or `residue >= modulus`, or if the
+/// congruence class contains only even numbers (no primes > 2).
+pub fn gen_prime_congruent<R: RandomSource>(
+    bits: usize,
+    residue: u64,
+    modulus: u64,
+    rng: &mut R,
+) -> Nat {
+    assert!(bits >= 2, "prime must have at least 2 bits");
+    assert!(modulus > 0 && residue < modulus, "bad congruence");
+    assert!(
+        residue % 2 == 1 || modulus % 2 == 1,
+        "congruence class must contain odd numbers"
+    );
+    loop {
+        let mut candidate = rng.random_bits(bits);
+        // Force exact bit length.
+        candidate.set_bit(bits - 1, true);
+        // Force the congruence: adjust candidate to candidate - (candidate
+        // mod modulus) + residue, then fix parity/length drift by stepping.
+        let (_, r) = candidate.div_rem_u64(modulus);
+        let delta = (residue + modulus - r) % modulus;
+        candidate = candidate.add_nat(&Nat::from(delta));
+        if candidate.bit_len() != bits {
+            continue;
+        }
+        // Step by `modulus` until prime (bounded scan keeps bias small).
+        for _ in 0..512 {
+            if candidate.bit_len() != bits {
+                break;
+            }
+            if candidate.is_odd() && is_probable_prime(&candidate, MR_ROUNDS, rng) {
+                return candidate;
+            }
+            candidate = candidate.add_nat(&Nat::from(modulus));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand_source::XorShiftSource;
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut rng = XorShiftSource::new(1);
+        for p in [2u64, 3, 5, 7, 11, 13, 97, 251, 257, 65537] {
+            assert!(
+                is_probable_prime(&Nat::from(p), 16, &mut rng),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut rng = XorShiftSource::new(2);
+        for c in [0u64, 1, 4, 6, 9, 15, 21, 25, 91, 561, 1105, 6601, 8911] {
+            assert!(
+                !is_probable_prime(&Nat::from(c), 16, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller–Rabin.
+        let mut rng = XorShiftSource::new(3);
+        for c in [561u64, 41041, 825265] {
+            assert!(!is_probable_prime(&Nat::from(c), 16, &mut rng));
+        }
+    }
+
+    #[test]
+    fn large_known_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let m127 = Nat::one().shl_bits(127).checked_sub(&Nat::one()).unwrap();
+        let mut rng = XorShiftSource::new(4);
+        assert!(is_probable_prime(&m127, 16, &mut rng));
+        // 2^128 + 1 is composite (= 59649589127497217 * ...).
+        let f = Nat::one().shl_bits(128).add_nat(&Nat::one());
+        assert!(!is_probable_prime(&f, 16, &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bits() {
+        let mut rng = XorShiftSource::new(5);
+        for bits in [32usize, 48, 128] {
+            let p = gen_prime(bits, &mut rng);
+            assert_eq!(p.bit_len(), bits);
+            assert!(is_probable_prime(&p, 16, &mut rng));
+        }
+    }
+
+    #[test]
+    fn gen_prime_congruent_rabin_classes() {
+        let mut rng = XorShiftSource::new(6);
+        let p = gen_prime_congruent(96, 3, 8, &mut rng);
+        assert_eq!(p.div_rem_u64(8).1, 3);
+        assert_eq!(p.bit_len(), 96);
+        let q = gen_prime_congruent(96, 7, 8, &mut rng);
+        assert_eq!(q.div_rem_u64(8).1, 7);
+        assert_eq!(q.bit_len(), 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "congruence class must contain odd numbers")]
+    fn even_congruence_class_panics() {
+        let mut rng = XorShiftSource::new(7);
+        let _ = gen_prime_congruent(32, 2, 4, &mut rng);
+    }
+}

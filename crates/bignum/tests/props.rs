@@ -1,0 +1,131 @@
+//! Property-based tests for the bignum substrate.
+
+use proptest::prelude::*;
+use sfs_bignum::{crt_pair, invmod, jacobi, modpow, Nat, RandomSource, XorShiftSource};
+
+/// Strategy producing arbitrary `Nat`s up to ~256 bits via byte strings.
+fn nat() -> impl Strategy<Value = Nat> {
+    proptest::collection::vec(any::<u8>(), 0..32).prop_map(|b| Nat::from_bytes_be(&b))
+}
+
+/// Strategy producing nonzero `Nat`s.
+fn nonzero_nat() -> impl Strategy<Value = Nat> {
+    nat().prop_map(|n| if n.is_zero() { Nat::one() } else { n })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in nat(), b in nat()) {
+        prop_assert_eq!(a.add_nat(&b), b.add_nat(&a));
+    }
+
+    #[test]
+    fn add_associates(a in nat(), b in nat(), c in nat()) {
+        prop_assert_eq!(a.add_nat(&b).add_nat(&c), a.add_nat(&b.add_nat(&c)));
+    }
+
+    #[test]
+    fn add_then_sub_roundtrips(a in nat(), b in nat()) {
+        prop_assert_eq!(a.add_nat(&b).checked_sub(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn mul_commutes(a in nat(), b in nat()) {
+        prop_assert_eq!(a.mul_nat(&b), b.mul_nat(&a));
+    }
+
+    #[test]
+    fn mul_distributes(a in nat(), b in nat(), c in nat()) {
+        prop_assert_eq!(
+            a.mul_nat(&b.add_nat(&c)),
+            a.mul_nat(&b).add_nat(&a.mul_nat(&c))
+        );
+    }
+
+    #[test]
+    fn div_rem_invariant(a in nat(), b in nonzero_nat()) {
+        let (q, r) = a.div_rem(&b).unwrap();
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul_nat(&b).add_nat(&r), a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in nat()) {
+        prop_assert_eq!(Nat::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in nat()) {
+        prop_assert_eq!(Nat::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in nat(), s in 0usize..200) {
+        prop_assert_eq!(a.shl_bits(s).shr_bits(s), a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in nat(), s in 0usize..100) {
+        let pow = Nat::one().shl_bits(s);
+        prop_assert_eq!(a.shl_bits(s), a.mul_nat(&pow));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in nonzero_nat(), b in nonzero_nat()) {
+        let g = a.gcd(&b);
+        prop_assert!(!g.is_zero());
+        prop_assert!(a.rem_nat(&g).unwrap().is_zero());
+        prop_assert!(b.rem_nat(&g).unwrap().is_zero());
+    }
+
+    #[test]
+    fn modpow_matches_naive(base in 0u64..1000, exp in 0u64..64, m in 2u64..10000) {
+        let mut naive: u128 = 1;
+        for _ in 0..exp {
+            naive = naive * base as u128 % m as u128;
+        }
+        prop_assert_eq!(
+            modpow(&Nat::from(base), &Nat::from(exp), &Nat::from(m)),
+            Nat::from(naive as u64)
+        );
+    }
+
+    #[test]
+    fn invmod_is_inverse(a in nonzero_nat(), m in nonzero_nat()) {
+        let m = m.add_nat(&Nat::from(2u64)); // ensure m >= 2
+        if let Some(inv) = invmod(&a, &m) {
+            prop_assert_eq!(a.mul_nat(&inv).rem_nat(&m).unwrap(), Nat::one());
+        }
+    }
+
+    #[test]
+    fn jacobi_multiplicative(a in nat(), b in nat(), seed in 1u64..1000) {
+        // (ab/n) = (a/n)(b/n) for odd n.
+        let mut rng = XorShiftSource::new(seed);
+        let mut n = rng.random_bits(48);
+        n.set_bit(0, true); // odd
+        n.set_bit(47, true); // n > 1
+        let ja = jacobi(&a, &n);
+        let jb = jacobi(&b, &n);
+        let jab = jacobi(&a.mul_nat(&b), &n);
+        prop_assert_eq!(jab, ja * jb);
+    }
+
+    #[test]
+    fn crt_is_consistent(x in any::<u32>()) {
+        // p=65537, q=65539 are coprime.
+        let p = Nat::from(65537u64);
+        let q = Nat::from(65539u64);
+        let xn = Nat::from(x as u64);
+        let xp = xn.rem_nat(&p).unwrap();
+        let xq = xn.rem_nat(&q).unwrap();
+        let rec = crt_pair(&xp, &p, &xq, &q);
+        prop_assert_eq!(rec.rem_nat(&p).unwrap(), xp);
+        prop_assert_eq!(rec.rem_nat(&q).unwrap(), xq);
+    }
+
+    #[test]
+    fn decimal_display_matches_u128(v in any::<u128>()) {
+        prop_assert_eq!(Nat::from(v).to_string(), v.to_string());
+    }
+}

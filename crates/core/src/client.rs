@@ -1,0 +1,1144 @@
+//! The SFS client, `sfscd` (§2.3, §3, §3.3).
+//!
+//! The client master automounts remote file systems under
+//! `/sfs/Location:HostID`, negotiates secure channels, relays NFS3 traffic
+//! over them, and maintains the enhanced attribute/access caches: "The SFS
+//! read-write protocol, while virtually identical to NFS 3, adds enhanced
+//! attribute and access caching to reduce the number of NFS GETATTR and
+//! ACCESS RPCs sent over the wire. … every file attribute structure
+//! returned by the server has a timeout field or lease \[and\] the server
+//! can call back to the client to invalidate entries before the lease
+//! expires."
+//!
+//! Per-user agents interpose on the namespace: non-self-certifying names
+//! in `/sfs` are sent to the user's agent, which may answer with an
+//! on-the-fly symbolic link (§2.3); directory listings of `/sfs` only show
+//! pathnames the requesting agent has actually referenced.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
+use sfs_crypto::SfsPrg;
+use sfs_nfs3::proto::{
+    Fattr3, FileHandle, Nfs3Reply, Nfs3Request, PostOpAttr, Sattr3, StableHow, Status,
+};
+use sfs_proto::channel::{ChannelError, SecureChannelEnd};
+use sfs_proto::keyneg::{KeyNegClient, KeyNegError};
+use sfs_proto::pathname::{PathError, SelfCertifyingPath};
+use sfs_proto::userauth::{AuthInfo, AUTHNO_ANONYMOUS};
+use sfs_sim::ipc::{LocalEndpoint, LocalHandler, LocalIdentity};
+use sfs_sim::{CpuCosts, Interceptor, NetParams, PacketLog, SimClock, SimTime, Wire, WireError};
+use sfs_vfs::FileType;
+use sfs_xdr::Xdr;
+
+use crate::agent::Agent;
+use crate::server::{ServerConn, SfsServer};
+use crate::wire::{CallMsg, Dialect, InnerCall, InnerReply, ReplyMsg, Service};
+
+/// Default ephemeral-key size. The paper's servers used 1280-bit keys;
+/// 768 keeps deterministic test runs fast while exercising identical code
+/// paths.
+pub const EPHEMERAL_KEY_BITS: usize = 768;
+
+/// Maximum symlink traversals during path resolution.
+const MAX_SYMLINK_DEPTH: usize = 16;
+
+/// The read-write protocol version this client speaks (dispatched on by
+/// `sfssd`, §3.2).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Not a valid (self-certifying) pathname.
+    Path(PathError),
+    /// No server answers at this Location.
+    NoSuchHost(String),
+    /// Network failure/timeout.
+    Net(WireError),
+    /// Secure-channel failure (tampering detected).
+    Channel(ChannelError),
+    /// Key negotiation failed (wrong key, revoked, …).
+    KeyNeg(String),
+    /// The pathname is revoked.
+    Revoked,
+    /// The user's agent has blocked this HostID.
+    Blocked,
+    /// NFS-level error.
+    Nfs(Status),
+    /// Too many levels of symbolic links.
+    SymlinkLoop,
+    /// Unexpected protocol reply.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Path(e) => write!(f, "bad pathname: {e}"),
+            ClientError::NoSuchHost(l) => write!(f, "no SFS server at {l}"),
+            ClientError::Net(e) => write!(f, "network: {e}"),
+            ClientError::Channel(e) => write!(f, "secure channel: {e}"),
+            ClientError::KeyNeg(e) => write!(f, "key negotiation: {e}"),
+            ClientError::Revoked => write!(f, "pathname revoked"),
+            ClientError::Blocked => write!(f, "HostID blocked by agent"),
+            ClientError::Nfs(s) => write!(f, "file system error: {s:?}"),
+            ClientError::SymlinkLoop => write!(f, "too many symbolic links"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<PathError> for ClientError {
+    fn from(e: PathError) -> Self {
+        ClientError::Path(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Net(e)
+    }
+}
+
+impl From<ChannelError> for ClientError {
+    fn from(e: ChannelError) -> Self {
+        ClientError::Channel(e)
+    }
+}
+
+/// The simulated internet: Location → server, with per-link parameters
+/// and optional adversary hooks (applied to newly dialed connections).
+pub struct SfsNetwork {
+    clock: SimClock,
+    params: NetParams,
+    servers: Mutex<HashMap<String, Arc<SfsServer>>>,
+    interceptor: Mutex<Option<Arc<Mutex<dyn Interceptor>>>>,
+    log: Mutex<Option<PacketLog>>,
+}
+
+impl SfsNetwork {
+    /// Creates a network.
+    pub fn new(clock: SimClock, params: NetParams) -> Arc<Self> {
+        Arc::new(SfsNetwork {
+            clock,
+            params,
+            servers: Mutex::new(HashMap::new()),
+            interceptor: Mutex::new(None),
+            log: Mutex::new(None),
+        })
+    }
+
+    /// Registers a server under its Location.
+    pub fn register(&self, server: Arc<SfsServer>) {
+        self.servers
+            .lock()
+            .insert(server.path().location.clone(), server);
+    }
+
+    /// Looks up the server at `location`.
+    pub fn server_at(&self, location: &str) -> Option<Arc<SfsServer>> {
+        self.servers.lock().get(location).cloned()
+    }
+
+    /// Attaches an adversary to all future connections.
+    pub fn set_interceptor(&self, i: Arc<Mutex<dyn Interceptor>>) {
+        *self.interceptor.lock() = Some(i);
+    }
+
+    /// Attaches a packet recorder to all future connections.
+    pub fn set_log(&self, log: PacketLog) {
+        *self.log.lock() = Some(log);
+    }
+
+    /// Dials a location: a fresh wire plus a fresh server-side connection.
+    pub fn dial(&self, location: &str) -> Option<(Wire, ServerConn)> {
+        let server = self.server_at(location)?;
+        let mut wire = Wire::new(self.clock.clone(), self.params);
+        if let Some(i) = &*self.interceptor.lock() {
+            wire.set_interceptor(i.clone());
+        }
+        if let Some(l) = &*self.log.lock() {
+            wire.set_log(l.clone());
+        }
+        Some((wire, server.accept()))
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+}
+
+impl std::fmt::Debug for SfsNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SfsNetwork({} servers)", self.servers.lock().len())
+    }
+}
+
+#[derive(Clone)]
+struct CachedAttr {
+    attr: Fattr3,
+    expires: SimTime,
+}
+
+/// One mounted remote file system.
+pub struct Mount {
+    /// The self-certifying pathname this mount serves.
+    pub path: SelfCertifyingPath,
+    wire: Wire,
+    conn: ServerConn,
+    channel: Mutex<SecureChannelEnd>,
+    session_id: [u8; 20],
+    root_fh: FileHandle,
+    /// Per-uid authentication numbers.
+    authnos: Mutex<HashMap<u32, u32>>,
+    next_seq: AtomicU32,
+    attr_cache: Mutex<HashMap<Vec<u8>, CachedAttr>>,
+    access_cache: Mutex<HashMap<(Vec<u8>, u32, u32), CachedAttr>>,
+}
+
+impl Mount {
+    /// The root file handle.
+    pub fn root(&self) -> FileHandle {
+        self.root_fh.clone()
+    }
+
+    /// Network round trips taken through this mount.
+    pub fn round_trips(&self) -> u64 {
+        self.wire.round_trips()
+    }
+}
+
+impl std::fmt::Debug for Mount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mount({})", self.path.dir_name())
+    }
+}
+
+/// The SFS client (one per client machine).
+pub struct SfsClient {
+    clock: SimClock,
+    net: Arc<SfsNetwork>,
+    cpu: Option<CpuCosts>,
+    ephemeral: Mutex<RabinPrivateKey>,
+    rng: Mutex<SfsPrg>,
+    agents: Mutex<HashMap<u32, Arc<Mutex<Agent>>>>,
+    mounts: Mutex<HashMap<String, Arc<Mount>>>,
+    /// Which self-certifying names each agent (uid) has referenced — the
+    /// `/sfs` listing filter of §2.3.
+    referenced: Mutex<HashMap<u32, BTreeSet<String>>>,
+    caching: AtomicBool,
+    charge_crypto: AtomicBool,
+    streaming: AtomicBool,
+    attr_hits: AtomicU64,
+    attr_misses: AtomicU64,
+}
+
+impl SfsClient {
+    /// Creates a client on `net`, seeding its generator and ephemeral key
+    /// from `entropy`.
+    pub fn new(net: Arc<SfsNetwork>, entropy: &[u8]) -> Arc<Self> {
+        let mut rng = SfsPrg::from_entropy(entropy);
+        let ephemeral = generate_keypair(EPHEMERAL_KEY_BITS, &mut rng);
+        Arc::new(SfsClient {
+            clock: net.clock().clone(),
+            net,
+            cpu: None,
+            ephemeral: Mutex::new(ephemeral),
+            rng: Mutex::new(rng),
+            agents: Mutex::new(HashMap::new()),
+            mounts: Mutex::new(HashMap::new()),
+            referenced: Mutex::new(HashMap::new()),
+            caching: AtomicBool::new(true),
+            charge_crypto: AtomicBool::new(true),
+            streaming: AtomicBool::new(false),
+            attr_hits: AtomicU64::new(0),
+            attr_misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Creates a client that charges CPU costs to the virtual clock (the
+    /// benchmark configuration).
+    pub fn with_costs(net: Arc<SfsNetwork>, entropy: &[u8], cpu: CpuCosts) -> Arc<Self> {
+        let client = Self::new(net, entropy);
+        // Safe: sole owner at this point.
+        let mut c = Arc::try_unwrap(client).unwrap_or_else(|_| unreachable!("sole owner"));
+        c.cpu = Some(cpu);
+        Arc::new(c)
+    }
+
+    /// Enables or disables the enhanced attribute/access caching (the
+    /// §4.3 ablation: "without enhanced caching, MAB takes a total of 6.6
+    /// seconds").
+    pub fn set_caching(&self, on: bool) {
+        self.caching.store(on, Ordering::SeqCst);
+    }
+
+    /// Enables or disables charging software-encryption CPU cost (the
+    /// "SFS w/o encryption" rows of Figures 5–9). The cryptography still
+    /// runs — only its simulated cost toggles.
+    pub fn set_charge_crypto(&self, on: bool) {
+        self.charge_crypto.store(on, Ordering::SeqCst);
+    }
+
+    /// Marks subsequent operations as part of a sequential data stream.
+    /// With read-ahead/write-behind, "multiple outstanding requests can
+    /// overlap the latency of NFS RPCs" (§4.2): the fixed user-level
+    /// crossing cost overlaps with data transfer and only per-byte costs
+    /// remain on the critical path. Benchmarks set this around sequential
+    /// read/write phases.
+    pub fn set_streaming(&self, on: bool) {
+        self.streaming.store(on, Ordering::SeqCst);
+    }
+
+    /// (attribute-cache hits, misses) so far.
+    pub fn attr_cache_stats(&self) -> (u64, u64) {
+        (
+            self.attr_hits.load(Ordering::SeqCst),
+            self.attr_misses.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Total network round trips across all mounts.
+    pub fn network_rpcs(&self) -> u64 {
+        self.mounts.lock().values().map(|m| m.round_trips()).sum()
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Returns (creating if necessary) the agent for `uid`. "Every user on
+    /// an SFS client runs an unprivileged agent program of his choice."
+    pub fn agent(&self, uid: u32) -> Arc<Mutex<Agent>> {
+        self.agents
+            .lock()
+            .entry(uid)
+            .or_insert_with(|| Arc::new(Mutex::new(Agent::new())))
+            .clone()
+    }
+
+    /// Installs a caller-built agent for `uid` ("users can replace their
+    /// agents at will").
+    pub fn set_agent(&self, uid: u32, agent: Arc<Mutex<Agent>>) {
+        self.agents.lock().insert(uid, agent);
+    }
+
+    /// The `ssu` utility (§2.3 footnote): maps operations performed in a
+    /// super-user shell (uid 0) to `user`'s own agent, so `su` does not
+    /// orphan the session from its keys.
+    pub fn ssu(&self, user: u32) {
+        let agent = self.agent(user);
+        self.agents.lock().insert(0, agent);
+    }
+
+    /// The client master's protected local socket (§3.2): agent programs
+    /// connect through the `suidconnect` equivalent, which attests the
+    /// caller's uid. Each request operates on *that* uid's agent state —
+    /// "the agent program connects to the client master through this
+    /// mechanism, and thus needs no special privileges; users can replace
+    /// it at will."
+    ///
+    /// Wire format (XDR): command 0 = create link (name, target);
+    /// command 1 = list this agent's `/sfs` view. Replies are XDR too.
+    pub fn agent_socket(self: &Arc<Self>) -> LocalEndpoint {
+        struct Handler {
+            client: Arc<SfsClient>,
+        }
+        impl LocalHandler for Handler {
+            fn handle(&mut self, from: LocalIdentity, payload: &[u8]) -> Vec<u8> {
+                let mut dec = sfs_xdr::XdrDecoder::new(payload);
+                let mut enc = sfs_xdr::XdrEncoder::new();
+                match dec.get_u32() {
+                    Ok(0) => {
+                        let (name, target) = match (dec.get_string(), dec.get_string()) {
+                            (Ok(n), Ok(t)) => (n, t),
+                            _ => {
+                                enc.put_u32(1).put_string("bad link request");
+                                return enc.into_bytes();
+                            }
+                        };
+                        self.client
+                            .agent(from.uid())
+                            .lock()
+                            .create_link(&name, &target);
+                        enc.put_u32(0);
+                    }
+                    Ok(1) => {
+                        let names = self.client.list_sfs(from.uid());
+                        enc.put_u32(0);
+                        enc.put_u32(names.len() as u32);
+                        for n in &names {
+                            enc.put_string(n);
+                        }
+                    }
+                    _ => {
+                        enc.put_u32(1).put_string("unknown agent command");
+                    }
+                }
+                enc.into_bytes()
+            }
+        }
+        LocalEndpoint::new(Arc::new(Mutex::new(Handler { client: self.clone() })))
+    }
+
+    /// Discards and regenerates the ephemeral key K_C ("clients discard
+    /// and regenerate K_C at regular intervals (every hour by default)").
+    /// Existing sessions are unaffected; new mounts use the fresh key.
+    pub fn rotate_ephemeral(&self) {
+        let mut rng = self.rng.lock();
+        let fresh = generate_keypair(EPHEMERAL_KEY_BITS, &mut *rng);
+        *self.ephemeral.lock() = fresh;
+    }
+
+    /// Drops all mounts (used by tests simulating reconnects).
+    pub fn unmount_all(&self) {
+        self.mounts.lock().clear();
+    }
+
+    /// Mounts a file system via the read-only dialect (§2.4): the server
+    /// proves contents with precomputed signatures, so this works against
+    /// untrusted replicas and costs the server no private-key operations.
+    pub fn mount_read_only(
+        &self,
+        path: &SelfCertifyingPath,
+    ) -> Result<crate::roclient::RoMount, ClientError> {
+        let (wire, conn) = self
+            .net
+            .dial(&path.location)
+            .ok_or_else(|| ClientError::NoSuchHost(path.location.clone()))?;
+        crate::roclient::RoMount::connect(path.clone(), wire, conn)
+            .map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Drops one cached mount and establishes a fresh connection (the
+    /// recovery path after a poisoned channel: tampering aborts a session,
+    /// and a new key negotiation starts over).
+    pub fn remount(
+        &self,
+        uid: u32,
+        path: &SelfCertifyingPath,
+    ) -> Result<Arc<Mount>, ClientError> {
+        self.mounts.lock().remove(&path.dir_name());
+        self.mount(uid, path)
+    }
+
+    fn charge_crossing(&self) {
+        if let Some(cpu) = &self.cpu {
+            if !self.streaming.load(Ordering::SeqCst) {
+                cpu.charge_user_crossing(&self.clock);
+            }
+        }
+    }
+
+    fn charge_user_copy(&self, len: usize) {
+        if let Some(cpu) = &self.cpu {
+            cpu.charge_user_copy(&self.clock, len);
+        }
+    }
+
+    fn charge_rpc(&self) {
+        if let Some(cpu) = &self.cpu {
+            cpu.charge_rpc(&self.clock);
+        }
+    }
+
+    fn charge_server_copy(&self, len: usize) {
+        if let Some(cpu) = &self.cpu {
+            cpu.charge_server_copy(&self.clock, len);
+        }
+    }
+
+    fn charge_crypto_cost(&self, len: usize) {
+        if let Some(cpu) = &self.cpu {
+            if self.charge_crypto.load(Ordering::SeqCst) {
+                cpu.charge_crypto(&self.clock, len);
+            }
+        }
+    }
+
+    /// Mounts (or returns the cached mount of) a self-certifying
+    /// pathname, running the full key negotiation on first access.
+    pub fn mount(&self, uid: u32, path: &SelfCertifyingPath) -> Result<Arc<Mount>, ClientError> {
+        // Per-agent policy first: revoked or blocked HostIDs never mount.
+        let agent = self.agent(uid);
+        if agent.lock().refuses(path.host_id) {
+            return Err(ClientError::Blocked);
+        }
+        self.referenced
+            .lock()
+            .entry(uid)
+            .or_default()
+            .insert(path.dir_name());
+        if let Some(m) = self.mounts.lock().get(&path.dir_name()) {
+            return Ok(m.clone());
+        }
+
+        let (wire, conn) = self
+            .net
+            .dial(&path.location)
+            .ok_or_else(|| ClientError::NoSuchHost(path.location.clone()))?;
+
+        // Key negotiation (Figure 3).
+        let ephemeral = self.ephemeral.lock().clone();
+        let neg = KeyNegClient::new(path.clone(), ephemeral);
+        let hello = CallMsg::Hello {
+            req: neg.hello(),
+            service: Service::File,
+            dialect: Dialect::ReadWrite,
+            version: PROTOCOL_VERSION,
+            extensions: String::new(),
+        };
+        let reply = self.raw_call(&wire, &conn, hello)?;
+        let ReplyMsg::ServerReply(server_reply) = reply else {
+            return Err(ClientError::Protocol("expected server key".into()));
+        };
+        let mut rng = self.rng.lock();
+        let (awaiting, msg3) = neg.on_server_reply(&server_reply, &mut *rng).map_err(|e| {
+            if let KeyNegError::Revoked(cert) = &e {
+                // Remember the revocation in the agent so future accesses
+                // fail fast, and so it shows as a `:REVOKED:` link.
+                agent.lock().submit_revocation(*cert.clone());
+            }
+            match e {
+                KeyNegError::Revoked(_) => ClientError::Revoked,
+                other => ClientError::KeyNeg(other.to_string()),
+            }
+        })?;
+        drop(rng);
+        let reply = self.raw_call(&wire, &conn, CallMsg::ClientKeys(msg3))?;
+        let ReplyMsg::ServerKeys(msg4) = reply else {
+            return Err(ClientError::Protocol("expected server key halves".into()));
+        };
+        let keys = awaiting
+            .on_server_halves(&msg4)
+            .map_err(|e| ClientError::KeyNeg(e.to_string()))?;
+        let session_id = keys.session_id;
+        let channel = SecureChannelEnd::client(&keys);
+
+        let mount = Arc::new(Mount {
+            path: path.clone(),
+            wire,
+            conn,
+            channel: Mutex::new(channel),
+            session_id,
+            root_fh: FileHandle(Vec::new()),
+            authnos: Mutex::new(HashMap::new()),
+            next_seq: AtomicU32::new(1),
+            attr_cache: Mutex::new(HashMap::new()),
+            access_cache: Mutex::new(HashMap::new()),
+        });
+        // Fetch the root handle over the authenticated channel.
+        let root = match self.sealed_call(&mount, InnerCall::Mount)? {
+            InnerReply::MountReply { root } => root,
+            other => return Err(ClientError::Protocol(format!("bad mount reply: {other:?}"))),
+        };
+        // `root_fh` is logically immutable after construction; rebuild the
+        // Mount with it set.
+        let mount = Arc::new(Mount { root_fh: root, ..Arc::try_unwrap(mount).unwrap_or_else(|_| unreachable!("sole owner")) });
+        self.mounts.lock().insert(path.dir_name(), mount.clone());
+        Ok(mount)
+    }
+
+    /// One cleartext wire round trip.
+    fn raw_call(
+        &self,
+        wire: &Wire,
+        conn: &ServerConn,
+        msg: CallMsg,
+    ) -> Result<ReplyMsg, ClientError> {
+        self.charge_rpc();
+        let bytes = msg.to_xdr();
+        let reply_bytes = wire.call(bytes, |b| conn.handle_bytes(&b))?;
+        ReplyMsg::from_xdr(&reply_bytes).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// One sealed round trip over a mount's secure channel.
+    fn sealed_call(&self, mount: &Mount, call: InnerCall) -> Result<InnerReply, ClientError> {
+        let plaintext = call.to_xdr();
+        // Cost model: one user-level crossing into sfscd, a data copy
+        // through the daemon, crypto over the outgoing bytes.
+        self.charge_crossing();
+        self.charge_rpc();
+        self.charge_user_copy(plaintext.len());
+        self.charge_crypto_cost(plaintext.len());
+        let mut channel = mount.channel.lock();
+        let frame = channel.seal(&plaintext)?;
+        let reply_bytes = mount.wire.call(CallMsg::Sealed(frame).to_xdr(), |b| {
+            // Server side: one crossing into sfssd, the data copy through
+            // it, plus the NFS loopback hop.
+            self.charge_crossing();
+            self.charge_rpc();
+            self.charge_server_copy(b.len());
+            mount.conn.handle_bytes(&b)
+        })?;
+        let reply =
+            ReplyMsg::from_xdr(&reply_bytes).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let ReplyMsg::Sealed(sealed) = reply else {
+            return match reply {
+                ReplyMsg::Error(e) => Err(ClientError::Protocol(e)),
+                other => Err(ClientError::Protocol(format!("unexpected reply: {other:?}"))),
+            };
+        };
+        self.charge_user_copy(sealed.len());
+        self.charge_crypto_cost(sealed.len());
+        let plain = channel.open(&sealed)?;
+        drop(channel);
+        let inner =
+            InnerReply::from_xdr(&plain).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        // Apply piggybacked invalidation callbacks.
+        if let InnerReply::Nfs { invalidations, .. } = &inner {
+            if !invalidations.is_empty() {
+                let mut cache = mount.attr_cache.lock();
+                for fh in invalidations {
+                    cache.remove(&fh.0);
+                }
+                let mut access = mount.access_cache.lock();
+                access.retain(|(fh, _, _), _| !invalidations.iter().any(|i| &i.0 == fh));
+            }
+        }
+        Ok(inner)
+    }
+
+    /// Ensures `uid` is authenticated on `mount`; returns the
+    /// authentication number (0 = anonymous).
+    pub fn ensure_auth(&self, mount: &Mount, uid: u32) -> Result<u32, ClientError> {
+        if let Some(&authno) = mount.authnos.lock().get(&uid) {
+            return Ok(authno);
+        }
+        let agent = self.agent(uid);
+        let info = AuthInfo::for_fs(&mount.path.location, mount.path.host_id, mount.session_id);
+        let mut attempt = 0;
+        let authno = loop {
+            let seq = mount.next_seq.fetch_add(1, Ordering::SeqCst);
+            let msg = agent.lock().authenticate(&info, seq, attempt);
+            let Some(msg) = msg else {
+                // "At that point, the user will access the file system
+                // with anonymous permissions."
+                break AUTHNO_ANONYMOUS;
+            };
+            match self.sealed_call(mount, InnerCall::Auth { seq_no: seq, msg })? {
+                InnerReply::AuthGranted { authno, .. } => break authno,
+                InnerReply::AuthDenied { .. } => {
+                    attempt += 1;
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!("bad auth reply: {other:?}")))
+                }
+            }
+        };
+        mount.authnos.lock().insert(uid, authno);
+        Ok(authno)
+    }
+
+    /// Issues one NFS3 call for `uid` over `mount`.
+    pub fn call_nfs(
+        &self,
+        mount: &Mount,
+        uid: u32,
+        req: &Nfs3Request,
+    ) -> Result<Nfs3Reply, ClientError> {
+        let authno = self.ensure_auth(mount, uid)?;
+        let proc = req.proc();
+        let call = InnerCall::Nfs { authno, proc: proc as u32, args: req.encode_args() };
+        match self.sealed_call(mount, call)? {
+            InnerReply::Nfs { results, .. } => {
+                let reply = Nfs3Reply::decode_results(proc, &results)
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                self.harvest_attrs(mount, req, &reply);
+                Ok(reply)
+            }
+            other => Err(ClientError::Protocol(format!("bad NFS reply: {other:?}"))),
+        }
+    }
+
+    /// Feeds leased attributes from a reply into the cache.
+    fn harvest_attrs(&self, mount: &Mount, req: &Nfs3Request, reply: &Nfs3Reply) {
+        if !self.caching.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = self.clock.now();
+        let store = |fh: &FileHandle, post: &PostOpAttr| {
+            if let Some(attr) = post.attr {
+                if post.lease_ns > 0 {
+                    mount.attr_cache.lock().insert(
+                        fh.0.clone(),
+                        CachedAttr { attr, expires: SimTime(now.0 + post.lease_ns) },
+                    );
+                }
+            }
+        };
+        match (req, reply) {
+            (_, Nfs3Reply::Lookup { fh, attr, .. })
+            | (_, Nfs3Reply::Create { fh, attr, .. })
+            | (_, Nfs3Reply::Mkdir { fh, attr, .. })
+            | (_, Nfs3Reply::Symlink { fh, attr, .. }) => store(fh, attr),
+            (Nfs3Request::GetAttr { fh }, Nfs3Reply::GetAttr { attr, lease_ns }) => {
+                store(fh, &PostOpAttr::leased(*attr, *lease_ns))
+            }
+            (Nfs3Request::Read { fh, .. }, Nfs3Reply::Read { attr, .. })
+            | (Nfs3Request::Write { fh, .. }, Nfs3Reply::Write { attr, .. })
+            | (Nfs3Request::SetAttr { fh, .. }, Nfs3Reply::SetAttr { attr }) => store(fh, attr),
+            (_, Nfs3Reply::ReadDir { entries, .. }) => {
+                for e in entries {
+                    if let Some((fh, attr)) = &e.plus {
+                        store(fh, attr);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// GETATTR with the enhanced cache: served locally while the lease is
+    /// valid.
+    pub fn getattr(
+        &self,
+        mount: &Mount,
+        uid: u32,
+        fh: &FileHandle,
+    ) -> Result<Fattr3, ClientError> {
+        if self.caching.load(Ordering::SeqCst) {
+            if let Some(c) = mount.attr_cache.lock().get(&fh.0) {
+                if self.clock.now() < c.expires {
+                    self.attr_hits.fetch_add(1, Ordering::SeqCst);
+                    return Ok(c.attr);
+                }
+            }
+        }
+        self.attr_misses.fetch_add(1, Ordering::SeqCst);
+        match self.call_nfs(mount, uid, &Nfs3Request::GetAttr { fh: fh.clone() })? {
+            Nfs3Reply::GetAttr { attr, .. } => Ok(attr),
+            Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// ACCESS with the enhanced cache.
+    pub fn access(
+        &self,
+        mount: &Mount,
+        uid: u32,
+        fh: &FileHandle,
+        mask: u32,
+    ) -> Result<u32, ClientError> {
+        let key = (fh.0.clone(), uid, mask);
+        if self.caching.load(Ordering::SeqCst) {
+            if let Some(c) = mount.access_cache.lock().get(&key) {
+                if self.clock.now() < c.expires {
+                    self.attr_hits.fetch_add(1, Ordering::SeqCst);
+                    // The granted mask is stashed in the attr's mode field.
+                    return Ok(c.attr.mode);
+                }
+            }
+        }
+        self.attr_misses.fetch_add(1, Ordering::SeqCst);
+        match self.call_nfs(mount, uid, &Nfs3Request::Access { fh: fh.clone(), mask })? {
+            Nfs3Reply::Access { granted, attr } => {
+                if self.caching.load(Ordering::SeqCst) && attr.lease_ns > 0 {
+                    if let Some(mut a) = attr.attr {
+                        a.mode = granted;
+                        mount.access_cache.lock().insert(
+                            key,
+                            CachedAttr {
+                                attr: a,
+                                expires: SimTime(self.clock.now().0 + attr.lease_ns),
+                            },
+                        );
+                    }
+                }
+                Ok(granted)
+            }
+            Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Resolves an absolute `/sfs/...` path for `uid`, automounting and
+    /// following symlinks (with agent interposition for
+    /// non-self-certifying names). Returns the mount, handle, and
+    /// attributes.
+    pub fn resolve(
+        &self,
+        uid: u32,
+        path: &str,
+    ) -> Result<(Arc<Mount>, FileHandle, Fattr3), ClientError> {
+        self.resolve_depth(uid, path.to_string(), 0)
+    }
+
+    fn resolve_depth(
+        &self,
+        uid: u32,
+        path: String,
+        depth: usize,
+    ) -> Result<(Arc<Mount>, FileHandle, Fattr3), ClientError> {
+        if depth > MAX_SYMLINK_DEPTH {
+            return Err(ClientError::SymlinkLoop);
+        }
+        let rest = path
+            .strip_prefix("/sfs/")
+            .ok_or(ClientError::Path(PathError::BadFormat))?;
+        let (first, remainder) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, ""),
+        };
+        // Self-certifying component, or a name the agent must map?
+        let sc_path = match SelfCertifyingPath::parse_dir_name(first) {
+            Ok(p) => p,
+            Err(_) => {
+                // Consult the agent (§2.3). The agent lock must not be
+                // held while we do file I/O on its behalf — resolving a
+                // certification-path directory may recursively mount.
+                let agent = self.agent(uid);
+                let mut target = agent.lock().resolve_link(first);
+                if target.is_none() {
+                    let dirs = agent.lock().cert_paths().to_vec();
+                    for dir in dirs {
+                        let full = format!("{}/{}", dir.trim_end_matches('/'), first);
+                        if let Ok(t) = self.readlink_abs(uid, &full, depth + 1) {
+                            // Cache as an on-the-fly link (§2.3).
+                            agent.lock().create_link(first, &t);
+                            target = Some(t);
+                            break;
+                        }
+                    }
+                }
+                if target.is_none() {
+                    // Last resort: the external-PKI name hook (§2.4).
+                    // (Bind the result first: an `if let` scrutinee's
+                    // lock guard would otherwise live through the body
+                    // and deadlock on the re-lock.)
+                    let hook_target = agent.lock().run_name_hook(first);
+                    if let Some(t) = hook_target {
+                        agent.lock().create_link(first, &t);
+                        target = Some(t);
+                    }
+                }
+                let Some(target) = target else {
+                    return Err(ClientError::Nfs(Status::NoEnt));
+                };
+                return self.resolve_depth(uid, format!("{target}{remainder}"), depth + 1);
+            }
+        };
+        let mount = self.mount(uid, &sc_path)?;
+        let mut cur_fh = mount.root();
+        let mut cur_attr = self.getattr(&mount, uid, &cur_fh)?;
+        let components: Vec<&str> = remainder.split('/').filter(|c| !c.is_empty()).collect();
+        for (i, comp) in components.iter().enumerate() {
+            let reply = self.call_nfs(
+                &mount,
+                uid,
+                &Nfs3Request::Lookup { dir: cur_fh.clone(), name: comp.to_string() },
+            )?;
+            let (fh, attr) = match reply {
+                Nfs3Reply::Lookup { fh, attr, .. } => {
+                    let a = match attr.attr {
+                        Some(a) => a,
+                        None => self.getattr(&mount, uid, &fh)?,
+                    };
+                    (fh, a)
+                }
+                Nfs3Reply::Error { status, .. } => return Err(ClientError::Nfs(status)),
+                other => return Err(ClientError::Protocol(format!("{other:?}"))),
+            };
+            if attr.ftype == FileType::Symlink {
+                let target = self.readlink_fh(&mount, uid, &fh)?;
+                let tail = components[i + 1..].join("/");
+                let next = if target.starts_with('/') {
+                    if tail.is_empty() {
+                        target
+                    } else {
+                        format!("{target}/{tail}")
+                    }
+                } else {
+                    // Relative symlink: resolve against the current
+                    // directory by rebuilding the remaining path.
+                    let prefix: String = components[..i].join("/");
+                    let base = format!("/sfs/{}/{}", sc_path.dir_name(), prefix);
+                    if tail.is_empty() {
+                        format!("{base}/{target}")
+                    } else {
+                        format!("{base}/{target}/{tail}")
+                    }
+                };
+                return self.resolve_depth(uid, next, depth + 1);
+            }
+            cur_fh = fh;
+            cur_attr = attr;
+        }
+        Ok((mount, cur_fh, cur_attr))
+    }
+
+    fn readlink_fh(
+        &self,
+        mount: &Mount,
+        uid: u32,
+        fh: &FileHandle,
+    ) -> Result<String, ClientError> {
+        match self.call_nfs(mount, uid, &Nfs3Request::ReadLink { fh: fh.clone() })? {
+            Nfs3Reply::ReadLink { target, .. } => Ok(target),
+            Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    fn readlink_abs(&self, uid: u32, path: &str, depth: usize) -> Result<String, ClientError> {
+        // Resolve the parent, then LOOKUP + READLINK the leaf without
+        // following it.
+        let (dir, leaf) = match path.rfind('/') {
+            Some(i) => (&path[..i], &path[i + 1..]),
+            None => return Err(ClientError::Path(PathError::BadFormat)),
+        };
+        let (mount, dir_fh, _) = self.resolve_depth(uid, dir.to_string(), depth)?;
+        match self.call_nfs(
+            &mount,
+            uid,
+            &Nfs3Request::Lookup { dir: dir_fh, name: leaf.to_string() },
+        )? {
+            Nfs3Reply::Lookup { fh, .. } => self.readlink_fh(&mount, uid, &fh),
+            Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Reads a symlink target at an absolute path (no following).
+    pub fn readlink(&self, uid: u32, path: &str) -> Result<String, ClientError> {
+        self.readlink_abs(uid, path, 0)
+    }
+
+    /// Checks whether a mounted file system has moved (§2.4 forwarding
+    /// pointers): reads the well-known `/.forward` file and validates the
+    /// signed pointer against the old pathname. Returns the new pathname
+    /// when a valid pointer exists. Callers must consult revocation first
+    /// — a revocation certificate always overrules a forwarding pointer.
+    pub fn check_forwarding(
+        &self,
+        uid: u32,
+        old_path: &SelfCertifyingPath,
+    ) -> Result<Option<SelfCertifyingPath>, ClientError> {
+        let file = format!("{}/.forward", old_path.full_path());
+        let bytes = match self.read_file(uid, &file) {
+            Ok(b) => b,
+            Err(ClientError::Nfs(Status::NoEnt)) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let ptr = sfs_proto::revoke::ForwardingPointer::from_xdr(&bytes)
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if ptr.forwards(old_path) {
+            Ok(Some(ptr.new_path))
+        } else {
+            Err(ClientError::Protocol("invalid forwarding pointer".into()))
+        }
+    }
+
+    /// Lists the `/sfs` directory as seen by `uid`'s agent: only
+    /// referenced self-certifying names plus the agent's dynamic links
+    /// ("the client hides pathnames that have never been accessed under a
+    /// particular agent", §2.3).
+    pub fn list_sfs(&self, uid: u32) -> Vec<String> {
+        let mut names: BTreeSet<String> = self
+            .referenced
+            .lock()
+            .get(&uid)
+            .cloned()
+            .unwrap_or_default();
+        let agent = self.agent(uid);
+        for (name, _) in agent.lock().links() {
+            names.insert(name.to_string());
+        }
+        names.into_iter().collect()
+    }
+
+    /// `pwd` support (§2.4 secure bookmarks): the full self-certifying
+    /// pathname of a mount plus a relative directory.
+    pub fn pwd(&self, mount: &Mount, rel: &str) -> String {
+        if rel.is_empty() {
+            mount.path.full_path()
+        } else {
+            format!("{}/{}", mount.path.full_path(), rel.trim_matches('/'))
+        }
+    }
+
+    // ----- Convenience file operations (what the kernel would issue) ----
+
+    /// Creates (or truncates) a file and writes `data`.
+    pub fn write_file(&self, uid: u32, path: &str, data: &[u8]) -> Result<(), ClientError> {
+        let (dir, leaf) = split_parent(path)?;
+        let (mount, dir_fh, _) = self.resolve(uid, dir)?;
+        let fh = match self.call_nfs(
+            &mount,
+            uid,
+            &Nfs3Request::Lookup { dir: dir_fh.clone(), name: leaf.to_string() },
+        )? {
+            Nfs3Reply::Lookup { fh, .. } => {
+                self.call_nfs(
+                    &mount,
+                    uid,
+                    &Nfs3Request::SetAttr {
+                        fh: fh.clone(),
+                        attrs: Sattr3 { size: Some(0), ..Default::default() },
+                    },
+                )?;
+                fh
+            }
+            Nfs3Reply::Error { status: Status::NoEnt, .. } => {
+                match self.call_nfs(
+                    &mount,
+                    uid,
+                    &Nfs3Request::Create {
+                        dir: dir_fh,
+                        name: leaf.to_string(),
+                        attrs: Sattr3 { mode: Some(0o644), ..Default::default() },
+                    },
+                )? {
+                    Nfs3Reply::Create { fh, .. } => fh,
+                    Nfs3Reply::Error { status, .. } => return Err(ClientError::Nfs(status)),
+                    other => return Err(ClientError::Protocol(format!("{other:?}"))),
+                }
+            }
+            Nfs3Reply::Error { status, .. } => return Err(ClientError::Nfs(status)),
+            other => return Err(ClientError::Protocol(format!("{other:?}"))),
+        };
+        match self.call_nfs(
+            &mount,
+            uid,
+            &Nfs3Request::Write {
+                fh,
+                offset: 0,
+                stable: StableHow::Unstable,
+                data: data.to_vec(),
+            },
+        )? {
+            Nfs3Reply::Write { .. } => Ok(()),
+            Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Reads a whole file.
+    pub fn read_file(&self, uid: u32, path: &str) -> Result<Vec<u8>, ClientError> {
+        let (mount, fh, attr) = self.resolve(uid, path)?;
+        let mut out = Vec::with_capacity(attr.size as usize);
+        let mut offset = 0u64;
+        loop {
+            match self.call_nfs(
+                &mount,
+                uid,
+                &Nfs3Request::Read { fh: fh.clone(), offset, count: 32768 },
+            )? {
+                Nfs3Reply::Read { data, eof, .. } => {
+                    offset += data.len() as u64;
+                    out.extend_from_slice(&data);
+                    if eof || data.is_empty() {
+                        return Ok(out);
+                    }
+                }
+                Nfs3Reply::Error { status, .. } => return Err(ClientError::Nfs(status)),
+                other => return Err(ClientError::Protocol(format!("{other:?}"))),
+            }
+        }
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&self, uid: u32, path: &str) -> Result<(), ClientError> {
+        let (dir, leaf) = split_parent(path)?;
+        let (mount, dir_fh, _) = self.resolve(uid, dir)?;
+        match self.call_nfs(
+            &mount,
+            uid,
+            &Nfs3Request::Mkdir {
+                dir: dir_fh,
+                name: leaf.to_string(),
+                attrs: Sattr3 { mode: Some(0o755), ..Default::default() },
+            },
+        )? {
+            Nfs3Reply::Mkdir { .. } => Ok(()),
+            Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Creates a symlink (the key-management primitive of §2.4).
+    pub fn symlink(&self, uid: u32, path: &str, target: &str) -> Result<(), ClientError> {
+        let (dir, leaf) = split_parent(path)?;
+        let (mount, dir_fh, _) = self.resolve(uid, dir)?;
+        match self.call_nfs(
+            &mount,
+            uid,
+            &Nfs3Request::Symlink {
+                dir: dir_fh,
+                name: leaf.to_string(),
+                target: target.to_string(),
+            },
+        )? {
+            Nfs3Reply::Symlink { .. } => Ok(()),
+            Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Removes a file.
+    pub fn remove(&self, uid: u32, path: &str) -> Result<(), ClientError> {
+        let (dir, leaf) = split_parent(path)?;
+        let (mount, dir_fh, _) = self.resolve(uid, dir)?;
+        match self.call_nfs(
+            &mount,
+            uid,
+            &Nfs3Request::Remove { dir: dir_fh, name: leaf.to_string() },
+        )? {
+            Nfs3Reply::Remove { .. } => Ok(()),
+            Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Lists a directory (names only).
+    pub fn readdir(&self, uid: u32, path: &str) -> Result<Vec<String>, ClientError> {
+        let (mount, fh, _) = self.resolve(uid, path)?;
+        let mut names = Vec::new();
+        let mut cookie = 0;
+        loop {
+            match self.call_nfs(
+                &mount,
+                uid,
+                &Nfs3Request::ReadDir { dir: fh.clone(), cookie, count: 64, plus: false },
+            )? {
+                Nfs3Reply::ReadDir { entries, eof, .. } => {
+                    for e in entries {
+                        cookie = e.cookie;
+                        names.push(e.name);
+                    }
+                    if eof {
+                        return Ok(names);
+                    }
+                }
+                Nfs3Reply::Error { status, .. } => return Err(ClientError::Nfs(status)),
+                other => return Err(ClientError::Protocol(format!("{other:?}"))),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SfsClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SfsClient")
+            .field("mounts", &self.mounts.lock().len())
+            .field("agents", &self.agents.lock().len())
+            .finish()
+    }
+}
+
+fn split_parent(path: &str) -> Result<(&str, &str), ClientError> {
+    let path = path.trim_end_matches('/');
+    match path.rfind('/') {
+        Some(i) if i > 0 => Ok((&path[..i], &path[i + 1..])),
+        _ => Err(ClientError::Path(PathError::BadFormat)),
+    }
+}

@@ -1,0 +1,138 @@
+//! `libsfs`: user/group name mapping (§3.3).
+//!
+//! "The NFS protocol uses numeric user and group IDs … These numbers have
+//! no meaning outside of the local administrative realm. A small C
+//! library, libsfs, allows programs to query file servers (through the
+//! client) for mappings of numeric IDs to and from human-readable names.
+//! We adopt the convention that user and group names prefixed with `%` are
+//! relative to the remote file server. When both the ID and name of a user
+//! or group are the same on the client and server …, libsfs detects this
+//! situation and omits the percent sign."
+
+use std::collections::BTreeMap;
+
+/// A uid/gid ↔ name table for one realm (client machine or file server).
+#[derive(Debug, Clone, Default)]
+pub struct IdTable {
+    users: BTreeMap<u32, String>,
+    groups: BTreeMap<u32, String>,
+}
+
+impl IdTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a user mapping.
+    pub fn add_user(&mut self, uid: u32, name: &str) -> &mut Self {
+        self.users.insert(uid, name.to_string());
+        self
+    }
+
+    /// Adds a group mapping.
+    pub fn add_group(&mut self, gid: u32, name: &str) -> &mut Self {
+        self.groups.insert(gid, name.to_string());
+        self
+    }
+
+    /// Looks up a user name.
+    pub fn user_name(&self, uid: u32) -> Option<&str> {
+        self.users.get(&uid).map(|s| s.as_str())
+    }
+
+    /// Looks up a group name.
+    pub fn group_name(&self, gid: u32) -> Option<&str> {
+        self.groups.get(&gid).map(|s| s.as_str())
+    }
+
+    /// Reverse-maps a user name to a uid.
+    pub fn user_id(&self, name: &str) -> Option<u32> {
+        self.users.iter().find(|(_, n)| n.as_str() == name).map(|(id, _)| *id)
+    }
+}
+
+/// Formats a remote file's owner for display on this client: `%name` when
+/// the remote realm's mapping differs from the local one, plain `name`
+/// when both the ID and the name agree, and the bare number when the
+/// remote server has no mapping.
+pub fn display_user(local: &IdTable, remote: &IdTable, uid: u32) -> String {
+    match remote.user_name(uid) {
+        None => uid.to_string(),
+        Some(remote_name) => {
+            if local.user_name(uid) == Some(remote_name) {
+                remote_name.to_string()
+            } else {
+                format!("%{remote_name}")
+            }
+        }
+    }
+}
+
+/// Group analogue of [`display_user`].
+pub fn display_group(local: &IdTable, remote: &IdTable, gid: u32) -> String {
+    match remote.group_name(gid) {
+        None => gid.to_string(),
+        Some(remote_name) => {
+            if local.group_name(gid) == Some(remote_name) {
+                remote_name.to_string()
+            } else {
+                format!("%{remote_name}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local() -> IdTable {
+        let mut t = IdTable::new();
+        t.add_user(1000, "alice").add_user(1001, "bob");
+        t.add_group(100, "staff");
+        t
+    }
+
+    #[test]
+    fn same_realm_omits_percent() {
+        // "SFS running on a LAN": ids and names agree.
+        let l = local();
+        let r = local();
+        assert_eq!(display_user(&l, &r, 1000), "alice");
+        assert_eq!(display_group(&l, &r, 100), "staff");
+    }
+
+    #[test]
+    fn remote_realm_gets_percent() {
+        let l = local();
+        let mut r = IdTable::new();
+        r.add_user(1000, "dm"); // Same uid, different person remotely.
+        assert_eq!(display_user(&l, &r, 1000), "%dm");
+    }
+
+    #[test]
+    fn unmapped_id_prints_number() {
+        let l = local();
+        let r = IdTable::new();
+        assert_eq!(display_user(&l, &r, 4242), "4242");
+        assert_eq!(display_group(&l, &r, 4242), "4242");
+    }
+
+    #[test]
+    fn same_name_different_uid_still_percent() {
+        // The *pair* must match: remote "alice" under a different uid is
+        // a different principal as far as the wire protocol goes.
+        let l = local();
+        let mut r = IdTable::new();
+        r.add_user(2000, "alice");
+        assert_eq!(display_user(&l, &r, 2000), "%alice");
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let l = local();
+        assert_eq!(l.user_id("bob"), Some(1001));
+        assert_eq!(l.user_id("carol"), None);
+    }
+}

@@ -1,0 +1,200 @@
+//! The read-only client (§2.4, §3.2).
+//!
+//! "Implementing the read-only client and server required no changes to
+//! existing SFS code; only configuration files had to be changed." This
+//! module is that subordinate client daemon: it speaks the read-only
+//! dialect (cleartext fetches of a signed root and content-addressed
+//! blocks), verifies everything against the self-certifying pathname's
+//! key, and caches verified blocks — replicas may be arbitrarily
+//! malicious, so nothing unverified is ever returned.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use sfs_crypto::rabin::RabinPublicKey;
+use sfs_crypto::sha1::sha1;
+use sfs_proto::keyneg::{KeyNegRequest, KeyNegServerReply};
+use sfs_proto::pathname::SelfCertifyingPath;
+use sfs_proto::readonly::{Digest, RoNode, SignedRoot};
+use sfs_sim::{Wire, WireError};
+use sfs_xdr::Xdr;
+
+use crate::server::ServerConn;
+use crate::wire::{CallMsg, Dialect, ReplyMsg, Service};
+
+/// Errors from the read-only client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoClientError {
+    /// Network failure.
+    Net(WireError),
+    /// The server's key does not match the pathname (self-certification
+    /// failed).
+    HostIdMismatch,
+    /// The signed root failed verification.
+    BadRootSignature,
+    /// A served block did not hash to its digest (lying replica).
+    DigestMismatch,
+    /// Path or block not present.
+    NotFound,
+    /// Unexpected protocol reply.
+    Protocol(String),
+}
+
+impl std::fmt::Display for RoClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoClientError::Net(e) => write!(f, "network: {e}"),
+            RoClientError::HostIdMismatch => write!(f, "server key does not match HostID"),
+            RoClientError::BadRootSignature => write!(f, "signed root failed verification"),
+            RoClientError::DigestMismatch => write!(f, "block does not match digest"),
+            RoClientError::NotFound => write!(f, "no such file"),
+            RoClientError::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RoClientError {}
+
+impl From<WireError> for RoClientError {
+    fn from(e: WireError) -> Self {
+        RoClientError::Net(e)
+    }
+}
+
+/// A mounted read-only file system.
+pub struct RoMount {
+    path: SelfCertifyingPath,
+    wire: Wire,
+    conn: ServerConn,
+    root: SignedRoot,
+    /// Verified blocks, by digest. Content addressing makes this cache
+    /// trivially shareable between mutually distrustful users — a digest
+    /// names exactly one value.
+    cache: Mutex<HashMap<Digest, RoNode>>,
+}
+
+impl RoMount {
+    /// Connects to `path` over `wire`/`conn` using the read-only dialect,
+    /// certifying the server key against the HostID and verifying the
+    /// signed root.
+    pub fn connect(
+        path: SelfCertifyingPath,
+        wire: Wire,
+        conn: ServerConn,
+    ) -> Result<RoMount, RoClientError> {
+        let hello = CallMsg::Hello {
+            req: KeyNegRequest { location: path.location.clone(), host_id: path.host_id },
+            service: Service::File,
+            dialect: Dialect::ReadOnly,
+            version: 1,
+            extensions: String::new(),
+        };
+        let reply = call(&wire, &conn, hello)?;
+        let key = match reply {
+            ReplyMsg::ServerReply(KeyNegServerReply::ServerKey(k)) => {
+                RabinPublicKey::from_bytes(&k)
+                    .map_err(|_| RoClientError::HostIdMismatch)?
+            }
+            other => return Err(RoClientError::Protocol(format!("{other:?}"))),
+        };
+        if !path.certifies(&key) {
+            return Err(RoClientError::HostIdMismatch);
+        }
+        let root = match call(&wire, &conn, CallMsg::RoGetRoot)? {
+            ReplyMsg::RoRoot(root) => root,
+            other => return Err(RoClientError::Protocol(format!("{other:?}"))),
+        };
+        if !root.verify(&key) {
+            return Err(RoClientError::BadRootSignature);
+        }
+        Ok(RoMount { path, wire, conn, root, cache: Mutex::new(HashMap::new()) })
+    }
+
+    /// The mounted pathname.
+    pub fn path(&self) -> &SelfCertifyingPath {
+        &self.path
+    }
+
+    /// The verified snapshot version.
+    pub fn version(&self) -> u64 {
+        self.root.version
+    }
+
+    /// Network round trips so far.
+    pub fn round_trips(&self) -> u64 {
+        self.wire.round_trips()
+    }
+
+    /// Fetches and verifies the block named by `digest`.
+    fn fetch(&self, digest: Digest) -> Result<RoNode, RoClientError> {
+        if let Some(node) = self.cache.lock().get(&digest) {
+            return Ok(node.clone());
+        }
+        let block = match call(&self.wire, &self.conn, CallMsg::RoGetBlock(digest))? {
+            ReplyMsg::RoBlock(b) => b,
+            ReplyMsg::Error(_) => return Err(RoClientError::NotFound),
+            other => return Err(RoClientError::Protocol(format!("{other:?}"))),
+        };
+        // The integrity check: the block must hash to the digest that
+        // named it, no matter who served it.
+        if sha1(&block) != digest {
+            return Err(RoClientError::DigestMismatch);
+        }
+        let node = RoNode::from_xdr(&block)
+            .map_err(|e| RoClientError::Protocol(e.to_string()))?;
+        self.cache.lock().insert(digest, node.clone());
+        Ok(node)
+    }
+
+    /// Resolves a `/`-separated path to a node.
+    pub fn resolve(&self, path: &str) -> Result<RoNode, RoClientError> {
+        let mut node = self.fetch(self.root.root_digest)?;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            let RoNode::Dir(entries) = &node else {
+                return Err(RoClientError::NotFound);
+            };
+            let (_, _, digest) = entries
+                .iter()
+                .find(|(name, _, _)| name == comp)
+                .ok_or(RoClientError::NotFound)?;
+            node = self.fetch(*digest)?;
+        }
+        Ok(node)
+    }
+
+    /// Reads a whole file.
+    pub fn read_file(&self, path: &str) -> Result<Vec<u8>, RoClientError> {
+        match self.resolve(path)? {
+            RoNode::File(data) => Ok(data),
+            _ => Err(RoClientError::NotFound),
+        }
+    }
+
+    /// Reads a symlink target (the certification-authority primitive:
+    /// CAs are "ordinary file systems serving symbolic links").
+    pub fn readlink(&self, path: &str) -> Result<String, RoClientError> {
+        match self.resolve(path)? {
+            RoNode::Symlink(target) => Ok(target),
+            _ => Err(RoClientError::NotFound),
+        }
+    }
+
+    /// Lists a directory.
+    pub fn readdir(&self, path: &str) -> Result<Vec<String>, RoClientError> {
+        match self.resolve(path)? {
+            RoNode::Dir(entries) => Ok(entries.into_iter().map(|(n, _, _)| n).collect()),
+            _ => Err(RoClientError::NotFound),
+        }
+    }
+}
+
+impl std::fmt::Debug for RoMount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RoMount({} v{})", self.path.dir_name(), self.root.version)
+    }
+}
+
+fn call(wire: &Wire, conn: &ServerConn, msg: CallMsg) -> Result<ReplyMsg, RoClientError> {
+    let bytes = wire.call(msg.to_xdr(), |b| conn.handle_bytes(&b))?;
+    ReplyMsg::from_xdr(&bytes).map_err(|e| RoClientError::Protocol(e.to_string()))
+}

@@ -1,0 +1,713 @@
+//! The SFS server: `sfssd` dispatch plus the read-write and read-only
+//! servers (§3, §3.2, §3.3).
+//!
+//! A [`SfsServer`] owns the long-lived key, the exported file system (via
+//! an embedded NFS3 engine — "the server acts as an NFS client, passing
+//! the request to an NFS server on the same machine"), and the
+//! authserver. Each client TCP connection becomes a [`ServerConn`] state
+//! machine: `sfssd` inspects the first message and routes it to the
+//! read-write protocol, the read-only dialect, or the authserver's SRP
+//! service, exactly as §3.2's connection hand-off describes.
+//!
+//! NFS file handles never cross the wire raw: "SFS servers … make their
+//! file handles publicly available to anonymous clients. SFS therefore
+//! generates its file handles by adding redundancy to NFS handles and
+//! encrypting them in CBC mode with a 20-byte Blowfish key" (§3.3).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sfs_bignum::Nat;
+use sfs_crypto::blowfish::Blowfish;
+use sfs_crypto::rabin::RabinPrivateKey;
+use sfs_crypto::sha1::sha1_concat;
+use sfs_crypto::srp::SrpServer;
+use sfs_crypto::SfsPrg;
+use sfs_nfs3::proto::{FileHandle, Nfs3Reply, Nfs3Request, Proc, Status};
+use sfs_nfs3::Nfs3Server;
+use sfs_proto::channel::SecureChannelEnd;
+use sfs_proto::keyneg::{server_process_client_keys, KeyNegServerReply};
+use sfs_proto::pathname::SelfCertifyingPath;
+use sfs_proto::readonly::RoDatabase;
+use sfs_proto::revoke::{ForwardingPointer, RevocationCert};
+use sfs_proto::userauth::{AuthInfo, SeqWindow, AUTHNO_ANONYMOUS};
+use sfs_vfs::{Credentials, Vfs};
+use sfs_xdr::{Xdr, XdrEncoder};
+
+use crate::authserver::AuthServer;
+use crate::config::DispatchTable;
+use crate::sealbox;
+use crate::wire::{CallMsg, Dialect, InnerCall, InnerReply, ReplyMsg, Service};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// DNS name or IP address of this server.
+    pub location: String,
+    /// Lease duration for the enhanced caching extension, ns.
+    pub lease_ns: u64,
+    /// `sfssd`'s connection-dispatch table (§3.2).
+    pub dispatch: DispatchTable,
+}
+
+impl ServerConfig {
+    /// A config with the paper's defaults (leases on, standard dispatch
+    /// table).
+    pub fn new(location: &str) -> Self {
+        ServerConfig {
+            location: location.to_string(),
+            lease_ns: 30_000_000_000,
+            dispatch: DispatchTable::standard(),
+        }
+    }
+}
+
+/// Applies `f` to every file handle in an NFS3 request.
+fn map_request_handles(
+    req: Nfs3Request,
+    f: &mut dyn FnMut(FileHandle) -> Result<FileHandle, Status>,
+) -> Result<Nfs3Request, Status> {
+    use Nfs3Request as R;
+    Ok(match req {
+        R::Null => R::Null,
+        R::GetAttr { fh } => R::GetAttr { fh: f(fh)? },
+        R::SetAttr { fh, attrs } => R::SetAttr { fh: f(fh)?, attrs },
+        R::Lookup { dir, name } => R::Lookup { dir: f(dir)?, name },
+        R::Access { fh, mask } => R::Access { fh: f(fh)?, mask },
+        R::ReadLink { fh } => R::ReadLink { fh: f(fh)? },
+        R::Read { fh, offset, count } => R::Read { fh: f(fh)?, offset, count },
+        R::Write { fh, offset, stable, data } => R::Write { fh: f(fh)?, offset, stable, data },
+        R::Create { dir, name, attrs } => R::Create { dir: f(dir)?, name, attrs },
+        R::Mkdir { dir, name, attrs } => R::Mkdir { dir: f(dir)?, name, attrs },
+        R::Symlink { dir, name, target } => R::Symlink { dir: f(dir)?, name, target },
+        R::Remove { dir, name } => R::Remove { dir: f(dir)?, name },
+        R::Rmdir { dir, name } => R::Rmdir { dir: f(dir)?, name },
+        R::Rename { from_dir, from_name, to_dir, to_name } => R::Rename {
+            from_dir: f(from_dir)?,
+            from_name,
+            to_dir: f(to_dir)?,
+            to_name,
+        },
+        R::Link { fh, dir, name } => R::Link { fh: f(fh)?, dir: f(dir)?, name },
+        R::ReadDir { dir, cookie, count, plus } => {
+            R::ReadDir { dir: f(dir)?, cookie, count, plus }
+        }
+        R::FsStat { root } => R::FsStat { root: f(root)? },
+        R::FsInfo { root } => R::FsInfo { root: f(root)? },
+        R::PathConf { fh } => R::PathConf { fh: f(fh)? },
+        R::Commit { fh, offset, count } => R::Commit { fh: f(fh)?, offset, count },
+    })
+}
+
+/// Applies `f` to every file handle in an NFS3 reply.
+fn map_reply_handles(
+    reply: Nfs3Reply,
+    f: &mut dyn FnMut(FileHandle) -> FileHandle,
+) -> Nfs3Reply {
+    use Nfs3Reply as P;
+    match reply {
+        P::Lookup { fh, attr, dir_attr } => P::Lookup { fh: f(fh), attr, dir_attr },
+        P::Create { fh, attr, dir_attr } => P::Create { fh: f(fh), attr, dir_attr },
+        P::Mkdir { fh, attr, dir_attr } => P::Mkdir { fh: f(fh), attr, dir_attr },
+        P::Symlink { fh, attr, dir_attr } => P::Symlink { fh: f(fh), attr, dir_attr },
+        P::ReadDir { entries, eof, dir_attr } => P::ReadDir {
+            entries: entries
+                .into_iter()
+                .map(|mut e| {
+                    e.plus = e.plus.map(|(fh, a)| (f(fh), a));
+                    e
+                })
+                .collect(),
+            eof,
+            dir_attr,
+        },
+        other => other,
+    }
+}
+
+/// The SFS server.
+pub struct SfsServer {
+    config: ServerConfig,
+    key: RabinPrivateKey,
+    path: SelfCertifyingPath,
+    nfs: Nfs3Server,
+    auth: Arc<AuthServer>,
+    fh_cipher: Blowfish,
+    rng: Mutex<SfsPrg>,
+    /// When set, served in response to hellos for the revoked HostID.
+    revocation: Mutex<Option<RevocationCert>>,
+    /// Published read-only database, when this server exports the
+    /// read-only dialect.
+    ro_db: Mutex<Option<Arc<RoDatabase>>>,
+    /// Lease invalidations pending delivery (piggybacked on replies).
+    invalidations: Arc<Mutex<Vec<FileHandle>>>,
+}
+
+impl SfsServer {
+    /// Creates a server exporting `vfs`.
+    pub fn new(
+        config: ServerConfig,
+        key: RabinPrivateKey,
+        vfs: Vfs,
+        auth: Arc<AuthServer>,
+        rng: SfsPrg,
+    ) -> Arc<Self> {
+        let path = SelfCertifyingPath::for_server(&config.location, key.public());
+        auth.set_server_path(path.clone());
+        let nfs = Nfs3Server::new(vfs).with_leases(config.lease_ns);
+        // The file-handle key is derived from the server key, so handles
+        // stay stable across restarts.
+        let fh_key = sha1_concat(&[b"SFS-fh-key", &key.to_bytes()]);
+        let fh_cipher = Blowfish::new(&fh_key);
+        let invalidations: Arc<Mutex<Vec<FileHandle>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = invalidations.clone();
+        nfs.set_invalidation_sink(Arc::new(move |fh| sink.lock().push(fh)));
+        Arc::new(SfsServer {
+            config,
+            key,
+            path,
+            nfs,
+            auth,
+            fh_cipher,
+            rng: Mutex::new(rng),
+            revocation: Mutex::new(None),
+            ro_db: Mutex::new(None),
+            invalidations,
+        })
+    }
+
+    /// The server's self-certifying pathname.
+    pub fn path(&self) -> &SelfCertifyingPath {
+        &self.path
+    }
+
+    /// The server's private key (owner operations: revocation,
+    /// forwarding, read-only publication).
+    pub fn private_key(&self) -> &RabinPrivateKey {
+        &self.key
+    }
+
+    /// The exported file system.
+    pub fn vfs(&self) -> &Vfs {
+        self.nfs.vfs()
+    }
+
+    /// The attached authserver.
+    pub fn authserver(&self) -> &Arc<AuthServer> {
+        &self.auth
+    }
+
+    /// The root file handle in SFS (encrypted) form.
+    pub fn root_handle(&self) -> FileHandle {
+        self.encrypt_handle(self.nfs.root_handle())
+    }
+
+    /// Revokes this server's pathname: subsequent hellos for the old
+    /// HostID receive the certificate.
+    pub fn install_revocation(&self, cert: RevocationCert) {
+        *self.revocation.lock() = Some(cert);
+    }
+
+    /// Installs a forwarding pointer (§2.4): signs a pointer from this
+    /// server's pathname to `new_path` and serves it as the well-known
+    /// `/.forward` file, so clients can follow the move. (If the key was
+    /// *compromised* rather than moved, use [`Self::install_revocation`]
+    /// instead — "a revocation certificate always overrules a forwarding
+    /// pointer".)
+    pub fn install_forwarding(&self, new_path: SelfCertifyingPath) -> ForwardingPointer {
+        let ptr = ForwardingPointer::issue(&self.key, &self.config.location, new_path);
+        let vfs = self.nfs.vfs();
+        let root_creds = Credentials::root();
+        let root = vfs.root();
+        vfs.write_file(&root_creds, root, ".forward", &ptr.to_xdr())
+            .expect("forwarding file");
+        ptr
+    }
+
+    /// Publishes (or refreshes) the read-only export by snapshotting the
+    /// current file system. The signature happens here, once — connecting
+    /// clients cost no further private-key operations.
+    pub fn publish_read_only(&self, version: u64) -> Arc<RoDatabase> {
+        let db = Arc::new(RoDatabase::publish(self.nfs.vfs(), &self.key, version));
+        *self.ro_db.lock() = Some(db.clone());
+        db
+    }
+
+    /// The current read-only database (for replication onto untrusted
+    /// hosts).
+    pub fn read_only_db(&self) -> Option<Arc<RoDatabase>> {
+        self.ro_db.lock().clone()
+    }
+
+    /// Encrypts an NFS handle into its public SFS form.
+    pub fn encrypt_handle(&self, fh: FileHandle) -> FileHandle {
+        let mut buf = fh.0;
+        let red = sha1_concat(&[b"SFS-fh-redundancy", &buf]);
+        buf.extend_from_slice(&red[..8]);
+        // 16 + 8 = 24 bytes = 3 Blowfish blocks.
+        self.fh_cipher.cbc_encrypt(&mut buf);
+        FileHandle(buf)
+    }
+
+    /// Decrypts and validates an SFS handle back to NFS form.
+    pub fn decrypt_handle(&self, fh: &FileHandle) -> Result<FileHandle, Status> {
+        if fh.0.len() != 24 {
+            return Err(Status::BadHandle);
+        }
+        let mut buf = fh.0.clone();
+        self.fh_cipher.cbc_decrypt(&mut buf);
+        let (inner, red) = buf.split_at(16);
+        let expect = sha1_concat(&[b"SFS-fh-redundancy", inner]);
+        if red != &expect[..8] {
+            return Err(Status::BadHandle);
+        }
+        Ok(FileHandle(inner.to_vec()))
+    }
+
+    /// Opens a new connection (one per client TCP connection).
+    pub fn accept(self: &Arc<Self>) -> ServerConn {
+        ServerConn { server: self.clone(), state: Mutex::new(ConnState::Idle) }
+    }
+}
+
+impl std::fmt::Debug for SfsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SfsServer")
+            .field("location", &self.config.location)
+            .field("path", &self.path.dir_name())
+            .finish()
+    }
+}
+
+struct Established {
+    channel: SecureChannelEnd,
+    session_id: [u8; 20],
+    authnos: HashMap<u32, (String, Credentials)>,
+    next_authno: u32,
+    seqwin: SeqWindow,
+}
+
+enum ConnState {
+    /// Nothing received yet; `sfssd` will route on the first message.
+    Idle,
+    /// Read-write hello done, awaiting the client's key-negotiation
+    /// message.
+    AwaitClientKeys,
+    /// Secure channel up.
+    Established(Box<Established>),
+    /// Read-only dialect selected.
+    ReadOnly,
+    /// SRP handshake in progress.
+    SrpAwaitFinish {
+        user: String,
+        a_pub: Nat,
+        srp: Option<SrpServer>,
+    },
+}
+
+/// One client connection's server-side state machine.
+pub struct ServerConn {
+    server: Arc<SfsServer>,
+    state: Mutex<ConnState>,
+}
+
+impl ServerConn {
+    /// The server behind this connection.
+    pub fn server(&self) -> &Arc<SfsServer> {
+        &self.server
+    }
+
+    /// Processes one wire message (the raw-bytes entry point used by the
+    /// simulated network).
+    pub fn handle_bytes(&self, bytes: &[u8]) -> Vec<u8> {
+        let reply = match CallMsg::from_xdr(bytes) {
+            Ok(msg) => self.handle(msg),
+            Err(e) => ReplyMsg::Error(format!("unparseable message: {e}")),
+        };
+        reply.to_xdr()
+    }
+
+    /// Processes one decoded wire message.
+    pub fn handle(&self, msg: CallMsg) -> ReplyMsg {
+        let mut state = self.state.lock();
+        match msg {
+            CallMsg::Hello { req, service, dialect, version, extensions } => {
+                // `sfssd` hands the connection to a subsidiary daemon per
+                // the configured dispatch table (§3.2).
+                let Some(_daemon) =
+                    self.server.config.dispatch.dispatch(service, dialect, version, &extensions)
+                else {
+                    return ReplyMsg::Error(format!(
+                        "no daemon configured for service {service:?} dialect {dialect:?}                          version {version} extensions {extensions:?}"
+                    ));
+                };
+                if service != Service::File {
+                    return ReplyMsg::Error("authserver is reached via SRP messages".into());
+                }
+                // Serve a revocation certificate when one matches the
+                // requested HostID (§2.6: "not a reliable means of
+                // distributing revocation certificates, but it may help
+                // get the word out fast").
+                if let Some(cert) = &*self.server.revocation.lock() {
+                    if cert.host_id().map(|h| h == req.host_id).unwrap_or(false) {
+                        return ReplyMsg::ServerReply(KeyNegServerReply::Revoked(cert.clone()));
+                    }
+                }
+                match dialect {
+                    Dialect::ReadWrite => {
+                        *state = ConnState::AwaitClientKeys;
+                    }
+                    Dialect::ReadOnly => {
+                        *state = ConnState::ReadOnly;
+                    }
+                }
+                ReplyMsg::ServerReply(KeyNegServerReply::ServerKey(
+                    self.server.key.public().to_bytes(),
+                ))
+            }
+            CallMsg::ClientKeys(ck) => {
+                if !matches!(*state, ConnState::AwaitClientKeys) {
+                    return ReplyMsg::Error("key negotiation out of order".into());
+                }
+                let mut rng = self.server.rng.lock();
+                match server_process_client_keys(&self.server.key, &ck, &mut *rng) {
+                    Ok((keys, msg4)) => {
+                        let est = Established {
+                            channel: SecureChannelEnd::server(&keys),
+                            session_id: keys.session_id,
+                            authnos: HashMap::new(),
+                            next_authno: 1,
+                            seqwin: SeqWindow::new(32),
+                        };
+                        *state = ConnState::Established(Box::new(est));
+                        ReplyMsg::ServerKeys(msg4)
+                    }
+                    Err(e) => ReplyMsg::Error(format!("key negotiation failed: {e}")),
+                }
+            }
+            CallMsg::Sealed(frame) => {
+                let ConnState::Established(est) = &mut *state else {
+                    return ReplyMsg::Error("no secure channel".into());
+                };
+                let plaintext = match est.channel.open(&frame) {
+                    Ok(p) => p,
+                    Err(e) => return ReplyMsg::Error(format!("channel failure: {e}")),
+                };
+                let call = match InnerCall::from_xdr(&plaintext) {
+                    Ok(c) => c,
+                    Err(e) => return ReplyMsg::Error(format!("bad inner call: {e}")),
+                };
+                let reply = self.handle_inner(est, call);
+                match est.channel.seal(&reply.to_xdr()) {
+                    Ok(sealed) => ReplyMsg::Sealed(sealed),
+                    Err(e) => ReplyMsg::Error(format!("channel failure: {e}")),
+                }
+            }
+            CallMsg::RoGetRoot => {
+                if !matches!(*state, ConnState::ReadOnly) {
+                    return ReplyMsg::Error("not a read-only connection".into());
+                }
+                match self.server.ro_db.lock().as_ref() {
+                    Some(db) => ReplyMsg::RoRoot(db.root.clone()),
+                    None => ReplyMsg::Error("no read-only export".into()),
+                }
+            }
+            CallMsg::RoGetBlock(digest) => {
+                if !matches!(*state, ConnState::ReadOnly) {
+                    return ReplyMsg::Error("not a read-only connection".into());
+                }
+                let db = self.server.ro_db.lock().clone();
+                match db.as_ref().and_then(|db| db.fetch_raw(&digest).ok()) {
+                    Some(block) => ReplyMsg::RoBlock(block.to_vec()),
+                    None => ReplyMsg::Error("no such block".into()),
+                }
+            }
+            CallMsg::SrpStart { user, a_pub } => {
+                let mut rng = self.server.rng.lock();
+                match self.server.auth.srp_start(&user, &mut *rng) {
+                    Some((srp, salt, b_pub)) => {
+                        let (ekb_salt, cost) = self
+                            .server
+                            .auth
+                            .password_params(&user)
+                            .expect("srp_start implies params");
+                        *state = ConnState::SrpAwaitFinish {
+                            user,
+                            a_pub: Nat::from_bytes_be(&a_pub),
+                            srp: Some(srp),
+                        };
+                        ReplyMsg::SrpChallenge {
+                            salt,
+                            b_pub: b_pub.to_bytes_be(),
+                            ekb_salt: ekb_salt.to_vec(),
+                            cost,
+                        }
+                    }
+                    // A real deployment would fake a challenge to avoid
+                    // leaking which accounts exist; we keep the error
+                    // explicit for debuggability.
+                    None => ReplyMsg::Error("unknown user".into()),
+                }
+            }
+            CallMsg::SrpFinish { m1 } => {
+                let ConnState::SrpAwaitFinish { user, a_pub, srp } = &mut *state else {
+                    return ReplyMsg::Error("no SRP handshake in progress".into());
+                };
+                let Some(srp_server) = srp.take() else {
+                    return ReplyMsg::Error("SRP handshake already consumed".into());
+                };
+                match srp_server.process(a_pub, &m1) {
+                    Ok(session) => {
+                        let (path, blob) = self.server.auth.srp_payload(user);
+                        let mut enc = XdrEncoder::new();
+                        path.encode(&mut enc);
+                        blob.encode(&mut enc);
+                        let sealed = sealbox::seal(&session.key, enc.bytes());
+                        ReplyMsg::SrpDone { m2: session.m2.to_vec(), sealed_payload: sealed }
+                    }
+                    Err(e) => ReplyMsg::Error(format!("SRP failed: {e}")),
+                }
+            }
+        }
+    }
+
+    fn handle_inner(&self, est: &mut Established, call: InnerCall) -> InnerReply {
+        match call {
+            InnerCall::Auth { seq_no, msg } => {
+                // The server recomputes the expected AuthID for *this*
+                // session; a request signed for another session cannot
+                // match.
+                let info = AuthInfo::for_fs(
+                    &self.server.config.location,
+                    self.server.path.host_id,
+                    est.session_id,
+                );
+                if !est.seqwin.accept(seq_no) {
+                    return InnerReply::AuthDenied { seq_no };
+                }
+                match self.server.auth.validate(&msg, &info.auth_id(), seq_no) {
+                    Ok((user, creds)) => {
+                        let authno = est.next_authno;
+                        est.next_authno += 1;
+                        est.authnos.insert(authno, (user, creds));
+                        InnerReply::AuthGranted { seq_no, authno }
+                    }
+                    Err(_) => InnerReply::AuthDenied { seq_no },
+                }
+            }
+            InnerCall::Mount => InnerReply::MountReply { root: self.server.root_handle() },
+            InnerCall::Nfs { authno, proc, args } => {
+                let creds = if authno == AUTHNO_ANONYMOUS {
+                    Credentials::anonymous()
+                } else {
+                    match est.authnos.get(&authno) {
+                        Some((_, creds)) => creds.clone(),
+                        None => Credentials::anonymous(),
+                    }
+                };
+                let results = self.dispatch_nfs(&creds, proc, &args);
+                // Piggyback pending invalidation callbacks, in SFS handle
+                // form.
+                let pending: Vec<FileHandle> = self
+                    .server
+                    .invalidations
+                    .lock()
+                    .drain(..)
+                    .map(|fh| self.server.encrypt_handle(fh))
+                    .collect();
+                InnerReply::Nfs { results, invalidations: pending }
+            }
+        }
+    }
+
+    fn dispatch_nfs(&self, creds: &Credentials, proc: u32, args: &[u8]) -> Vec<u8> {
+        let err = |status: Status| {
+            Nfs3Reply::Error { status, dir_attr: Default::default() }.encode_results()
+        };
+        let Some(proc) = Proc::from_u32(proc) else {
+            return err(Status::NotSupp);
+        };
+        let Ok(req) = Nfs3Request::decode_args(proc, args) else {
+            return err(Status::Inval);
+        };
+        // Translate public SFS handles to private NFS handles.
+        let req = match map_request_handles(req, &mut |fh| self.server.decrypt_handle(&fh)) {
+            Ok(r) => r,
+            Err(status) => return err(status),
+        };
+        let reply = self.nfs_relay(creds, &req);
+        // Translate handles in the reply back to SFS form.
+        let reply = map_reply_handles(reply, &mut |fh| self.server.encrypt_handle(fh));
+        reply.encode_results()
+    }
+
+    /// The NFS loopback hop: "the server modifies requests slightly and
+    /// tags them with appropriate credentials. Finally, the server acts as
+    /// an NFS client, passing the request to an NFS server on the same
+    /// machine."
+    fn nfs_relay(&self, creds: &Credentials, req: &Nfs3Request) -> Nfs3Reply {
+        self.server.nfs.handle(creds, req)
+    }
+}
+
+impl std::fmt::Debug for ServerConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServerConn({})", self.server.config.location)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_crypto::srp::SrpGroup;
+    use sfs_sim::SimClock;
+    use std::sync::OnceLock;
+
+    fn test_key() -> RabinPrivateKey {
+        static KEY: OnceLock<RabinPrivateKey> = OnceLock::new();
+        KEY.get_or_init(|| {
+            let mut rng = sfs_bignum::XorShiftSource::new(0xF00D);
+            sfs_crypto::rabin::generate_keypair(768, &mut rng)
+        })
+        .clone()
+    }
+
+    fn srp_group() -> SrpGroup {
+        static G: OnceLock<SrpGroup> = OnceLock::new();
+        G.get_or_init(|| {
+            let mut rng = sfs_bignum::XorShiftSource::new(0x64);
+            SrpGroup::generate(128, &mut rng)
+        })
+        .clone()
+    }
+
+    fn make_server() -> Arc<SfsServer> {
+        let clock = SimClock::new();
+        let vfs = Vfs::new(42, clock);
+        let auth = Arc::new(AuthServer::new(srp_group(), 2));
+        SfsServer::new(
+            ServerConfig::new("server.example.com"),
+            test_key(),
+            vfs,
+            auth,
+            SfsPrg::from_entropy(b"server-test"),
+        )
+    }
+
+    #[test]
+    fn handle_encryption_roundtrip() {
+        let s = make_server();
+        let nfs_handle = FileHandle(vec![7u8; 16]);
+        let sfs_handle = s.encrypt_handle(nfs_handle.clone());
+        assert_ne!(sfs_handle.0[..16], nfs_handle.0[..]);
+        assert_eq!(sfs_handle.0.len(), 24);
+        assert_eq!(s.decrypt_handle(&sfs_handle).unwrap(), nfs_handle);
+    }
+
+    #[test]
+    fn forged_handle_rejected() {
+        let s = make_server();
+        // Guessing a handle fails the redundancy check.
+        assert_eq!(
+            s.decrypt_handle(&FileHandle(vec![1u8; 24])).unwrap_err(),
+            Status::BadHandle
+        );
+        // Truncated handles are rejected outright.
+        assert_eq!(
+            s.decrypt_handle(&FileHandle(vec![1u8; 16])).unwrap_err(),
+            Status::BadHandle
+        );
+        // Flipping one bit of a valid handle breaks it.
+        let mut h = s.encrypt_handle(FileHandle(vec![7u8; 16]));
+        h.0[3] ^= 1;
+        assert_eq!(s.decrypt_handle(&h).unwrap_err(), Status::BadHandle);
+    }
+
+    #[test]
+    fn hello_returns_server_key() {
+        let s = make_server();
+        let conn = s.accept();
+        let reply = conn.handle(CallMsg::Hello {
+            req: sfs_proto::keyneg::KeyNegRequest {
+                location: "server.example.com".into(),
+                host_id: s.path().host_id,
+            },
+            service: Service::File,
+            dialect: Dialect::ReadWrite,
+            version: 1,
+            extensions: String::new(),
+        });
+        match reply {
+            ReplyMsg::ServerReply(KeyNegServerReply::ServerKey(k)) => {
+                assert_eq!(k, test_key().public().to_bytes());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn revoked_hello_returns_certificate() {
+        let s = make_server();
+        let cert = RevocationCert::issue(&test_key(), "server.example.com");
+        s.install_revocation(cert.clone());
+        let conn = s.accept();
+        let reply = conn.handle(CallMsg::Hello {
+            req: sfs_proto::keyneg::KeyNegRequest {
+                location: "server.example.com".into(),
+                host_id: s.path().host_id,
+            },
+            service: Service::File,
+            dialect: Dialect::ReadWrite,
+            version: 1,
+            extensions: String::new(),
+        });
+        match reply {
+            ReplyMsg::ServerReply(KeyNegServerReply::Revoked(c)) => assert_eq!(c, cert),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sealed_without_channel_rejected() {
+        let s = make_server();
+        let conn = s.accept();
+        let reply = conn.handle(CallMsg::Sealed(vec![0; 64]));
+        assert!(matches!(reply, ReplyMsg::Error(_)));
+    }
+
+    #[test]
+    fn keyneg_out_of_order_rejected() {
+        let s = make_server();
+        let conn = s.accept();
+        let reply = conn.handle(CallMsg::ClientKeys(sfs_proto::keyneg::KeyNegClientKeys {
+            client_key: vec![1],
+            encrypted_halves: vec![2],
+        }));
+        assert!(matches!(reply, ReplyMsg::Error(_)));
+    }
+
+    #[test]
+    fn read_only_requires_dialect() {
+        let s = make_server();
+        s.publish_read_only(1);
+        let conn = s.accept();
+        // Without a hello selecting the read-only dialect, blocks are not
+        // served.
+        assert!(matches!(conn.handle(CallMsg::RoGetRoot), ReplyMsg::Error(_)));
+        let _ = conn.handle(CallMsg::Hello {
+            req: sfs_proto::keyneg::KeyNegRequest {
+                location: "server.example.com".into(),
+                host_id: s.path().host_id,
+            },
+            service: Service::File,
+            dialect: Dialect::ReadOnly,
+            version: 1,
+            extensions: String::new(),
+        });
+        match conn.handle(CallMsg::RoGetRoot) {
+            ReplyMsg::RoRoot(root) => assert!(root.verify(test_key().public())),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! SFS wire messages.
+//!
+//! A connection has two stages. The cleartext stage carries the key
+//! negotiation of Figure 3 (and lets `sfssd` dispatch on service, dialect,
+//! and an extensions string, §3.2). Once session keys exist, everything
+//! travels as sealed secure-channel frames whose plaintext is an
+//! [`InnerCall`]/[`InnerReply`].
+//!
+//! The read-only dialect never establishes a channel: its replies are
+//! self-certifying (signed root, content-addressed blocks), so its calls
+//! stay cleartext.
+
+use sfs_nfs3::proto::FileHandle;
+use sfs_proto::keyneg::{KeyNegClientKeys, KeyNegRequest, KeyNegServerReply};
+use sfs_proto::readonly::SignedRoot;
+use sfs_proto::userauth::AuthMsg;
+use sfs_xdr::{Xdr, XdrDecoder, XdrEncoder, XdrError};
+
+/// Service selectors in the hello message ("the service it requests
+/// (currently fileserver or authserver)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Service {
+    /// The file server.
+    File,
+    /// The authserver (reached through the file server host).
+    Auth,
+}
+
+/// Protocol dialects ("one can add new file system protocols to SFS
+/// without changing any of the existing software").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dialect {
+    /// The read-write protocol (secure channel + NFS3 relay).
+    ReadWrite,
+    /// The public read-only protocol (presigned data).
+    ReadOnly,
+}
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallMsg {
+    /// Stage-1 hello: what file system, which service/dialect, plus the
+    /// currently-unused extensions string from §3.2.
+    Hello {
+        /// Key-negotiation request (Location + HostID).
+        req: KeyNegRequest,
+        /// Requested service.
+        service: Service,
+        /// Requested dialect.
+        dialect: Dialect,
+        /// Protocol version (dispatched on by `sfssd`, §3.2).
+        version: u32,
+        /// Extensions string (dispatched on by `sfssd`; "currently
+        /// unused" in the paper's deployment).
+        extensions: String,
+    },
+    /// Stage-3 of key negotiation.
+    ClientKeys(KeyNegClientKeys),
+    /// A sealed secure-channel frame containing an [`InnerCall`].
+    Sealed(Vec<u8>),
+    /// Read-only dialect: fetch the signed root.
+    RoGetRoot,
+    /// Read-only dialect: fetch a block by digest.
+    RoGetBlock([u8; 20]),
+    /// `sfskey`→authserver: begin an SRP handshake (§2.4).
+    SrpStart {
+        /// Login name.
+        user: String,
+        /// The client's SRP public value A (big-endian).
+        a_pub: Vec<u8>,
+    },
+    /// `sfskey`→authserver: the client's SRP evidence M1.
+    SrpFinish {
+        /// Evidence message.
+        m1: Vec<u8>,
+    },
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyMsg {
+    /// Stage-2: the server's public key, or a revocation certificate.
+    ServerReply(KeyNegServerReply),
+    /// Stage-4: the encrypted server key halves.
+    ServerKeys(Vec<u8>),
+    /// A sealed secure-channel frame containing an [`InnerReply`].
+    Sealed(Vec<u8>),
+    /// Read-only dialect: the signed root.
+    RoRoot(SignedRoot),
+    /// Read-only dialect: a raw block (client verifies the digest).
+    RoBlock(Vec<u8>),
+    /// Authserver→`sfskey`: the SRP challenge — salt, B, and the
+    /// eksblowfish parameters the client needs to harden its password.
+    SrpChallenge {
+        /// SRP salt.
+        salt: Vec<u8>,
+        /// The server's SRP public value B (big-endian).
+        b_pub: Vec<u8>,
+        /// eksblowfish salt.
+        ekb_salt: Vec<u8>,
+        /// eksblowfish cost parameter.
+        cost: u32,
+    },
+    /// Authserver→`sfskey`: the server evidence M2 plus a payload sealed
+    /// under the negotiated session key — the server's self-certifying
+    /// pathname and the user's encrypted private key, if registered.
+    SrpDone {
+        /// Server evidence message.
+        m2: Vec<u8>,
+        /// Sealed `(Option<SelfCertifyingPath>, Option<key blob>)`.
+        sealed_payload: Vec<u8>,
+    },
+    /// Protocol-level failure (unknown service, bad state, missing
+    /// block).
+    Error(String),
+}
+
+/// The plaintext of a sealed client frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InnerCall {
+    /// A user-authentication attempt (Figure 4, step 3).
+    Auth {
+        /// Client-chosen sequence number.
+        seq_no: u32,
+        /// The agent's opaque signed message.
+        msg: AuthMsg,
+    },
+    /// Fetch the file system's root handle (the MOUNT-protocol
+    /// equivalent, carried over the secure channel so it is authentic).
+    Mount,
+    /// An NFS3 call tagged with an authentication number.
+    Nfs {
+        /// Authentication number from a prior Auth (0 = anonymous).
+        authno: u32,
+        /// NFS3 procedure number.
+        proc: u32,
+        /// Marshaled NFS3 arguments.
+        args: Vec<u8>,
+    },
+}
+
+/// The plaintext of a sealed server frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InnerReply {
+    /// Authentication accepted: the assigned authentication number.
+    AuthGranted {
+        /// Echoed sequence number.
+        seq_no: u32,
+        /// The authentication number for tagging subsequent calls.
+        authno: u32,
+    },
+    /// Authentication rejected ("the agent can try again using different
+    /// credentials or a different protocol").
+    AuthDenied {
+        /// Echoed sequence number.
+        seq_no: u32,
+    },
+    /// The root file handle (SFS/encrypted form).
+    MountReply {
+        /// Root handle of the export.
+        root: FileHandle,
+    },
+    /// NFS3 results, plus any pending lease-invalidation callbacks
+    /// (piggybacked; "the server does not wait for invalidations to be
+    /// acknowledged", §3.3).
+    Nfs {
+        /// Marshaled NFS3 results.
+        results: Vec<u8>,
+        /// File handles whose cached attributes must be dropped.
+        invalidations: Vec<FileHandle>,
+    },
+}
+
+impl CallMsg {
+    /// One-line human-readable rendering (the §3.2 pretty-printing story:
+    /// "making it easy to understand any problems by tracing exactly how
+    /// processes interact").
+    pub fn describe(&self) -> String {
+        match self {
+            CallMsg::Hello { req, service, dialect, version, extensions } => format!(
+                "HELLO {}:{} service={service:?} dialect={dialect:?} v{version}{}",
+                req.location,
+                req.host_id,
+                if extensions.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ext={extensions:?}")
+                }
+            ),
+            CallMsg::ClientKeys(k) => format!(
+                "CLIENT-KEYS ephemeral={}B encrypted-halves={}B",
+                k.client_key.len(),
+                k.encrypted_halves.len()
+            ),
+            CallMsg::Sealed(frame) => format!("SEALED [{} bytes]", frame.len()),
+            CallMsg::RoGetRoot => "RO-GETROOT".into(),
+            CallMsg::RoGetBlock(d) => format!(
+                "RO-GETBLOCK {}",
+                d.iter().take(6).map(|b| format!("{b:02x}")).collect::<String>()
+            ),
+            CallMsg::SrpStart { user, a_pub } => {
+                format!("SRP-START user={user} A={}B", a_pub.len())
+            }
+            CallMsg::SrpFinish { .. } => "SRP-FINISH".into(),
+        }
+    }
+}
+
+impl ReplyMsg {
+    /// One-line human-readable rendering.
+    pub fn describe(&self) -> String {
+        match self {
+            ReplyMsg::ServerReply(KeyNegServerReply::ServerKey(k)) => {
+                format!("SERVER-KEY [{} bytes]", k.len())
+            }
+            ReplyMsg::ServerReply(KeyNegServerReply::Revoked(c)) => {
+                format!("REVOKED {}", c.location)
+            }
+            ReplyMsg::ServerKeys(k) => format!("SERVER-KEYS [{} bytes]", k.len()),
+            ReplyMsg::Sealed(frame) => format!("SEALED [{} bytes]", frame.len()),
+            ReplyMsg::RoRoot(root) => format!("RO-ROOT v{}", root.version),
+            ReplyMsg::RoBlock(b) => format!("RO-BLOCK [{} bytes]", b.len()),
+            ReplyMsg::SrpChallenge { cost, .. } => format!("SRP-CHALLENGE cost={cost}"),
+            ReplyMsg::SrpDone { .. } => "SRP-DONE".into(),
+            ReplyMsg::Error(e) => format!("ERROR {e:?}"),
+        }
+    }
+}
+
+fn service_to_u32(s: Service) -> u32 {
+    match s {
+        Service::File => 1,
+        Service::Auth => 2,
+    }
+}
+
+fn service_from_u32(v: u32) -> Result<Service, XdrError> {
+    match v {
+        1 => Ok(Service::File),
+        2 => Ok(Service::Auth),
+        other => Err(XdrError::BadDiscriminant(other)),
+    }
+}
+
+fn dialect_to_u32(d: Dialect) -> u32 {
+    match d {
+        Dialect::ReadWrite => 1,
+        Dialect::ReadOnly => 2,
+    }
+}
+
+fn dialect_from_u32(v: u32) -> Result<Dialect, XdrError> {
+    match v {
+        1 => Ok(Dialect::ReadWrite),
+        2 => Ok(Dialect::ReadOnly),
+        other => Err(XdrError::BadDiscriminant(other)),
+    }
+}
+
+impl Xdr for CallMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        match self {
+            CallMsg::Hello { req, service, dialect, version, extensions } => {
+                enc.put_u32(0);
+                req.encode(enc);
+                enc.put_u32(service_to_u32(*service));
+                enc.put_u32(dialect_to_u32(*dialect));
+                enc.put_u32(*version);
+                enc.put_string(extensions);
+            }
+            CallMsg::ClientKeys(k) => {
+                enc.put_u32(1);
+                k.encode(enc);
+            }
+            CallMsg::Sealed(frame) => {
+                enc.put_u32(2);
+                enc.put_opaque(frame);
+            }
+            CallMsg::RoGetRoot => {
+                enc.put_u32(3);
+            }
+            CallMsg::RoGetBlock(digest) => {
+                enc.put_u32(4);
+                enc.put_opaque_fixed(digest);
+            }
+            CallMsg::SrpStart { user, a_pub } => {
+                enc.put_u32(5);
+                enc.put_string(user);
+                enc.put_opaque(a_pub);
+            }
+            CallMsg::SrpFinish { m1 } => {
+                enc.put_u32(6);
+                enc.put_opaque(m1);
+            }
+        }
+    }
+
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(CallMsg::Hello {
+                req: KeyNegRequest::decode(dec)?,
+                service: service_from_u32(dec.get_u32()?)?,
+                dialect: dialect_from_u32(dec.get_u32()?)?,
+                version: dec.get_u32()?,
+                extensions: dec.get_string()?,
+            }),
+            1 => Ok(CallMsg::ClientKeys(KeyNegClientKeys::decode(dec)?)),
+            2 => Ok(CallMsg::Sealed(dec.get_opaque()?)),
+            3 => Ok(CallMsg::RoGetRoot),
+            4 => Ok(CallMsg::RoGetBlock(
+                dec.get_opaque_fixed(20)?.try_into().expect("length checked"),
+            )),
+            5 => Ok(CallMsg::SrpStart { user: dec.get_string()?, a_pub: dec.get_opaque()? }),
+            6 => Ok(CallMsg::SrpFinish { m1: dec.get_opaque()? }),
+            other => Err(XdrError::BadDiscriminant(other)),
+        }
+    }
+}
+
+impl Xdr for ReplyMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        match self {
+            ReplyMsg::ServerReply(r) => {
+                enc.put_u32(0);
+                r.encode(enc);
+            }
+            ReplyMsg::ServerKeys(k) => {
+                enc.put_u32(1);
+                enc.put_opaque(k);
+            }
+            ReplyMsg::Sealed(frame) => {
+                enc.put_u32(2);
+                enc.put_opaque(frame);
+            }
+            ReplyMsg::RoRoot(root) => {
+                enc.put_u32(3);
+                root.encode(enc);
+            }
+            ReplyMsg::RoBlock(data) => {
+                enc.put_u32(4);
+                enc.put_opaque(data);
+            }
+            ReplyMsg::Error(e) => {
+                enc.put_u32(5);
+                enc.put_string(e);
+            }
+            ReplyMsg::SrpChallenge { salt, b_pub, ekb_salt, cost } => {
+                enc.put_u32(6);
+                enc.put_opaque(salt);
+                enc.put_opaque(b_pub);
+                enc.put_opaque(ekb_salt);
+                enc.put_u32(*cost);
+            }
+            ReplyMsg::SrpDone { m2, sealed_payload } => {
+                enc.put_u32(7);
+                enc.put_opaque(m2);
+                enc.put_opaque(sealed_payload);
+            }
+        }
+    }
+
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(ReplyMsg::ServerReply(KeyNegServerReply::decode(dec)?)),
+            1 => Ok(ReplyMsg::ServerKeys(dec.get_opaque()?)),
+            2 => Ok(ReplyMsg::Sealed(dec.get_opaque()?)),
+            3 => Ok(ReplyMsg::RoRoot(SignedRoot::decode(dec)?)),
+            4 => Ok(ReplyMsg::RoBlock(dec.get_opaque()?)),
+            5 => Ok(ReplyMsg::Error(dec.get_string()?)),
+            6 => Ok(ReplyMsg::SrpChallenge {
+                salt: dec.get_opaque()?,
+                b_pub: dec.get_opaque()?,
+                ekb_salt: dec.get_opaque()?,
+                cost: dec.get_u32()?,
+            }),
+            7 => Ok(ReplyMsg::SrpDone {
+                m2: dec.get_opaque()?,
+                sealed_payload: dec.get_opaque()?,
+            }),
+            other => Err(XdrError::BadDiscriminant(other)),
+        }
+    }
+}
+
+impl Xdr for InnerCall {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        match self {
+            InnerCall::Auth { seq_no, msg } => {
+                enc.put_u32(0);
+                enc.put_u32(*seq_no);
+                msg.encode(enc);
+            }
+            InnerCall::Nfs { authno, proc, args } => {
+                enc.put_u32(1);
+                enc.put_u32(*authno);
+                enc.put_u32(*proc);
+                enc.put_opaque(args);
+            }
+            InnerCall::Mount => {
+                enc.put_u32(2);
+            }
+        }
+    }
+
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(InnerCall::Auth { seq_no: dec.get_u32()?, msg: AuthMsg::decode(dec)? }),
+            1 => Ok(InnerCall::Nfs {
+                authno: dec.get_u32()?,
+                proc: dec.get_u32()?,
+                args: dec.get_opaque()?,
+            }),
+            2 => Ok(InnerCall::Mount),
+            other => Err(XdrError::BadDiscriminant(other)),
+        }
+    }
+}
+
+impl Xdr for InnerReply {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        match self {
+            InnerReply::AuthGranted { seq_no, authno } => {
+                enc.put_u32(0);
+                enc.put_u32(*seq_no);
+                enc.put_u32(*authno);
+            }
+            InnerReply::AuthDenied { seq_no } => {
+                enc.put_u32(1);
+                enc.put_u32(*seq_no);
+            }
+            InnerReply::Nfs { results, invalidations } => {
+                enc.put_u32(2);
+                enc.put_opaque(results);
+                enc.put_u32(invalidations.len() as u32);
+                for fh in invalidations {
+                    fh.encode(enc);
+                }
+            }
+            InnerReply::MountReply { root } => {
+                enc.put_u32(3);
+                root.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(InnerReply::AuthGranted { seq_no: dec.get_u32()?, authno: dec.get_u32()? }),
+            1 => Ok(InnerReply::AuthDenied { seq_no: dec.get_u32()? }),
+            2 => {
+                let results = dec.get_opaque()?;
+                let n = dec.get_u32()?;
+                let mut invalidations = Vec::new();
+                for _ in 0..n {
+                    invalidations.push(FileHandle::decode(dec)?);
+                }
+                Ok(InnerReply::Nfs { results, invalidations })
+            }
+            3 => Ok(InnerReply::MountReply { root: FileHandle::decode(dec)? }),
+            other => Err(XdrError::BadDiscriminant(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_proto::pathname::HostId;
+
+    #[test]
+    fn call_msgs_roundtrip() {
+        let msgs = vec![
+            CallMsg::Hello {
+                req: KeyNegRequest {
+                    location: "sfs.lcs.mit.edu".into(),
+                    host_id: HostId([7u8; 20]),
+                },
+                service: Service::File,
+                dialect: Dialect::ReadWrite,
+                version: 1,
+                extensions: String::new(),
+            },
+            CallMsg::ClientKeys(KeyNegClientKeys {
+                client_key: vec![1, 2],
+                encrypted_halves: vec![3, 4, 5],
+            }),
+            CallMsg::Sealed(vec![9; 40]),
+            CallMsg::RoGetRoot,
+            CallMsg::RoGetBlock([5u8; 20]),
+        ];
+        for m in msgs {
+            assert_eq!(CallMsg::from_xdr(&m.to_xdr()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn reply_msgs_roundtrip() {
+        let msgs = vec![
+            ReplyMsg::ServerReply(KeyNegServerReply::ServerKey(vec![1, 2, 3])),
+            ReplyMsg::ServerKeys(vec![4, 5]),
+            ReplyMsg::Sealed(vec![6; 30]),
+            ReplyMsg::RoRoot(SignedRoot {
+                root_digest: [1u8; 20],
+                version: 9,
+                signature: vec![2, 3],
+            }),
+            ReplyMsg::RoBlock(vec![7; 10]),
+            ReplyMsg::Error("no such service".into()),
+        ];
+        for m in msgs {
+            assert_eq!(ReplyMsg::from_xdr(&m.to_xdr()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn inner_msgs_roundtrip() {
+        let calls = vec![
+            InnerCall::Auth {
+                seq_no: 3,
+                msg: AuthMsg { user_key: vec![1], signature: vec![2] },
+            },
+            InnerCall::Nfs { authno: 7, proc: 1, args: vec![1, 2, 3, 4] },
+        ];
+        for c in calls {
+            assert_eq!(InnerCall::from_xdr(&c.to_xdr()).unwrap(), c);
+        }
+        let replies = vec![
+            InnerReply::AuthGranted { seq_no: 3, authno: 1 },
+            InnerReply::AuthDenied { seq_no: 4 },
+            InnerReply::Nfs {
+                results: vec![1, 2],
+                invalidations: vec![FileHandle(vec![9; 16])],
+            },
+        ];
+        for r in replies {
+            assert_eq!(InnerReply::from_xdr(&r.to_xdr()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn describe_renders_all_variants() {
+        let hello = CallMsg::Hello {
+            req: KeyNegRequest { location: "h.example".into(), host_id: HostId([2u8; 20]) },
+            service: Service::File,
+            dialect: Dialect::ReadWrite,
+            version: 1,
+            extensions: "newcache".into(),
+        };
+        let d = hello.describe();
+        assert!(d.contains("HELLO h.example"));
+        assert!(d.contains("ext=\"newcache\""));
+        assert!(CallMsg::RoGetRoot.describe().contains("RO-GETROOT"));
+        assert!(CallMsg::Sealed(vec![0; 9]).describe().contains("9 bytes"));
+        assert!(ReplyMsg::Error("nope".into()).describe().contains("nope"));
+        assert!(ReplyMsg::SrpChallenge {
+            salt: vec![],
+            b_pub: vec![],
+            ekb_salt: vec![],
+            cost: 8
+        }
+        .describe()
+        .contains("cost=8"));
+    }
+
+    #[test]
+    fn bad_discriminants_rejected() {
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(99);
+        assert!(CallMsg::from_xdr(enc.bytes()).is_err());
+        assert!(ReplyMsg::from_xdr(enc.bytes()).is_err());
+        assert!(InnerCall::from_xdr(enc.bytes()).is_err());
+        assert!(InnerReply::from_xdr(enc.bytes()).is_err());
+    }
+}

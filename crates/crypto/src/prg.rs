@@ -1,0 +1,287 @@
+//! The SFS pseudo-random generator.
+//!
+//! Paper §3.1.3: "We chose DSS's pseudo-random generator [FIPS 186], both
+//! because it is based on SHA-1 and because it cannot be run backwards in
+//! the event that its state gets compromised. To seed the generator, SFS
+//! asynchronously reads data from various external programs …, from a file
+//! saved by the previous execution, and from a nanosecond timer … All of
+//! the above sources are run through a SHA-1-based hash function to produce
+//! a 512-bit seed."
+//!
+//! [`EntropyPool`] is the seeding funnel; [`SfsPrg`] is the FIPS 186
+//! generator: with `b = 512`,
+//!
+//! ```text
+//! x_j  = G(t, XKEY_j)              (G = SHA-1 compression, t = SHA-1 IV)
+//! XKEY_{j+1} = (1 + XKEY_j + x_j) mod 2^b
+//! ```
+//!
+//! Forward secrecy of the state follows because recovering `XKEY_j` from
+//! `XKEY_{j+1}` and `x_j` requires inverting G.
+
+use crate::sha1::{self, Sha1};
+use sfs_bignum::{Nat, RandomSource};
+
+/// Seed size in bytes (the paper's 512-bit seed).
+pub const SEED_LEN: usize = 64;
+
+/// Accumulates entropy from external sources into a 512-bit seed.
+///
+/// Each source is fed with a length prefix and an index so that source
+/// boundaries cannot be confused; the pool produces four chained SHA-1
+/// digests (4 × 160 = 640 bits, truncated to 512).
+#[derive(Clone)]
+pub struct EntropyPool {
+    hasher: Sha1,
+    sources: u32,
+}
+
+impl Default for EntropyPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EntropyPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        EntropyPool { hasher: Sha1::new(), sources: 0 }
+    }
+
+    /// Mixes one entropy source (command output, saved seed file,
+    /// keystrokes with timings, nanosecond timers, …).
+    pub fn add_source(&mut self, data: &[u8]) -> &mut Self {
+        self.hasher.update(&self.sources.to_be_bytes());
+        self.hasher.update(&(data.len() as u64).to_be_bytes());
+        self.hasher.update(data);
+        self.sources += 1;
+        self
+    }
+
+    /// Number of sources mixed so far.
+    pub fn sources(&self) -> u32 {
+        self.sources
+    }
+
+    /// Produces the 512-bit seed by counter-mode chaining of the pool
+    /// digest.
+    pub fn seed(&self) -> [u8; SEED_LEN] {
+        let base = self.hasher.clone().finalize();
+        let mut out = [0u8; SEED_LEN];
+        let mut filled = 0;
+        let mut counter: u32 = 0;
+        while filled < SEED_LEN {
+            let d = sha1::sha1_concat(&[b"SFS-seed", &base, &counter.to_be_bytes()]);
+            let take = (SEED_LEN - filled).min(d.len());
+            out[filled..filled + take].copy_from_slice(&d[..take]);
+            filled += take;
+            counter += 1;
+        }
+        out
+    }
+
+    /// Finalizes the pool into a generator.
+    pub fn into_prg(self) -> SfsPrg {
+        SfsPrg::from_seed(&self.seed())
+    }
+}
+
+/// State a generator saves for the next execution (§3.1.3: SFS seeds
+/// itself in part "from a file saved by the previous execution").
+///
+/// The saved blob is a hash of the current state — not the state itself —
+/// so a disclosed seed file does not reveal past output (the generator
+/// "cannot be run backwards").
+pub fn save_seed(prg: &mut SfsPrg) -> [u8; SEED_LEN] {
+    let mut out = [0u8; SEED_LEN];
+    prg.fill(&mut out);
+    // One-way transform so the file is useless for reconstructing the
+    // generator that wrote it.
+    let d = sha1::sha1_concat(&[b"SFS-saved-seed", &out]);
+    let mut saved = [0u8; SEED_LEN];
+    for (i, chunk) in saved.chunks_mut(20).enumerate() {
+        let more = sha1::sha1_concat(&[&d, &[i as u8]]);
+        chunk.copy_from_slice(&more[..chunk.len()]);
+    }
+    saved
+}
+
+/// The FIPS 186 (DSS) pseudo-random generator with b = 512.
+#[derive(Clone)]
+pub struct SfsPrg {
+    /// XKEY, a 512-bit value.
+    xkey: Nat,
+    /// Buffered output bytes not yet handed out.
+    buffer: Vec<u8>,
+    /// 2^512, the modulus.
+    modulus: Nat,
+}
+
+impl SfsPrg {
+    /// Creates a generator from a 512-bit seed.
+    pub fn from_seed(seed: &[u8; SEED_LEN]) -> Self {
+        SfsPrg {
+            xkey: Nat::from_bytes_be(seed),
+            buffer: Vec::new(),
+            modulus: Nat::one().shl_bits(SEED_LEN * 8),
+        }
+    }
+
+    /// Convenience constructor for tests and deterministic benchmarks:
+    /// seeds the generator from a single byte string via the entropy pool.
+    pub fn from_entropy(data: &[u8]) -> Self {
+        let mut pool = EntropyPool::new();
+        pool.add_source(data);
+        pool.into_prg()
+    }
+
+    /// One FIPS 186 step: returns x_j and advances XKEY.
+    fn step(&mut self) -> [u8; 20] {
+        let block_bytes = self.xkey.to_bytes_be_padded(SEED_LEN);
+        // G(t, c): SHA-1 compression of the 512-bit block with the standard
+        // IV, no padding.
+        let mut h = sha1::IV;
+        sha1::compress(&mut h, block_bytes.as_slice().try_into().unwrap());
+        let mut x = [0u8; 20];
+        for (i, w) in h.iter().enumerate() {
+            x[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        // XKEY = (1 + XKEY + x) mod 2^b.
+        let xn = Nat::from_bytes_be(&x);
+        self.xkey = self
+            .xkey
+            .add_nat(&xn)
+            .add_nat(&Nat::one())
+            .rem_nat(&self.modulus)
+            .unwrap();
+        x
+    }
+}
+
+impl RandomSource for SfsPrg {
+    fn fill(&mut self, buf: &mut [u8]) {
+        let mut filled = 0;
+        while filled < buf.len() {
+            if self.buffer.is_empty() {
+                self.buffer = self.step().to_vec();
+            }
+            let take = (buf.len() - filled).min(self.buffer.len());
+            buf[filled..filled + take].copy_from_slice(&self.buffer[..take]);
+            self.buffer.drain(..take);
+            filled += take;
+        }
+    }
+}
+
+impl std::fmt::Debug for SfsPrg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SfsPrg {{ .. }}") // Never leak generator state.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SfsPrg::from_entropy(b"seed");
+        let mut b = SfsPrg::from_entropy(b"seed");
+        let mut ba = [0u8; 100];
+        let mut bb = [0u8; 100];
+        a.fill(&mut ba);
+        b.fill(&mut bb);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SfsPrg::from_entropy(b"seed-1");
+        let mut b = SfsPrg::from_entropy(b"seed-2");
+        let mut ba = [0u8; 32];
+        let mut bb = [0u8; 32];
+        a.fill(&mut ba);
+        b.fill(&mut bb);
+        assert_ne!(ba, bb);
+    }
+
+    #[test]
+    fn source_order_matters() {
+        let mut p1 = EntropyPool::new();
+        p1.add_source(b"a").add_source(b"b");
+        let mut p2 = EntropyPool::new();
+        p2.add_source(b"b").add_source(b"a");
+        assert_ne!(p1.seed(), p2.seed());
+    }
+
+    #[test]
+    fn source_boundaries_matter() {
+        // ("ab", "") vs ("a", "b") must differ (length prefixing).
+        let mut p1 = EntropyPool::new();
+        p1.add_source(b"ab").add_source(b"");
+        let mut p2 = EntropyPool::new();
+        p2.add_source(b"a").add_source(b"b");
+        assert_ne!(p1.seed(), p2.seed());
+    }
+
+    #[test]
+    fn output_statistics_sane() {
+        // Cheap sanity: 64 KiB of output should have roughly balanced bits.
+        let mut prg = SfsPrg::from_entropy(b"stats");
+        let mut buf = vec![0u8; 65536];
+        prg.fill(&mut buf);
+        let ones: u64 = buf.iter().map(|b| b.count_ones() as u64).sum();
+        let total = buf.len() as u64 * 8;
+        let ratio = ones as f64 / total as f64;
+        assert!((0.49..0.51).contains(&ratio), "bit ratio {ratio}");
+    }
+
+    #[test]
+    fn partial_fills_consume_stream_continuously() {
+        let mut a = SfsPrg::from_entropy(b"x");
+        let mut b = SfsPrg::from_entropy(b"x");
+        let mut out_a = [0u8; 50];
+        a.fill(&mut out_a);
+        let mut out_b = [0u8; 50];
+        b.fill(&mut out_b[..13]);
+        b.fill(&mut out_b[13..]);
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn saved_seed_reseeds_next_execution() {
+        let mut prg = SfsPrg::from_entropy(b"boot-1");
+        let saved = save_seed(&mut prg);
+        // Next boot mixes the saved file with fresh sources.
+        let mut pool = EntropyPool::new();
+        pool.add_source(&saved).add_source(b"nanosecond-timer");
+        let mut next = pool.into_prg();
+        let mut a = [0u8; 32];
+        next.fill(&mut a);
+        // Different saved seeds give different streams.
+        let mut prg2 = SfsPrg::from_entropy(b"boot-other");
+        let saved2 = save_seed(&mut prg2);
+        assert_ne!(saved, saved2);
+    }
+
+    #[test]
+    fn saved_seed_does_not_reveal_generator_state() {
+        // The saved blob must differ from the raw output the generator
+        // would produce next (it is a one-way transform of drawn output).
+        let mut prg = SfsPrg::from_entropy(b"boot");
+        let mut preview = prg.clone();
+        let mut raw = [0u8; SEED_LEN];
+        preview.fill(&mut raw);
+        let saved = save_seed(&mut prg);
+        assert_ne!(saved, raw);
+    }
+
+    #[test]
+    fn random_below_usable_for_protocols() {
+        let mut prg = SfsPrg::from_entropy(b"proto");
+        let bound = Nat::from(1_000_000u64);
+        for _ in 0..50 {
+            assert!(prg.random_below(&bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! SHA-1 (FIPS 180-1).
+//!
+//! SFS assumes SHA-1 "behaves like a random oracle" (§3.1.3) and uses it for
+//! HostIDs, session-key derivation, the per-message MAC, and the
+//! pseudo-random generator. This is a from-scratch implementation with the
+//! standard incremental (init/update/finalize) interface, verified against
+//! the FIPS 180-1 test vectors.
+
+/// Digest size in bytes.
+pub const DIGEST_LEN: usize = 20;
+
+/// Block size in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+const H0: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+/// Incremental SHA-1 hasher.
+#[derive(Clone)]
+pub struct Sha1 {
+    h: [u32; 5],
+    /// Bytes processed so far (for the length suffix).
+    len: u64,
+    /// Partial block buffer.
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 { h: H0, len: 0, buf: [0; BLOCK_LEN], buf_len: 0 }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (BLOCK_LEN - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                compress(&mut self.h, &block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= BLOCK_LEN {
+            let (block, rest) = data.split_at(BLOCK_LEN);
+            compress(&mut self.h, block.try_into().unwrap());
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+        self
+    }
+
+    /// Finishes and returns the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Manually absorb the length to avoid it perturbing `self.len`.
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        compress(&mut self.h, &block);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot SHA-1.
+pub fn sha1(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Hashes the concatenation of several byte strings.
+///
+/// SFS hashes XDR-marshaled structures, which concatenate fields; several
+/// protocol values (HostID, SessionID, session keys) are defined as hashes
+/// over field sequences.
+pub fn sha1_concat(parts: &[&[u8]]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha1::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+/// The standard SHA-1 initialization vector, exposed for the FIPS 186
+/// pseudo-random generator's G function.
+pub(crate) const IV: [u32; 5] = H0;
+
+/// The raw SHA-1 compression function over one 64-byte block (no padding).
+/// The FIPS 186 generator is defined directly in terms of this G function.
+pub(crate) fn compress(h: &mut [u32; 5], block: &[u8; BLOCK_LEN]) {
+    let mut w = [0u32; 80];
+    for i in 0..16 {
+        w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+    let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i {
+            0..=19 => ((b & c) | (!b & d), 0x5A827999),
+            20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+            40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+            _ => (b ^ c ^ d, 0xCA62C1D6),
+        };
+        let t = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = t;
+    }
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+}
+
+/// MGF1 mask generation with SHA-1 (used by the Rabin OAEP padding).
+pub fn mgf1(seed: &[u8], out_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(out_len + DIGEST_LEN);
+    let mut counter: u32 = 0;
+    while out.len() < out_len {
+        let mut h = Sha1::new();
+        h.update(seed);
+        h.update(&counter.to_be_bytes());
+        out.extend_from_slice(&h.finalize());
+        counter += 1;
+    }
+    out.truncate(out_len);
+    out
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Renders a digest as lowercase hex (test and debugging helper).
+pub fn digest_hex(d: &[u8; DIGEST_LEN]) -> String {
+    hex(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_vector_empty() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn fips_vector_two_blocks() {
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn fips_vector_million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        // Split at awkward boundaries around the 64-byte block size.
+        for split in [0usize, 1, 63, 64, 65, 127, 128, 500, 999, 1000] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha1(&data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn concat_matches_manual() {
+        let d = sha1_concat(&[b"Host", b"Info", b"x"]);
+        assert_eq!(d, sha1(b"HostInfox"));
+    }
+
+    #[test]
+    fn mgf1_deterministic_and_sized() {
+        let a = mgf1(b"seed", 100);
+        let b = mgf1(b"seed", 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        // Prefix property: shorter outputs are prefixes of longer ones.
+        assert_eq!(&mgf1(b"seed", 40)[..], &a[..40]);
+        // Different seeds diverge.
+        assert_ne!(mgf1(b"seed2", 100), a);
+    }
+
+    #[test]
+    fn length_counter_wraps_safely() {
+        // Just exercise a multi-gigabit length path cheaply via the len
+        // field arithmetic (no overflow panics in release or debug).
+        let mut h = Sha1::new();
+        h.len = u64::MAX - 4;
+        h.update(b"hello");
+        // No panic means wrapping worked; digest is well-defined.
+        let _ = h.finalize();
+    }
+}

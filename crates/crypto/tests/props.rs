@@ -1,0 +1,144 @@
+//! Property-based tests on the cryptographic primitives.
+
+use proptest::prelude::*;
+use sfs_bignum::XorShiftSource;
+use sfs_crypto::arc4::Arc4;
+use sfs_crypto::blowfish::Blowfish;
+use sfs_crypto::mac::SfsMac;
+use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey, RabinSignature};
+use sfs_crypto::sha1::{sha1, Sha1};
+use std::sync::OnceLock;
+
+fn test_key() -> &'static RabinPrivateKey {
+    static KEY: OnceLock<RabinPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = XorShiftSource::new(0x9A81);
+        generate_keypair(768, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sha1_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2000),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let i = split.index(data.len() + 1);
+        let mut h = Sha1::new();
+        h.update(&data[..i]);
+        h.update(&data[i..]);
+        prop_assert_eq!(h.finalize(), sha1(&data));
+    }
+
+    #[test]
+    fn arc4_is_an_involution(
+        key in proptest::collection::vec(any::<u8>(), 1..40),
+        data in proptest::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let mut buf = data.clone();
+        Arc4::new(&key).process(&mut buf);
+        Arc4::new(&key).process(&mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn mac_rejects_any_single_bitflip(
+        data in proptest::collection::vec(any::<u8>(), 1..200),
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let key = [0x42u8; 32];
+        let tag = SfsMac::compute(&key, &data);
+        let mut tampered = data.clone();
+        let i = pos.index(tampered.len());
+        tampered[i] ^= 1 << bit;
+        prop_assert!(!SfsMac::verify(&key, &tampered, &tag));
+        prop_assert!(SfsMac::verify(&key, &data, &tag));
+    }
+
+    #[test]
+    fn blowfish_roundtrips_any_block(
+        key in proptest::collection::vec(any::<u8>(), 4..57),
+        block in proptest::array::uniform8(any::<u8>()),
+    ) {
+        let bf = Blowfish::new(&key);
+        let mut b = block;
+        bf.encrypt_block(&mut b);
+        bf.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn blowfish_cbc_roundtrips(
+        key in proptest::collection::vec(any::<u8>(), 4..57),
+        blocks in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftSource::new(seed);
+        use sfs_bignum::RandomSource;
+        let mut data = vec![0u8; blocks * 8];
+        rng.fill(&mut data);
+        let orig = data.clone();
+        let bf = Blowfish::new(&key);
+        bf.cbc_encrypt(&mut data);
+        prop_assert_ne!(&data, &orig);
+        bf.cbc_decrypt(&mut data);
+        prop_assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn rabin_encrypt_decrypt_roundtrips(
+        msg in proptest::collection::vec(any::<u8>(), 0..54),
+        seed in any::<u64>(),
+    ) {
+        // 768-bit modulus → max plaintext = 96 − 42 = 54 bytes.
+        let key = test_key();
+        let mut rng = XorShiftSource::new(seed);
+        let c = key.public().encrypt(&msg, &mut rng).unwrap();
+        prop_assert_eq!(key.decrypt(&c).unwrap(), msg);
+    }
+
+    #[test]
+    fn rabin_signatures_verify_and_bind_message(
+        msg in proptest::collection::vec(any::<u8>(), 0..100),
+        other in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let key = test_key();
+        let sig = key.sign(&msg);
+        prop_assert!(key.public().verify(&msg, &sig));
+        if other != msg {
+            prop_assert!(!key.public().verify(&other, &sig));
+        }
+    }
+
+    #[test]
+    fn rabin_signature_serialization_total(
+        msg in proptest::collection::vec(any::<u8>(), 0..60),
+    ) {
+        let key = test_key();
+        let sig = key.sign(&msg);
+        let bytes = sig.to_bytes(key.public().len());
+        let back = RabinSignature::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, sig);
+    }
+
+    #[test]
+    fn private_key_serialization_roundtrips(seed in any::<u64>()) {
+        // Small keys keep this cheap; exercise the parser's validation.
+        let mut rng = XorShiftSource::new(seed);
+        let key = generate_keypair(256, &mut rng);
+        let back = RabinPrivateKey::from_bytes(&key.to_bytes()).unwrap();
+        prop_assert_eq!(back.public(), key.public());
+    }
+
+    #[test]
+    fn garbage_never_parses_as_private_key_silently(
+        junk in proptest::collection::vec(any::<u8>(), 0..60),
+    ) {
+        // Must not panic; may parse only if it happens to satisfy the
+        // structural and congruence checks.
+        let _ = RabinPrivateKey::from_bytes(&junk);
+    }
+}

@@ -1,0 +1,308 @@
+//! The SFS secure channel (§2.1.2, §3.1.3).
+//!
+//! "Clients and read-write servers always communicate over a low-level
+//! secure channel that guarantees secrecy, data integrity, freshness
+//! (including replay prevention), and forward secrecy."
+//!
+//! Mechanics per §3.1.3: each direction runs one long-lived ARC4 stream
+//! keyed by its 20-byte session key. For every message, 32 bytes are pulled
+//! from the stream to key a fresh SHA-1 MAC (those bytes are *not* used for
+//! encryption); the MAC covers the length and plaintext; then length,
+//! message, and MAC are all encrypted with the stream.
+//!
+//! Freshness/replay protection falls out of the stream position: a
+//! replayed, dropped, or reordered ciphertext decrypts under the wrong part
+//! of the key stream and fails the MAC, which poisons the channel.
+
+use sfs_crypto::arc4::Arc4;
+use sfs_crypto::mac::{SfsMac, MAC_KEY_LEN, MAC_LEN};
+
+use crate::keyneg::SessionKeys;
+
+/// Errors from the secure channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// MAC verification failed: the message was tampered with, replayed,
+    /// or received out of order.
+    MacFailure,
+    /// The frame is structurally too short.
+    Truncated,
+    /// The channel was poisoned by an earlier failure and refuses further
+    /// traffic.
+    Poisoned,
+    /// Claimed length exceeds the frame cap.
+    TooLong,
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::MacFailure => write!(f, "secure channel MAC failure"),
+            ChannelError::Truncated => write!(f, "secure channel frame truncated"),
+            ChannelError::Poisoned => write!(f, "secure channel poisoned"),
+            ChannelError::TooLong => write!(f, "secure channel frame too long"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Cap on a single message (16 MiB), bounding hostile length fields.
+pub const MAX_MESSAGE: usize = 1 << 24;
+
+/// One endpoint of a secure channel.
+///
+/// Construct the client end with [`SecureChannelEnd::client`] and the
+/// server end with [`SecureChannelEnd::server`]; the two ends then
+/// [`seal`](Self::seal) outgoing and [`open`](Self::open) incoming
+/// messages.
+pub struct SecureChannelEnd {
+    send: Arc4,
+    recv: Arc4,
+    poisoned: bool,
+    sent: u64,
+    received: u64,
+}
+
+impl SecureChannelEnd {
+    /// The client end: sends under k_CS, receives under k_SC.
+    pub fn client(keys: &SessionKeys) -> Self {
+        SecureChannelEnd {
+            send: Arc4::new(&keys.kcs),
+            recv: Arc4::new(&keys.ksc),
+            poisoned: false,
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    /// The server end: sends under k_SC, receives under k_CS.
+    pub fn server(keys: &SessionKeys) -> Self {
+        SecureChannelEnd {
+            send: Arc4::new(&keys.ksc),
+            recv: Arc4::new(&keys.kcs),
+            poisoned: false,
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    /// Messages sealed so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages opened so far.
+    pub fn messages_received(&self) -> u64 {
+        self.received
+    }
+
+    /// Whether the channel has been poisoned by a MAC failure.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Seals a plaintext message into a wire frame.
+    ///
+    /// Frame layout (before encryption): `len(4) ‖ plaintext ‖ MAC(20)`.
+    /// The whole frame is encrypted; the MAC key is 32 stream bytes pulled
+    /// first.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        if self.poisoned {
+            return Err(ChannelError::Poisoned);
+        }
+        if plaintext.len() > MAX_MESSAGE {
+            return Err(ChannelError::TooLong);
+        }
+        // Pull the per-message MAC key (not used for encryption).
+        let mut mac_key = [0u8; MAC_KEY_LEN];
+        self.send.keystream(&mut mac_key);
+        let mac = SfsMac::compute(&mac_key, plaintext);
+        let mut frame = Vec::with_capacity(4 + plaintext.len() + MAC_LEN);
+        frame.extend_from_slice(&(plaintext.len() as u32).to_be_bytes());
+        frame.extend_from_slice(plaintext);
+        frame.extend_from_slice(&mac);
+        self.send.process(&mut frame);
+        self.sent += 1;
+        Ok(frame)
+    }
+
+    /// Opens a wire frame into the plaintext message. Any failure poisons
+    /// the channel (the paper's channels abort on tampering; recovery
+    /// requires a fresh key negotiation).
+    pub fn open(&mut self, frame: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        if self.poisoned {
+            return Err(ChannelError::Poisoned);
+        }
+        let result = self.open_inner(frame);
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    fn open_inner(&mut self, frame: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        if frame.len() < 4 + MAC_LEN {
+            return Err(ChannelError::Truncated);
+        }
+        let mut mac_key = [0u8; MAC_KEY_LEN];
+        self.recv.keystream(&mut mac_key);
+        let mut buf = frame.to_vec();
+        self.recv.process(&mut buf);
+        let len = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+        if len > MAX_MESSAGE {
+            return Err(ChannelError::TooLong);
+        }
+        if buf.len() != 4 + len + MAC_LEN {
+            return Err(ChannelError::Truncated);
+        }
+        let plaintext = &buf[4..4 + len];
+        let mac = &buf[4 + len..];
+        if !SfsMac::verify(&mac_key, plaintext, mac) {
+            return Err(ChannelError::MacFailure);
+        }
+        self.received += 1;
+        Ok(plaintext.to_vec())
+    }
+}
+
+impl std::fmt::Debug for SecureChannelEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureChannelEnd")
+            .field("sent", &self.sent)
+            .field("received", &self.received)
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> SessionKeys {
+        SessionKeys {
+            kcs: *b"client-to-server-key",
+            ksc: *b"server-to-client-key",
+            session_id: [9u8; 20],
+        }
+    }
+
+    fn pair() -> (SecureChannelEnd, SecureChannelEnd) {
+        let k = keys();
+        (SecureChannelEnd::client(&k), SecureChannelEnd::server(&k))
+    }
+
+    #[test]
+    fn roundtrip_both_directions() {
+        let (mut c, mut s) = pair();
+        let f = c.seal(b"NFS3 LOOKUP foo").unwrap();
+        assert_eq!(s.open(&f).unwrap(), b"NFS3 LOOKUP foo");
+        let f = s.seal(b"NFS3 LOOKUP reply").unwrap();
+        assert_eq!(c.open(&f).unwrap(), b"NFS3 LOOKUP reply");
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let (mut c, _) = pair();
+        let f = c.seal(b"super secret data").unwrap();
+        // The plaintext must not appear in the frame.
+        assert!(!f
+            .windows(b"super secret".len())
+            .any(|w| w == b"super secret"));
+    }
+
+    #[test]
+    fn sequence_of_messages() {
+        let (mut c, mut s) = pair();
+        for i in 0..50u32 {
+            let msg = format!("message number {i}");
+            let f = c.seal(msg.as_bytes()).unwrap();
+            assert_eq!(s.open(&f).unwrap(), msg.as_bytes());
+        }
+        assert_eq!(c.messages_sent(), 50);
+        assert_eq!(s.messages_received(), 50);
+    }
+
+    #[test]
+    fn tampering_detected_and_poisons() {
+        let (mut c, mut s) = pair();
+        let mut f = c.seal(b"chmod 0644").unwrap();
+        f[6] ^= 0x01;
+        assert_eq!(s.open(&f).unwrap_err(), ChannelError::MacFailure);
+        assert!(s.is_poisoned());
+        // Further messages are refused.
+        let f2 = c.seal(b"next").unwrap();
+        assert_eq!(s.open(&f2).unwrap_err(), ChannelError::Poisoned);
+    }
+
+    #[test]
+    fn replay_detected() {
+        let (mut c, mut s) = pair();
+        let f1 = c.seal(b"pay alice $1").unwrap();
+        assert!(s.open(&f1).is_ok());
+        // Replaying the same ciphertext hits a different stream position:
+        // the frame garbles (bad length or MAC) and the channel poisons.
+        assert!(s.open(&f1).is_err());
+        assert!(s.is_poisoned());
+    }
+
+    #[test]
+    fn reorder_detected() {
+        let (mut c, mut s) = pair();
+        let f1 = c.seal(b"first").unwrap();
+        let f2 = c.seal(b"second").unwrap();
+        assert!(s.open(&f2).is_err());
+        assert!(s.is_poisoned());
+        let _ = f1;
+    }
+
+    #[test]
+    fn drop_detected_on_next_message() {
+        let (mut c, mut s) = pair();
+        let _lost = c.seal(b"lost in transit").unwrap();
+        let f2 = c.seal(b"arrives").unwrap();
+        assert!(s.open(&f2).is_err());
+        assert!(s.is_poisoned());
+    }
+
+    #[test]
+    fn wrong_direction_rejected() {
+        // A frame sealed by the client cannot be opened by another client
+        // end (same keys, wrong direction).
+        let k = keys();
+        let mut c1 = SecureChannelEnd::client(&k);
+        let mut c2 = SecureChannelEnd::client(&k);
+        let f = c1.seal(b"hello").unwrap();
+        // c2 receives under ksc, but the frame was sealed under kcs.
+        assert!(c2.open(&f).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let (mut c, mut s) = pair();
+        let f = c.seal(b"hello").unwrap();
+        assert_eq!(s.open(&f[..10]).unwrap_err(), ChannelError::Truncated);
+    }
+
+    #[test]
+    fn empty_message_ok() {
+        let (mut c, mut s) = pair();
+        let f = c.seal(b"").unwrap();
+        assert_eq!(s.open(&f).unwrap(), b"");
+    }
+
+    #[test]
+    fn distinct_sessions_cannot_cross_decrypt() {
+        let k1 = keys();
+        let k2 = SessionKeys {
+            kcs: *b"different-kcs-key-!!",
+            ksc: *b"different-ksc-key-!!",
+            session_id: [1u8; 20],
+        };
+        let mut c = SecureChannelEnd::client(&k1);
+        let mut s = SecureChannelEnd::server(&k2);
+        let f = c.seal(b"cross").unwrap();
+        assert!(s.open(&f).is_err());
+    }
+}

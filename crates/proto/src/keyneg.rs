@@ -1,0 +1,471 @@
+//! The SFS key-negotiation protocol (Figure 3, §3.1.1).
+//!
+//! ```text
+//! 1. C → S: Location, HostID
+//! 2. S → C: K_S                        (client checks SHA-1 against HostID)
+//! 3. C → S: K_C, {k_C1, k_C2}_K_S     (K_C is short-lived / ephemeral)
+//! 4. S → C: {k_S1, k_S2}_K_C
+//!
+//! k_CS = SHA-1("KCS", K_S, k_S1, K_C, k_C1)
+//! k_SC = SHA-1("KSC", K_S, k_S2, K_C, k_C2)
+//! ```
+//!
+//! "This key negotiation protocol assures the client that no one else can
+//! know k_CS and k_SC without also possessing K_S⁻¹. … Clients discard and
+//! regenerate K_C at regular intervals (every hour by default)", which is
+//! what gives recorded sessions forward secrecy (§2.4: an attacker who
+//! later steals the server key "cannot decrypt previously recorded network
+//! transmissions").
+//!
+//! RECONSTRUCTION: the exact per-direction ordering of key halves inside
+//! the two SHA-1 derivations is not printable from the paper's damaged
+//! glyphs; the structure above (constant, server key, server half, client
+//! key, client half) follows the visible subscripts.
+
+use sfs_bignum::RandomSource;
+use sfs_crypto::rabin::{RabinError, RabinPrivateKey, RabinPublicKey};
+use sfs_crypto::sha1::{sha1_concat, DIGEST_LEN};
+use sfs_xdr::{Xdr, XdrDecoder, XdrEncoder, XdrError};
+
+use crate::pathname::{HostId, SelfCertifyingPath};
+use crate::revoke::RevocationCert;
+
+/// Length of each random key half.
+pub const KEY_HALF_LEN: usize = 16;
+
+/// Errors during key negotiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyNegError {
+    /// The server's claimed public key does not hash to the pathname's
+    /// HostID — self-certification failed.
+    HostIdMismatch,
+    /// Public-key decryption failed (malformed or tampered message).
+    Crypto(RabinError),
+    /// Message failed to unmarshal.
+    Xdr(XdrError),
+    /// The server answered with a valid revocation certificate for this
+    /// path.
+    Revoked(Box<RevocationCert>),
+}
+
+impl std::fmt::Display for KeyNegError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyNegError::HostIdMismatch => {
+                write!(f, "server public key does not match HostID")
+            }
+            KeyNegError::Crypto(e) => write!(f, "key negotiation crypto failure: {e}"),
+            KeyNegError::Xdr(e) => write!(f, "key negotiation decode failure: {e}"),
+            KeyNegError::Revoked(_) => write!(f, "pathname has been revoked"),
+        }
+    }
+}
+
+impl std::error::Error for KeyNegError {}
+
+impl From<RabinError> for KeyNegError {
+    fn from(e: RabinError) -> Self {
+        KeyNegError::Crypto(e)
+    }
+}
+
+impl From<XdrError> for KeyNegError {
+    fn from(e: XdrError) -> Self {
+        KeyNegError::Xdr(e)
+    }
+}
+
+/// The session keys both sides derive, plus the SessionID used by user
+/// authentication.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SessionKeys {
+    /// Client→server key.
+    pub kcs: [u8; DIGEST_LEN],
+    /// Server→client key.
+    pub ksc: [u8; DIGEST_LEN],
+    /// SessionID = SHA-1("SessionInfo", k_SC, k_CS) (§3.1.2).
+    pub session_id: [u8; DIGEST_LEN],
+}
+
+impl SessionKeys {
+    fn derive(
+        server_key: &RabinPublicKey,
+        client_key: &RabinPublicKey,
+        kc: &KeyHalves,
+        ks: &KeyHalves,
+    ) -> SessionKeys {
+        let kcs = sha1_concat(&[
+            b"KCS",
+            &server_key.to_bytes(),
+            &ks.half1,
+            &client_key.to_bytes(),
+            &kc.half1,
+        ]);
+        let ksc = sha1_concat(&[
+            b"KSC",
+            &server_key.to_bytes(),
+            &ks.half2,
+            &client_key.to_bytes(),
+            &kc.half2,
+        ]);
+        let session_id = sha1_concat(&[b"SessionInfo", &ksc, &kcs]);
+        SessionKeys { kcs, ksc, session_id }
+    }
+}
+
+impl std::fmt::Debug for SessionKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material; the SessionID is public.
+        write!(f, "SessionKeys {{ session_id: {:02x?} }}", &self.session_id[..4])
+    }
+}
+
+/// A pair of random key halves.
+#[derive(Clone, PartialEq, Eq)]
+struct KeyHalves {
+    half1: [u8; KEY_HALF_LEN],
+    half2: [u8; KEY_HALF_LEN],
+}
+
+impl KeyHalves {
+    fn random<R: RandomSource>(rng: &mut R) -> Self {
+        let mut half1 = [0u8; KEY_HALF_LEN];
+        let mut half2 = [0u8; KEY_HALF_LEN];
+        rng.fill(&mut half1);
+        rng.fill(&mut half2);
+        KeyHalves { half1, half2 }
+    }
+
+    fn to_xdr_bytes(&self) -> Vec<u8> {
+        let mut enc = XdrEncoder::new();
+        enc.put_opaque_fixed(&self.half1);
+        enc.put_opaque_fixed(&self.half2);
+        enc.into_bytes()
+    }
+
+    fn from_xdr_bytes(data: &[u8]) -> Result<Self, XdrError> {
+        let mut dec = XdrDecoder::new(data);
+        let h1 = dec.get_opaque_fixed(KEY_HALF_LEN)?;
+        let h2 = dec.get_opaque_fixed(KEY_HALF_LEN)?;
+        dec.finish()?;
+        Ok(KeyHalves {
+            half1: h1.try_into().expect("length checked"),
+            half2: h2.try_into().expect("length checked"),
+        })
+    }
+}
+
+/// Step 1 — the client's hello, announcing which file system it wants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyNegRequest {
+    /// Location from the self-certifying pathname.
+    pub location: String,
+    /// HostID from the self-certifying pathname.
+    pub host_id: HostId,
+}
+
+impl Xdr for KeyNegRequest {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_string(&self.location);
+        self.host_id.encode(enc);
+    }
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(KeyNegRequest { location: dec.get_string()?, host_id: HostId::decode(dec)? })
+    }
+}
+
+/// Step 2 — the server's reply: its public key, or a revocation
+/// certificate ("When SFS first connects to a server … The server can
+/// respond with a revocation certificate", §2.6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyNegServerReply {
+    /// The server's long-lived public key.
+    ServerKey(Vec<u8>),
+    /// This pathname has been revoked.
+    Revoked(RevocationCert),
+}
+
+impl Xdr for KeyNegServerReply {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        match self {
+            KeyNegServerReply::ServerKey(k) => {
+                enc.put_u32(0);
+                enc.put_opaque(k);
+            }
+            KeyNegServerReply::Revoked(cert) => {
+                enc.put_u32(1);
+                cert.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(KeyNegServerReply::ServerKey(dec.get_opaque()?)),
+            1 => Ok(KeyNegServerReply::Revoked(RevocationCert::decode(dec)?)),
+            other => Err(XdrError::BadDiscriminant(other)),
+        }
+    }
+}
+
+/// Step 3 — the client's ephemeral key and its encrypted key halves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyNegClientKeys {
+    /// The client's short-lived public key K_C ("anonymous and has no
+    /// bearing on access control").
+    pub client_key: Vec<u8>,
+    /// {k_C1, k_C2} encrypted to K_S.
+    pub encrypted_halves: Vec<u8>,
+}
+
+impl Xdr for KeyNegClientKeys {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_opaque(&self.client_key);
+        enc.put_opaque(&self.encrypted_halves);
+    }
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(KeyNegClientKeys {
+            client_key: dec.get_opaque()?,
+            encrypted_halves: dec.get_opaque()?,
+        })
+    }
+}
+
+/// The client's half of the key negotiation.
+pub struct KeyNegClient {
+    path: SelfCertifyingPath,
+    ephemeral: RabinPrivateKey,
+}
+
+/// Client state between receiving the server key and the server halves.
+///
+/// Debug intentionally omits the key material.
+pub struct KeyNegClientAwaitingHalves {
+    server_key: RabinPublicKey,
+    ephemeral: RabinPrivateKey,
+    kc: KeyHalves,
+}
+
+impl KeyNegClient {
+    /// Starts a negotiation for `path` using the client's current
+    /// `ephemeral` key (regenerated hourly in the client master).
+    pub fn new(path: SelfCertifyingPath, ephemeral: RabinPrivateKey) -> Self {
+        KeyNegClient { path, ephemeral }
+    }
+
+    /// Step 1: the hello message.
+    pub fn hello(&self) -> KeyNegRequest {
+        KeyNegRequest {
+            location: self.path.location.clone(),
+            host_id: self.path.host_id,
+        }
+    }
+
+    /// Step 2→3: verify the server key against the HostID (the
+    /// self-certification step) and produce the encrypted client halves.
+    pub fn on_server_reply<R: RandomSource>(
+        self,
+        reply: &KeyNegServerReply,
+        rng: &mut R,
+    ) -> Result<(KeyNegClientAwaitingHalves, KeyNegClientKeys), KeyNegError> {
+        let key_bytes = match reply {
+            KeyNegServerReply::ServerKey(k) => k,
+            KeyNegServerReply::Revoked(cert) => {
+                // Only honor certificates that actually revoke this path.
+                if cert.revokes(&self.path) {
+                    return Err(KeyNegError::Revoked(Box::new(cert.clone())));
+                }
+                return Err(KeyNegError::HostIdMismatch);
+            }
+        };
+        let server_key = RabinPublicKey::from_bytes(key_bytes)?;
+        if !self.path.certifies(&server_key) {
+            return Err(KeyNegError::HostIdMismatch);
+        }
+        let kc = KeyHalves::random(rng);
+        let encrypted = server_key.encrypt(&kc.to_xdr_bytes(), rng)?;
+        let msg = KeyNegClientKeys {
+            client_key: self.ephemeral.public().to_bytes(),
+            encrypted_halves: encrypted,
+        };
+        Ok((
+            KeyNegClientAwaitingHalves { server_key, ephemeral: self.ephemeral, kc },
+            msg,
+        ))
+    }
+}
+
+impl std::fmt::Debug for KeyNegClientAwaitingHalves {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "KeyNegClientAwaitingHalves {{ .. }}")
+    }
+}
+
+impl KeyNegClientAwaitingHalves {
+    /// Step 4: decrypt the server's key halves and derive the session
+    /// keys.
+    pub fn on_server_halves(self, encrypted: &[u8]) -> Result<SessionKeys, KeyNegError> {
+        let ks = KeyHalves::from_xdr_bytes(&self.ephemeral.decrypt(encrypted)?)?;
+        Ok(SessionKeys::derive(
+            &self.server_key,
+            self.ephemeral.public(),
+            &self.kc,
+            &ks,
+        ))
+    }
+}
+
+/// The server's half of the negotiation: processes step 3 and produces
+/// step 4 plus its own session keys.
+pub fn server_process_client_keys<R: RandomSource>(
+    server_key: &RabinPrivateKey,
+    msg: &KeyNegClientKeys,
+    rng: &mut R,
+) -> Result<(SessionKeys, Vec<u8>), KeyNegError> {
+    let client_key = RabinPublicKey::from_bytes(&msg.client_key)?;
+    let kc = KeyHalves::from_xdr_bytes(&server_key.decrypt(&msg.encrypted_halves)?)?;
+    let ks = KeyHalves::random(rng);
+    let encrypted = client_key.encrypt(&ks.to_xdr_bytes(), rng)?;
+    let keys = SessionKeys::derive(server_key.public(), &client_key, &kc, &ks);
+    Ok((keys, encrypted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_bignum::XorShiftSource;
+    use sfs_crypto::rabin::generate_keypair;
+    use std::sync::OnceLock;
+
+    /// Shared test keys (generation is the slow part).
+    fn server_key() -> &'static RabinPrivateKey {
+        static KEY: OnceLock<RabinPrivateKey> = OnceLock::new();
+        KEY.get_or_init(|| {
+            let mut rng = XorShiftSource::new(0x5EED);
+            generate_keypair(768, &mut rng)
+        })
+    }
+
+    fn ephemeral_key() -> RabinPrivateKey {
+        static KEY: OnceLock<RabinPrivateKey> = OnceLock::new();
+        KEY.get_or_init(|| {
+            let mut rng = XorShiftSource::new(0xE4E);
+            generate_keypair(768, &mut rng)
+        })
+        .clone()
+    }
+
+    fn run_negotiation() -> (SessionKeys, SessionKeys) {
+        let skey = server_key();
+        let path = SelfCertifyingPath::for_server("sfs.lcs.mit.edu", skey.public());
+        let mut crng = XorShiftSource::new(11);
+        let mut srng = XorShiftSource::new(22);
+
+        let client = KeyNegClient::new(path, ephemeral_key());
+        let _hello = client.hello();
+        let reply = KeyNegServerReply::ServerKey(skey.public().to_bytes());
+        let (awaiting, msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
+        let (server_keys, msg4) =
+            server_process_client_keys(skey, &msg3, &mut srng).unwrap();
+        let client_keys = awaiting.on_server_halves(&msg4).unwrap();
+        (client_keys, server_keys)
+    }
+
+    #[test]
+    fn both_sides_agree() {
+        let (c, s) = run_negotiation();
+        assert_eq!(c, s);
+        assert_ne!(c.kcs, c.ksc, "directions must use distinct keys");
+    }
+
+    #[test]
+    fn sessions_are_unique() {
+        let (a, _) = run_negotiation();
+        // Different randomness yields different keys.
+        let skey = server_key();
+        let path = SelfCertifyingPath::for_server("sfs.lcs.mit.edu", skey.public());
+        let mut crng = XorShiftSource::new(77);
+        let mut srng = XorShiftSource::new(88);
+        let client = KeyNegClient::new(path, ephemeral_key());
+        let reply = KeyNegServerReply::ServerKey(skey.public().to_bytes());
+        let (awaiting, msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
+        let (_, msg4) = server_process_client_keys(skey, &msg3, &mut srng).unwrap();
+        let b = awaiting.on_server_halves(&msg4).unwrap();
+        assert_ne!(a.session_id, b.session_id);
+    }
+
+    #[test]
+    fn mitm_key_substitution_detected() {
+        // An attacker presents its own key for the same Location.
+        let skey = server_key();
+        let path = SelfCertifyingPath::for_server("sfs.lcs.mit.edu", skey.public());
+        let mut rng = XorShiftSource::new(1);
+        let mut attacker_rng = XorShiftSource::new(666);
+        let attacker = generate_keypair(768, &mut attacker_rng);
+        let client = KeyNegClient::new(path, ephemeral_key());
+        let reply = KeyNegServerReply::ServerKey(attacker.public().to_bytes());
+        let err = client.on_server_reply(&reply, &mut rng).unwrap_err();
+        assert_eq!(err, KeyNegError::HostIdMismatch);
+    }
+
+    #[test]
+    fn tampered_halves_rejected() {
+        let skey = server_key();
+        let path = SelfCertifyingPath::for_server("sfs.lcs.mit.edu", skey.public());
+        let mut crng = XorShiftSource::new(2);
+        let mut srng = XorShiftSource::new(3);
+        let client = KeyNegClient::new(path, ephemeral_key());
+        let reply = KeyNegServerReply::ServerKey(skey.public().to_bytes());
+        let (awaiting, msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
+        let (_, mut msg4) = server_process_client_keys(skey, &msg3, &mut srng).unwrap();
+        msg4[5] ^= 1;
+        assert!(matches!(
+            awaiting.on_server_halves(&msg4).unwrap_err(),
+            KeyNegError::Crypto(_)
+        ));
+    }
+
+    #[test]
+    fn tampered_client_message_rejected_by_server() {
+        let skey = server_key();
+        let path = SelfCertifyingPath::for_server("sfs.lcs.mit.edu", skey.public());
+        let mut crng = XorShiftSource::new(4);
+        let mut srng = XorShiftSource::new(5);
+        let client = KeyNegClient::new(path, ephemeral_key());
+        let reply = KeyNegServerReply::ServerKey(skey.public().to_bytes());
+        let (_awaiting, mut msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
+        msg3.encrypted_halves[7] ^= 1;
+        assert!(server_process_client_keys(skey, &msg3, &mut srng).is_err());
+    }
+
+    #[test]
+    fn messages_roundtrip_xdr() {
+        let skey = server_key();
+        let path = SelfCertifyingPath::for_server("x.example.org", skey.public());
+        let req = KeyNegRequest { location: path.location.clone(), host_id: path.host_id };
+        assert_eq!(KeyNegRequest::from_xdr(&req.to_xdr()).unwrap(), req);
+        let reply = KeyNegServerReply::ServerKey(skey.public().to_bytes());
+        assert_eq!(KeyNegServerReply::from_xdr(&reply.to_xdr()).unwrap(), reply);
+        let msg = KeyNegClientKeys { client_key: vec![1, 2, 3], encrypted_halves: vec![4, 5] };
+        assert_eq!(KeyNegClientKeys::from_xdr(&msg.to_xdr()).unwrap(), msg);
+    }
+
+    #[test]
+    fn forward_secrecy_structure() {
+        // The shared secrets are the four key halves; k_C halves are
+        // encrypted to K_S, k_S halves to the *ephemeral* K_C. With only
+        // K_S^-1 (post-hoc compromise) an attacker recovers k_C1/k_C2 but
+        // not k_S1/k_S2, hence neither session key. We verify the k_S
+        // message is bound to the ephemeral key by decrypting it with the
+        // wrong key and failing.
+        let skey = server_key();
+        let path = SelfCertifyingPath::for_server("sfs.lcs.mit.edu", skey.public());
+        let mut crng = XorShiftSource::new(6);
+        let mut srng = XorShiftSource::new(7);
+        let client = KeyNegClient::new(path, ephemeral_key());
+        let reply = KeyNegServerReply::ServerKey(skey.public().to_bytes());
+        let (_awaiting, msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
+        let (_, msg4) = server_process_client_keys(skey, &msg3, &mut srng).unwrap();
+        // The server's long-lived key cannot decrypt message 4.
+        assert!(skey.decrypt(&msg4).is_err());
+    }
+}

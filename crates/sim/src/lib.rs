@@ -1,0 +1,33 @@
+//! Deterministic virtual-time simulation of SFS's execution environment.
+//!
+//! The paper's evaluation (§4) ran on two 550 MHz Pentium IIIs joined by
+//! 100 Mbit switched Ethernet, with FreeBSD's FFS on an IBM 18ES SCSI disk.
+//! This crate substitutes a calibrated, deterministic model of that testbed
+//! so that every figure can be regenerated bit-for-bit:
+//!
+//! - [`time`]: a shared virtual clock ([`SimClock`]) that components charge
+//!   costs to;
+//! - [`net`]: request/response wires with latency, bandwidth, and
+//!   per-message transport overhead (UDP vs TCP), plus an [`Interceptor`]
+//!   hook giving tests the paper's §2.1.2 adversary — "attackers can
+//!   intercept packets, tamper with them, and inject new packets onto the
+//!   network";
+//! - [`disk`]: a seek/rotate/transfer disk model with a write-behind cache
+//!   and explicit synchronous-write accounting (the Sprite LFS benchmarks
+//!   are dominated by sync writes);
+//! - [`cpu`]: per-byte and per-operation CPU cost accounting (user-level
+//!   crossings, software crypto);
+//! - [`ipc`]: authenticated local inter-process calls standing in for
+//!   Unix-domain sockets plus the `suidconnect` helper (§3.2).
+
+pub mod cpu;
+pub mod disk;
+pub mod ipc;
+pub mod net;
+pub mod time;
+
+pub use cpu::CpuCosts;
+pub use disk::{DiskParams, SimDisk};
+pub use ipc::{LocalEndpoint, LocalIdentity};
+pub use net::{Direction, Interceptor, NetParams, PacketLog, Transport, Verdict, Wire, WireError};
+pub use time::{SimClock, SimTime};

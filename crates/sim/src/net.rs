@@ -1,0 +1,341 @@
+//! Simulated network wires with an adversary hook.
+//!
+//! Paper §2.1.2: "SFS assumes that malicious parties entirely control the
+//! network. Attackers can intercept packets, tamper with them, and inject
+//! new packets onto the network." The [`Interceptor`] trait gives tests
+//! exactly those powers; [`PacketLog`] records ciphertext for
+//! forward-secrecy experiments.
+//!
+//! A [`Wire`] is a synchronous request/response channel that charges the
+//! virtual clock for transit: per-message transport overhead (UDP vs TCP
+//! differ, which is how the NFS-over-TCP baseline ends up slower in
+//! Figure 5), propagation latency, and serialization time at the link
+//! bandwidth.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::time::SimClock;
+
+/// Packet direction relative to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client to server.
+    Request,
+    /// Server to client.
+    Reply,
+}
+
+/// What an interceptor decided to do with a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver the (possibly inspected) packet unchanged.
+    Deliver,
+    /// Deliver modified bytes instead.
+    Replace(Vec<u8>),
+    /// Drop the packet (the caller observes a timeout).
+    Drop,
+}
+
+/// An active network adversary (or passive observer).
+pub trait Interceptor: Send {
+    /// Called for every packet on the wire.
+    fn intercept(&mut self, dir: Direction, bytes: &[u8]) -> Verdict;
+}
+
+/// Records all traffic, for later cryptanalysis attempts (forward-secrecy
+/// tests replay these recordings against disclosed keys).
+#[derive(Debug, Default, Clone)]
+pub struct PacketLog {
+    packets: Arc<Mutex<Vec<(Direction, Vec<u8>)>>>,
+}
+
+impl PacketLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a packet.
+    pub fn record(&self, dir: Direction, bytes: &[u8]) {
+        self.packets.lock().push((dir, bytes.to_vec()));
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> Vec<(Direction, Vec<u8>)> {
+        self.packets.lock().clone()
+    }
+
+    /// Number of recorded packets.
+    pub fn len(&self) -> usize {
+        self.packets.lock().len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Transport protocol under the RPC layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// UDP datagrams (the classic NFS transport).
+    Udp,
+    /// TCP stream (what SFS uses; slightly more per-message work).
+    Tcp,
+}
+
+/// Link and transport cost parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NetParams {
+    /// One-way propagation + switching latency, ns.
+    pub latency_ns: u64,
+    /// Link bandwidth, bytes per second.
+    pub bandwidth_bps: u64,
+    /// Fixed per-message transport cost (protocol processing, ACK costs
+    /// amortized), ns.
+    pub per_message_ns: u64,
+    /// Additional per-byte protocol cost (checksumming and buffering in
+    /// the transport; nonzero for TCP, whose FreeBSD NFS path the paper
+    /// found "suboptimal").
+    pub per_byte_extra_ns: u64,
+}
+
+impl NetParams {
+    /// 100 Mbit/s switched Ethernet as in §4.1, with per-transport message
+    /// costs calibrated against Figure 5 (see `sfs-bench::calib`).
+    pub fn switched_100mbit(transport: Transport) -> Self {
+        NetParams {
+            latency_ns: 35_000, // one-way wire+switch+interrupt latency
+            bandwidth_bps: 100_000_000 / 8,
+            per_message_ns: match transport {
+                Transport::Udp => 10_000,
+                Transport::Tcp => 20_000,
+            },
+            per_byte_extra_ns: match transport {
+                Transport::Udp => 0,
+                Transport::Tcp => 24,
+            },
+        }
+    }
+
+    /// Transit time for a message of `len` bytes.
+    pub fn transit_ns(&self, len: usize) -> u64 {
+        self.latency_ns
+            + self.per_message_ns
+            + (len as u64 * 1_000_000_000) / self.bandwidth_bps
+            + len as u64 * self.per_byte_extra_ns
+    }
+}
+
+/// Error observed by a caller when the adversary interferes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The packet (or its reply) never arrived.
+    Timeout,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "network timeout")
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A synchronous request/response wire between a client and a server.
+///
+/// The server side is a closure; layering (secure channel, RPC dispatch,
+/// NFS relay) happens in the crates above.
+pub struct Wire {
+    clock: SimClock,
+    params: NetParams,
+    interceptor: Option<Arc<Mutex<dyn Interceptor>>>,
+    log: Option<PacketLog>,
+    /// Count of round trips completed, for RPC-count assertions in
+    /// benchmarks ("SFS's enhanced caching reduces the number of RPCs that
+    /// actually need to go over the network").
+    round_trips: Arc<Mutex<u64>>,
+    bytes_sent: Arc<Mutex<u64>>,
+}
+
+impl Wire {
+    /// Creates a wire with the given clock and parameters.
+    pub fn new(clock: SimClock, params: NetParams) -> Self {
+        Wire {
+            clock,
+            params,
+            interceptor: None,
+            log: None,
+            round_trips: Arc::new(Mutex::new(0)),
+            bytes_sent: Arc::new(Mutex::new(0)),
+        }
+    }
+
+    /// Attaches an adversary.
+    pub fn set_interceptor(&mut self, i: Arc<Mutex<dyn Interceptor>>) {
+        self.interceptor = Some(i);
+    }
+
+    /// Removes the adversary.
+    pub fn clear_interceptor(&mut self) {
+        self.interceptor = None;
+    }
+
+    /// Attaches a packet recorder.
+    pub fn set_log(&mut self, log: PacketLog) {
+        self.log = Some(log);
+    }
+
+    /// Completed round trips.
+    pub fn round_trips(&self) -> u64 {
+        *self.round_trips.lock()
+    }
+
+    /// Total bytes placed on the wire (both directions).
+    pub fn bytes_sent(&self) -> u64 {
+        *self.bytes_sent.lock()
+    }
+
+    /// The wire's clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    fn transit(&self, dir: Direction, bytes: Vec<u8>) -> Result<Vec<u8>, WireError> {
+        self.clock.advance_ns(self.params.transit_ns(bytes.len()));
+        *self.bytes_sent.lock() += bytes.len() as u64;
+        if let Some(log) = &self.log {
+            log.record(dir, &bytes);
+        }
+        match &self.interceptor {
+            None => Ok(bytes),
+            Some(i) => match i.lock().intercept(dir, &bytes) {
+                Verdict::Deliver => Ok(bytes),
+                Verdict::Replace(other) => Ok(other),
+                Verdict::Drop => {
+                    // The caller waits out a retransmission timeout.
+                    self.clock.advance_ns(1_000_000_000);
+                    Err(WireError::Timeout)
+                }
+            },
+        }
+    }
+
+    /// Sends `request` to `server` and returns its reply, charging transit
+    /// costs both ways.
+    pub fn call(
+        &self,
+        request: Vec<u8>,
+        server: impl FnOnce(Vec<u8>) -> Vec<u8>,
+    ) -> Result<Vec<u8>, WireError> {
+        let delivered = self.transit(Direction::Request, request)?;
+        let reply = server(delivered);
+        let got = self.transit(Direction::Reply, reply)?;
+        *self.round_trips.lock() += 1;
+        Ok(got)
+    }
+}
+
+impl std::fmt::Debug for Wire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wire")
+            .field("params", &self.params)
+            .field("round_trips", &self.round_trips())
+            .field("bytes_sent", &self.bytes_sent())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire() -> Wire {
+        Wire::new(SimClock::new(), NetParams::switched_100mbit(Transport::Udp))
+    }
+
+    #[test]
+    fn call_roundtrip_charges_time() {
+        let w = wire();
+        let reply = w
+            .call(b"ping".to_vec(), |req| {
+                assert_eq!(req, b"ping");
+                b"pong".to_vec()
+            })
+            .unwrap();
+        assert_eq!(reply, b"pong");
+        assert!(w.clock().now().as_nanos() > 0);
+        assert_eq!(w.round_trips(), 1);
+        assert_eq!(w.bytes_sent(), 8);
+    }
+
+    #[test]
+    fn larger_messages_take_longer() {
+        let w1 = wire();
+        w1.call(vec![0; 100], |_| vec![]).unwrap();
+        let w2 = wire();
+        w2.call(vec![0; 100_000], |_| vec![]).unwrap();
+        assert!(w2.clock().now() > w1.clock().now());
+    }
+
+    #[test]
+    fn tcp_costs_more_per_message() {
+        let udp = NetParams::switched_100mbit(Transport::Udp);
+        let tcp = NetParams::switched_100mbit(Transport::Tcp);
+        assert!(tcp.transit_ns(100) > udp.transit_ns(100));
+    }
+
+    struct Tamperer;
+    impl Interceptor for Tamperer {
+        fn intercept(&mut self, dir: Direction, bytes: &[u8]) -> Verdict {
+            if dir == Direction::Reply {
+                let mut b = bytes.to_vec();
+                b[0] ^= 0xff;
+                Verdict::Replace(b)
+            } else {
+                Verdict::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn interceptor_can_tamper() {
+        let mut w = wire();
+        w.set_interceptor(Arc::new(Mutex::new(Tamperer)));
+        let reply = w.call(b"hi".to_vec(), |_| vec![0x00, 0x01]).unwrap();
+        assert_eq!(reply, vec![0xff, 0x01]);
+    }
+
+    struct Dropper;
+    impl Interceptor for Dropper {
+        fn intercept(&mut self, _d: Direction, _b: &[u8]) -> Verdict {
+            Verdict::Drop
+        }
+    }
+
+    #[test]
+    fn interceptor_can_drop() {
+        let mut w = wire();
+        w.set_interceptor(Arc::new(Mutex::new(Dropper)));
+        let before = w.clock().now();
+        let err = w.call(b"hi".to_vec(), |_| vec![]).unwrap_err();
+        assert_eq!(err, WireError::Timeout);
+        // A retransmission timeout elapsed.
+        assert!(w.clock().now().since(before).as_nanos() >= 1_000_000_000);
+    }
+
+    #[test]
+    fn packet_log_records_both_directions() {
+        let mut w = wire();
+        let log = PacketLog::new();
+        w.set_log(log.clone());
+        w.call(b"req".to_vec(), |_| b"rep".to_vec()).unwrap();
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], (Direction::Request, b"req".to_vec()));
+        assert_eq!(snap[1], (Direction::Reply, b"rep".to_vec()));
+    }
+}

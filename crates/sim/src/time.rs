@@ -1,0 +1,154 @@
+//! Virtual time.
+//!
+//! All SFS components in this reproduction charge their costs (network
+//! transit, disk I/O, CPU work, context switches) to a shared [`SimClock`].
+//! Virtual time makes benchmark output deterministic across machines while
+//! preserving the *relative* costs the paper's evaluation measures.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds from whole microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Builds from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds (truncated).
+    pub fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float, for report formatting.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference.
+    pub fn since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{}µs", self.0 / 1000)
+        }
+    }
+}
+
+/// A shared, monotonically advancing virtual clock.
+///
+/// Clones share state; the clock is thread-safe though benchmarks drive it
+/// from one thread for determinism.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.now_ns.load(Ordering::SeqCst))
+    }
+
+    /// Advances the clock by `ns` nanoseconds, returning the new time.
+    pub fn advance_ns(&self, ns: u64) -> SimTime {
+        SimTime(self.now_ns.fetch_add(ns, Ordering::SeqCst) + ns)
+    }
+
+    /// Advances by a [`SimTime`] duration.
+    pub fn advance(&self, d: SimTime) -> SimTime {
+        self.advance_ns(d.0)
+    }
+
+    /// Measures the virtual time a closure consumes.
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, SimTime) {
+        let start = self.now();
+        let out = f();
+        (out, self.now().since(start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_ns(500);
+        assert_eq!(c.now().as_nanos(), 500);
+        c.advance(SimTime::from_micros(2));
+        assert_eq!(c.now().as_nanos(), 2_500);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance_ns(100);
+        assert_eq!(b.now().as_nanos(), 100);
+    }
+
+    #[test]
+    fn measure_reports_elapsed() {
+        let c = SimClock::new();
+        let (v, dt) = c.measure(|| {
+            c.advance_ns(1234);
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(dt.as_nanos(), 1234);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimTime::from_micros(5).to_string(), "5µs");
+        assert_eq!(SimTime::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(SimTime(2_500_000_000).to_string(), "2.500s");
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime(5);
+        let b = SimTime(10);
+        assert_eq!(a.since(b), SimTime::ZERO);
+        assert_eq!(b.since(a).as_nanos(), 5);
+    }
+}

@@ -1,0 +1,128 @@
+//! RPC traffic pretty-printing.
+//!
+//! Paper §3.2: "Our RPC library can pretty-print RPC traffic for debugging,
+//! making it easy to understand any problems by tracing exactly how
+//! processes interact." This module renders [`RpcMessage`]s and raw XDR as
+//! indented, human-readable text.
+
+use crate::rpc::{AcceptStat, AuthFlavor, RejectStat, RpcMessage};
+
+/// Well-known program numbers rendered by name.
+fn prog_name(prog: u32) -> &'static str {
+    match prog {
+        100003 => "NFS",
+        100005 => "MOUNT",
+        344_444 => "SFS_FS",
+        344_445 => "SFS_AUTH",
+        344_446 => "SFS_AGENT",
+        344_447 => "SFS_CB",
+        _ => "?",
+    }
+}
+
+fn flavor_name(flavor: AuthFlavor) -> String {
+    match flavor {
+        AuthFlavor::None => "AUTH_NONE".into(),
+        AuthFlavor::Unix => "AUTH_UNIX".into(),
+        AuthFlavor::SfsAuthNo => "AUTH_SFS".into(),
+        AuthFlavor::Other(v) => format!("AUTH_{v}"),
+    }
+}
+
+/// Renders a hex dump of up to `max` bytes, eliding the rest.
+pub fn hexdump(data: &[u8], max: usize) -> String {
+    let shown = &data[..data.len().min(max)];
+    let mut out = String::new();
+    for (i, chunk) in shown.chunks(16).enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!("    {:04x}: ", i * 16));
+        for b in chunk {
+            out.push_str(&format!("{b:02x} "));
+        }
+    }
+    if data.len() > max {
+        out.push_str(&format!("\n    … ({} more bytes)", data.len() - max));
+    }
+    out
+}
+
+/// Pretty-prints an RPC message.
+pub fn format_message(msg: &RpcMessage) -> String {
+    match msg {
+        RpcMessage::Call(c) => format!(
+            "CALL xid={:#010x} prog={}({}) vers={} proc={} cred={} [{} arg bytes]\n{}",
+            c.xid,
+            c.prog,
+            prog_name(c.prog),
+            c.vers,
+            c.proc,
+            flavor_name(c.cred.flavor),
+            c.args.len(),
+            hexdump(&c.args, 64),
+        ),
+        RpcMessage::Reply(r) => {
+            let status = match &r.status {
+                Ok(AcceptStat::Success) => "SUCCESS".to_string(),
+                Ok(stat) => format!("{stat:?}"),
+                Err(RejectStat::RpcMismatch) => "DENIED(RPC_MISMATCH)".to_string(),
+                Err(RejectStat::AuthError) => "DENIED(AUTH_ERROR)".to_string(),
+            };
+            format!(
+                "REPLY xid={:#010x} {} [{} result bytes]\n{}",
+                r.xid,
+                status,
+                r.results.len(),
+                hexdump(&r.results, 64),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpc::{OpaqueAuth, RpcCall, RpcReply};
+
+    fn call() -> RpcCall {
+        RpcCall {
+            xid: 0x1234,
+            prog: 100003,
+            vers: 3,
+            proc: 4,
+            cred: OpaqueAuth::sfs_authno(7),
+            verf: OpaqueAuth::none(),
+            args: (0..100u8).collect(),
+        }
+    }
+
+    #[test]
+    fn call_format_mentions_key_fields() {
+        let s = format_message(&RpcMessage::Call(call()));
+        assert!(s.contains("CALL"));
+        assert!(s.contains("NFS"));
+        assert!(s.contains("AUTH_SFS"));
+        assert!(s.contains("100 arg bytes"));
+        assert!(s.contains("more bytes")); // elision marker
+    }
+
+    #[test]
+    fn reply_format_mentions_status() {
+        let c = call();
+        let s = format_message(&RpcMessage::Reply(RpcReply::success(&c, vec![1, 2, 3])));
+        assert!(s.contains("REPLY"));
+        assert!(s.contains("SUCCESS"));
+        let s = format_message(&RpcMessage::Reply(RpcReply::auth_denied(&c)));
+        assert!(s.contains("DENIED(AUTH_ERROR)"));
+    }
+
+    #[test]
+    fn hexdump_elides() {
+        let d = hexdump(&[0u8; 100], 32);
+        assert!(d.contains("68 more bytes"));
+        let full = hexdump(&[1, 2, 3], 32);
+        assert!(full.contains("01 02 03"));
+        assert!(!full.contains("more bytes"));
+    }
+}

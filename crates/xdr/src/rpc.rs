@@ -1,0 +1,503 @@
+//! Sun RPC v2 messages (RFC 1831) and TCP record marking.
+//!
+//! Every SFS component — client master, subsidiary daemons, agents,
+//! authservers, and the NFS loopback — speaks Sun RPC. The message layer is
+//! deliberately small: a call carries program/version/procedure numbers and
+//! opaque credentials; a reply is accepted or denied.
+
+use crate::enc::{Xdr, XdrDecoder, XdrEncoder, XdrError};
+
+/// Authentication flavors (RFC 1831 §9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthFlavor {
+    /// No authentication.
+    None,
+    /// Traditional Unix credentials (uid/gid); used on the loopback NFS
+    /// path.
+    Unix,
+    /// An SFS authentication number issued by the user-auth protocol
+    /// (paper §3.1.2 — "the client tags all subsequent file system requests
+    /// from the user with that authentication number").
+    SfsAuthNo,
+    /// Any other flavor, preserved numerically.
+    Other(u32),
+}
+
+impl AuthFlavor {
+    fn to_u32(self) -> u32 {
+        match self {
+            AuthFlavor::None => 0,
+            AuthFlavor::Unix => 1,
+            AuthFlavor::SfsAuthNo => 390_000,
+            AuthFlavor::Other(v) => v,
+        }
+    }
+
+    fn from_u32(v: u32) -> Self {
+        match v {
+            0 => AuthFlavor::None,
+            1 => AuthFlavor::Unix,
+            390_000 => AuthFlavor::SfsAuthNo,
+            other => AuthFlavor::Other(other),
+        }
+    }
+}
+
+/// An RFC 1831 `opaque_auth`: a flavor plus up to 400 bytes of body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpaqueAuth {
+    /// The authentication flavor.
+    pub flavor: AuthFlavor,
+    /// Flavor-specific body.
+    pub body: Vec<u8>,
+}
+
+impl OpaqueAuth {
+    /// The null credential.
+    pub fn none() -> Self {
+        OpaqueAuth { flavor: AuthFlavor::None, body: Vec::new() }
+    }
+
+    /// An SFS authentication-number credential.
+    pub fn sfs_authno(authno: u32) -> Self {
+        OpaqueAuth {
+            flavor: AuthFlavor::SfsAuthNo,
+            body: authno.to_be_bytes().to_vec(),
+        }
+    }
+
+    /// Extracts an SFS authentication number, if this credential carries
+    /// one.
+    pub fn as_sfs_authno(&self) -> Option<u32> {
+        if self.flavor == AuthFlavor::SfsAuthNo && self.body.len() == 4 {
+            Some(u32::from_be_bytes(self.body[..4].try_into().unwrap()))
+        } else {
+            None
+        }
+    }
+}
+
+impl Xdr for OpaqueAuth {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(self.flavor.to_u32());
+        enc.put_opaque(&self.body);
+    }
+
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let flavor = AuthFlavor::from_u32(dec.get_u32()?);
+        let body = dec.get_opaque_max(400)?;
+        Ok(OpaqueAuth { flavor, body })
+    }
+}
+
+/// An RPC call body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcCall {
+    /// Transaction id, echoed in the reply.
+    pub xid: u32,
+    /// Program number (e.g. 100003 for NFS).
+    pub prog: u32,
+    /// Program version.
+    pub vers: u32,
+    /// Procedure number.
+    pub proc: u32,
+    /// Caller credentials.
+    pub cred: OpaqueAuth,
+    /// Caller verifier.
+    pub verf: OpaqueAuth,
+    /// Marshaled procedure arguments.
+    pub args: Vec<u8>,
+}
+
+/// Why a reply was denied (RFC 1831 `rejected_reply`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectStat {
+    /// RPC version mismatch.
+    RpcMismatch,
+    /// Authentication error.
+    AuthError,
+}
+
+/// Acceptance status of a reply (RFC 1831 `accept_stat`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptStat {
+    /// Procedure executed; results follow.
+    Success,
+    /// Program not exported here.
+    ProgUnavail,
+    /// Program version out of range.
+    ProgMismatch,
+    /// Unsupported procedure.
+    ProcUnavail,
+    /// Arguments failed to unmarshal.
+    GarbageArgs,
+    /// Internal error.
+    SystemErr,
+}
+
+impl AcceptStat {
+    fn to_u32(self) -> u32 {
+        match self {
+            AcceptStat::Success => 0,
+            AcceptStat::ProgUnavail => 1,
+            AcceptStat::ProgMismatch => 2,
+            AcceptStat::ProcUnavail => 3,
+            AcceptStat::GarbageArgs => 4,
+            AcceptStat::SystemErr => 5,
+        }
+    }
+
+    fn from_u32(v: u32) -> Result<Self, XdrError> {
+        Ok(match v {
+            0 => AcceptStat::Success,
+            1 => AcceptStat::ProgUnavail,
+            2 => AcceptStat::ProgMismatch,
+            3 => AcceptStat::ProcUnavail,
+            4 => AcceptStat::GarbageArgs,
+            5 => AcceptStat::SystemErr,
+            other => return Err(XdrError::BadDiscriminant(other)),
+        })
+    }
+}
+
+/// An RPC reply body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcReply {
+    /// Transaction id of the call being answered.
+    pub xid: u32,
+    /// Accepted status, or the denial reason.
+    pub status: Result<AcceptStat, RejectStat>,
+    /// Server verifier (accepted replies).
+    pub verf: OpaqueAuth,
+    /// Marshaled results (present when status is `Ok(Success)`).
+    pub results: Vec<u8>,
+}
+
+impl RpcReply {
+    /// Builds a successful reply to `call` carrying `results`.
+    pub fn success(call: &RpcCall, results: Vec<u8>) -> Self {
+        RpcReply {
+            xid: call.xid,
+            status: Ok(AcceptStat::Success),
+            verf: OpaqueAuth::none(),
+            results,
+        }
+    }
+
+    /// Builds an error reply to `call`.
+    pub fn error(call: &RpcCall, stat: AcceptStat) -> Self {
+        RpcReply { xid: call.xid, status: Ok(stat), verf: OpaqueAuth::none(), results: Vec::new() }
+    }
+
+    /// Builds an authentication-denied reply.
+    pub fn auth_denied(call: &RpcCall) -> Self {
+        RpcReply {
+            xid: call.xid,
+            status: Err(RejectStat::AuthError),
+            verf: OpaqueAuth::none(),
+            results: Vec::new(),
+        }
+    }
+}
+
+/// A complete RPC message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcMessage {
+    /// A call.
+    Call(RpcCall),
+    /// A reply.
+    Reply(RpcReply),
+}
+
+impl RpcMessage {
+    /// The transaction id.
+    pub fn xid(&self) -> u32 {
+        match self {
+            RpcMessage::Call(c) => c.xid,
+            RpcMessage::Reply(r) => r.xid,
+        }
+    }
+}
+
+const MSG_CALL: u32 = 0;
+const MSG_REPLY: u32 = 1;
+const RPC_VERSION: u32 = 2;
+const REPLY_ACCEPTED: u32 = 0;
+const REPLY_DENIED: u32 = 1;
+
+impl Xdr for RpcMessage {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        match self {
+            RpcMessage::Call(c) => {
+                enc.put_u32(c.xid);
+                enc.put_u32(MSG_CALL);
+                enc.put_u32(RPC_VERSION);
+                enc.put_u32(c.prog);
+                enc.put_u32(c.vers);
+                enc.put_u32(c.proc);
+                c.cred.encode(enc);
+                c.verf.encode(enc);
+                // Args are appended raw: their schema belongs to the
+                // program, not the RPC layer.
+                enc.put_opaque_fixed(&{
+                    let mut padded = c.args.clone();
+                    while padded.len() % 4 != 0 {
+                        padded.push(0);
+                    }
+                    padded
+                });
+            }
+            RpcMessage::Reply(r) => {
+                enc.put_u32(r.xid);
+                enc.put_u32(MSG_REPLY);
+                match &r.status {
+                    Ok(stat) => {
+                        enc.put_u32(REPLY_ACCEPTED);
+                        r.verf.encode(enc);
+                        enc.put_u32(stat.to_u32());
+                        enc.put_opaque_fixed(&{
+                            let mut padded = r.results.clone();
+                            while padded.len() % 4 != 0 {
+                                padded.push(0);
+                            }
+                            padded
+                        });
+                    }
+                    Err(RejectStat::RpcMismatch) => {
+                        enc.put_u32(REPLY_DENIED);
+                        enc.put_u32(0);
+                        enc.put_u32(RPC_VERSION);
+                        enc.put_u32(RPC_VERSION);
+                    }
+                    Err(RejectStat::AuthError) => {
+                        enc.put_u32(REPLY_DENIED);
+                        enc.put_u32(1);
+                        enc.put_u32(0); // auth_stat AUTH_OK placeholder code
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let xid = dec.get_u32()?;
+        match dec.get_u32()? {
+            MSG_CALL => {
+                let rpcvers = dec.get_u32()?;
+                if rpcvers != RPC_VERSION {
+                    return Err(XdrError::BadDiscriminant(rpcvers));
+                }
+                let prog = dec.get_u32()?;
+                let vers = dec.get_u32()?;
+                let proc = dec.get_u32()?;
+                let cred = OpaqueAuth::decode(dec)?;
+                let verf = OpaqueAuth::decode(dec)?;
+                let args = dec.get_opaque_fixed(dec.remaining())?;
+                Ok(RpcMessage::Call(RpcCall { xid, prog, vers, proc, cred, verf, args }))
+            }
+            MSG_REPLY => match dec.get_u32()? {
+                REPLY_ACCEPTED => {
+                    let verf = OpaqueAuth::decode(dec)?;
+                    let stat = AcceptStat::from_u32(dec.get_u32()?)?;
+                    let results = dec.get_opaque_fixed(dec.remaining())?;
+                    Ok(RpcMessage::Reply(RpcReply { xid, status: Ok(stat), verf, results }))
+                }
+                REPLY_DENIED => {
+                    let reject = match dec.get_u32()? {
+                        0 => {
+                            let _low = dec.get_u32()?;
+                            let _high = dec.get_u32()?;
+                            RejectStat::RpcMismatch
+                        }
+                        1 => {
+                            let _stat = dec.get_u32()?;
+                            RejectStat::AuthError
+                        }
+                        other => return Err(XdrError::BadDiscriminant(other)),
+                    };
+                    Ok(RpcMessage::Reply(RpcReply {
+                        xid,
+                        status: Err(reject),
+                        verf: OpaqueAuth::none(),
+                        results: Vec::new(),
+                    }))
+                }
+                other => Err(XdrError::BadDiscriminant(other)),
+            },
+            other => Err(XdrError::BadDiscriminant(other)),
+        }
+    }
+}
+
+/// Frames a marshaled message with TCP record marking (RFC 1831 §10): a
+/// 4-byte header whose high bit marks the final fragment.
+pub fn record_mark(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    let header = 0x8000_0000u32 | payload.len() as u32;
+    out.extend_from_slice(&header.to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits one record-marked message from the front of `stream`, returning
+/// `(payload, bytes_consumed)`; `None` when incomplete.
+///
+/// Multi-fragment records are reassembled.
+pub fn record_unmark(stream: &[u8]) -> Option<(Vec<u8>, usize)> {
+    let mut payload = Vec::new();
+    let mut pos = 0;
+    loop {
+        if stream.len() < pos + 4 {
+            return None;
+        }
+        let header = u32::from_be_bytes(stream[pos..pos + 4].try_into().unwrap());
+        let last = header & 0x8000_0000 != 0;
+        let len = (header & 0x7fff_ffff) as usize;
+        if stream.len() < pos + 4 + len {
+            return None;
+        }
+        payload.extend_from_slice(&stream[pos + 4..pos + 4 + len]);
+        pos += 4 + len;
+        if last {
+            return Some((payload, pos));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_call() -> RpcCall {
+        RpcCall {
+            xid: 0xdeadbeef,
+            prog: 100003,
+            vers: 3,
+            proc: 1,
+            cred: OpaqueAuth::sfs_authno(42),
+            verf: OpaqueAuth::none(),
+            args: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn call_roundtrip() {
+        let msg = RpcMessage::Call(sample_call());
+        let bytes = msg.to_xdr();
+        let back = RpcMessage::from_xdr(&bytes).unwrap();
+        match back {
+            RpcMessage::Call(c) => {
+                assert_eq!(c.xid, 0xdeadbeef);
+                assert_eq!(c.prog, 100003);
+                assert_eq!(c.cred.as_sfs_authno(), Some(42));
+                // Args round up to 4-byte alignment.
+                assert_eq!(&c.args[..5], &[1, 2, 3, 4, 5]);
+            }
+            _ => panic!("expected call"),
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let call = sample_call();
+        let msg = RpcMessage::Reply(RpcReply::success(&call, vec![9, 9, 9, 9]));
+        let back = RpcMessage::from_xdr(&msg.to_xdr()).unwrap();
+        match back {
+            RpcMessage::Reply(r) => {
+                assert_eq!(r.xid, call.xid);
+                assert_eq!(r.status, Ok(AcceptStat::Success));
+                assert_eq!(r.results, vec![9, 9, 9, 9]);
+            }
+            _ => panic!("expected reply"),
+        }
+    }
+
+    #[test]
+    fn denied_reply_roundtrip() {
+        let call = sample_call();
+        let msg = RpcMessage::Reply(RpcReply::auth_denied(&call));
+        let back = RpcMessage::from_xdr(&msg.to_xdr()).unwrap();
+        match back {
+            RpcMessage::Reply(r) => assert_eq!(r.status, Err(RejectStat::AuthError)),
+            _ => panic!("expected reply"),
+        }
+    }
+
+    #[test]
+    fn error_reply_stats() {
+        let call = sample_call();
+        for stat in [
+            AcceptStat::ProgUnavail,
+            AcceptStat::ProcUnavail,
+            AcceptStat::GarbageArgs,
+            AcceptStat::SystemErr,
+        ] {
+            let msg = RpcMessage::Reply(RpcReply::error(&call, stat));
+            match RpcMessage::from_xdr(&msg.to_xdr()).unwrap() {
+                RpcMessage::Reply(r) => assert_eq!(r.status, Ok(stat)),
+                _ => panic!("expected reply"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_rpc_version_rejected() {
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(1); // xid
+        enc.put_u32(MSG_CALL);
+        enc.put_u32(3); // bad rpcvers
+        assert!(matches!(
+            RpcMessage::from_xdr(enc.bytes()),
+            Err(XdrError::BadDiscriminant(3))
+        ));
+    }
+
+    #[test]
+    fn record_marking_roundtrip() {
+        let framed = record_mark(b"hello rpc");
+        let (payload, consumed) = record_unmark(&framed).unwrap();
+        assert_eq!(payload, b"hello rpc");
+        assert_eq!(consumed, framed.len());
+    }
+
+    #[test]
+    fn record_unmark_handles_partial() {
+        let framed = record_mark(b"data");
+        assert!(record_unmark(&framed[..3]).is_none());
+        assert!(record_unmark(&framed[..framed.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn record_unmark_reassembles_fragments() {
+        // Two fragments: "hel" (not last) + "lo" (last).
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(3u32).to_be_bytes());
+        stream.extend_from_slice(b"hel");
+        stream.extend_from_slice(&(0x8000_0000u32 | 2).to_be_bytes());
+        stream.extend_from_slice(b"lo");
+        let (payload, consumed) = record_unmark(&stream).unwrap();
+        assert_eq!(payload, b"hello");
+        assert_eq!(consumed, stream.len());
+    }
+
+    #[test]
+    fn record_unmark_two_messages_back_to_back() {
+        let mut stream = record_mark(b"first");
+        stream.extend_from_slice(&record_mark(b"second"));
+        let (p1, c1) = record_unmark(&stream).unwrap();
+        assert_eq!(p1, b"first");
+        let (p2, c2) = record_unmark(&stream[c1..]).unwrap();
+        assert_eq!(p2, b"second");
+        assert_eq!(c1 + c2, stream.len());
+    }
+
+    #[test]
+    fn auth_body_cap_enforced() {
+        let auth = OpaqueAuth { flavor: AuthFlavor::Unix, body: vec![0u8; 401] };
+        let bytes = auth.to_xdr();
+        assert!(matches!(
+            OpaqueAuth::from_xdr(&bytes),
+            Err(XdrError::LengthTooLong { claimed: 401, max: 400 })
+        ));
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for XDR encoding invariants.
+
+use proptest::prelude::*;
+use sfs_xdr::{Xdr, XdrDecoder, XdrEncoder, XdrError};
+
+proptest! {
+    #[test]
+    fn primitives_roundtrip(a in any::<u32>(), b in any::<i32>(), c in any::<u64>(),
+                            d in any::<i64>(), e in any::<bool>()) {
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(a);
+        enc.put_i32(b);
+        enc.put_u64(c);
+        enc.put_i64(d);
+        enc.put_bool(e);
+        let mut dec = XdrDecoder::new(enc.bytes());
+        prop_assert_eq!(dec.get_u32().unwrap(), a);
+        prop_assert_eq!(dec.get_i32().unwrap(), b);
+        prop_assert_eq!(dec.get_u64().unwrap(), c);
+        prop_assert_eq!(dec.get_i64().unwrap(), d);
+        prop_assert_eq!(dec.get_bool().unwrap(), e);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn everything_is_four_byte_aligned(data in proptest::collection::vec(any::<u8>(), 0..100),
+                                       s in "[a-zA-Z0-9 ]{0,40}") {
+        let mut enc = XdrEncoder::new();
+        enc.put_opaque(&data);
+        prop_assert_eq!(enc.len() % 4, 0);
+        enc.put_string(&s);
+        prop_assert_eq!(enc.len() % 4, 0);
+        enc.put_opaque_fixed(&data);
+        prop_assert_eq!(enc.len() % 4, 0);
+    }
+
+    #[test]
+    fn strings_roundtrip(s in "\\PC{0,60}") {
+        let encoded = s.clone().to_xdr();
+        prop_assert_eq!(String::from_xdr(&encoded).unwrap(), s);
+    }
+
+    #[test]
+    fn nested_options_and_vecs_roundtrip(
+        v in proptest::collection::vec(proptest::option::of(any::<u64>()), 0..20),
+    ) {
+        let bytes = v.clone().to_xdr();
+        prop_assert_eq!(Vec::<Option<u64>>::from_xdr(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn truncation_always_detected(data in proptest::collection::vec(any::<u8>(), 1..80)) {
+        let whole = data.clone().to_xdr();
+        // Every strict prefix must fail to decode fully.
+        for cut in 0..whole.len() {
+            let r = Vec::<u8>::from_xdr(&whole[..cut]);
+            prop_assert!(r.is_err(), "prefix of len {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(junk in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let mut dec = XdrDecoder::new(&junk);
+        let _ = dec.get_opaque();
+        let _: Result<Vec<u64>, XdrError> = Vec::decode(&mut dec);
+        let _ = dec.get_string();
+        let _ = dec.get_bool();
+    }
+}

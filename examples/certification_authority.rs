@@ -1,0 +1,111 @@
+//! Certification authorities as file systems (§2.4): "SFS certification
+//! authorities are nothing more than ordinary file systems serving
+//! symbolic links." This example builds a Verisign-style CA, publishes it
+//! read-only so replicas can run on untrusted machines, and shows a user
+//! reaching a company's server through the CA by name alone.
+//!
+//! Run with: `cargo run --example certification_authority`
+
+use std::sync::Arc;
+
+use sfs::authserver::AuthServer;
+use sfs::client::{SfsClient, SfsNetwork};
+use sfs::server::{ServerConfig, SfsServer};
+use sfs_bignum::XorShiftSource;
+use sfs_crypto::rabin::generate_keypair;
+use sfs_crypto::srp::SrpGroup;
+use sfs_crypto::SfsPrg;
+use sfs_proto::readonly::{resolve_path, verified_root, RoNode};
+use sfs_sim::{NetParams, SimClock, Transport};
+use sfs_vfs::{Credentials, SetAttr, Vfs};
+
+fn make_server(
+    clock: &SimClock,
+    rng: &mut XorShiftSource,
+    group: &SrpGroup,
+    location: &str,
+) -> Arc<SfsServer> {
+    let vfs = Vfs::new(1, clock.clone());
+    let root_creds = Credentials::root();
+    let pubdir = vfs.mkdir_p("/pub").unwrap();
+    vfs.setattr(&root_creds, pubdir, SetAttr { mode: Some(0o755), ..Default::default() })
+        .unwrap();
+    vfs.write_file(
+        &root_creds,
+        pubdir,
+        "catalog",
+        format!("catalog served by {location}").as_bytes(),
+    )
+    .unwrap();
+    let (f, _) = vfs.lookup(&root_creds, pubdir, "catalog").unwrap();
+    vfs.setattr(&root_creds, f, SetAttr { mode: Some(0o644), ..Default::default() })
+        .unwrap();
+    SfsServer::new(
+        ServerConfig::new(location),
+        generate_keypair(768, rng),
+        vfs,
+        Arc::new(AuthServer::new(group.clone(), 2)),
+        SfsPrg::from_entropy(location.as_bytes()),
+    )
+}
+
+fn main() {
+    let clock = SimClock::new();
+    let mut rng = XorShiftSource::new(77);
+    let group = SrpGroup::generate(128, &mut rng);
+    let net = SfsNetwork::new(clock.clone(), NetParams::switched_100mbit(Transport::Tcp));
+
+    // Two companies run servers.
+    let acme = make_server(&clock, &mut rng, &group, "files.acme.example");
+    let initech = make_server(&clock, &mut rng, &group, "files.initech.example");
+    net.register(acme.clone());
+    net.register(initech.clone());
+
+    // Verisign runs a file system of symbolic links: name → self-
+    // certifying pathname. That *is* the certificate.
+    let verisign = make_server(&clock, &mut rng, &group, "verisign.example");
+    let vfs = verisign.vfs();
+    let root_creds = Credentials::root();
+    let root = vfs.root();
+    vfs.symlink(&root_creds, root, "acme", &acme.path().full_path()).unwrap();
+    vfs.symlink(&root_creds, root, "initech", &initech.path().full_path()).unwrap();
+    net.register(verisign.clone());
+    println!("CA namespace:");
+    println!("  /verisign/acme    -> {}", acme.path());
+    println!("  /verisign/initech -> {}\n", initech.path());
+
+    // A client administrator installs ONE link — to the CA.
+    let client = SfsClient::new(net, b"ca-example-client");
+    let uid = 1000;
+    client
+        .agent(uid)
+        .lock()
+        .create_link("verisign", &verisign.path().full_path());
+
+    // Users now certify servers by *naming files*: no certificate
+    // machinery, just path resolution.
+    for company in ["acme", "initech"] {
+        let path = format!("/sfs/verisign/{company}/pub/catalog");
+        let data = client.read_file(uid, &path).expect("certified access");
+        println!("{path}\n  -> {}", String::from_utf8_lossy(&data));
+    }
+
+    // "Interactive queries place high integrity, availability, and
+    // performance needs on the servers" — so the CA publishes its links
+    // as a presigned read-only database that untrusted mirrors can serve
+    // with zero cryptographic work (§2.4).
+    let db = verisign.publish_read_only(1);
+    println!(
+        "\nread-only export: {} blocks, {} bytes, 1 signature total",
+        db.block_count(),
+        db.total_bytes()
+    );
+    let mirror = (*db).clone(); // An untrusted mirror copies the blocks.
+    let root_digest = verified_root(&mirror, verisign.private_key().public()).unwrap();
+    match resolve_path(&mirror, root_digest, "/acme").unwrap() {
+        RoNode::Symlink(target) => {
+            println!("mirror serves /acme -> {target} (verified against the signed root)")
+        }
+        other => panic!("{other:?}"),
+    }
+}

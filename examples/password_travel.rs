@@ -1,0 +1,109 @@
+//! The §2.4 travel walkthrough: "Suppose a user from MIT travels to a
+//! research laboratory and wishes to access files back at MIT. The user
+//! runs the command `sfskey add [email protected]`. The command prompts
+//! him for a single password. He types it, and the command completes
+//! successfully. … The user now has secure access to his files back at
+//! MIT. The process involves no system administrators, no certification
+//! authorities, and no need for this user to have to think about anything
+//! like public keys or self-certifying pathnames."
+//!
+//! Run with: `cargo run --example password_travel`
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sfs::agent::Agent;
+use sfs::authserver::{AuthServer, UserRecord};
+use sfs::client::{SfsClient, SfsNetwork};
+use sfs::server::{ServerConfig, SfsServer};
+use sfs::sfskey;
+use sfs_bignum::XorShiftSource;
+use sfs_crypto::rabin::generate_keypair;
+use sfs_crypto::srp::SrpGroup;
+use sfs_crypto::SfsPrg;
+use sfs_sim::{NetParams, SimClock, Transport};
+use sfs_vfs::{Credentials, SetAttr, Vfs};
+
+fn main() {
+    let clock = SimClock::new();
+    let mut rng = XorShiftSource::new(1999);
+    let group = SrpGroup::generate(128, &mut rng);
+
+    // ── At MIT: the server and alice's one-time registration ──────────
+    let vfs = Vfs::new(1, clock.clone());
+    let root_creds = Credentials::root();
+    let home = vfs.mkdir_p("/home/alice").unwrap();
+    vfs.setattr(&root_creds, home, SetAttr { uid: Some(1000), gid: Some(100), ..Default::default() })
+        .unwrap();
+    vfs.write_file(&root_creds, home, "thesis.tex", b"\\chapter{Key Management}").unwrap();
+    let (f, _) = vfs.lookup(&root_creds, home, "thesis.tex").unwrap();
+    vfs.setattr(&root_creds, f, SetAttr { uid: Some(1000), mode: Some(0o600), ..Default::default() })
+        .unwrap();
+
+    let auth = Arc::new(AuthServer::new(group.clone(), 6));
+    let alice_key = generate_keypair(512, &mut rng);
+    auth.register_user(UserRecord {
+        user: "alice".into(),
+        uid: 1000,
+        gids: vec![100],
+        public_key: alice_key.public().to_bytes(),
+    });
+    let server = SfsServer::new(
+        ServerConfig::new("sfs.lcs.mit.edu"),
+        generate_keypair(768, &mut rng),
+        vfs,
+        auth,
+        SfsPrg::from_entropy(b"mit-server"),
+    );
+
+    let password = b"kHux-qr1cm-purpl";
+    // sfskey register: computes SRP data and an eksblowfish-encrypted
+    // copy of the private key *client-side* — "the server never sees any
+    // password-equivalent data."
+    sfskey::register(server.authserver(), "alice", password, &alice_key, &mut rng);
+    println!("registered alice at MIT (eksblowfish cost 2^{})", server.authserver().cost());
+
+    // ── At the research lab: a fresh machine, nothing configured ──────
+    let net = SfsNetwork::new(clock, NetParams::switched_100mbit(Transport::Tcp));
+    net.register(server.clone());
+    let lab_client = SfsClient::new(net, b"lab-client");
+    let mut agent = Agent::new();
+
+    println!("\n$ sfskey add [email protected]");
+    println!("Password: ****************");
+    let start = lab_client.clock().now();
+    let result = sfskey::add(
+        &server.accept(),
+        &group,
+        &mut agent,
+        "alice",
+        password,
+        &mut rng,
+    )
+    .expect("SRP handshake");
+    println!("fetched over SRP channel in {}:", lab_client.clock().now().since(start));
+    println!("  server path : {}", result.server_path.as_ref().unwrap());
+    println!("  private key : {} bits, decrypted locally",
+        result.private_key.as_ref().unwrap().public().modulus().bit_len());
+
+    // The agent now holds the key and a human-readable link.
+    lab_client.set_agent(1000, Arc::new(Mutex::new(agent)));
+    let thesis = "/sfs/sfs.lcs.mit.edu/home/alice/thesis.tex";
+    let data = lab_client.read_file(1000, thesis).expect("authenticated read");
+    println!("\n$ cat {thesis}");
+    println!("{}", String::from_utf8_lossy(&data));
+
+    // A wrong password gets nothing — and cannot be verified offline
+    // either (SRP), while each guess costs a full eksblowfish run.
+    let mut empty_agent = Agent::new();
+    let err = sfskey::add(
+        &server.accept(),
+        &group,
+        &mut empty_agent,
+        "alice",
+        b"wrong password",
+        &mut rng,
+    )
+    .unwrap_err();
+    println!("\nwrong password: {err}");
+}

@@ -1,0 +1,78 @@
+//! Quickstart: bring up an SFS server, mount it from a client by its
+//! self-certifying pathname, and work with files securely.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use sfs::authserver::{AuthServer, UserRecord};
+use sfs::client::{SfsClient, SfsNetwork};
+use sfs::server::{ServerConfig, SfsServer};
+use sfs_bignum::XorShiftSource;
+use sfs_crypto::rabin::generate_keypair;
+use sfs_crypto::srp::SrpGroup;
+use sfs_crypto::SfsPrg;
+use sfs_sim::{NetParams, SimClock, Transport};
+use sfs_vfs::{Credentials, SetAttr, Vfs};
+
+fn main() {
+    // ── Server side ────────────────────────────────────────────────────
+    // Anyone with a domain name can create a file server: generate a key,
+    // run the software. No authority to consult (§2.1.3).
+    let clock = SimClock::new();
+    let mut rng = XorShiftSource::new(2026);
+    let server_key = generate_keypair(768, &mut rng);
+
+    let vfs = Vfs::new(1, clock.clone());
+    let root_creds = Credentials::root();
+    let home = vfs.mkdir_p("/home/alice").unwrap();
+    vfs.setattr(&root_creds, home, SetAttr { uid: Some(1000), gid: Some(100), ..Default::default() })
+        .unwrap();
+
+    let auth = Arc::new(AuthServer::new(
+        SrpGroup::generate(128, &mut rng),
+        2,
+    ));
+    // Alice's public key maps to her Unix credentials (§2.5.1).
+    let alice_key = generate_keypair(512, &mut rng);
+    auth.register_user(UserRecord {
+        user: "alice".into(),
+        uid: 1000,
+        gids: vec![100],
+        public_key: alice_key.public().to_bytes(),
+    });
+
+    let server = SfsServer::new(
+        ServerConfig::new("sfs.lcs.mit.edu"),
+        server_key,
+        vfs,
+        auth,
+        SfsPrg::from_entropy(b"quickstart-server"),
+    );
+
+    // The server's name on every client in the world:
+    println!("self-certifying pathname:\n  {}\n", server.path());
+
+    // ── Client side ────────────────────────────────────────────────────
+    let net = SfsNetwork::new(clock, NetParams::switched_100mbit(Transport::Tcp));
+    net.register(server.clone());
+    let client = SfsClient::new(net, b"quickstart-client");
+    client.agent(1000).lock().add_key(alice_key);
+
+    // Paths under /sfs/Location:HostID automount on first use; the key
+    // negotiation, server certification, and user authentication all
+    // happen transparently.
+    let notes = format!("{}/home/alice/notes.txt", server.path().full_path());
+    client
+        .write_file(1000, &notes, b"self-certifying pathnames need no PKI")
+        .expect("write over the secure channel");
+    let back = client.read_file(1000, &notes).expect("read back");
+    println!("read {} bytes back over the secure channel:", back.len());
+    println!("  {}\n", String::from_utf8_lossy(&back));
+
+    // pwd inside SFS reveals the full self-certifying pathname, which is
+    // all anyone needs to reach this server securely (§2.4 bookmarks).
+    let (mount, _, _) = client.resolve(1000, &notes).expect("resolve");
+    println!("pwd -> {}", client.pwd(&mount, "home/alice"));
+    println!("network RPCs used: {}", client.network_rpcs());
+}

@@ -1,0 +1,110 @@
+//! Key compromise and recovery (§2.6): revocation certificates,
+//! forwarding pointers, the overruling rule, and per-user HostID
+//! blocking.
+//!
+//! Run with: `cargo run --example revocation_story`
+
+use std::sync::Arc;
+
+use sfs::authserver::AuthServer;
+use sfs::client::{ClientError, SfsClient, SfsNetwork};
+use sfs::server::{ServerConfig, SfsServer};
+use sfs_bignum::XorShiftSource;
+use sfs_crypto::rabin::generate_keypair;
+use sfs_crypto::srp::SrpGroup;
+use sfs_crypto::SfsPrg;
+use sfs_proto::revoke::RevocationCert;
+use sfs_sim::{NetParams, SimClock, Transport};
+use sfs_vfs::{Credentials, SetAttr, Vfs};
+
+fn server(
+    clock: &SimClock,
+    rng: &mut XorShiftSource,
+    group: &SrpGroup,
+    location: &str,
+) -> Arc<SfsServer> {
+    let vfs = Vfs::new(1, clock.clone());
+    let root_creds = Credentials::root();
+    let pubdir = vfs.mkdir_p("/pub").unwrap();
+    vfs.setattr(&root_creds, pubdir, SetAttr { mode: Some(0o755), ..Default::default() })
+        .unwrap();
+    vfs.write_file(&root_creds, pubdir, "data", location.as_bytes()).unwrap();
+    let (f, _) = vfs.lookup(&root_creds, pubdir, "data").unwrap();
+    vfs.setattr(&root_creds, f, SetAttr { mode: Some(0o644), ..Default::default() }).unwrap();
+    SfsServer::new(
+        ServerConfig::new(location),
+        generate_keypair(768, rng),
+        vfs,
+        Arc::new(AuthServer::new(group.clone(), 2)),
+        SfsPrg::from_entropy(location.as_bytes()),
+    )
+}
+
+fn main() {
+    let clock = SimClock::new();
+    let mut rng = XorShiftSource::new(0xBEEF);
+    let group = SrpGroup::generate(128, &mut rng);
+    let net = SfsNetwork::new(clock.clone(), NetParams::switched_100mbit(Transport::Tcp));
+
+    let old = server(&clock, &mut rng, &group, "old.example.org");
+    let new = server(&clock, &mut rng, &group, "new.example.org");
+    net.register(old.clone());
+    net.register(new.clone());
+
+    let client = SfsClient::new(net, b"revocation-client");
+    let uid = 1000;
+
+    // Normal operation.
+    let data = client
+        .read_file(uid, &format!("{}/pub/data", old.path().full_path()))
+        .unwrap();
+    println!("before: read {:?} from {}", String::from_utf8_lossy(&data), old.path());
+
+    // ── Scenario 1: planned move — forwarding pointer ──────────────────
+    // "One can replace the root directory of the old file system with a
+    // single … forwarding pointer to the new self-certifying pathname."
+    old.install_forwarding(new.path().clone());
+    let fwd = client
+        .check_forwarding(uid, old.path())
+        .unwrap()
+        .expect("pointer");
+    println!("\nforwarding pointer: {} -> {}", old.path().location, fwd);
+    let data = client
+        .read_file(uid, &format!("{}/pub/data", fwd.full_path()))
+        .unwrap();
+    println!("followed to new home, read {:?}", String::from_utf8_lossy(&data));
+
+    // ── Scenario 2: key compromise — revocation wins ───────────────────
+    // The owner issues a self-authenticating revocation certificate.
+    let cert = RevocationCert::issue(old.private_key(), &old.path().location);
+    println!("\nrevocation certificate issued for HostID {}", cert.host_id().unwrap());
+    // Anyone may relay it; alice's agent verifies and honors it.
+    assert!(client.agent(uid).lock().submit_revocation(cert));
+    client.unmount_all();
+    // The old pathname is now dead — even though a (possibly rogue)
+    // forwarding pointer still exists there: "a revocation certificate
+    // always overrules a forwarding pointer."
+    match client.read_file(uid, &format!("{}/pub/data", old.path().full_path())) {
+        Err(ClientError::Blocked) => println!("old pathname refused: revoked"),
+        other => panic!("{other:?}"),
+    }
+    match client.check_forwarding(uid, old.path()) {
+        Err(ClientError::Blocked) => println!("forwarding pointer ignored: revocation overrules"),
+        other => panic!("{other:?}"),
+    }
+
+    // ── Scenario 3: per-user HostID blocking ──────────────────────────
+    // A different user, for their own reasons, blocks the *new* server —
+    // "this prevents the agent's owner from accessing the self-certifying
+    // pathname in question, but does not affect any other users."
+    let other_uid = 2000;
+    client.agent(other_uid).lock().block_host(new.path().host_id);
+    assert!(matches!(
+        client.read_file(other_uid, &format!("{}/pub/data", new.path().full_path())),
+        Err(ClientError::Blocked)
+    ));
+    assert!(client
+        .read_file(uid, &format!("{}/pub/data", new.path().full_path()))
+        .is_ok());
+    println!("\nuser {other_uid} blocked {}; user {uid} is unaffected", new.path().location);
+}

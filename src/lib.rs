@@ -1,0 +1,16 @@
+//! Umbrella crate for the SFS reproduction: re-exports every workspace
+//! crate under one roof for the examples and cross-crate integration
+//! tests.
+//!
+//! See `README.md` for the project overview, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use sfs as core;
+pub use sfs_bench as bench;
+pub use sfs_bignum as bignum;
+pub use sfs_crypto as crypto;
+pub use sfs_nfs3 as nfs3;
+pub use sfs_proto as proto;
+pub use sfs_sim as sim;
+pub use sfs_vfs as vfs;
+pub use sfs_xdr as xdr;

@@ -1,0 +1,125 @@
+//! Shared world-building helpers for the integration tests.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sfs::agent::Agent;
+use sfs::authserver::{AuthServer, UserRecord};
+use sfs::client::{SfsClient, SfsNetwork};
+use sfs::server::{ServerConfig, SfsServer};
+use sfs_bignum::XorShiftSource;
+use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
+use sfs_crypto::srp::SrpGroup;
+use sfs_crypto::SfsPrg;
+use sfs_sim::{NetParams, SimClock, Transport};
+use sfs_vfs::{Credentials, SetAttr, Vfs};
+use std::sync::OnceLock;
+
+/// Fixed test uid with an account on the test servers.
+pub const ALICE_UID: u32 = 1000;
+
+/// A second user without server accounts.
+#[allow(dead_code)]
+pub const BOB_UID: u32 = 2000;
+
+/// Cached 768-bit server keys (generation dominates test time).
+pub fn server_key(which: usize) -> RabinPrivateKey {
+    static KEYS: OnceLock<Vec<RabinPrivateKey>> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        (0..3)
+            .map(|i| {
+                let mut rng = XorShiftSource::new(0xFEED_0000 + 2048 * i as u64);
+                generate_keypair(768, &mut rng)
+            })
+            .collect()
+    })[which]
+        .clone()
+}
+
+/// Cached user key for alice.
+pub fn alice_key() -> RabinPrivateKey {
+    static KEY: OnceLock<RabinPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = XorShiftSource::new(0xA11CE);
+        generate_keypair(512, &mut rng)
+    })
+    .clone()
+}
+
+/// Cached small SRP group.
+pub fn srp_group() -> SrpGroup {
+    static G: OnceLock<SrpGroup> = OnceLock::new();
+    G.get_or_init(|| {
+        let mut rng = XorShiftSource::new(0x9109);
+        SrpGroup::generate(128, &mut rng)
+    })
+    .clone()
+}
+
+/// A complete test world with one client and up to several servers on a
+/// shared clock and network. (Dead-code allowances: each integration-test
+/// binary uses a different subset of these helpers.)
+#[allow(dead_code)]
+pub struct World {
+    pub clock: SimClock,
+    pub net: Arc<SfsNetwork>,
+    pub client: Arc<SfsClient>,
+}
+
+impl World {
+    /// A fresh world with no servers.
+    pub fn new() -> World {
+        let clock = SimClock::new();
+        let net = SfsNetwork::new(clock.clone(), NetParams::switched_100mbit(Transport::Tcp));
+        let client = SfsClient::new(net.clone(), b"world-client");
+        World { clock, net, client }
+    }
+
+    /// Adds a server at `location` (key slot `which`) with a standard
+    /// layout: world-readable `/pub/hello`, alice-owned `/home/alice`,
+    /// alice registered with the authserver.
+    pub fn add_server(&self, which: usize, location: &str) -> Arc<SfsServer> {
+        let vfs = Vfs::new(10 + which as u64, self.clock.clone());
+        let root_creds = Credentials::root();
+        let home = vfs.mkdir_p("/home/alice").unwrap();
+        vfs.setattr(
+            &root_creds,
+            home,
+            SetAttr { uid: Some(ALICE_UID), gid: Some(100), ..Default::default() },
+        )
+        .unwrap();
+        let public = vfs.mkdir_p("/pub").unwrap();
+        vfs.setattr(&root_creds, public, SetAttr { mode: Some(0o755), ..Default::default() })
+            .unwrap();
+        vfs.write_file(&root_creds, public, "hello", format!("hello from {location}").as_bytes())
+            .unwrap();
+        let (hello, _) = vfs.lookup(&root_creds, public, "hello").unwrap();
+        vfs.setattr(&root_creds, hello, SetAttr { mode: Some(0o644), ..Default::default() })
+            .unwrap();
+
+        let auth = Arc::new(AuthServer::new(srp_group(), 2));
+        auth.register_user(UserRecord {
+            user: "alice".into(),
+            uid: ALICE_UID,
+            gids: vec![100],
+            public_key: alice_key().public().to_bytes(),
+        });
+        let server = SfsServer::new(
+            ServerConfig::new(location),
+            server_key(which),
+            vfs,
+            auth,
+            SfsPrg::from_entropy(location.as_bytes()),
+        );
+        self.net.register(server.clone());
+        server
+    }
+
+    /// Gives alice's agent her private key.
+    #[allow(dead_code)]
+    pub fn login_alice(&self) -> Arc<Mutex<Agent>> {
+        let agent = self.client.agent(ALICE_UID);
+        agent.lock().add_key(alice_key());
+        agent
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests over the protocol layers: wire formats must
+//! round-trip for arbitrary values, the secure channel must be lossless
+//! and tamper-evident for arbitrary payloads, and the namespace encodings
+//! must be total on their domains.
+
+use proptest::prelude::*;
+use sfs_crypto::sha1::sha1;
+use sfs_proto::channel::SecureChannelEnd;
+use sfs_proto::keyneg::SessionKeys;
+use sfs_proto::pathname::{base32_decode, base32_encode, HostId, SelfCertifyingPath};
+use sfs_proto::userauth::SeqWindow;
+use sfs_xdr::rpc::{record_mark, record_unmark, OpaqueAuth, RpcCall, RpcMessage, RpcReply};
+use sfs_xdr::{Xdr, XdrDecoder, XdrEncoder};
+
+fn session_keys(seed: u8) -> SessionKeys {
+    SessionKeys {
+        kcs: sha1(&[seed, 1]),
+        ksc: sha1(&[seed, 2]),
+        session_id: sha1(&[seed, 3]),
+    }
+}
+
+proptest! {
+    #[test]
+    fn base32_roundtrips(bytes in proptest::array::uniform20(any::<u8>())) {
+        let s = base32_encode(&bytes);
+        prop_assert_eq!(s.len(), 32);
+        prop_assert_eq!(base32_decode(&s).unwrap(), bytes);
+        // The alphabet never contains the confusing characters.
+        prop_assert!(!s.contains(['l', '1', '0', 'o']));
+    }
+
+    #[test]
+    fn pathname_roundtrips(
+        bytes in proptest::array::uniform20(any::<u8>()),
+        loc in "[a-z][a-z0-9.-]{0,30}",
+        rest in proptest::option::of("[a-zA-Z0-9/._-]{1,40}"),
+    ) {
+        let path = SelfCertifyingPath { location: loc, host_id: HostId(bytes) };
+        let mut full = path.full_path();
+        if let Some(r) = &rest {
+            full.push('/');
+            full.push_str(r);
+        }
+        let (parsed, _) = SelfCertifyingPath::parse_full(&full).unwrap();
+        prop_assert_eq!(parsed, path);
+    }
+
+    #[test]
+    fn xdr_opaque_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut enc = XdrEncoder::new();
+        enc.put_opaque(&data);
+        let mut dec = XdrDecoder::new(enc.bytes());
+        prop_assert_eq!(dec.get_opaque().unwrap(), data);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn rpc_call_roundtrips(
+        xid in any::<u32>(),
+        prog in any::<u32>(),
+        vers in any::<u32>(),
+        pr in any::<u32>(),
+        authno in any::<u32>(),
+        args in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let msg = RpcMessage::Call(RpcCall {
+            xid,
+            prog,
+            vers,
+            proc: pr,
+            cred: OpaqueAuth::sfs_authno(authno),
+            verf: OpaqueAuth::none(),
+            args: args.clone(),
+        });
+        match RpcMessage::from_xdr(&msg.to_xdr()).unwrap() {
+            RpcMessage::Call(c) => {
+                prop_assert_eq!(c.xid, xid);
+                prop_assert_eq!(c.prog, prog);
+                prop_assert_eq!(c.cred.as_sfs_authno(), Some(authno));
+                // Args round up to 4-byte alignment with zero padding.
+                prop_assert_eq!(&c.args[..args.len()], &args[..]);
+                prop_assert!(c.args[args.len()..].iter().all(|&b| b == 0));
+            }
+            other => prop_assert!(false, "bad decode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rpc_reply_roundtrips(
+        xid in any::<u32>(),
+        results in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let call = RpcCall {
+            xid,
+            prog: 1,
+            vers: 1,
+            proc: 1,
+            cred: OpaqueAuth::none(),
+            verf: OpaqueAuth::none(),
+            args: vec![],
+        };
+        let msg = RpcMessage::Reply(RpcReply::success(&call, results.clone()));
+        match RpcMessage::from_xdr(&msg.to_xdr()).unwrap() {
+            RpcMessage::Reply(r) => {
+                prop_assert_eq!(r.xid, xid);
+                prop_assert_eq!(&r.results[..results.len()], &results[..]);
+            }
+            other => prop_assert!(false, "bad decode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_marking_roundtrips(payload in proptest::collection::vec(any::<u8>(), 0..500)) {
+        let framed = record_mark(&payload);
+        let (got, consumed) = record_unmark(&framed).unwrap();
+        prop_assert_eq!(got, payload);
+        prop_assert_eq!(consumed, framed.len());
+    }
+
+    #[test]
+    fn channel_roundtrips_arbitrary_payload_sequences(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..600),
+            1..12,
+        ),
+        seed in any::<u8>(),
+    ) {
+        let keys = session_keys(seed);
+        let mut tx = SecureChannelEnd::client(&keys);
+        let mut rx = SecureChannelEnd::server(&keys);
+        for p in &payloads {
+            let frame = tx.seal(p).unwrap();
+            prop_assert_eq!(&rx.open(&frame).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn channel_detects_arbitrary_bitflips(
+        payload in proptest::collection::vec(any::<u8>(), 1..300),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+        seed in any::<u8>(),
+    ) {
+        let keys = session_keys(seed);
+        let mut tx = SecureChannelEnd::client(&keys);
+        let mut rx = SecureChannelEnd::server(&keys);
+        let mut frame = tx.seal(&payload).unwrap();
+        let i = flip_byte.index(frame.len());
+        frame[i] ^= 1 << flip_bit;
+        prop_assert!(rx.open(&frame).is_err(), "flipped bit must be detected");
+        prop_assert!(rx.is_poisoned());
+    }
+
+    #[test]
+    fn seq_window_matches_reference_model(
+        seqs in proptest::collection::vec(0u32..64, 1..80),
+    ) {
+        // Reference: accept iff not seen before AND not older than
+        // (max_seen + 1 - window).
+        let window = 16u32;
+        let mut w = SeqWindow::new(window);
+        let mut seen = std::collections::HashSet::new();
+        let mut high: Option<u32> = None;
+        for s in seqs {
+            let expect = match high {
+                None => seen.insert(s),
+                Some(h) => {
+                    if s > h {
+                        seen.insert(s)
+                    } else if h - s >= window {
+                        false
+                    } else {
+                        seen.insert(s)
+                    }
+                }
+            };
+            let got = w.accept(s);
+            prop_assert_eq!(got, expect, "seq {} (high {:?})", s, high);
+            if got {
+                high = Some(high.map_or(s, |h| h.max(s)));
+            }
+        }
+    }
+
+    #[test]
+    fn hostid_is_deterministic_and_injective_looking(
+        loc_a in "[a-z]{1,12}", loc_b in "[a-z]{1,12}",
+    ) {
+        // HostIDs for different locations under the same key differ (a
+        // collision would be a SHA-1 collision).
+        let n = sfs_bignum::Nat::from_hex("c3a7f1").unwrap();
+        let key = sfs_crypto::rabin::RabinPublicKey::from_modulus(n);
+        let ha = HostId::compute(&loc_a, &key);
+        let hb = HostId::compute(&loc_b, &key);
+        prop_assert_eq!(loc_a == loc_b, ha == hb);
+    }
+}
