@@ -1,9 +1,9 @@
-//! Criterion micro-benchmarks of the real cryptographic primitives — the
+//! Micro-benchmarks of the real cryptographic primitives — the
 //! quantities §4.2 attributes SFS's costs to (software encryption, MACs,
 //! public-key operations). Unlike the `fig*` binaries (virtual time),
 //! these measure genuine CPU time on the host machine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sfs_bench::microbench::{bench, bench_throughput};
 use sfs_bignum::XorShiftSource;
 use sfs_crypto::arc4::Arc4;
 use sfs_crypto::blowfish::Blowfish;
@@ -12,74 +12,56 @@ use sfs_crypto::mac::SfsMac;
 use sfs_crypto::rabin::generate_keypair;
 use sfs_crypto::sha1::sha1;
 
-fn bench_sha1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sha1");
+fn bench_sha1() {
     for size in [64usize, 1024, 8192, 65536] {
         let data = vec![0xabu8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
-            b.iter(|| sha1(d))
-        });
+        bench_throughput(&format!("sha1/{size}"), size as u64, || sha1(&data));
     }
-    g.finish();
 }
 
-fn bench_arc4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("arc4");
+fn bench_arc4() {
     for size in [1024usize, 8192, 65536] {
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
-            let mut cipher = Arc4::new(b"a-twenty-byte-key!!!");
-            let mut buf = vec![0u8; s];
-            b.iter(|| cipher.process(&mut buf))
+        let mut cipher = Arc4::new(b"a-twenty-byte-key!!!");
+        let mut buf = vec![0u8; size];
+        bench_throughput(&format!("arc4/{size}"), size as u64, || {
+            cipher.process(&mut buf)
         });
     }
-    g.finish();
 }
 
-fn bench_sfs_mac(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sfs_mac");
+fn bench_sfs_mac() {
     let key = [7u8; 32];
     for size in [128usize, 8192] {
         let data = vec![1u8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
-            b.iter(|| SfsMac::compute(&key, d))
+        bench_throughput(&format!("sfs_mac/{size}"), size as u64, || {
+            SfsMac::compute(&key, &data)
         });
     }
-    g.finish();
 }
 
-fn bench_blowfish(c: &mut Criterion) {
-    let mut g = c.benchmark_group("blowfish");
-    g.bench_function("key_schedule_20B", |b| {
-        b.iter(|| Blowfish::new(b"a-twenty-byte-key!!!"))
+fn bench_blowfish() {
+    bench("blowfish/key_schedule_20B", || {
+        Blowfish::new(b"a-twenty-byte-key!!!")
     });
     let bf = Blowfish::new(b"a-twenty-byte-key!!!");
-    g.bench_function("cbc_encrypt_24B_handle", |b| {
-        let mut handle = [0u8; 24];
-        b.iter(|| bf.cbc_encrypt(&mut handle))
+    let mut handle = [0u8; 24];
+    bench("blowfish/cbc_encrypt_24B_handle", || {
+        bf.cbc_encrypt(&mut handle)
     });
-    g.finish();
 }
 
-fn bench_eksblowfish(c: &mut Criterion) {
-    let mut g = c.benchmark_group("eksblowfish");
-    g.sample_size(10);
+fn bench_eksblowfish() {
     let salt = [9u8; 16];
     // "Even as hardware improves, guessing attacks should continue to
     // take almost a full second" — show the cost doubling per step.
     for cost in [2u32, 4, 6] {
-        g.bench_with_input(BenchmarkId::new("bcrypt_cost", cost), &cost, |b, &cost| {
-            b.iter(|| bcrypt_hash(cost, &salt, b"hunter2"))
+        bench(&format!("eksblowfish/bcrypt_cost_{cost}"), || {
+            bcrypt_hash(cost, &salt, b"hunter2")
         });
     }
-    g.finish();
 }
 
-fn bench_rabin(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rabin_768");
-    g.sample_size(20);
+fn bench_rabin() {
     let mut rng = XorShiftSource::new(0xBE4C);
     let key = generate_keypair(768, &mut rng);
     let msg = b"16-byte-session!";
@@ -87,26 +69,23 @@ fn bench_rabin(c: &mut Criterion) {
     let sig = key.sign(b"a message to sign");
     // "Like low-exponent RSA, encryption and signature verification are
     // particularly fast in Rabin because they do not require modular
-    // exponentiation" — these four bars show the asymmetry.
-    g.bench_function("encrypt", |b| {
-        let mut rng = XorShiftSource::new(1);
-        b.iter(|| key.public().encrypt(msg, &mut rng).unwrap())
+    // exponentiation" — these four rows show the asymmetry.
+    let mut enc_rng = XorShiftSource::new(1);
+    bench("rabin_768/encrypt", || {
+        key.public().encrypt(msg, &mut enc_rng).unwrap()
     });
-    g.bench_function("decrypt", |b| b.iter(|| key.decrypt(&cipher).unwrap()));
-    g.bench_function("sign", |b| b.iter(|| key.sign(b"a message to sign")));
-    g.bench_function("verify", |b| {
-        b.iter(|| assert!(key.public().verify(b"a message to sign", &sig)))
+    bench("rabin_768/decrypt", || key.decrypt(&cipher).unwrap());
+    bench("rabin_768/sign", || key.sign(b"a message to sign"));
+    bench("rabin_768/verify", || {
+        assert!(key.public().verify(b"a message to sign", &sig))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_sha1,
-    bench_arc4,
-    bench_sfs_mac,
-    bench_blowfish,
-    bench_eksblowfish,
-    bench_rabin
-);
-criterion_main!(benches);
+fn main() {
+    bench_sha1();
+    bench_arc4();
+    bench_sfs_mac();
+    bench_blowfish();
+    bench_eksblowfish();
+    bench_rabin();
+}

@@ -1,8 +1,8 @@
-//! Criterion benchmarks of the SFS protocol layers: XDR marshaling, the
+//! Micro-benchmarks of the SFS protocol layers: XDR marshaling, the
 //! secure channel (seal/open), HostID computation, the full key
 //! negotiation, and user-authentication signing/validation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sfs_bench::microbench::{bench, bench_throughput};
 use sfs_bignum::XorShiftSource;
 use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
 use sfs_proto::channel::SecureChannelEnd;
@@ -17,8 +17,7 @@ fn keypair(seed: u64, bits: usize) -> RabinPrivateKey {
     generate_keypair(bits, &mut rng)
 }
 
-fn bench_xdr(c: &mut Criterion) {
-    let mut g = c.benchmark_group("xdr");
+fn bench_xdr() {
     let call = RpcMessage::Call(RpcCall {
         xid: 7,
         prog: 100003,
@@ -28,16 +27,14 @@ fn bench_xdr(c: &mut Criterion) {
         verf: OpaqueAuth::none(),
         args: vec![0u8; 128],
     });
-    g.bench_function("rpc_call_encode", |b| b.iter(|| call.to_xdr()));
+    bench("xdr/rpc_call_encode", || call.to_xdr());
     let bytes = call.to_xdr();
-    g.bench_function("rpc_call_decode", |b| {
-        b.iter(|| RpcMessage::from_xdr(&bytes).unwrap())
+    bench("xdr/rpc_call_decode", || {
+        RpcMessage::from_xdr(&bytes).unwrap()
     });
-    g.finish();
 }
 
-fn bench_channel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("secure_channel");
+fn bench_channel() {
     let keys = SessionKeys {
         kcs: *b"benchmark-kcs-key-!!",
         ksc: *b"benchmark-ksc-key-!!",
@@ -45,77 +42,65 @@ fn bench_channel(c: &mut Criterion) {
     };
     for size in [128usize, 8192] {
         let payload = vec![0u8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::new("seal", size), &payload, |b, p| {
-            let mut end = SecureChannelEnd::client(&keys);
-            b.iter(|| end.seal(p).unwrap())
+        let mut end = SecureChannelEnd::client(&keys);
+        bench_throughput(&format!("secure_channel/seal/{size}"), size as u64, || {
+            end.seal(&payload).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("seal_open", size), &payload, |b, p| {
-            let mut tx = SecureChannelEnd::client(&keys);
-            let mut rx = SecureChannelEnd::server(&keys);
-            b.iter(|| {
-                let f = tx.seal(p).unwrap();
+        let mut tx = SecureChannelEnd::client(&keys);
+        let mut rx = SecureChannelEnd::server(&keys);
+        bench_throughput(
+            &format!("secure_channel/seal_open/{size}"),
+            size as u64,
+            || {
+                let f = tx.seal(&payload).unwrap();
                 rx.open(&f).unwrap()
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_hostid(c: &mut Criterion) {
+fn bench_hostid() {
     let key = keypair(1, 768);
-    c.bench_function("hostid_compute", |b| {
-        b.iter(|| HostId::compute("sfs.lcs.mit.edu", key.public()))
+    bench("hostid_compute", || {
+        HostId::compute("sfs.lcs.mit.edu", key.public())
     });
 }
 
-fn bench_key_negotiation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("key_negotiation");
-    g.sample_size(10);
+fn bench_key_negotiation() {
     let server = keypair(2, 768);
     let ephemeral = keypair(3, 768);
     let path = SelfCertifyingPath::for_server("bench.example.org", server.public());
     // The full Figure-3 exchange: both sides, four messages.
-    g.bench_function("full_exchange_768", |b| {
-        b.iter(|| {
-            let mut crng = XorShiftSource::new(4);
-            let mut srng = XorShiftSource::new(5);
-            let client = KeyNegClient::new(path.clone(), ephemeral.clone());
-            let reply = KeyNegServerReply::ServerKey(server.public().to_bytes());
-            let (awaiting, msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
-            let (skeys, msg4) = server_process_client_keys(&server, &msg3, &mut srng).unwrap();
-            let ckeys = awaiting.on_server_halves(&msg4).unwrap();
-            assert_eq!(skeys.session_id, ckeys.session_id);
-        })
+    bench("key_negotiation/full_exchange_768", || {
+        let mut crng = XorShiftSource::new(4);
+        let mut srng = XorShiftSource::new(5);
+        let client = KeyNegClient::new(path.clone(), ephemeral.clone());
+        let reply = KeyNegServerReply::ServerKey(server.public().to_bytes());
+        let (awaiting, msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
+        let (skeys, msg4) = server_process_client_keys(&server, &msg3, &mut srng).unwrap();
+        let ckeys = awaiting.on_server_halves(&msg4).unwrap();
+        assert_eq!(skeys.session_id, ckeys.session_id);
     });
-    g.finish();
 }
 
-fn bench_user_auth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("user_auth");
-    g.sample_size(20);
+fn bench_user_auth() {
     let user = keypair(6, 512);
     let info = AuthInfo::for_fs("bench.example.org", HostId([1u8; 20]), [2u8; 20]);
-    g.bench_function("agent_sign", |b| {
-        let mut seq = 0u32;
-        b.iter(|| {
-            seq += 1;
-            AuthMsg::sign(&user, &info, seq)
-        })
+    let mut seq = 0u32;
+    bench("user_auth/agent_sign", || {
+        seq += 1;
+        AuthMsg::sign(&user, &info, seq)
     });
     let msg = AuthMsg::sign(&user, &info, 1);
-    g.bench_function("authserver_verify", |b| {
-        b.iter(|| msg.verify(&info.auth_id(), 1).unwrap())
+    bench("user_auth/authserver_verify", || {
+        msg.verify(&info.auth_id(), 1).unwrap()
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_xdr,
-    bench_channel,
-    bench_hostid,
-    bench_key_negotiation,
-    bench_user_auth
-);
-criterion_main!(benches);
+fn main() {
+    bench_xdr();
+    bench_channel();
+    bench_hostid();
+    bench_key_negotiation();
+    bench_user_auth();
+}

@@ -10,22 +10,25 @@
 //! - (Figure 8) "without attribute caching SFS performs 1 second worse
 //!   [than NFS 3 on the LFS create phase]."
 
-use sfs_bench::calib::{build_fs, System};
+use sfs_bench::calib::{build_fs_traced, System};
 use sfs_bench::report::secs;
+use sfs_bench::trace::TraceOpt;
 use sfs_bench::workloads::{kernel_build, lfs_small, mab, total, KernelBuildConfig, MabConfig};
 
-fn mab_total(system: System) -> f64 {
-    let (fs, _clock, prefix, _) = build_fs(system);
+fn mab_total(trace: &TraceOpt, system: System) -> f64 {
+    let tel = trace.for_system(&format!("mab/{}", system.label()));
+    let (fs, _clock, prefix, _) = build_fs_traced(system, &tel);
     secs(total(&mab(fs.as_ref(), &prefix, &MabConfig::default())))
 }
 
 fn main() {
+    let trace = TraceOpt::from_args();
     println!("== Ablations (§4.3, §4.4) ==\n");
 
-    let sfs = mab_total(System::Sfs);
-    let nocache = mab_total(System::SfsNoCache);
-    let noenc = mab_total(System::SfsNoEncrypt);
-    let nfs = mab_total(System::NfsUdp);
+    let sfs = mab_total(&trace, System::Sfs);
+    let nocache = mab_total(&trace, System::SfsNoCache);
+    let noenc = mab_total(&trace, System::SfsNoEncrypt);
+    let nfs = mab_total(&trace, System::NfsUdp);
     println!("MAB totals (s):");
     println!("  NFS 3 (UDP)                {nfs:6.2}");
     println!("  SFS                        {sfs:6.2}");
@@ -40,7 +43,8 @@ fn main() {
 
     println!("\nLFS small-file create phase (s):");
     for system in [System::NfsUdp, System::Sfs, System::SfsNoCache] {
-        let (fs, _clock, prefix, _) = build_fs(system);
+        let tel = trace.for_system(&format!("lfs/{}", system.label()));
+        let (fs, _clock, prefix, _) = build_fs_traced(system, &tel);
         let phases = lfs_small(fs.as_ref(), &prefix, 1000);
         let create = phases.iter().find(|p| p.name == "create").unwrap();
         println!("  {:26} {:6.2}", system.label(), secs(create.time));
@@ -53,8 +57,10 @@ fn main() {
         (System::Sfs, ""),
         (System::SfsNoEncrypt, "(paper: 3 s / 1.5% faster than SFS)"),
     ] {
-        let (fs, _clock, prefix, _) = build_fs(system);
+        let tel = trace.for_system(&format!("kernel/{}", system.label()));
+        let (fs, _clock, prefix, _) = build_fs_traced(system, &tel);
         let t = kernel_build(fs.as_ref(), &prefix, &cfg);
         println!("  {:26} {:6.1} {note}", system.label(), secs(t));
     }
+    trace.finish();
 }

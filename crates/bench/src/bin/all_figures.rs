@@ -4,7 +4,16 @@
 use std::process::Command;
 
 fn main() {
-    let bins = ["fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "hardware_trend", "rpc_counts"];
+    let bins = [
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "ablations",
+        "hardware_trend",
+        "rpc_counts",
+    ];
     let self_path = std::env::current_exe().expect("current exe");
     let dir = self_path.parent().expect("bin dir");
     for bin in bins {

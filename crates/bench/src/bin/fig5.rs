@@ -1,11 +1,13 @@
 //! Figure 5: micro-benchmarks for basic operations — RPC latency
 //! (unauthorized `fchown`, µs) and sequential-read throughput (MB/s).
 
-use sfs_bench::calib::{build_fs, System};
+use sfs_bench::calib::{build_fs_traced, System};
 use sfs_bench::report::{Compared, Table};
+use sfs_bench::trace::TraceOpt;
 use sfs_bench::workloads::{micro_latency, micro_throughput};
 
 fn main() {
+    let trace = TraceOpt::from_args();
     let mut table = Table::new(
         "Figure 5: micro-benchmarks for basic operations",
         "µs / MB/s",
@@ -18,9 +20,11 @@ fn main() {
         (System::SfsNoEncrypt, Some(770.0), Some(7.1)),
     ];
     for (system, paper_lat, paper_tp) in rows {
-        let (fs, _clock, prefix, _) = build_fs(system);
+        let tel = trace.for_system(&format!("{}/latency", system.label()));
+        let (fs, _clock, prefix, _) = build_fs_traced(system, &tel);
         let lat = micro_latency(fs.as_ref(), &prefix);
-        let (fs2, _clock2, prefix2, _) = build_fs(system);
+        let tel2 = trace.for_system(&format!("{}/throughput", system.label()));
+        let (fs2, _clock2, prefix2, _) = build_fs_traced(system, &tel2);
         let tp = micro_throughput(fs2.as_ref(), &prefix2);
         table.push_row(
             system.label(),
@@ -28,4 +32,5 @@ fn main() {
         );
     }
     println!("{}", table.render());
+    trace.finish();
 }

@@ -4,16 +4,25 @@
 //! Headline shape from §4.3: "SFS is only 11% (0.6 seconds) slower than
 //! NFS 3 over UDP."
 
-use sfs_bench::calib::{build_fs, System};
+use sfs_bench::calib::{build_fs_traced, System};
 use sfs_bench::report::{secs, Compared, Table};
+use sfs_bench::trace::TraceOpt;
 use sfs_bench::workloads::{mab, total, MabConfig};
 
 fn main() {
+    let trace = TraceOpt::from_args();
     let cfg = MabConfig::default();
     let mut table = Table::new(
         "Figure 6: Modified Andrew Benchmark phases",
         "s",
-        &["directories", "copy", "attributes", "search", "compile", "total"],
+        &[
+            "directories",
+            "copy",
+            "attributes",
+            "search",
+            "compile",
+            "total",
+        ],
     );
     // The paper presents Figure 6 as a bar chart; the quantified anchors
     // in the text are the NFS/UDP-vs-SFS total gap (11%, 0.6 s ⇒ totals
@@ -26,7 +35,8 @@ fn main() {
     ];
     let mut totals = Vec::new();
     for (system, paper) in paper_total {
-        let (fs, _clock, prefix, _) = build_fs(system);
+        let tel = trace.for_system(system.label());
+        let (fs, _clock, prefix, _) = build_fs_traced(system, &tel);
         let phases = mab(fs.as_ref(), &prefix, &cfg);
         let mut cells: Vec<Compared> = phases
             .iter()
@@ -44,4 +54,5 @@ fn main() {
         "SFS vs NFS 3 (UDP) total: {:+.1}% (paper: +11%)",
         (sfs / nfs_udp - 1.0) * 100.0
     );
+    trace.finish();
 }

@@ -4,11 +4,13 @@
 //! SFS 197 s. "SFS performs 16% worse (29 seconds) than NFS 3 over UDP
 //! and 5% better (10 seconds) than NFS 3 over TCP."
 
-use sfs_bench::calib::{build_fs, System};
+use sfs_bench::calib::{build_fs_traced, System};
 use sfs_bench::report::{secs, Compared, Table};
+use sfs_bench::trace::TraceOpt;
 use sfs_bench::workloads::{kernel_build, KernelBuildConfig};
 
 fn main() {
+    let trace = TraceOpt::from_args();
     let cfg = KernelBuildConfig::default();
     let mut table = Table::new(
         "Figure 7: compiling the GENERIC FreeBSD 3.3 kernel",
@@ -22,9 +24,11 @@ fn main() {
         (System::Sfs, Some(197.0)),
     ];
     for (system, paper) in rows {
-        let (fs, _clock, prefix, _) = build_fs(system);
+        let tel = trace.for_system(system.label());
+        let (fs, _clock, prefix, _) = build_fs_traced(system, &tel);
         let t = kernel_build(fs.as_ref(), &prefix, &cfg);
         table.push_row(system.label(), vec![Compared::new(secs(t), paper)]);
     }
     println!("{}", table.render());
+    trace.finish();
 }

@@ -7,11 +7,13 @@
 //! synchronous writes to the disk \[so\] all file systems have roughly the
 //! same performance."
 
-use sfs_bench::calib::{build_fs, System};
+use sfs_bench::calib::{build_fs_traced, System};
 use sfs_bench::report::{secs, Compared, Table};
+use sfs_bench::trace::TraceOpt;
 use sfs_bench::workloads::lfs_small;
 
 fn main() {
+    let trace = TraceOpt::from_args();
     let mut table = Table::new(
         "Figure 8: Sprite LFS small-file benchmark (1,000 × 1 KB)",
         "s",
@@ -19,7 +21,8 @@ fn main() {
     );
     let mut results = Vec::new();
     for system in System::main_four() {
-        let (fs, _clock, prefix, _) = build_fs(system);
+        let tel = trace.for_system(system.label());
+        let (fs, _clock, prefix, _) = build_fs_traced(system, &tel);
         let phases = lfs_small(fs.as_ref(), &prefix, 1000);
         let cells: Vec<Compared> = phases
             .iter()
@@ -45,4 +48,5 @@ fn main() {
         "SFS read phase vs NFS 3 (UDP): {:.1}x (paper: ~3x)",
         read_of(System::Sfs) / read_of(System::NfsUdp)
     );
+    trace.finish();
 }

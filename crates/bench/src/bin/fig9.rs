@@ -6,15 +6,23 @@
 //! slower. Without encryption, SFS is only … 17% slower on sequential
 //! writes and … 31% slower on sequential reads."
 
-use sfs_bench::calib::{build_fs, System};
+use sfs_bench::calib::{build_fs_traced, System};
 use sfs_bench::report::{secs, Compared, Table};
+use sfs_bench::trace::TraceOpt;
 use sfs_bench::workloads::lfs_large;
 
 fn main() {
+    let trace = TraceOpt::from_args();
     let mut table = Table::new(
         "Figure 9: Sprite LFS large-file benchmark (40,000 KB, 8 KB chunks)",
         "s",
-        &["seq write", "seq read", "rand write", "rand read", "seq read 2"],
+        &[
+            "seq write",
+            "seq read",
+            "rand write",
+            "rand read",
+            "seq read 2",
+        ],
     );
     let mut results = Vec::new();
     let systems = [
@@ -25,7 +33,8 @@ fn main() {
         System::SfsNoEncrypt,
     ];
     for system in systems {
-        let (fs, _clock, prefix, _) = build_fs(system);
+        let tel = trace.for_system(system.label());
+        let (fs, _clock, prefix, _) = build_fs_traced(system, &tel);
         let phases = lfs_large(fs.as_ref(), &prefix);
         let cells: Vec<Compared> = phases
             .iter()
@@ -56,8 +65,8 @@ fn main() {
     for (phase, paper) in [("seq write", 17.0), ("seq read", 31.0)] {
         println!(
             "SFS w/o encryption {phase} vs NFS 3 (UDP): {:+.0}% (paper: +{paper:.0}%)",
-            (phase_of(System::SfsNoEncrypt, phase) / phase_of(System::NfsUdp, phase) - 1.0)
-                * 100.0
+            (phase_of(System::SfsNoEncrypt, phase) / phase_of(System::NfsUdp, phase) - 1.0) * 100.0
         );
     }
+    trace.finish();
 }

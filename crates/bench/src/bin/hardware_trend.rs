@@ -14,27 +14,33 @@
 //! sensitivity; scaling the application CPU too would mix in the
 //! workload's own speedup.
 
-use sfs_bench::calib::{build_fs_with_cpu, System};
+use sfs_bench::calib::{build_fs_traced_cpu, System};
 use sfs_bench::report::secs;
+use sfs_bench::trace::TraceOpt;
 use sfs_bench::workloads::{mab, total, MabConfig};
 use sfs_sim::CpuCosts;
 
-fn mab_total(system: System, cpu: CpuCosts) -> f64 {
-    let (fs, _clock, prefix, _) = build_fs_with_cpu(system, cpu);
+fn mab_total(trace: &TraceOpt, name: &str, system: System, cpu: CpuCosts) -> f64 {
+    let tel = trace.for_system(&format!("{name}/{}", system.label()));
+    let (fs, _clock, prefix, _) = build_fs_traced_cpu(system, cpu, &tel);
     secs(total(&mab(fs.as_ref(), &prefix, &MabConfig::default())))
 }
 
 fn main() {
+    let trace = TraceOpt::from_args();
     println!("== §4.5 hardware trend: MAB penalty of SFS vs NFS 3 (UDP) ==\n");
     let generations: [(&str, CpuCosts); 3] = [
         ("Pentium Pro 200", CpuCosts::pentium_pro_200()),
         ("Pentium III 550", CpuCosts::pentium_iii_550()),
-        ("hypothetical 2x PIII", CpuCosts::pentium_iii_550().scaled(0.5)),
+        (
+            "hypothetical 2x PIII",
+            CpuCosts::pentium_iii_550().scaled(0.5),
+        ),
     ];
     let mut penalties = Vec::new();
     for (name, cpu) in generations {
-        let nfs = mab_total(System::NfsUdp, cpu);
-        let sfs = mab_total(System::Sfs, cpu);
+        let nfs = mab_total(&trace, name, System::NfsUdp, cpu);
+        let sfs = mab_total(&trace, name, System::Sfs, cpu);
         let penalty = (sfs / nfs - 1.0) * 100.0;
         penalties.push(penalty);
         println!("  {name:22} NFS/UDP {nfs:6.2}s   SFS {sfs:6.2}s   penalty {penalty:+5.1}%");

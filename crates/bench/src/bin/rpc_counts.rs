@@ -3,17 +3,27 @@
 //! travel over the network." This harness counts actual wire RPCs for the
 //! MAB and LFS-small workloads across NFS, SFS, and SFS without the
 //! enhanced caching.
+//!
+//! The counts come from the `sfs-telemetry` counter sink attached to the
+//! simulated wire — the same single counting path that backs
+//! `Wire::round_trips` — so the figure binaries, the summary tables, and
+//! this harness can never disagree.
 
-use sfs_bench::calib::{build_fs, System};
+use sfs_bench::calib::{build_fs_traced, System};
 use sfs_bench::workloads::{lfs_small, mab, MabConfig};
+use sfs_telemetry::Telemetry;
 
 fn counts(system: System) -> (u64, u64) {
-    let (fs, _clock, prefix, _) = build_fs(system);
+    let tel = Telemetry::counters();
+    let (fs, _clock, prefix, _) = build_fs_traced(system, &tel);
     mab(fs.as_ref(), &prefix, &MabConfig::default());
-    let mab_rpcs = fs.rpcs();
-    let (fs, _clock, prefix, _) = build_fs(system);
+    let mab_rpcs = tel.counter("wire", "net.round_trips");
+    drop(fs);
+
+    let tel = Telemetry::counters();
+    let (fs, _clock, prefix, _) = build_fs_traced(system, &tel);
     lfs_small(fs.as_ref(), &prefix, 1000);
-    (mab_rpcs, fs.rpcs())
+    (mab_rpcs, tel.counter("wire", "net.round_trips"))
 }
 
 fn main() {

@@ -21,6 +21,7 @@ use sfs_crypto::srp::SrpGroup;
 use sfs_crypto::SfsPrg;
 use sfs_nfs3::Nfs3Server;
 use sfs_sim::{CpuCosts, DiskParams, NetParams, SimClock, SimDisk, Transport, Wire};
+use sfs_telemetry::Telemetry;
 use sfs_vfs::{Credentials, Vfs};
 
 use crate::kernel::{FsBench, KernelNfs, LocalFs, SfsBench};
@@ -110,11 +111,29 @@ impl Testbed {
         Self::build_with_cpu(system, CpuCosts::pentium_iii_550())
     }
 
+    /// Builds the testbed for one system with tracing attached to every
+    /// layer (wire, disk, NFS3 engine, SFS server + client).
+    pub fn build_traced(system: System, tel: &Telemetry) -> Testbed {
+        Self::build_full(system, CpuCosts::pentium_iii_550(), Some(tel))
+    }
+
     /// Builds the testbed with explicit CPU costs (the §4.5 hardware-
     /// trend experiment swaps in slower/faster processors).
     pub fn build_with_cpu(system: System, cpu: CpuCosts) -> Testbed {
+        Self::build_full(system, cpu, None)
+    }
+
+    /// [`Self::build_traced`] with explicit CPU costs.
+    pub fn build_traced_with_cpu(system: System, cpu: CpuCosts, tel: &Telemetry) -> Testbed {
+        Self::build_full(system, cpu, Some(tel))
+    }
+
+    fn build_full(system: System, cpu: CpuCosts, tel: Option<&Telemetry>) -> Testbed {
         let clock = SimClock::new();
         let disk = SimDisk::new(clock.clone(), bench_disk_params());
+        if let Some(tel) = tel {
+            disk.set_telemetry(tel);
+        }
         let vfs = Vfs::new(7, clock.clone()).with_disk(disk);
         let root_creds = Credentials::root();
         let bench_dir = vfs.mkdir_p("/bench").unwrap();
@@ -138,9 +157,12 @@ impl Testbed {
                 } else {
                     Transport::Tcp
                 };
-                let wire =
-                    Wire::new(clock.clone(), NetParams::switched_100mbit(transport));
+                let mut wire = Wire::new(clock.clone(), NetParams::switched_100mbit(transport));
                 let server = Nfs3Server::new(vfs.clone());
+                if let Some(tel) = tel {
+                    wire.set_telemetry(tel);
+                    server.set_telemetry(tel);
+                }
                 Box::new(KernelNfs::new(
                     system.label(),
                     clock.clone(),
@@ -165,12 +187,14 @@ impl Testbed {
                     auth,
                     SfsPrg::from_entropy(b"bench-server"),
                 );
-                let net = SfsNetwork::new(
-                    clock.clone(),
-                    NetParams::switched_100mbit(Transport::Tcp),
-                );
+                let net =
+                    SfsNetwork::new(clock.clone(), NetParams::switched_100mbit(Transport::Tcp));
                 net.register(server.clone());
                 let client = SfsClient::with_costs(net, b"bench-client", cpu);
+                if let Some(tel) = tel {
+                    server.set_telemetry(tel);
+                    client.set_telemetry(tel);
+                }
                 client.agent(BENCH_UID).lock().add_key(ukey);
                 match system {
                     System::SfsNoEncrypt => client.set_charge_crypto(false),
@@ -179,10 +203,18 @@ impl Testbed {
                 }
                 let prefix = format!("{}/bench", server.path().full_path());
                 let bench = SfsBench::new(system.label(), client, BENCH_UID, &prefix);
-                return Testbed { clock, fs: Box::new(bench), server_vfs: vfs };
+                return Testbed {
+                    clock,
+                    fs: Box::new(bench),
+                    server_vfs: vfs,
+                };
             }
         };
-        Testbed { clock, fs, server_vfs: vfs }
+        Testbed {
+            clock,
+            fs,
+            server_vfs: vfs,
+        }
     }
 
     /// Path prefix used by workloads ("" = the bench directory itself).
@@ -210,6 +242,28 @@ pub fn build_fs_with_cpu(
     cpu: CpuCosts,
 ) -> (Box<dyn FsBench>, SimClock, String, Vfs) {
     let tb = Testbed::build_with_cpu(system, cpu);
+    let prefix = tb.root_dir(system).to_string();
+    (tb.fs, tb.clock, prefix, tb.server_vfs)
+}
+
+/// [`build_fs`] with a tracing sink threaded through every layer. Pass a
+/// disabled [`Telemetry`] to get exactly the [`build_fs`] behaviour.
+pub fn build_fs_traced(
+    system: System,
+    tel: &Telemetry,
+) -> (Box<dyn FsBench>, SimClock, String, Vfs) {
+    let tb = Testbed::build_traced(system, tel);
+    let prefix = tb.root_dir(system).to_string();
+    (tb.fs, tb.clock, prefix, tb.server_vfs)
+}
+
+/// [`build_fs_traced`] with explicit CPU costs.
+pub fn build_fs_traced_cpu(
+    system: System,
+    cpu: CpuCosts,
+    tel: &Telemetry,
+) -> (Box<dyn FsBench>, SimClock, String, Vfs) {
+    let tb = Testbed::build_traced_with_cpu(system, cpu, tel);
     let prefix = tb.root_dir(system).to_string();
     (tb.fs, tb.clock, prefix, tb.server_vfs)
 }

@@ -12,13 +12,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sfs::client::{ClientError, SfsClient};
-use sfs_nfs3::proto::{
-    FileHandle, Nfs3Reply, Nfs3Request, Sattr3, StableHow, Status,
-};
+use sfs_nfs3::proto::{FileHandle, Nfs3Reply, Nfs3Request, Sattr3, StableHow, Status};
 use sfs_nfs3::Nfs3Server;
 use sfs_sim::{CpuCosts, SimClock, SimTime, Wire};
+use sfs_telemetry::sync::Mutex;
 use sfs_vfs::{Credentials, FsError, Vfs};
 
 /// Errors surfaced by benchmark file operations.
@@ -147,7 +145,12 @@ pub struct LocalFs {
 impl LocalFs {
     /// Wraps a (disk-attached) file system.
     pub fn new(vfs: Vfs, clock: SimClock) -> Self {
-        LocalFs { vfs, clock, creds: Credentials::user(1000, 100), cache: Mutex::new(PageCache::default()) }
+        LocalFs {
+            vfs,
+            clock,
+            creds: Credentials::user(1000, 100),
+            cache: Mutex::new(PageCache::default()),
+        }
     }
 
     /// The underlying file system (for seeding).
@@ -261,7 +264,10 @@ impl FsBench for LocalFs {
         match self.vfs.setattr(
             &self.creds,
             ino,
-            sfs_vfs::SetAttr { uid: Some(1), ..Default::default() },
+            sfs_vfs::SetAttr {
+                uid: Some(1),
+                ..Default::default()
+            },
         ) {
             Err(FsError::Perm) => Ok(()),
             Err(e) => Err(BenchFsError::Local(e)),
@@ -299,7 +305,13 @@ pub struct KernelNfs {
 
 impl KernelNfs {
     /// Builds an NFS client over `wire` against `server`.
-    pub fn new(label: &str, clock: SimClock, wire: Wire, server: Nfs3Server, cpu: CpuCosts) -> Self {
+    pub fn new(
+        label: &str,
+        clock: SimClock,
+        wire: Wire,
+        server: Nfs3Server,
+        cpu: CpuCosts,
+    ) -> Self {
         KernelNfs {
             label: label.to_string(),
             clock,
@@ -354,7 +366,10 @@ impl KernelNfs {
                 cur = fh.clone();
                 continue;
             }
-            match self.rpc(&Nfs3Request::Lookup { dir: cur.clone(), name: comp.to_string() })? {
+            match self.rpc(&Nfs3Request::Lookup {
+                dir: cur.clone(),
+                name: comp.to_string(),
+            })? {
                 Nfs3Reply::Lookup { fh, attr, .. } => {
                     if let Some(a) = attr.attr {
                         self.attrs.lock().insert(
@@ -419,7 +434,10 @@ impl FsBench for KernelNfs {
         match self.rpc(&Nfs3Request::Mkdir {
             dir: dfh,
             name: leaf.to_string(),
-            attrs: Sattr3 { mode: Some(0o755), ..Default::default() },
+            attrs: Sattr3 {
+                mode: Some(0o755),
+                ..Default::default()
+            },
         })? {
             Nfs3Reply::Mkdir { fh, .. } => {
                 self.names.lock().insert(path.to_string(), fh);
@@ -437,14 +455,20 @@ impl FsBench for KernelNfs {
         match self.rpc(&Nfs3Request::Create {
             dir: dfh,
             name: leaf.to_string(),
-            attrs: Sattr3 { mode: Some(0o644), ..Default::default() },
+            attrs: Sattr3 {
+                mode: Some(0o644),
+                ..Default::default()
+            },
         })? {
             Nfs3Reply::Create { fh, .. } => {
                 self.names.lock().insert(path.to_string(), fh);
                 self.cache.lock().invalidate(path);
                 Ok(())
             }
-            Nfs3Reply::Error { status: Status::Exist, .. } => Ok(()),
+            Nfs3Reply::Error {
+                status: Status::Exist,
+                ..
+            } => Ok(()),
             Nfs3Reply::Error { status, .. } => Err(BenchFsError::Nfs(status)),
             other => Err(BenchFsError::Nfs(unexpected(&other))),
         }
@@ -492,7 +516,11 @@ impl FsBench for KernelNfs {
             let mut whole = Vec::with_capacity(size as usize);
             let mut off = 0u64;
             loop {
-                match self.rpc(&Nfs3Request::Read { fh: fh.clone(), offset: off, count: 8192 })? {
+                match self.rpc(&Nfs3Request::Read {
+                    fh: fh.clone(),
+                    offset: off,
+                    count: 8192,
+                })? {
                     Nfs3Reply::Read { data, eof, .. } => {
                         off += data.len() as u64;
                         whole.extend_from_slice(&data);
@@ -510,7 +538,11 @@ impl FsBench for KernelNfs {
             let end = (start + len).min(whole.len());
             Ok(whole[start..end].to_vec())
         } else {
-            match self.rpc(&Nfs3Request::Read { fh, offset, count: len as u32 })? {
+            match self.rpc(&Nfs3Request::Read {
+                fh,
+                offset,
+                count: len as u32,
+            })? {
                 Nfs3Reply::Read { data, .. } => Ok(data),
                 Nfs3Reply::Error { status, .. } => Err(BenchFsError::Nfs(status)),
                 other => Err(BenchFsError::Nfs(unexpected(&other))),
@@ -553,7 +585,10 @@ impl FsBench for KernelNfs {
         self.attrs.lock().remove(path);
         self.cache.lock().invalidate(path);
         self.access_checked.lock().remove(path);
-        match self.rpc(&Nfs3Request::Remove { dir: dfh, name: leaf.to_string() })? {
+        match self.rpc(&Nfs3Request::Remove {
+            dir: dfh,
+            name: leaf.to_string(),
+        })? {
             Nfs3Reply::Remove { .. } => Ok(()),
             Nfs3Reply::Error { status, .. } => Err(BenchFsError::Nfs(status)),
             other => Err(BenchFsError::Nfs(unexpected(&other))),
@@ -563,7 +598,11 @@ impl FsBench for KernelNfs {
     fn flush(&self, path: &str) -> Result<()> {
         self.clock.advance_ns(SYSCALL_NS);
         let fh = self.lookup(path)?;
-        match self.rpc(&Nfs3Request::Commit { fh, offset: 0, count: 0 })? {
+        match self.rpc(&Nfs3Request::Commit {
+            fh,
+            offset: 0,
+            count: 0,
+        })? {
             Nfs3Reply::Commit { .. } => Ok(()),
             Nfs3Reply::Error { status, .. } => Err(BenchFsError::Nfs(status)),
             other => Err(BenchFsError::Nfs(unexpected(&other))),
@@ -578,7 +617,10 @@ impl FsBench for KernelNfs {
         self.cpu.charge_rpc(&self.clock);
         let req = Nfs3Request::SetAttr {
             fh,
-            attrs: Sattr3 { uid: Some(1), ..Default::default() },
+            attrs: Sattr3 {
+                uid: Some(1),
+                ..Default::default()
+            },
         };
         let results = self
             .wire
@@ -591,7 +633,10 @@ impl FsBench for KernelNfs {
         match Nfs3Reply::decode_results(req.proc(), &results)
             .map_err(|_| BenchFsError::Nfs(Status::Io))?
         {
-            Nfs3Reply::Error { status: Status::Perm, .. } => Ok(()),
+            Nfs3Reply::Error {
+                status: Status::Perm,
+                ..
+            } => Ok(()),
             other => Err(BenchFsError::Nfs(unexpected(&other))),
         }
     }
@@ -664,7 +709,13 @@ impl SfsBench {
         }
         let (dir, leaf) = split(path);
         let (mount, dir_fh) = self.handle_of(dir)?;
-        match self.nfs(&mount, &Nfs3Request::Lookup { dir: dir_fh, name: leaf.to_string() })? {
+        match self.nfs(
+            &mount,
+            &Nfs3Request::Lookup {
+                dir: dir_fh,
+                name: leaf.to_string(),
+            },
+        )? {
             Nfs3Reply::Lookup { fh, .. } => {
                 self.names
                     .lock()
@@ -706,11 +757,16 @@ impl FsBench for SfsBench {
             &Nfs3Request::Mkdir {
                 dir: dfh,
                 name: leaf.to_string(),
-                attrs: Sattr3 { mode: Some(0o755), ..Default::default() },
+                attrs: Sattr3 {
+                    mode: Some(0o755),
+                    ..Default::default()
+                },
             },
         )? {
             Nfs3Reply::Mkdir { fh, .. } => {
-                self.names.lock().insert(path.trim_matches('/').to_string(), (mount, fh));
+                self.names
+                    .lock()
+                    .insert(path.trim_matches('/').to_string(), (mount, fh));
                 Ok(())
             }
             Nfs3Reply::Error { status, .. } => Err(BenchFsError::Nfs(status)),
@@ -727,7 +783,10 @@ impl FsBench for SfsBench {
             &Nfs3Request::Create {
                 dir: dfh,
                 name: leaf.to_string(),
-                attrs: Sattr3 { mode: Some(0o644), ..Default::default() },
+                attrs: Sattr3 {
+                    mode: Some(0o644),
+                    ..Default::default()
+                },
             },
         )? {
             Nfs3Reply::Create { fh, .. } => {
@@ -737,7 +796,10 @@ impl FsBench for SfsBench {
                 self.cache.lock().invalidate(path);
                 Ok(())
             }
-            Nfs3Reply::Error { status: Status::Exist, .. } => Ok(()),
+            Nfs3Reply::Error {
+                status: Status::Exist,
+                ..
+            } => Ok(()),
             Nfs3Reply::Error { status, .. } => Err(BenchFsError::Nfs(status)),
             other => Err(BenchFsError::Nfs(unexpected(&other))),
         }
@@ -767,7 +829,10 @@ impl FsBench for SfsBench {
     fn read(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
         self.clock.advance_ns(SYSCALL_NS);
         let (mount, fh) = self.handle_of(path)?;
-        let attr = self.client.getattr(&mount, self.uid, &fh).map_err(sfs_err)?;
+        let attr = self
+            .client
+            .getattr(&mount, self.uid, &fh)
+            .map_err(sfs_err)?;
         if let Some(data) = self.cache.lock().get(path, attr.mtime) {
             let start = (offset as usize).min(data.len());
             let end = (start + len).min(data.len());
@@ -779,7 +844,11 @@ impl FsBench for SfsBench {
             loop {
                 match self.nfs(
                     &mount,
-                    &Nfs3Request::Read { fh: fh.clone(), offset: off, count: 8192 },
+                    &Nfs3Request::Read {
+                        fh: fh.clone(),
+                        offset: off,
+                        count: 8192,
+                    },
                 )? {
                     Nfs3Reply::Read { data, eof, .. } => {
                         off += data.len() as u64;
@@ -798,7 +867,14 @@ impl FsBench for SfsBench {
             let end = (start + len).min(whole.len());
             Ok(whole[start..end].to_vec())
         } else {
-            match self.nfs(&mount, &Nfs3Request::Read { fh, offset, count: len as u32 })? {
+            match self.nfs(
+                &mount,
+                &Nfs3Request::Read {
+                    fh,
+                    offset,
+                    count: len as u32,
+                },
+            )? {
                 Nfs3Reply::Read { data, .. } => Ok(data),
                 Nfs3Reply::Error { status, .. } => Err(BenchFsError::Nfs(status)),
                 other => Err(BenchFsError::Nfs(unexpected(&other))),
@@ -820,7 +896,10 @@ impl FsBench for SfsBench {
         let (mount, fh) = self.handle_of(path)?;
         // Leases + invalidation callbacks replace close-to-open
         // revalidation: while the lease is live, no RPC is needed.
-        let attr = self.client.getattr(&mount, self.uid, &fh).map_err(sfs_err)?;
+        let attr = self
+            .client
+            .getattr(&mount, self.uid, &fh)
+            .map_err(sfs_err)?;
         self.client
             .access(&mount, self.uid, &fh, 0x3f)
             .map_err(sfs_err)?;
@@ -833,7 +912,13 @@ impl FsBench for SfsBench {
         let (mount, dfh) = self.handle_of(dir)?;
         self.names.lock().remove(path.trim_matches('/'));
         self.cache.lock().invalidate(path);
-        match self.nfs(&mount, &Nfs3Request::Remove { dir: dfh, name: leaf.to_string() })? {
+        match self.nfs(
+            &mount,
+            &Nfs3Request::Remove {
+                dir: dfh,
+                name: leaf.to_string(),
+            },
+        )? {
             Nfs3Reply::Remove { .. } => Ok(()),
             Nfs3Reply::Error { status, .. } => Err(BenchFsError::Nfs(status)),
             other => Err(BenchFsError::Nfs(unexpected(&other))),
@@ -843,7 +928,14 @@ impl FsBench for SfsBench {
     fn flush(&self, path: &str) -> Result<()> {
         self.clock.advance_ns(SYSCALL_NS);
         let (mount, fh) = self.handle_of(path)?;
-        match self.nfs(&mount, &Nfs3Request::Commit { fh, offset: 0, count: 0 })? {
+        match self.nfs(
+            &mount,
+            &Nfs3Request::Commit {
+                fh,
+                offset: 0,
+                count: 0,
+            },
+        )? {
             Nfs3Reply::Commit { .. } => Ok(()),
             Nfs3Reply::Error { status, .. } => Err(BenchFsError::Nfs(status)),
             other => Err(BenchFsError::Nfs(unexpected(&other))),
@@ -855,10 +947,22 @@ impl FsBench for SfsBench {
         let (mount, fh) = self.handle_of(path)?;
         match self.nfs(
             &mount,
-            &Nfs3Request::SetAttr { fh, attrs: Sattr3 { uid: Some(1), ..Default::default() } },
+            &Nfs3Request::SetAttr {
+                fh,
+                attrs: Sattr3 {
+                    uid: Some(1),
+                    ..Default::default()
+                },
+            },
         )? {
-            Nfs3Reply::Error { status: Status::Perm, .. }
-            | Nfs3Reply::Error { status: Status::Acces, .. } => Ok(()),
+            Nfs3Reply::Error {
+                status: Status::Perm,
+                ..
+            }
+            | Nfs3Reply::Error {
+                status: Status::Acces,
+                ..
+            } => Ok(()),
             other => Err(BenchFsError::Nfs(unexpected(&other))),
         }
     }

@@ -16,7 +16,9 @@
 
 pub mod calib;
 pub mod kernel;
+pub mod microbench;
 pub mod report;
+pub mod trace;
 pub mod workloads;
 
 pub use calib::{System, Testbed};

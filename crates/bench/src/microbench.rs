@@ -1,0 +1,53 @@
+//! A minimal wall-clock micro-benchmark harness for the `benches/`
+//! targets. Unlike the `fig*` binaries (deterministic virtual time),
+//! these measure genuine CPU time on the host machine, so they are
+//! reporting tools, not regression tests.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement window per benchmark.
+const WINDOW: Duration = Duration::from_millis(100);
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Runs `f` repeatedly until the measurement window fills, then prints
+/// mean time per iteration. Returns the mean in ns.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> u128 {
+    // Warm up and calibrate the iteration count.
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt >= WINDOW || iters >= 1 << 28 {
+            let per = dt.as_nanos() / iters as u128;
+            println!("{name:<44} {iters:>9} iters   {:>12}/iter", fmt_ns(per));
+            return per;
+        }
+        // Scale the count toward the window (at least double).
+        let scale = (WINDOW.as_nanos() / dt.as_nanos().max(1)).clamp(2, 1024) as u64;
+        iters = iters.saturating_mul(scale);
+    }
+}
+
+/// Like [`bench`], also reporting throughput for `bytes` processed per
+/// iteration.
+pub fn bench_throughput<T>(name: &str, bytes: u64, f: impl FnMut() -> T) {
+    let per = bench(name, f);
+    if per > 0 {
+        let mbps = bytes as f64 * 1e9 / per as f64 / (1024.0 * 1024.0);
+        println!("{:>44}   {mbps:>10.1} MiB/s", "");
+    }
+}

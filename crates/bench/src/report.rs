@@ -3,7 +3,7 @@
 use sfs_sim::SimTime;
 
 /// One cell comparing a measurement with the paper's published value.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Compared {
     /// Measured value.
     pub measured: f64,
@@ -24,7 +24,7 @@ impl Compared {
 }
 
 /// A complete figure/table reproduction.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Title ("Figure 5: micro-benchmarks").
     pub title: String,
@@ -77,9 +77,7 @@ impl Table {
             for cell in cells {
                 let m = format_val(cell.measured);
                 match cell.paper {
-                    Some(p) => {
-                        out.push_str(&format!(" | {m:>8} (paper {:>6})", format_val(p)))
-                    }
+                    Some(p) => out.push_str(&format!(" | {m:>8} (paper {:>6})", format_val(p))),
                     None => out.push_str(&format!(" | {m:>8} {:>14}", "")),
                 }
             }

@@ -62,7 +62,8 @@ pub fn micro_throughput(fs: &dyn FsBench, prefix: &str) -> f64 {
     // Build server-side content in large strides.
     let block = vec![0u8; 1024 * 1024];
     for i in 0..TOTAL / block.len() {
-        fs.write(&path, (i * block.len()) as u64, &block).expect("fill");
+        fs.write(&path, (i * block.len()) as u64, &block)
+            .expect("fill");
     }
     fs.flush(&path).expect("flush");
     fs.drop_caches();
@@ -120,20 +121,26 @@ pub fn mab(fs: &dyn FsBench, prefix: &str, cfg: &MabConfig) -> Vec<Phase> {
             fs.mkdir(&join(prefix, &format!("d{d}"))).expect("mkdir");
         }
     });
-    phases.push(Phase { name: "directories".into(), time: t });
+    phases.push(Phase {
+        name: "directories".into(),
+        time: t,
+    });
 
     // Phase 2: copy the source tree in.
     let sizes: Vec<usize> = (0..cfg.files)
         .map(|i| cfg.mean_file_size / 2 + (i * 997) % cfg.mean_file_size)
         .collect();
     let (_, t) = timed(fs, || {
-        for i in 0..cfg.files {
+        for (i, &size) in sizes.iter().enumerate() {
             let p = file_path(i);
             fs.create(&p).expect("create");
-            fs.write(&p, 0, &vec![b'x'; sizes[i]]).expect("write");
+            fs.write(&p, 0, &vec![b'x'; size]).expect("write");
         }
     });
-    phases.push(Phase { name: "copy".into(), time: t });
+    phases.push(Phase {
+        name: "copy".into(),
+        time: t,
+    });
 
     // Phase 3: attributes (find + ls -lR passes). Fresh process ⇒ fresh
     // opens, but attribute caches persist in the kernel/client.
@@ -144,7 +151,10 @@ pub fn mab(fs: &dyn FsBench, prefix: &str, cfg: &MabConfig) -> Vec<Phase> {
             }
         }
     });
-    phases.push(Phase { name: "attributes".into(), time: t });
+    phases.push(Phase {
+        name: "attributes".into(),
+        time: t,
+    });
 
     // Phase 4: search (grep through every file; data comes through the
     // page cache after the first pass, but each file is opened).
@@ -165,19 +175,23 @@ pub fn mab(fs: &dyn FsBench, prefix: &str, cfg: &MabConfig) -> Vec<Phase> {
             }
         }
     });
-    phases.push(Phase { name: "search".into(), time: t });
+    phases.push(Phase {
+        name: "search".into(),
+        time: t,
+    });
 
     // Phase 5: compile — open+read each source, burn CPU, write the
     // object, then a link pass over all objects.
     let (_, t) = timed(fs, || {
-        for i in 0..cfg.files {
+        for (i, &size) in sizes.iter().enumerate() {
             let p = file_path(i);
             fs.open(&p).expect("open src");
-            fs.read(&p, 0, sizes[i]).expect("read src");
+            fs.read(&p, 0, size).expect("read src");
             fs.cpu_burn(cfg.compile_cpu_ns);
             let obj = join(prefix, &format!("d{}/f{}.o", i % cfg.dirs, i));
             fs.create(&obj).expect("create obj");
-            fs.write(&obj, 0, &vec![0u8; sizes[i] * 3 / 2]).expect("write obj");
+            fs.write(&obj, 0, &vec![0u8; size * 3 / 2])
+                .expect("write obj");
         }
         // Link.
         let out = join(prefix, "a.out");
@@ -192,7 +206,10 @@ pub fn mab(fs: &dyn FsBench, prefix: &str, cfg: &MabConfig) -> Vec<Phase> {
         }
         fs.flush(&out).expect("flush");
     });
-    phases.push(Phase { name: "compile".into(), time: t });
+    phases.push(Phase {
+        name: "compile".into(),
+        time: t,
+    });
 
     phases
 }
@@ -304,7 +321,10 @@ pub fn lfs_small(fs: &dyn FsBench, prefix: &str, n: usize) -> Vec<Phase> {
             fs.stat(&p).expect("close-stat");
         }
     });
-    phases.push(Phase { name: "create".into(), time: t });
+    phases.push(Phase {
+        name: "create".into(),
+        time: t,
+    });
 
     // Fresh process: caches dropped, every file opened cold.
     fs.drop_caches();
@@ -315,7 +335,10 @@ pub fn lfs_small(fs: &dyn FsBench, prefix: &str, n: usize) -> Vec<Phase> {
             fs.read(&p, 0, 1024).expect("read");
         }
     });
-    phases.push(Phase { name: "read".into(), time: t });
+    phases.push(Phase {
+        name: "read".into(),
+        time: t,
+    });
 
     let (_, t) = timed(fs, || {
         for i in 0..n {
@@ -323,7 +346,10 @@ pub fn lfs_small(fs: &dyn FsBench, prefix: &str, n: usize) -> Vec<Phase> {
             fs.unlink(&p).expect("unlink");
         }
     });
-    phases.push(Phase { name: "unlink".into(), time: t });
+    phases.push(Phase {
+        name: "unlink".into(),
+        time: t,
+    });
 
     phases
 }
@@ -352,7 +378,10 @@ pub fn lfs_large(fs: &dyn FsBench, prefix: &str) -> Vec<Phase> {
         fs.flush(&path).expect("flush");
     });
     fs.set_streaming(false);
-    phases.push(Phase { name: "seq write".into(), time: t });
+    phases.push(Phase {
+        name: "seq write".into(),
+        time: t,
+    });
 
     // Sequential read (server cache warm; client page cache bypassed for
     // a file this large).
@@ -365,7 +394,10 @@ pub fn lfs_large(fs: &dyn FsBench, prefix: &str) -> Vec<Phase> {
         }
     });
     fs.set_streaming(false);
-    phases.push(Phase { name: "seq read".into(), time: t });
+    phases.push(Phase {
+        name: "seq read".into(),
+        time: t,
+    });
 
     // Random write.
     let mut buf = [0u8; 4];
@@ -377,7 +409,10 @@ pub fn lfs_large(fs: &dyn FsBench, prefix: &str) -> Vec<Phase> {
         }
         fs.flush(&path).expect("flush");
     });
-    phases.push(Phase { name: "rand write".into(), time: t });
+    phases.push(Phase {
+        name: "rand write".into(),
+        time: t,
+    });
 
     // Random read.
     let (_, t) = timed(fs, || {
@@ -387,7 +422,10 @@ pub fn lfs_large(fs: &dyn FsBench, prefix: &str) -> Vec<Phase> {
             fs.read(&path, (block * CHUNK) as u64, CHUNK).expect("r");
         }
     });
-    phases.push(Phase { name: "rand read".into(), time: t });
+    phases.push(Phase {
+        name: "rand read".into(),
+        time: t,
+    });
 
     // Sequential read again.
     fs.set_streaming(true);
@@ -397,7 +435,10 @@ pub fn lfs_large(fs: &dyn FsBench, prefix: &str) -> Vec<Phase> {
         }
     });
     fs.set_streaming(false);
-    phases.push(Phase { name: "seq read 2".into(), time: t });
+    phases.push(Phase {
+        name: "seq read 2".into(),
+        time: t,
+    });
 
     phases
 }
@@ -410,10 +451,18 @@ mod tests {
     #[test]
     fn mab_produces_five_phases_in_order() {
         let (fs, _clock, prefix, _) = build_fs(System::Local);
-        let cfg = MabConfig { files: 8, dirs: 4, compile_cpu_ns: 1_000_000, ..Default::default() };
+        let cfg = MabConfig {
+            files: 8,
+            dirs: 4,
+            compile_cpu_ns: 1_000_000,
+            ..Default::default()
+        };
         let phases = mab(fs.as_ref(), &prefix, &cfg);
         let names: Vec<&str> = phases.iter().map(|p| p.name.as_str()).collect();
-        assert_eq!(names, ["directories", "copy", "attributes", "search", "compile"]);
+        assert_eq!(
+            names,
+            ["directories", "copy", "attributes", "search", "compile"]
+        );
         assert!(total(&phases).as_nanos() > 0);
     }
 
@@ -437,7 +486,12 @@ mod tests {
     #[test]
     fn nfs_rpc_counts_exceed_local() {
         let (nfs, _c1, p1, _) = build_fs(System::NfsUdp);
-        let cfg = MabConfig { files: 6, dirs: 3, compile_cpu_ns: 1_000_000, ..Default::default() };
+        let cfg = MabConfig {
+            files: 6,
+            dirs: 3,
+            compile_cpu_ns: 1_000_000,
+            ..Default::default()
+        };
         mab(nfs.as_ref(), &p1, &cfg);
         assert!(nfs.rpcs() > 20, "NFS must issue wire RPCs");
         let (local, _c2, p2, _) = build_fs(System::Local);
@@ -448,7 +502,9 @@ mod tests {
     #[test]
     fn sfs_caching_cuts_rpcs_on_repeated_stats() {
         let (fs, _clock, prefix, _) = build_fs(System::Sfs);
-        let p = format!("{prefix}/statme").trim_start_matches('/').to_string();
+        let p = format!("{prefix}/statme")
+            .trim_start_matches('/')
+            .to_string();
         fs.create(&p).unwrap();
         fs.write(&p, 0, b"x").unwrap();
         let before = fs.rpcs();
@@ -457,7 +513,9 @@ mod tests {
         }
         assert!(fs.rpcs() - before <= 1, "leased stats must stay local");
         let (fs, _clock, prefix, _) = build_fs(System::SfsNoCache);
-        let p = format!("{prefix}/statme").trim_start_matches('/').to_string();
+        let p = format!("{prefix}/statme")
+            .trim_start_matches('/')
+            .to_string();
         fs.create(&p).unwrap();
         fs.write(&p, 0, b"x").unwrap();
         let before = fs.rpcs();

@@ -28,7 +28,10 @@ pub struct Int {
 impl Int {
     /// Returns zero.
     pub fn zero() -> Self {
-        Int { sign: Sign::Plus, mag: Nat::zero() }
+        Int {
+            sign: Sign::Plus,
+            mag: Nat::zero(),
+        }
     }
 
     /// Returns one.
@@ -38,7 +41,10 @@ impl Int {
 
     /// Wraps a natural number as a non-negative integer.
     pub fn from_nat(mag: Nat) -> Self {
-        Int { sign: Sign::Plus, mag }
+        Int {
+            sign: Sign::Plus,
+            mag,
+        }
     }
 
     /// Constructs from an explicit sign and magnitude (zero is normalized to
@@ -75,8 +81,14 @@ impl Int {
     pub fn neg(&self) -> Int {
         match self.sign {
             _ if self.is_zero() => Int::zero(),
-            Sign::Plus => Int { sign: Sign::Minus, mag: self.mag.clone() },
-            Sign::Minus => Int { sign: Sign::Plus, mag: self.mag.clone() },
+            Sign::Plus => Int {
+                sign: Sign::Minus,
+                mag: self.mag.clone(),
+            },
+            Sign::Minus => Int {
+                sign: Sign::Plus,
+                mag: self.mag.clone(),
+            },
         }
     }
 
@@ -87,12 +99,8 @@ impl Int {
         }
         match self.mag.cmp(&other.mag) {
             Ordering::Equal => Int::zero(),
-            Ordering::Greater => {
-                Int::new(self.sign, self.mag.checked_sub(&other.mag).unwrap())
-            }
-            Ordering::Less => {
-                Int::new(other.sign, other.mag.checked_sub(&self.mag).unwrap())
-            }
+            Ordering::Greater => Int::new(self.sign, self.mag.checked_sub(&other.mag).unwrap()),
+            Ordering::Less => Int::new(other.sign, other.mag.checked_sub(&self.mag).unwrap()),
         }
     }
 
@@ -103,7 +111,11 @@ impl Int {
 
     /// `self * other`.
     pub fn mul(&self, other: &Int) -> Int {
-        let sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
+        let sign = if self.sign == other.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         Int::new(sign, self.mag.mul_nat(&other.mag))
     }
 

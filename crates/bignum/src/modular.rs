@@ -92,7 +92,10 @@ pub fn invmod(a: &Nat, m: &Nat) -> Option<Nat> {
 ///
 /// Panics if `n` is even or zero.
 pub fn jacobi(a: &Nat, n: &Nat) -> i32 {
-    assert!(n.is_odd() && !n.is_zero(), "Jacobi symbol requires odd n > 0");
+    assert!(
+        n.is_odd() && !n.is_zero(),
+        "Jacobi symbol requires odd n > 0"
+    );
     let mut a = a.rem_nat(n).unwrap();
     let mut n = n.clone();
     let mut result = 1i32;

@@ -236,9 +236,9 @@ impl Nat {
         };
         let mut out = Vec::with_capacity(big.len() + 1);
         let mut carry = 0u64;
-        for i in 0..big.len() {
+        for (i, &limb) in big.iter().enumerate() {
             let b = *small.get(i).unwrap_or(&0);
-            let (s1, c1) = big[i].overflowing_add(b);
+            let (s1, c1) = limb.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -391,10 +391,7 @@ impl Nat {
         if b.is_zero() {
             return a;
         }
-        let shift = a
-            .trailing_zeros()
-            .unwrap()
-            .min(b.trailing_zeros().unwrap());
+        let shift = a.trailing_zeros().unwrap().min(b.trailing_zeros().unwrap());
         a = a.shr_bits(a.trailing_zeros().unwrap());
         loop {
             b = b.shr_bits(b.trailing_zeros().unwrap());
@@ -485,9 +482,7 @@ fn knuth_d(u: &Nat, v: &Nat) -> (Nat, Nat) {
         let num = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
         let mut qhat = num / v_hi as u128;
         let mut rhat = num % v_hi as u128;
-        while qhat >> 64 != 0
-            || qhat * v_next as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-        {
+        while qhat >> 64 != 0 || qhat * v_next as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
             qhat -= 1;
             rhat += v_hi as u128;
             if rhat >> 64 != 0 {
@@ -630,9 +625,7 @@ impl BitOr for &Nat {
         let n = self.limbs.len().max(rhs.limbs.len());
         Nat::from_limbs(
             (0..n)
-                .map(|i| {
-                    self.limbs.get(i).unwrap_or(&0) | rhs.limbs.get(i).unwrap_or(&0)
-                })
+                .map(|i| self.limbs.get(i).unwrap_or(&0) | rhs.limbs.get(i).unwrap_or(&0))
                 .collect(),
         )
     }
@@ -644,9 +637,7 @@ impl BitXor for &Nat {
         let n = self.limbs.len().max(rhs.limbs.len());
         Nat::from_limbs(
             (0..n)
-                .map(|i| {
-                    self.limbs.get(i).unwrap_or(&0) ^ rhs.limbs.get(i).unwrap_or(&0)
-                })
+                .map(|i| self.limbs.get(i).unwrap_or(&0) ^ rhs.limbs.get(i).unwrap_or(&0))
                 .collect(),
         )
     }
@@ -799,7 +790,10 @@ mod tests {
         assert!(n(5) < n(6));
         assert!(Nat::from_limbs(vec![0, 1]) > Nat::from(u64::MAX));
         assert_eq!(n(5).cmp_u64(5), Ordering::Equal);
-        assert_eq!(Nat::from_limbs(vec![0, 1]).cmp_u64(u64::MAX), Ordering::Greater);
+        assert_eq!(
+            Nat::from_limbs(vec![0, 1]).cmp_u64(u64::MAX),
+            Ordering::Greater
+        );
     }
 
     #[test]

@@ -63,13 +63,16 @@ pub struct Agent {
     /// authentication requests to other SFS agents" — the remote-login
     /// scenario). When set and this agent holds no keys of its own,
     /// authentication requests are forwarded there.
-    upstream: Option<(std::sync::Arc<parking_lot::Mutex<Agent>>, String)>,
+    upstream: Option<(std::sync::Arc<sfs_telemetry::sync::Mutex<Agent>>, String)>,
     /// External key-management hook (§2.4 "Existing public key
     /// infrastructures"): given a non-self-certifying name, may produce a
     /// self-certifying pathname (e.g. from an SSL certificate store).
     /// Consulted after dynamic links and the certification path.
-    name_hook: Option<Box<dyn Fn(&str) -> Option<String> + Send>>,
+    name_hook: Option<NameHook>,
 }
+
+/// Maps a non-self-certifying name to a self-certifying pathname.
+pub type NameHook = Box<dyn Fn(&str) -> Option<String> + Send>;
 
 impl Default for Agent {
     fn default() -> Self {
@@ -114,7 +117,12 @@ impl Agent {
     /// `None` once attempts are exhausted — the caller then proceeds
     /// anonymously. With an upstream configured and no local keys, the
     /// request is proxied.
-    pub fn authenticate(&mut self, info: &AuthInfo, seq_no: u32, attempt: usize) -> Option<AuthMsg> {
+    pub fn authenticate(
+        &mut self,
+        info: &AuthInfo,
+        seq_no: u32,
+        attempt: usize,
+    ) -> Option<AuthMsg> {
         self.authenticate_via(info, seq_no, attempt, Vec::new())
     }
 
@@ -157,7 +165,7 @@ impl Agent {
     /// forwarded requests with `hop` (e.g. "lab-machine.example.org").
     pub fn set_upstream(
         &mut self,
-        upstream: std::sync::Arc<parking_lot::Mutex<Agent>>,
+        upstream: std::sync::Arc<sfs_telemetry::sync::Mutex<Agent>>,
         hop: &str,
     ) {
         self.upstream = Some((upstream, hop.to_string()));
@@ -167,7 +175,7 @@ impl Agent {
     /// non-self-certifying names to self-certifying pathnames, e.g. by
     /// consulting SSL certificates. Consulted after dynamic links and the
     /// certification path.
-    pub fn set_name_hook(&mut self, hook: Box<dyn Fn(&str) -> Option<String> + Send>) {
+    pub fn set_name_hook(&mut self, hook: NameHook) {
         self.name_hook = Some(hook);
     }
 
@@ -352,7 +360,10 @@ mod tests {
         let m0 = agent.authenticate(&info(), 1, 0).unwrap();
         let m1 = agent.authenticate(&info(), 2, 1).unwrap();
         assert_ne!(m0.user_key, m1.user_key);
-        assert!(agent.authenticate(&info(), 3, 2).is_none(), "attempts exhausted");
+        assert!(
+            agent.authenticate(&info(), 3, 2).is_none(),
+            "attempts exhausted"
+        );
     }
 
     #[test]

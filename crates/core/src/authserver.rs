@@ -16,13 +16,13 @@
 
 use std::collections::BTreeMap;
 
-use parking_lot::Mutex;
 use sfs_bignum::{Nat, RandomSource};
 use sfs_crypto::eksblowfish::{password_kdf, SALT_LEN};
 use sfs_crypto::sha1::DIGEST_LEN;
 use sfs_crypto::srp::{self, SrpGroup, SrpServer};
 use sfs_proto::pathname::SelfCertifyingPath;
 use sfs_proto::userauth::{AuthError, AuthMsg};
+use sfs_telemetry::sync::Mutex;
 use sfs_vfs::Credentials;
 
 /// A user entry in the *public* database: safe to export to the world
@@ -151,7 +151,13 @@ impl AuthServer {
 
     /// Exports the public database (no password-equivalent data inside).
     pub fn export_public_db(&self) -> Vec<UserRecord> {
-        self.inner.lock().writable.by_key.values().cloned().collect()
+        self.inner
+            .lock()
+            .writable
+            .by_key
+            .values()
+            .cloned()
+            .collect()
     }
 
     /// Looks up credentials for a public key across all databases,
@@ -164,7 +170,10 @@ impl AuthServer {
             .or_else(|| inner.imported.iter().find_map(|db| db.lookup(key)))?;
         Some((
             rec.user.clone(),
-            Credentials { uid: rec.uid, gids: rec.gids.clone() },
+            Credentials {
+                uid: rec.uid,
+                gids: rec.gids.clone(),
+            },
         ))
     }
 
@@ -185,11 +194,7 @@ impl AuthServer {
     /// Hardens a password for SRP use: eksblowfish first (the expensive
     /// step both sides pay), yielding bytes that feed SRP's private
     /// exponent.
-    pub fn harden_password(
-        cost: u32,
-        salt: &[u8; SALT_LEN],
-        password: &[u8],
-    ) -> Vec<u8> {
+    pub fn harden_password(cost: u32, salt: &[u8; SALT_LEN], password: &[u8]) -> Vec<u8> {
         password_kdf(cost, salt, password, 32)
     }
 
@@ -311,7 +316,9 @@ impl AuthServer {
     pub fn set_unix_password(&self, user: &str, password: &[u8]) {
         let mut inner = self.inner.lock();
         inner.allow_unix_bootstrap = true;
-        inner.unix_passwords.insert(user.to_string(), password.to_vec());
+        inner
+            .unix_passwords
+            .insert(user.to_string(), password.to_vec());
     }
 
     /// Bootstrap: register an initial public key by proving knowledge of
@@ -574,7 +581,8 @@ mod tests {
         s.change_public_key("alice", &new_bytes, &sig).unwrap();
         assert!(s.credentials_for_key(&new_bytes).is_some());
         assert!(
-            s.credentials_for_key(&user_key().public().to_bytes()).is_none(),
+            s.credentials_for_key(&user_key().public().to_bytes())
+                .is_none(),
             "old key no longer maps"
         );
         // An attacker's key cannot authorize a change.
@@ -587,7 +595,8 @@ mod tests {
         );
         // Unknown users are rejected.
         assert_eq!(
-            s.change_public_key("mallory", &new_bytes, &sig).unwrap_err(),
+            s.change_public_key("mallory", &new_bytes, &sig)
+                .unwrap_err(),
             AuthError::UnknownUser
         );
     }

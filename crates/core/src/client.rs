@@ -19,7 +19,6 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
 use sfs_crypto::SfsPrg;
 use sfs_nfs3::proto::{
@@ -31,6 +30,8 @@ use sfs_proto::pathname::{PathError, SelfCertifyingPath};
 use sfs_proto::userauth::{AuthInfo, AUTHNO_ANONYMOUS};
 use sfs_sim::ipc::{LocalEndpoint, LocalHandler, LocalIdentity};
 use sfs_sim::{CpuCosts, Interceptor, NetParams, PacketLog, SimClock, SimTime, Wire, WireError};
+use sfs_telemetry::sync::Mutex;
+use sfs_telemetry::Telemetry;
 use sfs_vfs::FileType;
 use sfs_xdr::Xdr;
 
@@ -120,6 +121,7 @@ pub struct SfsNetwork {
     servers: Mutex<HashMap<String, Arc<SfsServer>>>,
     interceptor: Mutex<Option<Arc<Mutex<dyn Interceptor>>>>,
     log: Mutex<Option<PacketLog>>,
+    tel: Mutex<Telemetry>,
 }
 
 impl SfsNetwork {
@@ -131,7 +133,14 @@ impl SfsNetwork {
             servers: Mutex::new(HashMap::new()),
             interceptor: Mutex::new(None),
             log: Mutex::new(None),
+            tel: Mutex::new(Telemetry::disabled()),
         })
+    }
+
+    /// Attaches a tracing sink to all future connections (the wire layer
+    /// of every subsequently dialed mount reports into it).
+    pub fn set_telemetry(&self, tel: &Telemetry) {
+        *self.tel.lock() = tel.clone();
     }
 
     /// Registers a server under its Location.
@@ -166,6 +175,7 @@ impl SfsNetwork {
         if let Some(l) = &*self.log.lock() {
             wire.set_log(l.clone());
         }
+        wire.set_telemetry(&self.tel.lock().clone());
         Some((wire, server.accept()))
     }
 
@@ -200,8 +210,11 @@ pub struct Mount {
     authnos: Mutex<HashMap<u32, u32>>,
     next_seq: AtomicU32,
     attr_cache: Mutex<HashMap<Vec<u8>, CachedAttr>>,
-    access_cache: Mutex<HashMap<(Vec<u8>, u32, u32), CachedAttr>>,
+    access_cache: Mutex<HashMap<AccessKey, CachedAttr>>,
 }
+
+/// Access-cache key: (file handle bytes, uid, requested mask).
+type AccessKey = (Vec<u8>, u32, u32);
 
 impl Mount {
     /// The root file handle.
@@ -238,6 +251,7 @@ pub struct SfsClient {
     streaming: AtomicBool,
     attr_hits: AtomicU64,
     attr_misses: AtomicU64,
+    tel: Mutex<Telemetry>,
 }
 
 impl SfsClient {
@@ -260,7 +274,21 @@ impl SfsClient {
             streaming: AtomicBool::new(false),
             attr_hits: AtomicU64::new(0),
             attr_misses: AtomicU64::new(0),
+            tel: Mutex::new(Telemetry::disabled()),
         })
+    }
+
+    /// Attaches a tracing sink: client-side spans (mounts, key
+    /// negotiation, sealed calls), cache counters, and CPU-charge
+    /// counters report into it, stamped with the client's virtual clock.
+    /// Also propagates to the network so newly dialed wires trace.
+    pub fn set_telemetry(&self, tel: &Telemetry) {
+        *self.tel.lock() = tel.clone().with_clock(self.clock.clone());
+        self.net.set_telemetry(tel);
+    }
+
+    fn tel(&self) -> Telemetry {
+        self.tel.lock().clone()
     }
 
     /// Creates a client that charges CPU costs to the virtual clock (the
@@ -386,7 +414,9 @@ impl SfsClient {
                 enc.into_bytes()
             }
         }
-        LocalEndpoint::new(Arc::new(Mutex::new(Handler { client: self.clone() })))
+        LocalEndpoint::new(Arc::new(Mutex::new(Handler {
+            client: self.clone(),
+        })))
     }
 
     /// Discards and regenerates the ephemeral key K_C ("clients discard
@@ -421,11 +451,7 @@ impl SfsClient {
     /// Drops one cached mount and establishes a fresh connection (the
     /// recovery path after a poisoned channel: tampering aborts a session,
     /// and a new key negotiation starts over).
-    pub fn remount(
-        &self,
-        uid: u32,
-        path: &SelfCertifyingPath,
-    ) -> Result<Arc<Mount>, ClientError> {
+    pub fn remount(&self, uid: u32, path: &SelfCertifyingPath) -> Result<Arc<Mount>, ClientError> {
         self.mounts.lock().remove(&path.dir_name());
         self.mount(uid, path)
     }
@@ -433,6 +459,7 @@ impl SfsClient {
     fn charge_crossing(&self) {
         if let Some(cpu) = &self.cpu {
             if !self.streaming.load(Ordering::SeqCst) {
+                self.tel.lock().count("client", "cpu.crossings", 1);
                 cpu.charge_user_crossing(&self.clock);
             }
         }
@@ -440,18 +467,25 @@ impl SfsClient {
 
     fn charge_user_copy(&self, len: usize) {
         if let Some(cpu) = &self.cpu {
+            self.tel
+                .lock()
+                .count("client", "cpu.user_copy_bytes", len as u64);
             cpu.charge_user_copy(&self.clock, len);
         }
     }
 
     fn charge_rpc(&self) {
         if let Some(cpu) = &self.cpu {
+            self.tel.lock().count("client", "cpu.rpc_charges", 1);
             cpu.charge_rpc(&self.clock);
         }
     }
 
     fn charge_server_copy(&self, len: usize) {
         if let Some(cpu) = &self.cpu {
+            self.tel
+                .lock()
+                .count("server", "cpu.server_copy_bytes", len as u64);
             cpu.charge_server_copy(&self.clock, len);
         }
     }
@@ -459,6 +493,9 @@ impl SfsClient {
     fn charge_crypto_cost(&self, len: usize) {
         if let Some(cpu) = &self.cpu {
             if self.charge_crypto.load(Ordering::SeqCst) {
+                self.tel
+                    .lock()
+                    .count("client", "cpu.crypto_bytes", len as u64);
                 cpu.charge_crypto(&self.clock, len);
             }
         }
@@ -481,12 +518,15 @@ impl SfsClient {
             return Ok(m.clone());
         }
 
+        let tel = self.tel();
+        let _mount_span = tel.span("client", "core.client", "mount");
         let (wire, conn) = self
             .net
             .dial(&path.location)
             .ok_or_else(|| ClientError::NoSuchHost(path.location.clone()))?;
 
-        // Key negotiation (Figure 3).
+        // Key negotiation (Figure 3), one span per phase.
+        let keyneg_span = tel.span("client", "proto.keyneg", "negotiate");
         let ephemeral = self.ephemeral.lock().clone();
         let neg = KeyNegClient::new(path.clone(), ephemeral);
         let hello = CallMsg::Hello {
@@ -496,10 +536,13 @@ impl SfsClient {
             version: PROTOCOL_VERSION,
             extensions: String::new(),
         };
+        let phase = tel.span("client", "proto.keyneg", "hello");
         let reply = self.raw_call(&wire, &conn, hello)?;
+        drop(phase);
         let ReplyMsg::ServerReply(server_reply) = reply else {
             return Err(ClientError::Protocol("expected server key".into()));
         };
+        let phase = tel.span("client", "proto.keyneg", "verify_server_key");
         let mut rng = self.rng.lock();
         let (awaiting, msg3) = neg.on_server_reply(&server_reply, &mut *rng).map_err(|e| {
             if let KeyNegError::Revoked(cert) = &e {
@@ -513,15 +556,23 @@ impl SfsClient {
             }
         })?;
         drop(rng);
+        drop(phase);
+        let phase = tel.span("client", "proto.keyneg", "client_keys");
         let reply = self.raw_call(&wire, &conn, CallMsg::ClientKeys(msg3))?;
+        drop(phase);
         let ReplyMsg::ServerKeys(msg4) = reply else {
             return Err(ClientError::Protocol("expected server key halves".into()));
         };
+        let phase = tel.span("client", "proto.keyneg", "session_keys");
         let keys = awaiting
             .on_server_halves(&msg4)
             .map_err(|e| ClientError::KeyNeg(e.to_string()))?;
+        drop(phase);
+        drop(keyneg_span);
+        tel.count("client", "keyneg.completed", 1);
         let session_id = keys.session_id;
-        let channel = SecureChannelEnd::client(&keys);
+        let mut channel = SecureChannelEnd::client(&keys);
+        channel.set_telemetry(tel.clone());
 
         let mount = Arc::new(Mount {
             path: path.clone(),
@@ -542,7 +593,10 @@ impl SfsClient {
         };
         // `root_fh` is logically immutable after construction; rebuild the
         // Mount with it set.
-        let mount = Arc::new(Mount { root_fh: root, ..Arc::try_unwrap(mount).unwrap_or_else(|_| unreachable!("sole owner")) });
+        let mount = Arc::new(Mount {
+            root_fh: root,
+            ..Arc::try_unwrap(mount).unwrap_or_else(|_| unreachable!("sole owner"))
+        });
         self.mounts.lock().insert(path.dir_name(), mount.clone());
         Ok(mount)
     }
@@ -562,6 +616,7 @@ impl SfsClient {
 
     /// One sealed round trip over a mount's secure channel.
     fn sealed_call(&self, mount: &Mount, call: InnerCall) -> Result<InnerReply, ClientError> {
+        let _span = self.tel().span("client", "core.client", "sealed_call");
         let plaintext = call.to_xdr();
         // Cost model: one user-level crossing into sfscd, a data copy
         // through the daemon, crypto over the outgoing bytes.
@@ -584,7 +639,9 @@ impl SfsClient {
         let ReplyMsg::Sealed(sealed) = reply else {
             return match reply {
                 ReplyMsg::Error(e) => Err(ClientError::Protocol(e)),
-                other => Err(ClientError::Protocol(format!("unexpected reply: {other:?}"))),
+                other => Err(ClientError::Protocol(format!(
+                    "unexpected reply: {other:?}"
+                ))),
             };
         };
         self.charge_user_copy(sealed.len());
@@ -596,6 +653,9 @@ impl SfsClient {
         // Apply piggybacked invalidation callbacks.
         if let InnerReply::Nfs { invalidations, .. } = &inner {
             if !invalidations.is_empty() {
+                self.tel
+                    .lock()
+                    .count("client", "cache.invalidations", invalidations.len() as u64);
                 let mut cache = mount.attr_cache.lock();
                 for fh in invalidations {
                     cache.remove(&fh.0);
@@ -613,12 +673,16 @@ impl SfsClient {
         if let Some(&authno) = mount.authnos.lock().get(&uid) {
             return Ok(authno);
         }
+        let tel = self.tel();
+        let _auth_span = tel.span("client", "core.client", "ensure_auth");
         let agent = self.agent(uid);
         let info = AuthInfo::for_fs(&mount.path.location, mount.path.host_id, mount.session_id);
         let mut attempt = 0;
         let authno = loop {
             let seq = mount.next_seq.fetch_add(1, Ordering::SeqCst);
+            let sign_span = tel.span("agent", "core.client", "authenticate");
             let msg = agent.lock().authenticate(&info, seq, attempt);
+            drop(sign_span);
             let Some(msg) = msg else {
                 // "At that point, the user will access the file system
                 // with anonymous permissions."
@@ -629,9 +693,7 @@ impl SfsClient {
                 InnerReply::AuthDenied { .. } => {
                     attempt += 1;
                 }
-                other => {
-                    return Err(ClientError::Protocol(format!("bad auth reply: {other:?}")))
-                }
+                other => return Err(ClientError::Protocol(format!("bad auth reply: {other:?}"))),
             }
         };
         mount.authnos.lock().insert(uid, authno);
@@ -647,7 +709,11 @@ impl SfsClient {
     ) -> Result<Nfs3Reply, ClientError> {
         let authno = self.ensure_auth(mount, uid)?;
         let proc = req.proc();
-        let call = InnerCall::Nfs { authno, proc: proc as u32, args: req.encode_args() };
+        let call = InnerCall::Nfs {
+            authno,
+            proc: proc as u32,
+            args: req.encode_args(),
+        };
         match self.sealed_call(mount, call)? {
             InnerReply::Nfs { results, .. } => {
                 let reply = Nfs3Reply::decode_results(proc, &results)
@@ -670,7 +736,10 @@ impl SfsClient {
                 if post.lease_ns > 0 {
                     mount.attr_cache.lock().insert(
                         fh.0.clone(),
-                        CachedAttr { attr, expires: SimTime(now.0 + post.lease_ns) },
+                        CachedAttr {
+                            attr,
+                            expires: SimTime(now.0 + post.lease_ns),
+                        },
                     );
                 }
             }
@@ -699,21 +768,18 @@ impl SfsClient {
 
     /// GETATTR with the enhanced cache: served locally while the lease is
     /// valid.
-    pub fn getattr(
-        &self,
-        mount: &Mount,
-        uid: u32,
-        fh: &FileHandle,
-    ) -> Result<Fattr3, ClientError> {
+    pub fn getattr(&self, mount: &Mount, uid: u32, fh: &FileHandle) -> Result<Fattr3, ClientError> {
         if self.caching.load(Ordering::SeqCst) {
             if let Some(c) = mount.attr_cache.lock().get(&fh.0) {
                 if self.clock.now() < c.expires {
                     self.attr_hits.fetch_add(1, Ordering::SeqCst);
+                    self.tel.lock().count("client", "cache.attr_hits", 1);
                     return Ok(c.attr);
                 }
             }
         }
         self.attr_misses.fetch_add(1, Ordering::SeqCst);
+        self.tel.lock().count("client", "cache.attr_misses", 1);
         match self.call_nfs(mount, uid, &Nfs3Request::GetAttr { fh: fh.clone() })? {
             Nfs3Reply::GetAttr { attr, .. } => Ok(attr),
             Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
@@ -734,13 +800,22 @@ impl SfsClient {
             if let Some(c) = mount.access_cache.lock().get(&key) {
                 if self.clock.now() < c.expires {
                     self.attr_hits.fetch_add(1, Ordering::SeqCst);
+                    self.tel.lock().count("client", "cache.access_hits", 1);
                     // The granted mask is stashed in the attr's mode field.
                     return Ok(c.attr.mode);
                 }
             }
         }
         self.attr_misses.fetch_add(1, Ordering::SeqCst);
-        match self.call_nfs(mount, uid, &Nfs3Request::Access { fh: fh.clone(), mask })? {
+        self.tel.lock().count("client", "cache.access_misses", 1);
+        match self.call_nfs(
+            mount,
+            uid,
+            &Nfs3Request::Access {
+                fh: fh.clone(),
+                mask,
+            },
+        )? {
             Nfs3Reply::Access { granted, attr } => {
                 if self.caching.load(Ordering::SeqCst) && attr.lease_ns > 0 {
                     if let Some(mut a) = attr.attr {
@@ -835,7 +910,10 @@ impl SfsClient {
             let reply = self.call_nfs(
                 &mount,
                 uid,
-                &Nfs3Request::Lookup { dir: cur_fh.clone(), name: comp.to_string() },
+                &Nfs3Request::Lookup {
+                    dir: cur_fh.clone(),
+                    name: comp.to_string(),
+                },
             )?;
             let (fh, attr) = match reply {
                 Nfs3Reply::Lookup { fh, attr, .. } => {
@@ -876,12 +954,7 @@ impl SfsClient {
         Ok((mount, cur_fh, cur_attr))
     }
 
-    fn readlink_fh(
-        &self,
-        mount: &Mount,
-        uid: u32,
-        fh: &FileHandle,
-    ) -> Result<String, ClientError> {
+    fn readlink_fh(&self, mount: &Mount, uid: u32, fh: &FileHandle) -> Result<String, ClientError> {
         match self.call_nfs(mount, uid, &Nfs3Request::ReadLink { fh: fh.clone() })? {
             Nfs3Reply::ReadLink { target, .. } => Ok(target),
             Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
@@ -900,7 +973,10 @@ impl SfsClient {
         match self.call_nfs(
             &mount,
             uid,
-            &Nfs3Request::Lookup { dir: dir_fh, name: leaf.to_string() },
+            &Nfs3Request::Lookup {
+                dir: dir_fh,
+                name: leaf.to_string(),
+            },
         )? {
             Nfs3Reply::Lookup { fh, .. } => self.readlink_fh(&mount, uid, &fh),
             Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
@@ -975,7 +1051,10 @@ impl SfsClient {
         let fh = match self.call_nfs(
             &mount,
             uid,
-            &Nfs3Request::Lookup { dir: dir_fh.clone(), name: leaf.to_string() },
+            &Nfs3Request::Lookup {
+                dir: dir_fh.clone(),
+                name: leaf.to_string(),
+            },
         )? {
             Nfs3Reply::Lookup { fh, .. } => {
                 self.call_nfs(
@@ -983,19 +1062,28 @@ impl SfsClient {
                     uid,
                     &Nfs3Request::SetAttr {
                         fh: fh.clone(),
-                        attrs: Sattr3 { size: Some(0), ..Default::default() },
+                        attrs: Sattr3 {
+                            size: Some(0),
+                            ..Default::default()
+                        },
                     },
                 )?;
                 fh
             }
-            Nfs3Reply::Error { status: Status::NoEnt, .. } => {
+            Nfs3Reply::Error {
+                status: Status::NoEnt,
+                ..
+            } => {
                 match self.call_nfs(
                     &mount,
                     uid,
                     &Nfs3Request::Create {
                         dir: dir_fh,
                         name: leaf.to_string(),
-                        attrs: Sattr3 { mode: Some(0o644), ..Default::default() },
+                        attrs: Sattr3 {
+                            mode: Some(0o644),
+                            ..Default::default()
+                        },
                     },
                 )? {
                     Nfs3Reply::Create { fh, .. } => fh,
@@ -1031,7 +1119,11 @@ impl SfsClient {
             match self.call_nfs(
                 &mount,
                 uid,
-                &Nfs3Request::Read { fh: fh.clone(), offset, count: 32768 },
+                &Nfs3Request::Read {
+                    fh: fh.clone(),
+                    offset,
+                    count: 32768,
+                },
             )? {
                 Nfs3Reply::Read { data, eof, .. } => {
                     offset += data.len() as u64;
@@ -1056,7 +1148,10 @@ impl SfsClient {
             &Nfs3Request::Mkdir {
                 dir: dir_fh,
                 name: leaf.to_string(),
-                attrs: Sattr3 { mode: Some(0o755), ..Default::default() },
+                attrs: Sattr3 {
+                    mode: Some(0o755),
+                    ..Default::default()
+                },
             },
         )? {
             Nfs3Reply::Mkdir { .. } => Ok(()),
@@ -1091,7 +1186,10 @@ impl SfsClient {
         match self.call_nfs(
             &mount,
             uid,
-            &Nfs3Request::Remove { dir: dir_fh, name: leaf.to_string() },
+            &Nfs3Request::Remove {
+                dir: dir_fh,
+                name: leaf.to_string(),
+            },
         )? {
             Nfs3Reply::Remove { .. } => Ok(()),
             Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
@@ -1108,7 +1206,12 @@ impl SfsClient {
             match self.call_nfs(
                 &mount,
                 uid,
-                &Nfs3Request::ReadDir { dir: fh.clone(), cookie, count: 64, plus: false },
+                &Nfs3Request::ReadDir {
+                    dir: fh.clone(),
+                    cookie,
+                    count: 64,
+                    plus: false,
+                },
             )? {
                 Nfs3Reply::ReadDir { entries, eof, .. } => {
                     for e in entries {

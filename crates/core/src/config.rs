@@ -141,8 +141,12 @@ impl DispatchTable {
             };
             let versions = match fields[2].split_once('-') {
                 Some((lo, hi)) => {
-                    let lo: u32 = lo.parse().map_err(|_| format!("line {}: bad version", lineno + 1))?;
-                    let hi: u32 = hi.parse().map_err(|_| format!("line {}: bad version", lineno + 1))?;
+                    let lo: u32 = lo
+                        .parse()
+                        .map_err(|_| format!("line {}: bad version", lineno + 1))?;
+                    let hi: u32 = hi
+                        .parse()
+                        .map_err(|_| format!("line {}: bad version", lineno + 1))?;
                     if lo > hi {
                         return Err(format!("line {}: empty version range", lineno + 1));
                     }
@@ -174,9 +178,18 @@ mod tests {
     #[test]
     fn standard_table_routes_all_services() {
         let t = DispatchTable::standard();
-        assert_eq!(t.dispatch(Service::File, Dialect::ReadWrite, 1, ""), Some("sfsrwsd"));
-        assert_eq!(t.dispatch(Service::File, Dialect::ReadOnly, 1, ""), Some("sfsrosd"));
-        assert_eq!(t.dispatch(Service::Auth, Dialect::ReadWrite, 1, ""), Some("sfsauthd"));
+        assert_eq!(
+            t.dispatch(Service::File, Dialect::ReadWrite, 1, ""),
+            Some("sfsrwsd")
+        );
+        assert_eq!(
+            t.dispatch(Service::File, Dialect::ReadOnly, 1, ""),
+            Some("sfsrosd")
+        );
+        assert_eq!(
+            t.dispatch(Service::Auth, Dialect::ReadWrite, 1, ""),
+            Some("sfsauthd")
+        );
         assert_eq!(t.dispatch(Service::File, Dialect::ReadWrite, 9, ""), None);
     }
 
@@ -192,9 +205,18 @@ mod tests {
             daemon: "sfsrwsd-next".into(),
             extension: String::new(),
         });
-        assert_eq!(t.dispatch(Service::File, Dialect::ReadWrite, 1, ""), Some("sfsrwsd"));
-        assert_eq!(t.dispatch(Service::File, Dialect::ReadWrite, 2, ""), Some("sfsrwsd-next"));
-        assert_eq!(t.dispatch(Service::File, Dialect::ReadWrite, 3, ""), Some("sfsrwsd-next"));
+        assert_eq!(
+            t.dispatch(Service::File, Dialect::ReadWrite, 1, ""),
+            Some("sfsrwsd")
+        );
+        assert_eq!(
+            t.dispatch(Service::File, Dialect::ReadWrite, 2, ""),
+            Some("sfsrwsd-next")
+        );
+        assert_eq!(
+            t.dispatch(Service::File, Dialect::ReadWrite, 3, ""),
+            Some("sfsrwsd-next")
+        );
     }
 
     #[test]
@@ -211,7 +233,10 @@ mod tests {
             t.dispatch(Service::File, Dialect::ReadWrite, 1, "newcache"),
             Some("sfsrwsd-newcache")
         );
-        assert_eq!(t.dispatch(Service::File, Dialect::ReadWrite, 1, ""), Some("sfsrwsd"));
+        assert_eq!(
+            t.dispatch(Service::File, Dialect::ReadWrite, 1, ""),
+            Some("sfsrwsd")
+        );
     }
 
     #[test]
@@ -227,7 +252,10 @@ mod tests {
         for r in DispatchTable::standard().rules {
             t.add(r);
         }
-        assert_eq!(t.dispatch(Service::File, Dialect::ReadWrite, 1, ""), Some("site-override"));
+        assert_eq!(
+            t.dispatch(Service::File, Dialect::ReadWrite, 1, ""),
+            Some("site-override")
+        );
     }
 
     #[test]
@@ -241,8 +269,14 @@ file  rw  3-3  sfsrwsd-v3  newcache
 ";
         let t = DispatchTable::parse(text).unwrap();
         assert_eq!(t.len(), 4);
-        assert_eq!(t.dispatch(Service::File, Dialect::ReadWrite, 2, ""), Some("sfsrwsd"));
-        assert_eq!(t.dispatch(Service::File, Dialect::ReadOnly, 1, ""), Some("sfsrosd"));
+        assert_eq!(
+            t.dispatch(Service::File, Dialect::ReadWrite, 2, ""),
+            Some("sfsrwsd")
+        );
+        assert_eq!(
+            t.dispatch(Service::File, Dialect::ReadOnly, 1, ""),
+            Some("sfsrosd")
+        );
         assert_eq!(
             t.dispatch(Service::File, Dialect::ReadWrite, 3, "newcache"),
             Some("sfsrwsd-v3")

@@ -48,7 +48,10 @@ impl IdTable {
 
     /// Reverse-maps a user name to a uid.
     pub fn user_id(&self, name: &str) -> Option<u32> {
-        self.users.iter().find(|(_, n)| n.as_str() == name).map(|(id, _)| *id)
+        self.users
+            .iter()
+            .find(|(_, n)| n.as_str() == name)
+            .map(|(id, _)| *id)
     }
 }
 

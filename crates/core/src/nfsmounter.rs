@@ -15,10 +15,8 @@
 
 use std::collections::BTreeMap;
 
-use parking_lot::Mutex;
-use sfs_nfs3::proto::{
-    Fattr3, FileHandle, Nfs3Reply, Nfs3Request, PostOpAttr, Status,
-};
+use sfs_nfs3::proto::{Fattr3, FileHandle, Nfs3Reply, Nfs3Request, PostOpAttr, Status};
+use sfs_telemetry::sync::Mutex;
 use sfs_vfs::FileType;
 
 /// State of one mount point.
@@ -82,7 +80,10 @@ impl NfsMounter {
     pub fn serve_stub(&self, dir_name: &str, req: &Nfs3Request) -> Nfs3Reply {
         let taken_over = self.state(dir_name) == Some(MountState::TakenOver);
         if !taken_over {
-            return Nfs3Reply::Error { status: Status::Stale, dir_attr: PostOpAttr::none() };
+            return Nfs3Reply::Error {
+                status: Status::Stale,
+                dir_attr: PostOpAttr::none(),
+            };
         }
         let stub_attr = Fattr3 {
             ftype: FileType::Directory,
@@ -99,9 +100,10 @@ impl NfsMounter {
         };
         match req {
             Nfs3Request::Null => Nfs3Reply::Null,
-            Nfs3Request::GetAttr { .. } => {
-                Nfs3Reply::GetAttr { attr: stub_attr, lease_ns: 0 }
-            }
+            Nfs3Request::GetAttr { .. } => Nfs3Reply::GetAttr {
+                attr: stub_attr,
+                lease_ns: 0,
+            },
             Nfs3Request::Access { mask, .. } => Nfs3Reply::Access {
                 granted: *mask,
                 attr: PostOpAttr::plain(stub_attr),
@@ -116,10 +118,13 @@ impl NfsMounter {
                 free_bytes: 0,
                 total_files: 0,
             },
-            Nfs3Request::Commit { .. } => {
-                Nfs3Reply::Commit { attr: PostOpAttr::plain(stub_attr) }
-            }
-            _ => Nfs3Reply::Error { status: Status::Stale, dir_attr: PostOpAttr::none() },
+            Nfs3Request::Commit { .. } => Nfs3Reply::Commit {
+                attr: PostOpAttr::plain(stub_attr),
+            },
+            _ => Nfs3Reply::Error {
+                status: Status::Stale,
+                dir_attr: PostOpAttr::none(),
+            },
         }
     }
 
@@ -158,7 +163,11 @@ mod tests {
         let m = NfsMounter::new();
         m.register_mount("host:aaaa");
         let reply = m.serve_stub("host:aaaa", &Nfs3Request::Null);
-        assert_eq!(reply.status(), Status::Stale, "active mounts served by daemons");
+        assert_eq!(
+            reply.status(),
+            Status::Stale,
+            "active mounts served by daemons"
+        );
     }
 
     #[test]
@@ -175,12 +184,23 @@ mod tests {
             Nfs3Reply::GetAttr { .. }
         ));
         assert!(matches!(
-            m.serve_stub("host:aaaa", &Nfs3Request::Access { fh: fh.clone(), mask: 0x3f }),
+            m.serve_stub(
+                "host:aaaa",
+                &Nfs3Request::Access {
+                    fh: fh.clone(),
+                    mask: 0x3f
+                }
+            ),
             Nfs3Reply::Access { .. }
         ));
         match m.serve_stub(
             "host:aaaa",
-            &Nfs3Request::ReadDir { dir: fh.clone(), cookie: 0, count: 100, plus: false },
+            &Nfs3Request::ReadDir {
+                dir: fh.clone(),
+                cookie: 0,
+                count: 100,
+                plus: false,
+            },
         ) {
             Nfs3Reply::ReadDir { entries, eof, .. } => {
                 assert!(entries.is_empty());
@@ -192,7 +212,10 @@ mod tests {
         assert_eq!(
             m.serve_stub(
                 "host:aaaa",
-                &Nfs3Request::Remove { dir: fh, name: "x".into() }
+                &Nfs3Request::Remove {
+                    dir: fh,
+                    name: "x".into()
+                }
             )
             .status(),
             Status::Stale

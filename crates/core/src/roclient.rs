@@ -10,13 +10,13 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
 use sfs_crypto::rabin::RabinPublicKey;
 use sfs_crypto::sha1::sha1;
 use sfs_proto::keyneg::{KeyNegRequest, KeyNegServerReply};
 use sfs_proto::pathname::SelfCertifyingPath;
 use sfs_proto::readonly::{Digest, RoNode, SignedRoot};
 use sfs_sim::{Wire, WireError};
+use sfs_telemetry::sync::Mutex;
 use sfs_xdr::Xdr;
 
 use crate::server::ServerConn;
@@ -83,7 +83,10 @@ impl RoMount {
         conn: ServerConn,
     ) -> Result<RoMount, RoClientError> {
         let hello = CallMsg::Hello {
-            req: KeyNegRequest { location: path.location.clone(), host_id: path.host_id },
+            req: KeyNegRequest {
+                location: path.location.clone(),
+                host_id: path.host_id,
+            },
             service: Service::File,
             dialect: Dialect::ReadOnly,
             version: 1,
@@ -92,8 +95,7 @@ impl RoMount {
         let reply = call(&wire, &conn, hello)?;
         let key = match reply {
             ReplyMsg::ServerReply(KeyNegServerReply::ServerKey(k)) => {
-                RabinPublicKey::from_bytes(&k)
-                    .map_err(|_| RoClientError::HostIdMismatch)?
+                RabinPublicKey::from_bytes(&k).map_err(|_| RoClientError::HostIdMismatch)?
             }
             other => return Err(RoClientError::Protocol(format!("{other:?}"))),
         };
@@ -107,7 +109,13 @@ impl RoMount {
         if !root.verify(&key) {
             return Err(RoClientError::BadRootSignature);
         }
-        Ok(RoMount { path, wire, conn, root, cache: Mutex::new(HashMap::new()) })
+        Ok(RoMount {
+            path,
+            wire,
+            conn,
+            root,
+            cache: Mutex::new(HashMap::new()),
+        })
     }
 
     /// The mounted pathname.
@@ -140,8 +148,7 @@ impl RoMount {
         if sha1(&block) != digest {
             return Err(RoClientError::DigestMismatch);
         }
-        let node = RoNode::from_xdr(&block)
-            .map_err(|e| RoClientError::Protocol(e.to_string()))?;
+        let node = RoNode::from_xdr(&block).map_err(|e| RoClientError::Protocol(e.to_string()))?;
         self.cache.lock().insert(digest, node.clone());
         Ok(node)
     }
@@ -190,7 +197,12 @@ impl RoMount {
 
 impl std::fmt::Debug for RoMount {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "RoMount({} v{})", self.path.dir_name(), self.root.version)
+        write!(
+            f,
+            "RoMount({} v{})",
+            self.path.dir_name(),
+            self.root.version
+        )
     }
 }
 

@@ -12,7 +12,11 @@ use sfs_proto::channel::{ChannelError, SecureChannelEnd};
 use sfs_proto::keyneg::SessionKeys;
 
 fn keys(key: &[u8; 20]) -> SessionKeys {
-    SessionKeys { kcs: *key, ksc: *key, session_id: [0u8; 20] }
+    SessionKeys {
+        kcs: *key,
+        ksc: *key,
+        session_id: [0u8; 20],
+    }
 }
 
 /// Seals `plaintext` under `key`.

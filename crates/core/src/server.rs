@@ -17,7 +17,6 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sfs_bignum::Nat;
 use sfs_crypto::blowfish::Blowfish;
 use sfs_crypto::rabin::RabinPrivateKey;
@@ -32,6 +31,8 @@ use sfs_proto::pathname::SelfCertifyingPath;
 use sfs_proto::readonly::RoDatabase;
 use sfs_proto::revoke::{ForwardingPointer, RevocationCert};
 use sfs_proto::userauth::{AuthInfo, SeqWindow, AUTHNO_ANONYMOUS};
+use sfs_telemetry::sync::Mutex;
+use sfs_telemetry::Telemetry;
 use sfs_vfs::{Credentials, Vfs};
 use sfs_xdr::{Xdr, XdrEncoder};
 
@@ -76,42 +77,106 @@ fn map_request_handles(
         R::Lookup { dir, name } => R::Lookup { dir: f(dir)?, name },
         R::Access { fh, mask } => R::Access { fh: f(fh)?, mask },
         R::ReadLink { fh } => R::ReadLink { fh: f(fh)? },
-        R::Read { fh, offset, count } => R::Read { fh: f(fh)?, offset, count },
-        R::Write { fh, offset, stable, data } => R::Write { fh: f(fh)?, offset, stable, data },
-        R::Create { dir, name, attrs } => R::Create { dir: f(dir)?, name, attrs },
-        R::Mkdir { dir, name, attrs } => R::Mkdir { dir: f(dir)?, name, attrs },
-        R::Symlink { dir, name, target } => R::Symlink { dir: f(dir)?, name, target },
+        R::Read { fh, offset, count } => R::Read {
+            fh: f(fh)?,
+            offset,
+            count,
+        },
+        R::Write {
+            fh,
+            offset,
+            stable,
+            data,
+        } => R::Write {
+            fh: f(fh)?,
+            offset,
+            stable,
+            data,
+        },
+        R::Create { dir, name, attrs } => R::Create {
+            dir: f(dir)?,
+            name,
+            attrs,
+        },
+        R::Mkdir { dir, name, attrs } => R::Mkdir {
+            dir: f(dir)?,
+            name,
+            attrs,
+        },
+        R::Symlink { dir, name, target } => R::Symlink {
+            dir: f(dir)?,
+            name,
+            target,
+        },
         R::Remove { dir, name } => R::Remove { dir: f(dir)?, name },
         R::Rmdir { dir, name } => R::Rmdir { dir: f(dir)?, name },
-        R::Rename { from_dir, from_name, to_dir, to_name } => R::Rename {
+        R::Rename {
+            from_dir,
+            from_name,
+            to_dir,
+            to_name,
+        } => R::Rename {
             from_dir: f(from_dir)?,
             from_name,
             to_dir: f(to_dir)?,
             to_name,
         },
-        R::Link { fh, dir, name } => R::Link { fh: f(fh)?, dir: f(dir)?, name },
-        R::ReadDir { dir, cookie, count, plus } => {
-            R::ReadDir { dir: f(dir)?, cookie, count, plus }
-        }
+        R::Link { fh, dir, name } => R::Link {
+            fh: f(fh)?,
+            dir: f(dir)?,
+            name,
+        },
+        R::ReadDir {
+            dir,
+            cookie,
+            count,
+            plus,
+        } => R::ReadDir {
+            dir: f(dir)?,
+            cookie,
+            count,
+            plus,
+        },
         R::FsStat { root } => R::FsStat { root: f(root)? },
         R::FsInfo { root } => R::FsInfo { root: f(root)? },
         R::PathConf { fh } => R::PathConf { fh: f(fh)? },
-        R::Commit { fh, offset, count } => R::Commit { fh: f(fh)?, offset, count },
+        R::Commit { fh, offset, count } => R::Commit {
+            fh: f(fh)?,
+            offset,
+            count,
+        },
     })
 }
 
 /// Applies `f` to every file handle in an NFS3 reply.
-fn map_reply_handles(
-    reply: Nfs3Reply,
-    f: &mut dyn FnMut(FileHandle) -> FileHandle,
-) -> Nfs3Reply {
+fn map_reply_handles(reply: Nfs3Reply, f: &mut dyn FnMut(FileHandle) -> FileHandle) -> Nfs3Reply {
     use Nfs3Reply as P;
     match reply {
-        P::Lookup { fh, attr, dir_attr } => P::Lookup { fh: f(fh), attr, dir_attr },
-        P::Create { fh, attr, dir_attr } => P::Create { fh: f(fh), attr, dir_attr },
-        P::Mkdir { fh, attr, dir_attr } => P::Mkdir { fh: f(fh), attr, dir_attr },
-        P::Symlink { fh, attr, dir_attr } => P::Symlink { fh: f(fh), attr, dir_attr },
-        P::ReadDir { entries, eof, dir_attr } => P::ReadDir {
+        P::Lookup { fh, attr, dir_attr } => P::Lookup {
+            fh: f(fh),
+            attr,
+            dir_attr,
+        },
+        P::Create { fh, attr, dir_attr } => P::Create {
+            fh: f(fh),
+            attr,
+            dir_attr,
+        },
+        P::Mkdir { fh, attr, dir_attr } => P::Mkdir {
+            fh: f(fh),
+            attr,
+            dir_attr,
+        },
+        P::Symlink { fh, attr, dir_attr } => P::Symlink {
+            fh: f(fh),
+            attr,
+            dir_attr,
+        },
+        P::ReadDir {
+            entries,
+            eof,
+            dir_attr,
+        } => P::ReadDir {
             entries: entries
                 .into_iter()
                 .map(|mut e| {
@@ -142,6 +207,7 @@ pub struct SfsServer {
     ro_db: Mutex<Option<Arc<RoDatabase>>>,
     /// Lease invalidations pending delivery (piggybacked on replies).
     invalidations: Arc<Mutex<Vec<FileHandle>>>,
+    tel: Mutex<Telemetry>,
 }
 
 impl SfsServer {
@@ -174,7 +240,16 @@ impl SfsServer {
             revocation: Mutex::new(None),
             ro_db: Mutex::new(None),
             invalidations,
+            tel: Mutex::new(Telemetry::disabled()),
         })
+    }
+
+    /// Attaches a tracing sink. Dispatch spans and seqno-window events
+    /// are stamped with the server's own simulated clock; the embedded
+    /// NFS3 engine is instrumented through the same sink.
+    pub fn set_telemetry(&self, tel: &Telemetry) {
+        *self.tel.lock() = tel.clone().with_clock(self.nfs.vfs().clock().clone());
+        self.nfs.set_telemetry(tel);
     }
 
     /// The server's self-certifying pathname.
@@ -267,7 +342,10 @@ impl SfsServer {
 
     /// Opens a new connection (one per client TCP connection).
     pub fn accept(self: &Arc<Self>) -> ServerConn {
-        ServerConn { server: self.clone(), state: Mutex::new(ConnState::Idle) }
+        ServerConn {
+            server: self.clone(),
+            state: Mutex::new(ConnState::Idle),
+        }
     }
 }
 
@@ -302,7 +380,7 @@ enum ConnState {
     SrpAwaitFinish {
         user: String,
         a_pub: Nat,
-        srp: Option<SrpServer>,
+        srp: Option<Box<SrpServer>>,
     },
 }
 
@@ -330,13 +408,34 @@ impl ServerConn {
 
     /// Processes one decoded wire message.
     pub fn handle(&self, msg: CallMsg) -> ReplyMsg {
+        let tel = self.server.tel.lock().clone();
+        let name = match &msg {
+            CallMsg::Hello { .. } => "hello",
+            CallMsg::ClientKeys(_) => "client_keys",
+            CallMsg::Sealed(_) => "sealed",
+            CallMsg::RoGetRoot => "ro_get_root",
+            CallMsg::RoGetBlock(_) => "ro_get_block",
+            CallMsg::SrpStart { .. } => "srp_start",
+            CallMsg::SrpFinish { .. } => "srp_finish",
+        };
+        let _span = tel.span("server", "core.server", name);
+        tel.count("server", "dispatch.calls", 1);
         let mut state = self.state.lock();
         match msg {
-            CallMsg::Hello { req, service, dialect, version, extensions } => {
+            CallMsg::Hello {
+                req,
+                service,
+                dialect,
+                version,
+                extensions,
+            } => {
                 // `sfssd` hands the connection to a subsidiary daemon per
                 // the configured dispatch table (§3.2).
                 let Some(_daemon) =
-                    self.server.config.dispatch.dispatch(service, dialect, version, &extensions)
+                    self.server
+                        .config
+                        .dispatch
+                        .dispatch(service, dialect, version, &extensions)
                 else {
                     return ReplyMsg::Error(format!(
                         "no daemon configured for service {service:?} dialect {dialect:?}                          version {version} extensions {extensions:?}"
@@ -373,8 +472,11 @@ impl ServerConn {
                 let mut rng = self.server.rng.lock();
                 match server_process_client_keys(&self.server.key, &ck, &mut *rng) {
                     Ok((keys, msg4)) => {
+                        let mut channel = SecureChannelEnd::server(&keys);
+                        channel.set_telemetry(tel.clone());
+                        tel.count("server", "keyneg.completed", 1);
                         let est = Established {
-                            channel: SecureChannelEnd::server(&keys),
+                            channel,
                             session_id: keys.session_id,
                             authnos: HashMap::new(),
                             next_authno: 1,
@@ -435,7 +537,7 @@ impl ServerConn {
                         *state = ConnState::SrpAwaitFinish {
                             user,
                             a_pub: Nat::from_bytes_be(&a_pub),
-                            srp: Some(srp),
+                            srp: Some(Box::new(srp)),
                         };
                         ReplyMsg::SrpChallenge {
                             salt,
@@ -457,14 +559,17 @@ impl ServerConn {
                 let Some(srp_server) = srp.take() else {
                     return ReplyMsg::Error("SRP handshake already consumed".into());
                 };
-                match srp_server.process(a_pub, &m1) {
+                match (*srp_server).process(a_pub, &m1) {
                     Ok(session) => {
                         let (path, blob) = self.server.auth.srp_payload(user);
                         let mut enc = XdrEncoder::new();
                         path.encode(&mut enc);
                         blob.encode(&mut enc);
                         let sealed = sealbox::seal(&session.key, enc.bytes());
-                        ReplyMsg::SrpDone { m2: session.m2.to_vec(), sealed_payload: sealed }
+                        ReplyMsg::SrpDone {
+                            m2: session.m2.to_vec(),
+                            sealed_payload: sealed,
+                        }
                     }
                     Err(e) => ReplyMsg::Error(format!("SRP failed: {e}")),
                 }
@@ -483,9 +588,15 @@ impl ServerConn {
                     self.server.path.host_id,
                     est.session_id,
                 );
+                let tel = self.server.tel.lock().clone();
                 if !est.seqwin.accept(seq_no) {
+                    // Replay / out-of-window: the gate fires before any
+                    // signature check (§3.1.3's freshness guarantee).
+                    tel.count("server", "seqwin.rejected", 1);
+                    tel.instant("server", "core.server", "seqwin_reject");
                     return InnerReply::AuthDenied { seq_no };
                 }
+                tel.count("server", "seqwin.accepted", 1);
                 match self.server.auth.validate(&msg, &info.auth_id(), seq_no) {
                     Ok((user, creds)) => {
                         let authno = est.next_authno;
@@ -496,7 +607,9 @@ impl ServerConn {
                     Err(_) => InnerReply::AuthDenied { seq_no },
                 }
             }
-            InnerCall::Mount => InnerReply::MountReply { root: self.server.root_handle() },
+            InnerCall::Mount => InnerReply::MountReply {
+                root: self.server.root_handle(),
+            },
             InnerCall::Nfs { authno, proc, args } => {
                 let creds = if authno == AUTHNO_ANONYMOUS {
                     Credentials::anonymous()
@@ -516,14 +629,21 @@ impl ServerConn {
                     .drain(..)
                     .map(|fh| self.server.encrypt_handle(fh))
                     .collect();
-                InnerReply::Nfs { results, invalidations: pending }
+                InnerReply::Nfs {
+                    results,
+                    invalidations: pending,
+                }
             }
         }
     }
 
     fn dispatch_nfs(&self, creds: &Credentials, proc: u32, args: &[u8]) -> Vec<u8> {
         let err = |status: Status| {
-            Nfs3Reply::Error { status, dir_attr: Default::default() }.encode_results()
+            Nfs3Reply::Error {
+                status,
+                dir_attr: Default::default(),
+            }
+            .encode_results()
         };
         let Some(proc) = Proc::from_u32(proc) else {
             return err(Status::NotSupp);
@@ -694,7 +814,10 @@ mod tests {
         let conn = s.accept();
         // Without a hello selecting the read-only dialect, blocks are not
         // served.
-        assert!(matches!(conn.handle(CallMsg::RoGetRoot), ReplyMsg::Error(_)));
+        assert!(matches!(
+            conn.handle(CallMsg::RoGetRoot),
+            ReplyMsg::Error(_)
+        ));
         let _ = conn.handle(CallMsg::Hello {
             req: sfs_proto::keyneg::KeyNegRequest {
                 location: "server.example.com".into(),

@@ -90,7 +90,12 @@ pub fn combine_key_shares(a: &KeyShare, b: &KeyShare) -> Option<RabinPrivateKey>
     if a.bytes.len() != b.bytes.len() {
         return None;
     }
-    let blob: Vec<u8> = a.bytes.iter().zip(b.bytes.iter()).map(|(x, y)| x ^ y).collect();
+    let blob: Vec<u8> = a
+        .bytes
+        .iter()
+        .zip(b.bytes.iter())
+        .map(|(x, y)| x ^ y)
+        .collect();
     RabinPrivateKey::from_bytes(&blob).ok()
 }
 
@@ -151,20 +156,33 @@ pub fn add<R: RandomSource>(
     // the challenge, then run a fresh handshake. The server supports
     // repeated SrpStart on one connection.
     let (probe_client, probe_a) = dummy_a;
-    let reply = conn.handle(CallMsg::SrpStart { user: user.into(), a_pub: probe_a.to_bytes_be() });
+    let reply = conn.handle(CallMsg::SrpStart {
+        user: user.into(),
+        a_pub: probe_a.to_bytes_be(),
+    });
     let (salt, _b, ekb_salt, cost) = match reply {
-        ReplyMsg::SrpChallenge { salt, b_pub, ekb_salt, cost } => (salt, b_pub, ekb_salt, cost),
+        ReplyMsg::SrpChallenge {
+            salt,
+            b_pub,
+            ekb_salt,
+            cost,
+        } => (salt, b_pub, ekb_salt, cost),
         ReplyMsg::Error(e) => return Err(SfskeyError::Rejected(e)),
         _ => return Err(SfskeyError::BadReply),
     };
     drop(probe_client);
-    let ekb_salt_arr: [u8; SALT_LEN] =
-        ekb_salt.clone().try_into().map_err(|_| SfskeyError::BadReply)?;
+    let ekb_salt_arr: [u8; SALT_LEN] = ekb_salt
+        .clone()
+        .try_into()
+        .map_err(|_| SfskeyError::BadReply)?;
     // Harden the password (the expensive eksblowfish step, §2.5.2).
     let hardened = AuthServer::harden_password(cost, &ekb_salt_arr, password);
     // Fresh, real handshake with the hardened password.
     let (client, a_pub) = SrpClient::start(group, user, &hardened, rng);
-    let reply = conn.handle(CallMsg::SrpStart { user: user.into(), a_pub: a_pub.to_bytes_be() });
+    let reply = conn.handle(CallMsg::SrpStart {
+        user: user.into(),
+        a_pub: a_pub.to_bytes_be(),
+    });
     let (salt2, b_pub) = match reply {
         ReplyMsg::SrpChallenge { salt, b_pub, .. } => (salt, b_pub),
         ReplyMsg::Error(e) => return Err(SfskeyError::Rejected(e)),
@@ -174,7 +192,9 @@ pub fn add<R: RandomSource>(
     let session = client
         .process(&salt2, &Nat::from_bytes_be(&b_pub))
         .map_err(|e| SfskeyError::Rejected(e.to_string()))?;
-    let reply = conn.handle(CallMsg::SrpFinish { m1: session.m1.to_vec() });
+    let reply = conn.handle(CallMsg::SrpFinish {
+        m1: session.m1.to_vec(),
+    });
     let (m2, sealed) = match reply {
         ReplyMsg::SrpDone { m2, sealed_payload } => (m2, sealed_payload),
         ReplyMsg::Error(e) => return Err(SfskeyError::Rejected(e)),
@@ -208,5 +228,8 @@ pub fn add<R: RandomSource>(
     if let Some(path) = &server_path {
         agent.create_link(&path.location.clone(), &path.full_path());
     }
-    Ok(SfskeyResult { server_path, private_key })
+    Ok(SfskeyResult {
+        server_path,
+        private_key,
+    })
 }

@@ -177,7 +177,13 @@ impl CallMsg {
     /// processes interact").
     pub fn describe(&self) -> String {
         match self {
-            CallMsg::Hello { req, service, dialect, version, extensions } => format!(
+            CallMsg::Hello {
+                req,
+                service,
+                dialect,
+                version,
+                extensions,
+            } => format!(
                 "HELLO {}:{} service={service:?} dialect={dialect:?} v{version}{}",
                 req.location,
                 req.host_id,
@@ -196,7 +202,10 @@ impl CallMsg {
             CallMsg::RoGetRoot => "RO-GETROOT".into(),
             CallMsg::RoGetBlock(d) => format!(
                 "RO-GETBLOCK {}",
-                d.iter().take(6).map(|b| format!("{b:02x}")).collect::<String>()
+                d.iter()
+                    .take(6)
+                    .map(|b| format!("{b:02x}"))
+                    .collect::<String>()
             ),
             CallMsg::SrpStart { user, a_pub } => {
                 format!("SRP-START user={user} A={}B", a_pub.len())
@@ -260,7 +269,13 @@ fn dialect_from_u32(v: u32) -> Result<Dialect, XdrError> {
 impl Xdr for CallMsg {
     fn encode(&self, enc: &mut XdrEncoder) {
         match self {
-            CallMsg::Hello { req, service, dialect, version, extensions } => {
+            CallMsg::Hello {
+                req,
+                service,
+                dialect,
+                version,
+                extensions,
+            } => {
                 enc.put_u32(0);
                 req.encode(enc);
                 enc.put_u32(service_to_u32(*service));
@@ -308,10 +323,17 @@ impl Xdr for CallMsg {
             2 => Ok(CallMsg::Sealed(dec.get_opaque()?)),
             3 => Ok(CallMsg::RoGetRoot),
             4 => Ok(CallMsg::RoGetBlock(
-                dec.get_opaque_fixed(20)?.try_into().expect("length checked"),
+                dec.get_opaque_fixed(20)?
+                    .try_into()
+                    .expect("length checked"),
             )),
-            5 => Ok(CallMsg::SrpStart { user: dec.get_string()?, a_pub: dec.get_opaque()? }),
-            6 => Ok(CallMsg::SrpFinish { m1: dec.get_opaque()? }),
+            5 => Ok(CallMsg::SrpStart {
+                user: dec.get_string()?,
+                a_pub: dec.get_opaque()?,
+            }),
+            6 => Ok(CallMsg::SrpFinish {
+                m1: dec.get_opaque()?,
+            }),
             other => Err(XdrError::BadDiscriminant(other)),
         }
     }
@@ -344,7 +366,12 @@ impl Xdr for ReplyMsg {
                 enc.put_u32(5);
                 enc.put_string(e);
             }
-            ReplyMsg::SrpChallenge { salt, b_pub, ekb_salt, cost } => {
+            ReplyMsg::SrpChallenge {
+                salt,
+                b_pub,
+                ekb_salt,
+                cost,
+            } => {
                 enc.put_u32(6);
                 enc.put_opaque(salt);
                 enc.put_opaque(b_pub);
@@ -404,7 +431,10 @@ impl Xdr for InnerCall {
 
     fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
         match dec.get_u32()? {
-            0 => Ok(InnerCall::Auth { seq_no: dec.get_u32()?, msg: AuthMsg::decode(dec)? }),
+            0 => Ok(InnerCall::Auth {
+                seq_no: dec.get_u32()?,
+                msg: AuthMsg::decode(dec)?,
+            }),
             1 => Ok(InnerCall::Nfs {
                 authno: dec.get_u32()?,
                 proc: dec.get_u32()?,
@@ -428,7 +458,10 @@ impl Xdr for InnerReply {
                 enc.put_u32(1);
                 enc.put_u32(*seq_no);
             }
-            InnerReply::Nfs { results, invalidations } => {
+            InnerReply::Nfs {
+                results,
+                invalidations,
+            } => {
                 enc.put_u32(2);
                 enc.put_opaque(results);
                 enc.put_u32(invalidations.len() as u32);
@@ -445,8 +478,13 @@ impl Xdr for InnerReply {
 
     fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
         match dec.get_u32()? {
-            0 => Ok(InnerReply::AuthGranted { seq_no: dec.get_u32()?, authno: dec.get_u32()? }),
-            1 => Ok(InnerReply::AuthDenied { seq_no: dec.get_u32()? }),
+            0 => Ok(InnerReply::AuthGranted {
+                seq_no: dec.get_u32()?,
+                authno: dec.get_u32()?,
+            }),
+            1 => Ok(InnerReply::AuthDenied {
+                seq_no: dec.get_u32()?,
+            }),
             2 => {
                 let results = dec.get_opaque()?;
                 let n = dec.get_u32()?;
@@ -454,9 +492,14 @@ impl Xdr for InnerReply {
                 for _ in 0..n {
                     invalidations.push(FileHandle::decode(dec)?);
                 }
-                Ok(InnerReply::Nfs { results, invalidations })
+                Ok(InnerReply::Nfs {
+                    results,
+                    invalidations,
+                })
             }
-            3 => Ok(InnerReply::MountReply { root: FileHandle::decode(dec)? }),
+            3 => Ok(InnerReply::MountReply {
+                root: FileHandle::decode(dec)?,
+            }),
             other => Err(XdrError::BadDiscriminant(other)),
         }
     }
@@ -517,15 +560,25 @@ mod tests {
         let calls = vec![
             InnerCall::Auth {
                 seq_no: 3,
-                msg: AuthMsg { user_key: vec![1], signature: vec![2] },
+                msg: AuthMsg {
+                    user_key: vec![1],
+                    signature: vec![2],
+                },
             },
-            InnerCall::Nfs { authno: 7, proc: 1, args: vec![1, 2, 3, 4] },
+            InnerCall::Nfs {
+                authno: 7,
+                proc: 1,
+                args: vec![1, 2, 3, 4],
+            },
         ];
         for c in calls {
             assert_eq!(InnerCall::from_xdr(&c.to_xdr()).unwrap(), c);
         }
         let replies = vec![
-            InnerReply::AuthGranted { seq_no: 3, authno: 1 },
+            InnerReply::AuthGranted {
+                seq_no: 3,
+                authno: 1,
+            },
             InnerReply::AuthDenied { seq_no: 4 },
             InnerReply::Nfs {
                 results: vec![1, 2],
@@ -540,7 +593,10 @@ mod tests {
     #[test]
     fn describe_renders_all_variants() {
         let hello = CallMsg::Hello {
-            req: KeyNegRequest { location: "h.example".into(), host_id: HostId([2u8; 20]) },
+            req: KeyNegRequest {
+                location: "h.example".into(),
+                host_id: HostId([2u8; 20]),
+            },
             service: Service::File,
             dialect: Dialect::ReadWrite,
             version: 1,

@@ -66,22 +66,33 @@ fn build_world() -> World {
     vfs.setattr(
         &root_creds,
         home,
-        sfs_vfs::SetAttr { uid: Some(ALICE_UID), gid: Some(100), ..Default::default() },
+        sfs_vfs::SetAttr {
+            uid: Some(ALICE_UID),
+            gid: Some(100),
+            ..Default::default()
+        },
     )
     .unwrap();
     let public = vfs.mkdir_p("/public").unwrap();
     vfs.setattr(
         &root_creds,
         public,
-        sfs_vfs::SetAttr { mode: Some(0o777), ..Default::default() },
+        sfs_vfs::SetAttr {
+            mode: Some(0o777),
+            ..Default::default()
+        },
     )
     .unwrap();
-    vfs.write_file(&root_creds, public, "motd", b"welcome to sfs").unwrap();
+    vfs.write_file(&root_creds, public, "motd", b"welcome to sfs")
+        .unwrap();
     let (motd, _) = vfs.lookup(&root_creds, public, "motd").unwrap();
     vfs.setattr(
         &root_creds,
         motd,
-        sfs_vfs::SetAttr { mode: Some(0o644), ..Default::default() },
+        sfs_vfs::SetAttr {
+            mode: Some(0o644),
+            ..Default::default()
+        },
     )
     .unwrap();
 
@@ -105,7 +116,13 @@ fn build_world() -> World {
     // Alice's agent holds her key.
     client.agent(ALICE_UID).lock().add_key(user_key());
     let path = server.path().clone();
-    World { clock, net, server, client, path }
+    World {
+        clock,
+        net,
+        server,
+        client,
+        path,
+    }
 }
 
 #[test]
@@ -120,8 +137,13 @@ fn mount_and_read_public_file() {
 fn authenticated_user_writes_home_directory() {
     let w = build_world();
     let file = format!("{}/home/alice/notes.txt", w.path.full_path());
-    w.client.write_file(ALICE_UID, &file, b"meeting at noon").unwrap();
-    assert_eq!(w.client.read_file(ALICE_UID, &file).unwrap(), b"meeting at noon");
+    w.client
+        .write_file(ALICE_UID, &file, b"meeting at noon")
+        .unwrap();
+    assert_eq!(
+        w.client.read_file(ALICE_UID, &file).unwrap(),
+        b"meeting at noon"
+    );
     // The write really landed on the server's file system.
     let (ino, _) = w
         .server
@@ -170,7 +192,10 @@ fn attribute_caching_reduces_rpcs() {
         w.client.getattr(&mount, ALICE_UID, &fh).unwrap();
     }
     let with_cache = w.client.network_rpcs() - before;
-    assert!(with_cache <= 1, "cached getattrs should not hit the wire (got {with_cache})");
+    assert!(
+        with_cache <= 1,
+        "cached getattrs should not hit the wire (got {with_cache})"
+    );
 
     w.client.set_caching(false);
     let before = w.client.network_rpcs();
@@ -214,7 +239,8 @@ fn symlinks_traversed_server_side_content() {
     // Server root gets a symlink: /latest -> /public/motd.
     let vfs = w.server.vfs();
     let root = vfs.root();
-    vfs.symlink(&Credentials::root(), root, "latest", "/public/motd").unwrap();
+    vfs.symlink(&Credentials::root(), root, "latest", "/public/motd")
+        .unwrap();
     // NOTE: absolute symlink targets on the server are interpreted
     // relative to the mount by the client when they do not start with
     // /sfs — the client rebuilds them under the mount's own path.
@@ -247,13 +273,14 @@ fn cross_server_secure_links() {
     // Fix permissions: the file must be world-readable for anonymous
     // access from the client.
     let vfs = server_b.vfs();
-    let (ino, _) = vfs
-        .lookup_path(&Credentials::root(), "/data")
-        .unwrap();
+    let (ino, _) = vfs.lookup_path(&Credentials::root(), "/data").unwrap();
     vfs.setattr(
         &Credentials::root(),
         ino,
-        sfs_vfs::SetAttr { mode: Some(0o644), ..Default::default() },
+        sfs_vfs::SetAttr {
+            mode: Some(0o644),
+            ..Default::default()
+        },
     )
     .unwrap();
 
@@ -267,7 +294,10 @@ fn cross_server_secure_links() {
         .unwrap();
 
     let via_link = format!("{}/public/b-data", w.path.full_path());
-    assert_eq!(w.client.read_file(ALICE_UID, &via_link).unwrap(), b"on server B");
+    assert_eq!(
+        w.client.read_file(ALICE_UID, &via_link).unwrap(),
+        b"on server B"
+    );
 }
 
 #[test]
@@ -383,7 +413,10 @@ fn pwd_returns_self_certifying_path() {
     let parsed = SelfCertifyingPath::parse_full(&pwd).unwrap().0;
     w.client.agent(ALICE_UID).lock().add_bookmark(&parsed);
     let again = format!("/sfs/{}/public/motd", w.path.location);
-    assert_eq!(w.client.read_file(ALICE_UID, &again).unwrap(), b"welcome to sfs");
+    assert_eq!(
+        w.client.read_file(ALICE_UID, &again).unwrap(),
+        b"welcome to sfs"
+    );
 }
 
 #[test]
@@ -392,7 +425,10 @@ fn virtual_time_advances_with_work() {
     let before = w.clock.now();
     let file = format!("{}/public/motd", w.path.full_path());
     w.client.read_file(ALICE_UID, &file).unwrap();
-    assert!(w.clock.now() > before, "network transit must consume virtual time");
+    assert!(
+        w.clock.now() > before,
+        "network transit must consume virtual time"
+    );
 }
 
 #[test]
@@ -412,7 +448,9 @@ fn agent_ipc_is_uid_attested() {
     assert_eq!(dec.get_u32().unwrap(), 0);
     // It works for alice…
     assert_eq!(
-        w.client.read_file(ALICE_UID, "/sfs/mit/public/motd").unwrap(),
+        w.client
+            .read_file(ALICE_UID, "/sfs/mit/public/motd")
+            .unwrap(),
         b"welcome to sfs"
     );
     // …and not for bob, whose (separate) agent never saw the command.
@@ -461,5 +499,8 @@ fn each_mount_gets_its_own_device_number() {
         .client
         .resolve(ALICE_UID, &format!("{}/f", server_b.path().full_path()))
         .unwrap();
-    assert_ne!(attr_a.fsid, attr_b.fsid, "distinct mounts, distinct devices");
+    assert_ne!(
+        attr_a.fsid, attr_b.fsid,
+        "distinct mounts, distinct devices"
+    );
 }

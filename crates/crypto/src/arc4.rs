@@ -32,7 +32,10 @@ impl Arc4 {
     ///
     /// Panics if `key` is empty or longer than 256 bytes.
     pub fn new(key: &[u8]) -> Self {
-        assert!(!key.is_empty() && key.len() <= 256, "ARC4 key must be 1-256 bytes");
+        assert!(
+            !key.is_empty() && key.len() <= 256,
+            "ARC4 key must be 1-256 bytes"
+        );
         let mut s = [0u8; 256];
         for (i, v) in s.iter_mut().enumerate() {
             *v = i as u8;
@@ -49,7 +52,12 @@ impl Arc4 {
                 s.swap(i, j as usize);
             }
         }
-        Arc4 { s, i: 0, j: 0, position: 0 }
+        Arc4 {
+            s,
+            i: 0,
+            j: 0,
+            position: 0,
+        }
     }
 
     /// Produces the next key-stream byte.

@@ -165,7 +165,7 @@ impl Blowfish {
     /// Panics unless `data.len()` is a nonzero multiple of 8.
     pub fn cbc_encrypt(&self, data: &mut [u8]) {
         assert!(
-            !data.is_empty() && data.len() % BLOCK_LEN == 0,
+            !data.is_empty() && data.len().is_multiple_of(BLOCK_LEN),
             "CBC data must be a nonzero multiple of 8 bytes"
         );
         let mut prev = [0u8; BLOCK_LEN];
@@ -186,7 +186,7 @@ impl Blowfish {
     /// Panics unless `data.len()` is a nonzero multiple of 8.
     pub fn cbc_decrypt(&self, data: &mut [u8]) {
         assert!(
-            !data.is_empty() && data.len() % BLOCK_LEN == 0,
+            !data.is_empty() && data.len().is_multiple_of(BLOCK_LEN),
             "CBC data must be a nonzero multiple of 8 bytes"
         );
         let mut prev = [0u8; BLOCK_LEN];

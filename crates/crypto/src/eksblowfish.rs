@@ -28,7 +28,10 @@ const MAGIC: &[u8; 24] = b"OrpheanBeholderScryDoubt";
 /// Panics if `key` is empty or longer than 72 bytes (bcrypt's limit), or if
 /// `cost > 31`.
 pub fn eks_setup(cost: u32, salt: &[u8; SALT_LEN], key: &[u8]) -> Blowfish {
-    assert!(!key.is_empty() && key.len() <= 72, "eksblowfish key must be 1-72 bytes");
+    assert!(
+        !key.is_empty() && key.len() <= 72,
+        "eksblowfish key must be 1-72 bytes"
+    );
     assert!(cost <= 31, "cost parameter must be at most 31");
     let mut state = Blowfish::init_state();
     // ExpandKey(state, salt, key).
@@ -94,19 +97,28 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(bcrypt_hash(4, &SALT, b"hunter2"), bcrypt_hash(4, &SALT, b"hunter2"));
+        assert_eq!(
+            bcrypt_hash(4, &SALT, b"hunter2"),
+            bcrypt_hash(4, &SALT, b"hunter2")
+        );
     }
 
     #[test]
     fn password_sensitivity() {
-        assert_ne!(bcrypt_hash(4, &SALT, b"hunter2"), bcrypt_hash(4, &SALT, b"hunter3"));
+        assert_ne!(
+            bcrypt_hash(4, &SALT, b"hunter2"),
+            bcrypt_hash(4, &SALT, b"hunter3")
+        );
     }
 
     #[test]
     fn salt_sensitivity() {
         let mut other = SALT;
         other[0] ^= 1;
-        assert_ne!(bcrypt_hash(4, &SALT, b"hunter2"), bcrypt_hash(4, &other, b"hunter2"));
+        assert_ne!(
+            bcrypt_hash(4, &SALT, b"hunter2"),
+            bcrypt_hash(4, &other, b"hunter2")
+        );
     }
 
     #[test]

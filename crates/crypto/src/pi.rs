@@ -35,7 +35,9 @@ fn arctan_inv(x: u64, prec: usize) -> Nat {
         } else {
             // The alternating series is positive and decreasing, so the
             // running sum never underflows.
-            sum = sum.checked_sub(&term).expect("alternating series underflow");
+            sum = sum
+                .checked_sub(&term)
+                .expect("alternating series underflow");
         }
         power = power.div_rem_u64(x2).0;
         add = !add;
@@ -94,8 +96,8 @@ mod tests {
         assert_eq!(
             w,
             vec![
-                0x243F6A88, 0x85A308D3, 0x13198A2E, 0x03707344, 0xA4093822, 0x299F31D0,
-                0x082EFA98, 0xEC4E6C89,
+                0x243F6A88, 0x85A308D3, 0x13198A2E, 0x03707344, 0xA4093822, 0x299F31D0, 0x082EFA98,
+                0xEC4E6C89,
             ]
         );
     }
@@ -123,6 +125,9 @@ mod tests {
         // arctan(0.2) ≈ 0.19739555984988... Check 32-bit fixed point.
         let v = arctan_inv(5, 32).to_u64().unwrap();
         let expect = (0.19739555984988f64 * 4294967296.0) as u64;
-        assert!((v as i64 - expect as i64).unsigned_abs() < 4, "{v} vs {expect}");
+        assert!(
+            (v as i64 - expect as i64).unsigned_abs() < 4,
+            "{v} vs {expect}"
+        );
     }
 }

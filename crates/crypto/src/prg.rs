@@ -45,7 +45,10 @@ impl Default for EntropyPool {
 impl EntropyPool {
     /// Creates an empty pool.
     pub fn new() -> Self {
-        EntropyPool { hasher: Sha1::new(), sources: 0 }
+        EntropyPool {
+            hasher: Sha1::new(),
+            sources: 0,
+        }
     }
 
     /// Mixes one entropy source (command output, saved seed file,

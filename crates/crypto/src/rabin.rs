@@ -17,9 +17,7 @@
 //! `(e, f)`. Verification is a single modular squaring — cheap, which is
 //! what lets SFS read-only servers serve many clients (§2.4).
 
-use sfs_bignum::{
-    crt_pair, gen_prime_congruent, jacobi, sqrt_mod_3mod4, Nat, RandomSource,
-};
+use sfs_bignum::{crt_pair, gen_prime_congruent, jacobi, sqrt_mod_3mod4, Nat, RandomSource};
 
 use crate::sha1::{mgf1, sha1, sha1_concat, DIGEST_LEN};
 
@@ -108,7 +106,10 @@ impl RabinSignature {
 ///
 /// Panics if `bits < 256` (OAEP needs room for two SHA-1 digests).
 pub fn generate_keypair<R: RandomSource>(bits: usize, rng: &mut R) -> RabinPrivateKey {
-    assert!(bits >= 256, "Rabin modulus must be at least 256 bits for OAEP");
+    assert!(
+        bits >= 256,
+        "Rabin modulus must be at least 256 bits for OAEP"
+    );
     let half = bits / 2;
     loop {
         let p = gen_prime_congruent(half, 3, 8, rng);
@@ -118,7 +119,11 @@ pub fn generate_keypair<R: RandomSource>(bits: usize, rng: &mut R) -> RabinPriva
         }
         let n = p.mul_nat(&q);
         let k = n.to_bytes_be().len();
-        return RabinPrivateKey { p, q, public: RabinPublicKey { n, k } };
+        return RabinPrivateKey {
+            p,
+            q,
+            public: RabinPublicKey { n, k },
+        };
     }
 }
 
@@ -165,11 +170,7 @@ impl RabinPublicKey {
 
     /// OAEP-pads and encrypts `msg` (one modular squaring — "particularly
     /// fast").
-    pub fn encrypt<R: RandomSource>(
-        &self,
-        msg: &[u8],
-        rng: &mut R,
-    ) -> Result<Vec<u8>, RabinError> {
+    pub fn encrypt<R: RandomSource>(&self, msg: &[u8], rng: &mut R) -> Result<Vec<u8>, RabinError> {
         if msg.len() > self.max_plaintext_len() {
             return Err(RabinError::MessageTooLong);
         }
@@ -293,7 +294,11 @@ impl RabinPrivateKey {
         // Canonicalize to the smaller of {s, n-s} so signing is a function.
         let s_alt = n.checked_sub(&s).unwrap();
         let root = if s_alt < s { s_alt } else { s };
-        RabinSignature { negate, double, root }
+        RabinSignature {
+            negate,
+            double,
+            root,
+        }
     }
 
     /// All four CRT combinations of `(±rp, ±rq)`.
@@ -381,7 +386,11 @@ impl RabinPrivateKey {
         }
         let n = p.mul_nat(&q);
         let k = n.to_bytes_be().len();
-        Ok(RabinPrivateKey { p, q, public: RabinPublicKey { n, k } })
+        Ok(RabinPrivateKey {
+            p,
+            q,
+            public: RabinPublicKey { n, k },
+        })
     }
 }
 
@@ -396,7 +405,9 @@ impl std::fmt::Debug for RabinPrivateKey {
 fn fdh(msg: &[u8], n: &Nat, k: usize) -> Nat {
     let digest = sha1_concat(&[b"SFS-rw-fdh", msg]);
     // k-1 bytes guarantees the value is below n (n has k bytes).
-    Nat::from_bytes_be(&mgf1(&digest, k - 1)).rem_nat(n).unwrap()
+    Nat::from_bytes_be(&mgf1(&digest, k - 1))
+        .rem_nat(n)
+        .unwrap()
 }
 
 #[cfg(test)]
@@ -522,7 +533,10 @@ mod tests {
         let bytes = key.public().to_bytes();
         let back = RabinPublicKey::from_bytes(&bytes).unwrap();
         assert_eq!(&back, key.public());
-        assert_eq!(RabinPublicKey::from_bytes(&[]), Err(RabinError::BadKeyEncoding));
+        assert_eq!(
+            RabinPublicKey::from_bytes(&[]),
+            Err(RabinError::BadKeyEncoding)
+        );
         assert_eq!(
             RabinPublicKey::from_bytes(&[0, 1, 2]),
             Err(RabinError::BadKeyEncoding)

@@ -34,7 +34,12 @@ impl Default for Sha1 {
 impl Sha1 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha1 { h: H0, len: 0, buf: [0; BLOCK_LEN], buf_len: 0 }
+        Sha1 {
+            h: H0,
+            len: 0,
+            buf: [0; BLOCK_LEN],
+            buf_len: 0,
+        }
     }
 
     /// Absorbs `data`.
@@ -180,13 +185,18 @@ mod tests {
 
     #[test]
     fn fips_vector_abc() {
-        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
     fn fips_vector_two_blocks() {
         assert_eq!(
-            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
     }

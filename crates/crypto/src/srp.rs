@@ -90,7 +90,10 @@ impl SrpGroup {
             let q = gen_prime_congruent(bits - 1, 3, 4, rng);
             let n = q.shl_bits(1).add_nat(&Nat::one());
             if n.div_rem_u64(8).1 == 7 && is_probable_prime(&n, 32, rng) {
-                return SrpGroup { n, g: Nat::from(2u64) };
+                return SrpGroup {
+                    n,
+                    g: Nat::from(2u64),
+                };
             }
         }
     }
@@ -235,7 +238,11 @@ impl SrpClient {
         let key = session_key(&self.group, &s);
         let m1 = evidence_m1(&self.group, &self.user, salt, &self.a_pub, b_pub, &key);
         let expected_m2 = evidence_m2(&self.a_pub, &m1, &key);
-        Ok(SrpClientSession { key, m1, expected_m2 })
+        Ok(SrpClientSession {
+            key,
+            m1,
+            expected_m2,
+        })
     }
 }
 
@@ -303,8 +310,14 @@ impl SrpServer {
         let base = a_pub.mul_nat(&vu).rem_nat(&self.group.n).unwrap();
         let s = modpow(&base, &self.b, &self.group.n);
         let key = session_key(&self.group, &s);
-        let expect_m1 =
-            evidence_m1(&self.group, &self.user, &self.salt, a_pub, &self.b_pub, &key);
+        let expect_m1 = evidence_m1(
+            &self.group,
+            &self.user,
+            &self.salt,
+            a_pub,
+            &self.b_pub,
+            &key,
+        );
         if m1 != expect_m1 {
             return Err(SrpError::BadClientEvidence);
         }

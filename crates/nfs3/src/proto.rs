@@ -272,12 +272,18 @@ impl PostOpAttr {
 
     /// Attributes without a lease (plain NFS3).
     pub fn plain(attr: Fattr3) -> Self {
-        PostOpAttr { attr: Some(attr), lease_ns: 0 }
+        PostOpAttr {
+            attr: Some(attr),
+            lease_ns: 0,
+        }
     }
 
     /// Attributes with an SFS lease.
     pub fn leased(attr: Fattr3, lease_ns: u64) -> Self {
-        PostOpAttr { attr: Some(attr), lease_ns }
+        PostOpAttr {
+            attr: Some(attr),
+            lease_ns,
+        }
     }
 }
 
@@ -298,7 +304,10 @@ impl Xdr for PostOpAttr {
         if dec.get_bool()? {
             let attr = Fattr3::decode(dec)?;
             let lease_ns = dec.get_u64()?;
-            Ok(PostOpAttr { attr: Some(attr), lease_ns })
+            Ok(PostOpAttr {
+                attr: Some(attr),
+                lease_ns,
+            })
         } else {
             Ok(PostOpAttr::none())
         }
@@ -324,7 +333,14 @@ pub struct Sattr3 {
 
 impl From<Sattr3> for SetAttr {
     fn from(s: Sattr3) -> Self {
-        SetAttr { mode: s.mode, uid: s.uid, gid: s.gid, size: s.size, atime: s.atime, mtime: s.mtime }
+        SetAttr {
+            mode: s.mode,
+            uid: s.uid,
+            gid: s.gid,
+            size: s.size,
+            atime: s.atime,
+            mtime: s.mtime,
+        }
     }
 }
 
@@ -466,25 +482,89 @@ impl Proc {
 #[allow(missing_docs)]
 pub enum Nfs3Request {
     Null,
-    GetAttr { fh: FileHandle },
-    SetAttr { fh: FileHandle, attrs: Sattr3 },
-    Lookup { dir: FileHandle, name: String },
-    Access { fh: FileHandle, mask: u32 },
-    ReadLink { fh: FileHandle },
-    Read { fh: FileHandle, offset: u64, count: u32 },
-    Write { fh: FileHandle, offset: u64, stable: StableHow, data: Vec<u8> },
-    Create { dir: FileHandle, name: String, attrs: Sattr3 },
-    Mkdir { dir: FileHandle, name: String, attrs: Sattr3 },
-    Symlink { dir: FileHandle, name: String, target: String },
-    Remove { dir: FileHandle, name: String },
-    Rmdir { dir: FileHandle, name: String },
-    Rename { from_dir: FileHandle, from_name: String, to_dir: FileHandle, to_name: String },
-    Link { fh: FileHandle, dir: FileHandle, name: String },
-    ReadDir { dir: FileHandle, cookie: u64, count: u32, plus: bool },
-    FsStat { root: FileHandle },
-    FsInfo { root: FileHandle },
-    PathConf { fh: FileHandle },
-    Commit { fh: FileHandle, offset: u64, count: u32 },
+    GetAttr {
+        fh: FileHandle,
+    },
+    SetAttr {
+        fh: FileHandle,
+        attrs: Sattr3,
+    },
+    Lookup {
+        dir: FileHandle,
+        name: String,
+    },
+    Access {
+        fh: FileHandle,
+        mask: u32,
+    },
+    ReadLink {
+        fh: FileHandle,
+    },
+    Read {
+        fh: FileHandle,
+        offset: u64,
+        count: u32,
+    },
+    Write {
+        fh: FileHandle,
+        offset: u64,
+        stable: StableHow,
+        data: Vec<u8>,
+    },
+    Create {
+        dir: FileHandle,
+        name: String,
+        attrs: Sattr3,
+    },
+    Mkdir {
+        dir: FileHandle,
+        name: String,
+        attrs: Sattr3,
+    },
+    Symlink {
+        dir: FileHandle,
+        name: String,
+        target: String,
+    },
+    Remove {
+        dir: FileHandle,
+        name: String,
+    },
+    Rmdir {
+        dir: FileHandle,
+        name: String,
+    },
+    Rename {
+        from_dir: FileHandle,
+        from_name: String,
+        to_dir: FileHandle,
+        to_name: String,
+    },
+    Link {
+        fh: FileHandle,
+        dir: FileHandle,
+        name: String,
+    },
+    ReadDir {
+        dir: FileHandle,
+        cookie: u64,
+        count: u32,
+        plus: bool,
+    },
+    FsStat {
+        root: FileHandle,
+    },
+    FsInfo {
+        root: FileHandle,
+    },
+    PathConf {
+        fh: FileHandle,
+    },
+    Commit {
+        fh: FileHandle,
+        offset: u64,
+        count: u32,
+    },
 }
 
 impl Nfs3Request {
@@ -543,7 +623,12 @@ impl Nfs3Request {
                 enc.put_u64(*offset);
                 enc.put_u32(*count);
             }
-            Nfs3Request::Write { fh, offset, stable, data } => {
+            Nfs3Request::Write {
+                fh,
+                offset,
+                stable,
+                data,
+            } => {
                 fh.encode(&mut enc);
                 enc.put_u64(*offset);
                 enc.put_u32(data.len() as u32);
@@ -560,7 +645,12 @@ impl Nfs3Request {
                 enc.put_string(name);
                 enc.put_string(target);
             }
-            Nfs3Request::Rename { from_dir, from_name, to_dir, to_name } => {
+            Nfs3Request::Rename {
+                from_dir,
+                from_name,
+                to_dir,
+                to_name,
+            } => {
                 from_dir.encode(&mut enc);
                 enc.put_string(from_name);
                 to_dir.encode(&mut enc);
@@ -571,7 +661,9 @@ impl Nfs3Request {
                 dir.encode(&mut enc);
                 enc.put_string(name);
             }
-            Nfs3Request::ReadDir { dir, cookie, count, .. } => {
+            Nfs3Request::ReadDir {
+                dir, cookie, count, ..
+            } => {
                 dir.encode(&mut enc);
                 enc.put_u64(*cookie);
                 enc.put_u32(*count);
@@ -590,7 +682,9 @@ impl Nfs3Request {
         let mut dec = XdrDecoder::new(args);
         let req = match proc {
             Proc::Null => Nfs3Request::Null,
-            Proc::GetAttr => Nfs3Request::GetAttr { fh: FileHandle::decode(&mut dec)? },
+            Proc::GetAttr => Nfs3Request::GetAttr {
+                fh: FileHandle::decode(&mut dec)?,
+            },
             Proc::SetAttr => Nfs3Request::SetAttr {
                 fh: FileHandle::decode(&mut dec)?,
                 attrs: Sattr3::decode(&mut dec)?,
@@ -603,7 +697,9 @@ impl Nfs3Request {
                 fh: FileHandle::decode(&mut dec)?,
                 mask: dec.get_u32()?,
             },
-            Proc::ReadLink => Nfs3Request::ReadLink { fh: FileHandle::decode(&mut dec)? },
+            Proc::ReadLink => Nfs3Request::ReadLink {
+                fh: FileHandle::decode(&mut dec)?,
+            },
             Proc::Read => Nfs3Request::Read {
                 fh: FileHandle::decode(&mut dec)?,
                 offset: dec.get_u64()?,
@@ -615,7 +711,12 @@ impl Nfs3Request {
                 let _count = dec.get_u32()?;
                 let stable = StableHow::decode(&mut dec)?;
                 let data = dec.get_opaque()?;
-                Nfs3Request::Write { fh, offset, stable, data }
+                Nfs3Request::Write {
+                    fh,
+                    offset,
+                    stable,
+                    data,
+                }
             }
             Proc::Create => Nfs3Request::Create {
                 dir: FileHandle::decode(&mut dec)?,
@@ -657,9 +758,15 @@ impl Nfs3Request {
                 count: dec.get_u32()?,
                 plus: proc == Proc::ReadDirPlus,
             },
-            Proc::FsStat => Nfs3Request::FsStat { root: FileHandle::decode(&mut dec)? },
-            Proc::FsInfo => Nfs3Request::FsInfo { root: FileHandle::decode(&mut dec)? },
-            Proc::PathConf => Nfs3Request::PathConf { fh: FileHandle::decode(&mut dec)? },
+            Proc::FsStat => Nfs3Request::FsStat {
+                root: FileHandle::decode(&mut dec)?,
+            },
+            Proc::FsInfo => Nfs3Request::FsInfo {
+                root: FileHandle::decode(&mut dec)?,
+            },
+            Proc::PathConf => Nfs3Request::PathConf {
+                fh: FileHandle::decode(&mut dec)?,
+            },
             Proc::Commit => Nfs3Request::Commit {
                 fh: FileHandle::decode(&mut dec)?,
                 offset: dec.get_u64()?,
@@ -677,26 +784,91 @@ impl Nfs3Request {
 pub enum Nfs3Reply {
     Null,
     /// Error reply for any procedure.
-    Error { status: Status, dir_attr: PostOpAttr },
-    GetAttr { attr: Fattr3, lease_ns: u64 },
-    SetAttr { attr: PostOpAttr },
-    Lookup { fh: FileHandle, attr: PostOpAttr, dir_attr: PostOpAttr },
-    Access { granted: u32, attr: PostOpAttr },
-    ReadLink { target: String, attr: PostOpAttr },
-    Read { data: Vec<u8>, eof: bool, attr: PostOpAttr },
-    Write { count: u32, committed: StableHow, attr: PostOpAttr },
-    Create { fh: FileHandle, attr: PostOpAttr, dir_attr: PostOpAttr },
-    Mkdir { fh: FileHandle, attr: PostOpAttr, dir_attr: PostOpAttr },
-    Symlink { fh: FileHandle, attr: PostOpAttr, dir_attr: PostOpAttr },
-    Remove { dir_attr: PostOpAttr },
-    Rmdir { dir_attr: PostOpAttr },
-    Rename { from_dir_attr: PostOpAttr, to_dir_attr: PostOpAttr },
-    Link { attr: PostOpAttr, dir_attr: PostOpAttr },
-    ReadDir { entries: Vec<DirEntry>, eof: bool, dir_attr: PostOpAttr },
-    FsStat { total_bytes: u64, free_bytes: u64, total_files: u64 },
-    FsInfo { rtmax: u32, wtmax: u32, dtpref: u32 },
-    PathConf { name_max: u32, linkmax: u32 },
-    Commit { attr: PostOpAttr },
+    Error {
+        status: Status,
+        dir_attr: PostOpAttr,
+    },
+    GetAttr {
+        attr: Fattr3,
+        lease_ns: u64,
+    },
+    SetAttr {
+        attr: PostOpAttr,
+    },
+    Lookup {
+        fh: FileHandle,
+        attr: PostOpAttr,
+        dir_attr: PostOpAttr,
+    },
+    Access {
+        granted: u32,
+        attr: PostOpAttr,
+    },
+    ReadLink {
+        target: String,
+        attr: PostOpAttr,
+    },
+    Read {
+        data: Vec<u8>,
+        eof: bool,
+        attr: PostOpAttr,
+    },
+    Write {
+        count: u32,
+        committed: StableHow,
+        attr: PostOpAttr,
+    },
+    Create {
+        fh: FileHandle,
+        attr: PostOpAttr,
+        dir_attr: PostOpAttr,
+    },
+    Mkdir {
+        fh: FileHandle,
+        attr: PostOpAttr,
+        dir_attr: PostOpAttr,
+    },
+    Symlink {
+        fh: FileHandle,
+        attr: PostOpAttr,
+        dir_attr: PostOpAttr,
+    },
+    Remove {
+        dir_attr: PostOpAttr,
+    },
+    Rmdir {
+        dir_attr: PostOpAttr,
+    },
+    Rename {
+        from_dir_attr: PostOpAttr,
+        to_dir_attr: PostOpAttr,
+    },
+    Link {
+        attr: PostOpAttr,
+        dir_attr: PostOpAttr,
+    },
+    ReadDir {
+        entries: Vec<DirEntry>,
+        eof: bool,
+        dir_attr: PostOpAttr,
+    },
+    FsStat {
+        total_bytes: u64,
+        free_bytes: u64,
+        total_files: u64,
+    },
+    FsInfo {
+        rtmax: u32,
+        wtmax: u32,
+        dtpref: u32,
+    },
+    PathConf {
+        name_max: u32,
+        linkmax: u32,
+    },
+    Commit {
+        attr: PostOpAttr,
+    },
 }
 
 impl Nfs3Reply {
@@ -747,7 +919,11 @@ impl Nfs3Reply {
                 enc.put_opaque(data);
                 attr.encode(&mut enc);
             }
-            Nfs3Reply::Write { count, committed, attr } => {
+            Nfs3Reply::Write {
+                count,
+                committed,
+                attr,
+            } => {
                 enc.put_u32(*count);
                 committed.encode(&mut enc);
                 attr.encode(&mut enc);
@@ -755,7 +931,10 @@ impl Nfs3Reply {
             Nfs3Reply::Remove { dir_attr } | Nfs3Reply::Rmdir { dir_attr } => {
                 dir_attr.encode(&mut enc)
             }
-            Nfs3Reply::Rename { from_dir_attr, to_dir_attr } => {
+            Nfs3Reply::Rename {
+                from_dir_attr,
+                to_dir_attr,
+            } => {
                 from_dir_attr.encode(&mut enc);
                 to_dir_attr.encode(&mut enc);
             }
@@ -763,17 +942,29 @@ impl Nfs3Reply {
                 attr.encode(&mut enc);
                 dir_attr.encode(&mut enc);
             }
-            Nfs3Reply::ReadDir { entries, eof, dir_attr } => {
+            Nfs3Reply::ReadDir {
+                entries,
+                eof,
+                dir_attr,
+            } => {
                 entries.encode(&mut enc);
                 enc.put_bool(*eof);
                 dir_attr.encode(&mut enc);
             }
-            Nfs3Reply::FsStat { total_bytes, free_bytes, total_files } => {
+            Nfs3Reply::FsStat {
+                total_bytes,
+                free_bytes,
+                total_files,
+            } => {
                 enc.put_u64(*total_bytes);
                 enc.put_u64(*free_bytes);
                 enc.put_u64(*total_files);
             }
-            Nfs3Reply::FsInfo { rtmax, wtmax, dtpref } => {
+            Nfs3Reply::FsInfo {
+                rtmax,
+                wtmax,
+                dtpref,
+            } => {
                 enc.put_u32(*rtmax);
                 enc.put_u32(*wtmax);
                 enc.put_u32(*dtpref);
@@ -801,7 +992,9 @@ impl Nfs3Reply {
                 attr: Fattr3::decode(&mut dec)?,
                 lease_ns: dec.get_u64()?,
             },
-            Proc::SetAttr => Nfs3Reply::SetAttr { attr: PostOpAttr::decode(&mut dec)? },
+            Proc::SetAttr => Nfs3Reply::SetAttr {
+                attr: PostOpAttr::decode(&mut dec)?,
+            },
             Proc::Lookup => Nfs3Reply::Lookup {
                 fh: FileHandle::decode(&mut dec)?,
                 attr: PostOpAttr::decode(&mut dec)?,
@@ -842,8 +1035,12 @@ impl Nfs3Reply {
                 attr: PostOpAttr::decode(&mut dec)?,
                 dir_attr: PostOpAttr::decode(&mut dec)?,
             },
-            Proc::Remove => Nfs3Reply::Remove { dir_attr: PostOpAttr::decode(&mut dec)? },
-            Proc::Rmdir => Nfs3Reply::Rmdir { dir_attr: PostOpAttr::decode(&mut dec)? },
+            Proc::Remove => Nfs3Reply::Remove {
+                dir_attr: PostOpAttr::decode(&mut dec)?,
+            },
+            Proc::Rmdir => Nfs3Reply::Rmdir {
+                dir_attr: PostOpAttr::decode(&mut dec)?,
+            },
             Proc::Rename => Nfs3Reply::Rename {
                 from_dir_attr: PostOpAttr::decode(&mut dec)?,
                 to_dir_attr: PostOpAttr::decode(&mut dec)?,
@@ -871,7 +1068,9 @@ impl Nfs3Reply {
                 name_max: dec.get_u32()?,
                 linkmax: dec.get_u32()?,
             },
-            Proc::Commit => Nfs3Reply::Commit { attr: PostOpAttr::decode(&mut dec)? },
+            Proc::Commit => Nfs3Reply::Commit {
+                attr: PostOpAttr::decode(&mut dec)?,
+            },
         };
         dec.finish()?;
         Ok(reply)
@@ -909,36 +1108,86 @@ mod tests {
             Nfs3Request::GetAttr { fh: fh(b"h1") },
             Nfs3Request::SetAttr {
                 fh: fh(b"h1"),
-                attrs: Sattr3 { mode: Some(0o600), size: Some(10), ..Default::default() },
+                attrs: Sattr3 {
+                    mode: Some(0o600),
+                    size: Some(10),
+                    ..Default::default()
+                },
             },
-            Nfs3Request::Lookup { dir: fh(b"d"), name: "file".into() },
-            Nfs3Request::Access { fh: fh(b"h"), mask: 0x3f },
+            Nfs3Request::Lookup {
+                dir: fh(b"d"),
+                name: "file".into(),
+            },
+            Nfs3Request::Access {
+                fh: fh(b"h"),
+                mask: 0x3f,
+            },
             Nfs3Request::ReadLink { fh: fh(b"h") },
-            Nfs3Request::Read { fh: fh(b"h"), offset: 8192, count: 4096 },
+            Nfs3Request::Read {
+                fh: fh(b"h"),
+                offset: 8192,
+                count: 4096,
+            },
             Nfs3Request::Write {
                 fh: fh(b"h"),
                 offset: 0,
                 stable: StableHow::FileSync,
                 data: vec![1, 2, 3],
             },
-            Nfs3Request::Create { dir: fh(b"d"), name: "new".into(), attrs: Sattr3::default() },
-            Nfs3Request::Mkdir { dir: fh(b"d"), name: "sub".into(), attrs: Sattr3::default() },
-            Nfs3Request::Symlink { dir: fh(b"d"), name: "ln".into(), target: "/sfs/x:y".into() },
-            Nfs3Request::Remove { dir: fh(b"d"), name: "old".into() },
-            Nfs3Request::Rmdir { dir: fh(b"d"), name: "sub".into() },
+            Nfs3Request::Create {
+                dir: fh(b"d"),
+                name: "new".into(),
+                attrs: Sattr3::default(),
+            },
+            Nfs3Request::Mkdir {
+                dir: fh(b"d"),
+                name: "sub".into(),
+                attrs: Sattr3::default(),
+            },
+            Nfs3Request::Symlink {
+                dir: fh(b"d"),
+                name: "ln".into(),
+                target: "/sfs/x:y".into(),
+            },
+            Nfs3Request::Remove {
+                dir: fh(b"d"),
+                name: "old".into(),
+            },
+            Nfs3Request::Rmdir {
+                dir: fh(b"d"),
+                name: "sub".into(),
+            },
             Nfs3Request::Rename {
                 from_dir: fh(b"d1"),
                 from_name: "a".into(),
                 to_dir: fh(b"d2"),
                 to_name: "b".into(),
             },
-            Nfs3Request::Link { fh: fh(b"f"), dir: fh(b"d"), name: "alias".into() },
-            Nfs3Request::ReadDir { dir: fh(b"d"), cookie: 5, count: 100, plus: false },
-            Nfs3Request::ReadDir { dir: fh(b"d"), cookie: 0, count: 100, plus: true },
+            Nfs3Request::Link {
+                fh: fh(b"f"),
+                dir: fh(b"d"),
+                name: "alias".into(),
+            },
+            Nfs3Request::ReadDir {
+                dir: fh(b"d"),
+                cookie: 5,
+                count: 100,
+                plus: false,
+            },
+            Nfs3Request::ReadDir {
+                dir: fh(b"d"),
+                cookie: 0,
+                count: 100,
+                plus: true,
+            },
             Nfs3Request::FsStat { root: fh(b"r") },
             Nfs3Request::FsInfo { root: fh(b"r") },
             Nfs3Request::PathConf { fh: fh(b"r") },
-            Nfs3Request::Commit { fh: fh(b"f"), offset: 0, count: 0 },
+            Nfs3Request::Commit {
+                fh: fh(b"f"),
+                offset: 0,
+                count: 0,
+            },
         ];
         for req in reqs {
             let args = req.encode_args();
@@ -951,7 +1200,13 @@ mod tests {
     fn reply_results_roundtrip() {
         let cases: Vec<(Proc, Nfs3Reply)> = vec![
             (Proc::Null, Nfs3Reply::Null),
-            (Proc::GetAttr, Nfs3Reply::GetAttr { attr: attr(), lease_ns: 5_000_000 }),
+            (
+                Proc::GetAttr,
+                Nfs3Reply::GetAttr {
+                    attr: attr(),
+                    lease_ns: 5_000_000,
+                },
+            ),
             (
                 Proc::Lookup,
                 Nfs3Reply::Lookup {
@@ -980,7 +1235,12 @@ mod tests {
                 Proc::ReadDir,
                 Nfs3Reply::ReadDir {
                     entries: vec![
-                        DirEntry { fileid: 3, name: "a".into(), cookie: 1, plus: None },
+                        DirEntry {
+                            fileid: 3,
+                            name: "a".into(),
+                            cookie: 1,
+                            plus: None,
+                        },
                         DirEntry {
                             fileid: 4,
                             name: "b".into(),
@@ -992,8 +1252,21 @@ mod tests {
                     dir_attr: PostOpAttr::none(),
                 },
             ),
-            (Proc::FsStat, Nfs3Reply::FsStat { total_bytes: 1, free_bytes: 2, total_files: 3 }),
-            (Proc::PathConf, Nfs3Reply::PathConf { name_max: 255, linkmax: 32767 }),
+            (
+                Proc::FsStat,
+                Nfs3Reply::FsStat {
+                    total_bytes: 1,
+                    free_bytes: 2,
+                    total_files: 3,
+                },
+            ),
+            (
+                Proc::PathConf,
+                Nfs3Reply::PathConf {
+                    name_max: 255,
+                    linkmax: 32767,
+                },
+            ),
         ];
         for (proc, reply) in cases {
             let bytes = reply.encode_results();
@@ -1004,7 +1277,10 @@ mod tests {
 
     #[test]
     fn error_reply_roundtrip() {
-        let reply = Nfs3Reply::Error { status: Status::Acces, dir_attr: PostOpAttr::none() };
+        let reply = Nfs3Reply::Error {
+            status: Status::Acces,
+            dir_attr: PostOpAttr::none(),
+        };
         let bytes = reply.encode_results();
         // Error decoding is independent of procedure.
         for proc in [Proc::GetAttr, Proc::Read, Proc::Rename] {
@@ -1045,7 +1321,10 @@ mod tests {
         let mut dec = XdrDecoder::new(enc.bytes());
         assert!(matches!(
             FileHandle::decode(&mut dec),
-            Err(XdrError::LengthTooLong { claimed: 65, max: 64 })
+            Err(XdrError::LengthTooLong {
+                claimed: 65,
+                max: 64
+            })
         ));
     }
 

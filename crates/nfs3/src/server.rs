@@ -10,13 +10,14 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sfs_telemetry::sync::Mutex;
+use sfs_telemetry::Telemetry;
 use sfs_vfs::{AccessMode, Credentials, FsError, Ino, Vfs};
 use sfs_xdr::rpc::{AcceptStat, RpcCall, RpcReply};
 
 use crate::proto::{
-    DirEntry, FileHandle, Nfs3Reply, Nfs3Request, PostOpAttr, Proc, StableHow, Status,
-    NFS_PROGRAM, NFS_VERSION,
+    DirEntry, FileHandle, Nfs3Reply, Nfs3Request, PostOpAttr, Proc, StableHow, Status, NFS_PROGRAM,
+    NFS_VERSION,
 };
 
 /// ACCESS mask bits (RFC 1813).
@@ -49,6 +50,9 @@ pub struct Nfs3Server {
     leased: Arc<Mutex<HashSet<Ino>>>,
     /// Where invalidations are delivered.
     sink: Arc<Mutex<Option<InvalidationSink>>>,
+    /// Tracing sink, shared across clones so it can be attached after the
+    /// server has been embedded (e.g. inside an `SfsServer`).
+    tel: Arc<Mutex<Telemetry>>,
 }
 
 impl Nfs3Server {
@@ -59,7 +63,14 @@ impl Nfs3Server {
             lease_ns: 0,
             leased: Arc::new(Mutex::new(HashSet::new())),
             sink: Arc::new(Mutex::new(None)),
+            tel: Arc::new(Mutex::new(Telemetry::disabled())),
         }
+    }
+
+    /// Attaches a tracing sink; per-procedure spans and latency
+    /// histograms are stamped with the exported file system's clock.
+    pub fn set_telemetry(&self, tel: &Telemetry) {
+        *self.tel.lock() = tel.clone().with_clock(self.vfs.clock().clone());
     }
 
     /// Enables the SFS lease extension with the given duration.
@@ -124,6 +135,7 @@ impl Nfs3Server {
             return;
         }
         if self.leased.lock().remove(&ino) {
+            self.tel.lock().count("server", "nfs3.invalidations", 1);
             if let Some(sink) = &*self.sink.lock() {
                 sink(self.encode_handle(ino));
             }
@@ -131,15 +143,27 @@ impl Nfs3Server {
     }
 
     fn err(&self, status: Status) -> Nfs3Reply {
-        Nfs3Reply::Error { status, dir_attr: PostOpAttr::none() }
+        Nfs3Reply::Error {
+            status,
+            dir_attr: PostOpAttr::none(),
+        }
     }
 
-    /// Handles one NFS3 request under `creds`.
+    /// Handles one NFS3 request under `creds`, under a per-procedure
+    /// span, with per-procedure service-time histograms.
     pub fn handle(&self, creds: &Credentials, req: &Nfs3Request) -> Nfs3Reply {
-        match self.try_handle(creds, req) {
+        let tel = self.tel.lock().clone();
+        let name = proc_name(req);
+        let start = tel.now_ns();
+        let span = tel.span("server", "nfs3", name);
+        let reply = match self.try_handle(creds, req) {
             Ok(reply) => reply,
             Err(status) => self.err(status),
-        }
+        };
+        drop(span);
+        tel.count("server", "nfs3.calls", 1);
+        tel.record("server", name, tel.now_ns().saturating_sub(start));
+        reply
     }
 
     fn try_handle(&self, creds: &Credentials, req: &Nfs3Request) -> Result<Nfs3Reply, Status> {
@@ -152,13 +176,18 @@ impl Nfs3Server {
                 if self.lease_ns > 0 {
                     self.leased.lock().insert(ino);
                 }
-                Nfs3Reply::GetAttr { attr: attr.into(), lease_ns: self.lease_ns }
+                Nfs3Reply::GetAttr {
+                    attr: attr.into(),
+                    lease_ns: self.lease_ns,
+                }
             }
             Nfs3Request::SetAttr { fh, attrs } => {
                 let ino = self.decode_handle(fh)?;
                 self.vfs.setattr(creds, ino, (*attrs).into()).map_err(map)?;
                 self.invalidate(ino);
-                Ok::<_, Status>(Nfs3Reply::SetAttr { attr: self.post_op(ino) })?
+                Ok::<_, Status>(Nfs3Reply::SetAttr {
+                    attr: self.post_op(ino),
+                })?
             }
             Nfs3Request::Lookup { dir, name } => {
                 let dino = self.decode_handle(dir)?;
@@ -182,20 +211,37 @@ impl Nfs3Server {
                 if attr.permits(creds, AccessMode::Execute) {
                     granted |= access::EXECUTE | access::LOOKUP;
                 }
-                Nfs3Reply::Access { granted: granted & mask, attr: self.post_op(ino) }
+                Nfs3Reply::Access {
+                    granted: granted & mask,
+                    attr: self.post_op(ino),
+                }
             }
             Nfs3Request::ReadLink { fh } => {
                 let ino = self.decode_handle(fh)?;
                 let target = self.vfs.readlink(ino).map_err(map)?;
-                Nfs3Reply::ReadLink { target, attr: self.post_op(ino) }
+                Nfs3Reply::ReadLink {
+                    target,
+                    attr: self.post_op(ino),
+                }
             }
             Nfs3Request::Read { fh, offset, count } => {
                 let ino = self.decode_handle(fh)?;
-                let (data, eof) =
-                    self.vfs.read(creds, ino, *offset, *count as usize).map_err(map)?;
-                Nfs3Reply::Read { data, eof, attr: self.post_op(ino) }
+                let (data, eof) = self
+                    .vfs
+                    .read(creds, ino, *offset, *count as usize)
+                    .map_err(map)?;
+                Nfs3Reply::Read {
+                    data,
+                    eof,
+                    attr: self.post_op(ino),
+                }
             }
-            Nfs3Request::Write { fh, offset, stable, data } => {
+            Nfs3Request::Write {
+                fh,
+                offset,
+                stable,
+                data,
+            } => {
                 let ino = self.decode_handle(fh)?;
                 self.vfs
                     .write(creds, ino, *offset, data, *stable == StableHow::FileSync)
@@ -247,7 +293,9 @@ impl Nfs3Server {
                 }
                 self.vfs.remove(creds, dino, name).map_err(map)?;
                 self.invalidate(dino);
-                Nfs3Reply::Remove { dir_attr: self.post_op(dino) }
+                Nfs3Reply::Remove {
+                    dir_attr: self.post_op(dino),
+                }
             }
             Nfs3Request::Rmdir { dir, name } => {
                 let dino = self.decode_handle(dir)?;
@@ -256,9 +304,16 @@ impl Nfs3Server {
                 }
                 self.vfs.rmdir(creds, dino, name).map_err(map)?;
                 self.invalidate(dino);
-                Nfs3Reply::Rmdir { dir_attr: self.post_op(dino) }
+                Nfs3Reply::Rmdir {
+                    dir_attr: self.post_op(dino),
+                }
             }
-            Nfs3Request::Rename { from_dir, from_name, to_dir, to_name } => {
+            Nfs3Request::Rename {
+                from_dir,
+                from_name,
+                to_dir,
+                to_name,
+            } => {
                 let fdino = self.decode_handle(from_dir)?;
                 let tdino = self.decode_handle(to_dir)?;
                 self.vfs
@@ -277,9 +332,17 @@ impl Nfs3Server {
                 self.vfs.link(creds, ino, dino, name).map_err(map)?;
                 self.invalidate(ino);
                 self.invalidate(dino);
-                Nfs3Reply::Link { attr: self.post_op(ino), dir_attr: self.post_op(dino) }
+                Nfs3Reply::Link {
+                    attr: self.post_op(ino),
+                    dir_attr: self.post_op(dino),
+                }
             }
-            Nfs3Request::ReadDir { dir, cookie, count, plus } => {
+            Nfs3Request::ReadDir {
+                dir,
+                cookie,
+                count,
+                plus,
+            } => {
                 let dino = self.decode_handle(dir)?;
                 // The cookie counts entries already returned.
                 let (all, _) = self
@@ -305,7 +368,11 @@ impl Nfs3Server {
                     })
                     .collect();
                 let eof = start + page.len() >= all.len();
-                Nfs3Reply::ReadDir { entries: page, eof, dir_attr: self.post_op(dino) }
+                Nfs3Reply::ReadDir {
+                    entries: page,
+                    eof,
+                    dir_attr: self.post_op(dino),
+                }
             }
             Nfs3Request::FsStat { root } => {
                 self.decode_handle(root)?;
@@ -317,7 +384,11 @@ impl Nfs3Server {
             }
             Nfs3Request::FsInfo { root } => {
                 self.decode_handle(root)?;
-                Nfs3Reply::FsInfo { rtmax: 32768, wtmax: 32768, dtpref: 8192 }
+                Nfs3Reply::FsInfo {
+                    rtmax: 32768,
+                    wtmax: 32768,
+                    dtpref: 8192,
+                }
             }
             Nfs3Request::PathConf { fh } => {
                 self.decode_handle(fh)?;
@@ -329,7 +400,9 @@ impl Nfs3Server {
             Nfs3Request::Commit { fh, .. } => {
                 let ino = self.decode_handle(fh)?;
                 self.vfs.commit();
-                Nfs3Reply::Commit { attr: self.post_op(ino) }
+                Nfs3Reply::Commit {
+                    attr: self.post_op(ino),
+                }
             }
         })
     }
@@ -351,6 +424,34 @@ impl Nfs3Server {
         };
         let reply = self.handle(creds, &req);
         RpcReply::success(call, reply.encode_results())
+    }
+}
+
+/// RFC 1813 procedure name for a request, used as the span name and the
+/// service-time histogram key.
+fn proc_name(req: &Nfs3Request) -> &'static str {
+    match req {
+        Nfs3Request::Null => "NULL",
+        Nfs3Request::GetAttr { .. } => "GETATTR",
+        Nfs3Request::SetAttr { .. } => "SETATTR",
+        Nfs3Request::Lookup { .. } => "LOOKUP",
+        Nfs3Request::Access { .. } => "ACCESS",
+        Nfs3Request::ReadLink { .. } => "READLINK",
+        Nfs3Request::Read { .. } => "READ",
+        Nfs3Request::Write { .. } => "WRITE",
+        Nfs3Request::Create { .. } => "CREATE",
+        Nfs3Request::Mkdir { .. } => "MKDIR",
+        Nfs3Request::Symlink { .. } => "SYMLINK",
+        Nfs3Request::Remove { .. } => "REMOVE",
+        Nfs3Request::Rmdir { .. } => "RMDIR",
+        Nfs3Request::Rename { .. } => "RENAME",
+        Nfs3Request::Link { .. } => "LINK",
+        Nfs3Request::ReadDir { plus: false, .. } => "READDIR",
+        Nfs3Request::ReadDir { plus: true, .. } => "READDIRPLUS",
+        Nfs3Request::FsStat { .. } => "FSSTAT",
+        Nfs3Request::FsInfo { .. } => "FSINFO",
+        Nfs3Request::PathConf { .. } => "PATHCONF",
+        Nfs3Request::Commit { .. } => "COMMIT",
     }
 }
 
@@ -404,7 +505,14 @@ mod tests {
             },
         );
         assert!(matches!(reply, Nfs3Reply::Write { count: 9, .. }));
-        let reply = s.handle(&creds, &Nfs3Request::Read { fh, offset: 0, count: 100 });
+        let reply = s.handle(
+            &creds,
+            &Nfs3Request::Read {
+                fh,
+                offset: 0,
+                count: 100,
+            },
+        );
         match reply {
             Nfs3Reply::Read { data, eof, .. } => {
                 assert_eq!(data, b"hello nfs");
@@ -419,7 +527,10 @@ mod tests {
         let s = server();
         let reply = s.handle(
             &root(),
-            &Nfs3Request::Lookup { dir: s.root_handle(), name: "ghost".into() },
+            &Nfs3Request::Lookup {
+                dir: s.root_handle(),
+                name: "ghost".into(),
+            },
         );
         assert_eq!(reply.status(), Status::NoEnt);
     }
@@ -427,7 +538,12 @@ mod tests {
     #[test]
     fn bad_handle_rejected() {
         let s = server();
-        let reply = s.handle(&root(), &Nfs3Request::GetAttr { fh: FileHandle(vec![1, 2, 3]) });
+        let reply = s.handle(
+            &root(),
+            &Nfs3Request::GetAttr {
+                fh: FileHandle(vec![1, 2, 3]),
+            },
+        );
         assert_eq!(reply.status(), Status::BadHandle);
         // Wrong fsid.
         let mut fh = s.root_handle();
@@ -446,7 +562,10 @@ mod tests {
             &Nfs3Request::Create {
                 dir: s.root_handle(),
                 name: "private".into(),
-                attrs: crate::proto::Sattr3 { mode: Some(0o600), ..Default::default() },
+                attrs: crate::proto::Sattr3 {
+                    mode: Some(0o600),
+                    ..Default::default()
+                },
             },
         );
         let fh = match reply {
@@ -479,7 +598,12 @@ mod tests {
         loop {
             let reply = s.handle(
                 &creds,
-                &Nfs3Request::ReadDir { dir: s.root_handle(), cookie, count: 3, plus: false },
+                &Nfs3Request::ReadDir {
+                    dir: s.root_handle(),
+                    cookie,
+                    count: 3,
+                    plus: false,
+                },
             );
             match reply {
                 Nfs3Reply::ReadDir { entries, eof, .. } => {
@@ -537,7 +661,12 @@ mod tests {
     #[test]
     fn plain_server_grants_no_lease() {
         let s = server();
-        let reply = s.handle(&root(), &Nfs3Request::GetAttr { fh: s.root_handle() });
+        let reply = s.handle(
+            &root(),
+            &Nfs3Request::GetAttr {
+                fh: s.root_handle(),
+            },
+        );
         match reply {
             Nfs3Reply::GetAttr { lease_ns, .. } => assert_eq!(lease_ns, 0),
             other => panic!("{other:?}"),
@@ -547,7 +676,9 @@ mod tests {
     #[test]
     fn rpc_dispatch_full_path() {
         let s = server();
-        let req = Nfs3Request::GetAttr { fh: s.root_handle() };
+        let req = Nfs3Request::GetAttr {
+            fh: s.root_handle(),
+        };
         let call = RpcCall {
             xid: 1,
             prog: NFS_PROGRAM,
@@ -575,11 +706,28 @@ mod tests {
             verf: OpaqueAuth::none(),
             args: vec![],
         };
-        assert_eq!(s.dispatch_rpc(&root(), &call).status, Ok(AcceptStat::ProgUnavail));
-        let call = RpcCall { prog: NFS_PROGRAM, vers: 2, ..call };
-        assert_eq!(s.dispatch_rpc(&root(), &call).status, Ok(AcceptStat::ProgMismatch));
-        let call = RpcCall { vers: NFS_VERSION, proc: 11, ..call };
-        assert_eq!(s.dispatch_rpc(&root(), &call).status, Ok(AcceptStat::ProcUnavail));
+        assert_eq!(
+            s.dispatch_rpc(&root(), &call).status,
+            Ok(AcceptStat::ProgUnavail)
+        );
+        let call = RpcCall {
+            prog: NFS_PROGRAM,
+            vers: 2,
+            ..call
+        };
+        assert_eq!(
+            s.dispatch_rpc(&root(), &call).status,
+            Ok(AcceptStat::ProgMismatch)
+        );
+        let call = RpcCall {
+            vers: NFS_VERSION,
+            proc: 11,
+            ..call
+        };
+        assert_eq!(
+            s.dispatch_rpc(&root(), &call).status,
+            Ok(AcceptStat::ProcUnavail)
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use sfs_crypto::arc4::Arc4;
 use sfs_crypto::mac::{SfsMac, MAC_KEY_LEN, MAC_LEN};
+use sfs_telemetry::Telemetry;
 
 use crate::keyneg::SessionKeys;
 
@@ -62,6 +63,8 @@ pub struct SecureChannelEnd {
     poisoned: bool,
     sent: u64,
     received: u64,
+    tel: Telemetry,
+    host: &'static str,
 }
 
 impl SecureChannelEnd {
@@ -73,6 +76,8 @@ impl SecureChannelEnd {
             poisoned: false,
             sent: 0,
             received: 0,
+            tel: Telemetry::disabled(),
+            host: "client",
         }
     }
 
@@ -84,7 +89,16 @@ impl SecureChannelEnd {
             poisoned: false,
             sent: 0,
             received: 0,
+            tel: Telemetry::disabled(),
+            host: "server",
         }
+    }
+
+    /// Attaches a tracing sink. Byte/message counters (and the poison
+    /// instant) are reported under this end's host dimension ("client"
+    /// for [`Self::client`] ends, "server" for [`Self::server`] ends).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Messages sealed so far.
@@ -124,6 +138,9 @@ impl SecureChannelEnd {
         frame.extend_from_slice(&mac);
         self.send.process(&mut frame);
         self.sent += 1;
+        self.tel.count(self.host, "channel.msgs_sealed", 1);
+        self.tel
+            .count(self.host, "channel.bytes_sealed", plaintext.len() as u64);
         Ok(frame)
     }
 
@@ -135,8 +152,16 @@ impl SecureChannelEnd {
             return Err(ChannelError::Poisoned);
         }
         let result = self.open_inner(frame);
-        if result.is_err() {
-            self.poisoned = true;
+        match &result {
+            Ok(plaintext) => {
+                self.tel.count(self.host, "channel.msgs_opened", 1);
+                self.tel
+                    .count(self.host, "channel.bytes_opened", plaintext.len() as u64);
+            }
+            Err(_) => {
+                self.poisoned = true;
+                self.tel.instant(self.host, "proto.channel", "poisoned");
+            }
         }
         result
     }

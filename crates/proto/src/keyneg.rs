@@ -109,14 +109,22 @@ impl SessionKeys {
             &kc.half2,
         ]);
         let session_id = sha1_concat(&[b"SessionInfo", &ksc, &kcs]);
-        SessionKeys { kcs, ksc, session_id }
+        SessionKeys {
+            kcs,
+            ksc,
+            session_id,
+        }
     }
 }
 
 impl std::fmt::Debug for SessionKeys {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material; the SessionID is public.
-        write!(f, "SessionKeys {{ session_id: {:02x?} }}", &self.session_id[..4])
+        write!(
+            f,
+            "SessionKeys {{ session_id: {:02x?} }}",
+            &self.session_id[..4]
+        )
     }
 }
 
@@ -170,7 +178,10 @@ impl Xdr for KeyNegRequest {
         self.host_id.encode(enc);
     }
     fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
-        Ok(KeyNegRequest { location: dec.get_string()?, host_id: HostId::decode(dec)? })
+        Ok(KeyNegRequest {
+            location: dec.get_string()?,
+            host_id: HostId::decode(dec)?,
+        })
     }
 }
 
@@ -288,7 +299,11 @@ impl KeyNegClient {
             encrypted_halves: encrypted,
         };
         Ok((
-            KeyNegClientAwaitingHalves { server_key, ephemeral: self.ephemeral, kc },
+            KeyNegClientAwaitingHalves {
+                server_key,
+                ephemeral: self.ephemeral,
+                kc,
+            },
             msg,
         ))
     }
@@ -364,8 +379,7 @@ mod tests {
         let _hello = client.hello();
         let reply = KeyNegServerReply::ServerKey(skey.public().to_bytes());
         let (awaiting, msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
-        let (server_keys, msg4) =
-            server_process_client_keys(skey, &msg3, &mut srng).unwrap();
+        let (server_keys, msg4) = server_process_client_keys(skey, &msg3, &mut srng).unwrap();
         let client_keys = awaiting.on_server_halves(&msg4).unwrap();
         (client_keys, server_keys)
     }
@@ -441,11 +455,17 @@ mod tests {
     fn messages_roundtrip_xdr() {
         let skey = server_key();
         let path = SelfCertifyingPath::for_server("x.example.org", skey.public());
-        let req = KeyNegRequest { location: path.location.clone(), host_id: path.host_id };
+        let req = KeyNegRequest {
+            location: path.location.clone(),
+            host_id: path.host_id,
+        };
         assert_eq!(KeyNegRequest::from_xdr(&req.to_xdr()).unwrap(), req);
         let reply = KeyNegServerReply::ServerKey(skey.public().to_bytes());
         assert_eq!(KeyNegServerReply::from_xdr(&reply.to_xdr()).unwrap(), reply);
-        let msg = KeyNegClientKeys { client_key: vec![1, 2, 3], encrypted_halves: vec![4, 5] };
+        let msg = KeyNegClientKeys {
+            client_key: vec![1, 2, 3],
+            encrypted_halves: vec![4, 5],
+        };
         assert_eq!(KeyNegClientKeys::from_xdr(&msg.to_xdr()).unwrap(), msg);
     }
 

@@ -207,9 +207,7 @@ impl SelfCertifyingPath {
     /// Parses a full absolute path, returning the self-certifying prefix
     /// and the residual path on the remote server.
     pub fn parse_full(path: &str) -> Result<(Self, String), PathError> {
-        let rest = path
-            .strip_prefix("/sfs/")
-            .ok_or(PathError::BadFormat)?;
+        let rest = path.strip_prefix("/sfs/").ok_or(PathError::BadFormat)?;
         let (dir, remainder) = match rest.find('/') {
             Some(i) => (&rest[..i], rest[i..].to_string()),
             None => (rest, String::new()),
@@ -365,9 +363,7 @@ mod doubling_tests {
     /// twice.
     #[test]
     fn hostid_hashes_doubled_input() {
-        let key = RabinPublicKey::from_modulus(
-            sfs_bignum::Nat::from_hex("deadbeefcafe1").unwrap(),
-        );
+        let key = RabinPublicKey::from_modulus(sfs_bignum::Nat::from_hex("deadbeefcafe1").unwrap());
         let mut enc = XdrEncoder::new();
         enc.put_string("HostInfo");
         enc.put_string("host.example.org");

@@ -137,7 +137,11 @@ impl SignedRoot {
     /// dialect, performed offline by the publisher.
     pub fn sign(key: &RabinPrivateKey, root_digest: Digest, version: u64) -> Self {
         let sig = key.sign(&root_body(&root_digest, version));
-        SignedRoot { root_digest, version, signature: sig.to_bytes(key.public().len()) }
+        SignedRoot {
+            root_digest,
+            version,
+            signature: sig.to_bytes(key.public().len()),
+        }
     }
 
     /// Verifies against the publisher's public key (which the client
@@ -338,10 +342,13 @@ mod tests {
         let vfs = Vfs::new(3, SimClock::new());
         let creds = Credentials::root();
         let root = vfs.root();
-        vfs.write_file(&creds, root, "README", b"certification authority").unwrap();
+        vfs.write_file(&creds, root, "README", b"certification authority")
+            .unwrap();
         let sub = vfs.mkdir_p("/links").unwrap();
-        vfs.symlink(&creds, sub, "mit", "/sfs/sfs.lcs.mit.edu:abc...").unwrap();
-        vfs.write_file(&creds, sub, "data.bin", &[0u8; 1000]).unwrap();
+        vfs.symlink(&creds, sub, "mit", "/sfs/sfs.lcs.mit.edu:abc...")
+            .unwrap();
+        vfs.write_file(&creds, sub, "data.bin", &[0u8; 1000])
+            .unwrap();
         vfs
     }
 
@@ -395,7 +402,8 @@ mod tests {
         let fs = sample_fs();
         let db_v1 = RoDatabase::publish(&fs, key(), 1);
         // Publisher updates the file system.
-        fs.write_file(&Credentials::root(), fs.root(), "README", b"updated").unwrap();
+        fs.write_file(&Credentials::root(), fs.root(), "README", b"updated")
+            .unwrap();
         let db_v2 = RoDatabase::publish(&fs, key(), 2);
         // Both roots verify (old signatures stay valid) but versions order
         // them; a client remembering v2 rejects v1.
@@ -409,8 +417,10 @@ mod tests {
     fn identical_content_deduplicates() {
         let vfs = Vfs::new(3, SimClock::new());
         let creds = Credentials::root();
-        vfs.write_file(&creds, vfs.root(), "a", b"same bytes").unwrap();
-        vfs.write_file(&creds, vfs.root(), "b", b"same bytes").unwrap();
+        vfs.write_file(&creds, vfs.root(), "a", b"same bytes")
+            .unwrap();
+        vfs.write_file(&creds, vfs.root(), "b", b"same bytes")
+            .unwrap();
         let db = RoDatabase::publish(&vfs, key(), 1);
         // Two files, one content block (+ the root dir block).
         assert_eq!(db.block_count(), 2);

@@ -90,9 +90,7 @@ impl RevocationCert {
 
     /// Whether this certificate (validly) revokes `path`.
     pub fn revokes(&self, path: &SelfCertifyingPath) -> bool {
-        self.verify()
-            && self.location == path.location
-            && self.host_id() == Some(path.host_id)
+        self.verify() && self.location == path.location && self.host_id() == Some(path.host_id)
     }
 }
 
@@ -129,11 +127,7 @@ pub struct ForwardingPointer {
 impl ForwardingPointer {
     /// Issues a forwarding pointer from `location` (under `old_key`) to
     /// `new_path`.
-    pub fn issue(
-        old_key: &RabinPrivateKey,
-        location: &str,
-        new_path: SelfCertifyingPath,
-    ) -> Self {
+    pub fn issue(old_key: &RabinPrivateKey, location: &str, new_path: SelfCertifyingPath) -> Self {
         let key_bytes = old_key.public().to_bytes();
         let body = signed_body(location, &key_bytes, Some(&new_path));
         let sig = old_key.sign(&body);
@@ -165,9 +159,7 @@ impl ForwardingPointer {
 
     /// Whether this pointer (validly) forwards `path`.
     pub fn forwards(&self, path: &SelfCertifyingPath) -> bool {
-        self.verify()
-            && self.location == path.location
-            && self.host_id() == Some(path.host_id)
+        self.verify() && self.location == path.location && self.host_id() == Some(path.host_id)
     }
 }
 

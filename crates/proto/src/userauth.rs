@@ -144,7 +144,10 @@ impl Xdr for AuthMsg {
         enc.put_opaque(&self.signature);
     }
     fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
-        Ok(AuthMsg { user_key: dec.get_opaque()?, signature: dec.get_opaque()? })
+        Ok(AuthMsg {
+            user_key: dec.get_opaque()?,
+            signature: dec.get_opaque()?,
+        })
     }
 }
 
@@ -200,7 +203,11 @@ impl SeqWindow {
     /// Panics if `window` is 0 or greater than 64.
     pub fn new(window: u32) -> Self {
         assert!((1..=64).contains(&window), "window must be 1-64");
-        SeqWindow { high: 0, seen: 0, window }
+        SeqWindow {
+            high: 0,
+            seen: 0,
+            window,
+        }
     }
 
     /// Attempts to accept `seq`; returns `false` for duplicates and
@@ -258,7 +265,10 @@ mod tests {
     fn wrong_seqno_rejected() {
         let info = auth_info();
         let msg = AuthMsg::sign(user_key(), &info, 1);
-        assert_eq!(msg.verify(&info.auth_id(), 2).unwrap_err(), AuthError::BadSignature);
+        assert_eq!(
+            msg.verify(&info.auth_id(), 2).unwrap_err(),
+            AuthError::BadSignature
+        );
     }
 
     #[test]

@@ -127,8 +127,7 @@ mod tests {
     }
 
     #[test]
-    fn crypto_cost_scales_with_length ()
-    {
+    fn crypto_cost_scales_with_length() {
         let clock = SimClock::new();
         let costs = CpuCosts::pentium_iii_550();
         let (_, small) = clock.measure(|| costs.charge_crypto(&clock, 100));

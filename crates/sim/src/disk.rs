@@ -9,7 +9,8 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sfs_telemetry::sync::Mutex;
+use sfs_telemetry::Telemetry;
 
 use crate::time::SimClock;
 
@@ -57,6 +58,9 @@ struct DiskState {
     writes: u64,
     syncs: u64,
     seeks: u64,
+    /// Tracing sink (shared across clones, so it can be attached after
+    /// the disk is threaded through the VFS).
+    tel: Telemetry,
 }
 
 /// A simulated disk charging a [`SimClock`].
@@ -70,20 +74,38 @@ pub struct SimDisk {
 impl SimDisk {
     /// Creates a disk on `clock`.
     pub fn new(clock: SimClock, params: DiskParams) -> Self {
-        SimDisk { clock, params, state: Arc::new(Mutex::new(DiskState::default())) }
+        SimDisk {
+            clock,
+            params,
+            state: Arc::new(Mutex::new(DiskState::default())),
+        }
+    }
+
+    /// Attaches a shared tracing sink; events are stamped with this
+    /// disk's virtual clock. Takes effect across all clones.
+    pub fn set_telemetry(&self, tel: &Telemetry) {
+        self.state.lock().tel = tel.clone().with_clock(self.clock.clone());
     }
 
     /// Reads `len` bytes at block `block`, charging positioning when the
     /// access is not sequential with the previous one.
     pub fn read(&self, block: u64, len: usize) {
         let mut st = self.state.lock();
+        let span = st
+            .tel
+            .span("server", "sim.disk", "read")
+            .with_attr("bytes", len);
         st.reads += 1;
+        st.tel.count("server", "disk.reads", 1);
+        st.tel.count("server", "disk.bytes_read", len as u64);
         if st.head != block {
             st.seeks += 1;
+            st.tel.count("server", "disk.seeks", 1);
             self.clock.advance_ns(self.params.seek_ns);
         }
         self.clock.advance_ns(self.params.transfer_ns(len));
         st.head = block + (len / self.params.block_size.max(1)) as u64;
+        drop(span);
     }
 
     /// Buffers an asynchronous write (write-behind): the media cost is
@@ -93,6 +115,8 @@ impl SimDisk {
         let mut st = self.state.lock();
         st.writes += 1;
         st.dirty_bytes += len as u64;
+        st.tel.count("server", "disk.writes", 1);
+        st.tel.count("server", "disk.bytes_written", len as u64);
         self.clock
             .advance_ns(self.params.write_path_ns_per_byte * len as u64);
     }
@@ -101,14 +125,23 @@ impl SimDisk {
     /// fsync, NFS stable writes): pays positioning plus transfer now.
     pub fn write_sync(&self, block: u64, len: usize) {
         let mut st = self.state.lock();
+        let span = st
+            .tel
+            .span("server", "sim.disk", "write_sync")
+            .with_attr("bytes", len);
         st.writes += 1;
         st.syncs += 1;
+        st.tel.count("server", "disk.writes", 1);
+        st.tel.count("server", "disk.syncs", 1);
+        st.tel.count("server", "disk.bytes_written", len as u64);
         if st.head != block {
             st.seeks += 1;
+            st.tel.count("server", "disk.seeks", 1);
             self.clock.advance_ns(self.params.seek_ns);
         }
         self.clock.advance_ns(self.params.transfer_ns(len));
         st.head = block + (len / self.params.block_size.max(1)) as u64;
+        drop(span);
     }
 
     /// Flushes the write-behind buffer as one large sequential write with a
@@ -118,10 +151,17 @@ impl SimDisk {
         if st.dirty_bytes == 0 {
             return;
         }
+        let span = st
+            .tel
+            .span("server", "sim.disk", "flush")
+            .with_attr("bytes", st.dirty_bytes);
         st.seeks += 1;
+        st.tel.count("server", "disk.seeks", 1);
         self.clock.advance_ns(self.params.seek_ns);
-        self.clock.advance_ns(self.params.transfer_ns(st.dirty_bytes as usize));
+        self.clock
+            .advance_ns(self.params.transfer_ns(st.dirty_bytes as usize));
         st.dirty_bytes = 0;
+        drop(span);
     }
 
     /// (reads, writes, sync writes, seeks) so far.

@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sfs_telemetry::sync::Mutex;
 
 /// A kernel-attested local caller identity (what `suidconnect` conveys).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

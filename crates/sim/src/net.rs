@@ -14,7 +14,8 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sfs_telemetry::sync::Mutex;
+use sfs_telemetry::Telemetry;
 
 use crate::time::SimClock;
 
@@ -48,8 +49,11 @@ pub trait Interceptor: Send {
 /// tests replay these recordings against disclosed keys).
 #[derive(Debug, Default, Clone)]
 pub struct PacketLog {
-    packets: Arc<Mutex<Vec<(Direction, Vec<u8>)>>>,
+    packets: Arc<Mutex<Vec<LoggedPacket>>>,
 }
+
+/// One captured packet: its direction and raw bytes.
+type LoggedPacket = (Direction, Vec<u8>);
 
 impl PacketLog {
     /// Creates an empty log.
@@ -154,11 +158,14 @@ pub struct Wire {
     params: NetParams,
     interceptor: Option<Arc<Mutex<dyn Interceptor>>>,
     log: Option<PacketLog>,
-    /// Count of round trips completed, for RPC-count assertions in
-    /// benchmarks ("SFS's enhanced caching reduces the number of RPCs that
-    /// actually need to go over the network").
-    round_trips: Arc<Mutex<u64>>,
-    bytes_sent: Arc<Mutex<u64>>,
+    /// Counter-only telemetry sink backing [`Wire::round_trips`] and
+    /// [`Wire::bytes_sent`] ("SFS's enhanced caching reduces the number
+    /// of RPCs that actually need to go over the network"). Always live,
+    /// never traces.
+    stats: Telemetry,
+    /// Optional shared tracing sink; [`Wire::bump`] keeps it and `stats`
+    /// on one counting path.
+    tel: Telemetry,
 }
 
 impl Wire {
@@ -169,8 +176,8 @@ impl Wire {
             params,
             interceptor: None,
             log: None,
-            round_trips: Arc::new(Mutex::new(0)),
-            bytes_sent: Arc::new(Mutex::new(0)),
+            stats: Telemetry::counters(),
+            tel: Telemetry::disabled(),
         }
     }
 
@@ -189,14 +196,27 @@ impl Wire {
         self.log = Some(log);
     }
 
+    /// Attaches a shared tracing sink; spans and counters are stamped
+    /// with this wire's virtual clock.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone().with_clock(self.clock.clone());
+    }
+
+    /// The single counting path: every wire statistic increments the
+    /// private counter sink and, when attached, the shared tracing sink.
+    fn bump(&self, name: &'static str, delta: u64) {
+        self.stats.count("wire", name, delta);
+        self.tel.count("wire", name, delta);
+    }
+
     /// Completed round trips.
     pub fn round_trips(&self) -> u64 {
-        *self.round_trips.lock()
+        self.stats.counter("wire", "net.round_trips")
     }
 
     /// Total bytes placed on the wire (both directions).
     pub fn bytes_sent(&self) -> u64 {
-        *self.bytes_sent.lock()
+        self.stats.counter("wire", "net.bytes_sent")
     }
 
     /// The wire's clock.
@@ -205,8 +225,16 @@ impl Wire {
     }
 
     fn transit(&self, dir: Direction, bytes: Vec<u8>) -> Result<Vec<u8>, WireError> {
+        let name = match dir {
+            Direction::Request => "send",
+            Direction::Reply => "recv",
+        };
+        let _span = self
+            .tel
+            .span("wire", "sim.net", name)
+            .with_attr("bytes", bytes.len() as u64);
         self.clock.advance_ns(self.params.transit_ns(bytes.len()));
-        *self.bytes_sent.lock() += bytes.len() as u64;
+        self.bump("net.bytes_sent", bytes.len() as u64);
         if let Some(log) = &self.log {
             log.record(dir, &bytes);
         }
@@ -218,6 +246,8 @@ impl Wire {
                 Verdict::Drop => {
                     // The caller waits out a retransmission timeout.
                     self.clock.advance_ns(1_000_000_000);
+                    self.bump("net.timeouts", 1);
+                    self.tel.instant("wire", "sim.net", "timeout");
                     Err(WireError::Timeout)
                 }
             },
@@ -231,10 +261,12 @@ impl Wire {
         request: Vec<u8>,
         server: impl FnOnce(Vec<u8>) -> Vec<u8>,
     ) -> Result<Vec<u8>, WireError> {
+        let span = self.tel.span("wire", "sim.net", "rpc");
         let delivered = self.transit(Direction::Request, request)?;
         let reply = server(delivered);
         let got = self.transit(Direction::Reply, reply)?;
-        *self.round_trips.lock() += 1;
+        self.bump("net.round_trips", 1);
+        drop(span);
         Ok(got)
     }
 }

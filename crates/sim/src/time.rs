@@ -104,6 +104,12 @@ impl SimClock {
     }
 }
 
+impl sfs_telemetry::Clock for SimClock {
+    fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::SeqCst)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,12 +9,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sfs_sim::{SimClock, SimDisk};
+use sfs_telemetry::sync::Mutex;
 
-use crate::types::{
-    AccessMode, Attr, Credentials, FileType, FsError, FsResult, Ino, SetAttr,
-};
+use crate::types::{AccessMode, Attr, Credentials, FileType, FsError, FsResult, Ino, SetAttr};
 
 /// Maximum file-name length (FFS's NAME_MAX).
 pub const NAME_MAX: usize = 255;
@@ -339,7 +337,11 @@ impl Vfs {
     ) -> Ino {
         let ino = inner.next_ino;
         inner.next_ino += 1;
-        let nlink = if matches!(content, Content::Directory(_)) { 2 } else { 1 };
+        let nlink = if matches!(content, Content::Directory(_)) {
+            2
+        } else {
+            1
+        };
         inner.inodes.insert(
             ino,
             Inode {
@@ -434,7 +436,13 @@ impl Vfs {
         name: &str,
         target: &str,
     ) -> FsResult<(Ino, Attr)> {
-        self.dir_insert(creds, dir, name, 0o777, Content::Symlink(target.to_string()))
+        self.dir_insert(
+            creds,
+            dir,
+            name,
+            0o777,
+            Content::Symlink(target.to_string()),
+        )
     }
 
     /// Reads a symlink's target.
@@ -803,7 +811,14 @@ impl Vfs {
             Err(FsError::NotFound) => self.create(creds, dir, name, 0o644)?.0,
             Err(e) => return Err(e),
         };
-        self.setattr(creds, ino, SetAttr { size: Some(0), ..SetAttr::default() })?;
+        self.setattr(
+            creds,
+            ino,
+            SetAttr {
+                size: Some(0),
+                ..SetAttr::default()
+            },
+        )?;
         self.write(creds, ino, 0, data, false)?;
         Ok(ino)
     }
@@ -863,7 +878,10 @@ mod tests {
         let fs = fs();
         let creds = root_creds();
         fs.create(&creds, fs.root(), "f", 0o644).unwrap();
-        assert_eq!(fs.create(&creds, fs.root(), "f", 0o644), Err(FsError::Exists));
+        assert_eq!(
+            fs.create(&creds, fs.root(), "f", 0o644),
+            Err(FsError::Exists)
+        );
     }
 
     #[test]
@@ -936,7 +954,10 @@ mod tests {
         let fs = fs();
         let creds = root_creds();
         let (dir, _) = fs.mkdir(&creds, fs.root(), "d", 0o755).unwrap();
-        assert_eq!(fs.link(&creds, dir, fs.root(), "dlink"), Err(FsError::IsDir));
+        assert_eq!(
+            fs.link(&creds, dir, fs.root(), "dlink"),
+            Err(FsError::IsDir)
+        );
     }
 
     #[test]
@@ -949,7 +970,10 @@ mod tests {
         fs.write(&creds, b, 0, b"B", false).unwrap();
         // Replace b with a.
         fs.rename(&creds, fs.root(), "a", fs.root(), "b").unwrap();
-        assert_eq!(fs.lookup(&creds, fs.root(), "a").unwrap_err(), FsError::NotFound);
+        assert_eq!(
+            fs.lookup(&creds, fs.root(), "a").unwrap_err(),
+            FsError::NotFound
+        );
         let (ino, _) = fs.lookup(&creds, fs.root(), "b").unwrap();
         assert_eq!(ino, a);
         assert_eq!(fs.getattr(b), Err(FsError::Stale));
@@ -977,17 +1001,34 @@ mod tests {
         let (f, _) = fs.create(&alice, dir, "private", 0o600).unwrap();
         fs.write(&alice, f, 0, b"secret", false).unwrap();
         assert_eq!(fs.read(&bob, f, 0, 10).unwrap_err(), FsError::Access);
-        assert_eq!(fs.write(&bob, f, 0, b"x", false).unwrap_err(), FsError::Access);
+        assert_eq!(
+            fs.write(&bob, f, 0, b"x", false).unwrap_err(),
+            FsError::Access
+        );
         // chmod by non-owner rejected.
         assert_eq!(
-            fs.setattr(&bob, f, SetAttr { mode: Some(0o777), ..Default::default() })
-                .unwrap_err(),
+            fs.setattr(
+                &bob,
+                f,
+                SetAttr {
+                    mode: Some(0o777),
+                    ..Default::default()
+                }
+            )
+            .unwrap_err(),
             FsError::Perm
         );
         // chown by non-root rejected.
         assert_eq!(
-            fs.setattr(&alice, f, SetAttr { uid: Some(1001), ..Default::default() })
-                .unwrap_err(),
+            fs.setattr(
+                &alice,
+                f,
+                SetAttr {
+                    uid: Some(1001),
+                    ..Default::default()
+                }
+            )
+            .unwrap_err(),
             FsError::Perm
         );
     }
@@ -1006,7 +1047,8 @@ mod tests {
         let fs = fs();
         let creds = root_creds();
         for i in 0..10 {
-            fs.create(&creds, fs.root(), &format!("f{i:02}"), 0o644).unwrap();
+            fs.create(&creds, fs.root(), &format!("f{i:02}"), 0o644)
+                .unwrap();
         }
         let (page1, eof1) = fs.readdir(&creds, fs.root(), None, 4).unwrap();
         assert_eq!(page1.len(), 4);
@@ -1015,7 +1057,9 @@ mod tests {
         let (page2, _) = fs.readdir(&creds, fs.root(), Some(&last), 4).unwrap();
         assert_eq!(page2.len(), 4);
         assert!(page2[0].0 > last);
-        let (page3, eof3) = fs.readdir(&creds, fs.root(), Some(&page2.last().unwrap().0), 4).unwrap();
+        let (page3, eof3) = fs
+            .readdir(&creds, fs.root(), Some(&page2.last().unwrap().0), 4)
+            .unwrap();
         assert_eq!(page3.len(), 2);
         assert!(eof3);
     }
@@ -1030,7 +1074,10 @@ mod tests {
             fs.create(&creds, fs.root(), "f", 0o644).unwrap_err(),
             FsError::ReadOnly
         );
-        assert_eq!(fs.remove(&creds, fs.root(), "pre").unwrap_err(), FsError::ReadOnly);
+        assert_eq!(
+            fs.remove(&creds, fs.root(), "pre").unwrap_err(),
+            FsError::ReadOnly
+        );
         // Reads still work.
         let (ino, _) = fs.lookup(&creds, fs.root(), "pre").unwrap();
         fs.read(&creds, ino, 0, 10).unwrap();
@@ -1042,8 +1089,15 @@ mod tests {
         let creds = root_creds();
         let (ino, _) = fs.create(&creds, fs.root(), "t", 0o644).unwrap();
         fs.write(&creds, ino, 0, b"0123456789", false).unwrap();
-        fs.setattr(&creds, ino, SetAttr { size: Some(4), ..Default::default() })
-            .unwrap();
+        fs.setattr(
+            &creds,
+            ino,
+            SetAttr {
+                size: Some(4),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let (data, eof) = fs.read(&creds, ino, 0, 100).unwrap();
         assert_eq!(data, b"0123");
         assert!(eof);

@@ -134,18 +134,27 @@ pub struct Credentials {
 impl Credentials {
     /// Root credentials (bypass permission checks).
     pub fn root() -> Self {
-        Credentials { uid: 0, gids: vec![0] }
+        Credentials {
+            uid: 0,
+            gids: vec![0],
+        }
     }
 
     /// An ordinary user.
     pub fn user(uid: u32, gid: u32) -> Self {
-        Credentials { uid, gids: vec![gid] }
+        Credentials {
+            uid,
+            gids: vec![gid],
+        }
     }
 
     /// The anonymous "nobody" credentials SFS uses for authentication
     /// number zero (§3.1.2).
     pub fn anonymous() -> Self {
-        Credentials { uid: u32::MAX - 2, gids: vec![u32::MAX - 2] }
+        Credentials {
+            uid: u32::MAX - 2,
+            gids: vec![u32::MAX - 2],
+        }
     }
 
     /// Whether these credentials carry `gid`.
@@ -226,7 +235,10 @@ mod tests {
     #[test]
     fn group_class_selected() {
         let a = attr(0o040, 1000, 100);
-        let member = Credentials { uid: 2000, gids: vec![5, 100] };
+        let member = Credentials {
+            uid: 2000,
+            gids: vec![5, 100],
+        };
         assert!(a.permits(&member, AccessMode::Read));
         assert!(!a.permits(&member, AccessMode::Write));
         let nonmember = Credentials::user(2000, 5);

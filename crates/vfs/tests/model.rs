@@ -1,13 +1,29 @@
 //! Model-based property testing: random operation sequences against the
 //! file system must agree with a trivial in-memory reference model, and
 //! structural invariants (link counts, reachability) must hold after any
-//! sequence.
+//! sequence. Sequences come from a seeded SplitMix64 generator, so the
+//! same (large) sample is explored on every run.
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
 use sfs_sim::SimClock;
 use sfs_vfs::{Credentials, FileType, FsError, Vfs};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 /// Operations the fuzzer may apply to a flat namespace of `f0..f7` under
 /// the root.
@@ -22,181 +38,196 @@ enum Op {
     Read(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..8).prop_map(Op::Create),
-        ((0u8..8), proptest::collection::vec(any::<u8>(), 0..50))
-            .prop_map(|(f, d)| Op::WriteAppend(f, d)),
-        ((0u8..8), (0u8..60)).prop_map(|(f, n)| Op::Truncate(f, n)),
-        (0u8..8).prop_map(Op::Remove),
-        ((0u8..8), (0u8..8)).prop_map(|(a, b)| Op::Rename(a, b)),
-        ((0u8..8), (0u8..8)).prop_map(|(a, b)| Op::Link(a, b)),
-        (0u8..8).prop_map(Op::Read),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    let f = rng.below(8) as u8;
+    match rng.below(7) {
+        0 => Op::Create(f),
+        1 => {
+            let data = (0..rng.below(50)).map(|_| rng.next() as u8).collect();
+            Op::WriteAppend(f, data)
+        }
+        2 => Op::Truncate(f, rng.below(60) as u8),
+        3 => Op::Remove(f),
+        4 => Op::Rename(f, rng.below(8) as u8),
+        5 => Op::Link(f, rng.below(8) as u8),
+        _ => Op::Read(f),
+    }
 }
 
 fn name(i: u8) -> String {
     format!("f{i}")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn vfs_matches_reference_model() {
+    let mut rng = Rng(0x30DE1);
+    for _case in 0..64 {
+        let ops: Vec<Op> = (0..rng.below(60)).map(|_| random_op(&mut rng)).collect();
+        check_ops_against_model(ops);
+    }
+}
 
-    #[test]
-    fn vfs_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
-        let vfs = Vfs::new(1, SimClock::new());
-        let creds = Credentials::root();
-        let root = vfs.root();
-        // Reference: name -> content-cell id; cells: id -> bytes.
-        // (Hard links mean two names may share a cell.)
-        let mut names: BTreeMap<String, usize> = BTreeMap::new();
-        let mut cells: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
-        let mut next_cell = 0usize;
+fn check_ops_against_model(ops: Vec<Op>) {
+    let vfs = Vfs::new(1, SimClock::new());
+    let creds = Credentials::root();
+    let root = vfs.root();
+    // Reference: name -> content-cell id; cells: id -> bytes.
+    // (Hard links mean two names may share a cell.)
+    let mut names: BTreeMap<String, usize> = BTreeMap::new();
+    let mut cells: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+    let mut next_cell = 0usize;
 
-        for op in ops {
-            match op {
-                Op::Create(f) => {
-                    let n = name(f);
-                    let got = vfs.create(&creds, root, &n, 0o644);
-                    if names.contains_key(&n) {
-                        prop_assert_eq!(got.unwrap_err(), FsError::Exists);
-                    } else {
-                        prop_assert!(got.is_ok());
-                        names.insert(n, next_cell);
-                        cells.insert(next_cell, Vec::new());
-                        next_cell += 1;
+    for op in ops {
+        match op {
+            Op::Create(f) => {
+                let n = name(f);
+                let got = vfs.create(&creds, root, &n, 0o644);
+                if let std::collections::btree_map::Entry::Vacant(e) = names.entry(n) {
+                    assert!(got.is_ok());
+                    e.insert(next_cell);
+                    cells.insert(next_cell, Vec::new());
+                    next_cell += 1;
+                } else {
+                    assert_eq!(got.unwrap_err(), FsError::Exists);
+                }
+            }
+            Op::WriteAppend(f, data) => {
+                let n = name(f);
+                match names.get(&n) {
+                    Some(&cell) => {
+                        let (ino, attr) = vfs.lookup(&creds, root, &n).unwrap();
+                        vfs.write(&creds, ino, attr.size, &data, false).unwrap();
+                        cells.get_mut(&cell).unwrap().extend_from_slice(&data);
+                    }
+                    None => {
+                        assert!(vfs.lookup(&creds, root, &n).is_err());
                     }
                 }
-                Op::WriteAppend(f, data) => {
-                    let n = name(f);
-                    match names.get(&n) {
-                        Some(&cell) => {
-                            let (ino, attr) = vfs.lookup(&creds, root, &n).unwrap();
-                            vfs.write(&creds, ino, attr.size, &data, false).unwrap();
-                            cells.get_mut(&cell).unwrap().extend_from_slice(&data);
+            }
+            Op::Truncate(f, sz) => {
+                let n = name(f);
+                if let Some(&cell) = names.get(&n) {
+                    let (ino, _) = vfs.lookup(&creds, root, &n).unwrap();
+                    vfs.setattr(
+                        &creds,
+                        ino,
+                        sfs_vfs::SetAttr {
+                            size: Some(sz as u64),
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                    cells.get_mut(&cell).unwrap().resize(sz as usize, 0);
+                }
+            }
+            Op::Remove(f) => {
+                let n = name(f);
+                let got = vfs.remove(&creds, root, &n);
+                match names.remove(&n) {
+                    Some(cell) => {
+                        assert!(got.is_ok());
+                        // Drop the cell if no other name references it.
+                        if !names.values().any(|&c| c == cell) {
+                            cells.remove(&cell);
                         }
-                        None => {
-                            prop_assert!(vfs.lookup(&creds, root, &n).is_err());
-                        }
                     }
+                    None => assert_eq!(got.unwrap_err(), FsError::NotFound),
                 }
-                Op::Truncate(f, sz) => {
-                    let n = name(f);
-                    if let Some(&cell) = names.get(&n) {
-                        let (ino, _) = vfs.lookup(&creds, root, &n).unwrap();
-                        vfs.setattr(
-                            &creds,
-                            ino,
-                            sfs_vfs::SetAttr { size: Some(sz as u64), ..Default::default() },
-                        )
-                        .unwrap();
-                        cells.get_mut(&cell).unwrap().resize(sz as usize, 0);
-                    }
-                }
-                Op::Remove(f) => {
-                    let n = name(f);
-                    let got = vfs.remove(&creds, root, &n);
-                    match names.remove(&n) {
-                        Some(cell) => {
-                            prop_assert!(got.is_ok());
-                            // Drop the cell if no other name references it.
-                            if !names.values().any(|&c| c == cell) {
-                                cells.remove(&cell);
-                            }
-                        }
-                        None => prop_assert_eq!(got.unwrap_err(), FsError::NotFound),
-                    }
-                }
-                Op::Rename(a, b) => {
-                    let (na, nb) = (name(a), name(b));
-                    let got = vfs.rename(&creds, root, &na, root, &nb);
-                    match names.get(&na).copied() {
-                        None => prop_assert_eq!(got.unwrap_err(), FsError::NotFound),
-                        Some(cell) => {
-                            prop_assert!(got.is_ok(), "{got:?}");
-                            // POSIX: renaming onto another hard link of
-                            // the *same* file is a no-op (both names
-                            // survive); likewise renaming onto itself.
-                            let same_file = names.get(&nb) == Some(&cell);
-                            if na != nb && !same_file {
-                                let old_dst = names.remove(&nb);
-                                names.remove(&na);
-                                names.insert(nb, cell);
-                                if let Some(dst_cell) = old_dst {
-                                    if !names.values().any(|&c| c == dst_cell) {
-                                        cells.remove(&dst_cell);
-                                    }
+            }
+            Op::Rename(a, b) => {
+                let (na, nb) = (name(a), name(b));
+                let got = vfs.rename(&creds, root, &na, root, &nb);
+                match names.get(&na).copied() {
+                    None => assert_eq!(got.unwrap_err(), FsError::NotFound),
+                    Some(cell) => {
+                        assert!(got.is_ok(), "{got:?}");
+                        // POSIX: renaming onto another hard link of
+                        // the *same* file is a no-op (both names
+                        // survive); likewise renaming onto itself.
+                        let same_file = names.get(&nb) == Some(&cell);
+                        if na != nb && !same_file {
+                            let old_dst = names.remove(&nb);
+                            names.remove(&na);
+                            names.insert(nb, cell);
+                            if let Some(dst_cell) = old_dst {
+                                if !names.values().any(|&c| c == dst_cell) {
+                                    cells.remove(&dst_cell);
                                 }
                             }
                         }
                     }
                 }
-                Op::Link(a, b) => {
-                    let (na, nb) = (name(a), name(b));
-                    match (names.get(&na).copied(), names.contains_key(&nb)) {
-                        (Some(cell), false) => {
-                            let (ino, _) = vfs.lookup(&creds, root, &na).unwrap();
-                            vfs.link(&creds, ino, root, &nb).unwrap();
-                            names.insert(nb, cell);
-                        }
-                        (Some(_), true) => {
-                            let (ino, _) = vfs.lookup(&creds, root, &na).unwrap();
-                            prop_assert_eq!(
-                                vfs.link(&creds, ino, root, &nb).unwrap_err(),
-                                FsError::Exists
-                            );
-                        }
-                        (None, _) => {
-                            prop_assert!(vfs.lookup(&creds, root, &na).is_err());
-                        }
+            }
+            Op::Link(a, b) => {
+                let (na, nb) = (name(a), name(b));
+                match (names.get(&na).copied(), names.contains_key(&nb)) {
+                    (Some(cell), false) => {
+                        let (ino, _) = vfs.lookup(&creds, root, &na).unwrap();
+                        vfs.link(&creds, ino, root, &nb).unwrap();
+                        names.insert(nb, cell);
                     }
-                }
-                Op::Read(f) => {
-                    let n = name(f);
-                    match names.get(&n) {
-                        Some(&cell) => {
-                            let (ino, _) = vfs.lookup(&creds, root, &n).unwrap();
-                            let data = vfs.read_file(&creds, ino).unwrap();
-                            prop_assert_eq!(&data, cells.get(&cell).unwrap());
-                        }
-                        None => prop_assert!(vfs.lookup(&creds, root, &n).is_err()),
+                    (Some(_), true) => {
+                        let (ino, _) = vfs.lookup(&creds, root, &na).unwrap();
+                        assert_eq!(
+                            vfs.link(&creds, ino, root, &nb).unwrap_err(),
+                            FsError::Exists
+                        );
+                    }
+                    (None, _) => {
+                        assert!(vfs.lookup(&creds, root, &na).is_err());
                     }
                 }
             }
-        }
-
-        // Final coherence check: every model name exists with the right
-        // contents, every model-absent name is absent, and link counts
-        // equal the number of names sharing the cell.
-        let mut cell_refs: BTreeMap<usize, u32> = BTreeMap::new();
-        for &cell in names.values() {
-            *cell_refs.entry(cell).or_insert(0) += 1;
-        }
-        for (n, &cell) in &names {
-            let (ino, attr) = vfs.lookup(&creds, root, n).unwrap();
-            prop_assert_eq!(&vfs.read_file(&creds, ino).unwrap(), cells.get(&cell).unwrap());
-            prop_assert_eq!(attr.nlink, cell_refs[&cell], "nlink of {}", n);
-        }
-        for f in 0..8u8 {
-            let n = name(f);
-            if !names.contains_key(&n) {
-                prop_assert!(vfs.lookup(&creds, root, &n).is_err());
+            Op::Read(f) => {
+                let n = name(f);
+                match names.get(&n) {
+                    Some(&cell) => {
+                        let (ino, _) = vfs.lookup(&creds, root, &n).unwrap();
+                        let data = vfs.read_file(&creds, ino).unwrap();
+                        assert_eq!(&data, cells.get(&cell).unwrap());
+                    }
+                    None => assert!(vfs.lookup(&creds, root, &n).is_err()),
+                }
             }
         }
-        // Directory listing agrees with the model exactly.
-        let (listing, _) = vfs.readdir(&creds, root, None, usize::MAX).unwrap();
-        let listed: Vec<&str> = listing.iter().map(|(n, _)| n.as_str()).collect();
-        let expected: Vec<&str> = names.keys().map(|s| s.as_str()).collect();
-        prop_assert_eq!(listed, expected);
     }
 
-    #[test]
-    fn deep_paths_resolve(depth in 1usize..12) {
+    // Final coherence check: every model name exists with the right
+    // contents, every model-absent name is absent, and link counts
+    // equal the number of names sharing the cell.
+    let mut cell_refs: BTreeMap<usize, u32> = BTreeMap::new();
+    for &cell in names.values() {
+        *cell_refs.entry(cell).or_insert(0) += 1;
+    }
+    for (n, &cell) in &names {
+        let (ino, attr) = vfs.lookup(&creds, root, n).unwrap();
+        assert_eq!(
+            &vfs.read_file(&creds, ino).unwrap(),
+            cells.get(&cell).unwrap()
+        );
+        assert_eq!(attr.nlink, cell_refs[&cell], "nlink of {n}");
+    }
+    for f in 0..8u8 {
+        let n = name(f);
+        if !names.contains_key(&n) {
+            assert!(vfs.lookup(&creds, root, &n).is_err());
+        }
+    }
+    // Directory listing agrees with the model exactly.
+    let (listing, _) = vfs.readdir(&creds, root, None, usize::MAX).unwrap();
+    let listed: Vec<&str> = listing.iter().map(|(n, _)| n.as_str()).collect();
+    let expected: Vec<&str> = names.keys().map(|s| s.as_str()).collect();
+    assert_eq!(listed, expected);
+}
+
+#[test]
+fn deep_paths_resolve() {
+    for depth in 1usize..12 {
         let vfs = Vfs::new(1, SimClock::new());
         let path: String = (0..depth).map(|i| format!("/d{i}")).collect();
         let ino = vfs.mkdir_p(&path).unwrap();
         let (found, attr) = vfs.lookup_path(&Credentials::root(), &path).unwrap();
-        prop_assert_eq!(found, ino);
-        prop_assert_eq!(attr.ftype, FileType::Directory);
+        assert_eq!(found, ino);
+        assert_eq!(attr.ftype, FileType::Directory);
     }
 }

@@ -129,7 +129,7 @@ impl XdrEncoder {
     }
 
     fn pad(&mut self) {
-        while self.buf.len() % 4 != 0 {
+        while !self.buf.len().is_multiple_of(4) {
             self.buf.push(0);
         }
     }
@@ -366,7 +366,10 @@ where
     fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
         let len = dec.get_u32()?;
         if len > MAX_VAR_LEN {
-            return Err(XdrError::LengthTooLong { claimed: len, max: MAX_VAR_LEN });
+            return Err(XdrError::LengthTooLong {
+                claimed: len,
+                max: MAX_VAR_LEN,
+            });
         }
         let mut out = Vec::new();
         for _ in 0..len {
@@ -434,7 +437,10 @@ mod tests {
         let mut d = XdrDecoder::new(e.bytes());
         assert!(matches!(
             d.get_opaque(),
-            Err(XdrError::LengthTooLong { claimed: u32::MAX, .. })
+            Err(XdrError::LengthTooLong {
+                claimed: u32::MAX,
+                ..
+            })
         ));
     }
 

@@ -55,7 +55,10 @@ pub struct OpaqueAuth {
 impl OpaqueAuth {
     /// The null credential.
     pub fn none() -> Self {
-        OpaqueAuth { flavor: AuthFlavor::None, body: Vec::new() }
+        OpaqueAuth {
+            flavor: AuthFlavor::None,
+            body: Vec::new(),
+        }
     }
 
     /// An SFS authentication-number credential.
@@ -186,7 +189,12 @@ impl RpcReply {
 
     /// Builds an error reply to `call`.
     pub fn error(call: &RpcCall, stat: AcceptStat) -> Self {
-        RpcReply { xid: call.xid, status: Ok(stat), verf: OpaqueAuth::none(), results: Vec::new() }
+        RpcReply {
+            xid: call.xid,
+            status: Ok(stat),
+            verf: OpaqueAuth::none(),
+            results: Vec::new(),
+        }
     }
 
     /// Builds an authentication-denied reply.
@@ -293,14 +301,27 @@ impl Xdr for RpcMessage {
                 let cred = OpaqueAuth::decode(dec)?;
                 let verf = OpaqueAuth::decode(dec)?;
                 let args = dec.get_opaque_fixed(dec.remaining())?;
-                Ok(RpcMessage::Call(RpcCall { xid, prog, vers, proc, cred, verf, args }))
+                Ok(RpcMessage::Call(RpcCall {
+                    xid,
+                    prog,
+                    vers,
+                    proc,
+                    cred,
+                    verf,
+                    args,
+                }))
             }
             MSG_REPLY => match dec.get_u32()? {
                 REPLY_ACCEPTED => {
                     let verf = OpaqueAuth::decode(dec)?;
                     let stat = AcceptStat::from_u32(dec.get_u32()?)?;
                     let results = dec.get_opaque_fixed(dec.remaining())?;
-                    Ok(RpcMessage::Reply(RpcReply { xid, status: Ok(stat), verf, results }))
+                    Ok(RpcMessage::Reply(RpcReply {
+                        xid,
+                        status: Ok(stat),
+                        verf,
+                        results,
+                    }))
                 }
                 REPLY_DENIED => {
                     let reject = match dec.get_u32()? {
@@ -493,11 +514,17 @@ mod tests {
 
     #[test]
     fn auth_body_cap_enforced() {
-        let auth = OpaqueAuth { flavor: AuthFlavor::Unix, body: vec![0u8; 401] };
+        let auth = OpaqueAuth {
+            flavor: AuthFlavor::Unix,
+            body: vec![0u8; 401],
+        };
         let bytes = auth.to_xdr();
         assert!(matches!(
             OpaqueAuth::from_xdr(&bytes),
-            Err(XdrError::LengthTooLong { claimed: 401, max: 400 })
+            Err(XdrError::LengthTooLong {
+                claimed: 401,
+                max: 400
+            })
         ));
     }
 }

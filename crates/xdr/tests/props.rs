@@ -1,12 +1,37 @@
-//! Property-based tests for XDR encoding invariants.
+//! Property-style tests for XDR encoding invariants, driven by a
+//! seeded SplitMix64 generator for deterministic coverage.
 
-use proptest::prelude::*;
 use sfs_xdr::{Xdr, XdrDecoder, XdrEncoder, XdrError};
 
-proptest! {
-    #[test]
-    fn primitives_roundtrip(a in any::<u32>(), b in any::<i32>(), c in any::<u64>(),
-                            d in any::<i64>(), e in any::<bool>()) {
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
+#[test]
+fn primitives_roundtrip() {
+    let mut rng = Rng(0x9413);
+    for _ in 0..256 {
+        let a = rng.next() as u32;
+        let b = rng.next() as i32;
+        let c = rng.next();
+        let d = rng.next() as i64;
+        let e = rng.next().is_multiple_of(2);
         let mut enc = XdrEncoder::new();
         enc.put_u32(a);
         enc.put_i32(b);
@@ -14,52 +39,87 @@ proptest! {
         enc.put_i64(d);
         enc.put_bool(e);
         let mut dec = XdrDecoder::new(enc.bytes());
-        prop_assert_eq!(dec.get_u32().unwrap(), a);
-        prop_assert_eq!(dec.get_i32().unwrap(), b);
-        prop_assert_eq!(dec.get_u64().unwrap(), c);
-        prop_assert_eq!(dec.get_i64().unwrap(), d);
-        prop_assert_eq!(dec.get_bool().unwrap(), e);
+        assert_eq!(dec.get_u32().unwrap(), a);
+        assert_eq!(dec.get_i32().unwrap(), b);
+        assert_eq!(dec.get_u64().unwrap(), c);
+        assert_eq!(dec.get_i64().unwrap(), d);
+        assert_eq!(dec.get_bool().unwrap(), e);
         dec.finish().unwrap();
     }
+}
 
-    #[test]
-    fn everything_is_four_byte_aligned(data in proptest::collection::vec(any::<u8>(), 0..100),
-                                       s in "[a-zA-Z0-9 ]{0,40}") {
+#[test]
+fn everything_is_four_byte_aligned() {
+    let mut rng = Rng(0xA11);
+    const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+    for _ in 0..256 {
+        let data_len = rng.below(100) as usize;
+        let data = rng.bytes(data_len);
+        let s: String = (0..rng.below(41))
+            .map(|_| ALPHA[rng.below(ALPHA.len() as u64) as usize] as char)
+            .collect();
         let mut enc = XdrEncoder::new();
         enc.put_opaque(&data);
-        prop_assert_eq!(enc.len() % 4, 0);
+        assert_eq!(enc.len() % 4, 0);
         enc.put_string(&s);
-        prop_assert_eq!(enc.len() % 4, 0);
+        assert_eq!(enc.len() % 4, 0);
         enc.put_opaque_fixed(&data);
-        prop_assert_eq!(enc.len() % 4, 0);
+        assert_eq!(enc.len() % 4, 0);
     }
+}
 
-    #[test]
-    fn strings_roundtrip(s in "\\PC{0,60}") {
+#[test]
+fn strings_roundtrip() {
+    let mut rng = Rng(0x574);
+    for _ in 0..256 {
+        // Arbitrary (often multi-byte) chars, including astral planes.
+        let s: String = (0..rng.below(60))
+            .filter_map(|_| char::from_u32(rng.next() as u32 % 0x11_0000))
+            .collect();
         let encoded = s.clone().to_xdr();
-        prop_assert_eq!(String::from_xdr(&encoded).unwrap(), s);
+        assert_eq!(String::from_xdr(&encoded).unwrap(), s);
     }
+}
 
-    #[test]
-    fn nested_options_and_vecs_roundtrip(
-        v in proptest::collection::vec(proptest::option::of(any::<u64>()), 0..20),
-    ) {
+#[test]
+fn nested_options_and_vecs_roundtrip() {
+    let mut rng = Rng(0x0975);
+    for _ in 0..256 {
+        let v: Vec<Option<u64>> = (0..rng.below(20))
+            .map(|_| {
+                if rng.next().is_multiple_of(2) {
+                    Some(rng.next())
+                } else {
+                    None
+                }
+            })
+            .collect();
         let bytes = v.clone().to_xdr();
-        prop_assert_eq!(Vec::<Option<u64>>::from_xdr(&bytes).unwrap(), v);
+        assert_eq!(Vec::<Option<u64>>::from_xdr(&bytes).unwrap(), v);
     }
+}
 
-    #[test]
-    fn truncation_always_detected(data in proptest::collection::vec(any::<u8>(), 1..80)) {
+#[test]
+fn truncation_always_detected() {
+    let mut rng = Rng(0x74C);
+    for _ in 0..64 {
+        let data_len = 1 + rng.below(79) as usize;
+        let data = rng.bytes(data_len);
         let whole = data.clone().to_xdr();
         // Every strict prefix must fail to decode fully.
         for cut in 0..whole.len() {
             let r = Vec::<u8>::from_xdr(&whole[..cut]);
-            prop_assert!(r.is_err(), "prefix of len {cut} decoded");
+            assert!(r.is_err(), "prefix of len {cut} decoded");
         }
     }
+}
 
-    #[test]
-    fn decoder_never_panics_on_garbage(junk in proptest::collection::vec(any::<u8>(), 0..120)) {
+#[test]
+fn decoder_never_panics_on_garbage() {
+    let mut rng = Rng(0x9A4B);
+    for _ in 0..256 {
+        let junk_len = rng.below(120) as usize;
+        let junk = rng.bytes(junk_len);
         let mut dec = XdrDecoder::new(&junk);
         let _ = dec.get_opaque();
         let _: Result<Vec<u64>, XdrError> = Vec::decode(&mut dec);

@@ -7,7 +7,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sfs::authserver::AuthServer;
 use sfs::client::{ClientError, SfsClient, SfsNetwork};
 use sfs::server::{ServerConfig, SfsServer};
@@ -17,6 +16,7 @@ use sfs_crypto::srp::SrpGroup;
 use sfs_crypto::SfsPrg;
 use sfs_proto::pathname::SelfCertifyingPath;
 use sfs_sim::{Direction, Interceptor, NetParams, SimClock, Transport, Verdict};
+use sfs_telemetry::sync::Mutex;
 use sfs_vfs::{Credentials, SetAttr, Vfs};
 
 /// Eve logs everything and, when armed, flips one bit per reply.
@@ -46,11 +46,27 @@ fn main() {
     let vfs = Vfs::new(1, clock.clone());
     let root_creds = Credentials::root();
     let pubdir = vfs.mkdir_p("/pub").unwrap();
-    vfs.setattr(&root_creds, pubdir, SetAttr { mode: Some(0o755), ..Default::default() })
+    vfs.setattr(
+        &root_creds,
+        pubdir,
+        SetAttr {
+            mode: Some(0o755),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    vfs.write_file(&root_creds, pubdir, "payroll", b"alice: $1")
         .unwrap();
-    vfs.write_file(&root_creds, pubdir, "payroll", b"alice: $1").unwrap();
     let (f, _) = vfs.lookup(&root_creds, pubdir, "payroll").unwrap();
-    vfs.setattr(&root_creds, f, SetAttr { mode: Some(0o644), ..Default::default() }).unwrap();
+    vfs.setattr(
+        &root_creds,
+        f,
+        SetAttr {
+            mode: Some(0o644),
+            ..Default::default()
+        },
+    )
+    .unwrap();
 
     let server = SfsServer::new(
         ServerConfig::new("payroll.example.org"),
@@ -62,7 +78,10 @@ fn main() {
     let net = SfsNetwork::new(clock, NetParams::switched_100mbit(Transport::Tcp));
     net.register(server.clone());
 
-    let eve = Arc::new(Mutex::new(Eve { tampering: false, packets_seen: 0 }));
+    let eve = Arc::new(Mutex::new(Eve {
+        tampering: false,
+        packets_seen: 0,
+    }));
     net.set_interceptor(eve.clone());
 
     let client = SfsClient::new(net.clone(), b"attack-demo-client");
@@ -71,7 +90,9 @@ fn main() {
 
     // Eve passively records: the session still works, and she sees only
     // ciphertext (ARC4 + per-message SHA-1 MACs).
-    let data = client.read_file(uid, &payroll).expect("passive eavesdropper is harmless");
+    let data = client
+        .read_file(uid, &payroll)
+        .expect("passive eavesdropper is harmless");
     println!(
         "with Eve listening ({} packets): read {:?}",
         eve.lock().packets_seen,
@@ -92,7 +113,12 @@ fn main() {
     // check fails before any file traffic flows.
     let mallory_vfs = Vfs::new(2, client.clock().clone());
     mallory_vfs
-        .write_file(&Credentials::root(), mallory_vfs.root(), "payroll", b"alice: $0")
+        .write_file(
+            &Credentials::root(),
+            mallory_vfs.root(),
+            "payroll",
+            b"alice: $0",
+        )
         .unwrap();
     let mallory = SfsServer::new(
         ServerConfig::new("payroll.example.org"),

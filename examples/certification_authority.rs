@@ -28,8 +28,15 @@ fn make_server(
     let vfs = Vfs::new(1, clock.clone());
     let root_creds = Credentials::root();
     let pubdir = vfs.mkdir_p("/pub").unwrap();
-    vfs.setattr(&root_creds, pubdir, SetAttr { mode: Some(0o755), ..Default::default() })
-        .unwrap();
+    vfs.setattr(
+        &root_creds,
+        pubdir,
+        SetAttr {
+            mode: Some(0o755),
+            ..Default::default()
+        },
+    )
+    .unwrap();
     vfs.write_file(
         &root_creds,
         pubdir,
@@ -38,8 +45,15 @@ fn make_server(
     )
     .unwrap();
     let (f, _) = vfs.lookup(&root_creds, pubdir, "catalog").unwrap();
-    vfs.setattr(&root_creds, f, SetAttr { mode: Some(0o644), ..Default::default() })
-        .unwrap();
+    vfs.setattr(
+        &root_creds,
+        f,
+        SetAttr {
+            mode: Some(0o644),
+            ..Default::default()
+        },
+    )
+    .unwrap();
     SfsServer::new(
         ServerConfig::new(location),
         generate_keypair(768, rng),
@@ -67,8 +81,10 @@ fn main() {
     let vfs = verisign.vfs();
     let root_creds = Credentials::root();
     let root = vfs.root();
-    vfs.symlink(&root_creds, root, "acme", &acme.path().full_path()).unwrap();
-    vfs.symlink(&root_creds, root, "initech", &initech.path().full_path()).unwrap();
+    vfs.symlink(&root_creds, root, "acme", &acme.path().full_path())
+        .unwrap();
+    vfs.symlink(&root_creds, root, "initech", &initech.path().full_path())
+        .unwrap();
     net.register(verisign.clone());
     println!("CA namespace:");
     println!("  /verisign/acme    -> {}", acme.path());

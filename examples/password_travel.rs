@@ -11,7 +11,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sfs::agent::Agent;
 use sfs::authserver::{AuthServer, UserRecord};
 use sfs::client::{SfsClient, SfsNetwork};
@@ -22,6 +21,7 @@ use sfs_crypto::rabin::generate_keypair;
 use sfs_crypto::srp::SrpGroup;
 use sfs_crypto::SfsPrg;
 use sfs_sim::{NetParams, SimClock, Transport};
+use sfs_telemetry::sync::Mutex;
 use sfs_vfs::{Credentials, SetAttr, Vfs};
 
 fn main() {
@@ -33,12 +33,34 @@ fn main() {
     let vfs = Vfs::new(1, clock.clone());
     let root_creds = Credentials::root();
     let home = vfs.mkdir_p("/home/alice").unwrap();
-    vfs.setattr(&root_creds, home, SetAttr { uid: Some(1000), gid: Some(100), ..Default::default() })
-        .unwrap();
-    vfs.write_file(&root_creds, home, "thesis.tex", b"\\chapter{Key Management}").unwrap();
+    vfs.setattr(
+        &root_creds,
+        home,
+        SetAttr {
+            uid: Some(1000),
+            gid: Some(100),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    vfs.write_file(
+        &root_creds,
+        home,
+        "thesis.tex",
+        b"\\chapter{Key Management}",
+    )
+    .unwrap();
     let (f, _) = vfs.lookup(&root_creds, home, "thesis.tex").unwrap();
-    vfs.setattr(&root_creds, f, SetAttr { uid: Some(1000), mode: Some(0o600), ..Default::default() })
-        .unwrap();
+    vfs.setattr(
+        &root_creds,
+        f,
+        SetAttr {
+            uid: Some(1000),
+            mode: Some(0o600),
+            ..Default::default()
+        },
+    )
+    .unwrap();
 
     let auth = Arc::new(AuthServer::new(group.clone(), 6));
     let alice_key = generate_keypair(512, &mut rng);
@@ -61,7 +83,10 @@ fn main() {
     // copy of the private key *client-side* — "the server never sees any
     // password-equivalent data."
     sfskey::register(server.authserver(), "alice", password, &alice_key, &mut rng);
-    println!("registered alice at MIT (eksblowfish cost 2^{})", server.authserver().cost());
+    println!(
+        "registered alice at MIT (eksblowfish cost 2^{})",
+        server.authserver().cost()
+    );
 
     // ── At the research lab: a fresh machine, nothing configured ──────
     let net = SfsNetwork::new(clock, NetParams::switched_100mbit(Transport::Tcp));
@@ -81,15 +106,28 @@ fn main() {
         &mut rng,
     )
     .expect("SRP handshake");
-    println!("fetched over SRP channel in {}:", lab_client.clock().now().since(start));
+    println!(
+        "fetched over SRP channel in {}:",
+        lab_client.clock().now().since(start)
+    );
     println!("  server path : {}", result.server_path.as_ref().unwrap());
-    println!("  private key : {} bits, decrypted locally",
-        result.private_key.as_ref().unwrap().public().modulus().bit_len());
+    println!(
+        "  private key : {} bits, decrypted locally",
+        result
+            .private_key
+            .as_ref()
+            .unwrap()
+            .public()
+            .modulus()
+            .bit_len()
+    );
 
     // The agent now holds the key and a human-readable link.
     lab_client.set_agent(1000, Arc::new(Mutex::new(agent)));
     let thesis = "/sfs/sfs.lcs.mit.edu/home/alice/thesis.tex";
-    let data = lab_client.read_file(1000, thesis).expect("authenticated read");
+    let data = lab_client
+        .read_file(1000, thesis)
+        .expect("authenticated read");
     println!("\n$ cat {thesis}");
     println!("{}", String::from_utf8_lossy(&data));
 

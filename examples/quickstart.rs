@@ -26,13 +26,18 @@ fn main() {
     let vfs = Vfs::new(1, clock.clone());
     let root_creds = Credentials::root();
     let home = vfs.mkdir_p("/home/alice").unwrap();
-    vfs.setattr(&root_creds, home, SetAttr { uid: Some(1000), gid: Some(100), ..Default::default() })
-        .unwrap();
+    vfs.setattr(
+        &root_creds,
+        home,
+        SetAttr {
+            uid: Some(1000),
+            gid: Some(100),
+            ..Default::default()
+        },
+    )
+    .unwrap();
 
-    let auth = Arc::new(AuthServer::new(
-        SrpGroup::generate(128, &mut rng),
-        2,
-    ));
+    let auth = Arc::new(AuthServer::new(SrpGroup::generate(128, &mut rng), 2));
     // Alice's public key maps to her Unix credentials (§2.5.1).
     let alice_key = generate_keypair(512, &mut rng);
     auth.register_user(UserRecord {

@@ -26,11 +26,27 @@ fn server(
     let vfs = Vfs::new(1, clock.clone());
     let root_creds = Credentials::root();
     let pubdir = vfs.mkdir_p("/pub").unwrap();
-    vfs.setattr(&root_creds, pubdir, SetAttr { mode: Some(0o755), ..Default::default() })
+    vfs.setattr(
+        &root_creds,
+        pubdir,
+        SetAttr {
+            mode: Some(0o755),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    vfs.write_file(&root_creds, pubdir, "data", location.as_bytes())
         .unwrap();
-    vfs.write_file(&root_creds, pubdir, "data", location.as_bytes()).unwrap();
     let (f, _) = vfs.lookup(&root_creds, pubdir, "data").unwrap();
-    vfs.setattr(&root_creds, f, SetAttr { mode: Some(0o644), ..Default::default() }).unwrap();
+    vfs.setattr(
+        &root_creds,
+        f,
+        SetAttr {
+            mode: Some(0o644),
+            ..Default::default()
+        },
+    )
+    .unwrap();
     SfsServer::new(
         ServerConfig::new(location),
         generate_keypair(768, rng),
@@ -58,7 +74,11 @@ fn main() {
     let data = client
         .read_file(uid, &format!("{}/pub/data", old.path().full_path()))
         .unwrap();
-    println!("before: read {:?} from {}", String::from_utf8_lossy(&data), old.path());
+    println!(
+        "before: read {:?} from {}",
+        String::from_utf8_lossy(&data),
+        old.path()
+    );
 
     // ── Scenario 1: planned move — forwarding pointer ──────────────────
     // "One can replace the root directory of the old file system with a
@@ -72,12 +92,18 @@ fn main() {
     let data = client
         .read_file(uid, &format!("{}/pub/data", fwd.full_path()))
         .unwrap();
-    println!("followed to new home, read {:?}", String::from_utf8_lossy(&data));
+    println!(
+        "followed to new home, read {:?}",
+        String::from_utf8_lossy(&data)
+    );
 
     // ── Scenario 2: key compromise — revocation wins ───────────────────
     // The owner issues a self-authenticating revocation certificate.
     let cert = RevocationCert::issue(old.private_key(), &old.path().location);
-    println!("\nrevocation certificate issued for HostID {}", cert.host_id().unwrap());
+    println!(
+        "\nrevocation certificate issued for HostID {}",
+        cert.host_id().unwrap()
+    );
     // Anyone may relay it; alice's agent verifies and honors it.
     assert!(client.agent(uid).lock().submit_revocation(cert));
     client.unmount_all();
@@ -98,7 +124,10 @@ fn main() {
     // "this prevents the agent's owner from accessing the self-certifying
     // pathname in question, but does not affect any other users."
     let other_uid = 2000;
-    client.agent(other_uid).lock().block_host(new.path().host_id);
+    client
+        .agent(other_uid)
+        .lock()
+        .block_host(new.path().host_id);
     assert!(matches!(
         client.read_file(other_uid, &format!("{}/pub/data", new.path().full_path())),
         Err(ClientError::Blocked)
@@ -106,5 +135,8 @@ fn main() {
     assert!(client
         .read_file(uid, &format!("{}/pub/data", new.path().full_path()))
         .is_ok());
-    println!("\nuser {other_uid} blocked {}; user {uid} is unaffected", new.path().location);
+    println!(
+        "\nuser {other_uid} blocked {}; user {uid} is unaffected",
+        new.path().location
+    );
 }

@@ -2,7 +2,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sfs::agent::Agent;
 use sfs::authserver::{AuthServer, UserRecord};
 use sfs::client::{SfsClient, SfsNetwork};
@@ -12,6 +11,7 @@ use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
 use sfs_crypto::srp::SrpGroup;
 use sfs_crypto::SfsPrg;
 use sfs_sim::{NetParams, SimClock, Transport};
+use sfs_telemetry::sync::Mutex;
 use sfs_vfs::{Credentials, SetAttr, Vfs};
 use std::sync::OnceLock;
 
@@ -85,17 +85,40 @@ impl World {
         vfs.setattr(
             &root_creds,
             home,
-            SetAttr { uid: Some(ALICE_UID), gid: Some(100), ..Default::default() },
+            SetAttr {
+                uid: Some(ALICE_UID),
+                gid: Some(100),
+                ..Default::default()
+            },
         )
         .unwrap();
         let public = vfs.mkdir_p("/pub").unwrap();
-        vfs.setattr(&root_creds, public, SetAttr { mode: Some(0o755), ..Default::default() })
-            .unwrap();
-        vfs.write_file(&root_creds, public, "hello", format!("hello from {location}").as_bytes())
-            .unwrap();
+        vfs.setattr(
+            &root_creds,
+            public,
+            SetAttr {
+                mode: Some(0o755),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        vfs.write_file(
+            &root_creds,
+            public,
+            "hello",
+            format!("hello from {location}").as_bytes(),
+        )
+        .unwrap();
         let (hello, _) = vfs.lookup(&root_creds, public, "hello").unwrap();
-        vfs.setattr(&root_creds, hello, SetAttr { mode: Some(0o644), ..Default::default() })
-            .unwrap();
+        vfs.setattr(
+            &root_creds,
+            hello,
+            SetAttr {
+                mode: Some(0o644),
+                ..Default::default()
+            },
+        )
+        .unwrap();
 
         let auth = Arc::new(AuthServer::new(srp_group(), 2));
         auth.register_user(UserRecord {

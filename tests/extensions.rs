@@ -7,10 +7,10 @@ mod common;
 use std::sync::Arc;
 
 use common::{World, ALICE_UID};
-use parking_lot::Mutex;
 use sfs::agent::Agent;
 use sfs::sfskey::{combine_key_shares, split_private_key, KeyShare};
 use sfs_bignum::XorShiftSource;
+use sfs_telemetry::sync::Mutex;
 
 #[test]
 fn ssu_maps_root_operations_to_user_agent() {
@@ -74,7 +74,10 @@ fn proxy_respects_its_own_blocks() {
     w.client.set_agent(ALICE_UID, Arc::new(Mutex::new(proxy)));
     let file = format!("{}/home/alice/blocked", server.path().full_path());
     assert!(w.client.write_file(ALICE_UID, &file, b"x").is_err());
-    assert!(home_agent.lock().audit_trail().is_empty(), "no signature was made");
+    assert!(
+        home_agent.lock().audit_trail().is_empty(),
+        "no signature was made"
+    );
 }
 
 #[test]
@@ -121,7 +124,9 @@ fn split_key_requires_both_shares() {
     // Either share alone is not the key (and a share with a zero partner
     // is just the pad/masked blob — parsing fails or yields a different
     // key with overwhelming probability).
-    let zero = KeyShare { bytes: vec![0u8; share_a.bytes.len()] };
+    let zero = KeyShare {
+        bytes: vec![0u8; share_a.bytes.len()],
+    };
     match combine_key_shares(&share_a, &zero) {
         None => {}
         Some(k) => assert_ne!(k.public(), key.public()),
@@ -131,7 +136,9 @@ fn split_key_requires_both_shares() {
         Some(k) => assert_ne!(k.public(), key.public()),
     }
     // Mismatched lengths refused.
-    let short = KeyShare { bytes: vec![1, 2, 3] };
+    let short = KeyShare {
+        bytes: vec![1, 2, 3],
+    };
     assert!(combine_key_shares(&share_a, &short).is_none());
 }
 
@@ -148,5 +155,7 @@ fn split_key_agent_authserver_flow() {
     let recombined = combine_key_shares(&agent_share, &server_share).unwrap();
     w.client.agent(ALICE_UID).lock().add_key(recombined);
     let file = format!("{}/home/alice/split", server.path().full_path());
-    w.client.write_file(ALICE_UID, &file, b"two shares, one login").unwrap();
+    w.client
+        .write_file(ALICE_UID, &file, b"two shares, one login")
+        .unwrap();
 }

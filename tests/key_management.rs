@@ -137,11 +137,16 @@ fn certification_paths_search_directories_in_order() {
     }
     // Accessing /sfs/dest consults ca1 (miss) then ca2 (hit).
     assert_eq!(
-        w.client.read_file(ALICE_UID, "/sfs/dest/pub/hello").unwrap(),
+        w.client
+            .read_file(ALICE_UID, "/sfs/dest/pub/hello")
+            .unwrap(),
         b"hello from dest.example.org"
     );
     // Unresolvable names fail cleanly.
-    assert!(w.client.read_file(ALICE_UID, "/sfs/nonexistent/pub/x").is_err());
+    assert!(w
+        .client
+        .read_file(ALICE_UID, "/sfs/nonexistent/pub/x")
+        .is_err());
 }
 
 #[test]
@@ -177,13 +182,18 @@ fn password_authentication_travel_scenario() {
     let path = result.server_path.unwrap();
     assert_eq!(&path, server.path());
     // Install the populated agent and work on home files transparently.
-    lab.client
-        .set_agent(ALICE_UID, std::sync::Arc::new(parking_lot::Mutex::new(agent)));
+    lab.client.set_agent(
+        ALICE_UID,
+        std::sync::Arc::new(sfs_telemetry::sync::Mutex::new(agent)),
+    );
     let file = format!("{}/home/alice/draft.tex", path.full_path());
     lab.client
         .write_file(ALICE_UID, &file, b"\\section{SFS}")
         .unwrap();
-    assert_eq!(lab.client.read_file(ALICE_UID, &file).unwrap(), b"\\section{SFS}");
+    assert_eq!(
+        lab.client.read_file(ALICE_UID, &file).unwrap(),
+        b"\\section{SFS}"
+    );
     // And the sfskey-installed link works: /sfs/sfs.lcs.mit.edu/…
     assert_eq!(
         lab.client
@@ -205,12 +215,14 @@ fn authserver_imports_remote_user_database() {
     let mut rng = XorShiftSource::new(0xCA201);
     let carol_key = sfs_crypto::rabin::generate_keypair(512, &mut rng);
     const CAROL_UID: u32 = 3000;
-    centre.authserver().register_user(sfs::authserver::UserRecord {
-        user: "carol".into(),
-        uid: CAROL_UID,
-        gids: vec![300],
-        public_key: carol_key.public().to_bytes(),
-    });
+    centre
+        .authserver()
+        .register_user(sfs::authserver::UserRecord {
+            user: "carol".into(),
+            uid: CAROL_UID,
+            gids: vec![300],
+            public_key: carol_key.public().to_bytes(),
+        });
     w.client.agent(CAROL_UID).lock().add_key(carol_key);
     // Carol's home directory exists on the branch server.
     let root_creds = Credentials::root();
@@ -219,7 +231,11 @@ fn authserver_imports_remote_user_database() {
     vfs.setattr(
         &root_creds,
         home,
-        sfs_vfs::SetAttr { uid: Some(CAROL_UID), gid: Some(300), ..Default::default() },
+        sfs_vfs::SetAttr {
+            uid: Some(CAROL_UID),
+            gid: Some(300),
+            ..Default::default()
+        },
     )
     .unwrap();
     let file = format!("{}/home/carol/hi", branch.path().full_path());
@@ -232,7 +248,9 @@ fn authserver_imports_remote_user_database() {
     let export = centre.authserver().export_public_db();
     assert!(!export.is_empty());
     branch.authserver().import_read_only(export);
-    w.client.write_file(CAROL_UID, &file, b"imported identity").unwrap();
+    w.client
+        .write_file(CAROL_UID, &file, b"imported identity")
+        .unwrap();
     // Bob (no account anywhere) still cannot.
     let _ = BOB_UID;
     assert!(w.client.write_file(BOB_UID, &file, b"nope").is_err());

@@ -22,11 +22,20 @@ fn afs_conundrum_shared_cache_is_safe() {
     let hello = format!("{}/pub/hello", path.full_path());
 
     // Both users access the same pathname: one mount, one cache.
-    assert_eq!(w.client.read_file(ALICE_UID, &hello).unwrap(), b"hello from fs.example.org");
-    assert_eq!(w.client.read_file(BOB_UID, &hello).unwrap(), b"hello from fs.example.org");
+    assert_eq!(
+        w.client.read_file(ALICE_UID, &hello).unwrap(),
+        b"hello from fs.example.org"
+    );
+    assert_eq!(
+        w.client.read_file(BOB_UID, &hello).unwrap(),
+        b"hello from fs.example.org"
+    );
     let mount_a = w.client.mount(ALICE_UID, &path).unwrap();
     let mount_b = w.client.mount(BOB_UID, &path).unwrap();
-    assert!(std::sync::Arc::ptr_eq(&mount_a, &mount_b), "same path ⇒ shared mount/cache");
+    assert!(
+        std::sync::Arc::ptr_eq(&mount_a, &mount_b),
+        "same path ⇒ shared mount/cache"
+    );
 
     // A user who *disagrees* about the key is asking for a different
     // HostID: a different name, cached separately — here it simply fails
@@ -49,9 +58,13 @@ fn users_cannot_use_each_others_authno() {
     w.login_alice();
     let path = server.path().clone();
     let alice_file = format!("{}/home/alice/diary", path.full_path());
-    w.client.write_file(ALICE_UID, &alice_file, b"dear diary").unwrap();
+    w.client
+        .write_file(ALICE_UID, &alice_file, b"dear diary")
+        .unwrap();
     assert_eq!(
-        w.client.write_file(BOB_UID, &alice_file, b"bob was here").unwrap_err(),
+        w.client
+            .write_file(BOB_UID, &alice_file, b"bob was here")
+            .unwrap_err(),
         ClientError::Nfs(Status::Acces)
     );
     // And bob can still read public data over the same mount.
@@ -95,11 +108,13 @@ fn agents_are_per_user_and_replaceable() {
     // fresh connection then authenticates anonymously.
     w.client.set_agent(
         ALICE_UID,
-        std::sync::Arc::new(parking_lot::Mutex::new(sfs::agent::Agent::new())),
+        std::sync::Arc::new(sfs_telemetry::sync::Mutex::new(sfs::agent::Agent::new())),
     );
     w.client.unmount_all();
     assert_eq!(
-        w.client.write_file(ALICE_UID, &file, b"no key").unwrap_err(),
+        w.client
+            .write_file(ALICE_UID, &file, b"no key")
+            .unwrap_err(),
         ClientError::Nfs(Status::Acces)
     );
 }

@@ -64,7 +64,9 @@ fn read_only_export_served_over_wire() {
     let root_block = ro.block(root.root_digest).expect("root block");
     assert_eq!(sfs_crypto::sha1::sha1(&root_block), root.root_digest);
     let dir = RoNode::from_xdr(&root_block).unwrap();
-    let RoNode::Dir(entries) = dir else { panic!("root must be a dir") };
+    let RoNode::Dir(entries) = dir else {
+        panic!("root must be a dir")
+    };
     let (_, _, pub_digest) = entries.iter().find(|(n, _, _)| n == "pub").unwrap();
     let pub_block = ro.block(*pub_digest).expect("pub block");
     assert_eq!(sfs_crypto::sha1::sha1(&pub_block), *pub_digest);
@@ -81,8 +83,8 @@ fn untrusted_replica_cannot_forge() {
 
     // The replica copies the database and tampers with a file block.
     let mut replica: RoDatabase = (*db).clone();
-    let root = sfs_proto::readonly::verified_root(&replica, common::server_key(0).public())
-        .unwrap();
+    let root =
+        sfs_proto::readonly::verified_root(&replica, common::server_key(0).public()).unwrap();
     let RoNode::Dir(entries) = verified_fetch(&replica, &root).unwrap() else {
         panic!("root dir")
     };
@@ -98,8 +100,7 @@ fn untrusted_replica_cannot_forge() {
         version: 99,
         signature: vec![0u8; 97],
     };
-    assert!(sfs_proto::readonly::verified_root(&forged, common::server_key(0).public())
-        .is_err());
+    assert!(sfs_proto::readonly::verified_root(&forged, common::server_key(0).public()).is_err());
 }
 
 #[test]
@@ -134,7 +135,8 @@ fn republish_changes_root_but_reuses_unchanged_blocks() {
     let vfs = server.vfs();
     let root_creds = Credentials::root();
     let (pub_ino, _) = vfs.lookup_path(&root_creds, "/pub").unwrap();
-    vfs.write_file(&root_creds, pub_ino, "hello", b"updated contents").unwrap();
+    vfs.write_file(&root_creds, pub_ino, "hello", b"updated contents")
+        .unwrap();
     let db2 = server.publish_read_only(2);
     assert_ne!(db1.root.root_digest, db2.root.root_digest);
     assert!(db2.root.version > db1.root.version);
@@ -161,7 +163,10 @@ fn read_only_service_needs_dialect_selection() {
     let server = w.add_server(0, "ca.example.com");
     server.publish_read_only(1);
     let conn = server.accept();
-    assert!(matches!(conn.handle(CallMsg::RoGetRoot), ReplyMsg::Error(_)));
+    assert!(matches!(
+        conn.handle(CallMsg::RoGetRoot),
+        ReplyMsg::Error(_)
+    ));
 }
 
 #[test]
@@ -197,5 +202,8 @@ fn ro_mount_rejects_wrong_key() {
         common::server_key(1).public(),
     );
     let err = w.client.mount_read_only(&forged).unwrap_err();
-    assert!(matches!(err, sfs::client::ClientError::Protocol(_)), "{err:?}");
+    assert!(
+        matches!(err, sfs::client::ClientError::Protocol(_)),
+        "{err:?}"
+    );
 }

@@ -52,8 +52,13 @@ fn revocation_directory_scheme() {
     let vfs = verisign.vfs();
     let dir = vfs.mkdir_p("/revocations").unwrap();
     use sfs_xdr::Xdr;
-    vfs.write_file(&root_creds, dir, &victim_path.host_id.encoded(), &cert.to_xdr())
-        .unwrap();
+    vfs.write_file(
+        &root_creds,
+        dir,
+        &victim_path.host_id.encoded(),
+        &cert.to_xdr(),
+    )
+    .unwrap();
 
     // Alice's agent is configured to check Verisign's revocation dir.
     let agent = w.client.agent(ALICE_UID);
@@ -125,7 +130,10 @@ fn forwarding_pointer_followed_to_new_home() {
         b"hello from new.example.org"
     );
     // A server with no pointer reports none.
-    assert_eq!(w.client.check_forwarding(ALICE_UID, new.path()).unwrap(), None);
+    assert_eq!(
+        w.client.check_forwarding(ALICE_UID, new.path()).unwrap(),
+        None
+    );
 }
 
 #[test]
@@ -144,7 +152,9 @@ fn revocation_overrules_forwarding() {
     assert!(w.client.agent(ALICE_UID).lock().submit_revocation(cert));
     // Revocation wins: the client never reads the pointer.
     assert_eq!(
-        w.client.check_forwarding(ALICE_UID, old.path()).unwrap_err(),
+        w.client
+            .check_forwarding(ALICE_UID, old.path())
+            .unwrap_err(),
         ClientError::Blocked
     );
 }
@@ -164,8 +174,12 @@ fn tampered_forwarding_pointer_rejected() {
     let root_creds = Credentials::root();
     let vfs = old.vfs();
     let root = vfs.root();
-    vfs.write_file(&root_creds, root, ".forward", &ptr.to_xdr()).unwrap();
-    let err = w.client.check_forwarding(ALICE_UID, old.path()).unwrap_err();
+    vfs.write_file(&root_creds, root, ".forward", &ptr.to_xdr())
+        .unwrap();
+    let err = w
+        .client
+        .check_forwarding(ALICE_UID, old.path())
+        .unwrap_err();
     assert!(matches!(err, ClientError::Protocol(_)), "{err:?}");
 }
 
@@ -190,7 +204,10 @@ fn revoked_link_target_is_visible_marker() {
     assert!(listing.contains(&server.path().dir_name()));
     assert!(w
         .client
-        .read_file(ALICE_UID, &format!("{}/pub/hello", server.path().full_path()))
+        .read_file(
+            ALICE_UID,
+            &format!("{}/pub/hello", server.path().full_path())
+        )
         .is_err());
 }
 

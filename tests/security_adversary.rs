@@ -9,9 +9,9 @@ mod common;
 use std::sync::Arc;
 
 use common::{World, ALICE_UID};
-use parking_lot::Mutex;
 use sfs::client::ClientError;
 use sfs_sim::{Direction, Interceptor, PacketLog, Verdict};
+use sfs_telemetry::sync::Mutex;
 
 /// Flips one bit in every sealed reply after the first `skip` packets.
 struct BitFlipper {
@@ -54,9 +54,7 @@ fn tampered_traffic_detected_not_accepted() {
     // error — never silently wrong data.
     let result = w.client.read_file(ALICE_UID, &hello);
     match result {
-        Err(
-            ClientError::Channel(_) | ClientError::Protocol(_) | ClientError::KeyNeg(_),
-        ) => {}
+        Err(ClientError::Channel(_) | ClientError::Protocol(_) | ClientError::KeyNeg(_)) => {}
         other => panic!("tampering must be detected, got {other:?}"),
     }
 }
@@ -124,7 +122,10 @@ fn recorded_ciphertext_reveals_nothing_recognizable() {
         .unwrap();
     assert!(log.len() > 4, "expected recorded traffic");
     for (_, packet) in log.snapshot() {
-        for needle in [&b"very-identifiable-filename-xyzzy"[..], b"very-identifiable-content-plugh"] {
+        for needle in [
+            &b"very-identifiable-filename-xyzzy"[..],
+            b"very-identifiable-content-plugh",
+        ] {
             assert!(
                 !packet.windows(needle.len()).any(|w| w == needle),
                 "plaintext leaked onto the wire"
@@ -151,7 +152,10 @@ fn denial_only_delays_not_corrupts() {
     let before = w.clock.now();
     let err = w.client.read_file(ALICE_UID, &hello).unwrap_err();
     assert_eq!(err, ClientError::Net(sfs_sim::WireError::Timeout));
-    assert!(w.clock.now() > before, "time passed (delay), nothing corrupted");
+    assert!(
+        w.clock.now() > before,
+        "time passed (delay), nothing corrupted"
+    );
 }
 
 #[test]
