@@ -1,0 +1,140 @@
+//! A tiny shared command-line parser for the `fig*` binaries.
+//!
+//! The figure binaries take a small, stable set of options (`--trace
+//! <path>`, `--faults <spec>`); each previously hand-parsed its own.
+//! [`Args`] centralises the `--flag value` / `--flag=value` handling so
+//! the option types ([`crate::trace::TraceOpt`], [`FaultOpt`]) stay thin
+//! wrappers over it. Unknown arguments are ignored — the binaries take no
+//! positional arguments, and ignoring extras keeps old invocations
+//! working.
+
+use std::collections::BTreeMap;
+
+use sfs_sim::FaultPlan;
+
+/// Parsed process arguments supporting `--flag value` and `--flag=value`.
+pub struct Args {
+    argv: Vec<String>,
+}
+
+impl Args {
+    /// Captures `std::env::args` (minus the program name).
+    pub fn from_env() -> Self {
+        Args {
+            argv: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Builds from an explicit vector (tests).
+    pub fn from_vec(argv: Vec<&str>) -> Self {
+        Args {
+            argv: argv.into_iter().map(String::from).collect(),
+        }
+    }
+
+    /// The value of `--<name> <value>` or `--<name>=<value>`; the last
+    /// occurrence wins, matching conventional CLI override behaviour.
+    pub fn opt(&self, name: &str) -> Option<String> {
+        let flag = format!("--{name}");
+        let prefix = format!("--{name}=");
+        let mut found = None;
+        let mut it = self.argv.iter();
+        while let Some(a) = it.next() {
+            if *a == flag {
+                found = it.next().cloned();
+            } else if let Some(v) = a.strip_prefix(&prefix) {
+                found = Some(v.to_string());
+            }
+        }
+        found
+    }
+}
+
+/// `--faults <spec>` support: a seeded deterministic [`FaultPlan`]
+/// threaded through every layer of the testbed (wire, server, disk), so
+/// any figure can be regenerated under a degraded network. The spec
+/// grammar is [`sfs_sim::FaultSpec::parse`]'s
+/// (`seed=7,drop=20,delay=50,delay_ns=2ms,partition=1s+200ms,crash=3s`).
+pub struct FaultOpt {
+    plan: Option<FaultPlan>,
+    spec: Option<String>,
+}
+
+impl FaultOpt {
+    /// Parses `--faults <spec>` from the process arguments; a malformed
+    /// spec aborts with the parse error.
+    pub fn from_args() -> Self {
+        Self::with_spec(Args::from_env().opt("faults")).unwrap_or_else(|e| {
+            eprintln!("--faults: {e}");
+            std::process::exit(2)
+        })
+    }
+
+    /// Builds from an explicit spec (tests).
+    pub fn with_spec(spec: Option<String>) -> Result<Self, String> {
+        let plan = match &spec {
+            Some(s) => Some(FaultPlan::from_spec(s)?),
+            None => None,
+        };
+        Ok(FaultOpt { plan, spec })
+    }
+
+    /// Whether `--faults` was given.
+    pub fn enabled(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// The plan to thread through the testbed, when `--faults` was given.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Prints the injected-fault tally after a run (no-op without
+    /// `--faults`), so chaos figures are self-describing.
+    pub fn finish(&self) {
+        let (Some(plan), Some(spec)) = (&self.plan, &self.spec) else {
+            return;
+        };
+        let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for ev in plan.events() {
+            *by_kind.entry(ev.kind.label()).or_insert(0) += 1;
+        }
+        let tally: Vec<String> = by_kind.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        println!(
+            "faults: spec \"{spec}\" (seed {}) injected {} events [{}]",
+            plan.seed(),
+            plan.injected(),
+            tally.join(", ")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_flag_forms_parse_and_last_wins() {
+        let a = Args::from_vec(vec!["--trace", "a.json", "--trace=b.json"]);
+        assert_eq!(a.opt("trace").as_deref(), Some("b.json"));
+        let a = Args::from_vec(vec!["--faults=seed=1,drop=5", "ignored"]);
+        assert_eq!(a.opt("faults").as_deref(), Some("seed=1,drop=5"));
+        assert_eq!(a.opt("missing"), None);
+    }
+
+    #[test]
+    fn fault_opt_builds_a_plan() {
+        let f = FaultOpt::with_spec(Some("seed=9,drop=10".into())).unwrap();
+        assert!(f.enabled());
+        assert_eq!(f.plan().unwrap().seed(), 9);
+        let off = FaultOpt::with_spec(None).unwrap();
+        assert!(!off.enabled());
+        assert!(off.plan().is_none());
+    }
+
+    #[test]
+    fn fault_opt_rejects_bad_specs() {
+        assert!(FaultOpt::with_spec(Some("drop=2000".into())).is_err());
+        assert!(FaultOpt::with_spec(Some("nonsense".into())).is_err());
+    }
+}

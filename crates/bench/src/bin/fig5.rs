@@ -1,13 +1,15 @@
 //! Figure 5: micro-benchmarks for basic operations — RPC latency
 //! (unauthorized `fchown`, µs) and sequential-read throughput (MB/s).
 
-use sfs_bench::calib::{build_fs_traced, System};
+use sfs_bench::args::FaultOpt;
+use sfs_bench::calib::{build_fs_chaos, System};
 use sfs_bench::report::{Compared, Table};
 use sfs_bench::trace::TraceOpt;
 use sfs_bench::workloads::{micro_latency, micro_throughput};
 
 fn main() {
     let trace = TraceOpt::from_args();
+    let faults = FaultOpt::from_args();
     let mut table = Table::new(
         "Figure 5: micro-benchmarks for basic operations",
         "µs / MB/s",
@@ -21,10 +23,10 @@ fn main() {
     ];
     for (system, paper_lat, paper_tp) in rows {
         let tel = trace.for_system(&format!("{}/latency", system.label()));
-        let (fs, _clock, prefix, _) = build_fs_traced(system, &tel);
+        let (fs, _clock, prefix, _) = build_fs_chaos(system, &tel, faults.plan());
         let lat = micro_latency(fs.as_ref(), &prefix);
         let tel2 = trace.for_system(&format!("{}/throughput", system.label()));
-        let (fs2, _clock2, prefix2, _) = build_fs_traced(system, &tel2);
+        let (fs2, _clock2, prefix2, _) = build_fs_chaos(system, &tel2, faults.plan());
         let tp = micro_throughput(fs2.as_ref(), &prefix2);
         table.push_row(
             system.label(),
@@ -33,4 +35,5 @@ fn main() {
     }
     println!("{}", table.render());
     trace.finish();
+    faults.finish();
 }

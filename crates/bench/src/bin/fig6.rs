@@ -4,13 +4,15 @@
 //! Headline shape from §4.3: "SFS is only 11% (0.6 seconds) slower than
 //! NFS 3 over UDP."
 
-use sfs_bench::calib::{build_fs_traced, System};
+use sfs_bench::args::FaultOpt;
+use sfs_bench::calib::{build_fs_chaos, System};
 use sfs_bench::report::{secs, Compared, Table};
 use sfs_bench::trace::TraceOpt;
 use sfs_bench::workloads::{mab, total, MabConfig};
 
 fn main() {
     let trace = TraceOpt::from_args();
+    let faults = FaultOpt::from_args();
     let cfg = MabConfig::default();
     let mut table = Table::new(
         "Figure 6: Modified Andrew Benchmark phases",
@@ -36,7 +38,7 @@ fn main() {
     let mut totals = Vec::new();
     for (system, paper) in paper_total {
         let tel = trace.for_system(system.label());
-        let (fs, _clock, prefix, _) = build_fs_traced(system, &tel);
+        let (fs, _clock, prefix, _) = build_fs_chaos(system, &tel, faults.plan());
         let phases = mab(fs.as_ref(), &prefix, &cfg);
         let mut cells: Vec<Compared> = phases
             .iter()
@@ -55,4 +57,5 @@ fn main() {
         (sfs / nfs_udp - 1.0) * 100.0
     );
     trace.finish();
+    faults.finish();
 }

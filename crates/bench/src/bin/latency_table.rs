@@ -1,0 +1,38 @@
+//! `latency_table`: the `--trace`-driven per-procedure latency breakdown.
+//!
+//! Runs the Modified Andrew Benchmark on each of the paper's four systems
+//! with the tracing sink attached, then renders the NFS3 servers'
+//! service-time histograms as one table per system — where GETATTR storms
+//! and synchronous WRITEs spend their time (§4.2–§4.3). Options:
+//!
+//! - `--trace <path>`: also write the full Chrome trace JSON;
+//! - `--faults <spec>`: thread a seeded fault plan through every layer,
+//!   showing the breakdown under a degraded network.
+
+use sfs_bench::args::FaultOpt;
+use sfs_bench::calib::{build_fs_chaos, System};
+use sfs_bench::report::latency_table;
+use sfs_bench::trace::TraceOpt;
+use sfs_bench::workloads::{mab, MabConfig};
+use sfs_telemetry::{Telemetry, ZeroClock};
+
+fn main() {
+    let trace = TraceOpt::from_args();
+    let faults = FaultOpt::from_args();
+    // The table needs histograms whether or not `--trace` asked for the
+    // JSON dump, so fall back to a standalone recording sink.
+    let tel = if trace.enabled() {
+        trace.telemetry().clone()
+    } else {
+        Telemetry::recording(ZeroClock)
+    };
+    let cfg = MabConfig::default();
+    for system in System::main_four() {
+        let scoped = tel.scoped(system.label());
+        let (fs, _clock, prefix, _) = build_fs_chaos(system, &scoped, faults.plan());
+        let _ = mab(fs.as_ref(), &prefix, &cfg);
+    }
+    println!("{}", latency_table(&tel));
+    trace.finish();
+    faults.finish();
+}

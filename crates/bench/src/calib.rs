@@ -20,7 +20,7 @@ use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
 use sfs_crypto::srp::SrpGroup;
 use sfs_crypto::SfsPrg;
 use sfs_nfs3::Nfs3Server;
-use sfs_sim::{CpuCosts, DiskParams, NetParams, SimClock, SimDisk, Transport, Wire};
+use sfs_sim::{CpuCosts, DiskParams, FaultPlan, NetParams, SimClock, SimDisk, Transport, Wire};
 use sfs_telemetry::Telemetry;
 use sfs_vfs::{Credentials, Vfs};
 
@@ -114,25 +114,49 @@ impl Testbed {
     /// Builds the testbed for one system with tracing attached to every
     /// layer (wire, disk, NFS3 engine, SFS server + client).
     pub fn build_traced(system: System, tel: &Telemetry) -> Testbed {
-        Self::build_full(system, CpuCosts::pentium_iii_550(), Some(tel))
+        Self::build_full(system, CpuCosts::pentium_iii_550(), Some(tel), None)
     }
 
     /// Builds the testbed with explicit CPU costs (the §4.5 hardware-
     /// trend experiment swaps in slower/faster processors).
     pub fn build_with_cpu(system: System, cpu: CpuCosts) -> Testbed {
-        Self::build_full(system, cpu, None)
+        Self::build_full(system, cpu, None, None)
     }
 
     /// [`Self::build_traced`] with explicit CPU costs.
     pub fn build_traced_with_cpu(system: System, cpu: CpuCosts, tel: &Telemetry) -> Testbed {
-        Self::build_full(system, cpu, Some(tel))
+        Self::build_full(system, cpu, Some(tel), None)
     }
 
-    fn build_full(system: System, cpu: CpuCosts, tel: Option<&Telemetry>) -> Testbed {
+    /// Builds the testbed with a seeded fault plan threaded through every
+    /// layer it can reach: the wire (drop/duplicate/reorder/corrupt/
+    /// delay/partition), the server (scheduled crash-restarts, SFS only),
+    /// and the disk (transient sync-write failures). The same plan handle
+    /// is shared, so one seed decides the whole run.
+    pub fn build_chaos(
+        system: System,
+        tel: Option<&Telemetry>,
+        plan: Option<&FaultPlan>,
+    ) -> Testbed {
+        Self::build_full(system, CpuCosts::pentium_iii_550(), tel, plan)
+    }
+
+    fn build_full(
+        system: System,
+        cpu: CpuCosts,
+        tel: Option<&Telemetry>,
+        fault: Option<&FaultPlan>,
+    ) -> Testbed {
         let clock = SimClock::new();
         let disk = SimDisk::new(clock.clone(), bench_disk_params());
         if let Some(tel) = tel {
             disk.set_telemetry(tel);
+        }
+        if let Some(plan) = fault {
+            if let Some(tel) = tel {
+                plan.set_telemetry(&tel.clone().with_clock(clock.clone()));
+            }
+            disk.set_fault_plan(plan.clone());
         }
         let vfs = Vfs::new(7, clock.clone()).with_disk(disk);
         let root_creds = Credentials::root();
@@ -163,6 +187,9 @@ impl Testbed {
                     wire.set_telemetry(tel);
                     server.set_telemetry(tel);
                 }
+                if let Some(plan) = fault {
+                    wire.set_fault_plan(plan.clone());
+                }
                 Box::new(KernelNfs::new(
                     system.label(),
                     clock.clone(),
@@ -190,6 +217,10 @@ impl Testbed {
                 let net =
                     SfsNetwork::new(clock.clone(), NetParams::switched_100mbit(Transport::Tcp));
                 net.register(server.clone());
+                if let Some(plan) = fault {
+                    net.set_fault_plan(plan.clone());
+                    server.set_fault_plan(plan.clone());
+                }
                 let client = SfsClient::with_costs(net, b"bench-client", cpu);
                 if let Some(tel) = tel {
                     server.set_telemetry(tel);
@@ -253,6 +284,18 @@ pub fn build_fs_traced(
     tel: &Telemetry,
 ) -> (Box<dyn FsBench>, SimClock, String, Vfs) {
     let tb = Testbed::build_traced(system, tel);
+    let prefix = tb.root_dir(system).to_string();
+    (tb.fs, tb.clock, prefix, tb.server_vfs)
+}
+
+/// [`build_fs_traced`] with an optional seeded fault plan threaded
+/// through the wire, server, and disk (the `--faults` flag).
+pub fn build_fs_chaos(
+    system: System,
+    tel: &Telemetry,
+    plan: Option<&FaultPlan>,
+) -> (Box<dyn FsBench>, SimClock, String, Vfs) {
+    let tb = Testbed::build_chaos(system, Some(tel), plan);
     let prefix = tb.root_dir(system).to_string();
     (tb.fs, tb.clock, prefix, tb.server_vfs)
 }

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use sfs::client::{ClientError, SfsClient};
 use sfs_nfs3::proto::{FileHandle, Nfs3Reply, Nfs3Request, Sattr3, StableHow, Status};
 use sfs_nfs3::Nfs3Server;
-use sfs_sim::{CpuCosts, SimClock, SimTime, Wire};
+use sfs_sim::{CpuCosts, SimClock, SimTime, Wire, WireError};
 use sfs_telemetry::sync::Mutex;
 use sfs_vfs::{Credentials, FsError, Vfs};
 
@@ -332,6 +332,27 @@ impl KernelNfs {
         self.server.vfs()
     }
 
+    /// One wire call with bounded retransmission: like the in-kernel
+    /// clients, a lost request or reply is simply retransmitted (NFS3
+    /// procedures are idempotent or protected by the server's reply
+    /// semantics), bounded so a dead server eventually surfaces as an
+    /// I/O error.
+    fn wire_call(
+        &self,
+        wire_len: usize,
+        mut server: impl FnMut(Vec<u8>) -> Vec<u8>,
+    ) -> Result<Vec<u8>> {
+        const MAX_RETRANSMITS: u32 = 8;
+        let mut attempt = 0;
+        loop {
+            match self.wire.call(vec![0u8; wire_len], &mut server) {
+                Ok(r) => return Ok(r),
+                Err(WireError::Timeout) if attempt < MAX_RETRANSMITS => attempt += 1,
+                Err(_) => return Err(BenchFsError::Nfs(Status::Io)),
+            }
+        }
+    }
+
     /// One NFS RPC over the wire, with kernel-side processing charges at
     /// both ends.
     fn rpc(&self, req: &Nfs3Request) -> Result<Nfs3Reply> {
@@ -339,16 +360,13 @@ impl KernelNfs {
         let args = req.encode_args();
         let proc = req.proc();
         let wire_len = args.len() + 40; // RPC header overhead
-        let results = self
-            .wire
-            .call(vec![0u8; wire_len], |_| {
-                self.cpu.charge_rpc(&self.clock);
-                let reply = self.server.handle(&self.creds, req);
-                let bytes = reply.encode_results();
-                self.cpu.charge_server_copy(&self.clock, bytes.len());
-                bytes
-            })
-            .map_err(|_| BenchFsError::Nfs(Status::Io))?;
+        let results = self.wire_call(wire_len, |_| {
+            self.cpu.charge_rpc(&self.clock);
+            let reply = self.server.handle(&self.creds, req);
+            let bytes = reply.encode_results();
+            self.cpu.charge_server_copy(&self.clock, bytes.len());
+            bytes
+        })?;
         Nfs3Reply::decode_results(proc, &results).map_err(|_| BenchFsError::Nfs(Status::Io))
     }
 
@@ -622,14 +640,11 @@ impl FsBench for KernelNfs {
                 ..Default::default()
             },
         };
-        let results = self
-            .wire
-            .call(vec![0u8; 130], |_| {
-                self.cpu.charge_rpc(&self.clock);
-                let reply = self.server.handle(&user, &req);
-                reply.encode_results()
-            })
-            .map_err(|_| BenchFsError::Nfs(Status::Io))?;
+        let results = self.wire_call(130, |_| {
+            self.cpu.charge_rpc(&self.clock);
+            let reply = self.server.handle(&user, &req);
+            reply.encode_results()
+        })?;
         match Nfs3Reply::decode_results(req.proc(), &results)
             .map_err(|_| BenchFsError::Nfs(Status::Io))?
         {

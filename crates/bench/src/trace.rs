@@ -10,6 +10,8 @@
 
 use sfs_telemetry::{Telemetry, ZeroClock};
 
+use crate::args::Args;
+
 /// Command-line tracing options, parsed from `std::env::args`.
 pub struct TraceOpt {
     path: Option<String>,
@@ -18,19 +20,9 @@ pub struct TraceOpt {
 
 impl TraceOpt {
     /// Parses `--trace <path>` (or `--trace=<path>`) from the process
-    /// arguments. Unknown arguments are ignored — the figure binaries
-    /// take no other options.
+    /// arguments via the shared [`Args`] parser.
     pub fn from_args() -> Self {
-        let mut args = std::env::args().skip(1);
-        let mut path = None;
-        while let Some(a) = args.next() {
-            if a == "--trace" {
-                path = args.next();
-            } else if let Some(p) = a.strip_prefix("--trace=") {
-                path = Some(p.to_string());
-            }
-        }
-        Self::with_path(path)
+        Self::with_path(Args::from_env().opt("trace"))
     }
 
     /// Builds a [`TraceOpt`] directly (for tests).

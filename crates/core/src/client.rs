@@ -29,7 +29,9 @@ use sfs_proto::keyneg::{KeyNegClient, KeyNegError};
 use sfs_proto::pathname::{PathError, SelfCertifyingPath};
 use sfs_proto::userauth::{AuthInfo, AUTHNO_ANONYMOUS};
 use sfs_sim::ipc::{LocalEndpoint, LocalHandler, LocalIdentity};
-use sfs_sim::{CpuCosts, Interceptor, NetParams, PacketLog, SimClock, SimTime, Wire, WireError};
+use sfs_sim::{
+    CpuCosts, FaultPlan, Interceptor, NetParams, PacketLog, SimClock, SimTime, Wire, WireError,
+};
 use sfs_telemetry::sync::Mutex;
 use sfs_telemetry::Telemetry;
 use sfs_vfs::FileType;
@@ -120,6 +122,7 @@ pub struct SfsNetwork {
     params: NetParams,
     servers: Mutex<HashMap<String, Arc<SfsServer>>>,
     interceptor: Mutex<Option<Arc<Mutex<dyn Interceptor>>>>,
+    fault: Mutex<Option<FaultPlan>>,
     log: Mutex<Option<PacketLog>>,
     tel: Mutex<Telemetry>,
 }
@@ -132,6 +135,7 @@ impl SfsNetwork {
             params,
             servers: Mutex::new(HashMap::new()),
             interceptor: Mutex::new(None),
+            fault: Mutex::new(None),
             log: Mutex::new(None),
             tel: Mutex::new(Telemetry::disabled()),
         })
@@ -160,6 +164,11 @@ impl SfsNetwork {
         *self.interceptor.lock() = Some(i);
     }
 
+    /// Attaches a seeded fault plan to all future connections.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.fault.lock() = Some(plan);
+    }
+
     /// Attaches a packet recorder to all future connections.
     pub fn set_log(&self, log: PacketLog) {
         *self.log.lock() = Some(log);
@@ -171,6 +180,9 @@ impl SfsNetwork {
         let mut wire = Wire::new(self.clock.clone(), self.params);
         if let Some(i) = &*self.interceptor.lock() {
             wire.set_interceptor(i.clone());
+        }
+        if let Some(f) = &*self.fault.lock() {
+            wire.set_fault_plan(f.clone());
         }
         if let Some(l) = &*self.log.lock() {
             wire.set_log(l.clone());
@@ -197,20 +209,37 @@ struct CachedAttr {
     expires: SimTime,
 }
 
+/// One negotiated connection to a server: the wire, the server-side
+/// connection object, the secure channel, and that session's identity.
+/// Replaced wholesale when the client reconnects after a channel death
+/// or server restart.
+struct Link {
+    wire: Wire,
+    conn: ServerConn,
+    channel: SecureChannelEnd,
+    session_id: [u8; 20],
+    /// Bumped on every reconnect; lets concurrent callers detect that a
+    /// renegotiation already happened.
+    generation: u64,
+}
+
 /// One mounted remote file system.
 pub struct Mount {
     /// The self-certifying pathname this mount serves.
     pub path: SelfCertifyingPath,
-    wire: Wire,
-    conn: ServerConn,
-    channel: Mutex<SecureChannelEnd>,
-    session_id: [u8; 20],
-    root_fh: FileHandle,
-    /// Per-uid authentication numbers.
+    link: Mutex<Link>,
+    root_fh: Mutex<FileHandle>,
+    /// Per-uid authentication numbers (valid for the current link only).
     authnos: Mutex<HashMap<u32, u32>>,
+    /// Monotonic across reconnects: the server's fresh seqno window
+    /// accepts any forward jump, and never reusing a seqno keeps the
+    /// §3.1.3 freshness guarantee intact through renegotiations.
     next_seq: AtomicU32,
     attr_cache: Mutex<HashMap<Vec<u8>, CachedAttr>>,
     access_cache: Mutex<HashMap<AccessKey, CachedAttr>>,
+    /// Round trips accumulated on wires discarded by reconnects.
+    prior_round_trips: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 /// Access-cache key: (file handle bytes, uid, requested mask).
@@ -219,18 +248,63 @@ type AccessKey = (Vec<u8>, u32, u32);
 impl Mount {
     /// The root file handle.
     pub fn root(&self) -> FileHandle {
-        self.root_fh.clone()
+        self.root_fh.lock().clone()
     }
 
-    /// Network round trips taken through this mount.
+    /// Network round trips taken through this mount (across all
+    /// connections, including ones torn down by reconnects).
     pub fn round_trips(&self) -> u64 {
-        self.wire.round_trips()
+        self.prior_round_trips.load(Ordering::SeqCst) + self.link.lock().wire.round_trips()
+    }
+
+    /// The current session ID (changes on every rekey).
+    pub fn session_id(&self) -> [u8; 20] {
+        self.link.lock().session_id
+    }
+
+    /// How many times this mount has reconnected and renegotiated keys.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::SeqCst)
+    }
+
+    fn generation(&self) -> u64 {
+        self.link.lock().generation
     }
 }
 
 impl std::fmt::Debug for Mount {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Mount({})", self.path.dir_name())
+    }
+}
+
+/// How the client paces retransmissions and reconnects (all in virtual
+/// time). Retransmission resends the *identical* sealed frame — the
+/// ARC4 streams mean a fresh seal would never line up with the server's
+/// cipher position — so only request-direction losses are recoverable
+/// in place; anything that desynchronises the streams escalates to a
+/// full reconnect with key renegotiation.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Identical-frame retransmissions per RPC before escalating to a
+    /// reconnect.
+    pub max_retransmits: u32,
+    /// Reconnect-and-reissue rounds per RPC before giving up.
+    pub max_reconnects: u32,
+    /// First backoff, ns (doubles per attempt).
+    pub base_backoff_ns: u64,
+    /// Backoff ceiling, ns.
+    pub max_backoff_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retransmits: 5,
+            max_reconnects: 8,
+            base_backoff_ns: 100_000_000,
+            max_backoff_ns: 10_000_000_000,
+        }
     }
 }
 
@@ -241,6 +315,11 @@ pub struct SfsClient {
     cpu: Option<CpuCosts>,
     ephemeral: Mutex<RabinPrivateKey>,
     rng: Mutex<SfsPrg>,
+    retry: Mutex<RetryPolicy>,
+    /// xorshift64* state for deterministic backoff jitter (seeded from
+    /// the client's entropy, independent of the crypto generator so
+    /// retry timing never perturbs key material).
+    jitter: AtomicU64,
     agents: Mutex<HashMap<u32, Arc<Mutex<Agent>>>>,
     mounts: Mutex<HashMap<String, Arc<Mount>>>,
     /// Which self-certifying names each agent (uid) has referenced — the
@@ -260,12 +339,39 @@ impl SfsClient {
     pub fn new(net: Arc<SfsNetwork>, entropy: &[u8]) -> Arc<Self> {
         let mut rng = SfsPrg::from_entropy(entropy);
         let ephemeral = generate_keypair(EPHEMERAL_KEY_BITS, &mut rng);
+        Self::with_ephemeral_rng(net, entropy, ephemeral, rng)
+    }
+
+    /// Creates a client with a caller-supplied ephemeral key (tests use a
+    /// precomputed key to skip the prime search; the code paths exercised
+    /// afterwards are identical).
+    pub fn with_ephemeral(
+        net: Arc<SfsNetwork>,
+        entropy: &[u8],
+        ephemeral: RabinPrivateKey,
+    ) -> Arc<Self> {
+        let rng = SfsPrg::from_entropy(entropy);
+        Self::with_ephemeral_rng(net, entropy, ephemeral, rng)
+    }
+
+    fn with_ephemeral_rng(
+        net: Arc<SfsNetwork>,
+        entropy: &[u8],
+        ephemeral: RabinPrivateKey,
+        rng: SfsPrg,
+    ) -> Arc<Self> {
+        // Fold the entropy into a nonzero jitter seed.
+        let seed = entropy.iter().fold(0x9E37_79B9u64, |acc, &b| {
+            acc.rotate_left(8) ^ u64::from(b).wrapping_mul(0x100_0193)
+        }) | 1;
         Arc::new(SfsClient {
             clock: net.clock().clone(),
             net,
             cpu: None,
             ephemeral: Mutex::new(ephemeral),
             rng: Mutex::new(rng),
+            retry: Mutex::new(RetryPolicy::default()),
+            jitter: AtomicU64::new(seed),
             agents: Mutex::new(HashMap::new()),
             mounts: Mutex::new(HashMap::new()),
             referenced: Mutex::new(HashMap::new()),
@@ -299,6 +405,38 @@ impl SfsClient {
         let mut c = Arc::try_unwrap(client).unwrap_or_else(|_| unreachable!("sole owner"));
         c.cpu = Some(cpu);
         Arc::new(c)
+    }
+
+    /// Replaces the retransmission/reconnect pacing policy.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.lock() = policy;
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.lock()
+    }
+
+    /// Waits out one exponential-backoff interval with ±25% deterministic
+    /// jitter, charged to the virtual clock.
+    fn backoff(&self, attempt: u32) {
+        let policy = self.retry_policy();
+        let exp = policy
+            .base_backoff_ns
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(policy.max_backoff_ns);
+        let spread = exp / 4;
+        // xorshift64* step on the shared jitter state.
+        let mut x = self.jitter.load(Ordering::SeqCst);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.jitter.store(x, Ordering::SeqCst);
+        let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let ns = exp - spread + r % (2 * spread + 1).max(1);
+        let tel = self.tel();
+        tel.count("client", "retry.backoffs", 1);
+        tel.instant_kv("client", "core.client", "backoff", "ns", ns);
+        self.clock.advance_ns(ns);
     }
 
     /// Enables or disables the enhanced attribute/access caching (the
@@ -520,6 +658,38 @@ impl SfsClient {
 
         let tel = self.tel();
         let _mount_span = tel.span("client", "core.client", "mount");
+        let link = self.negotiate_with_retry(path, &agent, 0)?;
+        let mount = Arc::new(Mount {
+            path: path.clone(),
+            link: Mutex::new(link),
+            root_fh: Mutex::new(FileHandle(Vec::new())),
+            authnos: Mutex::new(HashMap::new()),
+            next_seq: AtomicU32::new(1),
+            attr_cache: Mutex::new(HashMap::new()),
+            access_cache: Mutex::new(HashMap::new()),
+            prior_round_trips: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+        });
+        // Fetch the root handle over the authenticated channel (the
+        // sealed-call retry machinery already protects this first RPC).
+        let root = match self.sealed_call(&mount, InnerCall::Mount)? {
+            InnerReply::MountReply { root } => root,
+            other => return Err(ClientError::Protocol(format!("bad mount reply: {other:?}"))),
+        };
+        *mount.root_fh.lock() = root;
+        self.mounts.lock().insert(path.dir_name(), mount.clone());
+        Ok(mount)
+    }
+
+    /// Runs the full Figure-3 key negotiation on a freshly dialed
+    /// connection, producing a ready [`Link`].
+    fn negotiate_once(
+        &self,
+        path: &SelfCertifyingPath,
+        agent: &Arc<Mutex<Agent>>,
+        generation: u64,
+    ) -> Result<Link, ClientError> {
+        let tel = self.tel();
         let (wire, conn) = self
             .net
             .dial(&path.location)
@@ -570,35 +740,107 @@ impl SfsClient {
         drop(phase);
         drop(keyneg_span);
         tel.count("client", "keyneg.completed", 1);
-        let session_id = keys.session_id;
         let mut channel = SecureChannelEnd::client(&keys);
         channel.set_telemetry(tel.clone());
-
-        let mount = Arc::new(Mount {
-            path: path.clone(),
+        Ok(Link {
             wire,
             conn,
-            channel: Mutex::new(channel),
-            session_id,
-            root_fh: FileHandle(Vec::new()),
-            authnos: Mutex::new(HashMap::new()),
-            next_seq: AtomicU32::new(1),
-            attr_cache: Mutex::new(HashMap::new()),
-            access_cache: Mutex::new(HashMap::new()),
-        });
-        // Fetch the root handle over the authenticated channel.
-        let root = match self.sealed_call(&mount, InnerCall::Mount)? {
-            InnerReply::MountReply { root } => root,
-            other => return Err(ClientError::Protocol(format!("bad mount reply: {other:?}"))),
-        };
-        // `root_fh` is logically immutable after construction; rebuild the
-        // Mount with it set.
-        let mount = Arc::new(Mount {
-            root_fh: root,
-            ..Arc::try_unwrap(mount).unwrap_or_else(|_| unreachable!("sole owner"))
-        });
-        self.mounts.lock().insert(path.dir_name(), mount.clone());
-        Ok(mount)
+            channel,
+            session_id: keys.session_id,
+            generation,
+        })
+    }
+
+    /// Negotiates with backoff-paced retries. Transient failures (lost or
+    /// mangled key-negotiation packets, a server that just restarted) are
+    /// retried on a fresh connection; definitive answers (revoked,
+    /// blocked, no such host) are not.
+    fn negotiate_with_retry(
+        &self,
+        path: &SelfCertifyingPath,
+        agent: &Arc<Mutex<Agent>>,
+        generation: u64,
+    ) -> Result<Link, ClientError> {
+        let max = self.retry_policy().max_reconnects;
+        let mut attempt = 0;
+        loop {
+            match self.negotiate_once(path, agent, generation) {
+                Ok(link) => return Ok(link),
+                Err(
+                    e @ (ClientError::Revoked
+                    | ClientError::Blocked
+                    | ClientError::NoSuchHost(_)
+                    | ClientError::Path(_)),
+                ) => return Err(e),
+                Err(e) => {
+                    if attempt >= max {
+                        return Err(e);
+                    }
+                    self.backoff(attempt);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Whether an error means the secure channel (or the server behind
+    /// it) is gone and only a reconnect with full key renegotiation can
+    /// make progress.
+    fn session_dead(e: &ClientError) -> bool {
+        match e {
+            // Local MAC/decrypt failure poisons the channel permanently.
+            ClientError::Channel(_) => true,
+            // Retransmissions exhausted (e.g. a partition): escalate.
+            ClientError::Net(WireError::Timeout) => true,
+            // The server lost or refused our session state.
+            ClientError::Protocol(msg) => {
+                msg.contains("channel failure")
+                    || msg.contains("no secure channel")
+                    || msg.contains("restarted")
+                    || msg.contains("key negotiation out of order")
+                    // A mangled wire envelope (either side failed to even
+                    // parse the frame): the cipher streams may have
+                    // desynchronised, so only a rekey is safe.
+                    || msg.contains("reply framing corrupted")
+                    || msg.contains("unexpected reply")
+                    || msg.contains("unparseable message")
+            }
+            _ => false,
+        }
+    }
+
+    /// Tears down a mount's link and negotiates a fresh session. Skips
+    /// the work if another caller already reconnected past
+    /// `observed_generation`. Per-session client state — authentication
+    /// numbers and both lease caches — is invalidated: leases were
+    /// granted by a server instance that may have restarted, and authnos
+    /// only exist inside the old session.
+    fn reconnect(&self, mount: &Mount, observed_generation: u64) -> Result<(), ClientError> {
+        let tel = self.tel();
+        let _span = tel.span("client", "core.client", "reconnect");
+        let agent_any = self.agents.lock().values().next().cloned();
+        let agent = agent_any.unwrap_or_else(|| Arc::new(Mutex::new(Agent::new())));
+        let mut guard = mount.link.lock();
+        if guard.generation != observed_generation {
+            return Ok(()); // someone else already renegotiated
+        }
+        tel.count("client", "reconnect.attempts", 1);
+        tel.instant("client", "core.client", "reconnect");
+        // The handshake itself runs over the faulty network: retry it
+        // with backoff rather than letting one lost keyneg packet turn
+        // into a hard error.
+        let link = self.negotiate_with_retry(&mount.path, &agent, observed_generation + 1)?;
+        mount
+            .prior_round_trips
+            .fetch_add(guard.wire.round_trips(), Ordering::SeqCst);
+        *guard = link;
+        drop(guard);
+        mount.authnos.lock().clear();
+        mount.attr_cache.lock().clear();
+        mount.access_cache.lock().clear();
+        mount.reconnects.fetch_add(1, Ordering::SeqCst);
+        tel.count("client", "reconnect.completed", 1);
+        Ok(())
     }
 
     /// One cleartext wire round trip.
@@ -614,28 +856,83 @@ impl SfsClient {
         ReplyMsg::from_xdr(&reply_bytes).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
-    /// One sealed round trip over a mount's secure channel.
+    /// One sealed RPC over a mount's secure channel, surviving faults:
+    /// request-direction losses are retried by resending the identical
+    /// sealed frame (backoff-paced); anything that kills the session —
+    /// a desynchronised cipher stream, a poisoned channel, a restarted
+    /// server, an exhausted retransmission budget — triggers a full
+    /// reconnect with key renegotiation, after which the call is
+    /// re-sealed on the new channel and reissued.
     fn sealed_call(&self, mount: &Mount, call: InnerCall) -> Result<InnerReply, ClientError> {
-        let _span = self.tel().span("client", "core.client", "sealed_call");
         let plaintext = call.to_xdr();
+        let max = self.retry_policy().max_reconnects;
+        let mut round = 0;
+        loop {
+            let generation = mount.generation();
+            match self.sealed_call_once(mount, &plaintext) {
+                Ok(inner) => return Ok(inner),
+                Err(e) if Self::session_dead(&e) => {
+                    if round >= max {
+                        return Err(e);
+                    }
+                    self.backoff(round);
+                    self.reconnect(mount, generation)?;
+                    round += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One sealed round trip on the mount's *current* link. Holds the
+    /// link for the whole exchange (the stream ciphers serialize sealed
+    /// traffic anyway) and releases it before any reconnect, so the
+    /// retry driver can replace the link without deadlocking.
+    fn sealed_call_once(&self, mount: &Mount, plaintext: &[u8]) -> Result<InnerReply, ClientError> {
+        let _span = self.tel().span("client", "core.client", "sealed_call");
         // Cost model: one user-level crossing into sfscd, a data copy
         // through the daemon, crypto over the outgoing bytes.
         self.charge_crossing();
         self.charge_rpc();
         self.charge_user_copy(plaintext.len());
         self.charge_crypto_cost(plaintext.len());
-        let mut channel = mount.channel.lock();
-        let frame = channel.seal(&plaintext)?;
-        let reply_bytes = mount.wire.call(CallMsg::Sealed(frame).to_xdr(), |b| {
-            // Server side: one crossing into sfssd, the data copy through
-            // it, plus the NFS loopback hop.
-            self.charge_crossing();
-            self.charge_rpc();
-            self.charge_server_copy(b.len());
-            mount.conn.handle_bytes(&b)
-        })?;
-        let reply =
-            ReplyMsg::from_xdr(&reply_bytes).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let mut guard = mount.link.lock();
+        let link = &mut *guard;
+        let frame = link.channel.seal(plaintext)?;
+        let msg = CallMsg::Sealed(frame).to_xdr();
+        // Retransmission loop: the frame was sealed once; every resend
+        // puts the same bytes on the wire, so a request that was lost
+        // in flight still decrypts at the server's cipher position.
+        let policy = self.retry_policy();
+        let mut attempt = 0;
+        let reply_bytes = loop {
+            let sent = link.wire.call(msg.clone(), |b| {
+                // Server side: one crossing into sfssd, the data copy
+                // through it, plus the NFS loopback hop.
+                self.charge_crossing();
+                self.charge_rpc();
+                self.charge_server_copy(b.len());
+                link.conn.handle_bytes(&b)
+            });
+            match sent {
+                Ok(b) => break b,
+                Err(WireError::Timeout) => {
+                    if attempt >= policy.max_retransmits {
+                        return Err(ClientError::Net(WireError::Timeout));
+                    }
+                    let tel = self.tel();
+                    tel.count("client", "retry.retransmits", 1);
+                    tel.instant("client", "core.client", "retransmit");
+                    self.backoff(attempt);
+                    attempt += 1;
+                }
+            }
+        };
+        // An unparseable envelope means the reply was mangled in flight
+        // before the MAC could vouch for anything; classified as a
+        // session death so the retry driver renegotiates.
+        let reply = ReplyMsg::from_xdr(&reply_bytes)
+            .map_err(|e| ClientError::Protocol(format!("reply framing corrupted: {e}")))?;
         let ReplyMsg::Sealed(sealed) = reply else {
             return match reply {
                 ReplyMsg::Error(e) => Err(ClientError::Protocol(e)),
@@ -646,8 +943,8 @@ impl SfsClient {
         };
         self.charge_user_copy(sealed.len());
         self.charge_crypto_cost(sealed.len());
-        let plain = channel.open(&sealed)?;
-        drop(channel);
+        let plain = link.channel.open(&sealed)?;
+        drop(guard);
         let inner =
             InnerReply::from_xdr(&plain).map_err(|e| ClientError::Protocol(e.to_string()))?;
         // Apply piggybacked invalidation callbacks.
@@ -676,9 +973,14 @@ impl SfsClient {
         let tel = self.tel();
         let _auth_span = tel.span("client", "core.client", "ensure_auth");
         let agent = self.agent(uid);
-        let info = AuthInfo::for_fs(&mount.path.location, mount.path.host_id, mount.session_id);
         let mut attempt = 0;
         let authno = loop {
+            // The AuthID binds the signature to the *current* session: a
+            // reconnect mid-loop changes the session ID, so recompute it
+            // every iteration rather than burning key attempts on
+            // signatures the server can no longer match.
+            let session_id = mount.session_id();
+            let info = AuthInfo::for_fs(&mount.path.location, mount.path.host_id, session_id);
             let seq = mount.next_seq.fetch_add(1, Ordering::SeqCst);
             let sign_span = tel.span("agent", "core.client", "authenticate");
             let msg = agent.lock().authenticate(&info, seq, attempt);
@@ -691,7 +993,12 @@ impl SfsClient {
             match self.sealed_call(mount, InnerCall::Auth { seq_no: seq, msg })? {
                 InnerReply::AuthGranted { authno, .. } => break authno,
                 InnerReply::AuthDenied { .. } => {
-                    attempt += 1;
+                    if mount.session_id() == session_id {
+                        attempt += 1;
+                    }
+                    // Otherwise the session was renegotiated under us and
+                    // the denial just means "signed for the old session":
+                    // retry the same key against the new session.
                 }
                 other => return Err(ClientError::Protocol(format!("bad auth reply: {other:?}"))),
             }
@@ -700,28 +1007,43 @@ impl SfsClient {
         Ok(authno)
     }
 
-    /// Issues one NFS3 call for `uid` over `mount`.
+    /// Issues one NFS3 call for `uid` over `mount`. If the session is
+    /// renegotiated mid-call, the authentication number sent with the
+    /// request belonged to the dead session — re-authenticate on the new
+    /// one and reissue.
     pub fn call_nfs(
         &self,
         mount: &Mount,
         uid: u32,
         req: &Nfs3Request,
     ) -> Result<Nfs3Reply, ClientError> {
-        let authno = self.ensure_auth(mount, uid)?;
         let proc = req.proc();
-        let call = InnerCall::Nfs {
-            authno,
-            proc: proc as u32,
-            args: req.encode_args(),
-        };
-        match self.sealed_call(mount, call)? {
-            InnerReply::Nfs { results, .. } => {
-                let reply = Nfs3Reply::decode_results(proc, &results)
-                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
-                self.harvest_attrs(mount, req, &reply);
-                Ok(reply)
+        let reissue_cap = self.retry_policy().max_reconnects;
+        let mut rounds = 0;
+        loop {
+            let authno = self.ensure_auth(mount, uid)?;
+            let generation = mount.generation();
+            let call = InnerCall::Nfs {
+                authno,
+                proc: proc as u32,
+                args: req.encode_args(),
+            };
+            let reply = self.sealed_call(mount, call)?;
+            if mount.generation() != generation && rounds < reissue_cap {
+                // Reconnected while this call was in flight: the server
+                // executed it (if at all) with stale credentials.
+                rounds += 1;
+                continue;
             }
-            other => Err(ClientError::Protocol(format!("bad NFS reply: {other:?}"))),
+            return match reply {
+                InnerReply::Nfs { results, .. } => {
+                    let reply = Nfs3Reply::decode_results(proc, &results)
+                        .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                    self.harvest_attrs(mount, req, &reply);
+                    Ok(reply)
+                }
+                other => Err(ClientError::Protocol(format!("bad NFS reply: {other:?}"))),
+            };
         }
     }
 
@@ -1078,7 +1400,7 @@ impl SfsClient {
                     &mount,
                     uid,
                     &Nfs3Request::Create {
-                        dir: dir_fh,
+                        dir: dir_fh.clone(),
                         name: leaf.to_string(),
                         attrs: Sattr3 {
                             mode: Some(0o644),
@@ -1087,6 +1409,39 @@ impl SfsClient {
                     },
                 )? {
                     Nfs3Reply::Create { fh, .. } => fh,
+                    // NFS retry semantics: LOOKUP just said NoEnt, so
+                    // Exist can only mean an earlier transmission of this
+                    // CREATE executed but its reply was lost and the call
+                    // reissued after a rekey. The file is there — fetch
+                    // its handle and truncate, as if LOOKUP had won.
+                    Nfs3Reply::Error {
+                        status: Status::Exist,
+                        ..
+                    } => match self.call_nfs(
+                        &mount,
+                        uid,
+                        &Nfs3Request::Lookup {
+                            dir: dir_fh,
+                            name: leaf.to_string(),
+                        },
+                    )? {
+                        Nfs3Reply::Lookup { fh, .. } => {
+                            self.call_nfs(
+                                &mount,
+                                uid,
+                                &Nfs3Request::SetAttr {
+                                    fh: fh.clone(),
+                                    attrs: Sattr3 {
+                                        size: Some(0),
+                                        ..Default::default()
+                                    },
+                                },
+                            )?;
+                            fh
+                        }
+                        Nfs3Reply::Error { status, .. } => return Err(ClientError::Nfs(status)),
+                        other => return Err(ClientError::Protocol(format!("{other:?}"))),
+                    },
                     Nfs3Reply::Error { status, .. } => return Err(ClientError::Nfs(status)),
                     other => return Err(ClientError::Protocol(format!("{other:?}"))),
                 }

@@ -15,6 +15,7 @@
 //! encrypting them in CBC mode with a 20-byte Blowfish key" (§3.3).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sfs_bignum::Nat;
@@ -31,6 +32,7 @@ use sfs_proto::pathname::SelfCertifyingPath;
 use sfs_proto::readonly::RoDatabase;
 use sfs_proto::revoke::{ForwardingPointer, RevocationCert};
 use sfs_proto::userauth::{AuthInfo, SeqWindow, AUTHNO_ANONYMOUS};
+use sfs_sim::FaultPlan;
 use sfs_telemetry::sync::Mutex;
 use sfs_telemetry::Telemetry;
 use sfs_vfs::{Credentials, Vfs};
@@ -207,6 +209,12 @@ pub struct SfsServer {
     ro_db: Mutex<Option<Arc<RoDatabase>>>,
     /// Lease invalidations pending delivery (piggybacked on replies).
     invalidations: Arc<Mutex<Vec<FileHandle>>>,
+    /// Boot epoch from crashes triggered by hand ([`Self::crash_restart`]).
+    manual_epoch: AtomicU64,
+    /// Highest fault-plan-scheduled crash epoch already applied.
+    seen_plan_epoch: AtomicU64,
+    /// Optional fault plan supplying a crash-restart schedule.
+    fault: Mutex<Option<FaultPlan>>,
     tel: Mutex<Telemetry>,
 }
 
@@ -240,6 +248,9 @@ impl SfsServer {
             revocation: Mutex::new(None),
             ro_db: Mutex::new(None),
             invalidations,
+            manual_epoch: AtomicU64::new(0),
+            seen_plan_epoch: AtomicU64::new(0),
+            fault: Mutex::new(None),
             tel: Mutex::new(Telemetry::disabled()),
         })
     }
@@ -340,9 +351,66 @@ impl SfsServer {
         Ok(FileHandle(inner.to_vec()))
     }
 
+    /// Attaches a seeded fault plan; its crash schedule takes effect
+    /// lazily as the virtual clock passes each scheduled instant.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.fault.lock() = Some(plan);
+    }
+
+    /// Crash-restarts the server by hand: every live connection's state
+    /// (secure channels, authentication numbers, seqno windows) is gone,
+    /// as are pending lease invalidations. Long-lived state — the server
+    /// key, the file system, the file-handle cipher derived from the key
+    /// — survives, which is exactly what lets clients reconnect and
+    /// renegotiate against the *same* self-certifying pathname.
+    pub fn crash_restart(&self) {
+        self.manual_epoch.fetch_add(1, Ordering::SeqCst);
+        self.invalidations.lock().clear();
+        let tel = self.tel.lock().clone();
+        tel.count("server", "restarts", 1);
+        tel.instant("server", "core.server", "restart");
+        if let Some(plan) = &*self.fault.lock() {
+            plan.note_server_crash(self.nfs.vfs().clock().now());
+        }
+    }
+
+    /// The current boot epoch: manual crash-restarts plus any fault-plan
+    /// crashes the virtual clock has passed. Connections opened in an
+    /// older epoch are permanently rejected — their session state died
+    /// with the crashed instance.
+    pub fn current_epoch(&self) -> u64 {
+        let plan_epoch = self
+            .fault
+            .lock()
+            .as_ref()
+            .map(|p| p.server_epoch(self.nfs.vfs().clock().now()))
+            .unwrap_or(0);
+        let seen = self.seen_plan_epoch.load(Ordering::SeqCst);
+        if plan_epoch > seen
+            && self
+                .seen_plan_epoch
+                .compare_exchange(seen, plan_epoch, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            // First observation of a scheduled crash: apply the restart's
+            // side effects once.
+            self.invalidations.lock().clear();
+            let tel = self.tel.lock().clone();
+            tel.count("server", "restarts", plan_epoch - seen);
+            tel.instant("server", "core.server", "restart");
+            if let Some(plan) = &*self.fault.lock() {
+                for _ in seen..plan_epoch {
+                    plan.note_server_crash(self.nfs.vfs().clock().now());
+                }
+            }
+        }
+        self.manual_epoch.load(Ordering::SeqCst) + plan_epoch
+    }
+
     /// Opens a new connection (one per client TCP connection).
     pub fn accept(self: &Arc<Self>) -> ServerConn {
         ServerConn {
+            epoch: self.current_epoch(),
             server: self.clone(),
             state: Mutex::new(ConnState::Idle),
         }
@@ -387,6 +455,9 @@ enum ConnState {
 /// One client connection's server-side state machine.
 pub struct ServerConn {
     server: Arc<SfsServer>,
+    /// The server boot epoch this connection was accepted in; a crash
+    /// restart invalidates it and every message afterwards is refused.
+    epoch: u64,
     state: Mutex<ConnState>,
 }
 
@@ -420,6 +491,14 @@ impl ServerConn {
         };
         let _span = tel.span("server", "core.server", name);
         tel.count("server", "dispatch.calls", 1);
+        // A connection from before a crash-restart is dead: the instance
+        // holding its channel keys and seqno window no longer exists, so
+        // the client must redial and force a full rekey. Stale *sessions*
+        // can never be resumed — that is the recovery invariant.
+        if self.server.current_epoch() != self.epoch {
+            tel.count("server", "stale_conns.rejected", 1);
+            return ReplyMsg::Error("connection reset: server restarted".into());
+        }
         let mut state = self.state.lock();
         match msg {
             CallMsg::Hello {

@@ -1,0 +1,417 @@
+//! Chaos soak: the full SFS stack (key negotiation, secure channel, user
+//! authentication, NFS relay, disk) driven over a seeded [`FaultPlan`]
+//! injecting every fault kind the simulator knows — drops, duplicates,
+//! reorders, corruption, delays, partitions, server crash-restarts, and
+//! transient disk sync-write failures.
+//!
+//! Three invariants, per ISSUE and paper §2.1 ("an attacker can delay,
+//! duplicate, modify, or drop" packets):
+//!
+//! 1. every seeded run *completes* — the client's retransmission,
+//!    backoff, and reconnect/rekey machinery rides out the faults;
+//! 2. no corrupted payload is ever accepted past the MAC — every byte
+//!    read back equals every byte written;
+//! 3. rerunning a seed reproduces the run bit-for-bit: identical
+//!    virtual-time totals and an identical fault-event log.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use sfs::authserver::{AuthServer, UserRecord};
+use sfs::client::{SfsClient, SfsNetwork};
+use sfs::server::{ServerConfig, SfsServer};
+use sfs_bignum::XorShiftSource;
+use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
+use sfs_crypto::srp::SrpGroup;
+use sfs_crypto::SfsPrg;
+use sfs_proto::pathname::SelfCertifyingPath;
+use sfs_sim::{
+    DiskParams, FaultEvent, FaultKind, FaultPlan, NetParams, SimClock, SimDisk, Transport,
+};
+use sfs_vfs::{Credentials, Vfs};
+
+fn server_key() -> RabinPrivateKey {
+    static KEY: OnceLock<RabinPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = XorShiftSource::new(0xA5A5);
+        generate_keypair(768, &mut rng)
+    })
+    .clone()
+}
+
+fn user_key() -> RabinPrivateKey {
+    static KEY: OnceLock<RabinPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = XorShiftSource::new(0xB6B6);
+        generate_keypair(512, &mut rng)
+    })
+    .clone()
+}
+
+fn client_ephemeral() -> RabinPrivateKey {
+    static KEY: OnceLock<RabinPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = XorShiftSource::new(0xE9E9);
+        generate_keypair(768, &mut rng)
+    })
+    .clone()
+}
+
+fn srp_group() -> SrpGroup {
+    static G: OnceLock<SrpGroup> = OnceLock::new();
+    G.get_or_init(|| {
+        let mut rng = XorShiftSource::new(0xC7C7);
+        SrpGroup::generate(128, &mut rng)
+    })
+    .clone()
+}
+
+const ALICE_UID: u32 = 1000;
+
+struct World {
+    clock: SimClock,
+    server: Arc<SfsServer>,
+    client: Arc<SfsClient>,
+    path: SelfCertifyingPath,
+}
+
+/// Builds the e2e world with `plan` wired through every layer: the disk
+/// under the Vfs, the server's crash schedule, and every wire the
+/// network dials.
+fn build_chaos_world(plan: &FaultPlan) -> World {
+    let clock = SimClock::new();
+    let disk = SimDisk::new(clock.clone(), DiskParams::ibm_18es());
+    disk.set_fault_plan(plan.clone());
+    let vfs = Vfs::new(7, clock.clone()).with_disk(disk);
+    let root_creds = Credentials::root();
+    let home = vfs.mkdir_p("/home/alice").unwrap();
+    vfs.setattr(
+        &root_creds,
+        home,
+        sfs_vfs::SetAttr {
+            uid: Some(ALICE_UID),
+            gid: Some(100),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let public = vfs.mkdir_p("/public").unwrap();
+    vfs.setattr(
+        &root_creds,
+        public,
+        sfs_vfs::SetAttr {
+            mode: Some(0o777),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    vfs.write_file(&root_creds, public, "motd", b"welcome to sfs")
+        .unwrap();
+    let (motd, _) = vfs.lookup(&root_creds, public, "motd").unwrap();
+    vfs.setattr(
+        &root_creds,
+        motd,
+        sfs_vfs::SetAttr {
+            mode: Some(0o644),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let auth = Arc::new(AuthServer::new(srp_group(), 2));
+    auth.register_user(UserRecord {
+        user: "alice".into(),
+        uid: ALICE_UID,
+        gids: vec![100],
+        public_key: user_key().public().to_bytes(),
+    });
+    let server = SfsServer::new(
+        ServerConfig::new("sfs.lcs.mit.edu"),
+        server_key(),
+        vfs,
+        auth,
+        SfsPrg::from_entropy(b"server"),
+    );
+    server.set_fault_plan(plan.clone());
+    let net = SfsNetwork::new(clock.clone(), NetParams::switched_100mbit(Transport::Tcp));
+    net.set_fault_plan(plan.clone());
+    net.register(server.clone());
+    let client = SfsClient::with_ephemeral(net, b"chaos-client", client_ephemeral());
+    client.agent(ALICE_UID).lock().add_key(user_key());
+    let path = server.path().clone();
+    World {
+        clock,
+        server,
+        client,
+        path,
+    }
+}
+
+/// Everything one seeded run produced, for reproducibility assertions.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    total_ns: u64,
+    events: Vec<FaultEvent>,
+    reconnects: u64,
+}
+
+/// Runs the paper workload (create and write a handful of files in
+/// alice's home, read every byte back, read the world-readable motd)
+/// under `spec`. `mid_advance_ns` optionally jumps the virtual clock
+/// mid-workload so scheduled instants (partitions, crashes) land between
+/// RPCs. Panics if the workload fails or any payload comes back
+/// altered.
+fn soak(spec: &str, mid_advance_ns: u64) -> Outcome {
+    let plan = FaultPlan::from_spec(spec).unwrap();
+    let w = build_chaos_world(&plan);
+    let home = format!("{}/home/alice", w.path.full_path());
+    let files: Vec<(String, Vec<u8>)> = (0..5)
+        .map(|i| {
+            (
+                format!("{home}/chaos-{i}"),
+                format!("chaos file {i}: every byte must survive the MAC").into_bytes(),
+            )
+        })
+        .collect();
+    for (i, (path, data)) in files.iter().enumerate() {
+        w.client.write_file(ALICE_UID, path, data).unwrap();
+        if i == 1 && mid_advance_ns > 0 {
+            w.clock.advance_ns(mid_advance_ns);
+        }
+    }
+    for (path, data) in &files {
+        assert_eq!(
+            &w.client.read_file(ALICE_UID, path).unwrap(),
+            data,
+            "a corrupted payload leaked past the MAC in {spec:?}"
+        );
+    }
+    let motd = format!("{}/public/motd", w.path.full_path());
+    assert_eq!(
+        w.client.read_file(ALICE_UID, &motd).unwrap(),
+        b"welcome to sfs"
+    );
+    let (mount, _, _) = w.client.resolve(ALICE_UID, &motd).unwrap();
+    Outcome {
+        total_ns: w.clock.now().as_nanos(),
+        events: plan.events(),
+        reconnects: mount.reconnects(),
+    }
+}
+
+/// Runs `spec` twice and asserts the two runs are indistinguishable:
+/// same virtual-time total, same fault-event log (instants, kinds, and
+/// sites), same reconnect count.
+fn soak_twice(spec: &str, mid_advance_ns: u64) -> Outcome {
+    let a = soak(spec, mid_advance_ns);
+    let b = soak(spec, mid_advance_ns);
+    assert_eq!(
+        a.total_ns, b.total_ns,
+        "virtual-time total diverged across reruns of {spec:?}"
+    );
+    assert_eq!(
+        a.events, b.events,
+        "fault schedule diverged across reruns of {spec:?}"
+    );
+    assert_eq!(a.reconnects, b.reconnects);
+    a
+}
+
+fn kinds(events: &[FaultEvent]) -> BTreeSet<&'static str> {
+    events.iter().map(|e| e.kind.label()).collect()
+}
+
+// ---- one seeded plan per fault kind -------------------------------------
+
+#[test]
+fn survives_packet_drops() {
+    let out = soak_twice("seed=101,drop=50", 0);
+    assert!(
+        kinds(&out.events).contains(FaultKind::Drop.label()),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn survives_packet_duplication() {
+    let out = soak_twice("seed=102,dup=40", 0);
+    assert!(
+        kinds(&out.events).contains(FaultKind::Duplicate.label()),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn survives_packet_reordering() {
+    let out = soak_twice("seed=103,reorder=40", 0);
+    assert!(
+        kinds(&out.events).contains(FaultKind::Reorder.label()),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn survives_packet_corruption() {
+    // Every flipped bit must be caught by the channel MAC and retried;
+    // `soak` asserts byte-for-byte read-back.
+    let out = soak_twice("seed=104,corrupt=25", 0);
+    assert!(
+        kinds(&out.events).contains(FaultKind::Corrupt.label()),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn survives_packet_delays() {
+    let out = soak_twice("seed=105,delay=200,delay_ns=5ms", 0);
+    assert!(
+        kinds(&out.events).contains(FaultKind::Delay.label()),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn survives_network_partition() {
+    // The partition opens 1ms in (mid-workload, thanks to the clock jump)
+    // and every packet inside it is dropped; each retransmission timeout
+    // advances the clock one second, so the client waits it out and the
+    // workload still completes.
+    let out = soak_twice("seed=106,partition=2ms+3s", 2_000_000);
+    assert!(
+        kinds(&out.events).contains(FaultKind::Partition.label()),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn survives_scheduled_server_crash() {
+    // The crash instant (1s, safely after the mount handshake) passes
+    // when the mid-workload clock jump crosses it; the next sealed call
+    // hits "connection reset: server restarted", and the client
+    // reconnects and renegotiates session keys transparently.
+    let out = soak_twice("seed=107,crash=1s", 2_000_000_000);
+    assert!(
+        kinds(&out.events).contains(FaultKind::ServerCrash.label()),
+        "{out:?}"
+    );
+    assert!(
+        out.reconnects >= 1,
+        "a crash mid-workload must force at least one rekey: {out:?}"
+    );
+}
+
+#[test]
+fn survives_disk_sync_write_failures() {
+    let out = soak_twice("seed=108,syncfail=300", 0);
+    assert!(
+        kinds(&out.events).contains(FaultKind::DiskSyncFail.label()),
+        "{out:?}"
+    );
+}
+
+// ---- mixed-fault soak ---------------------------------------------------
+
+/// Twelve more seeded plans (20 total across the suite) mixing fault
+/// kinds, including hostile combinations: corruption under drops,
+/// partitions over a lossy link, crashes with disk failures.
+const MIXED_SPECS: &[(&str, u64)] = &[
+    ("seed=1,drop=20,dup=10,reorder=10", 0),
+    ("seed=2,drop=15,corrupt=15", 0),
+    ("seed=3,delay=100,delay_ns=2ms,drop=10", 0),
+    ("seed=4,dup=25,corrupt=10", 0),
+    ("seed=5,reorder=30,delay=50,delay_ns=1ms", 0),
+    ("seed=6,drop=10,syncfail=150", 0),
+    ("seed=7,partition=2ms+2s,drop=10", 2_000_000),
+    ("seed=8,crash=1s,corrupt=10", 2_000_000_000),
+    (
+        "seed=9,drop=25,dup=15,reorder=10,corrupt=10,delay=50,delay_ns=1ms",
+        0,
+    ),
+    ("seed=10,crash=1s,partition=1500ms+2s,drop=5", 2_000_000_000),
+    ("seed=11,syncfail=200,corrupt=15,dup=10", 0),
+    ("seed=12,drop=30,delay=100,delay_ns=3ms,syncfail=100", 0),
+];
+
+#[test]
+fn mixed_chaos_soak_completes_and_reproduces() {
+    let mut seen: BTreeSet<&'static str> = BTreeSet::new();
+    let mut injected = 0usize;
+    for (spec, jump) in MIXED_SPECS {
+        let out = soak_twice(spec, *jump);
+        seen.extend(kinds(&out.events));
+        injected += out.events.len();
+    }
+    assert!(injected > 0, "the soak must actually inject faults");
+    // Across the battery, every fault kind the simulator knows shows up.
+    for kind in [
+        FaultKind::Drop,
+        FaultKind::Duplicate,
+        FaultKind::Reorder,
+        FaultKind::Corrupt,
+        FaultKind::Delay,
+        FaultKind::Partition,
+        FaultKind::ServerCrash,
+        FaultKind::DiskSyncFail,
+    ] {
+        assert!(
+            seen.contains(kind.label()),
+            "no mixed plan injected {:?}; saw {seen:?}",
+            kind.label()
+        );
+    }
+}
+
+// ---- manual crash: the kill-server regression ---------------------------
+
+#[test]
+fn manual_server_kill_mid_workload_recovers_via_rekey() {
+    // No network faults at all: the only disturbance is the server being
+    // killed by hand between two writes. The client must back off,
+    // redial, renegotiate session keys, and finish the workload — and
+    // its attribute/access caches must not serve pre-crash entries as if
+    // nothing happened.
+    let plan = FaultPlan::from_spec("seed=200").unwrap();
+    let w = build_chaos_world(&plan);
+    let file = format!("{}/home/alice/journal", w.path.full_path());
+    w.client
+        .write_file(ALICE_UID, &file, b"before crash")
+        .unwrap();
+    let (mount, _, _) = w.client.resolve(ALICE_UID, &file).unwrap();
+    let session_before = mount.session_id();
+    assert_eq!(mount.reconnects(), 0);
+    // Warm the attribute cache on a file the post-crash workload will
+    // not touch: repeated getattrs stay off the wire.
+    let motd = format!("{}/public/motd", w.path.full_path());
+    let (_, motd_fh, _) = w.client.resolve(ALICE_UID, &motd).unwrap();
+    w.client.getattr(&mount, ALICE_UID, &motd_fh).unwrap();
+    let rpcs = w.client.network_rpcs();
+    w.client.getattr(&mount, ALICE_UID, &motd_fh).unwrap();
+    assert_eq!(w.client.network_rpcs(), rpcs, "getattr should be cached");
+
+    w.server.crash_restart();
+
+    w.client
+        .write_file(ALICE_UID, &file, b"after crash, new session")
+        .unwrap();
+    assert_eq!(
+        w.client.read_file(ALICE_UID, &file).unwrap(),
+        b"after crash, new session"
+    );
+    assert!(mount.reconnects() >= 1, "the kill must force a reconnect");
+    assert_ne!(
+        mount.session_id(),
+        session_before,
+        "rekey must produce a fresh session"
+    );
+    // The reconnect dropped the pre-crash attribute/access caches: the
+    // getattr that was a cache hit before now has to go back to the wire.
+    let rpcs = w.client.network_rpcs();
+    w.client.getattr(&mount, ALICE_UID, &motd_fh).unwrap();
+    assert!(
+        w.client.network_rpcs() > rpcs,
+        "attr cache must be invalidated by the reconnect"
+    );
+    // The crash is visible in the plan's event log too.
+    assert!(kinds(&plan.events()).contains(FaultKind::ServerCrash.label()));
+}

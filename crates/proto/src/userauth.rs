@@ -347,4 +347,85 @@ mod tests {
     fn oversized_window_panics() {
         let _ = SeqWindow::new(65);
     }
+
+    /// xorshift64* for the hand-rolled property tests below (the
+    /// workspace deliberately has no external property-testing
+    /// dependency).
+    fn prop_rng(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    #[test]
+    fn seq_window_matches_reference_model() {
+        // Property: for any arrival order, `accept` agrees with the
+        // obvious reference model — accept iff the number is newer than
+        // everything seen, or within the window and not yet seen.
+        // Duplicates rejected, reorders within the window accepted,
+        // stragglers beyond the window rejected — all fall out of the
+        // model.
+        for seed in 1..=20u64 {
+            for window in [1u32, 2, 8, 32, 64] {
+                let mut w = SeqWindow::new(window);
+                let mut state = seed.wrapping_mul(0x9E37_79B9) | 1;
+                // Shifted domain (seq + 1) so 0 means "nothing seen yet",
+                // mirroring the implementation's encoding.
+                let mut high = 0u64;
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..2000 {
+                    let r = prop_rng(&mut state);
+                    // Mostly cluster near the current high so duplicates,
+                    // in-window reorders, and beyond-window stragglers
+                    // all occur; occasionally jump far ahead.
+                    let seq = if r.is_multiple_of(7) {
+                        (prop_rng(&mut state) % 100_000) as u32
+                    } else {
+                        (high as i64 + (r % 129) as i64 - 64).max(0) as u32
+                    };
+                    let shifted = seq as u64 + 1;
+                    let expect = if shifted > high {
+                        true
+                    } else if high - shifted >= window as u64 {
+                        false
+                    } else {
+                        !seen.contains(&shifted)
+                    };
+                    assert_eq!(
+                        w.accept(seq),
+                        expect,
+                        "seed {seed} window {window} seq {seq} high {high}"
+                    );
+                    if expect {
+                        seen.insert(shifted);
+                        high = high.max(shifted);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seq_window_never_accepts_a_duplicate() {
+        // Property: a sequence number accepted once is never accepted
+        // again, whatever arrives in between — the §3.1.3 freshness
+        // guarantee the server's replay gate depends on.
+        for seed in 1..=10u64 {
+            let mut w = SeqWindow::new(32);
+            let mut state = seed.wrapping_mul(0x00C0_FFEE) | 1;
+            let mut accepted = std::collections::HashSet::new();
+            for _ in 0..3000 {
+                let seq = (prop_rng(&mut state) % 500) as u32;
+                if w.accept(seq) {
+                    assert!(
+                        accepted.insert(seq),
+                        "seq {seq} accepted twice (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
 }

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use sfs_telemetry::sync::Mutex;
 use sfs_telemetry::Telemetry;
 
+use crate::fault::FaultPlan;
 use crate::time::SimClock;
 
 /// Disk performance parameters.
@@ -61,6 +62,10 @@ struct DiskState {
     /// Tracing sink (shared across clones, so it can be attached after
     /// the disk is threaded through the VFS).
     tel: Telemetry,
+    /// Optional fault plan; synchronous writes may fail transiently.
+    fault: Option<FaultPlan>,
+    /// Transient sync-write failures absorbed by the retry path.
+    sync_failures: u64,
 }
 
 /// A simulated disk charging a [`SimClock`].
@@ -85,6 +90,18 @@ impl SimDisk {
     /// disk's virtual clock. Takes effect across all clones.
     pub fn set_telemetry(&self, tel: &Telemetry) {
         self.state.lock().tel = tel.clone().with_clock(self.clock.clone());
+    }
+
+    /// Attaches a seeded fault plan; synchronous writes consult it and
+    /// may fail transiently (the disk retries after re-positioning, so
+    /// the write still lands — the failure costs time and is counted).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.state.lock().fault = Some(plan);
+    }
+
+    /// Transient sync-write failures injected so far.
+    pub fn sync_failures(&self) -> u64 {
+        self.state.lock().sync_failures
     }
 
     /// Reads `len` bytes at block `block`, charging positioning when the
@@ -134,6 +151,19 @@ impl SimDisk {
         st.tel.count("server", "disk.writes", 1);
         st.tel.count("server", "disk.syncs", 1);
         st.tel.count("server", "disk.bytes_written", len as u64);
+        // A transient media failure: the write is retried after a full
+        // re-position, so the caller still sees it land (FFS panics on
+        // hard metadata write failures; we model the recoverable kind).
+        while st
+            .fault
+            .as_ref()
+            .is_some_and(|p| p.sync_write_fails(self.clock.now()))
+        {
+            st.sync_failures += 1;
+            st.tel.count("server", "disk.sync_failures", 1);
+            st.tel.instant("server", "sim.disk", "sync_write_retry");
+            self.clock.advance_ns(self.params.seek_ns);
+        }
         if st.head != block {
             st.seeks += 1;
             st.tel.count("server", "disk.seeks", 1);
@@ -230,6 +260,29 @@ mod tests {
         assert!(d.clock().now().as_nanos() >= DiskParams::ibm_18es().seek_ns);
         let (_, w, s, _) = d.stats();
         assert_eq!((w, s), (1, 1));
+    }
+
+    #[test]
+    fn sync_write_failures_cost_time_but_still_land() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let clean = disk();
+        clean.write_sync(10, 4096);
+        let d = disk();
+        d.set_fault_plan(FaultPlan::new(
+            99,
+            FaultSpec {
+                disk_sync_fail_pm: 500,
+                ..FaultSpec::none()
+            },
+        ));
+        let mut failures = 0;
+        for i in 0..40 {
+            d.write_sync(10 + i * 7, 4096);
+        }
+        failures += d.sync_failures();
+        assert!(failures > 0, "seed 99 at 500‰ must inject failures");
+        let (_, w, s, _) = d.stats();
+        assert_eq!((w, s), (40, 40), "every write still completes");
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! - [`disk`]: a seek/rotate/transfer disk model with a write-behind cache
 //!   and explicit synchronous-write accounting (the Sprite LFS benchmarks
 //!   are dominated by sync writes);
+//! - [`fault`]: a seeded, deterministic [`FaultPlan`] that drops,
+//!   duplicates, reorders, corrupts, and delays packets, cuts scheduled
+//!   partitions, crash-restarts servers, and fails sync disk writes —
+//!   every chaos run reproducible byte-for-byte from its seed;
 //! - [`cpu`]: per-byte and per-operation CPU cost accounting (user-level
 //!   crossings, software crypto);
 //! - [`ipc`]: authenticated local inter-process calls standing in for
@@ -22,12 +26,14 @@
 
 pub mod cpu;
 pub mod disk;
+pub mod fault;
 pub mod ipc;
 pub mod net;
 pub mod time;
 
 pub use cpu::CpuCosts;
 pub use disk::{DiskParams, SimDisk};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, NetAction};
 pub use ipc::{LocalEndpoint, LocalIdentity};
 pub use net::{Direction, Interceptor, NetParams, PacketLog, Transport, Verdict, Wire, WireError};
 pub use time::{SimClock, SimTime};

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use sfs_telemetry::sync::Mutex;
 use sfs_telemetry::Telemetry;
 
+use crate::fault::{FaultPlan, NetAction};
 use crate::time::SimClock;
 
 /// Packet direction relative to the client.
@@ -157,6 +158,7 @@ pub struct Wire {
     clock: SimClock,
     params: NetParams,
     interceptor: Option<Arc<Mutex<dyn Interceptor>>>,
+    fault: Option<FaultPlan>,
     log: Option<PacketLog>,
     /// Counter-only telemetry sink backing [`Wire::round_trips`] and
     /// [`Wire::bytes_sent`] ("SFS's enhanced caching reduces the number
@@ -175,6 +177,7 @@ impl Wire {
             clock,
             params,
             interceptor: None,
+            fault: None,
             log: None,
             stats: Telemetry::counters(),
             tel: Telemetry::disabled(),
@@ -189,6 +192,12 @@ impl Wire {
     /// Removes the adversary.
     pub fn clear_interceptor(&mut self) {
         self.interceptor = None;
+    }
+
+    /// Attaches a seeded fault plan; every packet's fate is decided by
+    /// the plan after the interceptor (if any) has had its turn.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
     }
 
     /// Attaches a packet recorder.
@@ -224,7 +233,18 @@ impl Wire {
         &self.clock
     }
 
-    fn transit(&self, dir: Direction, bytes: Vec<u8>) -> Result<Vec<u8>, WireError> {
+    /// The caller waits out a retransmission timeout on a lost packet.
+    fn lost(&self) -> WireError {
+        self.clock.advance_ns(1_000_000_000);
+        self.bump("net.timeouts", 1);
+        self.tel.instant("wire", "sim.net", "timeout");
+        WireError::Timeout
+    }
+
+    /// Moves one packet across the link. On success returns the delivered
+    /// bytes plus whether the fault plan duplicated the packet (the
+    /// receiver must then process it twice).
+    fn transit(&self, dir: Direction, bytes: Vec<u8>) -> Result<(Vec<u8>, bool), WireError> {
         let name = match dir {
             Direction::Request => "send",
             Direction::Reply => "recv",
@@ -238,33 +258,53 @@ impl Wire {
         if let Some(log) = &self.log {
             log.record(dir, &bytes);
         }
-        match &self.interceptor {
-            None => Ok(bytes),
+        let bytes = match &self.interceptor {
+            None => bytes,
             Some(i) => match i.lock().intercept(dir, &bytes) {
-                Verdict::Deliver => Ok(bytes),
-                Verdict::Replace(other) => Ok(other),
-                Verdict::Drop => {
-                    // The caller waits out a retransmission timeout.
-                    self.clock.advance_ns(1_000_000_000);
-                    self.bump("net.timeouts", 1);
-                    self.tel.instant("wire", "sim.net", "timeout");
-                    Err(WireError::Timeout)
+                Verdict::Deliver => bytes,
+                Verdict::Replace(other) => other,
+                Verdict::Drop => return Err(self.lost()),
+            },
+        };
+        match &self.fault {
+            None => Ok((bytes, false)),
+            Some(plan) => match plan.net_action(dir, self.clock.now(), bytes) {
+                NetAction::Deliver(b) => Ok((b, false)),
+                NetAction::Duplicate(b) => {
+                    self.bump("net.duplicates", 1);
+                    Ok((b, true))
                 }
+                NetAction::Delay(ns, b) => {
+                    self.clock.advance_ns(ns);
+                    self.bump("net.delays", 1);
+                    Ok((b, false))
+                }
+                NetAction::Drop => Err(self.lost()),
             },
         }
     }
 
     /// Sends `request` to `server` and returns its reply, charging transit
-    /// costs both ways.
+    /// costs both ways. When the fault plan duplicates the request, the
+    /// server processes both copies (and the client sees the first reply,
+    /// as a real retransmission-duplicate would play out).
     pub fn call(
         &self,
         request: Vec<u8>,
-        server: impl FnOnce(Vec<u8>) -> Vec<u8>,
+        mut server: impl FnMut(Vec<u8>) -> Vec<u8>,
     ) -> Result<Vec<u8>, WireError> {
         let span = self.tel.span("wire", "sim.net", "rpc");
-        let delivered = self.transit(Direction::Request, request)?;
-        let reply = server(delivered);
-        let got = self.transit(Direction::Reply, reply)?;
+        let (delivered, dup_req) = self.transit(Direction::Request, request)?;
+        let reply = if dup_req {
+            let first = server(delivered.clone());
+            let _second = server(delivered);
+            first
+        } else {
+            server(delivered)
+        };
+        // A duplicated reply reaches the client twice; the RPC layer
+        // discards the second copy, so only the event is observable.
+        let (got, _dup_rep) = self.transit(Direction::Reply, reply)?;
         self.bump("net.round_trips", 1);
         drop(span);
         Ok(got)
@@ -357,6 +397,70 @@ mod tests {
         assert_eq!(err, WireError::Timeout);
         // A retransmission timeout elapsed.
         assert!(w.clock().now().since(before).as_nanos() >= 1_000_000_000);
+    }
+
+    #[test]
+    fn fault_plan_drop_behaves_like_timeout() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mut w = wire();
+        w.set_fault_plan(FaultPlan::new(
+            1,
+            FaultSpec {
+                drop_pm: 1000,
+                ..FaultSpec::none()
+            },
+        ));
+        let before = w.clock().now();
+        assert_eq!(
+            w.call(b"hi".to_vec(), |_| vec![]).unwrap_err(),
+            WireError::Timeout
+        );
+        assert!(w.clock().now().since(before).as_nanos() >= 1_000_000_000);
+    }
+
+    #[test]
+    fn fault_plan_duplicate_invokes_server_twice() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mut w = wire();
+        w.set_fault_plan(FaultPlan::new(
+            1,
+            FaultSpec {
+                duplicate_pm: 1000,
+                ..FaultSpec::none()
+            },
+        ));
+        let mut calls = 0;
+        // The reply transit also rolls a duplicate; that is fine — the
+        // client just discards the second copy.
+        let reply = w
+            .call(b"q".to_vec(), |_| {
+                calls += 1;
+                vec![calls]
+            })
+            .unwrap();
+        assert_eq!(calls, 2, "server must process both copies");
+        assert_eq!(reply, vec![1], "client sees the first reply");
+    }
+
+    #[test]
+    fn fault_plan_delay_charges_extra_time() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let clean = wire();
+        clean.call(vec![0; 64], |_| vec![0; 64]).unwrap();
+        let mut w = wire();
+        w.set_fault_plan(FaultPlan::new(
+            1,
+            FaultSpec {
+                delay_pm: 1000,
+                delay_ns: 5_000_000,
+                ..FaultSpec::none()
+            },
+        ));
+        w.call(vec![0; 64], |_| vec![0; 64]).unwrap();
+        assert!(
+            w.clock().now().as_nanos() >= clean.clock().now().as_nanos() + 10_000_000,
+            "both directions should be delayed 5ms"
+        );
     }
 
     #[test]

@@ -343,6 +343,22 @@ impl Telemetry {
             .record(value);
     }
 
+    /// Snapshot of every histogram as `(process, name, histogram)`,
+    /// sorted by `(process, name)` (the map order). Empty unless
+    /// tracing.
+    pub fn histograms(&self) -> Vec<(String, &'static str, Histogram)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        inner
+            .state
+            .lock()
+            .hists
+            .iter()
+            .map(|((p, n), h)| (p.clone(), *n, h.clone()))
+            .collect()
+    }
+
     /// Quantile of histogram `(proc, name)`, if it exists and is
     /// non-empty.
     pub fn quantile(&self, proc: &str, name: &'static str, q: f64) -> Option<u64> {
@@ -830,6 +846,20 @@ mod tests {
         assert!(s.contains("mount"));
         assert!(s.contains("round_trips"));
         assert!(s.contains("nfs3.LOOKUP"));
+    }
+
+    #[test]
+    fn histograms_snapshot_sorted_by_process_then_name() {
+        let t = Telemetry::recording(ZeroClock);
+        t.record("server", "GETATTR", 10);
+        t.record("server", "GETATTR", 20);
+        t.record("client", "rpc", 5);
+        let hs = t.histograms();
+        assert_eq!(hs.len(), 2);
+        assert_eq!((hs[0].0.as_str(), hs[0].1), ("client", "rpc"));
+        assert_eq!((hs[1].0.as_str(), hs[1].1), ("server", "GETATTR"));
+        assert_eq!(hs[1].2.count(), 2);
+        assert!(Telemetry::disabled().histograms().is_empty());
     }
 
     #[test]

@@ -97,9 +97,21 @@ fn replayed_requests_rejected_by_server_channel() {
     w.net.set_interceptor(replayer.clone());
     assert!(w.client.read_file(ALICE_UID, &hello).is_ok());
     // Arm: the next request is replaced by a replay of the previous one.
+    // The server's cipher stream is past the replayed frame, so it can
+    // never be accepted — the session dies instead, and the client
+    // recovers by renegotiating keys and reissuing the original request:
+    // "attackers can do no worse than delay the file system's operation."
     replayer.lock().armed = true;
     let result = w.client.read_file(ALICE_UID, &hello);
-    assert!(result.is_err(), "replayed request must not be accepted");
+    assert_eq!(
+        result.expect("client recovers via rekey"),
+        b"hello from fs.example.org".to_vec()
+    );
+    let mount = w.client.mount(ALICE_UID, &path).unwrap();
+    assert!(
+        mount.reconnects() >= 1,
+        "the replay must have forced a full key renegotiation"
+    );
 }
 
 #[test]
