@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use sfs_sim::FaultPlan;
+use sfs_sim::{FaultKind, FaultPlan};
 
 /// Parsed process arguments supporting `--flag value` and `--flag=value`.
 pub struct Args {
@@ -54,7 +54,7 @@ impl Args {
 /// threaded through every layer of the testbed (wire, server, disk), so
 /// any figure can be regenerated under a degraded network. The spec
 /// grammar is [`sfs_sim::FaultSpec::parse`]'s
-/// (`seed=7,drop=20,delay=50,delay_ns=2ms,partition=1s+200ms,crash=3s`).
+/// (`seed=7,drop=20,delay=50,delay_ns=2ms,partition=1s+200ms,crash=3s,ccrash=4s,syncfail=10`).
 pub struct FaultOpt {
     plan: Option<FaultPlan>,
     spec: Option<String>,
@@ -107,6 +107,83 @@ impl FaultOpt {
             tally.join(", ")
         );
     }
+
+    /// Checks the run's injected-fault tally against the envelope its
+    /// spec promises, and aborts the process when a faulted run violated
+    /// it — a figure produced under `--faults` must not silently have run
+    /// fault-free (plan not wired into a layer) or injected faults its
+    /// spec never enabled. `final_ns` is the latest virtual clock any
+    /// testbed in the run reached; scheduled crashes due well before it
+    /// must have fired. No-op without `--faults`.
+    pub fn assert_envelope(&self, final_ns: u64) {
+        if let Err(msg) = self.check_envelope(final_ns) {
+            eprintln!("--faults envelope violated: {msg}");
+            std::process::exit(1);
+        }
+    }
+
+    fn check_envelope(&self, final_ns: u64) -> Result<(), String> {
+        let Some(plan) = &self.plan else {
+            return Ok(());
+        };
+        let spec = plan.spec();
+        let events = plan.events();
+        // 1. Every injected event must belong to an axis the spec enabled.
+        for ev in &events {
+            let enabled = match ev.kind {
+                // Partitions inject drops for every packet in the window.
+                FaultKind::Drop => spec.drop_pm > 0 || !spec.partitions.is_empty(),
+                FaultKind::Duplicate => spec.duplicate_pm > 0,
+                FaultKind::Reorder => spec.reorder_pm > 0,
+                FaultKind::Corrupt => spec.corrupt_pm > 0,
+                FaultKind::Delay => spec.delay_pm > 0,
+                FaultKind::Partition => !spec.partitions.is_empty(),
+                FaultKind::ServerCrash => !spec.server_crashes.is_empty(),
+                FaultKind::ClientCrash => !spec.client_crashes.is_empty(),
+                FaultKind::DiskSyncFail => spec.disk_sync_fail_pm > 0,
+            };
+            if !enabled {
+                return Err(format!(
+                    "injected {:?} at {}ns but the spec never enabled that fault kind",
+                    ev.kind.label(),
+                    ev.at.0
+                ));
+            }
+        }
+        // 2. Substantial probability mass with zero injected events means
+        // the plan was not actually threaded through the testbed.
+        let mass = spec.drop_pm
+            + spec.duplicate_pm
+            + spec.reorder_pm
+            + spec.corrupt_pm
+            + spec.delay_pm
+            + spec.disk_sync_fail_pm;
+        if events.is_empty() && mass >= 20 {
+            return Err(format!(
+                "spec enables {mass}‰ of per-packet faults but the run injected none — \
+                 is the plan wired into the wire/disk layers?"
+            ));
+        }
+        // 3. A scheduled server crash due well before the run ended must
+        // have fired (the epoch bump is observed on first post-crash
+        // access, so only complain when the run clearly outlived it).
+        let fired = events
+            .iter()
+            .filter(|e| e.kind == FaultKind::ServerCrash)
+            .count();
+        let due = spec
+            .server_crashes
+            .iter()
+            .filter(|t| t.0.saturating_mul(2) < final_ns)
+            .count();
+        if fired < due {
+            return Err(format!(
+                "{due} scheduled server crash(es) were due well before the final \
+                 clock ({final_ns}ns) but only {fired} fired"
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +213,45 @@ mod tests {
     fn fault_opt_rejects_bad_specs() {
         assert!(FaultOpt::with_spec(Some("drop=2000".into())).is_err());
         assert!(FaultOpt::with_spec(Some("nonsense".into())).is_err());
+    }
+
+    #[test]
+    fn envelope_passes_without_faults_and_within_spec() {
+        // No --faults: always fine.
+        let off = FaultOpt::with_spec(None).unwrap();
+        assert!(off.check_envelope(1_000_000_000).is_ok());
+        // Scheduled crash that fired: fine.
+        let f = FaultOpt::with_spec(Some("seed=1,crash=1s".into())).unwrap();
+        let plan = f.plan().unwrap();
+        plan.note_server_crash(sfs_sim::SimTime(1_000_000_000));
+        assert!(f.check_envelope(10_000_000_000).is_ok());
+    }
+
+    #[test]
+    fn envelope_rejects_zero_events_under_substantial_mass() {
+        // 50‰ of drops but nothing injected: the plan was not wired in.
+        let f = FaultOpt::with_spec(Some("seed=2,drop=50".into())).unwrap();
+        let err = f.check_envelope(5_000_000_000).unwrap_err();
+        assert!(err.contains("injected none"), "{err}");
+    }
+
+    #[test]
+    fn envelope_rejects_unscheduled_fault_kinds() {
+        // The run recorded a client crash the spec never scheduled.
+        let f = FaultOpt::with_spec(Some("seed=3,crash=5s".into())).unwrap();
+        f.plan()
+            .unwrap()
+            .note_client_crash(sfs_sim::SimTime(1_000_000));
+        let err = f.check_envelope(1_000_000_000).unwrap_err();
+        assert!(err.contains("never enabled"), "{err}");
+    }
+
+    #[test]
+    fn envelope_rejects_missed_scheduled_server_crash() {
+        // The run ran far past the scheduled crash instant and it never
+        // fired.
+        let f = FaultOpt::with_spec(Some("seed=4,crash=1s".into())).unwrap();
+        let err = f.check_envelope(60_000_000_000).unwrap_err();
+        assert!(err.contains("server crash"), "{err}");
     }
 }

@@ -21,13 +21,16 @@ fn main() {
         (System::Sfs, Some(790.0), Some(4.1)),
         (System::SfsNoEncrypt, Some(770.0), Some(7.1)),
     ];
+    let mut final_ns = 0u64;
     for (system, paper_lat, paper_tp) in rows {
         let tel = trace.for_system(&format!("{}/latency", system.label()));
-        let (fs, _clock, prefix, _) = build_fs_chaos(system, &tel, faults.plan());
+        let (fs, clock, prefix, _) = build_fs_chaos(system, &tel, faults.plan());
         let lat = micro_latency(fs.as_ref(), &prefix);
+        final_ns = final_ns.max(clock.now().as_nanos());
         let tel2 = trace.for_system(&format!("{}/throughput", system.label()));
-        let (fs2, _clock2, prefix2, _) = build_fs_chaos(system, &tel2, faults.plan());
+        let (fs2, clock2, prefix2, _) = build_fs_chaos(system, &tel2, faults.plan());
         let tp = micro_throughput(fs2.as_ref(), &prefix2);
+        final_ns = final_ns.max(clock2.now().as_nanos());
         table.push_row(
             system.label(),
             vec![Compared::new(lat, paper_lat), Compared::new(tp, paper_tp)],
@@ -36,4 +39,7 @@ fn main() {
     println!("{}", table.render());
     trace.finish();
     faults.finish();
+    // A faulted figure that silently ran outside its fault envelope is
+    // worthless as a chaos artefact: fail loudly instead.
+    faults.assert_envelope(final_ns);
 }

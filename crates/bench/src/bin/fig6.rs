@@ -36,10 +36,12 @@ fn main() {
         (System::Sfs, Some(6.0)),
     ];
     let mut totals = Vec::new();
+    let mut final_ns = 0u64;
     for (system, paper) in paper_total {
         let tel = trace.for_system(system.label());
-        let (fs, _clock, prefix, _) = build_fs_chaos(system, &tel, faults.plan());
+        let (fs, clock, prefix, _) = build_fs_chaos(system, &tel, faults.plan());
         let phases = mab(fs.as_ref(), &prefix, &cfg);
+        final_ns = final_ns.max(clock.now().as_nanos());
         let mut cells: Vec<Compared> = phases
             .iter()
             .map(|p| Compared::new(secs(p.time), None))
@@ -58,4 +60,7 @@ fn main() {
     );
     trace.finish();
     faults.finish();
+    // A faulted figure that silently ran outside its fault envelope is
+    // worthless as a chaos artefact: fail loudly instead.
+    faults.assert_envelope(final_ns);
 }

@@ -27,12 +27,17 @@ fn main() {
         Telemetry::recording(ZeroClock)
     };
     let cfg = MabConfig::default();
+    let mut final_ns = 0u64;
     for system in System::main_four() {
         let scoped = tel.scoped(system.label());
-        let (fs, _clock, prefix, _) = build_fs_chaos(system, &scoped, faults.plan());
+        let (fs, clock, prefix, _) = build_fs_chaos(system, &scoped, faults.plan());
         let _ = mab(fs.as_ref(), &prefix, &cfg);
+        final_ns = final_ns.max(clock.now().as_nanos());
     }
     println!("{}", latency_table(&tel));
     trace.finish();
     faults.finish();
+    // A faulted figure that silently ran outside its fault envelope is
+    // worthless as a chaos artefact: fail loudly instead.
+    faults.assert_envelope(final_ns);
 }

@@ -107,6 +107,13 @@ impl Agent {
         self.keys.len()
     }
 
+    /// Serialized snapshot of every private key, in install order — the
+    /// form the client journal persists so a restarted client can
+    /// restore agent state without re-running SRP retrieval.
+    pub fn export_keys(&self) -> Vec<Vec<u8>> {
+        self.keys.iter().map(RabinPrivateKey::to_bytes).collect()
+    }
+
     /// Maximum authentication attempts before falling back to anonymous.
     pub fn max_attempts(&self) -> usize {
         self.max_attempts.min(self.keys.len())

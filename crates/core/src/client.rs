@@ -19,13 +19,13 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
+use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey, RabinPublicKey};
 use sfs_crypto::SfsPrg;
 use sfs_nfs3::proto::{
     Fattr3, FileHandle, Nfs3Reply, Nfs3Request, PostOpAttr, Sattr3, StableHow, Status,
 };
 use sfs_proto::channel::{ChannelError, SecureChannelEnd};
-use sfs_proto::keyneg::{KeyNegClient, KeyNegError};
+use sfs_proto::keyneg::{KeyNegClient, KeyNegError, KeyNegServerReply};
 use sfs_proto::pathname::{PathError, SelfCertifyingPath};
 use sfs_proto::userauth::{AuthInfo, AUTHNO_ANONYMOUS};
 use sfs_sim::ipc::{LocalEndpoint, LocalHandler, LocalIdentity};
@@ -38,6 +38,7 @@ use sfs_vfs::FileType;
 use sfs_xdr::Xdr;
 
 use crate::agent::Agent;
+use crate::journal::{ClientJournal, JournalRecord};
 use crate::server::{ServerConn, SfsServer};
 use crate::wire::{CallMsg, Dialect, InnerCall, InnerReply, ReplyMsg, Service};
 
@@ -53,6 +54,22 @@ const MAX_SYMLINK_DEPTH: usize = 16;
 /// `sfssd`, §3.2).
 pub const PROTOCOL_VERSION: u32 = 1;
 
+/// Seqno head-room journaled above the last used value. A restarted
+/// client resumes at the journaled high-water mark; the slack means one
+/// journal write covers the next `SEQ_HWM_SLACK` authentications instead
+/// of one synchronous disk write per signed seqno.
+const SEQ_HWM_SLACK: u32 = 64;
+
+/// Agent control-socket reply status: success.
+pub const AGENT_OK: u32 = 0;
+/// Agent control-socket reply status: recognised command, malformed
+/// arguments. Followed by the echoed command code and a message.
+pub const AGENT_ERR_BAD_ARGS: u32 = 1;
+/// Agent control-socket reply status: unknown command. Followed by the
+/// echoed command code (`u32::MAX` when the header itself was
+/// unreadable) and a message.
+pub const AGENT_ERR_UNKNOWN_CMD: u32 = 2;
+
 /// Client-side errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientError {
@@ -66,6 +83,12 @@ pub enum ClientError {
     Channel(ChannelError),
     /// Key negotiation failed (wrong key, revoked, …).
     KeyNeg(String),
+    /// The server's claimed key does not hash to the pathname's HostID —
+    /// self-certification failed. Retried like other negotiation errors
+    /// (one corrupted hello reply must not hard-fail a mount), but a
+    /// *persistent* mismatch across the retry budget means the key
+    /// really was swapped.
+    KeyMismatch,
     /// The pathname is revoked.
     Revoked,
     /// The user's agent has blocked this HostID.
@@ -86,6 +109,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Net(e) => write!(f, "network: {e}"),
             ClientError::Channel(e) => write!(f, "secure channel: {e}"),
             ClientError::KeyNeg(e) => write!(f, "key negotiation: {e}"),
+            ClientError::KeyMismatch => {
+                write!(f, "server key fails self-certification (HostID mismatch)")
+            }
             ClientError::Revoked => write!(f, "pathname revoked"),
             ClientError::Blocked => write!(f, "HostID blocked by agent"),
             ClientError::Nfs(s) => write!(f, "file system error: {s:?}"),
@@ -218,6 +244,9 @@ struct Link {
     conn: ServerConn,
     channel: SecureChannelEnd,
     session_id: [u8; 20],
+    /// The server public key that passed self-certification for this
+    /// link (journaled with the mount so recovery can cross-check).
+    server_key: Vec<u8>,
     /// Bumped on every reconnect; lets concurrent callers detect that a
     /// renegotiation already happened.
     generation: u64,
@@ -235,6 +264,10 @@ pub struct Mount {
     /// accepts any forward jump, and never reusing a seqno keeps the
     /// §3.1.3 freshness guarantee intact through renegotiations.
     next_seq: AtomicU32,
+    /// Journaled seqno ceiling: every seqno below it is covered by a
+    /// durable [`JournalRecord::SeqHwm`], so a restarted client resuming
+    /// at the mark can never reuse one.
+    seq_hwm: AtomicU32,
     attr_cache: Mutex<HashMap<Vec<u8>, CachedAttr>>,
     access_cache: Mutex<HashMap<AccessKey, CachedAttr>>,
     /// Round trips accumulated on wires discarded by reconnects.
@@ -265,6 +298,13 @@ impl Mount {
     /// How many times this mount has reconnected and renegotiated keys.
     pub fn reconnects(&self) -> u64 {
         self.reconnects.load(Ordering::SeqCst)
+    }
+
+    /// The next authentication seqno this mount will use. Strictly
+    /// monotonic across reconnects *and* — via the journal — across
+    /// client crash-restarts.
+    pub fn seq_watermark(&self) -> u32 {
+        self.next_seq.load(Ordering::SeqCst)
     }
 
     fn generation(&self) -> u64 {
@@ -308,6 +348,27 @@ impl Default for RetryPolicy {
     }
 }
 
+/// What [`SfsClient::recover`] restored from the journal after a
+/// crash-restart.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Raw journal records replayed (before folding).
+    pub records_replayed: u64,
+    /// Mount directory names successfully re-established (server key
+    /// re-verified against the journaled HostID).
+    pub remounted: Vec<String>,
+    /// Mounts refused, with the reason. Self-certification is the
+    /// recovery check: a HostID whose server no longer proves the
+    /// journaled identity stays unmounted.
+    pub refused: Vec<(String, String)>,
+    /// How many refusals were specifically key-mismatch refusals.
+    pub key_mismatch_refusals: u64,
+    /// Agent private keys reinstalled from the journal.
+    pub agent_keys_restored: u64,
+    /// Agent dynamic links recreated from the journal.
+    pub agent_links_restored: u64,
+}
+
 /// The SFS client (one per client machine).
 pub struct SfsClient {
     clock: SimClock,
@@ -330,6 +391,13 @@ pub struct SfsClient {
     streaming: AtomicBool,
     attr_hits: AtomicU64,
     attr_misses: AtomicU64,
+    /// Crash-surviving state journal (None: diskless client, nothing
+    /// persisted — the paper's original behaviour).
+    journal: Mutex<Option<ClientJournal>>,
+    /// Test hook: when set, piggybacked invalidations are dropped on the
+    /// floor instead of applied. Exists so the coherence oracle can prove
+    /// it detects the stale reads this bug causes.
+    ignore_invalidations: AtomicBool,
     tel: Mutex<Telemetry>,
 }
 
@@ -380,6 +448,8 @@ impl SfsClient {
             streaming: AtomicBool::new(false),
             attr_hits: AtomicU64::new(0),
             attr_misses: AtomicU64::new(0),
+            journal: Mutex::new(None),
+            ignore_invalidations: AtomicBool::new(false),
             tel: Mutex::new(Telemetry::disabled()),
         })
     }
@@ -513,10 +583,20 @@ impl SfsClient {
     /// it at will."
     ///
     /// Wire format (XDR): command 0 = create link (name, target);
-    /// command 1 = list this agent's `/sfs` view. Replies are XDR too.
+    /// command 1 = list this agent's `/sfs` view. Replies are XDR too:
+    /// [`AGENT_OK`] followed by the result, or an error status
+    /// ([`AGENT_ERR_BAD_ARGS`] / [`AGENT_ERR_UNKNOWN_CMD`]) followed by
+    /// the echoed command code (`u32::MAX` when the header itself was
+    /// unreadable) and a human-readable message — a structured code a
+    /// replacement agent can dispatch on, not just a string.
     pub fn agent_socket(self: &Arc<Self>) -> LocalEndpoint {
         struct Handler {
             client: Arc<SfsClient>,
+        }
+        fn agent_error(status: u32, cmd: u32, msg: &str) -> Vec<u8> {
+            let mut enc = sfs_xdr::XdrEncoder::new();
+            enc.put_u32(status).put_u32(cmd).put_string(msg);
+            enc.into_bytes()
         }
         impl LocalHandler for Handler {
             fn handle(&mut self, from: LocalIdentity, payload: &[u8]) -> Vec<u8> {
@@ -526,27 +606,28 @@ impl SfsClient {
                     Ok(0) => {
                         let (name, target) = match (dec.get_string(), dec.get_string()) {
                             (Ok(n), Ok(t)) => (n, t),
-                            _ => {
-                                enc.put_u32(1).put_string("bad link request");
-                                return enc.into_bytes();
-                            }
+                            _ => return agent_error(AGENT_ERR_BAD_ARGS, 0, "bad link request"),
                         };
-                        self.client
-                            .agent(from.uid())
-                            .lock()
-                            .create_link(&name, &target);
-                        enc.put_u32(0);
+                        self.client.create_agent_link(from.uid(), &name, &target);
+                        enc.put_u32(AGENT_OK);
                     }
                     Ok(1) => {
                         let names = self.client.list_sfs(from.uid());
-                        enc.put_u32(0);
+                        enc.put_u32(AGENT_OK);
                         enc.put_u32(names.len() as u32);
                         for n in &names {
                             enc.put_string(n);
                         }
                     }
-                    _ => {
-                        enc.put_u32(1).put_string("unknown agent command");
+                    Ok(cmd) => {
+                        return agent_error(AGENT_ERR_UNKNOWN_CMD, cmd, "unknown agent command");
+                    }
+                    Err(_) => {
+                        return agent_error(
+                            AGENT_ERR_UNKNOWN_CMD,
+                            u32::MAX,
+                            "unreadable command header",
+                        );
                     }
                 }
                 enc.into_bytes()
@@ -592,6 +673,213 @@ impl SfsClient {
     pub fn remount(&self, uid: u32, path: &SelfCertifyingPath) -> Result<Arc<Mount>, ClientError> {
         self.mounts.lock().remove(&path.dir_name());
         self.mount(uid, path)
+    }
+
+    /// Appends a record if a journal is attached (diskless clients
+    /// journal nothing).
+    fn journal_record(&self, rec: &JournalRecord) {
+        if let Some(j) = &*self.journal.lock() {
+            j.append(rec);
+        }
+    }
+
+    /// Journals a seqno high-water mark *before* `seq` is used, whenever
+    /// `seq` crosses the durable ceiling. The [`SEQ_HWM_SLACK`] head-room
+    /// amortizes the synchronous write over many authentications.
+    fn note_seq(&self, mount: &Mount, seq: u32) {
+        if self.journal.lock().is_none() {
+            return;
+        }
+        if seq >= mount.seq_hwm.load(Ordering::SeqCst) {
+            let hwm = seq.saturating_add(SEQ_HWM_SLACK);
+            self.journal_record(&JournalRecord::SeqHwm {
+                dir_name: mount.path.dir_name(),
+                hwm,
+            });
+            mount.seq_hwm.store(hwm, Ordering::SeqCst);
+        }
+    }
+
+    /// Attaches a crash-surviving state journal. Current state — agent
+    /// keys and links, established mounts, seqno watermarks — is
+    /// snapshotted into it immediately (in deterministic uid/dir-name
+    /// order), so attaching mid-life loses nothing; subsequent mounts,
+    /// key installs, link creations, and seqno crossings append
+    /// incrementally.
+    pub fn attach_journal(&self, journal: ClientJournal) {
+        {
+            let agents = self.agents.lock();
+            let mut uids: Vec<u32> = agents.keys().copied().collect();
+            uids.sort_unstable();
+            for uid in uids {
+                let agent = agents[&uid].lock();
+                for key in agent.export_keys() {
+                    journal.append(&JournalRecord::AgentKey { uid, key });
+                }
+                let mut links: Vec<(String, String)> = agent
+                    .links()
+                    .map(|(n, t)| (n.to_string(), t.to_string()))
+                    .collect();
+                links.sort();
+                for (name, target) in links {
+                    journal.append(&JournalRecord::AgentLink { uid, name, target });
+                }
+            }
+        }
+        {
+            let mounts = self.mounts.lock();
+            let mut names: Vec<String> = mounts.keys().cloned().collect();
+            names.sort();
+            for name in names {
+                let m = &mounts[&name];
+                journal.append(&JournalRecord::Mount {
+                    location: m.path.location.clone(),
+                    host_id: m.path.host_id,
+                    server_key: m.link.lock().server_key.clone(),
+                });
+                let hwm = m
+                    .next_seq
+                    .load(Ordering::SeqCst)
+                    .saturating_add(SEQ_HWM_SLACK);
+                journal.append(&JournalRecord::SeqHwm {
+                    dir_name: name,
+                    hwm,
+                });
+                m.seq_hwm.store(hwm, Ordering::SeqCst);
+            }
+        }
+        *self.journal.lock() = Some(journal);
+    }
+
+    /// Installs a private key into `uid`'s agent *and* journals it, so a
+    /// restarted client restores the key without re-running SRP.
+    pub fn install_agent_key(&self, uid: u32, key: RabinPrivateKey) {
+        self.journal_record(&JournalRecord::AgentKey {
+            uid,
+            key: key.to_bytes(),
+        });
+        self.agent(uid).lock().add_key(key);
+    }
+
+    /// Creates a dynamic `/sfs` link in `uid`'s agent and journals it.
+    pub fn create_agent_link(&self, uid: u32, name: &str, target: &str) {
+        self.journal_record(&JournalRecord::AgentLink {
+            uid,
+            name: name.to_string(),
+            target: target.to_string(),
+        });
+        self.agent(uid).lock().create_link(name, target);
+    }
+
+    /// Test hook for the coherence oracle's self-test: drop piggybacked
+    /// invalidations instead of applying them, simulating the stale-read
+    /// bug the oracle must be able to detect.
+    #[doc(hidden)]
+    pub fn set_ignore_invalidations(&self, ignore: bool) {
+        self.ignore_invalidations.store(ignore, Ordering::SeqCst);
+    }
+
+    /// Recovers client state after a crash-restart from the attached
+    /// journal: restores agent keys and links first (remounts may need
+    /// them), then re-establishes each journaled mount by re-running the
+    /// full key negotiation against the recorded HostID. Mounts whose
+    /// server no longer proves the journaled identity are refused —
+    /// self-certification, not the journal, is the trust decision. Seqno
+    /// counters resume at the journaled high-water mark so no signed
+    /// seqno is ever reused; caches start cold by construction (nothing
+    /// lease-related is journaled).
+    pub fn recover(&self, uid: u32) -> Result<RecoveryReport, ClientError> {
+        let tel = self.tel();
+        let _span = tel.span("client", "core.client", "recover");
+        let journal = self.journal.lock().clone();
+        let Some(journal) = journal else {
+            return Err(ClientError::Protocol("recover: no journal attached".into()));
+        };
+        let state = journal.replay().map_err(ClientError::Protocol)?;
+        tel.count("client", "client.recovery.journal_replays", 1);
+        let mut report = RecoveryReport {
+            records_replayed: state.records,
+            ..RecoveryReport::default()
+        };
+        // Agent state first: the remounts below may need the restored
+        // keys to re-authenticate.
+        for (agent_uid, keys) in &state.agent_keys {
+            let agent = self.agent(*agent_uid);
+            let mut agent = agent.lock();
+            for key in keys {
+                if let Ok(k) = RabinPrivateKey::from_bytes(key) {
+                    agent.add_key(k);
+                    report.agent_keys_restored += 1;
+                }
+            }
+        }
+        for (agent_uid, links) in &state.agent_links {
+            let agent = self.agent(*agent_uid);
+            let mut agent = agent.lock();
+            for (name, target) in links {
+                agent.create_link(name, target);
+                report.agent_links_restored += 1;
+            }
+        }
+        tel.count(
+            "client",
+            "client.recovery.agent_keys",
+            report.agent_keys_restored,
+        );
+        tel.count(
+            "client",
+            "client.recovery.agent_links",
+            report.agent_links_restored,
+        );
+        for rm in &state.mounts {
+            let path = SelfCertifyingPath {
+                location: rm.location.clone(),
+                host_id: rm.host_id,
+            };
+            // A journal whose recorded key does not even hash to its own
+            // recorded HostID is corrupt: fail closed without dialing.
+            let journal_consistent = RabinPublicKey::from_bytes(&rm.server_key)
+                .map(|k| path.certifies(&k))
+                .unwrap_or(false);
+            if !journal_consistent {
+                report.key_mismatch_refusals += 1;
+                report.refused.push((
+                    path.dir_name(),
+                    "journaled key fails self-certification".to_string(),
+                ));
+                continue;
+            }
+            match self.mount(uid, &path) {
+                Ok(mount) => {
+                    if let Some(&hwm) = state.seq_hwm.get(&path.dir_name()) {
+                        mount.next_seq.store(hwm.max(1), Ordering::SeqCst);
+                        mount.seq_hwm.store(hwm, Ordering::SeqCst);
+                    }
+                    report.remounted.push(path.dir_name());
+                }
+                Err(ClientError::KeyMismatch) => {
+                    report.key_mismatch_refusals += 1;
+                    report
+                        .refused
+                        .push((path.dir_name(), ClientError::KeyMismatch.to_string()));
+                }
+                Err(e @ (ClientError::Revoked | ClientError::Blocked)) => {
+                    report.refused.push((path.dir_name(), e.to_string()));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        tel.count(
+            "client",
+            "client.recovery.remounts",
+            report.remounted.len() as u64,
+        );
+        tel.count(
+            "client",
+            "client.recovery.key_mismatch_refusals",
+            report.key_mismatch_refusals,
+        );
+        Ok(report)
     }
 
     fn charge_crossing(&self) {
@@ -665,6 +953,7 @@ impl SfsClient {
             root_fh: Mutex::new(FileHandle(Vec::new())),
             authnos: Mutex::new(HashMap::new()),
             next_seq: AtomicU32::new(1),
+            seq_hwm: AtomicU32::new(0),
             attr_cache: Mutex::new(HashMap::new()),
             access_cache: Mutex::new(HashMap::new()),
             prior_round_trips: AtomicU64::new(0),
@@ -678,6 +967,11 @@ impl SfsClient {
         };
         *mount.root_fh.lock() = root;
         self.mounts.lock().insert(path.dir_name(), mount.clone());
+        self.journal_record(&JournalRecord::Mount {
+            location: path.location.clone(),
+            host_id: path.host_id,
+            server_key: mount.link.lock().server_key.clone(),
+        });
         Ok(mount)
     }
 
@@ -712,6 +1006,10 @@ impl SfsClient {
         let ReplyMsg::ServerReply(server_reply) = reply else {
             return Err(ClientError::Protocol("expected server key".into()));
         };
+        let server_key = match &server_reply {
+            KeyNegServerReply::ServerKey(k) => k.clone(),
+            _ => Vec::new(),
+        };
         let phase = tel.span("client", "proto.keyneg", "verify_server_key");
         let mut rng = self.rng.lock();
         let (awaiting, msg3) = neg.on_server_reply(&server_reply, &mut *rng).map_err(|e| {
@@ -722,6 +1020,7 @@ impl SfsClient {
             }
             match e {
                 KeyNegError::Revoked(_) => ClientError::Revoked,
+                KeyNegError::HostIdMismatch => ClientError::KeyMismatch,
                 other => ClientError::KeyNeg(other.to_string()),
             }
         })?;
@@ -747,6 +1046,7 @@ impl SfsClient {
             conn,
             channel,
             session_id: keys.session_id,
+            server_key,
             generation,
         })
     }
@@ -949,7 +1249,7 @@ impl SfsClient {
             InnerReply::from_xdr(&plain).map_err(|e| ClientError::Protocol(e.to_string()))?;
         // Apply piggybacked invalidation callbacks.
         if let InnerReply::Nfs { invalidations, .. } = &inner {
-            if !invalidations.is_empty() {
+            if !invalidations.is_empty() && !self.ignore_invalidations.load(Ordering::SeqCst) {
                 self.tel
                     .lock()
                     .count("client", "cache.invalidations", invalidations.len() as u64);
@@ -982,6 +1282,7 @@ impl SfsClient {
             let session_id = mount.session_id();
             let info = AuthInfo::for_fs(&mount.path.location, mount.path.host_id, session_id);
             let seq = mount.next_seq.fetch_add(1, Ordering::SeqCst);
+            self.note_seq(mount, seq);
             let sign_span = tel.span("agent", "core.client", "authenticate");
             let msg = agent.lock().authenticate(&info, seq, attempt);
             drop(sign_span);

@@ -37,6 +37,7 @@ pub mod agent;
 pub mod authserver;
 pub mod client;
 pub mod config;
+pub mod journal;
 pub mod libsfs;
 pub mod nfsmounter;
 pub mod roclient;
@@ -47,5 +48,6 @@ pub mod wire;
 
 pub use agent::Agent;
 pub use authserver::{AuthServer, UserRecord};
-pub use client::{ClientError, SfsClient, SfsNetwork};
+pub use client::{ClientError, RecoveryReport, SfsClient, SfsNetwork};
+pub use journal::{ClientJournal, JournalRecord, RecoveredState};
 pub use server::{ServerConfig, SfsServer};

@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use sfs_bignum::Nat;
 use sfs_crypto::blowfish::Blowfish;
@@ -193,6 +193,54 @@ fn map_reply_handles(reply: Nfs3Reply, f: &mut dyn FnMut(FileHandle) -> FileHand
     }
 }
 
+/// Fan-out point for lease invalidation callbacks: every live
+/// connection gets its own pending queue, so a callback reaches *all*
+/// clients holding leases, not just whichever connection drains a reply
+/// first. Queues are held weakly — a dropped [`ServerConn`] prunes
+/// itself on the next broadcast. A crash-restart clears every queue:
+/// pending callbacks die with the instance (stale connections are
+/// rejected anyway, which forces the cache flush on reconnect).
+struct InvalidationHub {
+    queues: Mutex<Vec<Weak<Mutex<Vec<FileHandle>>>>>,
+}
+
+impl InvalidationHub {
+    fn new() -> Arc<Self> {
+        Arc::new(InvalidationHub {
+            queues: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Registers a fresh per-connection queue.
+    fn register(&self) -> Arc<Mutex<Vec<FileHandle>>> {
+        let q = Arc::new(Mutex::new(Vec::new()));
+        self.queues.lock().push(Arc::downgrade(&q));
+        q
+    }
+
+    /// Pushes one invalidation onto every live queue.
+    fn broadcast(&self, fh: FileHandle) {
+        self.queues.lock().retain(|w| match w.upgrade() {
+            Some(q) => {
+                q.lock().push(fh.clone());
+                true
+            }
+            None => false,
+        });
+    }
+
+    /// Drops all pending invalidations (crash-restart side effect).
+    fn clear_all(&self) {
+        self.queues.lock().retain(|w| match w.upgrade() {
+            Some(q) => {
+                q.lock().clear();
+                true
+            }
+            None => false,
+        });
+    }
+}
+
 /// The SFS server.
 pub struct SfsServer {
     config: ServerConfig,
@@ -207,8 +255,9 @@ pub struct SfsServer {
     /// Published read-only database, when this server exports the
     /// read-only dialect.
     ro_db: Mutex<Option<Arc<RoDatabase>>>,
-    /// Lease invalidations pending delivery (piggybacked on replies).
-    invalidations: Arc<Mutex<Vec<FileHandle>>>,
+    /// Lease invalidations pending delivery, fanned out per connection
+    /// (piggybacked on replies).
+    invalidations: Arc<InvalidationHub>,
     /// Boot epoch from crashes triggered by hand ([`Self::crash_restart`]).
     manual_epoch: AtomicU64,
     /// Highest fault-plan-scheduled crash epoch already applied.
@@ -234,9 +283,9 @@ impl SfsServer {
         // stay stable across restarts.
         let fh_key = sha1_concat(&[b"SFS-fh-key", &key.to_bytes()]);
         let fh_cipher = Blowfish::new(&fh_key);
-        let invalidations: Arc<Mutex<Vec<FileHandle>>> = Arc::new(Mutex::new(Vec::new()));
+        let invalidations = InvalidationHub::new();
         let sink = invalidations.clone();
-        nfs.set_invalidation_sink(Arc::new(move |fh| sink.lock().push(fh)));
+        nfs.set_invalidation_sink(Arc::new(move |fh| sink.broadcast(fh)));
         Arc::new(SfsServer {
             config,
             key,
@@ -365,7 +414,7 @@ impl SfsServer {
     /// renegotiate against the *same* self-certifying pathname.
     pub fn crash_restart(&self) {
         self.manual_epoch.fetch_add(1, Ordering::SeqCst);
-        self.invalidations.lock().clear();
+        self.invalidations.clear_all();
         let tel = self.tel.lock().clone();
         tel.count("server", "restarts", 1);
         tel.instant("server", "core.server", "restart");
@@ -394,7 +443,7 @@ impl SfsServer {
         {
             // First observation of a scheduled crash: apply the restart's
             // side effects once.
-            self.invalidations.lock().clear();
+            self.invalidations.clear_all();
             let tel = self.tel.lock().clone();
             tel.count("server", "restarts", plan_epoch - seen);
             tel.instant("server", "core.server", "restart");
@@ -411,6 +460,7 @@ impl SfsServer {
     pub fn accept(self: &Arc<Self>) -> ServerConn {
         ServerConn {
             epoch: self.current_epoch(),
+            pending: self.invalidations.register(),
             server: self.clone(),
             state: Mutex::new(ConnState::Idle),
         }
@@ -458,6 +508,8 @@ pub struct ServerConn {
     /// The server boot epoch this connection was accepted in; a crash
     /// restart invalidates it and every message afterwards is refused.
     epoch: u64,
+    /// This connection's share of the invalidation broadcast.
+    pending: Arc<Mutex<Vec<FileHandle>>>,
     state: Mutex<ConnState>,
 }
 
@@ -699,11 +751,10 @@ impl ServerConn {
                     }
                 };
                 let results = self.dispatch_nfs(&creds, proc, &args);
-                // Piggyback pending invalidation callbacks, in SFS handle
-                // form.
+                // Piggyback this connection's pending invalidation
+                // callbacks, in SFS handle form.
                 let pending: Vec<FileHandle> = self
-                    .server
-                    .invalidations
+                    .pending
                     .lock()
                     .drain(..)
                     .map(|fh| self.server.encrypt_handle(fh))

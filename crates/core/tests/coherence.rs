@@ -1,0 +1,521 @@
+//! Multi-client cache-coherence oracle: 2–4 clients and one server share
+//! a seeded fault plan, and every read is checked against the set of
+//! values *legally observable* given the write history, the server's
+//! lease duration, and piggybacked invalidations.
+//!
+//! The oracle's rules, per ISSUE and paper §3.3 (leases + invalidation
+//! callbacks are the enhanced-caching extension):
+//!
+//! 1. **validity** — an observed file size must be one the write history
+//!    actually produced;
+//! 2. **monotonicity** — one client never observes a file shrink;
+//! 3. **lease bound** — a stale value may be served only while the lease
+//!    granted before the overwriting commit could still be live: a stale
+//!    read later than `t_commit(next) + lease_ns` is a failure;
+//! 4. **invalidation bound** (fault-free plans only, where delivery is
+//!    guaranteed) — once a client completes any round trip after a
+//!    commit, the piggybacked invalidation has arrived, so a subsequent
+//!    stale read from cache is a failure. Under faults a reply carrying
+//!    the invalidation can be legitimately lost and the lease is the
+//!    backstop, so rule 4 is not applied there.
+//!
+//! Versions are file *sizes*: every write appends exactly one byte at the
+//! committed size, so duplicated or re-executed writes (fault-plan
+//! duplicates, post-reconnect reissues) are idempotent and the version
+//! sequence stays strictly increasing.
+//!
+//! Scheduled client crash-restarts (`ccrash=`) kill a client mid-run:
+//! the incarnation is dropped, a cold one is rebuilt from the journal via
+//! [`SfsClient::recover`], and the oracle keeps scoring its reads —
+//! recovery must come back with cold caches, so a recovered client can
+//! never serve a pre-crash stale value.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use sfs::authserver::{AuthServer, UserRecord};
+use sfs::client::{Mount, SfsClient, SfsNetwork};
+use sfs::journal::ClientJournal;
+use sfs::server::{ServerConfig, SfsServer};
+use sfs_bignum::{RandomSource, XorShiftSource};
+use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
+use sfs_crypto::srp::SrpGroup;
+use sfs_crypto::SfsPrg;
+use sfs_nfs3::proto::{FileHandle, Nfs3Reply, Nfs3Request, StableHow};
+use sfs_proto::pathname::SelfCertifyingPath;
+use sfs_sim::{
+    DiskParams, FaultEvent, FaultKind, FaultPlan, JournalDisk, NetParams, SimClock, SimDisk,
+    Transport,
+};
+use sfs_vfs::{Credentials, Vfs};
+
+fn server_key() -> RabinPrivateKey {
+    static KEY: OnceLock<RabinPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = XorShiftSource::new(0xA5A5);
+        generate_keypair(768, &mut rng)
+    })
+    .clone()
+}
+
+fn user_key() -> RabinPrivateKey {
+    static KEY: OnceLock<RabinPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = XorShiftSource::new(0xB6B6);
+        generate_keypair(512, &mut rng)
+    })
+    .clone()
+}
+
+fn client_ephemeral() -> RabinPrivateKey {
+    static KEY: OnceLock<RabinPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = XorShiftSource::new(0xE9E9);
+        generate_keypair(768, &mut rng)
+    })
+    .clone()
+}
+
+fn srp_group() -> SrpGroup {
+    static G: OnceLock<SrpGroup> = OnceLock::new();
+    G.get_or_init(|| {
+        let mut rng = XorShiftSource::new(0xC7C7);
+        SrpGroup::generate(128, &mut rng)
+    })
+    .clone()
+}
+
+const ALICE_UID: u32 = 1000;
+/// Short lease so expiry is actually exercised inside a few-second run
+/// (the 30s default would make every stale read trivially legal).
+const LEASE_NS: u64 = 250_000_000;
+/// Virtual time between workload operations.
+const OP_GAP_NS: u64 = 60_000_000;
+const FILES: usize = 3;
+const OPS: usize = 36;
+
+/// One committed version of a file: the size it reached, when, and each
+/// client's completed-round-trip count at commit (rule 4's reference
+/// point — any later completed round trip carried the invalidation).
+struct Commit {
+    size: u64,
+    t_ns: u64,
+    rt_at_commit: Vec<u64>,
+}
+
+struct Harness {
+    clock: SimClock,
+    net: Arc<SfsNetwork>,
+    plan: FaultPlan,
+    path: SelfCertifyingPath,
+    journals: Vec<ClientJournal>,
+    clients: Vec<Arc<SfsClient>>,
+    mounts: Vec<Arc<Mount>>,
+    fhs: Vec<FileHandle>,
+    history: Vec<Vec<Commit>>,
+    last_seen: Vec<Vec<u64>>,
+    crashes_done: usize,
+    violations: Vec<String>,
+    /// Whether rule 4 applies (no wire faults that can eat a reply).
+    guaranteed_delivery: bool,
+}
+
+fn build_harness(spec: &str, n_clients: usize, guaranteed_delivery: bool) -> Harness {
+    let plan = FaultPlan::from_spec(spec).unwrap();
+    let clock = SimClock::new();
+    let vfs = Vfs::new(7, clock.clone());
+    let root_creds = Credentials::root();
+    let public = vfs.mkdir_p("/public").unwrap();
+    vfs.setattr(
+        &root_creds,
+        public,
+        sfs_vfs::SetAttr {
+            mode: Some(0o777),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let auth = Arc::new(AuthServer::new(srp_group(), 2));
+    auth.register_user(UserRecord {
+        user: "alice".into(),
+        uid: ALICE_UID,
+        gids: vec![100],
+        public_key: user_key().public().to_bytes(),
+    });
+    let mut config = ServerConfig::new("sfs.lcs.mit.edu");
+    config.lease_ns = LEASE_NS;
+    let server = SfsServer::new(
+        config,
+        server_key(),
+        vfs,
+        auth,
+        SfsPrg::from_entropy(b"coherence-server"),
+    );
+    server.set_fault_plan(plan.clone());
+    let net = SfsNetwork::new(clock.clone(), NetParams::switched_100mbit(Transport::Tcp));
+    net.set_fault_plan(plan.clone());
+    net.register(server.clone());
+    let path = server.path().clone();
+
+    let mut journals = Vec::new();
+    let mut clients = Vec::new();
+    let mut mounts = Vec::new();
+    for i in 0..n_clients {
+        let disk = SimDisk::new(clock.clone(), DiskParams::ibm_18es());
+        disk.set_fault_plan(plan.clone());
+        let journal = ClientJournal::new(JournalDisk::new(disk, (i as u64) << 32));
+        let client = SfsClient::with_ephemeral(
+            net.clone(),
+            format!("coh-client-{i}-epoch-0").as_bytes(),
+            client_ephemeral(),
+        );
+        client.attach_journal(journal.clone());
+        client.install_agent_key(ALICE_UID, user_key());
+        let mount = client.mount(ALICE_UID, &path).unwrap();
+        journals.push(journal);
+        clients.push(client);
+        mounts.push(mount);
+    }
+
+    // Client 0 creates the version-counter files (size 0 = version 0).
+    let mut fhs = Vec::new();
+    let mut history = Vec::new();
+    for f in 0..FILES {
+        let p = format!("{}/public/coh-{f}", path.full_path());
+        clients[0].write_file(ALICE_UID, &p, b"").unwrap();
+        let (_, fh, _) = clients[0].resolve(ALICE_UID, &p).unwrap();
+        fhs.push(fh);
+        history.push(vec![Commit {
+            size: 0,
+            t_ns: clock.now().as_nanos(),
+            rt_at_commit: mounts.iter().map(|m| m.round_trips()).collect(),
+        }]);
+    }
+
+    Harness {
+        clock,
+        net,
+        plan,
+        path,
+        journals,
+        clients,
+        mounts,
+        fhs,
+        history,
+        last_seen: vec![vec![0; FILES]; n_clients],
+        crashes_done: 0,
+        violations: Vec::new(),
+        guaranteed_delivery,
+    }
+}
+
+impl Harness {
+    /// Honours any scheduled client-crash instants the clock has crossed:
+    /// the victim incarnation is dropped and a cold one recovers from the
+    /// journal.
+    fn honour_client_crashes(&mut self) {
+        while self.crashes_done < self.plan.client_epoch(self.clock.now()) as usize {
+            let victim = self.crashes_done % self.clients.len();
+            self.plan.note_client_crash(self.clock.now());
+            self.crashes_done += 1;
+            let reborn = SfsClient::with_ephemeral(
+                self.net.clone(),
+                format!("coh-client-{victim}-epoch-{}", self.crashes_done).as_bytes(),
+                client_ephemeral(),
+            );
+            reborn.attach_journal(self.journals[victim].clone());
+            let report = reborn.recover(ALICE_UID).unwrap();
+            assert_eq!(
+                report.remounted,
+                vec![self.path.dir_name()],
+                "recovery must re-establish the journaled mount: {report:?}"
+            );
+            self.mounts[victim] = reborn.mount(ALICE_UID, &self.path).unwrap();
+            self.clients[victim] = reborn;
+        }
+    }
+
+    /// Appends one byte to `f` through client `i` and records the commit.
+    fn write(&mut self, i: usize, f: usize) {
+        let offset = self.history[f].last().unwrap().size;
+        let reply = self.clients[i]
+            .call_nfs(
+                &self.mounts[i],
+                ALICE_UID,
+                &Nfs3Request::Write {
+                    fh: self.fhs[f].clone(),
+                    offset,
+                    stable: StableHow::FileSync,
+                    data: vec![b'a' + (f as u8)],
+                },
+            )
+            .unwrap();
+        assert!(
+            matches!(reply, Nfs3Reply::Write { count: 1, .. }),
+            "append must write exactly one byte: {reply:?}"
+        );
+        self.history[f].push(Commit {
+            size: offset + 1,
+            t_ns: self.clock.now().as_nanos(),
+            rt_at_commit: self.mounts.iter().map(|m| m.round_trips()).collect(),
+        });
+    }
+
+    /// Reads `f`'s size through client `i` (cache-aware getattr) and
+    /// scores it against the oracle rules.
+    fn read_and_check(&mut self, i: usize, f: usize) {
+        let rt_before = self.mounts[i].round_trips();
+        let t_read = self.clock.now().as_nanos();
+        let attr = self.clients[i]
+            .getattr(&self.mounts[i], ALICE_UID, &self.fhs[f])
+            .unwrap();
+        let s = attr.size;
+        let latest = self.history[f].last().unwrap().size;
+        // Rule 1: the size must be one the history produced.
+        if self.history[f].iter().all(|c| c.size != s) {
+            self.violations.push(format!(
+                "client {i} file {f}: observed size {s} never committed (latest {latest})"
+            ));
+            return;
+        }
+        // Rule 2: no client ever sees a file shrink.
+        if s < self.last_seen[i][f] {
+            self.violations.push(format!(
+                "client {i} file {f}: size went backwards {} -> {s}",
+                self.last_seen[i][f]
+            ));
+        }
+        self.last_seen[i][f] = s;
+        if s == latest {
+            return;
+        }
+        // The read is stale: the commit that obsoleted `s`.
+        let next = &self.history[f][(s + 1) as usize];
+        // Rule 3: every lease covering `s` was granted before `next`
+        // committed, so none survives past `next.t_ns + lease`.
+        if t_read > next.t_ns + LEASE_NS {
+            self.violations.push(format!(
+                "client {i} file {f}: stale size {s} served {}ns past lease expiry",
+                t_read - (next.t_ns + LEASE_NS)
+            ));
+        }
+        // Rule 4: with guaranteed delivery, a completed round trip after
+        // the commit carried the invalidation.
+        if self.guaranteed_delivery && rt_before > next.rt_at_commit[i] {
+            self.violations.push(format!(
+                "client {i} file {f}: stale size {s} served after a post-commit \
+                 round trip delivered the invalidation"
+            ));
+        }
+    }
+
+    /// Drives the seeded workload to completion and returns the oracle's
+    /// verdict plus everything needed for reproducibility comparison.
+    fn run(mut self, seed: u64) -> RunOutcome {
+        let mut rng = XorShiftSource::new(seed | 1);
+        let mut draw = move || {
+            let mut b = [0u8; 8];
+            rng.fill(&mut b);
+            u64::from_le_bytes(b)
+        };
+        for _ in 0..OPS {
+            self.clock.advance_ns(OP_GAP_NS);
+            self.honour_client_crashes();
+            let i = (draw() as usize) % self.clients.len();
+            let f = (draw() as usize) % FILES;
+            if draw() % 10 < 3 {
+                self.write(i, f);
+            } else {
+                self.read_and_check(i, f);
+            }
+        }
+        RunOutcome {
+            violations: self.violations,
+            total_ns: self.clock.now().as_nanos(),
+            events: self.plan.events(),
+            sizes: self
+                .history
+                .iter()
+                .map(|h| h.last().unwrap().size)
+                .collect(),
+            journal_records: self.journals.iter().map(|j| j.len()).collect(),
+            crashes: self.crashes_done,
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct RunOutcome {
+    violations: Vec<String>,
+    total_ns: u64,
+    events: Vec<FaultEvent>,
+    sizes: Vec<u64>,
+    journal_records: Vec<usize>,
+    crashes: usize,
+}
+
+fn run_spec(spec: &str, seed: u64, n_clients: usize, guaranteed: bool) -> RunOutcome {
+    build_harness(spec, n_clients, guaranteed).run(seed)
+}
+
+/// ≥20 seeded plans mixing every fault kind the simulator knows,
+/// including simultaneous client+server crashes. `(spec, n_clients)`.
+const COHERENCE_SPECS: &[(&str, usize)] = &[
+    ("seed=401,drop=20", 2),
+    ("seed=402,dup=25", 3),
+    ("seed=403,reorder=25", 2),
+    ("seed=404,corrupt=15", 2),
+    ("seed=405,delay=150,delay_ns=2ms", 3),
+    ("seed=406,partition=500ms+1s", 2),
+    ("seed=407,crash=900ms", 3),
+    ("seed=408,syncfail=200", 2),
+    ("seed=409,ccrash=800ms", 2),
+    // Simultaneous client and server crash at the same instant.
+    ("seed=410,ccrash=700ms,crash=700ms", 2),
+    ("seed=411,drop=15,dup=10,ccrash=900ms", 3),
+    ("seed=412,corrupt=10,ccrash=600ms,crash=1500ms", 2),
+    ("seed=413,drop=10,reorder=15,delay=80,delay_ns=1ms", 4),
+    // Simultaneous again, later in the run.
+    ("seed=414,crash=1s,ccrash=1s", 3),
+    ("seed=415,drop=10,syncfail=150,ccrash=1200ms", 2),
+    ("seed=416,dup=15,corrupt=10,crash=800ms", 2),
+    ("seed=417,partition=600ms+800ms,ccrash=1600ms", 2),
+    (
+        "seed=418,drop=25,dup=10,reorder=10,corrupt=10,delay=60,delay_ns=1ms",
+        3,
+    ),
+    ("seed=419,ccrash=600ms,ccrash=1500ms,drop=10", 2),
+    ("seed=420,crash=700ms,ccrash=1300ms,dup=10", 3),
+    (
+        "seed=421,drop=15,corrupt=10,crash=1s,ccrash=1s,syncfail=100",
+        2,
+    ),
+];
+
+#[test]
+fn coherence_oracle_passes_over_all_seeded_fault_plans() {
+    let mut seen: BTreeSet<&'static str> = BTreeSet::new();
+    let mut crashes = 0;
+    for (spec, n) in COHERENCE_SPECS {
+        let out = run_spec(spec, 0x5EED, *n, false);
+        assert!(
+            out.violations.is_empty(),
+            "coherence violated under {spec:?}: {:#?}",
+            out.violations
+        );
+        seen.extend(out.events.iter().map(|e| e.kind.label()));
+        crashes += out.crashes;
+    }
+    assert!(crashes >= 8, "the battery must exercise client restarts");
+    // Across the battery every fault kind shows up, client crashes
+    // included.
+    for kind in [
+        FaultKind::Drop,
+        FaultKind::Duplicate,
+        FaultKind::Reorder,
+        FaultKind::Corrupt,
+        FaultKind::Delay,
+        FaultKind::Partition,
+        FaultKind::ServerCrash,
+        FaultKind::ClientCrash,
+        FaultKind::DiskSyncFail,
+    ] {
+        assert!(
+            seen.contains(kind.label()),
+            "no coherence plan injected {:?}; saw {seen:?}",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn coherence_runs_reproduce_byte_for_byte() {
+    // A subset of plans — including client crash-restarts — rerun
+    // identically: same virtual-time totals, same fault logs, same final
+    // sizes, same journal record counts, same (empty) violation list.
+    for (spec, n) in [
+        ("seed=409,ccrash=800ms", 2usize),
+        ("seed=410,ccrash=700ms,crash=700ms", 2),
+        (
+            "seed=418,drop=25,dup=10,reorder=10,corrupt=10,delay=60,delay_ns=1ms",
+            3,
+        ),
+    ] {
+        let a = run_spec(spec, 0x5EED, n, false);
+        let b = run_spec(spec, 0x5EED, n, false);
+        assert_eq!(a, b, "coherence run diverged across reruns of {spec:?}");
+    }
+}
+
+#[test]
+fn oracle_detects_deliberately_injected_stale_read() {
+    // Self-test: a client that drops invalidation callbacks on the floor
+    // is exactly the stale-read bug the oracle exists to catch. Clean
+    // plan (delivery guaranteed), so rule 4 applies. The same scripted
+    // sequence runs twice — once with the bug, once without — and the
+    // oracle must flag exactly the buggy run.
+    let script = |buggy: bool| -> (u64, Vec<String>) {
+        let h = build_harness("seed=450", 2, true);
+        let (a, b) = (&h.clients[0], &h.clients[1]);
+        let (ma, mb) = (&h.mounts[0], &h.mounts[1]);
+        let fh = &h.fhs[0];
+        let fh_other = &h.fhs[1];
+        let mut violations = Vec::new();
+
+        // B caches file 0 at version 0.
+        let attr = b.getattr(mb, ALICE_UID, fh).unwrap();
+        assert_eq!(attr.size, 0);
+        // A appends: version 1 commits; B's invalidation is queued.
+        let reply = a
+            .call_nfs(
+                ma,
+                ALICE_UID,
+                &Nfs3Request::Write {
+                    fh: fh.clone(),
+                    offset: 0,
+                    stable: StableHow::FileSync,
+                    data: vec![b'x'],
+                },
+            )
+            .unwrap();
+        assert!(matches!(reply, Nfs3Reply::Write { count: 1, .. }));
+        let rt_at_commit = mb.round_trips();
+
+        // The (conditional) bug: B ignores the piggybacked invalidation
+        // its next round trip delivers.
+        b.set_ignore_invalidations(buggy);
+        let _ = b.getattr(mb, ALICE_UID, fh_other).unwrap(); // cache miss → wire
+        assert!(
+            mb.round_trips() > rt_at_commit,
+            "the probe RPC must complete a post-commit round trip"
+        );
+        // B re-reads file 0; rule 4 scores the observation.
+        let rt_before = mb.round_trips();
+        let seen = b.getattr(mb, ALICE_UID, fh).unwrap();
+        if seen.size != 1 && rt_before > rt_at_commit {
+            violations.push(format!(
+                "client 1 file 0: stale size {} served after a post-commit \
+                 round trip delivered the invalidation",
+                seen.size
+            ));
+        }
+        (seen.size, violations)
+    };
+
+    let (stale_size, violations) = script(true);
+    assert_eq!(
+        stale_size, 0,
+        "the injected bug must actually cause a stale read"
+    );
+    assert!(
+        !violations.is_empty(),
+        "the oracle failed to flag the injected stale read"
+    );
+
+    // Control: the identical sequence without the bug is coherent — the
+    // invalidation lands, the cache entry is dropped, the read refetches.
+    let (fresh_size, violations) = script(false);
+    assert_eq!(fresh_size, 1, "with callbacks applied the read is fresh");
+    assert!(violations.is_empty(), "{violations:#?}");
+}

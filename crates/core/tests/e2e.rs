@@ -352,7 +352,7 @@ fn mitm_server_with_different_key_rejected() {
         host_id: w.path.host_id,
     };
     let err = w.client.mount(ALICE_UID, &forged).unwrap_err();
-    assert!(matches!(err, ClientError::KeyNeg(_)), "{err:?}");
+    assert!(matches!(err, ClientError::KeyMismatch), "{err:?}");
 }
 
 #[test]
@@ -464,10 +464,46 @@ fn agent_ipc_is_uid_attested() {
     let n = dec.get_u32().unwrap();
     let names: Vec<String> = (0..n).map(|_| dec.get_string().unwrap()).collect();
     assert!(names.contains(&"mit".to_string()));
-    // Unknown commands answer with an error, never panic.
+    // Unknown commands answer with a structured error, never panic: a
+    // status code, the echoed command (u32::MAX — this header is not
+    // even readable), and a message.
     let reply = socket.connect_and_call(ALICE_UID, &[0xff; 3]);
     let mut dec = sfs_xdr::XdrDecoder::new(&reply);
-    assert_eq!(dec.get_u32().unwrap(), 1);
+    assert_eq!(dec.get_u32().unwrap(), sfs::client::AGENT_ERR_UNKNOWN_CMD);
+    assert_eq!(dec.get_u32().unwrap(), u32::MAX);
+    assert!(!dec.get_string().unwrap().is_empty());
+}
+
+#[test]
+fn agent_socket_errors_are_structured() {
+    // A replacement agent (the paper lets users swap agents at will)
+    // needs error *codes* it can dispatch on, not prose. Each failure
+    // class gets its own status, the offending command is echoed back,
+    // and the message is advisory.
+    let w = build_world();
+    let socket = w.client.agent_socket();
+    // Recognised command, malformed arguments.
+    let mut enc = sfs_xdr::XdrEncoder::new();
+    enc.put_u32(0).put_u32(0xdead_beef); // cmd 0 wants two strings
+    let reply = socket.connect_and_call(ALICE_UID, enc.bytes());
+    let mut dec = sfs_xdr::XdrDecoder::new(&reply);
+    assert_eq!(dec.get_u32().unwrap(), sfs::client::AGENT_ERR_BAD_ARGS);
+    assert_eq!(dec.get_u32().unwrap(), 0, "offending command echoed");
+    assert!(!dec.get_string().unwrap().is_empty());
+    // Readable header, unknown command code.
+    let mut enc = sfs_xdr::XdrEncoder::new();
+    enc.put_u32(42);
+    let reply = socket.connect_and_call(ALICE_UID, enc.bytes());
+    let mut dec = sfs_xdr::XdrDecoder::new(&reply);
+    assert_eq!(dec.get_u32().unwrap(), sfs::client::AGENT_ERR_UNKNOWN_CMD);
+    assert_eq!(dec.get_u32().unwrap(), 42, "offending command echoed");
+    assert!(!dec.get_string().unwrap().is_empty());
+    // Success still leads with AGENT_OK.
+    let mut enc = sfs_xdr::XdrEncoder::new();
+    enc.put_u32(1);
+    let reply = socket.connect_and_call(ALICE_UID, enc.bytes());
+    let mut dec = sfs_xdr::XdrDecoder::new(&reply);
+    assert_eq!(dec.get_u32().unwrap(), sfs::client::AGENT_OK);
 }
 
 #[test]

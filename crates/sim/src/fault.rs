@@ -45,6 +45,9 @@ pub enum FaultKind {
     /// Server crash-restart (all connection state lost at the scheduled
     /// instant; clients must redial and rekey).
     ServerCrash,
+    /// Client crash-restart (all in-memory client state lost at the
+    /// scheduled instant; the client recovers from its journal).
+    ClientCrash,
     /// A synchronous disk write fails transiently and is retried.
     DiskSyncFail,
 }
@@ -60,6 +63,7 @@ impl FaultKind {
             FaultKind::Delay => "delay",
             FaultKind::Partition => "partition",
             FaultKind::ServerCrash => "server_crash",
+            FaultKind::ClientCrash => "client_crash",
             FaultKind::DiskSyncFail => "disk_sync_fail",
         }
     }
@@ -87,6 +91,8 @@ pub struct FaultSpec {
     pub partitions: Vec<(SimTime, SimTime)>,
     /// Virtual instants at which the server crash-restarts.
     pub server_crashes: Vec<SimTime>,
+    /// Virtual instants at which a client crash-restarts.
+    pub client_crashes: Vec<SimTime>,
 }
 
 impl FaultSpec {
@@ -96,12 +102,12 @@ impl FaultSpec {
     }
 
     /// Parses the `--faults` spec syntax:
-    /// `drop=20,dup=5,reorder=3,corrupt=3,delay=10,delay_ns=2ms,partition=2s+500ms,crash=3s,syncfail=10`.
+    /// `drop=20,dup=5,reorder=3,corrupt=3,delay=10,delay_ns=2ms,partition=2s+500ms,crash=3s,ccrash=4s,syncfail=10`.
     ///
     /// Probabilities are per mille. Durations/instants accept `ns`, `us`,
     /// `ms`, and `s` suffixes (bare numbers are nanoseconds). `partition`
-    /// is `start+length` and `partition`/`crash` may repeat. A `seed=N`
-    /// pair is returned separately (default 0).
+    /// is `start+length` and `partition`/`crash`/`ccrash` may repeat. A
+    /// `seed=N` pair is returned separately (default 0).
     pub fn parse(spec: &str) -> Result<(u64, FaultSpec), String> {
         let mut seed = 0u64;
         let mut out = FaultSpec::none();
@@ -139,11 +145,13 @@ impl FaultSpec {
                     out.partitions.push((SimTime(start), SimTime(start + len)));
                 }
                 "crash" => out.server_crashes.push(SimTime(parse_duration_ns(value)?)),
+                "ccrash" => out.client_crashes.push(SimTime(parse_duration_ns(value)?)),
                 other => return Err(format!("unknown fault spec key {other:?}")),
             }
         }
         out.partitions.sort();
         out.server_crashes.sort();
+        out.client_crashes.sort();
         Ok((seed, out))
     }
 }
@@ -175,7 +183,7 @@ pub struct FaultEvent {
     pub at: SimTime,
     /// What was injected.
     pub kind: FaultKind,
-    /// Where: `"req"`, `"rep"`, `"disk"`, or `"server"`.
+    /// Where: `"req"`, `"rep"`, `"disk"`, `"server"`, or `"client"`.
     pub site: &'static str,
 }
 
@@ -357,6 +365,26 @@ impl FaultPlan {
         let mut st = self.state.lock();
         self.record(&mut st, now, FaultKind::ServerCrash, "server");
     }
+
+    /// The client boot epoch implied by the crash schedule at `now`: the
+    /// number of scheduled client crash instants at or before `now`. A
+    /// harness consulting the plan compares this against the epoch it
+    /// last observed; a jump means the client died in between and must be
+    /// rebuilt from its journal.
+    pub fn client_epoch(&self, now: SimTime) -> u64 {
+        self.spec
+            .client_crashes
+            .iter()
+            .filter(|t| **t <= now)
+            .count() as u64
+    }
+
+    /// Records a client crash-restart (called by the harness when it
+    /// observes an epoch jump, or when a test kills a client by hand).
+    pub fn note_client_crash(&self, now: SimTime) {
+        let mut st = self.state.lock();
+        self.record(&mut st, now, FaultKind::ClientCrash, "client");
+    }
 }
 
 impl std::fmt::Debug for FaultPlan {
@@ -399,6 +427,7 @@ mod tests {
             disk_sync_fail_pm: 200,
             partitions: vec![(SimTime(10), SimTime(20))],
             server_crashes: vec![SimTime(5), SimTime(50)],
+            client_crashes: vec![SimTime(7), SimTime(70)],
         }
     }
 
@@ -496,9 +525,23 @@ mod tests {
     }
 
     #[test]
+    fn client_epoch_counts_scheduled_crashes() {
+        let plan = FaultPlan::new(0, busy_spec());
+        assert_eq!(plan.client_epoch(SimTime(0)), 0);
+        assert_eq!(plan.client_epoch(SimTime(7)), 1);
+        assert_eq!(plan.client_epoch(SimTime(69)), 1);
+        assert_eq!(plan.client_epoch(SimTime(1_000)), 2);
+        plan.note_client_crash(SimTime(7));
+        let events = plan.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, FaultKind::ClientCrash);
+        assert_eq!(events[0].site, "client");
+    }
+
+    #[test]
     fn spec_parsing_round_trips() {
         let (seed, spec) = FaultSpec::parse(
-            "seed=9,drop=20,dup=5,reorder=3,corrupt=2,delay=10,delay_ns=2ms,partition=2s+500ms,crash=3s,syncfail=15",
+            "seed=9,drop=20,dup=5,reorder=3,corrupt=2,delay=10,delay_ns=2ms,partition=2s+500ms,crash=3s,ccrash=4s,syncfail=15",
         )
         .unwrap();
         assert_eq!(seed, 9);
@@ -514,6 +557,7 @@ mod tests {
             vec![(SimTime(2_000_000_000), SimTime(2_500_000_000))]
         );
         assert_eq!(spec.server_crashes, vec![SimTime(3_000_000_000)]);
+        assert_eq!(spec.client_crashes, vec![SimTime(4_000_000_000)]);
     }
 
     #[test]

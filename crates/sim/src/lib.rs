@@ -28,6 +28,7 @@ pub mod cpu;
 pub mod disk;
 pub mod fault;
 pub mod ipc;
+pub mod journal;
 pub mod net;
 pub mod time;
 
@@ -35,5 +36,6 @@ pub use cpu::CpuCosts;
 pub use disk::{DiskParams, SimDisk};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, NetAction};
 pub use ipc::{LocalEndpoint, LocalIdentity};
+pub use journal::JournalDisk;
 pub use net::{Direction, Interceptor, NetParams, PacketLog, Transport, Verdict, Wire, WireError};
 pub use time::{SimClock, SimTime};

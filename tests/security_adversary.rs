@@ -54,7 +54,15 @@ fn tampered_traffic_detected_not_accepted() {
     // error — never silently wrong data.
     let result = w.client.read_file(ALICE_UID, &hello);
     match result {
-        Err(ClientError::Channel(_) | ClientError::Protocol(_) | ClientError::KeyNeg(_)) => {}
+        // A flipped bit in a sealed frame kills the session (Channel /
+        // Protocol); if the redial's negotiation is also tampered with,
+        // the handshake fails self-certification (KeyMismatch / KeyNeg).
+        Err(
+            ClientError::Channel(_)
+            | ClientError::Protocol(_)
+            | ClientError::KeyNeg(_)
+            | ClientError::KeyMismatch,
+        ) => {}
         other => panic!("tampering must be detected, got {other:?}"),
     }
 }
@@ -186,6 +194,8 @@ fn server_without_private_key_cannot_complete_mount() {
         common::server_key(0).public(),
     );
     let err = w.client.mount(ALICE_UID, &victim_path).unwrap_err();
-    assert!(matches!(err, ClientError::KeyNeg(_)), "{err:?}");
+    // The imposter's key hashes to the wrong HostID: self-certification
+    // fails before any key halves are sent.
+    assert!(matches!(err, ClientError::KeyMismatch), "{err:?}");
     let _ = imposter;
 }
