@@ -14,6 +14,7 @@
 //! Each `fig*` binary regenerates one figure; `all_figures` runs
 //! everything and prints the deltas recorded in EXPERIMENTS.md.
 
+pub mod alloc_count;
 pub mod args;
 pub mod calib;
 pub mod kernel;

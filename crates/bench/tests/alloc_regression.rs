@@ -1,0 +1,118 @@
+//! Pins allocations-per-RPC on the steady-state sealed relay loop.
+//!
+//! Wall-clock perf regressions need a benchmark run to notice;
+//! allocation-count regressions are exact and deterministic, so they can
+//! gate in an ordinary test. These ceilings were measured after the
+//! zero-copy hot path landed (11 allocs per GETATTR, 14 per 4 KiB READ;
+//! 36/38 before it). A small cushion absorbs platform differences in
+//! collection growth; anything above it means the pooled buffer flow
+//! broke somewhere.
+
+use std::sync::Arc;
+
+use sfs::authserver::{AuthServer, UserRecord};
+use sfs::client::{SfsClient, SfsNetwork};
+use sfs::server::{ServerConfig, SfsServer};
+use sfs_bench::alloc_count::{count_allocs, CountingAlloc};
+use sfs_bignum::XorShiftSource;
+use sfs_crypto::rabin::generate_keypair;
+use sfs_crypto::srp::SrpGroup;
+use sfs_crypto::SfsPrg;
+use sfs_nfs3::proto::{Nfs3Reply, Nfs3Request};
+use sfs_sim::{NetParams, SimClock, Transport};
+use sfs_vfs::{Credentials, Vfs};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const UID: u32 = 1000;
+const GETATTR_ALLOC_CEILING: f64 = 16.0;
+const READ_ALLOC_CEILING: f64 = 20.0;
+
+#[test]
+fn steady_state_relay_allocations_stay_pinned() {
+    let clock = SimClock::new();
+    let vfs = Vfs::new(7, clock.clone());
+    let dir = vfs.mkdir_p("/bench").unwrap();
+    vfs.setattr(
+        &Credentials::root(),
+        dir,
+        sfs_vfs::SetAttr {
+            mode: Some(0o777),
+            uid: Some(UID),
+            gid: Some(100),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut rng = XorShiftSource::new(0x51EE);
+    let auth = Arc::new(AuthServer::new(SrpGroup::generate(128, &mut rng), 2));
+    let user_key = generate_keypair(512, &mut rng);
+    auth.register_user(UserRecord {
+        user: "bench".into(),
+        uid: UID,
+        gids: vec![100],
+        public_key: user_key.public().to_bytes(),
+    });
+    let server = SfsServer::new(
+        ServerConfig::new("server.allocs"),
+        generate_keypair(768, &mut rng),
+        vfs,
+        auth,
+        SfsPrg::from_entropy(b"alloc-regression-server"),
+    );
+    let net = SfsNetwork::new(clock, NetParams::switched_100mbit(Transport::Tcp));
+    net.register(server.clone());
+    let client = SfsClient::new(net, b"alloc-regression-client");
+    client.agent(UID).lock().add_key(user_key);
+
+    let path = server.path();
+    let mount = client.mount(UID, path).expect("mount");
+    let file = format!("{}/bench/data", path.full_path());
+    client
+        .write_file(UID, &file, &vec![0xCDu8; 4096])
+        .expect("write");
+    let (_, fh, _) = client.resolve(UID, &file).expect("resolve");
+    client.set_caching(false); // every measured op must cross the wire
+
+    // Warm the pools, the connection, and any lazy collection growth.
+    for _ in 0..8 {
+        client.getattr(&mount, UID, &fh).unwrap();
+    }
+
+    const ITERS: u64 = 32;
+    let (_, getattr_allocs) = count_allocs(|| {
+        for _ in 0..ITERS {
+            client.getattr(&mount, UID, &fh).unwrap();
+        }
+    });
+    let per_getattr = getattr_allocs as f64 / ITERS as f64;
+    assert!(
+        per_getattr <= GETATTR_ALLOC_CEILING,
+        "GETATTR now costs {per_getattr:.2} allocs/RPC (ceiling {GETATTR_ALLOC_CEILING}); \
+         the pooled hot path has regressed"
+    );
+
+    let read = Nfs3Request::Read {
+        fh: fh.clone(),
+        offset: 0,
+        count: 4096,
+    };
+    for _ in 0..4 {
+        client.call_nfs(&mount, UID, &read).unwrap();
+    }
+    let (_, read_allocs) = count_allocs(|| {
+        for _ in 0..ITERS {
+            match client.call_nfs(&mount, UID, &read).unwrap() {
+                Nfs3Reply::Read { data, .. } => assert_eq!(data.len(), 4096),
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+    });
+    let per_read = read_allocs as f64 / ITERS as f64;
+    assert!(
+        per_read <= READ_ALLOC_CEILING,
+        "4 KiB READ now costs {per_read:.2} allocs/RPC (ceiling {READ_ALLOC_CEILING}); \
+         the pooled hot path has regressed"
+    );
+}

@@ -1,0 +1,190 @@
+//! A per-connection buffer pool for the sealed-RPC hot path.
+//!
+//! Every sealed RPC used to allocate fresh `Vec<u8>`s for the XDR
+//! encode, the sealed frame, the wire envelope, and the opened reply.
+//! The paper's performance argument (§4) is that security overhead is
+//! small enough to leave on by default; gratuitous per-RPC allocation
+//! works against that. A [`BufPool`] is a small freelist of `Vec<u8>`s
+//! shared by both ends of a connection so steady-state traffic recycles
+//! the same handful of buffers instead of hitting the allocator.
+//!
+//! Pool discipline: buffers are handed out empty (`len == 0`) with
+//! whatever capacity they accumulated, and returned with contents
+//! intact (the pool clears them on reuse, not on return, so a caller
+//! may keep reading a buffer up to the moment it re-enters circulation).
+//! Hits and misses are telemetry-counted (`bufpool.hits` /
+//! `bufpool.misses`) so benchmarks and tests can pin reuse rates.
+
+use std::sync::Arc;
+
+use sfs_telemetry::sync::Mutex;
+use sfs_telemetry::Telemetry;
+
+/// Buffers retained per pool. Connections have at most a few frames in
+/// flight (request, envelope, reply), so a small cap bounds memory
+/// while keeping the steady state allocation-free.
+const MAX_POOLED: usize = 8;
+
+/// Buffers above this capacity are dropped rather than pooled, so one
+/// huge READ/WRITE burst does not pin megabytes forever.
+const MAX_RETAINED_CAPACITY: usize = 1 << 20;
+
+/// A freelist of reusable `Vec<u8>`s shared by a connection's two ends.
+pub struct BufPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    tel: Mutex<Telemetry>,
+    host: &'static str,
+}
+
+impl BufPool {
+    /// Creates an empty pool tagged with a telemetry process dimension.
+    pub fn new(host: &'static str) -> Arc<Self> {
+        Arc::new(BufPool {
+            free: Mutex::new(Vec::new()),
+            tel: Mutex::new(Telemetry::disabled()),
+            host,
+        })
+    }
+
+    /// Routes hit/miss counters to `tel`.
+    pub fn set_telemetry(&self, tel: Telemetry) {
+        *self.tel.lock() = tel;
+    }
+
+    /// Takes a cleared buffer from the freelist, or allocates one.
+    pub fn get(&self) -> Vec<u8> {
+        let buf = self.free.lock().pop();
+        match buf {
+            Some(mut b) => {
+                b.clear();
+                self.tel.lock().count(self.host, "bufpool.hits", 1);
+                b
+            }
+            None => {
+                self.tel.lock().count(self.host, "bufpool.misses", 1);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the freelist. Oversized buffers and overflow
+    /// beyond the retention cap are dropped.
+    pub fn put(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > MAX_RETAINED_CAPACITY {
+            return;
+        }
+        let mut free = self.free.lock();
+        if free.len() < MAX_POOLED {
+            free.push(buf);
+        }
+    }
+
+    /// Takes a buffer wrapped in a guard that returns it on drop.
+    pub fn get_guard(self: &Arc<Self>) -> PooledBuf {
+        PooledBuf {
+            buf: Some(self.get()),
+            pool: Arc::clone(self),
+        }
+    }
+
+    /// Buffers currently idle in the freelist (for tests).
+    pub fn idle(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+impl std::fmt::Debug for BufPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufPool")
+            .field("host", &self.host)
+            .field("idle", &self.idle())
+            .finish()
+    }
+}
+
+/// RAII guard for a pooled buffer: derefs to `Vec<u8>`, returns the
+/// buffer to its pool on drop unless [`PooledBuf::take`]n.
+pub struct PooledBuf {
+    buf: Option<Vec<u8>>,
+    pool: Arc<BufPool>,
+}
+
+impl PooledBuf {
+    /// Detaches the buffer from the guard; it will not be pooled.
+    pub fn take(mut self) -> Vec<u8> {
+        self.buf.take().expect("buffer present until take/drop")
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        self.buf.as_ref().expect("buffer present until take/drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        self.buf.as_mut().expect("buffer present until take/drop")
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            self.pool.put(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuses_buffers_and_counts_hits() {
+        let pool = BufPool::new("client");
+        let tel = Telemetry::counters();
+        pool.set_telemetry(tel.clone());
+
+        let mut a = pool.get();
+        a.extend_from_slice(b"hello");
+        let cap = a.capacity();
+        pool.put(a);
+        assert_eq!(pool.idle(), 1);
+
+        let b = pool.get();
+        assert!(b.is_empty(), "reused buffers come back cleared");
+        assert_eq!(b.capacity(), cap, "capacity survives the round trip");
+        assert_eq!(tel.counter("client", "bufpool.hits"), 1);
+        assert_eq!(tel.counter("client", "bufpool.misses"), 1);
+    }
+
+    #[test]
+    fn retention_is_capped() {
+        let pool = BufPool::new("client");
+        for _ in 0..MAX_POOLED + 4 {
+            pool.put(Vec::with_capacity(64));
+        }
+        assert_eq!(pool.idle(), MAX_POOLED);
+        // Zero-capacity and oversized buffers are never retained.
+        let before = pool.idle();
+        pool.put(Vec::new());
+        pool.put(Vec::with_capacity(MAX_RETAINED_CAPACITY + 1));
+        assert_eq!(pool.idle(), before);
+    }
+
+    #[test]
+    fn guard_returns_on_drop_and_take_detaches() {
+        let pool = BufPool::new("client");
+        {
+            let mut g = pool.get_guard();
+            g.extend_from_slice(b"xyz");
+        }
+        assert_eq!(pool.idle(), 1);
+        let g = pool.get_guard();
+        let v = g.take();
+        drop(v);
+        assert_eq!(pool.idle(), 0, "taken buffers are not pooled");
+    }
+}

@@ -38,9 +38,13 @@ use sfs_vfs::FileType;
 use sfs_xdr::Xdr;
 
 use crate::agent::Agent;
+use crate::bufpool::BufPool;
 use crate::journal::{ClientJournal, JournalRecord};
 use crate::server::{ServerConn, SfsServer};
-use crate::wire::{CallMsg, Dialect, InnerCall, InnerReply, ReplyMsg, Service};
+use crate::wire::{
+    sealed_env_begin, sealed_env_finish, sealed_envelope_frame, CallMsg, Dialect, InnerCall,
+    InnerReply, ReplyMsg, Service, SEALED_ENV_FRAME_START,
+};
 
 /// Default ephemeral-key size. The paper's servers used 1280-bit keys;
 /// 768 keeps deterministic test runs fast while exercising identical code
@@ -243,6 +247,9 @@ struct Link {
     wire: Wire,
     conn: ServerConn,
     channel: SecureChannelEnd,
+    /// Buffer freelist shared with `conn` (the loopback server end), so
+    /// sealed request/reply buffers circulate between the two sides.
+    pool: Arc<BufPool>,
     session_id: [u8; 20],
     /// The server public key that passed self-certification for this
     /// link (journaled with the mount so recovery can cross-check).
@@ -1041,10 +1048,13 @@ impl SfsClient {
         tel.count("client", "keyneg.completed", 1);
         let mut channel = SecureChannelEnd::client(&keys);
         channel.set_telemetry(tel.clone());
+        let pool = conn.buf_pool().clone();
+        pool.set_telemetry(tel.clone());
         Ok(Link {
             wire,
             conn,
             channel,
+            pool,
             session_id: keys.session_id,
             server_key,
             generation,
@@ -1164,7 +1174,12 @@ impl SfsClient {
     /// reconnect with key renegotiation, after which the call is
     /// re-sealed on the new channel and reissued.
     fn sealed_call(&self, mount: &Mount, call: InnerCall) -> Result<InnerReply, ClientError> {
-        let plaintext = call.to_xdr();
+        // The plaintext outlives any reconnect (it is re-sealed on the
+        // fresh channel), so it lives in its own pooled buffer rather
+        // than the envelope built per link.
+        let pool = mount.link.lock().pool.clone();
+        let mut plaintext = pool.get_guard();
+        call.encode_into(&mut plaintext);
         let max = self.retry_policy().max_reconnects;
         let mut round = 0;
         loop {
@@ -1198,21 +1213,34 @@ impl SfsClient {
         self.charge_crypto_cost(plaintext.len());
         let mut guard = mount.link.lock();
         let link = &mut *guard;
-        let frame = link.channel.seal(plaintext)?;
-        let msg = CallMsg::Sealed(frame).to_xdr();
+        let pool = link.pool.clone();
+        // Build the sealed wire envelope in place in one pooled buffer:
+        // byte-identical to `CallMsg::Sealed(channel.seal(..)).to_xdr()`
+        // without the intermediate frame and envelope allocations.
+        let mut env = pool.get_guard();
+        sealed_env_begin(&mut env);
+        env.extend_from_slice(plaintext);
+        link.channel.seal_into(&mut env, SEALED_ENV_FRAME_START)?;
+        sealed_env_finish(&mut env);
         // Retransmission loop: the frame was sealed once; every resend
         // puts the same bytes on the wire, so a request that was lost
         // in flight still decrypts at the server's cipher position.
+        // Each attempt copies the envelope into a pooled buffer that the
+        // wire consumes and the server-side closure recycles.
         let policy = self.retry_policy();
         let mut attempt = 0;
-        let reply_bytes = loop {
-            let sent = link.wire.call(msg.clone(), |b| {
+        let mut reply_bytes = loop {
+            let mut msg = pool.get();
+            msg.extend_from_slice(&env);
+            let sent = link.wire.call(msg, |b| {
                 // Server side: one crossing into sfssd, the data copy
                 // through it, plus the NFS loopback hop.
                 self.charge_crossing();
                 self.charge_rpc();
                 self.charge_server_copy(b.len());
-                link.conn.handle_bytes(&b)
+                let reply = link.conn.handle_bytes(&b);
+                pool.put(b);
+                reply
             });
             match sent {
                 Ok(b) => break b,
@@ -1228,6 +1256,21 @@ impl SfsClient {
                 }
             }
         };
+        // Well-formed sealed replies — the steady state — open in place
+        // inside the reply buffer, which then goes back to the pool.
+        // Anything else falls through to the general decoder below so
+        // error classification is unchanged.
+        if let Some(frame) = sealed_envelope_frame(&reply_bytes) {
+            self.charge_user_copy(frame.len());
+            self.charge_crypto_cost(frame.len());
+            let plain = link.channel.open_in_place(&mut reply_bytes[frame])?;
+            let inner =
+                InnerReply::from_xdr(plain).map_err(|e| ClientError::Protocol(e.to_string()))?;
+            drop(guard);
+            pool.put(reply_bytes);
+            self.apply_invalidations(mount, &inner);
+            return Ok(inner);
+        }
         // An unparseable envelope means the reply was mangled in flight
         // before the MAC could vouch for anything; classified as a
         // session death so the retry driver renegotiates.
@@ -1247,8 +1290,14 @@ impl SfsClient {
         drop(guard);
         let inner =
             InnerReply::from_xdr(&plain).map_err(|e| ClientError::Protocol(e.to_string()))?;
-        // Apply piggybacked invalidation callbacks.
-        if let InnerReply::Nfs { invalidations, .. } = &inner {
+        self.apply_invalidations(mount, &inner);
+        Ok(inner)
+    }
+
+    /// Applies a reply's piggybacked invalidation callbacks to the
+    /// mount's caches.
+    fn apply_invalidations(&self, mount: &Mount, inner: &InnerReply) {
+        if let InnerReply::Nfs { invalidations, .. } = inner {
             if !invalidations.is_empty() && !self.ignore_invalidations.load(Ordering::SeqCst) {
                 self.tel
                     .lock()
@@ -1261,7 +1310,6 @@ impl SfsClient {
                 access.retain(|(fh, _, _), _| !invalidations.iter().any(|i| &i.0 == fh));
             }
         }
-        Ok(inner)
     }
 
     /// Ensures `uid` is authenticated on `mount`; returns the

@@ -63,6 +63,11 @@ pub enum JournalRecord {
         /// Link target.
         target: String,
     },
+    /// A compaction checkpoint: the folded state of every record before
+    /// it. Replay discards whatever it has accumulated and restarts from
+    /// this state, so all earlier records are dead weight that
+    /// [`ClientJournal::compact`] can truncate away.
+    Checkpoint(Box<RecoveredState>),
 }
 
 impl JournalRecord {
@@ -91,6 +96,33 @@ impl JournalRecord {
                     .put_u32(*uid)
                     .put_string(name)
                     .put_string(target);
+            }
+            JournalRecord::Checkpoint(state) => {
+                enc.put_u32(4);
+                enc.put_u32(state.mounts.len() as u32);
+                for m in &state.mounts {
+                    enc.put_string(&m.location)
+                        .put_opaque_fixed(&m.host_id.0)
+                        .put_opaque(&m.server_key);
+                }
+                enc.put_u32(state.seq_hwm.len() as u32);
+                for (dir, hwm) in &state.seq_hwm {
+                    enc.put_string(dir).put_u32(*hwm);
+                }
+                enc.put_u32(state.agent_keys.len() as u32);
+                for (uid, keys) in &state.agent_keys {
+                    enc.put_u32(*uid).put_u32(keys.len() as u32);
+                    for key in keys {
+                        enc.put_opaque(key);
+                    }
+                }
+                enc.put_u32(state.agent_links.len() as u32);
+                for (uid, links) in &state.agent_links {
+                    enc.put_u32(*uid).put_u32(links.len() as u32);
+                    for (name, target) in links {
+                        enc.put_string(name).put_string(target);
+                    }
+                }
             }
         }
         enc.into_bytes()
@@ -126,6 +158,45 @@ impl JournalRecord {
                 name: dec.get_string().map_err(|e| e.to_string())?,
                 target: dec.get_string().map_err(|e| e.to_string())?,
             },
+            4 => {
+                let e = |e: sfs_xdr::XdrError| e.to_string();
+                let mut state = RecoveredState::default();
+                for _ in 0..dec.get_u32().map_err(e)? {
+                    let location = dec.get_string().map_err(e)?;
+                    let hid = dec.get_opaque_fixed(20).map_err(e)?;
+                    let mut host_id = [0u8; 20];
+                    host_id.copy_from_slice(&hid);
+                    state.mounts.push(RecoveredMount {
+                        location,
+                        host_id: HostId(host_id),
+                        server_key: dec.get_opaque().map_err(e)?,
+                    });
+                }
+                for _ in 0..dec.get_u32().map_err(e)? {
+                    let dir = dec.get_string().map_err(e)?;
+                    let hwm = dec.get_u32().map_err(e)?;
+                    state.seq_hwm.insert(dir, hwm);
+                }
+                for _ in 0..dec.get_u32().map_err(e)? {
+                    let uid = dec.get_u32().map_err(e)?;
+                    let n = dec.get_u32().map_err(e)?;
+                    let keys = state.agent_keys.entry(uid).or_default();
+                    for _ in 0..n {
+                        keys.push(dec.get_opaque().map_err(e)?);
+                    }
+                }
+                for _ in 0..dec.get_u32().map_err(e)? {
+                    let uid = dec.get_u32().map_err(e)?;
+                    let n = dec.get_u32().map_err(e)?;
+                    let links = state.agent_links.entry(uid).or_default();
+                    for _ in 0..n {
+                        let name = dec.get_string().map_err(e)?;
+                        let target = dec.get_string().map_err(e)?;
+                        links.insert(name, target);
+                    }
+                }
+                JournalRecord::Checkpoint(Box::new(state))
+            }
             other => return Err(format!("unknown journal record tag {other}")),
         };
         Ok(rec)
@@ -159,6 +230,12 @@ pub struct RecoveredState {
     pub records: u64,
 }
 
+/// Records at which [`ClientJournal::append`] folds the log into a
+/// checkpoint. Large enough that compaction cost (a full replay plus one
+/// sync write) amortises over hundreds of appends; small enough that a
+/// journal never holds more than a few KiB of dead records.
+pub const AUTO_COMPACT_THRESHOLD: usize = 256;
+
 /// The client journal: [`JournalRecord`]s on a crash-surviving
 /// [`JournalDisk`]. Clones share state, mirroring a journal file that
 /// outlives its writer.
@@ -173,9 +250,17 @@ impl ClientJournal {
         ClientJournal { disk }
     }
 
-    /// Appends one record (synchronous: durable before return).
+    /// Appends one record (synchronous: durable before return). Once the
+    /// log passes [`AUTO_COMPACT_THRESHOLD`] records it is folded into a
+    /// single checkpoint so steady-state clients no longer grow their
+    /// journal without bound. Compaction is best-effort: an undecodable
+    /// log (possible only under corruption faults) leaves the raw records
+    /// in place for recovery to report.
     pub fn append(&self, rec: &JournalRecord) {
         self.disk.append(&rec.to_xdr());
+        if self.disk.len() >= AUTO_COMPACT_THRESHOLD {
+            let _ = self.compact();
+        }
     }
 
     /// Replays the journal into a folded [`RecoveredState`], charging
@@ -217,9 +302,30 @@ impl ClientJournal {
                 JournalRecord::AgentLink { uid, name, target } => {
                     out.agent_links.entry(uid).or_default().insert(name, target);
                 }
+                JournalRecord::Checkpoint(state) => {
+                    // The checkpoint IS the folded state of everything
+                    // before it; discard what we accumulated but keep the
+                    // cumulative record count honest.
+                    let records = out.records;
+                    out = *state;
+                    out.records = records;
+                }
             }
         }
         Ok(out)
+    }
+
+    /// Rewrites the journal as a single [`JournalRecord::Checkpoint`]
+    /// holding its folded state. Replay after compaction yields the same
+    /// [`RecoveredState`] (modulo the cumulative `records` counter, which
+    /// restarts at the checkpoint). Charges the replay reads plus one
+    /// synchronous write.
+    pub fn compact(&self) -> Result<(), String> {
+        let mut state = self.replay()?;
+        state.records = 0;
+        let checkpoint = JournalRecord::Checkpoint(Box::new(state));
+        self.disk.replace(&[checkpoint.to_xdr()]);
+        Ok(())
     }
 
     /// Number of records appended so far.
@@ -348,5 +454,85 @@ mod tests {
     fn corrupt_record_is_an_error_not_a_panic() {
         assert!(JournalRecord::from_xdr(&[0xff, 0xff]).is_err());
         assert!(JournalRecord::from_xdr(XdrEncoder::new().put_u32(9).bytes()).is_err());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_xdr() {
+        let (_clock, j) = journal();
+        for rec in sample_records() {
+            j.append(&rec);
+        }
+        let mut state = j.replay().unwrap();
+        state.records = 0; // the counter is not serialized
+        let rec = JournalRecord::Checkpoint(Box::new(state));
+        assert_eq!(JournalRecord::from_xdr(&rec.to_xdr()).unwrap(), rec);
+    }
+
+    #[test]
+    fn compaction_preserves_folded_state() {
+        let (_clock, j) = journal();
+        for rec in sample_records() {
+            j.append(&rec);
+        }
+        let before = j.replay().unwrap();
+        j.compact().unwrap();
+        assert_eq!(j.len(), 1, "compaction truncates to one checkpoint");
+        let after = j.replay().unwrap();
+        assert_eq!(after.mounts, before.mounts);
+        assert_eq!(after.seq_hwm, before.seq_hwm);
+        assert_eq!(after.agent_keys, before.agent_keys);
+        assert_eq!(after.agent_links, before.agent_links);
+        assert_eq!(after.records, 1, "counter restarts at the checkpoint");
+    }
+
+    #[test]
+    fn records_after_a_checkpoint_fold_on_top_of_it() {
+        let (_clock, j) = journal();
+        for rec in sample_records() {
+            j.append(&rec);
+        }
+        j.compact().unwrap();
+        j.append(&JournalRecord::SeqHwm {
+            dir_name: "a.example.com:xyz".into(),
+            hwm: 999,
+        });
+        j.append(&JournalRecord::AgentLink {
+            uid: 1000,
+            name: "work".into(),
+            target: "/sfs/after.example.com:k".into(),
+        });
+        let state = j.replay().unwrap();
+        assert_eq!(state.mounts.len(), 1, "checkpointed mount survives");
+        assert_eq!(state.seq_hwm["a.example.com:xyz"], 999);
+        assert_eq!(state.agent_links[&1000]["work"], "/sfs/after.example.com:k");
+        assert_eq!(state.agent_keys[&1000].len(), 1);
+        assert_eq!(state.records, 3);
+    }
+
+    #[test]
+    fn append_auto_compacts_past_the_threshold() {
+        let (_clock, j) = journal();
+        j.append(&JournalRecord::Mount {
+            location: "a.example.com".into(),
+            host_id: HostId([1; 20]),
+            server_key: vec![9; 33],
+        });
+        for i in 0..(2 * AUTO_COMPACT_THRESHOLD as u32) {
+            j.append(&JournalRecord::SeqHwm {
+                dir_name: "a.example.com:xyz".into(),
+                hwm: i,
+            });
+        }
+        assert!(
+            j.len() <= AUTO_COMPACT_THRESHOLD,
+            "journal must not grow without bound (len {})",
+            j.len()
+        );
+        let state = j.replay().unwrap();
+        assert_eq!(state.mounts.len(), 1, "compaction keeps the mount");
+        assert_eq!(
+            state.seq_hwm["a.example.com:xyz"],
+            2 * AUTO_COMPACT_THRESHOLD as u32 - 1
+        );
     }
 }

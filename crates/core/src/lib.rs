@@ -35,6 +35,7 @@
 
 pub mod agent;
 pub mod authserver;
+pub mod bufpool;
 pub mod client;
 pub mod config;
 pub mod journal;
@@ -48,6 +49,7 @@ pub mod wire;
 
 pub use agent::Agent;
 pub use authserver::{AuthServer, UserRecord};
+pub use bufpool::{BufPool, PooledBuf};
 pub use client::{ClientError, RecoveryReport, SfsClient, SfsNetwork};
 pub use journal::{ClientJournal, JournalRecord, RecoveredState};
 pub use server::{ServerConfig, SfsServer};

@@ -36,12 +36,16 @@ use sfs_sim::FaultPlan;
 use sfs_telemetry::sync::Mutex;
 use sfs_telemetry::Telemetry;
 use sfs_vfs::{Credentials, Vfs};
-use sfs_xdr::{Xdr, XdrEncoder};
+use sfs_xdr::{Xdr, XdrDecoder, XdrEncoder};
 
 use crate::authserver::AuthServer;
+use crate::bufpool::BufPool;
 use crate::config::DispatchTable;
 use crate::sealbox;
-use crate::wire::{CallMsg, Dialect, InnerCall, InnerReply, ReplyMsg, Service};
+use crate::wire::{
+    sealed_env_begin, sealed_env_finish, sealed_envelope_frame, CallMsg, Dialect, InnerCall,
+    InnerReply, ReplyMsg, Service, SEALED_ENV_FRAME_START,
+};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -458,11 +462,14 @@ impl SfsServer {
 
     /// Opens a new connection (one per client TCP connection).
     pub fn accept(self: &Arc<Self>) -> ServerConn {
+        let pool = BufPool::new("server");
+        pool.set_telemetry(self.tel.lock().clone());
         ServerConn {
             epoch: self.current_epoch(),
             pending: self.invalidations.register(),
             server: self.clone(),
             state: Mutex::new(ConnState::Idle),
+            pool,
         }
     }
 }
@@ -511,6 +518,9 @@ pub struct ServerConn {
     /// This connection's share of the invalidation broadcast.
     pending: Arc<Mutex<Vec<FileHandle>>>,
     state: Mutex<ConnState>,
+    /// Freelist shared with the client end of this (loopback) connection
+    /// so steady-state sealed RPCs recycle the same few buffers.
+    pool: Arc<BufPool>,
 }
 
 impl ServerConn {
@@ -519,14 +529,132 @@ impl ServerConn {
         &self.server
     }
 
+    /// This connection's buffer freelist. The client side of the
+    /// simulated loopback adopts it so request and reply buffers
+    /// circulate instead of being reallocated per RPC.
+    pub fn buf_pool(&self) -> &Arc<BufPool> {
+        &self.pool
+    }
+
     /// Processes one wire message (the raw-bytes entry point used by the
     /// simulated network).
     pub fn handle_bytes(&self, bytes: &[u8]) -> Vec<u8> {
+        // Sealed frames — every steady-state NFS3 RPC — take the pooled,
+        // in-place path. Anything else (key negotiation, SRP, read-only,
+        // malformed input) is rare and goes through the general decoder.
+        if let Some(frame) = sealed_envelope_frame(bytes) {
+            return self.handle_sealed_bytes(&bytes[frame]);
+        }
         let reply = match CallMsg::from_xdr(bytes) {
             Ok(msg) => self.handle(msg),
             Err(e) => ReplyMsg::Error(format!("unparseable message: {e}")),
         };
         reply.to_xdr()
+    }
+
+    /// The zero-copy service path for one sealed frame: open in place in
+    /// a pooled buffer, dispatch, and build the sealed reply envelope in
+    /// a single pooled buffer. Behaviour (keystream consumption, error
+    /// strings, telemetry) is identical to routing the frame through
+    /// [`Self::handle`]; only the allocations differ.
+    fn handle_sealed_bytes(&self, frame: &[u8]) -> Vec<u8> {
+        let tel = self.server.tel.lock().clone();
+        let _span = tel.span("server", "core.server", "sealed");
+        tel.count("server", "dispatch.calls", 1);
+        if self.server.current_epoch() != self.epoch {
+            tel.count("server", "stale_conns.rejected", 1);
+            return ReplyMsg::Error("connection reset: server restarted".into()).to_xdr();
+        }
+        let mut state = self.state.lock();
+        let ConnState::Established(est) = &mut *state else {
+            return ReplyMsg::Error("no secure channel".into()).to_xdr();
+        };
+        let mut fbuf = self.pool.get();
+        fbuf.extend_from_slice(frame);
+        let plaintext = match est.channel.open_in_place(&mut fbuf) {
+            Ok(p) => p,
+            Err(e) => return ReplyMsg::Error(format!("channel failure: {e}")).to_xdr(),
+        };
+        // Parse the inner call without copying the NFS3 argument bytes.
+        // Only the Nfs variant is hot; Auth/Mount fall back to the
+        // general dispatcher (the channel was already advanced above, so
+        // they must not re-open the frame).
+        let mut dec = XdrDecoder::new(plaintext);
+        let nfs = match dec.get_u32() {
+            Ok(1) => {
+                match (
+                    dec.get_u32(),
+                    dec.get_u32(),
+                    dec.get_opaque_ref(),
+                    dec.finish(),
+                ) {
+                    (Ok(authno), Ok(proc), Ok(args), Ok(())) => Some((authno, proc, args)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        let Some((authno, proc, args)) = nfs else {
+            let reply = match InnerCall::from_xdr(plaintext) {
+                Ok(call) => self.handle_inner(est, call),
+                Err(e) => {
+                    self.pool.put(fbuf);
+                    return ReplyMsg::Error(format!("bad inner call: {e}")).to_xdr();
+                }
+            };
+            let out = match est.channel.seal(&reply.to_xdr()) {
+                Ok(sealed) => ReplyMsg::Sealed(sealed).to_xdr(),
+                Err(e) => ReplyMsg::Error(format!("channel failure: {e}")).to_xdr(),
+            };
+            self.pool.put(fbuf);
+            return out;
+        };
+        let creds = if authno == AUTHNO_ANONYMOUS {
+            Credentials::anonymous()
+        } else {
+            match est.authnos.get(&authno) {
+                Some((_, creds)) => creds.clone(),
+                None => Credentials::anonymous(),
+            }
+        };
+        // Build the reply envelope in one pooled buffer, encoding the
+        // `InnerReply::Nfs` plaintext directly into it: tag, an opaque
+        // results field (length word patched after encoding in place),
+        // then the piggybacked invalidations.
+        let mut out = self.pool.get();
+        sealed_env_begin(&mut out);
+        out.extend_from_slice(&2u32.to_be_bytes());
+        let len_pos = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        let results_start = out.len();
+        let mut enc = XdrEncoder::from_vec(std::mem::take(&mut out));
+        self.dispatch_nfs_into(&creds, proc, args, &mut enc);
+        out = enc.into_bytes();
+        let results_len = out.len() - results_start;
+        out[len_pos..len_pos + 4].copy_from_slice(&(results_len as u32).to_be_bytes());
+        out.extend_from_slice(&[0u8; 3][..(4 - results_len % 4) % 4]);
+        self.pool.put(fbuf);
+        let pending: Vec<FileHandle> = self
+            .pending
+            .lock()
+            .drain(..)
+            .map(|fh| self.server.encrypt_handle(fh))
+            .collect();
+        out.extend_from_slice(&(pending.len() as u32).to_be_bytes());
+        if !pending.is_empty() {
+            let mut enc = XdrEncoder::from_vec(std::mem::take(&mut out));
+            for fh in &pending {
+                fh.encode(&mut enc);
+            }
+            out = enc.into_bytes();
+        }
+        match est.channel.seal_into(&mut out, SEALED_ENV_FRAME_START) {
+            Ok(()) => {
+                sealed_env_finish(&mut out);
+                out
+            }
+            Err(e) => ReplyMsg::Error(format!("channel failure: {e}")).to_xdr(),
+        }
     }
 
     /// Processes one decoded wire message.
@@ -768,28 +896,37 @@ impl ServerConn {
     }
 
     fn dispatch_nfs(&self, creds: &Credentials, proc: u32, args: &[u8]) -> Vec<u8> {
-        let err = |status: Status| {
+        let mut enc = XdrEncoder::new();
+        self.dispatch_nfs_into(creds, proc, args, &mut enc);
+        enc.into_bytes()
+    }
+
+    /// [`Self::dispatch_nfs`] marshaling the results into a caller-owned
+    /// encoder (the hot path appends them straight into the reply
+    /// envelope).
+    fn dispatch_nfs_into(&self, creds: &Credentials, proc: u32, args: &[u8], enc: &mut XdrEncoder) {
+        let err = |status: Status, enc: &mut XdrEncoder| {
             Nfs3Reply::Error {
                 status,
                 dir_attr: Default::default(),
             }
-            .encode_results()
+            .encode_results_into(enc)
         };
         let Some(proc) = Proc::from_u32(proc) else {
-            return err(Status::NotSupp);
+            return err(Status::NotSupp, enc);
         };
         let Ok(req) = Nfs3Request::decode_args(proc, args) else {
-            return err(Status::Inval);
+            return err(Status::Inval, enc);
         };
         // Translate public SFS handles to private NFS handles.
         let req = match map_request_handles(req, &mut |fh| self.server.decrypt_handle(&fh)) {
             Ok(r) => r,
-            Err(status) => return err(status),
+            Err(status) => return err(status, enc),
         };
         let reply = self.nfs_relay(creds, &req);
         // Translate handles in the reply back to SFS form.
         let reply = map_reply_handles(reply, &mut |fh| self.server.encrypt_handle(fh));
-        reply.encode_results()
+        reply.encode_results_into(enc)
     }
 
     /// The NFS loopback hop: "the server modifies requests slightly and

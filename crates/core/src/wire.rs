@@ -11,10 +11,72 @@
 //! stay cleartext.
 
 use sfs_nfs3::proto::FileHandle;
+use sfs_proto::channel::FRAME_HEADER_LEN;
 use sfs_proto::keyneg::{KeyNegClientKeys, KeyNegRequest, KeyNegServerReply};
 use sfs_proto::readonly::SignedRoot;
 use sfs_proto::userauth::AuthMsg;
+use sfs_xdr::enc::MAX_VAR_LEN;
 use sfs_xdr::{Xdr, XdrDecoder, XdrEncoder, XdrError};
+
+/// Offset of the secure-channel frame inside a sealed wire envelope.
+///
+/// `CallMsg::Sealed` and `ReplyMsg::Sealed` both marshal as
+/// `discriminant(4) ‖ opaque-length(4) ‖ frame ‖ zero pad to 4`, so the
+/// frame always starts at byte 8. The zero-copy hot path exploits this
+/// fixed layout to seal and open frames in place inside the envelope
+/// buffer instead of marshaling through intermediate `Vec`s.
+pub const SEALED_ENV_FRAME_START: usize = 8;
+
+/// Sealed-message discriminant, identical for calls and replies.
+const SEALED_DISCRIMINANT: u32 = 2;
+
+/// Starts a sealed envelope in `buf`: discriminant, a length word to be
+/// patched by [`sealed_env_finish`], and the reserved secure-channel
+/// frame header. The caller appends plaintext, calls
+/// `SecureChannelEnd::seal_into(buf, SEALED_ENV_FRAME_START)`, then
+/// [`sealed_env_finish`]. The result is byte-identical to
+/// `CallMsg::Sealed(frame).to_xdr()` (or the `ReplyMsg` equivalent).
+pub fn sealed_env_begin(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.extend_from_slice(&SEALED_DISCRIMINANT.to_be_bytes());
+    buf.extend_from_slice(&[0u8; 4]);
+    buf.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
+}
+
+/// Completes a sealed envelope after `seal_into`: patches the opaque
+/// length word and appends the XDR zero pad.
+pub fn sealed_env_finish(buf: &mut Vec<u8>) {
+    let frame_len = buf.len() - SEALED_ENV_FRAME_START;
+    buf[4..SEALED_ENV_FRAME_START].copy_from_slice(&(frame_len as u32).to_be_bytes());
+    let pad = (4 - frame_len % 4) % 4;
+    buf.extend_from_slice(&[0u8; 3][..pad]);
+}
+
+/// If `bytes` is exactly a well-formed sealed envelope — the same
+/// messages `CallMsg::from_xdr`/`ReplyMsg::from_xdr` would parse as
+/// `Sealed` — returns the frame's range within `bytes`. Any deviation
+/// (wrong discriminant, bad length, nonzero pad, trailing bytes)
+/// returns `None` and the caller falls back to the general decoder.
+pub fn sealed_envelope_frame(bytes: &[u8]) -> Option<std::ops::Range<usize>> {
+    if bytes.len() < SEALED_ENV_FRAME_START || bytes[..4] != SEALED_DISCRIMINANT.to_be_bytes() {
+        return None;
+    }
+    let len = u32::from_be_bytes(
+        bytes[4..SEALED_ENV_FRAME_START]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    if len > MAX_VAR_LEN {
+        return None;
+    }
+    let len = len as usize;
+    let end = SEALED_ENV_FRAME_START.checked_add(len)?;
+    let pad = (4 - len % 4) % 4;
+    if bytes.len() != end.checked_add(pad)? || bytes[end..].iter().any(|&b| b != 0) {
+        return None;
+    }
+    Some(SEALED_ENV_FRAME_START..end)
+}
 
 /// Service selectors in the hello message ("the service it requests
 /// (currently fileserver or authserver)").
@@ -616,6 +678,53 @@ mod tests {
         }
         .describe()
         .contains("cost=8"));
+    }
+
+    #[test]
+    fn envelope_helpers_match_the_general_encoder() {
+        for n in [0usize, 1, 3, 24, 4096] {
+            let frame: Vec<u8> = (0..n + FRAME_HEADER_LEN)
+                .map(|i| (i * 7 + 3) as u8)
+                .collect();
+            let mut buf = Vec::new();
+            sealed_env_begin(&mut buf);
+            assert_eq!(buf.len(), SEALED_ENV_FRAME_START + FRAME_HEADER_LEN);
+            // Stand in for `seal_into`: place the finished frame bytes.
+            buf.truncate(SEALED_ENV_FRAME_START);
+            buf.extend_from_slice(&frame);
+            sealed_env_finish(&mut buf);
+            assert_eq!(buf, CallMsg::Sealed(frame.clone()).to_xdr());
+            assert_eq!(buf, ReplyMsg::Sealed(frame.clone()).to_xdr());
+            assert_eq!(
+                sealed_envelope_frame(&buf),
+                Some(SEALED_ENV_FRAME_START..SEALED_ENV_FRAME_START + frame.len())
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_parse_rejects_what_from_xdr_would_reject() {
+        let good = CallMsg::Sealed(vec![7u8; 26]).to_xdr();
+        assert!(sealed_envelope_frame(&good).is_some());
+
+        let mut wrong_disc = good.clone();
+        wrong_disc[3] = 1;
+        assert_eq!(sealed_envelope_frame(&wrong_disc), None);
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(sealed_envelope_frame(&trailing), None);
+
+        let mut bad_pad = good.clone();
+        *bad_pad.last_mut().unwrap() = 1;
+        assert_eq!(sealed_envelope_frame(&bad_pad), None);
+        assert!(CallMsg::from_xdr(&bad_pad).is_err());
+
+        assert_eq!(sealed_envelope_frame(&good[..6]), None);
+
+        let mut huge = good.clone();
+        huge[4..8].copy_from_slice(&(MAX_VAR_LEN + 1).to_be_bytes());
+        assert_eq!(sealed_envelope_frame(&huge), None);
     }
 
     #[test]

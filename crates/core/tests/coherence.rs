@@ -19,10 +19,15 @@
 //!    the invalidation can be legitimately lost and the lease is the
 //!    backstop, so rule 4 is not applied there.
 //!
-//! Versions are file *sizes*: every write appends exactly one byte at the
-//! committed size, so duplicated or re-executed writes (fault-plan
-//! duplicates, post-reconnect reissues) are idempotent and the version
-//! sequence stays strictly increasing.
+//! Versions are file *sizes*, verified by *content hash*: every write
+//! appends exactly one byte (a deterministic function of file and
+//! offset) at the committed size, so duplicated or re-executed writes
+//! (fault-plan duplicates, post-reconnect reissues) are idempotent and
+//! the version sequence stays strictly increasing. Each commit also
+//! records the SHA-1 of the full expected contents, and every scored
+//! read includes a wire READ whose bytes must hash-match the commit of
+//! their length — a size alone can be right while the content is torn
+//! or mixed across versions, and the hash catches exactly that.
 //!
 //! Scheduled client crash-restarts (`ccrash=`) kill a client mid-run:
 //! the incarnation is dropped, a cold one is rebuilt from the journal via
@@ -40,6 +45,7 @@ use sfs::journal::ClientJournal;
 use sfs::server::{ServerConfig, SfsServer};
 use sfs_bignum::{RandomSource, XorShiftSource};
 use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
+use sfs_crypto::sha1::sha1;
 use sfs_crypto::srp::SrpGroup;
 use sfs_crypto::SfsPrg;
 use sfs_nfs3::proto::{FileHandle, Nfs3Reply, Nfs3Request, StableHow};
@@ -95,11 +101,21 @@ const OP_GAP_NS: u64 = 60_000_000;
 const FILES: usize = 3;
 const OPS: usize = 36;
 
-/// One committed version of a file: the size it reached, when, and each
-/// client's completed-round-trip count at commit (rule 4's reference
-/// point — any later completed round trip carried the invalidation).
+/// The byte version `offset + 1` of file `f` appends. A function of
+/// (file, offset) only, so fault-plan duplicates and post-reconnect
+/// reissues rewrite the same byte — idempotent — while the content still
+/// varies along the file, which is what gives the hash oracle teeth.
+fn version_byte(f: usize, offset: u64) -> u8 {
+    b'a' + ((f as u64 + offset) % 26) as u8
+}
+
+/// One committed version of a file: the size it reached, the SHA-1 of
+/// its full expected contents, when it committed, and each client's
+/// completed-round-trip count at commit (rule 4's reference point — any
+/// later completed round trip carried the invalidation).
 struct Commit {
     size: u64,
+    hash: [u8; 20],
     t_ns: u64,
     rt_at_commit: Vec<u64>,
 }
@@ -109,11 +125,14 @@ struct Harness {
     net: Arc<SfsNetwork>,
     plan: FaultPlan,
     path: SelfCertifyingPath,
+    server: Arc<SfsServer>,
     journals: Vec<ClientJournal>,
     clients: Vec<Arc<SfsClient>>,
     mounts: Vec<Arc<Mount>>,
     fhs: Vec<FileHandle>,
     history: Vec<Vec<Commit>>,
+    /// Expected full contents per file, maintained alongside `history`.
+    contents: Vec<Vec<u8>>,
     last_seen: Vec<Vec<u64>>,
     crashes_done: usize,
     violations: Vec<String>,
@@ -188,6 +207,7 @@ fn build_harness(spec: &str, n_clients: usize, guaranteed_delivery: bool) -> Har
         fhs.push(fh);
         history.push(vec![Commit {
             size: 0,
+            hash: sha1(b""),
             t_ns: clock.now().as_nanos(),
             rt_at_commit: mounts.iter().map(|m| m.round_trips()).collect(),
         }]);
@@ -198,11 +218,13 @@ fn build_harness(spec: &str, n_clients: usize, guaranteed_delivery: bool) -> Har
         net,
         plan,
         path,
+        server,
         journals,
         clients,
         mounts,
         fhs,
         history,
+        contents: vec![Vec::new(); FILES],
         last_seen: vec![vec![0; FILES]; n_clients],
         crashes_done: 0,
         violations: Vec::new(),
@@ -239,6 +261,7 @@ impl Harness {
     /// Appends one byte to `f` through client `i` and records the commit.
     fn write(&mut self, i: usize, f: usize) {
         let offset = self.history[f].last().unwrap().size;
+        let byte = version_byte(f, offset);
         let reply = self.clients[i]
             .call_nfs(
                 &self.mounts[i],
@@ -247,7 +270,7 @@ impl Harness {
                     fh: self.fhs[f].clone(),
                     offset,
                     stable: StableHow::FileSync,
-                    data: vec![b'a' + (f as u8)],
+                    data: vec![byte],
                 },
             )
             .unwrap();
@@ -255,8 +278,10 @@ impl Harness {
             matches!(reply, Nfs3Reply::Write { count: 1, .. }),
             "append must write exactly one byte: {reply:?}"
         );
+        self.contents[f].push(byte);
         self.history[f].push(Commit {
             size: offset + 1,
+            hash: sha1(&self.contents[f]),
             t_ns: self.clock.now().as_nanos(),
             rt_at_commit: self.mounts.iter().map(|m| m.round_trips()).collect(),
         });
@@ -310,6 +335,70 @@ impl Harness {
         }
     }
 
+    /// Reads `f`'s full contents over the wire through client `i` and
+    /// scores them against the hash oracle: whatever length comes back
+    /// must be a committed version, and the bytes must hash-match that
+    /// commit — a right-sized reply with mixed-version or corrupted
+    /// content is exactly the torn write a size-only oracle cannot see.
+    fn wire_read_and_check(&mut self, i: usize, f: usize) {
+        let t_read = self.clock.now().as_nanos();
+        let reply = self.clients[i]
+            .call_nfs(
+                &self.mounts[i],
+                ALICE_UID,
+                &Nfs3Request::Read {
+                    fh: self.fhs[f].clone(),
+                    offset: 0,
+                    count: 8192,
+                },
+            )
+            .unwrap();
+        let data = match reply {
+            Nfs3Reply::Read { data, .. } => data,
+            other => panic!("unexpected read reply: {other:?}"),
+        };
+        let s = data.len() as u64;
+        let latest = self.history[f].last().unwrap().size;
+        // Rule 1 (strengthened): the length must be a committed version
+        // AND the bytes must be that version's bytes.
+        match self.history[f].iter().find(|c| c.size == s) {
+            None => {
+                self.violations.push(format!(
+                    "client {i} file {f}: wire read returned {s} bytes, a length \
+                     never committed (latest {latest})"
+                ));
+                return;
+            }
+            Some(c) if c.hash != sha1(&data) => {
+                self.violations.push(format!(
+                    "client {i} file {f}: wire read of {s} bytes does not hash-match \
+                     committed version {s} — torn or mixed-version content"
+                ));
+                return;
+            }
+            Some(_) => {}
+        }
+        // Rule 2: the wire observation participates in monotonicity too.
+        if s < self.last_seen[i][f] {
+            self.violations.push(format!(
+                "client {i} file {f}: wire read went backwards {} -> {s}",
+                self.last_seen[i][f]
+            ));
+        }
+        self.last_seen[i][f] = s;
+        // Rule 3: a stale wire read is bounded by the lease like any other.
+        if s < latest {
+            let next = &self.history[f][(s + 1) as usize];
+            if t_read > next.t_ns + LEASE_NS {
+                self.violations.push(format!(
+                    "client {i} file {f}: stale wire read of size {s} served \
+                     {}ns past lease expiry",
+                    t_read - (next.t_ns + LEASE_NS)
+                ));
+            }
+        }
+    }
+
     /// Drives the seeded workload to completion and returns the oracle's
     /// verdict plus everything needed for reproducibility comparison.
     fn run(mut self, seed: u64) -> RunOutcome {
@@ -328,6 +417,7 @@ impl Harness {
                 self.write(i, f);
             } else {
                 self.read_and_check(i, f);
+                self.wire_read_and_check(i, f);
             }
         }
         RunOutcome {
@@ -446,6 +536,40 @@ fn coherence_runs_reproduce_byte_for_byte() {
         let b = run_spec(spec, 0x5EED, n, false);
         assert_eq!(a, b, "coherence run diverged across reruns of {spec:?}");
     }
+}
+
+#[test]
+fn oracle_detects_deliberately_torn_write() {
+    // Self-test for the content-hash rule: corrupt a file's bytes behind
+    // the protocol's back without changing its size. The size oracle is
+    // blind to this by construction; the hash oracle must flag it.
+    let script = |torn: bool| -> Vec<String> {
+        let mut h = build_harness("seed=451", 2, true);
+        h.write(0, 0);
+        h.write(0, 0);
+        if torn {
+            // Reach into the server's VFS as root and flip the first
+            // byte — same size, wrong content, like a torn or misdirected
+            // write on the server's disk.
+            let vfs = h.server.vfs();
+            let root = Credentials::root();
+            let (public, _) = vfs.lookup(&root, vfs.root(), "public").unwrap();
+            let (ino, _) = vfs.lookup(&root, public, "coh-0").unwrap();
+            vfs.write(&root, ino, 0, b"Z", true).unwrap();
+        }
+        h.read_and_check(1, 0);
+        h.wire_read_and_check(1, 0);
+        h.violations
+    };
+
+    let violations = script(true);
+    assert!(
+        violations.iter().any(|v| v.contains("hash-match")),
+        "the oracle failed to flag the torn write: {violations:#?}"
+    );
+    // Control: the identical sequence without corruption is coherent.
+    let violations = script(false);
+    assert!(violations.is_empty(), "{violations:#?}");
 }
 
 #[test]

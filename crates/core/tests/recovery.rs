@@ -355,6 +355,72 @@ fn unjournaled_key_needs_sfskey_srp_reacquisition_after_restart() {
 }
 
 #[test]
+fn recovery_replays_across_a_compaction_checkpoint() {
+    // Journal GC must be invisible to recovery: fold the live journal
+    // into a checkpoint mid-session, keep working, crash, and the reborn
+    // client must recover state from both sides of the checkpoint.
+    let (w, plan) = build_world("seed=305");
+    let client = boot_client(&w, b"compact-client");
+    client.install_agent_key(ALICE_UID, user_key());
+    client.create_agent_link(ALICE_UID, "mit", &w.path.full_path());
+    let pre = format!("{}/home/alice/pre", w.path.full_path());
+    client
+        .write_file(ALICE_UID, &pre, b"before checkpoint")
+        .unwrap();
+
+    // Compaction truncates to one record and preserves the folded state.
+    let records_before = w.journal.len();
+    assert!(records_before > 1);
+    let folded_before = w.journal.replay().unwrap();
+    w.journal.compact().unwrap();
+    assert_eq!(w.journal.len(), 1, "compaction leaves one checkpoint");
+    let folded_after = w.journal.replay().unwrap();
+    assert_eq!(folded_after.mounts, folded_before.mounts);
+    assert_eq!(folded_after.seq_hwm, folded_before.seq_hwm);
+    assert_eq!(folded_after.agent_keys, folded_before.agent_keys);
+    assert_eq!(folded_after.agent_links, folded_before.agent_links);
+
+    // More journaled activity lands *after* the checkpoint.
+    let post = format!("{}/home/alice/post", w.path.full_path());
+    client
+        .write_file(ALICE_UID, &post, b"after checkpoint")
+        .unwrap();
+    let (mount, _, _) = client.resolve(ALICE_UID, &post).unwrap();
+    let seq_before = mount.seq_watermark();
+
+    plan.note_client_crash(w.clock.now());
+    drop(client);
+    drop(mount);
+
+    let reborn = boot_client(&w, b"compact-client-reborn");
+    let report = reborn.recover(ALICE_UID).unwrap();
+    assert_eq!(report.remounted, vec![w.path.dir_name()], "{report:?}");
+    assert!(report.agent_keys_restored >= 1, "{report:?}");
+    assert!(report.agent_links_restored >= 1, "{report:?}");
+    // State journaled before the checkpoint…
+    assert_eq!(
+        reborn.read_file(ALICE_UID, &pre).unwrap(),
+        b"before checkpoint"
+    );
+    assert_eq!(
+        reborn
+            .read_file(ALICE_UID, "/sfs/mit/home/alice/pre")
+            .unwrap(),
+        b"before checkpoint"
+    );
+    // …and after it both survive the crash.
+    assert_eq!(
+        reborn.read_file(ALICE_UID, &post).unwrap(),
+        b"after checkpoint"
+    );
+    let (mount, _, _) = reborn.resolve(ALICE_UID, &post).unwrap();
+    assert!(
+        mount.seq_watermark() >= seq_before,
+        "seqno watermark regressed across a checkpointed restart"
+    );
+}
+
+#[test]
 fn seeded_crash_recovery_reruns_identically() {
     // Byte-for-byte reproducibility of a full crash/recover cycle under
     // wire faults: identical journal record counts, identical recovery

@@ -598,28 +598,35 @@ impl Nfs3Request {
     /// Marshals the procedure arguments (the RPC args body).
     pub fn encode_args(&self) -> Vec<u8> {
         let mut enc = XdrEncoder::new();
+        self.encode_args_into(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Appends the marshaled arguments to `enc` — [`Self::encode_args`]
+    /// without the allocation, for buffer-reusing hot paths.
+    pub fn encode_args_into(&self, enc: &mut XdrEncoder) {
         match self {
             Nfs3Request::Null => {}
             Nfs3Request::GetAttr { fh }
             | Nfs3Request::ReadLink { fh }
-            | Nfs3Request::PathConf { fh } => fh.encode(&mut enc),
-            Nfs3Request::FsStat { root } | Nfs3Request::FsInfo { root } => root.encode(&mut enc),
+            | Nfs3Request::PathConf { fh } => fh.encode(enc),
+            Nfs3Request::FsStat { root } | Nfs3Request::FsInfo { root } => root.encode(enc),
             Nfs3Request::SetAttr { fh, attrs } => {
-                fh.encode(&mut enc);
-                attrs.encode(&mut enc);
+                fh.encode(enc);
+                attrs.encode(enc);
             }
             Nfs3Request::Lookup { dir, name }
             | Nfs3Request::Remove { dir, name }
             | Nfs3Request::Rmdir { dir, name } => {
-                dir.encode(&mut enc);
+                dir.encode(enc);
                 enc.put_string(name);
             }
             Nfs3Request::Access { fh, mask } => {
-                fh.encode(&mut enc);
+                fh.encode(enc);
                 enc.put_u32(*mask);
             }
             Nfs3Request::Read { fh, offset, count } => {
-                fh.encode(&mut enc);
+                fh.encode(enc);
                 enc.put_u64(*offset);
                 enc.put_u32(*count);
             }
@@ -629,19 +636,19 @@ impl Nfs3Request {
                 stable,
                 data,
             } => {
-                fh.encode(&mut enc);
+                fh.encode(enc);
                 enc.put_u64(*offset);
                 enc.put_u32(data.len() as u32);
-                stable.encode(&mut enc);
+                stable.encode(enc);
                 enc.put_opaque(data);
             }
             Nfs3Request::Create { dir, name, attrs } | Nfs3Request::Mkdir { dir, name, attrs } => {
-                dir.encode(&mut enc);
+                dir.encode(enc);
                 enc.put_string(name);
-                attrs.encode(&mut enc);
+                attrs.encode(enc);
             }
             Nfs3Request::Symlink { dir, name, target } => {
-                dir.encode(&mut enc);
+                dir.encode(enc);
                 enc.put_string(name);
                 enc.put_string(target);
             }
@@ -651,30 +658,29 @@ impl Nfs3Request {
                 to_dir,
                 to_name,
             } => {
-                from_dir.encode(&mut enc);
+                from_dir.encode(enc);
                 enc.put_string(from_name);
-                to_dir.encode(&mut enc);
+                to_dir.encode(enc);
                 enc.put_string(to_name);
             }
             Nfs3Request::Link { fh, dir, name } => {
-                fh.encode(&mut enc);
-                dir.encode(&mut enc);
+                fh.encode(enc);
+                dir.encode(enc);
                 enc.put_string(name);
             }
             Nfs3Request::ReadDir {
                 dir, cookie, count, ..
             } => {
-                dir.encode(&mut enc);
+                dir.encode(enc);
                 enc.put_u64(*cookie);
                 enc.put_u32(*count);
             }
             Nfs3Request::Commit { fh, offset, count } => {
-                fh.encode(&mut enc);
+                fh.encode(enc);
                 enc.put_u64(*offset);
                 enc.put_u32(*count);
             }
         }
-        enc.into_bytes()
     }
 
     /// Unmarshals arguments for procedure `proc`.
@@ -884,40 +890,47 @@ impl Nfs3Reply {
     /// discriminates success from error.
     pub fn encode_results(&self) -> Vec<u8> {
         let mut enc = XdrEncoder::new();
+        self.encode_results_into(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Appends the marshaled reply to `enc` — [`Self::encode_results`]
+    /// without the allocation, for buffer-reusing hot paths.
+    pub fn encode_results_into(&self, enc: &mut XdrEncoder) {
         if let Nfs3Reply::Error { status, dir_attr } = self {
-            status.encode(&mut enc);
-            dir_attr.encode(&mut enc);
-            return enc.into_bytes();
+            status.encode(enc);
+            dir_attr.encode(enc);
+            return;
         }
-        Status::Ok.encode(&mut enc);
+        Status::Ok.encode(enc);
         match self {
             Nfs3Reply::Null | Nfs3Reply::Error { .. } => {}
             Nfs3Reply::GetAttr { attr, lease_ns } => {
-                attr.encode(&mut enc);
+                attr.encode(enc);
                 enc.put_u64(*lease_ns);
             }
-            Nfs3Reply::SetAttr { attr } | Nfs3Reply::Commit { attr } => attr.encode(&mut enc),
+            Nfs3Reply::SetAttr { attr } | Nfs3Reply::Commit { attr } => attr.encode(enc),
             Nfs3Reply::Lookup { fh, attr, dir_attr }
             | Nfs3Reply::Create { fh, attr, dir_attr }
             | Nfs3Reply::Mkdir { fh, attr, dir_attr }
             | Nfs3Reply::Symlink { fh, attr, dir_attr } => {
-                fh.encode(&mut enc);
-                attr.encode(&mut enc);
-                dir_attr.encode(&mut enc);
+                fh.encode(enc);
+                attr.encode(enc);
+                dir_attr.encode(enc);
             }
             Nfs3Reply::Access { granted, attr } => {
                 enc.put_u32(*granted);
-                attr.encode(&mut enc);
+                attr.encode(enc);
             }
             Nfs3Reply::ReadLink { target, attr } => {
                 enc.put_string(target);
-                attr.encode(&mut enc);
+                attr.encode(enc);
             }
             Nfs3Reply::Read { data, eof, attr } => {
                 enc.put_u32(data.len() as u32);
                 enc.put_bool(*eof);
                 enc.put_opaque(data);
-                attr.encode(&mut enc);
+                attr.encode(enc);
             }
             Nfs3Reply::Write {
                 count,
@@ -925,31 +938,29 @@ impl Nfs3Reply {
                 attr,
             } => {
                 enc.put_u32(*count);
-                committed.encode(&mut enc);
-                attr.encode(&mut enc);
+                committed.encode(enc);
+                attr.encode(enc);
             }
-            Nfs3Reply::Remove { dir_attr } | Nfs3Reply::Rmdir { dir_attr } => {
-                dir_attr.encode(&mut enc)
-            }
+            Nfs3Reply::Remove { dir_attr } | Nfs3Reply::Rmdir { dir_attr } => dir_attr.encode(enc),
             Nfs3Reply::Rename {
                 from_dir_attr,
                 to_dir_attr,
             } => {
-                from_dir_attr.encode(&mut enc);
-                to_dir_attr.encode(&mut enc);
+                from_dir_attr.encode(enc);
+                to_dir_attr.encode(enc);
             }
             Nfs3Reply::Link { attr, dir_attr } => {
-                attr.encode(&mut enc);
-                dir_attr.encode(&mut enc);
+                attr.encode(enc);
+                dir_attr.encode(enc);
             }
             Nfs3Reply::ReadDir {
                 entries,
                 eof,
                 dir_attr,
             } => {
-                entries.encode(&mut enc);
+                entries.encode(enc);
                 enc.put_bool(*eof);
-                dir_attr.encode(&mut enc);
+                dir_attr.encode(enc);
             }
             Nfs3Reply::FsStat {
                 total_bytes,
@@ -974,7 +985,6 @@ impl Nfs3Reply {
                 enc.put_u32(*linkmax);
             }
         }
-        enc.into_bytes()
     }
 
     /// Unmarshals a reply to procedure `proc`.

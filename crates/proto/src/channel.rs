@@ -51,6 +51,14 @@ impl std::error::Error for ChannelError {}
 /// Cap on a single message (16 MiB), bounding hostile length fields.
 pub const MAX_MESSAGE: usize = 1 << 24;
 
+/// Bytes reserved at the start of a frame for the (encrypted) length
+/// word. [`SecureChannelEnd::seal_into`] requires this many reserved
+/// bytes between `frame_start` and the plaintext.
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Bytes appended to every frame (the encrypted MAC).
+pub const FRAME_TRAILER_LEN: usize = MAC_LEN;
+
 /// One endpoint of a secure channel.
 ///
 /// Construct the client end with [`SecureChannelEnd::client`] and the
@@ -122,36 +130,63 @@ impl SecureChannelEnd {
     /// The whole frame is encrypted; the MAC key is 32 stream bytes pulled
     /// first.
     pub fn seal(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + plaintext.len() + MAC_LEN);
+        frame.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
+        frame.extend_from_slice(plaintext);
+        self.seal_into(&mut frame, 0)?;
+        Ok(frame)
+    }
+
+    /// Seals in place: `buf[frame_start..]` must hold
+    /// [`FRAME_HEADER_LEN`] reserved bytes followed by the plaintext.
+    /// On success that region (plus an appended MAC) has become the
+    /// encrypted wire frame; bytes before `frame_start` are untouched,
+    /// letting a caller build a cleartext envelope and the frame in one
+    /// buffer. Produces exactly the bytes [`Self::seal`] would.
+    pub fn seal_into(&mut self, buf: &mut Vec<u8>, frame_start: usize) -> Result<(), ChannelError> {
         if self.poisoned {
             return Err(ChannelError::Poisoned);
         }
-        if plaintext.len() > MAX_MESSAGE {
+        if buf.len() < frame_start + FRAME_HEADER_LEN {
+            return Err(ChannelError::Truncated);
+        }
+        let plen = buf.len() - frame_start - FRAME_HEADER_LEN;
+        if plen > MAX_MESSAGE {
             return Err(ChannelError::TooLong);
         }
         // Pull the per-message MAC key (not used for encryption).
         let mut mac_key = [0u8; MAC_KEY_LEN];
         self.send.keystream(&mut mac_key);
-        let mac = SfsMac::compute(&mac_key, plaintext);
-        let mut frame = Vec::with_capacity(4 + plaintext.len() + MAC_LEN);
-        frame.extend_from_slice(&(plaintext.len() as u32).to_be_bytes());
-        frame.extend_from_slice(plaintext);
-        frame.extend_from_slice(&mac);
-        self.send.process(&mut frame);
+        let mac = SfsMac::compute(&mac_key, &buf[frame_start + FRAME_HEADER_LEN..]);
+        buf[frame_start..frame_start + FRAME_HEADER_LEN]
+            .copy_from_slice(&(plen as u32).to_be_bytes());
+        buf.extend_from_slice(&mac);
+        self.send.process(&mut buf[frame_start..]);
         self.sent += 1;
         self.tel.count(self.host, "channel.msgs_sealed", 1);
         self.tel
-            .count(self.host, "channel.bytes_sealed", plaintext.len() as u64);
-        Ok(frame)
+            .count(self.host, "channel.bytes_sealed", plen as u64);
+        Ok(())
     }
 
     /// Opens a wire frame into the plaintext message. Any failure poisons
     /// the channel (the paper's channels abort on tampering; recovery
     /// requires a fresh key negotiation).
     pub fn open(&mut self, frame: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        let mut buf = frame.to_vec();
+        self.open_in_place(&mut buf).map(|p| p.to_vec())
+    }
+
+    /// Opens a frame by decrypting it in place, returning the plaintext
+    /// as a subslice of `frame` — no allocation. On failure the channel
+    /// poisons exactly as [`Self::open`] does (and `frame` is left
+    /// partially decrypted, which no longer matters: a poisoned channel
+    /// refuses all further traffic).
+    pub fn open_in_place<'a>(&mut self, frame: &'a mut [u8]) -> Result<&'a [u8], ChannelError> {
         if self.poisoned {
             return Err(ChannelError::Poisoned);
         }
-        let result = self.open_inner(frame);
+        let result = self.open_in_place_inner(frame);
         match &result {
             Ok(plaintext) => {
                 self.tel.count(self.host, "channel.msgs_opened", 1);
@@ -166,28 +201,27 @@ impl SecureChannelEnd {
         result
     }
 
-    fn open_inner(&mut self, frame: &[u8]) -> Result<Vec<u8>, ChannelError> {
-        if frame.len() < 4 + MAC_LEN {
+    fn open_in_place_inner<'a>(&mut self, frame: &'a mut [u8]) -> Result<&'a [u8], ChannelError> {
+        if frame.len() < FRAME_HEADER_LEN + MAC_LEN {
             return Err(ChannelError::Truncated);
         }
         let mut mac_key = [0u8; MAC_KEY_LEN];
         self.recv.keystream(&mut mac_key);
-        let mut buf = frame.to_vec();
-        self.recv.process(&mut buf);
-        let len = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+        self.recv.process(frame);
+        let len = u32::from_be_bytes(frame[..FRAME_HEADER_LEN].try_into().unwrap()) as usize;
         if len > MAX_MESSAGE {
             return Err(ChannelError::TooLong);
         }
-        if buf.len() != 4 + len + MAC_LEN {
+        if frame.len() != FRAME_HEADER_LEN + len + MAC_LEN {
             return Err(ChannelError::Truncated);
         }
-        let plaintext = &buf[4..4 + len];
-        let mac = &buf[4 + len..];
+        let (head, mac) = frame.split_at(FRAME_HEADER_LEN + len);
+        let plaintext = &head[FRAME_HEADER_LEN..];
         if !SfsMac::verify(&mac_key, plaintext, mac) {
             return Err(ChannelError::MacFailure);
         }
         self.received += 1;
-        Ok(plaintext.to_vec())
+        Ok(plaintext)
     }
 }
 
@@ -315,6 +349,129 @@ mod tests {
         let (mut c, mut s) = pair();
         let f = c.seal(b"").unwrap();
         assert_eq!(s.open(&f).unwrap(), b"");
+    }
+
+    /// The sizes the golden-frame equivalence tests sweep: empty, the
+    /// unaligned minima, and a 4 KiB page.
+    const GOLDEN_SIZES: [usize; 4] = [0, 1, 3, 4096];
+
+    #[test]
+    fn seal_into_is_byte_identical_to_seal() {
+        // Two channel ends with identical keys must emit identical
+        // frames whether they seal by allocation or in place — the
+        // cipher-stream positions advance in lockstep.
+        let k = keys();
+        let mut old = SecureChannelEnd::client(&k);
+        let mut new = SecureChannelEnd::client(&k);
+        for (i, &n) in GOLDEN_SIZES.iter().enumerate() {
+            let plaintext = vec![i as u8 + 1; n];
+            let golden = old.seal(&plaintext).unwrap();
+            let mut frame = vec![0u8; FRAME_HEADER_LEN];
+            frame.extend_from_slice(&plaintext);
+            new.seal_into(&mut frame, 0).unwrap();
+            assert_eq!(frame, golden, "size {n}");
+        }
+    }
+
+    #[test]
+    fn seal_into_mid_buffer_leaves_prefix_clear() {
+        // Sealing at an offset must produce the same frame bytes after
+        // the untouched cleartext prefix — the envelope fast path.
+        let k = keys();
+        let mut old = SecureChannelEnd::client(&k);
+        let mut new = SecureChannelEnd::client(&k);
+        for &n in &GOLDEN_SIZES {
+            let plaintext = vec![0x5A; n];
+            let golden = old.seal(&plaintext).unwrap();
+            let mut buf = b"ENVELOPE".to_vec();
+            buf.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
+            buf.extend_from_slice(&plaintext);
+            new.seal_into(&mut buf, 8).unwrap();
+            assert_eq!(&buf[..8], b"ENVELOPE");
+            assert_eq!(&buf[8..], &golden[..], "size {n}");
+        }
+    }
+
+    #[test]
+    fn open_in_place_matches_open() {
+        let k = keys();
+        let mut c = SecureChannelEnd::client(&k);
+        let mut s_old = SecureChannelEnd::server(&k);
+        let mut s_new = SecureChannelEnd::server(&k);
+        for (i, &n) in GOLDEN_SIZES.iter().enumerate() {
+            let plaintext = vec![i as u8 + 7; n];
+            let frame = c.seal(&plaintext).unwrap();
+            let via_open = s_old.open(&frame).unwrap();
+            let mut buf = frame.clone();
+            let via_in_place = s_new.open_in_place(&mut buf).unwrap();
+            assert_eq!(via_in_place, &via_open[..], "size {n}");
+            assert_eq!(via_in_place, &plaintext[..], "size {n}");
+        }
+        assert_eq!(s_new.messages_received(), GOLDEN_SIZES.len() as u64);
+    }
+
+    #[test]
+    fn open_in_place_mac_reject_poisons_like_open() {
+        // Every reject path must produce the same error and the same
+        // poisoned end-state as the allocating path.
+        for &n in &GOLDEN_SIZES {
+            let k = keys();
+            let mut c = SecureChannelEnd::client(&k);
+            let mut s_old = SecureChannelEnd::server(&k);
+            let mut s_new = SecureChannelEnd::server(&k);
+            let mut frame = c.seal(&vec![9u8; n]).unwrap();
+            frame[FRAME_HEADER_LEN] ^= 0x40; // corrupt length or body
+            let e_old = s_old.open(&frame).unwrap_err();
+            let mut buf = frame.clone();
+            let e_new = s_new.open_in_place(&mut buf).unwrap_err();
+            assert_eq!(e_new, e_old, "size {n}");
+            assert!(s_new.is_poisoned());
+            // Poisoned ends refuse everything, in-place or not.
+            let mut next = c.seal(b"next").unwrap();
+            assert_eq!(
+                s_new.open_in_place(&mut next).unwrap_err(),
+                ChannelError::Poisoned
+            );
+        }
+    }
+
+    #[test]
+    fn open_in_place_truncated_frame_rejected() {
+        let k = keys();
+        let mut c = SecureChannelEnd::client(&k);
+        let mut s = SecureChannelEnd::server(&k);
+        let frame = c.seal(b"hello").unwrap();
+        let mut short = frame[..10].to_vec();
+        assert_eq!(
+            s.open_in_place(&mut short).unwrap_err(),
+            ChannelError::Truncated
+        );
+        assert!(s.is_poisoned());
+    }
+
+    #[test]
+    fn seal_into_without_reserved_header_is_an_error() {
+        let k = keys();
+        let mut c = SecureChannelEnd::client(&k);
+        let mut buf = vec![1u8; FRAME_HEADER_LEN - 1];
+        assert_eq!(
+            c.seal_into(&mut buf, 0).unwrap_err(),
+            ChannelError::Truncated
+        );
+        assert_eq!(c.messages_sent(), 0, "failed seal must not advance");
+    }
+
+    #[test]
+    fn mixed_seal_styles_interleave_on_one_channel() {
+        // A single connection may seal via both entry points; stream
+        // positions must stay consistent.
+        let (mut c, mut s) = pair();
+        let f1 = c.seal(b"first").unwrap();
+        let mut f2 = vec![0u8; FRAME_HEADER_LEN];
+        f2.extend_from_slice(b"second");
+        c.seal_into(&mut f2, 0).unwrap();
+        assert_eq!(s.open(&f1).unwrap(), b"first");
+        assert_eq!(s.open_in_place(&mut f2).unwrap(), b"second");
     }
 
     #[test]

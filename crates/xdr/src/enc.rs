@@ -62,6 +62,19 @@ impl XdrEncoder {
         Self::default()
     }
 
+    /// Wraps a caller-owned buffer, appending to whatever it already
+    /// holds. Combined with [`Self::into_bytes`] this lets a hot path
+    /// recycle one allocation across many encodes (clear the buffer
+    /// first, or call [`Self::reset`], for a fresh message).
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        XdrEncoder { buf }
+    }
+
+    /// Clears the encoder, keeping the buffer's capacity for reuse.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
     /// Consumes the encoder, returning the marshaled bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -200,15 +213,36 @@ impl<'a> XdrDecoder<'a> {
         }
     }
 
-    /// Decodes `n` bytes of fixed-length opaque data plus padding.
-    pub fn get_opaque_fixed(&mut self, n: usize) -> Result<Vec<u8>, XdrError> {
-        let data = self.take(n)?.to_vec();
+    /// Decodes `n` bytes of fixed-length opaque data plus padding,
+    /// borrowing straight from the input — the zero-copy accessor for
+    /// payloads that only need to be inspected or relayed.
+    pub fn get_opaque_fixed_ref(&mut self, n: usize) -> Result<&'a [u8], XdrError> {
+        let data = self.take(n)?;
         let pad = (4 - n % 4) % 4;
         let padding = self.take(pad)?;
         if padding.iter().any(|&b| b != 0) {
             return Err(XdrError::BadPadding);
         }
         Ok(data)
+    }
+
+    /// Decodes `n` bytes of fixed-length opaque data plus padding.
+    pub fn get_opaque_fixed(&mut self, n: usize) -> Result<Vec<u8>, XdrError> {
+        Ok(self.get_opaque_fixed_ref(n)?.to_vec())
+    }
+
+    /// Borrowing variant of [`Self::get_opaque`].
+    pub fn get_opaque_ref(&mut self) -> Result<&'a [u8], XdrError> {
+        self.get_opaque_max_ref(MAX_VAR_LEN)
+    }
+
+    /// Borrowing variant of [`Self::get_opaque_max`].
+    pub fn get_opaque_max_ref(&mut self, max: u32) -> Result<&'a [u8], XdrError> {
+        let len = self.get_u32()?;
+        if len > max {
+            return Err(XdrError::LengthTooLong { claimed: len, max });
+        }
+        self.get_opaque_fixed_ref(len as usize)
     }
 
     /// Decodes variable-length opaque data with a cap of [`MAX_VAR_LEN`].
@@ -218,11 +252,7 @@ impl<'a> XdrDecoder<'a> {
 
     /// Decodes variable-length opaque data with an explicit cap.
     pub fn get_opaque_max(&mut self, max: u32) -> Result<Vec<u8>, XdrError> {
-        let len = self.get_u32()?;
-        if len > max {
-            return Err(XdrError::LengthTooLong { claimed: len, max });
-        }
-        self.get_opaque_fixed(len as usize)
+        Ok(self.get_opaque_max_ref(max)?.to_vec())
     }
 
     /// Decodes a UTF-8 string.
@@ -244,6 +274,15 @@ pub trait Xdr: Sized {
         let mut enc = XdrEncoder::new();
         self.encode(&mut enc);
         enc.into_bytes()
+    }
+
+    /// Marshals into a caller-owned buffer, replacing its contents but
+    /// reusing its capacity — [`Self::to_xdr`] without the allocation.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let mut enc = XdrEncoder::from_vec(std::mem::take(out));
+        self.encode(&mut enc);
+        *out = enc.into_bytes();
     }
 
     /// Convenience: unmarshal from a complete byte string (no trailing
@@ -324,8 +363,9 @@ impl<const N: usize> Xdr for [u8; N] {
         enc.put_opaque_fixed(self);
     }
     fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
-        let v = dec.get_opaque_fixed(N)?;
-        Ok(v.try_into().expect("length checked"))
+        let mut out = [0u8; N];
+        out.copy_from_slice(dec.get_opaque_fixed_ref(N)?);
+        Ok(out)
     }
 }
 
@@ -505,5 +545,64 @@ mod tests {
         let t = (7u32, String::from("sfs"));
         let back = <(u32, String)>::from_xdr(&t.to_xdr()).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn encoder_reuse_preserves_bytes_and_capacity() {
+        let mut buf = Vec::new();
+        let msgs: Vec<Vec<u8>> = vec![vec![1; 5], vec![2; 9], vec![3; 2]];
+        for m in &msgs {
+            m.encode_into(&mut buf);
+            assert_eq!(buf, m.to_xdr(), "encode_into must match to_xdr");
+        }
+        // After the largest message, smaller ones must fit in place.
+        let cap = buf.capacity();
+        msgs[2].encode_into(&mut buf);
+        assert_eq!(buf.capacity(), cap, "reuse must not reallocate");
+    }
+
+    #[test]
+    fn from_vec_appends_to_existing_content() {
+        let mut enc = XdrEncoder::from_vec(vec![0xAA]);
+        enc.put_u32(7);
+        assert_eq!(enc.bytes(), &[0xAA, 0, 0, 0, 7]);
+        enc.reset();
+        assert!(enc.is_empty());
+    }
+
+    #[test]
+    fn ref_accessors_borrow_and_match_owned() {
+        let mut e = XdrEncoder::new();
+        e.put_opaque(b"abcde").put_opaque_fixed(b"xyz");
+        let bytes = e.into_bytes();
+        let mut d1 = XdrDecoder::new(&bytes);
+        let mut d2 = XdrDecoder::new(&bytes);
+        assert_eq!(d1.get_opaque_ref().unwrap(), d2.get_opaque().unwrap());
+        assert_eq!(
+            d1.get_opaque_fixed_ref(3).unwrap(),
+            d2.get_opaque_fixed(3).unwrap()
+        );
+        d1.finish().unwrap();
+        d2.finish().unwrap();
+    }
+
+    #[test]
+    fn ref_accessors_enforce_padding_and_caps() {
+        // len=1, data='a', pad = [1, 0, 0] — invalid.
+        let raw = [0, 0, 0, 1, b'a', 1, 0, 0];
+        assert_eq!(
+            XdrDecoder::new(&raw).get_opaque_ref(),
+            Err(XdrError::BadPadding)
+        );
+        let mut e = XdrEncoder::new();
+        e.put_u32(100);
+        assert!(matches!(
+            XdrDecoder::new(e.bytes()).get_opaque_max_ref(50),
+            Err(XdrError::LengthTooLong { claimed: 100, .. })
+        ));
+        assert_eq!(
+            XdrDecoder::new(&[1, 2]).get_opaque_fixed_ref(4),
+            Err(XdrError::Truncated)
+        );
     }
 }
