@@ -1,7 +1,7 @@
 //! Figure 5: micro-benchmarks for basic operations — RPC latency
 //! (unauthorized `fchown`, µs) and sequential-read throughput (MB/s).
 
-use sfs_bench::args::FaultOpt;
+use sfs_bench::args::{Args, FaultOpt};
 use sfs_bench::calib::{build_fs_chaos, System};
 use sfs_bench::report::{Compared, Table};
 use sfs_bench::trace::TraceOpt;
@@ -10,6 +10,9 @@ use sfs_bench::workloads::{micro_latency, micro_throughput};
 fn main() {
     let trace = TraceOpt::from_args();
     let faults = FaultOpt::from_args();
+    // `--window N` overrides the client pipeline depth (default 8);
+    // `--window 1` reruns the figure under the blocking protocol.
+    let window: Option<usize> = Args::from_env().opt("window").map(|w| w.parse().unwrap());
     let mut table = Table::new(
         "Figure 5: micro-benchmarks for basic operations",
         "µs / MB/s",
@@ -25,10 +28,16 @@ fn main() {
     for (system, paper_lat, paper_tp) in rows {
         let tel = trace.for_system(&format!("{}/latency", system.label()));
         let (fs, clock, prefix, _) = build_fs_chaos(system, &tel, faults.plan());
+        if let Some(w) = window {
+            fs.set_pipeline_window(w);
+        }
         let lat = micro_latency(fs.as_ref(), &prefix);
         final_ns = final_ns.max(clock.now().as_nanos());
         let tel2 = trace.for_system(&format!("{}/throughput", system.label()));
         let (fs2, clock2, prefix2, _) = build_fs_chaos(system, &tel2, faults.plan());
+        if let Some(w) = window {
+            fs2.set_pipeline_window(w);
+        }
         let tp = micro_throughput(fs2.as_ref(), &prefix2);
         final_ns = final_ns.max(clock2.now().as_nanos());
         table.push_row(

@@ -4,7 +4,7 @@
 //! Headline shape from §4.3: "SFS is only 11% (0.6 seconds) slower than
 //! NFS 3 over UDP."
 
-use sfs_bench::args::FaultOpt;
+use sfs_bench::args::{Args, FaultOpt};
 use sfs_bench::calib::{build_fs_chaos, System};
 use sfs_bench::report::{secs, Compared, Table};
 use sfs_bench::trace::TraceOpt;
@@ -13,6 +13,9 @@ use sfs_bench::workloads::{mab, total, MabConfig};
 fn main() {
     let trace = TraceOpt::from_args();
     let faults = FaultOpt::from_args();
+    // `--window N` overrides the client pipeline depth (default 8);
+    // `--window 1` reruns the figure under the blocking protocol.
+    let window: Option<usize> = Args::from_env().opt("window").map(|w| w.parse().unwrap());
     let cfg = MabConfig::default();
     let mut table = Table::new(
         "Figure 6: Modified Andrew Benchmark phases",
@@ -40,6 +43,9 @@ fn main() {
     for (system, paper) in paper_total {
         let tel = trace.for_system(system.label());
         let (fs, clock, prefix, _) = build_fs_chaos(system, &tel, faults.plan());
+        if let Some(w) = window {
+            fs.set_pipeline_window(w);
+        }
         let phases = mab(fs.as_ref(), &prefix, &cfg);
         final_ns = final_ns.max(clock.now().as_nanos());
         let mut cells: Vec<Compared> = phases

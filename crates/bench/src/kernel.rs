@@ -110,9 +110,10 @@ pub trait FsBench {
     /// touches the disk: the paper's unauthorized `fchown` (§4.2).
     fn chown_fail(&self, path: &str) -> Result<()>;
 
-    /// Marks entry/exit of a sequential-streaming phase (read-ahead and
-    /// write-behind overlap fixed per-RPC costs).
-    fn set_streaming(&self, _on: bool) {}
+    /// Sets how many RPCs the client may keep in flight on its channel
+    /// (1 = strict blocking request/reply). Local and kernel-NFS stacks
+    /// have no pipelined client and ignore it.
+    fn set_pipeline_window(&self, _window: usize) {}
 
     /// Burns pure CPU time (compilation).
     fn cpu_burn(&self, ns: u64) {
@@ -823,22 +824,14 @@ impl FsBench for SfsBench {
     fn write(&self, path: &str, offset: u64, data: &[u8]) -> Result<()> {
         self.clock.advance_ns(SYSCALL_NS);
         let (mount, fh) = self.handle_of(path)?;
-        match self.nfs(
-            &mount,
-            &Nfs3Request::Write {
-                fh,
-                offset,
-                stable: StableHow::Unstable,
-                data: data.to_vec(),
-            },
-        )? {
-            Nfs3Reply::Write { .. } => {
-                self.cache.lock().invalidate(path);
-                Ok(())
-            }
-            Nfs3Reply::Error { status, .. } => Err(BenchFsError::Nfs(status)),
-            other => Err(BenchFsError::Nfs(unexpected(&other))),
-        }
+        // Write-behind: the data is queued and rides out as part of a
+        // pipelined window; any failure surfaces at the next barrier
+        // (flush, or the next synchronous RPC on the mount).
+        self.client
+            .write_behind(&mount, self.uid, &fh, offset, data.to_vec())
+            .map_err(sfs_err)?;
+        self.cache.lock().invalidate(path);
+        Ok(())
     }
 
     fn read(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
@@ -882,18 +875,14 @@ impl FsBench for SfsBench {
             let end = (start + len).min(whole.len());
             Ok(whole[start..end].to_vec())
         } else {
-            match self.nfs(
-                &mount,
-                &Nfs3Request::Read {
-                    fh,
-                    offset,
-                    count: len as u32,
-                },
-            )? {
-                Nfs3Reply::Read { data, .. } => Ok(data),
-                Nfs3Reply::Error { status, .. } => Err(BenchFsError::Nfs(status)),
-                other => Err(BenchFsError::Nfs(unexpected(&other))),
-            }
+            // Large files stream through the client's read-ahead path:
+            // sequential access keeps a whole pipeline window of READs
+            // in flight.
+            let (data, _eof) = self
+                .client
+                .read(&mount, self.uid, &fh, offset, len as u32)
+                .map_err(sfs_err)?;
+            Ok(data)
         }
     }
 
@@ -943,6 +932,8 @@ impl FsBench for SfsBench {
     fn flush(&self, path: &str) -> Result<()> {
         self.clock.advance_ns(SYSCALL_NS);
         let (mount, fh) = self.handle_of(path)?;
+        // call_nfs barriers first, so the COMMIT cannot pass queued
+        // write-behind data.
         match self.nfs(
             &mount,
             &Nfs3Request::Commit {
@@ -982,8 +973,8 @@ impl FsBench for SfsBench {
         }
     }
 
-    fn set_streaming(&self, on: bool) {
-        self.client.set_streaming(on);
+    fn set_pipeline_window(&self, window: usize) {
+        self.client.set_pipeline_window(window);
     }
 
     fn rpcs(&self) -> u64 {

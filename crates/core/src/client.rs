@@ -15,8 +15,8 @@
 //! on-the-fly symbolic link (§2.3); directory listings of `/sfs` only show
 //! pathnames the requesting agent has actually referenced.
 
-use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey, RabinPublicKey};
@@ -24,7 +24,9 @@ use sfs_crypto::SfsPrg;
 use sfs_nfs3::proto::{
     Fattr3, FileHandle, Nfs3Reply, Nfs3Request, PostOpAttr, Sattr3, StableHow, Status,
 };
-use sfs_proto::channel::{ChannelError, SecureChannelEnd};
+use sfs_proto::channel::{
+    ChannelError, FrameSequencer, SecureChannelEnd, SeqPush, FRAME_HEADER_LEN,
+};
 use sfs_proto::keyneg::{KeyNegClient, KeyNegError, KeyNegServerReply};
 use sfs_proto::pathname::{PathError, SelfCertifyingPath};
 use sfs_proto::userauth::{AuthInfo, AUTHNO_ANONYMOUS};
@@ -35,15 +37,16 @@ use sfs_sim::{
 use sfs_telemetry::sync::Mutex;
 use sfs_telemetry::Telemetry;
 use sfs_vfs::FileType;
-use sfs_xdr::Xdr;
+use sfs_xdr::{Xdr, XdrEncoder};
 
 use crate::agent::Agent;
 use crate::bufpool::BufPool;
 use crate::journal::{ClientJournal, JournalRecord};
 use crate::server::{ServerConn, SfsServer};
 use crate::wire::{
-    sealed_env_begin, sealed_env_finish, sealed_envelope_frame, CallMsg, Dialect, InnerCall,
-    InnerReply, ReplyMsg, Service, SEALED_ENV_FRAME_START,
+    sealed_env_begin, sealed_env_finish, sealed_envelope_frame, seq_env_begin, seq_env_finish,
+    seq_reply_envelope, CallMsg, Dialect, InnerCall, InnerReply, ReplyMsg, Service,
+    SEALED_ENV_FRAME_START, SEALED_SEQ_ENV_FRAME_START,
 };
 
 /// Default ephemeral-key size. The paper's servers used 1280-bit keys;
@@ -63,6 +66,20 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// journal write covers the next `SEQ_HWM_SLACK` authentications instead
 /// of one synchronous disk write per signed seqno.
 const SEQ_HWM_SLACK: u32 = 64;
+
+/// Default pipeline window: sealed calls allowed in flight per channel.
+pub const DEFAULT_PIPELINE_WINDOW: usize = 8;
+
+/// Block size used by streaming reads and write-behind chunking.
+const STREAM_CHUNK: usize = 32_768;
+
+/// A sequential run at least this long promotes a file to a read-ahead
+/// stream (two adjacent reads establish the access pattern).
+const READ_AHEAD_TRIGGER: u32 = 2;
+
+/// Client-side reply reorder buffer capacity (frames parked waiting for
+/// a cipher-order gap to fill). Must exceed any usable window.
+const REORDER_BUF_CAPACITY: usize = 64;
 
 /// Agent control-socket reply status: success.
 pub const AGENT_OK: u32 = 0;
@@ -239,6 +256,19 @@ struct CachedAttr {
     expires: SimTime,
 }
 
+/// Per-file sequential-stream detector plus read-ahead buffer. A run of
+/// adjacent reads turns the file into a stream: the client batches a
+/// whole window of READs, serves the first, and parks the rest here for
+/// the accesses it predicts are coming.
+struct StreamState {
+    /// Where the next sequential read is expected to land.
+    next_offset: u64,
+    /// Consecutive sequential reads observed so far.
+    run: u32,
+    /// Prefetched blocks by offset, with the server's eof flag.
+    prefetch: BTreeMap<u64, (Vec<u8>, bool)>,
+}
+
 /// One negotiated connection to a server: the wire, the server-side
 /// connection object, the secure channel, and that session's identity.
 /// Replaced wholesale when the client reconnects after a channel death
@@ -280,6 +310,11 @@ pub struct Mount {
     /// Round trips accumulated on wires discarded by reconnects.
     prior_round_trips: AtomicU64,
     reconnects: AtomicU64,
+    /// Read-ahead state per file handle (bytes).
+    streams: Mutex<HashMap<Vec<u8>, StreamState>>,
+    /// Write-behind queue: writes accepted locally but not yet issued,
+    /// flushed as one pipelined window at the next barrier.
+    wb_queue: Mutex<Vec<(u32, Nfs3Request)>>,
 }
 
 /// Access-cache key: (file handle bytes, uid, requested mask).
@@ -316,6 +351,16 @@ impl Mount {
 
     fn generation(&self) -> u64 {
         self.link.lock().generation
+    }
+
+    /// Replaces the live link with `link`, folding the retired wire's
+    /// round-trip count into the running total. This is the *only* place
+    /// that touches `prior_round_trips`, so an aborted exchange whose
+    /// wire is torn down mid-window is counted exactly once.
+    fn install_link(&self, guard: &mut Link, link: Link) {
+        self.prior_round_trips
+            .fetch_add(guard.wire.round_trips(), Ordering::SeqCst);
+        *guard = link;
     }
 }
 
@@ -395,7 +440,9 @@ pub struct SfsClient {
     referenced: Mutex<HashMap<u32, BTreeSet<String>>>,
     caching: AtomicBool,
     charge_crypto: AtomicBool,
-    streaming: AtomicBool,
+    /// How many sealed calls may be in flight at once on a mount's
+    /// channel. 1 degenerates to the blocking request/reply protocol.
+    pipeline_window: AtomicUsize,
     attr_hits: AtomicU64,
     attr_misses: AtomicU64,
     /// Crash-surviving state journal (None: diskless client, nothing
@@ -452,7 +499,7 @@ impl SfsClient {
             referenced: Mutex::new(HashMap::new()),
             caching: AtomicBool::new(true),
             charge_crypto: AtomicBool::new(true),
-            streaming: AtomicBool::new(false),
+            pipeline_window: AtomicUsize::new(DEFAULT_PIPELINE_WINDOW),
             attr_hits: AtomicU64::new(0),
             attr_misses: AtomicU64::new(0),
             journal: Mutex::new(None),
@@ -530,14 +577,18 @@ impl SfsClient {
         self.charge_crypto.store(on, Ordering::SeqCst);
     }
 
-    /// Marks subsequent operations as part of a sequential data stream.
-    /// With read-ahead/write-behind, "multiple outstanding requests can
-    /// overlap the latency of NFS RPCs" (§4.2): the fixed user-level
-    /// crossing cost overlaps with data transfer and only per-byte costs
-    /// remain on the critical path. Benchmarks set this around sequential
-    /// read/write phases.
-    pub fn set_streaming(&self, on: bool) {
-        self.streaming.store(on, Ordering::SeqCst);
+    /// Sets the pipeline window: how many sealed calls may be in flight
+    /// on a channel at once. "Multiple outstanding requests can overlap
+    /// the latency of NFS RPCs" (§4.2) — read-ahead, write-behind, and
+    /// batched calls all issue up to this many frames before waiting.
+    /// 1 restores the strict blocking request/reply protocol.
+    pub fn set_pipeline_window(&self, window: usize) {
+        self.pipeline_window.store(window.max(1), Ordering::SeqCst);
+    }
+
+    /// The current pipeline window.
+    pub fn pipeline_window(&self) -> usize {
+        self.pipeline_window.load(Ordering::SeqCst).max(1)
     }
 
     /// (attribute-cache hits, misses) so far.
@@ -891,10 +942,8 @@ impl SfsClient {
 
     fn charge_crossing(&self) {
         if let Some(cpu) = &self.cpu {
-            if !self.streaming.load(Ordering::SeqCst) {
-                self.tel.lock().count("client", "cpu.crossings", 1);
-                cpu.charge_user_crossing(&self.clock);
-            }
+            self.tel.lock().count("client", "cpu.crossings", 1);
+            cpu.charge_user_crossing(&self.clock);
         }
     }
 
@@ -965,6 +1014,8 @@ impl SfsClient {
             access_cache: Mutex::new(HashMap::new()),
             prior_round_trips: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            streams: Mutex::new(HashMap::new()),
+            wb_queue: Mutex::new(Vec::new()),
         });
         // Fetch the root handle over the authenticated channel (the
         // sealed-call retry machinery already protects this first RPC).
@@ -1140,14 +1191,14 @@ impl SfsClient {
         // with backoff rather than letting one lost keyneg packet turn
         // into a hard error.
         let link = self.negotiate_with_retry(&mount.path, &agent, observed_generation + 1)?;
-        mount
-            .prior_round_trips
-            .fetch_add(guard.wire.round_trips(), Ordering::SeqCst);
-        *guard = link;
+        mount.install_link(&mut guard, link);
         drop(guard);
         mount.authnos.lock().clear();
         mount.attr_cache.lock().clear();
         mount.access_cache.lock().clear();
+        // Read-ahead data was fetched under leases the old server
+        // instance granted; drop it with the caches.
+        mount.streams.lock().clear();
         mount.reconnects.fetch_add(1, Ordering::SeqCst);
         tel.count("client", "reconnect.completed", 1);
         Ok(())
@@ -1308,6 +1359,12 @@ impl SfsClient {
                 }
                 let mut access = mount.access_cache.lock();
                 access.retain(|(fh, _, _), _| !invalidations.iter().any(|i| &i.0 == fh));
+                // Read-ahead data for an invalidated file was speculated
+                // under a lease another client just broke.
+                let mut streams = mount.streams.lock();
+                for fh in invalidations {
+                    streams.remove(&fh.0);
+                }
             }
         }
     }
@@ -1356,11 +1413,25 @@ impl SfsClient {
         Ok(authno)
     }
 
-    /// Issues one NFS3 call for `uid` over `mount`. If the session is
-    /// renegotiated mid-call, the authentication number sent with the
-    /// request belonged to the dead session — re-authenticate on the new
-    /// one and reissue.
+    /// Issues one NFS3 call for `uid` over `mount`. Queued write-behind
+    /// data is flushed first: a synchronous RPC is an ordering point, so
+    /// nothing may observe the server before writes the caller already
+    /// issued reach it. If the session is renegotiated mid-call, the
+    /// authentication number sent with the request belonged to the dead
+    /// session — re-authenticate on the new one and reissue.
     pub fn call_nfs(
+        &self,
+        mount: &Mount,
+        uid: u32,
+        req: &Nfs3Request,
+    ) -> Result<Nfs3Reply, ClientError> {
+        self.barrier(mount)?;
+        self.call_nfs_unqueued(mount, uid, req)
+    }
+
+    /// [`Self::call_nfs`] without the write-behind barrier (the flush
+    /// path itself must not recurse into the barrier).
+    fn call_nfs_unqueued(
         &self,
         mount: &Mount,
         uid: u32,
@@ -1393,6 +1464,512 @@ impl SfsClient {
                 }
                 other => Err(ClientError::Protocol(format!("bad NFS reply: {other:?}"))),
             };
+        }
+    }
+
+    /// Issues a batch of NFS3 calls for `uid` with up to
+    /// [`Self::pipeline_window`] sealed frames in flight at once,
+    /// returning the replies in request order. Queued write-behind data
+    /// is flushed first. With window 1 this degenerates to the blocking
+    /// request/reply protocol, call for call.
+    pub fn call_nfs_window(
+        &self,
+        mount: &Mount,
+        uid: u32,
+        reqs: &[Nfs3Request],
+    ) -> Result<Vec<Nfs3Reply>, ClientError> {
+        self.barrier(mount)?;
+        self.call_nfs_window_unqueued(mount, uid, reqs)
+    }
+
+    /// [`Self::call_nfs_window`] without the write-behind barrier.
+    fn call_nfs_window_unqueued(
+        &self,
+        mount: &Mount,
+        uid: u32,
+        reqs: &[Nfs3Request],
+    ) -> Result<Vec<Nfs3Reply>, ClientError> {
+        let window = self.pipeline_window();
+        if window <= 1 || reqs.len() <= 1 {
+            return reqs
+                .iter()
+                .map(|req| self.call_nfs_unqueued(mount, uid, req))
+                .collect();
+        }
+        let mut out = Vec::with_capacity(reqs.len());
+        for chunk in reqs.chunks(window) {
+            out.extend(self.window_call_batch(mount, uid, chunk)?);
+        }
+        Ok(out)
+    }
+
+    /// One window-sized batch: authenticate, seal, exchange, decode.
+    /// Mirrors [`Self::call_nfs_unqueued`]'s reissue rule — a session
+    /// renegotiated mid-batch invalidates the credentials every frame
+    /// was sealed with, so the whole batch is reissued.
+    fn window_call_batch(
+        &self,
+        mount: &Mount,
+        uid: u32,
+        reqs: &[Nfs3Request],
+    ) -> Result<Vec<Nfs3Reply>, ClientError> {
+        let reissue_cap = self.retry_policy().max_reconnects;
+        let mut rounds = 0;
+        loop {
+            let authno = self.ensure_auth(mount, uid)?;
+            let generation = mount.generation();
+            let calls: Vec<InnerCall> = reqs
+                .iter()
+                .map(|req| InnerCall::Nfs {
+                    authno,
+                    proc: req.proc() as u32,
+                    args: req.encode_args(),
+                })
+                .collect();
+            let inners = self.window_sealed_batch(mount, &calls)?;
+            if mount.generation() != generation && rounds < reissue_cap {
+                rounds += 1;
+                continue;
+            }
+            let mut out = Vec::with_capacity(reqs.len());
+            for (req, inner) in reqs.iter().zip(inners) {
+                match inner {
+                    InnerReply::Nfs { results, .. } => {
+                        let reply = Nfs3Reply::decode_results(req.proc(), &results)
+                            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                        self.harvest_attrs(mount, req, &reply);
+                        out.push(reply);
+                    }
+                    other => {
+                        return Err(ClientError::Protocol(format!("bad NFS reply: {other:?}")))
+                    }
+                }
+            }
+            return Ok(out);
+        }
+    }
+
+    /// Retry driver for one windowed exchange: session deaths trigger a
+    /// reconnect, after which every call is re-sealed on the fresh
+    /// channel (the old frames are useless — their cipher positions
+    /// belong to the dead session).
+    fn window_sealed_batch(
+        &self,
+        mount: &Mount,
+        calls: &[InnerCall],
+    ) -> Result<Vec<InnerReply>, ClientError> {
+        let max = self.retry_policy().max_reconnects;
+        let mut round = 0;
+        loop {
+            let generation = mount.generation();
+            match self.window_exchange_once(mount, calls) {
+                Ok(inners) => return Ok(inners),
+                Err(e) if Self::session_dead(&e) => {
+                    if round >= max {
+                        return Err(e);
+                    }
+                    self.backoff(round);
+                    self.reconnect(mount, generation)?;
+                    round += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Analytic server-side cost of servicing one frame: the crossing
+    /// into sfssd, RPC processing, and the copy through the daemon.
+    /// Windowed exchanges fold this into the frame's service time on the
+    /// wire's timeline instead of charging the shared clock, so sealing
+    /// later frames genuinely overlaps the server working earlier ones.
+    fn server_frame_cost_ns(&self, len: usize) -> u64 {
+        let Some(cpu) = &self.cpu else { return 0 };
+        let tel = self.tel.lock();
+        tel.count("client", "cpu.crossings", 1);
+        tel.count("client", "cpu.rpc_charges", 1);
+        tel.count("server", "cpu.server_copy_bytes", len as u64);
+        cpu.user_crossing_ns + cpu.rpc_processing_ns + len as u64 * cpu.server_copy_per_byte_ns
+    }
+
+    /// Analytic client-side cost of opening one sealed reply frame: the
+    /// copy out of the daemon plus decryption. Like
+    /// [`Self::server_frame_cost_ns`] this is not charged to the clock
+    /// directly — the windowed engine runs these costs on a CPU
+    /// timeline seeded by each reply's arrival, so decrypting one reply
+    /// overlaps later replies still in transit.
+    fn client_open_cost_ns(&self, len: usize) -> u64 {
+        let Some(cpu) = &self.cpu else { return 0 };
+        let tel = self.tel.lock();
+        tel.count("client", "cpu.user_copy_bytes", len as u64);
+        let mut ns = len as u64 * cpu.user_copy_per_byte_ns;
+        if self.charge_crypto.load(Ordering::SeqCst) {
+            tel.count("client", "cpu.crypto_bytes", len as u64);
+            ns += cpu.crypto_per_message_ns + len as u64 * cpu.crypto_per_byte_ns;
+        }
+        ns
+    }
+
+    /// One windowed exchange on the mount's current link: seals every
+    /// call as a sequenced frame, puts them all in flight, and matches
+    /// replies back by xid. Lost frames are retransmitted byte-for-byte
+    /// (the server replays already-serviced ones from its reply cache),
+    /// so both cipher streams stay aligned no matter how the network
+    /// reorders, duplicates, or drops frames.
+    fn window_exchange_once(
+        &self,
+        mount: &Mount,
+        calls: &[InnerCall],
+    ) -> Result<Vec<InnerReply>, ClientError> {
+        let tel = self.tel();
+        let _span = tel
+            .span("client", "core.client", "window_exchange")
+            .with_attr("frames", calls.len() as u64);
+        // One kernel→daemon crossing hands sfscd the whole queued window
+        // (§4.2): the fixed crossing cost is paid once per window, not
+        // per request.
+        self.charge_crossing();
+        let mut guard = mount.link.lock();
+        let link = &mut *guard;
+        let pool = link.pool.clone();
+        // Seal every frame up front, tagged with its xid and the channel
+        // seqno it was sealed at, stamping each frame's virtual send
+        // time as sealing completes. The sealed bytes are kept verbatim
+        // for retransmission.
+        let mut envs: Vec<Vec<u8>> = Vec::with_capacity(calls.len());
+        let mut sent_at: Vec<SimTime> = Vec::with_capacity(calls.len());
+        for (xid, call) in calls.iter().enumerate() {
+            let chanseq = link.channel.messages_sent();
+            let mut env = pool.get();
+            seq_env_begin(&mut env, true, chanseq, xid as u32);
+            let mut enc = XdrEncoder::from_vec(std::mem::take(&mut env));
+            call.encode(&mut enc);
+            env = enc.into_bytes();
+            let plain_len = env.len() - SEALED_SEQ_ENV_FRAME_START - FRAME_HEADER_LEN;
+            self.charge_rpc();
+            self.charge_user_copy(plain_len);
+            self.charge_crypto_cost(plain_len);
+            link.channel
+                .seal_into(&mut env, SEALED_SEQ_ENV_FRAME_START)?;
+            seq_env_finish(&mut env);
+            envs.push(env);
+            sent_at.push(self.clock.now());
+        }
+        let policy = self.retry_policy();
+        let mut results: Vec<Option<InnerReply>> = calls.iter().map(|_| None).collect();
+        // Replies can arrive in any order; the stream cipher only opens
+        // them in the order the server sealed them, so out-of-order
+        // arrivals park here until the gap fills.
+        let mut reorder = FrameSequencer::new(REORDER_BUF_CAPACITY);
+        // Arrival time per buffered reply chanseq, feeding the analytic
+        // CPU timeline below.
+        let mut arrivals: BTreeMap<u64, u64> = BTreeMap::new();
+        // When the client CPU finishes opening the replies processed so
+        // far: each open starts at max(its reply's arrival, cpu_free),
+        // so decryption overlaps replies still on the wire instead of
+        // stacking after the last arrival.
+        let mut cpu_free: u64 = 0;
+        let mut attempt = 0;
+        loop {
+            let outstanding: Vec<usize> =
+                (0..envs.len()).filter(|&i| results[i].is_none()).collect();
+            if outstanding.is_empty() {
+                break;
+            }
+            tel.gauge_set("client", "pipeline.inflight_hwm", outstanding.len() as u64);
+            let sends: Vec<(SimTime, Vec<u8>)> = outstanding
+                .iter()
+                .map(|&i| {
+                    let mut msg = pool.get();
+                    msg.extend_from_slice(&envs[i]);
+                    (sent_at[i], msg)
+                })
+                .collect();
+            let replies = link.wire.exchange(sends, |b| {
+                let extra_ns = self.server_frame_cost_ns(b.len());
+                (link.conn.handle_frames(b), extra_ns)
+            });
+            for reply in replies {
+                let bytes = reply.bytes;
+                let Some((chanseq, xid, frame)) = seq_reply_envelope(&bytes) else {
+                    // An unsequenced reply mid-window: a server Error is
+                    // the session refusing our state — honour it and let
+                    // the caller reconnect. Anything else is a stray the
+                    // wire held over from an earlier phase (or mangled
+                    // noise); it never touches the cipher, so drop it and
+                    // let retransmission cover any real loss.
+                    if let Ok(ReplyMsg::Error(e)) = ReplyMsg::from_xdr(&bytes) {
+                        return Err(ClientError::Protocol(e));
+                    }
+                    tel.count("client", "pipeline.stale_frames", 1);
+                    pool.put(bytes);
+                    continue;
+                };
+                if xid as usize >= results.len() {
+                    // Sequenced, but not one of ours: a frame from an
+                    // earlier window or a dead session replayed by the
+                    // wire. Feeding it to the stream cipher would burn
+                    // keystream and poison the channel, so discard it
+                    // here on the cleartext header alone.
+                    tel.count("client", "pipeline.stale_frames", 1);
+                    pool.put(bytes);
+                    continue;
+                }
+                let expected = link.channel.messages_received();
+                match reorder.push(chanseq, xid, bytes[frame].to_vec(), expected) {
+                    // A replayed reply we already opened (its retransmit
+                    // raced the original): the cipher consumed it once.
+                    SeqPush::Duplicate => {}
+                    SeqPush::Overflow => {
+                        return Err(ClientError::Protocol(
+                            "channel failure: reply reorder buffer overflow".into(),
+                        ))
+                    }
+                    SeqPush::Buffered => {
+                        arrivals.insert(chanseq, reply.arrival.as_nanos());
+                    }
+                }
+                pool.put(bytes);
+                // Open every frame that is now in cipher order.
+                loop {
+                    let pos = link.channel.messages_received();
+                    let Some((xid, mut frame)) = reorder.take(pos) else {
+                        break;
+                    };
+                    let arrival = arrivals.remove(&pos).unwrap_or(0);
+                    cpu_free = cpu_free.max(arrival) + self.client_open_cost_ns(frame.len());
+                    let plain = link.channel.open_in_place(&mut frame)?;
+                    let inner = InnerReply::from_xdr(plain)
+                        .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                    let slot = results.get_mut(xid as usize).ok_or_else(|| {
+                        ClientError::Protocol(format!("unexpected reply: unknown xid {xid}"))
+                    })?;
+                    *slot = Some(inner);
+                }
+            }
+            if results.iter().any(|r| r.is_none()) {
+                if attempt >= policy.max_retransmits {
+                    return Err(ClientError::Net(WireError::Timeout));
+                }
+                // Same pacing as the blocking path: wait out the
+                // timeout, then back off before the identical frames go
+                // back on the wire. Retransmission charges no CPU — the
+                // frames were already built and sealed.
+                link.wire.timeout_wait();
+                tel.count("client", "retry.retransmits", 1);
+                tel.instant("client", "core.client", "retransmit");
+                self.backoff(attempt);
+                attempt += 1;
+                sent_at.fill(self.clock.now());
+            }
+        }
+        // Land the clock on the moment the client CPU finished opening
+        // the final reply (a no-op if the timeline already passed it).
+        self.clock.advance_to(SimTime(cpu_free));
+        drop(guard);
+        for env in envs {
+            pool.put(env);
+        }
+        let inners: Vec<InnerReply> = results
+            .into_iter()
+            .map(|r| r.expect("loop exits only when every slot is filled"))
+            .collect();
+        for inner in &inners {
+            self.apply_invalidations(mount, inner);
+        }
+        Ok(inners)
+    }
+
+    /// Reads up to `count` bytes of `fh` at `offset`, returning
+    /// `(data, eof)`. Two adjacent reads promote the file to a
+    /// sequential stream: the client then keeps a whole pipeline window
+    /// of READs outstanding, answering the caller from the first and
+    /// parking the rest as read-ahead for the accesses it predicts.
+    pub fn read(
+        &self,
+        mount: &Mount,
+        uid: u32,
+        fh: &FileHandle,
+        offset: u64,
+        count: u32,
+    ) -> Result<(Vec<u8>, bool), ClientError> {
+        self.barrier(mount)?;
+        // Read-ahead hit: the block is already here, no RPC at all.
+        {
+            let mut streams = mount.streams.lock();
+            if let Some(st) = streams.get_mut(&fh.0) {
+                if let Some((data, eof)) = st.prefetch.remove(&offset) {
+                    if data.len() <= count as usize {
+                        self.tel().count("client", "pipeline.readahead_hits", 1);
+                        st.next_offset = offset + data.len() as u64;
+                        return Ok((data, eof));
+                    }
+                    // Speculated with a different block size than the
+                    // caller now wants: the speculation is useless.
+                    st.prefetch.clear();
+                }
+            }
+        }
+        let window = self.pipeline_window();
+        let run = {
+            let mut streams = mount.streams.lock();
+            let st = streams.entry(fh.0.clone()).or_insert_with(|| StreamState {
+                next_offset: offset,
+                run: 0,
+                prefetch: BTreeMap::new(),
+            });
+            if offset == st.next_offset {
+                st.run += 1;
+            } else {
+                st.run = 1;
+                st.prefetch.clear();
+            }
+            st.run
+        };
+        if window > 1 && run >= READ_AHEAD_TRIGGER {
+            // Sequential stream: issue a whole window of READs at once.
+            let reqs: Vec<Nfs3Request> = (0..window as u64)
+                .map(|i| Nfs3Request::Read {
+                    fh: fh.clone(),
+                    offset: offset + i * u64::from(count),
+                    count,
+                })
+                .collect();
+            let mut replies = self
+                .call_nfs_window_unqueued(mount, uid, &reqs)?
+                .into_iter();
+            let (data, eof) = match replies.next().expect("one reply per request") {
+                Nfs3Reply::Read { data, eof, .. } => (data, eof),
+                Nfs3Reply::Error { status, .. } => return Err(ClientError::Nfs(status)),
+                other => return Err(ClientError::Protocol(format!("{other:?}"))),
+            };
+            let mut streams = mount.streams.lock();
+            let st = streams.entry(fh.0.clone()).or_insert_with(|| StreamState {
+                next_offset: offset,
+                run: READ_AHEAD_TRIGGER,
+                prefetch: BTreeMap::new(),
+            });
+            if !eof {
+                let mut o = offset + u64::from(count);
+                for reply in replies {
+                    match reply {
+                        Nfs3Reply::Read {
+                            data: ahead,
+                            eof: ahead_eof,
+                            ..
+                        } => {
+                            let done = ahead_eof || (ahead.len() as u32) < count;
+                            st.prefetch.insert(o, (ahead, ahead_eof));
+                            o += u64::from(count);
+                            if done {
+                                break;
+                            }
+                        }
+                        // Errors on speculative reads are not the
+                        // caller's problem; the access that reaches this
+                        // offset will reissue and see them for real.
+                        _ => break,
+                    }
+                }
+            }
+            st.next_offset = offset + data.len() as u64;
+            return Ok((data, eof));
+        }
+        match self.call_nfs_unqueued(
+            mount,
+            uid,
+            &Nfs3Request::Read {
+                fh: fh.clone(),
+                offset,
+                count,
+            },
+        )? {
+            Nfs3Reply::Read { data, eof, .. } => {
+                if let Some(st) = mount.streams.lock().get_mut(&fh.0) {
+                    st.next_offset = offset + data.len() as u64;
+                }
+                Ok((data, eof))
+            }
+            Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Queues a WRITE of `data` at `offset` without waiting for the
+    /// reply. The write reaches the server no later than the next
+    /// commit barrier — an explicit [`Self::barrier`] (close/fsync) or
+    /// any synchronous RPC on the mount — where the queue drains as
+    /// pipelined windows and every reply is checked. With window 1 the
+    /// write is issued synchronously instead.
+    pub fn write_behind(
+        &self,
+        mount: &Mount,
+        uid: u32,
+        fh: &FileHandle,
+        offset: u64,
+        data: Vec<u8>,
+    ) -> Result<(), ClientError> {
+        // A write invalidates read-ahead speculation on the same file.
+        mount.streams.lock().remove(&fh.0);
+        let req = Nfs3Request::Write {
+            fh: fh.clone(),
+            offset,
+            stable: StableHow::Unstable,
+            data,
+        };
+        if self.pipeline_window() <= 1 {
+            return match self.call_nfs_unqueued(mount, uid, &req)? {
+                Nfs3Reply::Write { .. } => Ok(()),
+                Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
+                other => Err(ClientError::Protocol(format!("{other:?}"))),
+            };
+        }
+        let full = {
+            let mut queue = mount.wb_queue.lock();
+            queue.push((uid, req));
+            queue.len() >= self.pipeline_window()
+        };
+        if full {
+            self.flush_write_behind(mount)?;
+        }
+        Ok(())
+    }
+
+    /// The write-behind commit barrier: drains the queue and checks
+    /// every reply. When it returns `Ok`, every previously queued write
+    /// has executed on the server.
+    pub fn barrier(&self, mount: &Mount) -> Result<(), ClientError> {
+        if mount.wb_queue.lock().is_empty() {
+            return Ok(());
+        }
+        self.flush_write_behind(mount)
+    }
+
+    fn flush_write_behind(&self, mount: &Mount) -> Result<(), ClientError> {
+        loop {
+            let batch: Vec<(u32, Nfs3Request)> = std::mem::take(&mut *mount.wb_queue.lock());
+            if batch.is_empty() {
+                return Ok(());
+            }
+            // Issue runs of same-uid writes as windowed batches, so each
+            // window goes out under a single set of credentials.
+            let mut i = 0;
+            while i < batch.len() {
+                let uid = batch[i].0;
+                let mut j = i + 1;
+                while j < batch.len() && batch[j].0 == uid {
+                    j += 1;
+                }
+                let reqs: Vec<Nfs3Request> =
+                    batch[i..j].iter().map(|(_, req)| req.clone()).collect();
+                for reply in self.call_nfs_window_unqueued(mount, uid, &reqs)? {
+                    match reply {
+                        Nfs3Reply::Write { .. } => {}
+                        Nfs3Reply::Error { status, .. } => return Err(ClientError::Nfs(status)),
+                        other => return Err(ClientError::Protocol(format!("{other:?}"))),
+                    }
+                }
+                i = j;
+            }
         }
     }
 
@@ -1798,20 +2375,15 @@ impl SfsClient {
             Nfs3Reply::Error { status, .. } => return Err(ClientError::Nfs(status)),
             other => return Err(ClientError::Protocol(format!("{other:?}"))),
         };
-        match self.call_nfs(
-            &mount,
-            uid,
-            &Nfs3Request::Write {
-                fh,
-                offset: 0,
-                stable: StableHow::Unstable,
-                data: data.to_vec(),
-            },
-        )? {
-            Nfs3Reply::Write { .. } => Ok(()),
-            Nfs3Reply::Error { status, .. } => Err(ClientError::Nfs(status)),
-            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        // Stream the data out in write-behind chunks — up to a pipeline
+        // window of WRITEs rides the wire at once — then barrier: this
+        // is the close(), nothing is outstanding when it returns.
+        let mut offset = 0u64;
+        for chunk in data.chunks(STREAM_CHUNK) {
+            self.write_behind(&mount, uid, &fh, offset, chunk.to_vec())?;
+            offset += chunk.len() as u64;
         }
+        self.barrier(&mount)
     }
 
     /// Reads a whole file.
@@ -1820,24 +2392,12 @@ impl SfsClient {
         let mut out = Vec::with_capacity(attr.size as usize);
         let mut offset = 0u64;
         loop {
-            match self.call_nfs(
-                &mount,
-                uid,
-                &Nfs3Request::Read {
-                    fh: fh.clone(),
-                    offset,
-                    count: 32768,
-                },
-            )? {
-                Nfs3Reply::Read { data, eof, .. } => {
-                    offset += data.len() as u64;
-                    out.extend_from_slice(&data);
-                    if eof || data.is_empty() {
-                        return Ok(out);
-                    }
-                }
-                Nfs3Reply::Error { status, .. } => return Err(ClientError::Nfs(status)),
-                other => return Err(ClientError::Protocol(format!("{other:?}"))),
+            let (data, eof) = self.read(&mount, uid, &fh, offset, STREAM_CHUNK as u32)?;
+            offset += data.len() as u64;
+            let done = eof || data.is_empty();
+            out.extend_from_slice(&data);
+            if done {
+                return Ok(out);
             }
         }
     }

@@ -14,7 +14,7 @@
 //! generates its file handles by adding redundancy to NFS handles and
 //! encrypting them in CBC mode with a 20-byte Blowfish key" (§3.3).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -26,7 +26,7 @@ use sfs_crypto::srp::SrpServer;
 use sfs_crypto::SfsPrg;
 use sfs_nfs3::proto::{FileHandle, Nfs3Reply, Nfs3Request, Proc, Status};
 use sfs_nfs3::Nfs3Server;
-use sfs_proto::channel::SecureChannelEnd;
+use sfs_proto::channel::{FrameSequencer, SecureChannelEnd, SeqPush};
 use sfs_proto::keyneg::{server_process_client_keys, KeyNegServerReply};
 use sfs_proto::pathname::SelfCertifyingPath;
 use sfs_proto::readonly::RoDatabase;
@@ -43,8 +43,9 @@ use crate::bufpool::BufPool;
 use crate::config::DispatchTable;
 use crate::sealbox;
 use crate::wire::{
-    sealed_env_begin, sealed_env_finish, sealed_envelope_frame, CallMsg, Dialect, InnerCall,
-    InnerReply, ReplyMsg, Service, SEALED_ENV_FRAME_START,
+    sealed_env_begin, sealed_env_finish, sealed_envelope_frame, seq_call_envelope, seq_env_begin,
+    seq_env_finish, CallMsg, Dialect, InnerCall, InnerReply, ReplyMsg, Service,
+    SEALED_ENV_FRAME_START, SEALED_SEQ_ENV_FRAME_START,
 };
 
 /// Server configuration.
@@ -483,12 +484,28 @@ impl std::fmt::Debug for SfsServer {
     }
 }
 
+/// How many out-of-order pipelined frames the server will buffer ahead
+/// of a reorder gap before declaring the channel broken.
+const SEQ_BUF_CAPACITY: usize = 64;
+
+/// How many sealed pipelined replies are kept for byte-identical
+/// retransmission. A replay older than this cannot be answered (the
+/// ciphers have long moved on) and kills the session.
+const REPLY_CACHE_CAPACITY: usize = 256;
+
 struct Established {
     channel: SecureChannelEnd,
     session_id: [u8; 20],
     authnos: HashMap<u32, (String, Credentials)>,
     next_authno: u32,
     seqwin: SeqWindow,
+    /// Reorder buffer for pipelined frames that arrived ahead of a gap
+    /// in the channel sequence.
+    seq_buf: FrameSequencer,
+    /// Sealed replies keyed by the request's channel sequence number,
+    /// resent verbatim on retransmission (the send cipher must not
+    /// advance for a frame the client may already have).
+    reply_cache: BTreeMap<u64, Vec<u8>>,
 }
 
 enum ConnState {
@@ -575,10 +592,36 @@ impl ServerConn {
             Ok(p) => p,
             Err(e) => return ReplyMsg::Error(format!("channel failure: {e}")).to_xdr(),
         };
-        // Parse the inner call without copying the NFS3 argument bytes.
-        // Only the Nfs variant is hot; Auth/Mount fall back to the
-        // general dispatcher (the channel was already advanced above, so
-        // they must not re-open the frame).
+        let mut out = self.pool.get();
+        sealed_env_begin(&mut out);
+        if let Err(e) = self.service_plaintext_into(est, plaintext, &mut out) {
+            self.pool.put(fbuf);
+            self.pool.put(out);
+            return ReplyMsg::Error(e).to_xdr();
+        }
+        self.pool.put(fbuf);
+        match est.channel.seal_into(&mut out, SEALED_ENV_FRAME_START) {
+            Ok(()) => {
+                sealed_env_finish(&mut out);
+                out
+            }
+            Err(e) => ReplyMsg::Error(format!("channel failure: {e}")).to_xdr(),
+        }
+    }
+
+    /// Dispatches one opened plaintext call, appending the *plaintext*
+    /// inner-reply encoding to `out` (which already holds the caller's
+    /// envelope prefix; the caller seals afterwards). The hot NFS3 path
+    /// encodes its results straight into `out` without copying the
+    /// argument bytes; rare inner calls (Auth, Mount) fall back to the
+    /// general dispatcher. The channel was already advanced by the open,
+    /// so nothing here may re-open the frame.
+    fn service_plaintext_into(
+        &self,
+        est: &mut Established,
+        plaintext: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), String> {
         let mut dec = XdrDecoder::new(plaintext);
         let nfs = match dec.get_u32() {
             Ok(1) => {
@@ -595,19 +638,11 @@ impl ServerConn {
             _ => None,
         };
         let Some((authno, proc, args)) = nfs else {
-            let reply = match InnerCall::from_xdr(plaintext) {
-                Ok(call) => self.handle_inner(est, call),
-                Err(e) => {
-                    self.pool.put(fbuf);
-                    return ReplyMsg::Error(format!("bad inner call: {e}")).to_xdr();
-                }
-            };
-            let out = match est.channel.seal(&reply.to_xdr()) {
-                Ok(sealed) => ReplyMsg::Sealed(sealed).to_xdr(),
-                Err(e) => ReplyMsg::Error(format!("channel failure: {e}")).to_xdr(),
-            };
-            self.pool.put(fbuf);
-            return out;
+            let call =
+                InnerCall::from_xdr(plaintext).map_err(|e| format!("bad inner call: {e}"))?;
+            let reply = self.handle_inner(est, call);
+            out.extend_from_slice(&reply.to_xdr());
+            return Ok(());
         };
         let creds = if authno == AUTHNO_ANONYMOUS {
             Credentials::anonymous()
@@ -617,23 +652,19 @@ impl ServerConn {
                 None => Credentials::anonymous(),
             }
         };
-        // Build the reply envelope in one pooled buffer, encoding the
-        // `InnerReply::Nfs` plaintext directly into it: tag, an opaque
-        // results field (length word patched after encoding in place),
-        // then the piggybacked invalidations.
-        let mut out = self.pool.get();
-        sealed_env_begin(&mut out);
+        // Encode the `InnerReply::Nfs` plaintext directly into the reply
+        // envelope: tag, an opaque results field (length word patched
+        // after encoding in place), then the piggybacked invalidations.
         out.extend_from_slice(&2u32.to_be_bytes());
         let len_pos = out.len();
         out.extend_from_slice(&[0u8; 4]);
         let results_start = out.len();
-        let mut enc = XdrEncoder::from_vec(std::mem::take(&mut out));
+        let mut enc = XdrEncoder::from_vec(std::mem::take(out));
         self.dispatch_nfs_into(&creds, proc, args, &mut enc);
-        out = enc.into_bytes();
+        *out = enc.into_bytes();
         let results_len = out.len() - results_start;
         out[len_pos..len_pos + 4].copy_from_slice(&(results_len as u32).to_be_bytes());
         out.extend_from_slice(&[0u8; 3][..(4 - results_len % 4) % 4]);
-        self.pool.put(fbuf);
         let pending: Vec<FileHandle> = self
             .pending
             .lock()
@@ -642,19 +673,110 @@ impl ServerConn {
             .collect();
         out.extend_from_slice(&(pending.len() as u32).to_be_bytes());
         if !pending.is_empty() {
-            let mut enc = XdrEncoder::from_vec(std::mem::take(&mut out));
+            let mut enc = XdrEncoder::from_vec(std::mem::take(out));
             for fh in &pending {
                 fh.encode(&mut enc);
             }
-            out = enc.into_bytes();
+            *out = enc.into_bytes();
         }
-        match est.channel.seal_into(&mut out, SEALED_ENV_FRAME_START) {
+        Ok(())
+    }
+
+    /// The windowed entry point used by the pipelined wire: one incoming
+    /// frame may produce zero replies (buffered ahead of a reorder gap),
+    /// one, or several (a frame that fills a gap releases every buffered
+    /// successor at once). Non-sequenced messages take the blocking path
+    /// and always produce exactly one reply.
+    pub fn handle_frames(&self, bytes: &[u8]) -> Vec<Vec<u8>> {
+        match seq_call_envelope(bytes) {
+            Some((chanseq, xid, frame)) => self.handle_seq_frame(chanseq, xid, &bytes[frame]),
+            None => vec![self.handle_bytes(bytes)],
+        }
+    }
+
+    /// Services one sequenced pipelined frame. Frames are decrypted
+    /// strictly in channel-sequence order regardless of arrival order:
+    /// early frames buffer, retransmissions of already-consumed frames
+    /// are answered from the reply cache byte-for-byte (neither cipher
+    /// advances), and anything past the reorder window kills the
+    /// session.
+    fn handle_seq_frame(&self, chanseq: u64, xid: u32, frame: &[u8]) -> Vec<Vec<u8>> {
+        let tel = self.server.tel.lock().clone();
+        let _span = tel.span("server", "core.server", "sealed_seq");
+        tel.count("server", "dispatch.calls", 1);
+        if self.server.current_epoch() != self.epoch {
+            tel.count("server", "stale_conns.rejected", 1);
+            return vec![ReplyMsg::Error("connection reset: server restarted".into()).to_xdr()];
+        }
+        let mut state = self.state.lock();
+        let ConnState::Established(est) = &mut *state else {
+            return vec![ReplyMsg::Error("no secure channel".into()).to_xdr()];
+        };
+        let expected = est.channel.messages_received();
+        match est.seq_buf.push(chanseq, xid, frame.to_vec(), expected) {
+            SeqPush::Duplicate if chanseq >= expected => {
+                // Double delivery of a still-buffered frame; the copy
+                // already queued answers once the gap fills.
+                Vec::new()
+            }
+            SeqPush::Duplicate => {
+                tel.count("server", "pipeline.retransmits", 1);
+                match est.reply_cache.get(&chanseq) {
+                    Some(cached) => vec![cached.clone()],
+                    None => vec![
+                        ReplyMsg::Error("channel failure: replay beyond cache".into()).to_xdr(),
+                    ],
+                }
+            }
+            SeqPush::Overflow => {
+                vec![ReplyMsg::Error("channel failure: pipeline window overflow".into()).to_xdr()]
+            }
+            SeqPush::Buffered => {
+                let mut replies = Vec::new();
+                while let Some((xid, frame)) = est.seq_buf.take(est.channel.messages_received()) {
+                    replies.push(self.serve_seq_frame(est, xid, &frame));
+                }
+                tel.gauge_set("server", "pipeline.queue_depth", est.seq_buf.len() as u64);
+                replies
+            }
+        }
+    }
+
+    /// Opens one in-order sequenced frame, dispatches it, and seals the
+    /// sequenced reply, caching it under the request's channel sequence
+    /// number for byte-identical retransmission.
+    fn serve_seq_frame(&self, est: &mut Established, xid: u32, frame: &[u8]) -> Vec<u8> {
+        let req_seq = est.channel.messages_received();
+        let mut fbuf = self.pool.get();
+        fbuf.extend_from_slice(frame);
+        let plaintext = match est.channel.open_in_place(&mut fbuf) {
+            Ok(p) => p,
+            Err(e) => {
+                self.pool.put(fbuf);
+                return ReplyMsg::Error(format!("channel failure: {e}")).to_xdr();
+            }
+        };
+        let mut out = self.pool.get();
+        seq_env_begin(&mut out, false, est.channel.messages_sent(), xid);
+        if let Err(e) = self.service_plaintext_into(est, plaintext, &mut out) {
+            self.pool.put(fbuf);
+            self.pool.put(out);
+            return ReplyMsg::Error(e).to_xdr();
+        }
+        self.pool.put(fbuf);
+        let bytes = match est.channel.seal_into(&mut out, SEALED_SEQ_ENV_FRAME_START) {
             Ok(()) => {
-                sealed_env_finish(&mut out);
+                seq_env_finish(&mut out);
                 out
             }
             Err(e) => ReplyMsg::Error(format!("channel failure: {e}")).to_xdr(),
+        };
+        est.reply_cache.insert(req_seq, bytes.clone());
+        while est.reply_cache.len() > REPLY_CACHE_CAPACITY {
+            let oldest = *est.reply_cache.keys().next().expect("cache non-empty");
+            est.reply_cache.remove(&oldest);
         }
+        bytes
     }
 
     /// Processes one decoded wire message.
@@ -668,6 +790,7 @@ impl ServerConn {
             CallMsg::RoGetBlock(_) => "ro_get_block",
             CallMsg::SrpStart { .. } => "srp_start",
             CallMsg::SrpFinish { .. } => "srp_finish",
+            CallMsg::SealedSeq { .. } => "sealed_seq",
         };
         let _span = tel.span("server", "core.server", name);
         tel.count("server", "dispatch.calls", 1);
@@ -740,6 +863,8 @@ impl ServerConn {
                             authnos: HashMap::new(),
                             next_authno: 1,
                             seqwin: SeqWindow::new(32),
+                            seq_buf: FrameSequencer::new(SEQ_BUF_CAPACITY),
+                            reply_cache: BTreeMap::new(),
                         };
                         *state = ConnState::Established(Box::new(est));
                         ReplyMsg::ServerKeys(msg4)
@@ -832,6 +957,13 @@ impl ServerConn {
                     }
                     Err(e) => ReplyMsg::Error(format!("SRP failed: {e}")),
                 }
+            }
+            // Sequenced frames only make sense through the windowed
+            // entry point (`handle_frames`), which may release several
+            // buffered frames at once; a lone one here is a protocol
+            // error.
+            CallMsg::SealedSeq { .. } => {
+                ReplyMsg::Error("pipelined frame outside windowed path".into())
             }
         }
     }

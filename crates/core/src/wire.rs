@@ -78,6 +78,88 @@ pub fn sealed_envelope_frame(bytes: &[u8]) -> Option<std::ops::Range<usize>> {
     Some(SEALED_ENV_FRAME_START..end)
 }
 
+/// Offset of the secure-channel frame inside a *sequenced* sealed
+/// envelope ([`CallMsg::SealedSeq`]/[`ReplyMsg::SealedSeq`]).
+///
+/// Those marshal as `discriminant(4) ‖ chanseq(8) ‖ xid(4) ‖
+/// opaque-length(4) ‖ frame ‖ zero pad to 4`, so the frame always starts
+/// at byte 20. The cleartext `chanseq`/`xid` header is what lets the
+/// pipelined path reorder envelopes on the wire while the secure
+/// channel's position-sensitive cipher stream is still applied strictly
+/// in `chanseq` order (see `sfs_proto::channel::FrameSequencer`).
+pub const SEALED_SEQ_ENV_FRAME_START: usize = 20;
+
+/// Sequenced sealed-message discriminant for calls.
+const SEALED_SEQ_CALL_DISCRIMINANT: u32 = 7;
+
+/// Sequenced sealed-message discriminant for replies.
+const SEALED_SEQ_REPLY_DISCRIMINANT: u32 = 8;
+
+/// Starts a sequenced sealed envelope in `buf` (call direction when
+/// `call` is true): discriminant, channel sequence, xid, a length word
+/// patched by [`seq_env_finish`], and the reserved secure-channel frame
+/// header. The caller appends plaintext, calls
+/// `SecureChannelEnd::seal_into(buf, SEALED_SEQ_ENV_FRAME_START)`, then
+/// [`seq_env_finish`]. The result is byte-identical to
+/// `CallMsg::SealedSeq{..}.to_xdr()` (or the `ReplyMsg` equivalent).
+pub fn seq_env_begin(buf: &mut Vec<u8>, call: bool, chanseq: u64, xid: u32) {
+    buf.clear();
+    let disc = if call {
+        SEALED_SEQ_CALL_DISCRIMINANT
+    } else {
+        SEALED_SEQ_REPLY_DISCRIMINANT
+    };
+    buf.extend_from_slice(&disc.to_be_bytes());
+    buf.extend_from_slice(&chanseq.to_be_bytes());
+    buf.extend_from_slice(&xid.to_be_bytes());
+    buf.extend_from_slice(&[0u8; 4]);
+    buf.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
+}
+
+/// Completes a sequenced sealed envelope after `seal_into`: patches the
+/// opaque length word and appends the XDR zero pad.
+pub fn seq_env_finish(buf: &mut Vec<u8>) {
+    let frame_len = buf.len() - SEALED_SEQ_ENV_FRAME_START;
+    buf[16..SEALED_SEQ_ENV_FRAME_START].copy_from_slice(&(frame_len as u32).to_be_bytes());
+    let pad = (4 - frame_len % 4) % 4;
+    buf.extend_from_slice(&[0u8; 3][..pad]);
+}
+
+fn seq_envelope(bytes: &[u8], disc: u32) -> Option<(u64, u32, std::ops::Range<usize>)> {
+    if bytes.len() < SEALED_SEQ_ENV_FRAME_START || bytes[..4] != disc.to_be_bytes() {
+        return None;
+    }
+    let chanseq = u64::from_be_bytes(bytes[4..12].try_into().expect("8 bytes"));
+    let xid = u32::from_be_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    let len = u32::from_be_bytes(
+        bytes[16..SEALED_SEQ_ENV_FRAME_START]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    if len > MAX_VAR_LEN {
+        return None;
+    }
+    let len = len as usize;
+    let end = SEALED_SEQ_ENV_FRAME_START.checked_add(len)?;
+    let pad = (4 - len % 4) % 4;
+    if bytes.len() != end.checked_add(pad)? || bytes[end..].iter().any(|&b| b != 0) {
+        return None;
+    }
+    Some((chanseq, xid, SEALED_SEQ_ENV_FRAME_START..end))
+}
+
+/// If `bytes` is exactly a well-formed [`CallMsg::SealedSeq`] envelope,
+/// returns `(chanseq, xid, frame range)`; otherwise `None` and the
+/// caller falls back to the general decoder.
+pub fn seq_call_envelope(bytes: &[u8]) -> Option<(u64, u32, std::ops::Range<usize>)> {
+    seq_envelope(bytes, SEALED_SEQ_CALL_DISCRIMINANT)
+}
+
+/// [`seq_call_envelope`] for [`ReplyMsg::SealedSeq`] envelopes.
+pub fn seq_reply_envelope(bytes: &[u8]) -> Option<(u64, u32, std::ops::Range<usize>)> {
+    seq_envelope(bytes, SEALED_SEQ_REPLY_DISCRIMINANT)
+}
+
 /// Service selectors in the hello message ("the service it requests
 /// (currently fileserver or authserver)").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +218,19 @@ pub enum CallMsg {
         /// Evidence message.
         m1: Vec<u8>,
     },
+    /// A sealed secure-channel frame carried by the pipelined (windowed)
+    /// path. `chanseq` is the frame's position in the per-direction
+    /// cipher stream (the channel's messages-sent count at seal time) so
+    /// the receiver can restore stream order before decrypting; `xid`
+    /// matches the reply to its in-flight call.
+    SealedSeq {
+        /// Cipher-stream position of this frame (client→server).
+        chanseq: u64,
+        /// Client-chosen transaction id.
+        xid: u32,
+        /// The sealed frame.
+        frame: Vec<u8>,
+    },
 }
 
 /// A server→client message.
@@ -175,6 +270,17 @@ pub enum ReplyMsg {
     /// Protocol-level failure (unknown service, bad state, missing
     /// block).
     Error(String),
+    /// A sealed secure-channel frame on the pipelined path; see
+    /// [`CallMsg::SealedSeq`]. `chanseq` is the server→client stream
+    /// position, `xid` echoes the call being answered.
+    SealedSeq {
+        /// Cipher-stream position of this frame (server→client).
+        chanseq: u64,
+        /// Echoed transaction id.
+        xid: u32,
+        /// The sealed frame.
+        frame: Vec<u8>,
+    },
 }
 
 /// The plaintext of a sealed client frame.
@@ -273,6 +379,13 @@ impl CallMsg {
                 format!("SRP-START user={user} A={}B", a_pub.len())
             }
             CallMsg::SrpFinish { .. } => "SRP-FINISH".into(),
+            CallMsg::SealedSeq {
+                chanseq,
+                xid,
+                frame,
+            } => {
+                format!("SEALED-SEQ seq={chanseq} xid={xid} [{} bytes]", frame.len())
+            }
         }
     }
 }
@@ -294,6 +407,13 @@ impl ReplyMsg {
             ReplyMsg::SrpChallenge { cost, .. } => format!("SRP-CHALLENGE cost={cost}"),
             ReplyMsg::SrpDone { .. } => "SRP-DONE".into(),
             ReplyMsg::Error(e) => format!("ERROR {e:?}"),
+            ReplyMsg::SealedSeq {
+                chanseq,
+                xid,
+                frame,
+            } => {
+                format!("SEALED-SEQ seq={chanseq} xid={xid} [{} bytes]", frame.len())
+            }
         }
     }
 }
@@ -369,6 +489,16 @@ impl Xdr for CallMsg {
                 enc.put_u32(6);
                 enc.put_opaque(m1);
             }
+            CallMsg::SealedSeq {
+                chanseq,
+                xid,
+                frame,
+            } => {
+                enc.put_u32(SEALED_SEQ_CALL_DISCRIMINANT);
+                enc.put_u64(*chanseq);
+                enc.put_u32(*xid);
+                enc.put_opaque(frame);
+            }
         }
     }
 
@@ -395,6 +525,11 @@ impl Xdr for CallMsg {
             }),
             6 => Ok(CallMsg::SrpFinish {
                 m1: dec.get_opaque()?,
+            }),
+            SEALED_SEQ_CALL_DISCRIMINANT => Ok(CallMsg::SealedSeq {
+                chanseq: dec.get_u64()?,
+                xid: dec.get_u32()?,
+                frame: dec.get_opaque()?,
             }),
             other => Err(XdrError::BadDiscriminant(other)),
         }
@@ -445,6 +580,16 @@ impl Xdr for ReplyMsg {
                 enc.put_opaque(m2);
                 enc.put_opaque(sealed_payload);
             }
+            ReplyMsg::SealedSeq {
+                chanseq,
+                xid,
+                frame,
+            } => {
+                enc.put_u32(SEALED_SEQ_REPLY_DISCRIMINANT);
+                enc.put_u64(*chanseq);
+                enc.put_u32(*xid);
+                enc.put_opaque(frame);
+            }
         }
     }
 
@@ -465,6 +610,11 @@ impl Xdr for ReplyMsg {
             7 => Ok(ReplyMsg::SrpDone {
                 m2: dec.get_opaque()?,
                 sealed_payload: dec.get_opaque()?,
+            }),
+            SEALED_SEQ_REPLY_DISCRIMINANT => Ok(ReplyMsg::SealedSeq {
+                chanseq: dec.get_u64()?,
+                xid: dec.get_u32()?,
+                frame: dec.get_opaque()?,
             }),
             other => Err(XdrError::BadDiscriminant(other)),
         }
@@ -725,6 +875,104 @@ mod tests {
         let mut huge = good.clone();
         huge[4..8].copy_from_slice(&(MAX_VAR_LEN + 1).to_be_bytes());
         assert_eq!(sealed_envelope_frame(&huge), None);
+    }
+
+    #[test]
+    fn seq_msgs_roundtrip() {
+        let c = CallMsg::SealedSeq {
+            chanseq: 0x1_0000_0007,
+            xid: 42,
+            frame: vec![9; 33],
+        };
+        assert_eq!(CallMsg::from_xdr(&c.to_xdr()).unwrap(), c);
+        let r = ReplyMsg::SealedSeq {
+            chanseq: 3,
+            xid: 42,
+            frame: vec![5; 8],
+        };
+        assert_eq!(ReplyMsg::from_xdr(&r.to_xdr()).unwrap(), r);
+        assert!(c.describe().contains("xid=42"));
+        assert!(r.describe().contains("seq=3"));
+    }
+
+    #[test]
+    fn seq_envelope_helpers_match_the_general_encoder() {
+        for n in [0usize, 1, 3, 24, 4096] {
+            let frame: Vec<u8> = (0..n + FRAME_HEADER_LEN)
+                .map(|i| (i * 7 + 3) as u8)
+                .collect();
+            for call in [true, false] {
+                let mut buf = Vec::new();
+                seq_env_begin(&mut buf, call, 0xdead_beef_0012_3456, 77);
+                assert_eq!(buf.len(), SEALED_SEQ_ENV_FRAME_START + FRAME_HEADER_LEN);
+                // Stand in for `seal_into`: place the finished frame bytes.
+                buf.truncate(SEALED_SEQ_ENV_FRAME_START);
+                buf.extend_from_slice(&frame);
+                seq_env_finish(&mut buf);
+                let expect = if call {
+                    CallMsg::SealedSeq {
+                        chanseq: 0xdead_beef_0012_3456,
+                        xid: 77,
+                        frame: frame.clone(),
+                    }
+                    .to_xdr()
+                } else {
+                    ReplyMsg::SealedSeq {
+                        chanseq: 0xdead_beef_0012_3456,
+                        xid: 77,
+                        frame: frame.clone(),
+                    }
+                    .to_xdr()
+                };
+                assert_eq!(buf, expect);
+                let parse = if call {
+                    seq_call_envelope(&buf)
+                } else {
+                    seq_reply_envelope(&buf)
+                };
+                assert_eq!(
+                    parse,
+                    Some((
+                        0xdead_beef_0012_3456,
+                        77,
+                        SEALED_SEQ_ENV_FRAME_START..SEALED_SEQ_ENV_FRAME_START + frame.len()
+                    ))
+                );
+                // Direction confusion is rejected.
+                let cross = if call {
+                    seq_reply_envelope(&buf)
+                } else {
+                    seq_call_envelope(&buf)
+                };
+                assert_eq!(cross, None);
+            }
+        }
+    }
+
+    #[test]
+    fn seq_envelope_parse_rejects_what_from_xdr_would_reject() {
+        let good = CallMsg::SealedSeq {
+            chanseq: 9,
+            xid: 1,
+            frame: vec![7u8; 26],
+        }
+        .to_xdr();
+        assert!(seq_call_envelope(&good).is_some());
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(seq_call_envelope(&trailing), None);
+
+        let mut bad_pad = good.clone();
+        *bad_pad.last_mut().unwrap() = 1;
+        assert_eq!(seq_call_envelope(&bad_pad), None);
+        assert!(CallMsg::from_xdr(&bad_pad).is_err());
+
+        assert_eq!(seq_call_envelope(&good[..10]), None);
+
+        let mut huge = good.clone();
+        huge[16..20].copy_from_slice(&(MAX_VAR_LEN + 1).to_be_bytes());
+        assert_eq!(seq_call_envelope(&huge), None);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use std::sync::Arc;
 use std::sync::OnceLock;
 
 use sfs::authserver::{AuthServer, UserRecord};
-use sfs::client::{Mount, SfsClient, SfsNetwork};
+use sfs::client::{Mount, SfsClient, SfsNetwork, DEFAULT_PIPELINE_WINDOW};
 use sfs::journal::ClientJournal;
 use sfs::server::{ServerConfig, SfsServer};
 use sfs_bignum::{RandomSource, XorShiftSource};
@@ -138,9 +138,27 @@ struct Harness {
     violations: Vec<String>,
     /// Whether rule 4 applies (no wire faults that can eat a reply).
     guaranteed_delivery: bool,
+    /// Pipeline window applied to every client incarnation.
+    window: usize,
 }
 
 fn build_harness(spec: &str, n_clients: usize, guaranteed_delivery: bool) -> Harness {
+    build_harness_windowed(
+        spec,
+        n_clients,
+        guaranteed_delivery,
+        DEFAULT_PIPELINE_WINDOW,
+    )
+}
+
+/// [`build_harness`] with an explicit pipeline window applied to every
+/// client incarnation, crash-reborn ones included.
+fn build_harness_windowed(
+    spec: &str,
+    n_clients: usize,
+    guaranteed_delivery: bool,
+    window: usize,
+) -> Harness {
     let plan = FaultPlan::from_spec(spec).unwrap();
     let clock = SimClock::new();
     let vfs = Vfs::new(7, clock.clone());
@@ -189,6 +207,7 @@ fn build_harness(spec: &str, n_clients: usize, guaranteed_delivery: bool) -> Har
             format!("coh-client-{i}-epoch-0").as_bytes(),
             client_ephemeral(),
         );
+        client.set_pipeline_window(window);
         client.attach_journal(journal.clone());
         client.install_agent_key(ALICE_UID, user_key());
         let mount = client.mount(ALICE_UID, &path).unwrap();
@@ -229,6 +248,7 @@ fn build_harness(spec: &str, n_clients: usize, guaranteed_delivery: bool) -> Har
         crashes_done: 0,
         violations: Vec::new(),
         guaranteed_delivery,
+        window,
     }
 }
 
@@ -246,6 +266,7 @@ impl Harness {
                 format!("coh-client-{victim}-epoch-{}", self.crashes_done).as_bytes(),
                 client_ephemeral(),
             );
+            reborn.set_pipeline_window(self.window);
             reborn.attach_journal(self.journals[victim].clone());
             let report = reborn.recover(ALICE_UID).unwrap();
             assert_eq!(
@@ -449,6 +470,16 @@ fn run_spec(spec: &str, seed: u64, n_clients: usize, guaranteed: bool) -> RunOut
     build_harness(spec, n_clients, guaranteed).run(seed)
 }
 
+fn run_spec_windowed(
+    spec: &str,
+    seed: u64,
+    n_clients: usize,
+    guaranteed: bool,
+    window: usize,
+) -> RunOutcome {
+    build_harness_windowed(spec, n_clients, guaranteed, window).run(seed)
+}
+
 /// ≥20 seeded plans mixing every fault kind the simulator knows,
 /// including simultaneous client+server crashes. `(spec, n_clients)`.
 const COHERENCE_SPECS: &[(&str, usize)] = &[
@@ -642,4 +673,55 @@ fn oracle_detects_deliberately_injected_stale_read() {
     let (fresh_size, violations) = script(false);
     assert_eq!(fresh_size, 1, "with callbacks applied the read is fresh");
     assert!(violations.is_empty(), "{violations:#?}");
+}
+
+#[test]
+fn coherence_oracle_holds_at_every_pipeline_window() {
+    // The oracle's rules are window-agnostic: whether a client keeps one
+    // or sixteen calls in flight, committed sizes stay monotone and
+    // lease-bounded. Swept at the blocking depth and beyond the default,
+    // over plans that stress reordering (the pipeline's worst enemy) and
+    // client crashes (reborn incarnations inherit the window).
+    for window in [1usize, DEFAULT_PIPELINE_WINDOW, 16] {
+        for (spec, n) in [
+            ("seed=403,reorder=25", 2usize),
+            ("seed=413,drop=10,reorder=15,delay=80,delay_ns=1ms", 4),
+            ("seed=411,drop=15,dup=10,ccrash=900ms", 3),
+        ] {
+            let a = run_spec_windowed(spec, 0x5EED, n, false, window);
+            assert!(
+                a.violations.is_empty(),
+                "coherence violated under {spec:?} at window {window}: {:#?}",
+                a.violations
+            );
+            let b = run_spec_windowed(spec, 0x5EED, n, false, window);
+            assert_eq!(
+                a, b,
+                "windowed coherence run diverged across reruns of {spec:?} \
+                 at window {window}"
+            );
+        }
+    }
+}
+
+#[test]
+fn windowed_streams_are_coherent_across_clients() {
+    // Client 0 streams a multi-chunk file through the write-behind queue
+    // (flushed by the close barrier); client 1 read-ahead-streams it
+    // back. The bytes must survive the faulty wire and the handoff
+    // between two independently-mounted clients.
+    let h = build_harness_windowed(
+        "seed=452,reorder=20,dup=10",
+        2,
+        false,
+        DEFAULT_PIPELINE_WINDOW,
+    );
+    let p = format!("{}/public/stream", h.path.full_path());
+    let data: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+    h.clients[0].write_file(ALICE_UID, &p, &data).unwrap();
+    assert_eq!(
+        h.clients[1].read_file(ALICE_UID, &p).unwrap(),
+        data,
+        "cross-client stream lost or reordered bytes"
+    );
 }

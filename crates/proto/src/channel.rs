@@ -235,6 +235,81 @@ impl std::fmt::Debug for SecureChannelEnd {
     }
 }
 
+/// Result of [`FrameSequencer::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqPush {
+    /// The frame was buffered (or is already openable if it completes the
+    /// head of the sequence — drain with [`FrameSequencer::take`]).
+    Buffered,
+    /// A frame for this stream position is already buffered, or the
+    /// position was already consumed; the duplicate was discarded.
+    Duplicate,
+    /// The frame is too far ahead of the next expected position for the
+    /// sequencer's capacity; the caller should treat the channel as
+    /// failed (a well-behaved peer never runs this far ahead).
+    Overflow,
+}
+
+/// Reorders sealed frames back into cipher-stream order.
+///
+/// The secure channel's ARC4 streams are position-sensitive: frames MUST
+/// be decrypted in exactly the order they were sealed. The pipelined RPC
+/// path carries each frame's stream position (`chanseq`) in cleartext,
+/// and a `FrameSequencer` on the receiving side buffers whatever arrives
+/// out of order until the gap fills. Duplicates (retransmissions of
+/// frames already received) are detected here, *before* they can touch
+/// the cipher and poison it.
+#[derive(Debug, Default)]
+pub struct FrameSequencer {
+    /// Buffered frames keyed by stream position. BTreeMap so draining is
+    /// deterministic and in order.
+    slots: std::collections::BTreeMap<u64, (u32, Vec<u8>)>,
+    capacity: usize,
+}
+
+impl FrameSequencer {
+    /// A sequencer buffering at most `capacity` out-of-order frames.
+    pub fn new(capacity: usize) -> Self {
+        FrameSequencer {
+            slots: std::collections::BTreeMap::new(),
+            capacity,
+        }
+    }
+
+    /// Offers a frame at stream position `chanseq` with request tag
+    /// `xid`, where `expected` is the next position the channel will
+    /// decrypt (its messages-received count). First frame wins on a
+    /// position collision — retransmitted frames are byte-identical, so
+    /// which copy survives never matters.
+    pub fn push(&mut self, chanseq: u64, xid: u32, frame: Vec<u8>, expected: u64) -> SeqPush {
+        if chanseq < expected || self.slots.contains_key(&chanseq) {
+            return SeqPush::Duplicate;
+        }
+        if chanseq >= expected + self.capacity as u64 {
+            return SeqPush::Overflow;
+        }
+        self.slots.insert(chanseq, (xid, frame));
+        SeqPush::Buffered
+    }
+
+    /// Removes and returns the frame at position `chanseq`, if buffered.
+    /// Callers take positions in channel order (`expected`, `expected+1`,
+    /// …) and stop at the first gap.
+    pub fn take(&mut self, chanseq: u64) -> Option<(u32, Vec<u8>)> {
+        self.slots.remove(&chanseq)
+    }
+
+    /// Number of frames currently buffered.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no frames are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,6 +547,40 @@ mod tests {
         c.seal_into(&mut f2, 0).unwrap();
         assert_eq!(s.open(&f1).unwrap(), b"first");
         assert_eq!(s.open_in_place(&mut f2).unwrap(), b"second");
+    }
+
+    #[test]
+    fn sequencer_reorders_and_rejects_duplicates() {
+        let mut seq = FrameSequencer::new(8);
+        assert!(seq.is_empty());
+        // Frames 1 and 2 arrive before frame 0.
+        assert_eq!(seq.push(1, 11, vec![1], 0), SeqPush::Buffered);
+        assert_eq!(seq.push(2, 12, vec![2], 0), SeqPush::Buffered);
+        assert_eq!(seq.len(), 2);
+        // No head yet: position 0 is missing.
+        assert_eq!(seq.take(0), None);
+        assert_eq!(seq.push(0, 10, vec![0], 0), SeqPush::Buffered);
+        // Drain strictly in order.
+        assert_eq!(seq.take(0), Some((10, vec![0])));
+        assert_eq!(seq.take(1), Some((11, vec![1])));
+        assert_eq!(seq.take(2), Some((12, vec![2])));
+        assert!(seq.is_empty());
+        // A retransmit of an already-consumed position is a duplicate.
+        assert_eq!(seq.push(1, 11, vec![1], 3), SeqPush::Duplicate);
+        // A collision with a buffered frame keeps the first copy.
+        assert_eq!(seq.push(5, 15, vec![5], 3), SeqPush::Buffered);
+        assert_eq!(seq.push(5, 99, vec![99], 3), SeqPush::Duplicate);
+        assert_eq!(seq.take(5), Some((15, vec![5])));
+    }
+
+    #[test]
+    fn sequencer_overflow_past_capacity() {
+        let mut seq = FrameSequencer::new(4);
+        assert_eq!(seq.push(3, 0, vec![], 0), SeqPush::Buffered);
+        assert_eq!(seq.push(4, 0, vec![], 0), SeqPush::Overflow);
+        assert_eq!(seq.push(100, 0, vec![], 0), SeqPush::Overflow);
+        // Window slides with `expected`.
+        assert_eq!(seq.push(4, 0, vec![], 1), SeqPush::Buffered);
     }
 
     #[test]

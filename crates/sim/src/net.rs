@@ -18,7 +18,7 @@ use sfs_telemetry::sync::Mutex;
 use sfs_telemetry::Telemetry;
 
 use crate::fault::{FaultPlan, NetAction};
-use crate::time::SimClock;
+use crate::time::{SimClock, SimTime};
 
 /// Packet direction relative to the client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,6 +150,28 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// What the observation/adversary pipeline decided about one packet.
+enum Fate {
+    /// Deliver these (possibly tampered) bytes.
+    Deliver(Vec<u8>),
+    /// Deliver the bytes, and a second copy of them.
+    Duplicate(Vec<u8>),
+    /// Deliver the bytes after an extra delay.
+    Delay(u64, Vec<u8>),
+    /// The packet never arrives.
+    Drop,
+}
+
+/// A reply frame delivered by [`Wire::exchange`], stamped with its
+/// logical arrival time at the client.
+#[derive(Debug, Clone)]
+pub struct ExchangeReply {
+    /// The reply frame as it came off the wire.
+    pub bytes: Vec<u8>,
+    /// When the frame reached the client on the exchange's timeline.
+    pub arrival: SimTime,
+}
+
 /// A synchronous request/response wire between a client and a server.
 ///
 /// The server side is a closure; layering (secure channel, RPC dispatch,
@@ -241,6 +263,49 @@ impl Wire {
         WireError::Timeout
     }
 
+    /// Waits out one retransmission timeout. The pipelined client calls
+    /// this when a window exchange comes back with requests unanswered —
+    /// the windowed equivalent of a lost blocking [`Wire::call`].
+    pub fn timeout_wait(&self) {
+        let _ = self.lost();
+    }
+
+    /// Runs one packet through the observation/adversary pipeline —
+    /// accounting, packet log, interceptor, fault plan — and reports its
+    /// fate. Shared by the blocking path (which charges the clock around
+    /// it) and the pipelined path (which applies fates to its logical
+    /// per-frame timeline instead); neither the clock nor timeout
+    /// accounting is touched here.
+    fn route(&self, dir: Direction, bytes: Vec<u8>) -> Fate {
+        self.bump("net.bytes_sent", bytes.len() as u64);
+        if let Some(log) = &self.log {
+            log.record(dir, &bytes);
+        }
+        let bytes = match &self.interceptor {
+            None => bytes,
+            Some(i) => match i.lock().intercept(dir, &bytes) {
+                Verdict::Deliver => bytes,
+                Verdict::Replace(other) => other,
+                Verdict::Drop => return Fate::Drop,
+            },
+        };
+        match &self.fault {
+            None => Fate::Deliver(bytes),
+            Some(plan) => match plan.net_action(dir, self.clock.now(), bytes) {
+                NetAction::Deliver(b) => Fate::Deliver(b),
+                NetAction::Duplicate(b) => {
+                    self.bump("net.duplicates", 1);
+                    Fate::Duplicate(b)
+                }
+                NetAction::Delay(ns, b) => {
+                    self.bump("net.delays", 1);
+                    Fate::Delay(ns, b)
+                }
+                NetAction::Drop => Fate::Drop,
+            },
+        }
+    }
+
     /// Moves one packet across the link. On success returns the delivered
     /// bytes plus whether the fault plan duplicated the packet (the
     /// receiver must then process it twice).
@@ -254,34 +319,133 @@ impl Wire {
             .span("wire", "sim.net", name)
             .with_attr("bytes", bytes.len() as u64);
         self.clock.advance_ns(self.params.transit_ns(bytes.len()));
-        self.bump("net.bytes_sent", bytes.len() as u64);
-        if let Some(log) = &self.log {
-            log.record(dir, &bytes);
+        match self.route(dir, bytes) {
+            Fate::Deliver(b) => Ok((b, false)),
+            Fate::Duplicate(b) => Ok((b, true)),
+            Fate::Delay(ns, b) => {
+                self.clock.advance_ns(ns);
+                Ok((b, false))
+            }
+            Fate::Drop => Err(self.lost()),
         }
-        let bytes = match &self.interceptor {
-            None => bytes,
-            Some(i) => match i.lock().intercept(dir, &bytes) {
-                Verdict::Deliver => bytes,
-                Verdict::Replace(other) => other,
-                Verdict::Drop => return Err(self.lost()),
-            },
-        };
-        match &self.fault {
-            None => Ok((bytes, false)),
-            Some(plan) => match plan.net_action(dir, self.clock.now(), bytes) {
-                NetAction::Deliver(b) => Ok((b, false)),
-                NetAction::Duplicate(b) => {
-                    self.bump("net.duplicates", 1);
-                    Ok((b, true))
-                }
-                NetAction::Delay(ns, b) => {
-                    self.clock.advance_ns(ns);
-                    self.bump("net.delays", 1);
-                    Ok((b, false))
-                }
-                NetAction::Drop => Err(self.lost()),
-            },
+    }
+
+    /// Serialization time for a message of `len` bytes: the portion of
+    /// [`NetParams::transit_ns`] that occupies the sender's link (the
+    /// remaining `latency_ns` is propagation, which pipelines).
+    fn ser_ns(&self, len: usize) -> u64 {
+        self.params.per_message_ns
+            + (len as u64 * 1_000_000_000) / self.params.bandwidth_bps
+            + len as u64 * self.params.per_byte_extra_ns
+    }
+
+    /// Sends a whole window of frames and collects every reply the
+    /// adversary lets through — the pipelined counterpart of
+    /// [`Wire::call`].
+    ///
+    /// Unlike `call`, nothing here blocks the shared clock per frame.
+    /// The exchange is computed on a logical timeline instead: each
+    /// request frame departs at its `sent` stamp (or when the
+    /// client→server link frees up, if later), occupies that link for
+    /// its serialization time, then propagates; the server services
+    /// arrivals in arrival order, one at a time — each invocation is
+    /// charged `extra_ns` returned by the closure (analytic CPU cost)
+    /// plus whatever virtual time the closure itself consumed (disk
+    /// I/O); reply frames queue on the server→client link the same way.
+    /// The shared clock finally jumps to the last reply's arrival, which
+    /// is where the caller resumes — so transmission, server CPU, and
+    /// disk genuinely overlap in virtual time.
+    ///
+    /// Fault interaction per frame: dropped frames (either direction)
+    /// simply never arrive — the caller notices unanswered requests and
+    /// retransmits after [`Wire::timeout_wait`]. Duplicated requests are
+    /// serviced twice; duplicated replies are delivered twice; delays
+    /// push a frame's arrival without holding the link.
+    pub fn exchange(
+        &self,
+        frames: Vec<(SimTime, Vec<u8>)>,
+        mut server: impl FnMut(&[u8]) -> (Vec<Vec<u8>>, u64),
+    ) -> Vec<ExchangeReply> {
+        if frames.is_empty() {
+            return Vec::new();
         }
+        let _span = self
+            .tel
+            .span("wire", "sim.net", "exchange")
+            .with_attr("frames", frames.len() as u64);
+        // Client→server: serialize in send order onto the shared link.
+        let mut req_link_free = 0u64;
+        let mut arrivals: Vec<(u64, usize, Vec<u8>, bool)> = Vec::new();
+        for (idx, (sent, bytes)) in frames.into_iter().enumerate() {
+            let ser = self.ser_ns(bytes.len());
+            let depart = sent.as_nanos().max(req_link_free);
+            req_link_free = depart + ser;
+            let arrival = depart + ser + self.params.latency_ns;
+            match self.route(Direction::Request, bytes) {
+                Fate::Deliver(b) => arrivals.push((arrival, idx, b, false)),
+                Fate::Duplicate(b) => arrivals.push((arrival, idx, b, true)),
+                Fate::Delay(ns, b) => arrivals.push((arrival + ns, idx, b, false)),
+                Fate::Drop => {}
+            }
+        }
+        // Service strictly in arrival order (ties break on send order,
+        // keeping the timeline deterministic).
+        arrivals.sort_by_key(|&(arrival, idx, ..)| (arrival, idx));
+        let mut server_free = 0u64;
+        let mut reply_link_free = 0u64;
+        let mut out: Vec<ExchangeReply> = Vec::new();
+        let mut answered = 0u64;
+        for (arrival, _idx, bytes, dup) in arrivals {
+            for _ in 0..if dup { 2 } else { 1 } {
+                let start = arrival.max(server_free);
+                let ((replies, extra_ns), dt) = self.clock.measure(|| server(&bytes));
+                let end = start + extra_ns + dt.as_nanos();
+                server_free = end;
+                for rbytes in replies {
+                    let ser = self.ser_ns(rbytes.len());
+                    let depart = end.max(reply_link_free);
+                    reply_link_free = depart + ser;
+                    let r_arrival = depart + ser + self.params.latency_ns;
+                    match self.route(Direction::Reply, rbytes) {
+                        Fate::Deliver(b) => {
+                            out.push(ExchangeReply {
+                                bytes: b,
+                                arrival: SimTime(r_arrival),
+                            });
+                            answered += 1;
+                        }
+                        Fate::Duplicate(b) => {
+                            out.push(ExchangeReply {
+                                bytes: b.clone(),
+                                arrival: SimTime(r_arrival),
+                            });
+                            out.push(ExchangeReply {
+                                bytes: b,
+                                arrival: SimTime(r_arrival),
+                            });
+                            answered += 1;
+                        }
+                        Fate::Delay(ns, b) => {
+                            out.push(ExchangeReply {
+                                bytes: b,
+                                arrival: SimTime(r_arrival + ns),
+                            });
+                            answered += 1;
+                        }
+                        Fate::Drop => {}
+                    }
+                }
+            }
+        }
+        self.bump("net.round_trips", answered);
+        // The caller resumes once the last surviving reply is in; a
+        // batch that lost everything costs no time here (the caller's
+        // retransmission timeout charges it instead).
+        if let Some(finish) = out.iter().map(|r| r.arrival).max() {
+            self.clock.advance_to(finish);
+        }
+        out.sort_by_key(|r| r.arrival);
+        out
     }
 
     /// Sends `request` to `server` and returns its reply, charging transit
@@ -473,5 +637,142 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0], (Direction::Request, b"req".to_vec()));
         assert_eq!(snap[1], (Direction::Reply, b"rep".to_vec()));
+    }
+
+    #[test]
+    fn exchange_single_frame_matches_call_timing() {
+        // A one-frame exchange must cost exactly what a blocking call
+        // does, so window=1 pipelining is time-neutral.
+        let blocking = wire();
+        blocking.call(vec![1; 400], |_| vec![2; 200]).unwrap();
+
+        let w = wire();
+        let sent = w.clock().now();
+        let replies = w.exchange(vec![(sent, vec![1; 400])], |req| {
+            assert_eq!(req, &[1u8; 400][..]);
+            (vec![vec![2; 200]], 0)
+        });
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].bytes, vec![2; 200]);
+        assert_eq!(w.clock().now(), blocking.clock().now());
+        assert_eq!(w.round_trips(), 1);
+        assert_eq!(w.bytes_sent(), blocking.bytes_sent());
+    }
+
+    #[test]
+    fn exchange_overlaps_server_work_across_frames() {
+        // Eight requests, each costing 1ms of server CPU. Blocking pays
+        // 8 full round trips; the exchange overlaps transit with server
+        // work and must beat it while still serializing the server.
+        const N: u64 = 8;
+        const CPU: u64 = 1_000_000;
+        let blocking = wire();
+        for _ in 0..N {
+            blocking
+                .call(vec![0; 8192], |_| {
+                    blocking.clock().advance_ns(CPU);
+                    vec![0; 256]
+                })
+                .unwrap();
+        }
+
+        let w = wire();
+        let sent = w.clock().now();
+        let frames = (0..N).map(|_| (sent, vec![0; 8192])).collect();
+        let replies = w.exchange(frames, |_| (vec![vec![0; 256]], CPU));
+        assert_eq!(replies.len(), N as usize);
+        assert_eq!(w.round_trips(), N);
+        let pipelined = w.clock().now().as_nanos();
+        let serial = blocking.clock().now().as_nanos();
+        assert!(
+            pipelined < serial,
+            "pipelined {pipelined} must beat serial {serial}"
+        );
+        // The server itself never overlaps with itself.
+        assert!(pipelined >= N * CPU);
+    }
+
+    #[test]
+    fn exchange_reply_arrivals_are_sorted_and_monotone() {
+        let w = wire();
+        let sent = w.clock().now();
+        let frames = (0..4u8).map(|i| (sent, vec![i; 64])).collect();
+        let replies = w.exchange(frames, |req| (vec![req.to_vec()], 0));
+        assert_eq!(replies.len(), 4);
+        for pair in replies.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+        }
+        // The clock lands exactly on the last arrival.
+        assert_eq!(w.clock().now(), replies[3].arrival);
+    }
+
+    #[test]
+    fn exchange_drop_loses_frames_without_charging_timeout() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mut w = wire();
+        w.set_fault_plan(FaultPlan::new(
+            1,
+            FaultSpec {
+                drop_pm: 1000,
+                ..FaultSpec::none()
+            },
+        ));
+        let before = w.clock().now();
+        let replies = w.exchange(vec![(before, vec![0; 64])], |_| {
+            panic!("dropped request must not reach the server")
+        });
+        assert!(replies.is_empty());
+        assert_eq!(w.round_trips(), 0);
+        // The caller charges the timeout explicitly, not the exchange.
+        assert_eq!(w.clock().now(), before);
+        w.timeout_wait();
+        assert!(w.clock().now().since(before).as_nanos() >= 1_000_000_000);
+    }
+
+    #[test]
+    fn exchange_duplicate_request_services_twice() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mut w = wire();
+        w.set_fault_plan(FaultPlan::new(
+            1,
+            FaultSpec {
+                duplicate_pm: 1000,
+                ..FaultSpec::none()
+            },
+        ));
+        let mut calls = 0u8;
+        let sent = w.clock().now();
+        let replies = w.exchange(vec![(sent, vec![9; 32])], |_| {
+            calls += 1;
+            (vec![vec![calls]], 0)
+        });
+        assert_eq!(calls, 2, "server must process both copies");
+        // Both invocations replied and the reply leg also duplicates, so
+        // the client sees every copy and discards extras itself.
+        assert!(replies.len() >= 2);
+    }
+
+    #[test]
+    fn exchange_delay_defers_reply_arrival() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let clean = wire();
+        let sent = clean.clock().now();
+        clean.exchange(vec![(sent, vec![0; 64])], |_| (vec![vec![0; 64]], 0));
+
+        let mut w = wire();
+        w.set_fault_plan(FaultPlan::new(
+            1,
+            FaultSpec {
+                delay_pm: 1000,
+                delay_ns: 5_000_000,
+                ..FaultSpec::none()
+            },
+        ));
+        let sent = w.clock().now();
+        w.exchange(vec![(sent, vec![0; 64])], |_| (vec![vec![0; 64]], 0));
+        assert!(
+            w.clock().now().as_nanos() >= clean.clock().now().as_nanos() + 10_000_000,
+            "both directions should be delayed 5ms"
+        );
     }
 }

@@ -102,6 +102,16 @@ impl SimClock {
         let out = f();
         (out, self.now().since(start))
     }
+
+    /// Advances the clock to `target` if it is in the future; a target in
+    /// the past leaves the clock untouched (virtual time never rewinds).
+    /// Returns the resulting time. This is how overlapped work finishes:
+    /// compute the latest completion instant of a set of concurrent
+    /// operations and jump the shared clock there.
+    pub fn advance_to(&self, target: SimTime) -> SimTime {
+        let prev = self.now_ns.fetch_max(target.0, Ordering::SeqCst);
+        SimTime(prev.max(target.0))
+    }
 }
 
 impl sfs_telemetry::Clock for SimClock {
@@ -148,6 +158,16 @@ mod tests {
         assert_eq!(SimTime::from_micros(5).to_string(), "5µs");
         assert_eq!(SimTime::from_millis(5).to_string(), "5.000ms");
         assert_eq!(SimTime(2_500_000_000).to_string(), "2.500s");
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let c = SimClock::new();
+        c.advance_ns(1_000);
+        assert_eq!(c.advance_to(SimTime(500)).as_nanos(), 1_000);
+        assert_eq!(c.now().as_nanos(), 1_000);
+        assert_eq!(c.advance_to(SimTime(2_500)).as_nanos(), 2_500);
+        assert_eq!(c.now().as_nanos(), 2_500);
     }
 
     #[test]

@@ -89,12 +89,19 @@ struct CounterState {
     last_ns: u64,
 }
 
+#[derive(Clone, Copy, Debug, Default)]
+struct GaugeState {
+    current: u64,
+    hwm: u64,
+}
+
 #[derive(Default)]
 struct State {
     events: Vec<Event>,
     /// Currently-open span count per process (for nesting depth).
     depths: BTreeMap<String, u32>,
     counters: BTreeMap<(String, &'static str), CounterState>,
+    gauges: BTreeMap<(String, &'static str), GaugeState>,
     hists: BTreeMap<(String, &'static str), Histogram>,
 }
 
@@ -311,6 +318,45 @@ impl Telemetry {
         let c = st.counters.entry((proc, name)).or_default();
         c.total += delta;
         c.last_ns = c.last_ns.max(ts);
+    }
+
+    /// Sets gauge `(proc, name)` to `value`, tracking its high-water
+    /// mark. Gauges model instantaneous levels (in-flight RPCs, queue
+    /// depths) where the interesting aggregate is the peak, not a sum.
+    /// Works in counters-only and full modes.
+    pub fn gauge_set(&self, proc: &str, name: &'static str, value: u64) {
+        let Some(inner) = &self.inner else { return };
+        let proc = self.qualify(proc);
+        let mut st = inner.state.lock();
+        let g = st.gauges.entry((proc, name)).or_default();
+        g.current = value;
+        g.hwm = g.hwm.max(value);
+    }
+
+    /// Current value of gauge `(proc, name)` (0 if never written).
+    pub fn gauge(&self, proc: &str, name: &'static str) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let proc = self.qualify(proc);
+        inner
+            .state
+            .lock()
+            .gauges
+            .get(&(proc, name))
+            .map(|g| g.current)
+            .unwrap_or(0)
+    }
+
+    /// High-water mark of gauge `(proc, name)` (0 if never written).
+    pub fn gauge_hwm(&self, proc: &str, name: &'static str) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let proc = self.qualify(proc);
+        inner
+            .state
+            .lock()
+            .gauges
+            .get(&(proc, name))
+            .map(|g| g.hwm)
+            .unwrap_or(0)
     }
 
     /// Current value of counter `(proc, name)` (0 if never written).
@@ -601,6 +647,19 @@ impl Telemetry {
                 out.push_str(&format!("  {:<24} {:<30} {:>14}\n", proc, name, c.total));
             }
         }
+        if !st.gauges.is_empty() {
+            out.push_str("\ngauges:\n");
+            out.push_str(&format!(
+                "  {:<24} {:<30} {:>10} {:>10}\n",
+                "process", "gauge", "current", "hwm"
+            ));
+            for ((proc, name), g) in &st.gauges {
+                out.push_str(&format!(
+                    "  {:<24} {:<30} {:>10} {:>10}\n",
+                    proc, name, g.current, g.hwm
+                ));
+            }
+        }
         if !st.hists.is_empty() {
             out.push_str("\nhistograms (us):\n");
             out.push_str(&format!(
@@ -846,6 +905,33 @@ mod tests {
         assert!(s.contains("mount"));
         assert!(s.contains("round_trips"));
         assert!(s.contains("nfs3.LOOKUP"));
+    }
+
+    #[test]
+    fn gauges_track_level_and_high_water_mark() {
+        let t = Telemetry::counters();
+        assert_eq!(t.gauge("client", "pipeline.inflight"), 0);
+        assert_eq!(t.gauge_hwm("client", "pipeline.inflight"), 0);
+        t.gauge_set("client", "pipeline.inflight", 3);
+        t.gauge_set("client", "pipeline.inflight", 8);
+        t.gauge_set("client", "pipeline.inflight", 2);
+        assert_eq!(t.gauge("client", "pipeline.inflight"), 2);
+        assert_eq!(t.gauge_hwm("client", "pipeline.inflight"), 8);
+        // Disabled handles stay inert.
+        let d = Telemetry::disabled();
+        d.gauge_set("client", "pipeline.inflight", 9);
+        assert_eq!(d.gauge_hwm("client", "pipeline.inflight"), 0);
+    }
+
+    #[test]
+    fn summary_includes_gauges() {
+        let t = Telemetry::recording(ZeroClock);
+        t.gauge_set("server", "pipeline.queue_depth", 5);
+        t.gauge_set("server", "pipeline.queue_depth", 1);
+        let s = t.summary();
+        assert!(s.contains("gauges:"));
+        assert!(s.contains("pipeline.queue_depth"));
+        assert!(s.contains('5'));
     }
 
     #[test]
