@@ -4,9 +4,11 @@
 //! <path>`, `--faults <spec>`); each previously hand-parsed its own.
 //! [`Args`] centralises the `--flag value` / `--flag=value` handling so
 //! the option types ([`crate::trace::TraceOpt`], [`FaultOpt`]) stay thin
-//! wrappers over it. Unknown arguments are ignored — the binaries take no
-//! positional arguments, and ignoring extras keeps old invocations
-//! working.
+//! wrappers over it. A binary declares the options it understands via
+//! [`Args::reject_unknown`], which turns a typo (`--fauls=drop=20`) into
+//! a clear error instead of a silently fault-free figure; the fault-spec
+//! *keys* themselves are validated by [`sfs_sim::FaultSpec::parse`],
+//! whose errors [`FaultOpt`] surfaces verbatim.
 
 use std::collections::BTreeMap;
 
@@ -47,6 +49,59 @@ impl Args {
             }
         }
         found
+    }
+
+    /// Validates that every argument is an option the binary declared:
+    /// `valued` options take a value (either form), `boolean` ones take
+    /// none. Anything else — a misspelled flag, a stray positional, a
+    /// missing value — is a clear error naming the offender, so a typo'd
+    /// `--fauls=...` can never silently produce a fault-free figure.
+    pub fn reject_unknown(&self, valued: &[&str], boolean: &[&str]) -> Result<(), String> {
+        let known = || {
+            let mut k: Vec<String> = valued
+                .iter()
+                .chain(boolean)
+                .map(|k| format!("--{k}"))
+                .collect();
+            k.sort();
+            k.join(", ")
+        };
+        let mut it = self.argv.iter();
+        while let Some(a) = it.next() {
+            let Some(body) = a.strip_prefix("--") else {
+                return Err(format!(
+                    "unexpected positional argument {a:?} (known options: {})",
+                    known()
+                ));
+            };
+            let name = body.split('=').next().unwrap_or(body);
+            let inline_value = body.contains('=');
+            if valued.contains(&name) {
+                if !inline_value && it.next().is_none() {
+                    return Err(format!("--{name} expects a value"));
+                }
+            } else if boolean.contains(&name) {
+                if inline_value {
+                    return Err(format!("--{name} takes no value"));
+                }
+            } else {
+                return Err(format!(
+                    "unknown option --{name} (known options: {})",
+                    known()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Args::reject_unknown`] for binaries: aborts with exit status 2
+    /// and the error on stderr, the same contract as a malformed
+    /// `--faults` spec.
+    pub fn enforce_known(&self, valued: &[&str], boolean: &[&str]) {
+        if let Err(e) = self.reject_unknown(valued, boolean) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -213,6 +268,50 @@ mod tests {
     fn fault_opt_rejects_bad_specs() {
         assert!(FaultOpt::with_spec(Some("drop=2000".into())).is_err());
         assert!(FaultOpt::with_spec(Some("nonsense".into())).is_err());
+    }
+
+    #[test]
+    fn fault_opt_rejects_unknown_spec_keys_with_a_clear_error() {
+        // A typo'd axis must fail loudly, not run fault-free: the error
+        // names the offending key so the user can see the typo.
+        let err = FaultOpt::with_spec(Some("seed=7,dorp=20".into()))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            err.contains("unknown fault spec key") && err.contains("dorp"),
+            "error must name the unknown key: {err}"
+        );
+    }
+
+    #[test]
+    fn reject_unknown_accepts_declared_options_in_both_forms() {
+        let a = Args::from_vec(vec!["--faults", "seed=1,drop=5", "--out=x.json", "--smoke"]);
+        assert!(a.reject_unknown(&["faults", "out"], &["smoke"]).is_ok());
+        assert!(Args::from_vec(vec![])
+            .reject_unknown(&["faults"], &[])
+            .is_ok());
+    }
+
+    #[test]
+    fn reject_unknown_flags_typos_and_strays() {
+        // Misspelled option: named in the error, known set listed.
+        let a = Args::from_vec(vec!["--fauls=seed=1,drop=5"]);
+        let err = a.reject_unknown(&["faults"], &["smoke"]).unwrap_err();
+        assert!(
+            err.contains("--fauls") && err.contains("--faults"),
+            "error must name the typo and the known options: {err}"
+        );
+        // Stray positional argument.
+        let a = Args::from_vec(vec!["extra"]);
+        assert!(a.reject_unknown(&["faults"], &[]).is_err());
+        // Valued option missing its value.
+        let a = Args::from_vec(vec!["--faults"]);
+        let err = a.reject_unknown(&["faults"], &[]).unwrap_err();
+        assert!(err.contains("expects a value"), "{err}");
+        // Boolean option given a value.
+        let a = Args::from_vec(vec!["--smoke=yes"]);
+        let err = a.reject_unknown(&[], &["smoke"]).unwrap_err();
+        assert!(err.contains("takes no value"), "{err}");
     }
 
     #[test]

@@ -7,9 +7,11 @@
 //!
 //! - `--trace <path>`: also write the full Chrome trace JSON;
 //! - `--faults <spec>`: thread a seeded fault plan through every layer,
-//!   showing the breakdown under a degraded network.
+//!   showing the breakdown under a degraded network;
+//! - `--window N`: override the client pipeline depth (default 8);
+//!   `--window 1` shows the breakdown under the blocking protocol.
 
-use sfs_bench::args::FaultOpt;
+use sfs_bench::args::{Args, FaultOpt};
 use sfs_bench::calib::{build_fs_chaos, System};
 use sfs_bench::report::latency_table;
 use sfs_bench::trace::TraceOpt;
@@ -17,8 +19,16 @@ use sfs_bench::workloads::{mab, MabConfig};
 use sfs_telemetry::{Telemetry, ZeroClock};
 
 fn main() {
+    let args = Args::from_env();
+    args.enforce_known(&["trace", "faults", "window"], &[]);
     let trace = TraceOpt::from_args();
     let faults = FaultOpt::from_args();
+    let window: Option<usize> = args.opt("window").map(|w| {
+        w.parse().unwrap_or_else(|_| {
+            eprintln!("--window: not a positive integer: {w:?}");
+            std::process::exit(2)
+        })
+    });
     // The table needs histograms whether or not `--trace` asked for the
     // JSON dump, so fall back to a standalone recording sink.
     let tel = if trace.enabled() {
@@ -31,6 +41,9 @@ fn main() {
     for system in System::main_four() {
         let scoped = tel.scoped(system.label());
         let (fs, clock, prefix, _) = build_fs_chaos(system, &scoped, faults.plan());
+        if let Some(w) = window {
+            fs.set_pipeline_window(w);
+        }
         let _ = mab(fs.as_ref(), &prefix, &cfg);
         final_ns = final_ns.max(clock.now().as_nanos());
     }

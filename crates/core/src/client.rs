@@ -32,7 +32,8 @@ use sfs_proto::pathname::{PathError, SelfCertifyingPath};
 use sfs_proto::userauth::{AuthInfo, AUTHNO_ANONYMOUS};
 use sfs_sim::ipc::{LocalEndpoint, LocalHandler, LocalIdentity};
 use sfs_sim::{
-    CpuCosts, FaultPlan, Interceptor, NetParams, PacketLog, SimClock, SimTime, Wire, WireError,
+    CpuCosts, FaultPlan, Interceptor, NetParams, PacketLog, ServerLoad, SimClock, SimTime, Wire,
+    WireError,
 };
 use sfs_telemetry::sync::Mutex;
 use sfs_telemetry::Telemetry;
@@ -42,7 +43,7 @@ use sfs_xdr::{Xdr, XdrEncoder};
 use crate::agent::Agent;
 use crate::bufpool::BufPool;
 use crate::journal::{ClientJournal, JournalRecord};
-use crate::server::{ServerConn, SfsServer};
+use crate::server::{RoConnection, ServerConn, SfsServer};
 use crate::wire::{
     sealed_env_begin, sealed_env_finish, sealed_envelope_frame, seq_env_begin, seq_env_finish,
     seq_reply_envelope, CallMsg, Dialect, InnerCall, InnerReply, ReplyMsg, Service,
@@ -162,12 +163,51 @@ impl From<ChannelError> for ClientError {
     }
 }
 
-/// The simulated internet: Location → server, with per-link parameters
+/// One routed read-write connection handed out by a [`Router`].
+pub struct RoutedRw {
+    /// The server-side connection to the chosen replica.
+    pub conn: ServerConn,
+    /// The chosen machine's contention tracker, attached to the client's
+    /// wire so concurrent streams share that machine's resources.
+    pub load: Option<ServerLoad>,
+}
+
+/// One routed read-only connection handed out by a [`Router`].
+pub struct RoutedRo {
+    /// The server-side connection to the chosen replica (a full server
+    /// or a keyless one).
+    pub conn: Box<dyn RoConnection>,
+    /// The chosen machine's contention tracker.
+    pub load: Option<ServerLoad>,
+}
+
+/// A routing tier fronting a replica group for one `Location:HostID`.
+///
+/// The network consults it on every dial, which is the single seam the
+/// client's recovery machinery already funnels through: a reconnect after
+/// a crash redials, so the router can hand the session to a surviving
+/// replica and the rekey makes the handoff invisible above the mount.
+pub trait Router: Send + Sync {
+    /// Picks a live read-write replica for a new connection.
+    fn route_rw(&self) -> Option<RoutedRw>;
+    /// Picks a replica able to serve the read-only dialect.
+    fn route_ro(&self) -> Option<RoutedRo>;
+}
+
+/// What a Location resolves to: a single machine, or a routing tier
+/// fronting many.
+#[derive(Clone)]
+enum Endpoint {
+    Server(Arc<SfsServer>),
+    Relay(Arc<dyn Router>),
+}
+
+/// The simulated internet: Location → endpoint, with per-link parameters
 /// and optional adversary hooks (applied to newly dialed connections).
 pub struct SfsNetwork {
     clock: SimClock,
     params: NetParams,
-    servers: Mutex<HashMap<String, Arc<SfsServer>>>,
+    servers: Mutex<HashMap<String, Endpoint>>,
     interceptor: Mutex<Option<Arc<Mutex<dyn Interceptor>>>>,
     fault: Mutex<Option<FaultPlan>>,
     log: Mutex<Option<PacketLog>>,
@@ -198,12 +238,24 @@ impl SfsNetwork {
     pub fn register(&self, server: Arc<SfsServer>) {
         self.servers
             .lock()
-            .insert(server.path().location.clone(), server);
+            .insert(server.path().location.clone(), Endpoint::Server(server));
     }
 
-    /// Looks up the server at `location`.
+    /// Registers a routing tier under a Location: dials resolve through
+    /// the router instead of a fixed machine.
+    pub fn register_relay(&self, location: &str, router: Arc<dyn Router>) {
+        self.servers
+            .lock()
+            .insert(location.to_string(), Endpoint::Relay(router));
+    }
+
+    /// Looks up the server at `location` (single-machine endpoints only;
+    /// a relayed Location has no one server to return).
     pub fn server_at(&self, location: &str) -> Option<Arc<SfsServer>> {
-        self.servers.lock().get(location).cloned()
+        match self.servers.lock().get(location) {
+            Some(Endpoint::Server(s)) => Some(s.clone()),
+            _ => None,
+        }
     }
 
     /// Attaches an adversary to all future connections.
@@ -221,9 +273,8 @@ impl SfsNetwork {
         *self.log.lock() = Some(log);
     }
 
-    /// Dials a location: a fresh wire plus a fresh server-side connection.
-    pub fn dial(&self, location: &str) -> Option<(Wire, ServerConn)> {
-        let server = self.server_at(location)?;
+    /// A fresh wire carrying this network's adversary hooks and sink.
+    fn fresh_wire(&self) -> Wire {
         let mut wire = Wire::new(self.clock.clone(), self.params);
         if let Some(i) = &*self.interceptor.lock() {
             wire.set_interceptor(i.clone());
@@ -235,7 +286,45 @@ impl SfsNetwork {
             wire.set_log(l.clone());
         }
         wire.set_telemetry(&self.tel.lock().clone());
-        Some((wire, server.accept()))
+        wire
+    }
+
+    /// Dials a location: a fresh wire plus a fresh server-side connection.
+    /// Behind a relay, each dial is routed anew — which is exactly how a
+    /// reconnecting client lands on a surviving replica.
+    pub fn dial(&self, location: &str) -> Option<(Wire, ServerConn)> {
+        let endpoint = self.servers.lock().get(location).cloned()?;
+        let (conn, load) = match endpoint {
+            Endpoint::Server(s) => (s.accept(), None),
+            Endpoint::Relay(r) => {
+                let routed = r.route_rw()?;
+                (routed.conn, routed.load)
+            }
+        };
+        let mut wire = self.fresh_wire();
+        if let Some(load) = load {
+            wire.set_server_load(load);
+        }
+        Some((wire, conn))
+    }
+
+    /// Dials a location for the read-only dialect. Behind a relay this
+    /// reaches the keyless replica fleet; a single-machine endpoint
+    /// serves the dialect itself.
+    pub fn dial_ro(&self, location: &str) -> Option<(Wire, Box<dyn RoConnection>)> {
+        let endpoint = self.servers.lock().get(location).cloned()?;
+        let (conn, load): (Box<dyn RoConnection>, Option<ServerLoad>) = match endpoint {
+            Endpoint::Server(s) => (Box::new(s.accept()), None),
+            Endpoint::Relay(r) => {
+                let routed = r.route_ro()?;
+                (routed.conn, routed.load)
+            }
+        };
+        let mut wire = self.fresh_wire();
+        if let Some(load) = load {
+            wire.set_server_load(load);
+        }
+        Some((wire, conn))
     }
 
     /// The shared clock.
@@ -717,12 +806,24 @@ impl SfsClient {
         &self,
         path: &SelfCertifyingPath,
     ) -> Result<crate::roclient::RoMount, ClientError> {
-        let (wire, conn) = self
-            .net
-            .dial(&path.location)
-            .ok_or_else(|| ClientError::NoSuchHost(path.location.clone()))?;
-        crate::roclient::RoMount::connect(path.clone(), wire, conn)
-            .map_err(|e| ClientError::Protocol(e.to_string()))
+        // A routed dial may land on a down replica; retry a few times so
+        // the router can work through the group before we give up.
+        let mut last = ClientError::NoSuchHost(path.location.clone());
+        for _ in 0..4 {
+            let Some((wire, conn)) = self.net.dial_ro(&path.location) else {
+                return Err(ClientError::NoSuchHost(path.location.clone()));
+            };
+            match crate::roclient::RoMount::connect(path.clone(), wire, conn) {
+                Ok(mount) => {
+                    let net = self.net.clone();
+                    let location = path.location.clone();
+                    mount.set_redial(Box::new(move || net.dial_ro(&location)));
+                    return Ok(mount);
+                }
+                Err(e) => last = ClientError::Protocol(e.to_string()),
+            }
+        }
+        Err(last)
     }
 
     /// Drops one cached mount and establishes a fresh connection (the

@@ -50,6 +50,7 @@ pub mod wire;
 pub use agent::Agent;
 pub use authserver::{AuthServer, UserRecord};
 pub use bufpool::{BufPool, PooledBuf};
-pub use client::{ClientError, RecoveryReport, SfsClient, SfsNetwork};
+pub use client::{ClientError, RecoveryReport, RoutedRo, RoutedRw, Router, SfsClient, SfsNetwork};
 pub use journal::{ClientJournal, JournalRecord, RecoveredState};
-pub use server::{ServerConfig, SfsServer};
+pub use roclient::{RoClientError, RoMount};
+pub use server::{RoConnection, RoReplicaServer, ServerConfig, SfsServer};

@@ -7,8 +7,17 @@
 //! blocks), verifies everything against the self-certifying pathname's
 //! key, and caches verified blocks — replicas may be arbitrarily
 //! malicious, so nothing unverified is ever returned.
+//!
+//! Because every block is verified against the digest that named it, the
+//! mount can fail over between replicas freely: when a call fails (dead
+//! replica) or a block fails verification (lying replica), the mount
+//! redials through an optional [`RoMount::set_redial`] hook, re-certifies
+//! the new server against the same HostID, and retries. The signed root's
+//! version is monotone across failovers, so a malicious replica cannot
+//! roll the mount back to an older snapshot.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use sfs_crypto::rabin::RabinPublicKey;
 use sfs_crypto::sha1::sha1;
@@ -19,8 +28,11 @@ use sfs_sim::{Wire, WireError};
 use sfs_telemetry::sync::Mutex;
 use sfs_xdr::Xdr;
 
-use crate::server::ServerConn;
+use crate::server::RoConnection;
 use crate::wire::{CallMsg, Dialect, ReplyMsg, Service};
+
+/// How many replicas one operation will try before giving up.
+const MAX_FAILOVERS: u32 = 4;
 
 /// Errors from the read-only client.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,8 +44,13 @@ pub enum RoClientError {
     HostIdMismatch,
     /// The signed root failed verification.
     BadRootSignature,
+    /// The replica served an older snapshot than one already verified
+    /// (rollback attempt).
+    Rollback,
     /// A served block did not hash to its digest (lying replica).
     DigestMismatch,
+    /// The replica refused service (down for maintenance, mid-crash).
+    Unavailable(String),
     /// Path or block not present.
     NotFound,
     /// Unexpected protocol reply.
@@ -46,7 +63,9 @@ impl std::fmt::Display for RoClientError {
             RoClientError::Net(e) => write!(f, "network: {e}"),
             RoClientError::HostIdMismatch => write!(f, "server key does not match HostID"),
             RoClientError::BadRootSignature => write!(f, "signed root failed verification"),
+            RoClientError::Rollback => write!(f, "replica served an older snapshot"),
             RoClientError::DigestMismatch => write!(f, "block does not match digest"),
+            RoClientError::Unavailable(e) => write!(f, "replica unavailable: {e}"),
             RoClientError::NotFound => write!(f, "no such file"),
             RoClientError::Protocol(e) => write!(f, "protocol: {e}"),
         }
@@ -61,16 +80,86 @@ impl From<WireError> for RoClientError {
     }
 }
 
+impl RoClientError {
+    /// Whether trying another replica could help. Verification failures
+    /// and dead machines are replica-specific; a verified NotFound is
+    /// authoritative — the hash tree proves the name is absent.
+    fn failover_worthy(&self) -> bool {
+        matches!(
+            self,
+            RoClientError::Net(_)
+                | RoClientError::Unavailable(_)
+                | RoClientError::DigestMismatch
+                | RoClientError::BadRootSignature
+                | RoClientError::Rollback
+                | RoClientError::Protocol(_)
+        )
+    }
+}
+
+/// The wire and server-side connection currently backing a mount.
+struct RoLink {
+    wire: Wire,
+    conn: Box<dyn RoConnection>,
+}
+
+/// Produces a fresh link to some replica of the mounted HostID; a routing
+/// tier supplies this so the mount can survive replica deaths.
+pub type RoRedial = Box<dyn Fn() -> Option<(Wire, Box<dyn RoConnection>)> + Send + Sync>;
+
 /// A mounted read-only file system.
 pub struct RoMount {
     path: SelfCertifyingPath,
-    wire: Wire,
-    conn: ServerConn,
-    root: SignedRoot,
+    /// The certified public key. Fixed at mount time: every replica must
+    /// present a key hashing to the same HostID, so the key can never
+    /// change across failovers.
+    key: RabinPublicKey,
+    link: Mutex<RoLink>,
+    root: Mutex<SignedRoot>,
     /// Verified blocks, by digest. Content addressing makes this cache
     /// trivially shareable between mutually distrustful users — a digest
-    /// names exactly one value.
+    /// names exactly one value — and keeps it valid across failovers.
     cache: Mutex<HashMap<Digest, RoNode>>,
+    redial: Mutex<Option<RoRedial>>,
+    /// Round trips accumulated on links already torn down by failover.
+    prior_round_trips: AtomicU64,
+    failovers: AtomicU64,
+}
+
+/// Runs the read-only handshake on a fresh link: hello, certify the key
+/// against the HostID, fetch and verify the signed root.
+fn handshake(
+    path: &SelfCertifyingPath,
+    wire: &Wire,
+    conn: &dyn RoConnection,
+) -> Result<(RabinPublicKey, SignedRoot), RoClientError> {
+    let hello = CallMsg::Hello {
+        req: KeyNegRequest {
+            location: path.location.clone(),
+            host_id: path.host_id,
+        },
+        service: Service::File,
+        dialect: Dialect::ReadOnly,
+        version: 1,
+        extensions: String::new(),
+    };
+    let key = match call(wire, conn, hello)? {
+        ReplyMsg::ServerReply(KeyNegServerReply::ServerKey(k)) => {
+            RabinPublicKey::from_bytes(&k).map_err(|_| RoClientError::HostIdMismatch)?
+        }
+        other => return Err(RoClientError::Protocol(format!("{other:?}"))),
+    };
+    if !path.certifies(&key) {
+        return Err(RoClientError::HostIdMismatch);
+    }
+    let root = match call(wire, conn, CallMsg::RoGetRoot)? {
+        ReplyMsg::RoRoot(root) => root,
+        other => return Err(RoClientError::Protocol(format!("{other:?}"))),
+    };
+    if !root.verify(&key) {
+        return Err(RoClientError::BadRootSignature);
+    }
+    Ok((key, root))
 }
 
 impl RoMount {
@@ -80,42 +169,25 @@ impl RoMount {
     pub fn connect(
         path: SelfCertifyingPath,
         wire: Wire,
-        conn: ServerConn,
+        conn: Box<dyn RoConnection>,
     ) -> Result<RoMount, RoClientError> {
-        let hello = CallMsg::Hello {
-            req: KeyNegRequest {
-                location: path.location.clone(),
-                host_id: path.host_id,
-            },
-            service: Service::File,
-            dialect: Dialect::ReadOnly,
-            version: 1,
-            extensions: String::new(),
-        };
-        let reply = call(&wire, &conn, hello)?;
-        let key = match reply {
-            ReplyMsg::ServerReply(KeyNegServerReply::ServerKey(k)) => {
-                RabinPublicKey::from_bytes(&k).map_err(|_| RoClientError::HostIdMismatch)?
-            }
-            other => return Err(RoClientError::Protocol(format!("{other:?}"))),
-        };
-        if !path.certifies(&key) {
-            return Err(RoClientError::HostIdMismatch);
-        }
-        let root = match call(&wire, &conn, CallMsg::RoGetRoot)? {
-            ReplyMsg::RoRoot(root) => root,
-            other => return Err(RoClientError::Protocol(format!("{other:?}"))),
-        };
-        if !root.verify(&key) {
-            return Err(RoClientError::BadRootSignature);
-        }
+        let (key, root) = handshake(&path, &wire, conn.as_ref())?;
         Ok(RoMount {
             path,
-            wire,
-            conn,
-            root,
+            key,
+            link: Mutex::new(RoLink { wire, conn }),
+            root: Mutex::new(root),
             cache: Mutex::new(HashMap::new()),
+            redial: Mutex::new(None),
+            prior_round_trips: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
         })
+    }
+
+    /// Installs the failover hook. Without one, the first replica is the
+    /// only replica and errors surface directly.
+    pub fn set_redial(&self, redial: RoRedial) {
+        *self.redial.lock() = Some(redial);
     }
 
     /// The mounted pathname.
@@ -123,23 +195,79 @@ impl RoMount {
         &self.path
     }
 
-    /// The verified snapshot version.
+    /// The verified snapshot version (monotone across failovers).
     pub fn version(&self) -> u64 {
-        self.root.version
+        self.root.lock().version
     }
 
-    /// Network round trips so far.
+    /// Network round trips so far, across every link this mount has used.
     pub fn round_trips(&self) -> u64 {
-        self.wire.round_trips()
+        self.prior_round_trips.load(Ordering::SeqCst) + self.link.lock().wire.round_trips()
     }
 
-    /// Fetches and verifies the block named by `digest`.
+    /// How many times the mount has moved to another replica.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::SeqCst)
+    }
+
+    /// Abandons the current link and re-runs the handshake against
+    /// whatever replica the redial hook supplies, enforcing the same
+    /// HostID and a non-decreasing snapshot version.
+    fn failover(&self) -> Result<(), RoClientError> {
+        let Some((wire, conn)) = self.redial.lock().as_ref().and_then(|redial| redial()) else {
+            return Err(RoClientError::Unavailable(
+                "no replica to fail over to".into(),
+            ));
+        };
+        let (key, root) = handshake(&self.path, &wire, conn.as_ref())?;
+        // Both keys certify the same HostID, which is collision-resistant,
+        // so they must be the same key; keep the original regardless.
+        debug_assert_eq!(key.to_bytes(), self.key.to_bytes());
+        let mut current = self.root.lock();
+        if root.version < current.version {
+            return Err(RoClientError::Rollback);
+        }
+        *current = root;
+        drop(current);
+        let mut link = self.link.lock();
+        self.prior_round_trips
+            .fetch_add(link.wire.round_trips(), Ordering::SeqCst);
+        *link = RoLink { wire, conn };
+        self.failovers.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Issues one call on the current link.
+    fn call_current(&self, msg: CallMsg) -> Result<ReplyMsg, RoClientError> {
+        let link = self.link.lock();
+        call(&link.wire, link.conn.as_ref(), msg)
+    }
+
+    /// Fetches and verifies the block named by `digest`, failing over to
+    /// other replicas on replica-specific errors.
     fn fetch(&self, digest: Digest) -> Result<RoNode, RoClientError> {
         if let Some(node) = self.cache.lock().get(&digest) {
             return Ok(node.clone());
         }
-        let block = match call(&self.wire, &self.conn, CallMsg::RoGetBlock(digest))? {
+        let mut attempts = 0u32;
+        loop {
+            match self.fetch_once(digest) {
+                Ok(node) => return Ok(node),
+                Err(e) if e.failover_worthy() && attempts < MAX_FAILOVERS => {
+                    attempts += 1;
+                    self.failover()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn fetch_once(&self, digest: Digest) -> Result<RoNode, RoClientError> {
+        let block = match self.call_current(CallMsg::RoGetBlock(digest))? {
             ReplyMsg::RoBlock(b) => b,
+            ReplyMsg::Error(e) if e.contains("unavailable") => {
+                return Err(RoClientError::Unavailable(e))
+            }
             ReplyMsg::Error(_) => return Err(RoClientError::NotFound),
             other => return Err(RoClientError::Protocol(format!("{other:?}"))),
         };
@@ -155,7 +283,8 @@ impl RoMount {
 
     /// Resolves a `/`-separated path to a node.
     pub fn resolve(&self, path: &str) -> Result<RoNode, RoClientError> {
-        let mut node = self.fetch(self.root.root_digest)?;
+        let root_digest = self.root.lock().root_digest;
+        let mut node = self.fetch(root_digest)?;
         for comp in path.split('/').filter(|c| !c.is_empty()) {
             let RoNode::Dir(entries) = &node else {
                 return Err(RoClientError::NotFound);
@@ -201,12 +330,12 @@ impl std::fmt::Debug for RoMount {
             f,
             "RoMount({} v{})",
             self.path.dir_name(),
-            self.root.version
+            self.root.lock().version
         )
     }
 }
 
-fn call(wire: &Wire, conn: &ServerConn, msg: CallMsg) -> Result<ReplyMsg, RoClientError> {
-    let bytes = wire.call(msg.to_xdr(), |b| conn.handle_bytes(&b))?;
+fn call(wire: &Wire, conn: &dyn RoConnection, msg: CallMsg) -> Result<ReplyMsg, RoClientError> {
+    let bytes = wire.call(msg.to_xdr(), |b| conn.handle_ro_bytes(&b))?;
     ReplyMsg::from_xdr(&bytes).map_err(|e| RoClientError::Protocol(e.to_string()))
 }

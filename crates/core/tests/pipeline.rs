@@ -82,6 +82,7 @@ const BATCH: usize = 12;
 struct World {
     clock: SimClock,
     client: Arc<SfsClient>,
+    server: Arc<SfsServer>,
     home: String,
 }
 
@@ -133,6 +134,7 @@ fn build_world(plan: &FaultPlan) -> World {
     World {
         clock,
         client,
+        server,
         home,
     }
 }
@@ -256,6 +258,67 @@ fn windowed_batches_execute_exactly_once_under_wire_faults() {
              path to reconnect"
         );
     }
+}
+
+#[test]
+fn full_reply_cache_evicts_oldest_first_without_breaking_exactly_once() {
+    // The server keeps 256 sealed replies for retransmission. Drive well
+    // over that many sequenced calls through one session on a clean wire
+    // and verify (a) the cache actually evicted (counter + size gauge),
+    // and (b) exactly-once semantics survived: every distinct Mkdir
+    // succeeded once, and a full re-issue comes back all-Exist. Eviction
+    // is oldest-first by channel sequence number, so the recent replies a
+    // client could still legitimately retransmit for stay answerable.
+    const CALLS: usize = 280; // > REPLY_CACHE_CAPACITY (256)
+    let plan = FaultPlan::from_spec("seed=0").unwrap();
+    let w = build_world(&plan);
+    let tel = sfs_telemetry::Telemetry::counters();
+    w.server.set_telemetry(&tel);
+    w.client.set_pipeline_window(8);
+    let (mount, dir_fh, _) = w.client.resolve(ALICE_UID, &w.home).unwrap();
+    let reqs: Vec<Nfs3Request> = (0..CALLS)
+        .map(|i| Nfs3Request::Mkdir {
+            dir: dir_fh.clone(),
+            name: format!("evict-{i:03}"),
+            attrs: Sattr3::default(),
+        })
+        .collect();
+    let replies = w.client.call_nfs_window(&mount, ALICE_UID, &reqs).unwrap();
+    assert_eq!(replies.len(), CALLS);
+    for (i, reply) in replies.iter().enumerate() {
+        assert!(
+            matches!(reply, Nfs3Reply::Mkdir { .. }),
+            "call {i} did not execute exactly once: {reply:?}"
+        );
+    }
+    // The first batch alone overflows the cache.
+    let evicted_after_first = tel.counter("server", "replycache.evictions");
+    assert!(
+        evicted_after_first >= (CALLS - 256) as u64,
+        "expected at least {} evictions, saw {evicted_after_first}",
+        CALLS - 256
+    );
+    assert_eq!(tel.gauge("server", "replycache.size"), 256);
+
+    // Re-issue the identical batch: all-Exist proves every original call
+    // executed, and the session survived the evictions — the cache only
+    // dropped replies too old for any in-window retransmission to want.
+    let replay = w.client.call_nfs_window(&mount, ALICE_UID, &reqs).unwrap();
+    for (i, reply) in replay.iter().enumerate() {
+        assert!(
+            matches!(
+                reply,
+                Nfs3Reply::Error {
+                    status: Status::Exist,
+                    ..
+                }
+            ),
+            "re-issued call {i} should have found its directory: {reply:?}"
+        );
+    }
+    assert_eq!(mount.reconnects(), 0, "eviction must not kill the session");
+    assert_eq!(tel.gauge("server", "replycache.size"), 256);
+    assert!(tel.counter("server", "replycache.evictions") > evicted_after_first);
 }
 
 #[test]

@@ -274,6 +274,46 @@ impl RoDatabase {
         self.blocks.values().map(|v| v.len()).sum()
     }
 
+    /// Serializes the whole database — signed root plus every
+    /// content-addressed block — into the distribution bundle an
+    /// `sfsrodb`-style publisher ships to its replicas. The bundle
+    /// contains no key material of any kind: possessing it lets a
+    /// machine *serve* the file system, never alter it undetectably.
+    pub fn export(&self) -> Vec<u8> {
+        let mut enc = XdrEncoder::new();
+        self.root.encode(&mut enc);
+        enc.put_u32(self.blocks.len() as u32);
+        for (digest, block) in &self.blocks {
+            enc.put_opaque_fixed(digest);
+            enc.put_opaque(block);
+        }
+        enc.into_bytes()
+    }
+
+    /// Rebuilds a database from a distribution bundle, re-hashing every
+    /// block against the digest that names it — a replica refuses a
+    /// corrupted bundle up front rather than serving blocks clients
+    /// would reject one by one.
+    pub fn import(bytes: &[u8]) -> Result<Self, RoError> {
+        let mut dec = XdrDecoder::new(bytes);
+        let root = SignedRoot::decode(&mut dec).map_err(RoError::Xdr)?;
+        let n = dec.get_u32().map_err(RoError::Xdr)?;
+        let mut blocks = BTreeMap::new();
+        for _ in 0..n {
+            let digest: Digest = dec
+                .get_opaque_fixed(DIGEST_LEN)
+                .map_err(RoError::Xdr)?
+                .try_into()
+                .expect("length checked");
+            let block = dec.get_opaque().map_err(RoError::Xdr)?;
+            if sha1(&block) != digest {
+                return Err(RoError::DigestMismatch);
+            }
+            blocks.insert(digest, block);
+        }
+        Ok(RoDatabase { root, blocks })
+    }
+
     /// Corrupts a block in place — test hook standing in for a malicious
     /// replica.
     pub fn tamper_with_block(&mut self, digest: &Digest) -> bool {
@@ -434,6 +474,41 @@ mod tests {
         let replica = db.clone();
         let root = verified_root(&replica, key().public()).unwrap();
         assert!(resolve_path(&replica, root, "/README").is_ok());
+    }
+
+    #[test]
+    fn export_import_roundtrip_serves_identically() {
+        let db = RoDatabase::publish(&sample_fs(), key(), 7);
+        let bundle = db.export();
+        let replica = RoDatabase::import(&bundle).unwrap();
+        assert_eq!(replica.root, db.root);
+        assert_eq!(replica.block_count(), db.block_count());
+        let root = verified_root(&replica, key().public()).unwrap();
+        match resolve_path(&replica, root, "/README").unwrap() {
+            RoNode::File(data) => assert_eq!(data, b"certification authority"),
+            other => panic!("{other:?}"),
+        }
+        // The bundle is deterministic: re-exporting the replica yields
+        // byte-identical distribution media.
+        assert_eq!(replica.export(), bundle);
+    }
+
+    #[test]
+    fn import_rejects_corrupted_bundle() {
+        let mut db = RoDatabase::publish(&sample_fs(), key(), 1);
+        // A corrupted root-directory block no longer hashes to the digest
+        // that names it in the bundle.
+        let root_digest = db.root.root_digest;
+        assert!(db.tamper_with_block(&root_digest));
+        assert_eq!(
+            RoDatabase::import(&db.export()).unwrap_err(),
+            RoError::DigestMismatch
+        );
+        // Truncation is a structural failure.
+        assert!(matches!(
+            RoDatabase::import(&db.export()[..20]).unwrap_err(),
+            RoError::Xdr(_)
+        ));
     }
 
     #[test]

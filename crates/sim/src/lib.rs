@@ -37,5 +37,7 @@ pub use disk::{DiskParams, SimDisk};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, NetAction};
 pub use ipc::{LocalEndpoint, LocalIdentity};
 pub use journal::JournalDisk;
-pub use net::{Direction, Interceptor, NetParams, PacketLog, Transport, Verdict, Wire, WireError};
+pub use net::{
+    Direction, Interceptor, NetParams, PacketLog, ServerLoad, Transport, Verdict, Wire, WireError,
+};
 pub use time::{SimClock, SimTime};

@@ -12,6 +12,7 @@
 //! Figure 5), propagation latency, and serialization time at the link
 //! bandwidth.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sfs_telemetry::sync::Mutex;
@@ -135,6 +136,43 @@ impl NetParams {
     }
 }
 
+/// Concurrent-stream tracker for one server endpoint in a multi-server
+/// topology.
+///
+/// Each simulated server machine owns one `ServerLoad`; every client
+/// [`Wire`] attached to that machine (via [`Wire::set_server_load`])
+/// counts as one concurrent stream. Because per-client clocks advance
+/// independently, contention cannot be simulated by interleaving — the
+/// wire instead *scales* the resources one machine time-shares across
+/// streams (reply-link serialization and server service time) by the
+/// number of attached streams, a processor-sharing approximation. A
+/// wire with no attached load (the single-server default) behaves
+/// exactly as before, so existing timings are unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct ServerLoad {
+    streams: Arc<AtomicU64>,
+}
+
+impl ServerLoad {
+    /// A load tracker with no attached streams.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of wires currently attached.
+    pub fn streams(&self) -> u64 {
+        self.streams.load(Ordering::SeqCst)
+    }
+
+    fn attach(&self) {
+        self.streams.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn detach(&self) {
+        self.streams.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Error observed by a caller when the adversary interferes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
@@ -182,6 +220,9 @@ pub struct Wire {
     interceptor: Option<Arc<Mutex<dyn Interceptor>>>,
     fault: Option<FaultPlan>,
     log: Option<PacketLog>,
+    /// Shared contention tracker for the server machine this wire is
+    /// attached to; `None` means an uncontended point-to-point link.
+    load: Option<ServerLoad>,
     /// Counter-only telemetry sink backing [`Wire::round_trips`] and
     /// [`Wire::bytes_sent`] ("SFS's enhanced caching reduces the number
     /// of RPCs that actually need to go over the network"). Always live,
@@ -201,6 +242,7 @@ impl Wire {
             interceptor: None,
             fault: None,
             log: None,
+            load: None,
             stats: Telemetry::counters(),
             tel: Telemetry::disabled(),
         }
@@ -225,6 +267,23 @@ impl Wire {
     /// Attaches a packet recorder.
     pub fn set_log(&mut self, log: PacketLog) {
         self.log = Some(log);
+    }
+
+    /// Attaches this wire to a server machine's [`ServerLoad`], counting
+    /// it as one concurrent stream until the wire is dropped (or the
+    /// load replaced). Server-side resources — reply serialization and
+    /// service time — are scaled by the stream count.
+    pub fn set_server_load(&mut self, load: ServerLoad) {
+        if let Some(old) = self.load.take() {
+            old.detach();
+        }
+        load.attach();
+        self.load = Some(load);
+    }
+
+    /// How many streams share this wire's server machine (at least 1).
+    fn sharers(&self) -> u64 {
+        self.load.as_ref().map(|l| l.streams().max(1)).unwrap_or(1)
     }
 
     /// Attaches a shared tracing sink; spans and counters are stamped
@@ -318,7 +377,14 @@ impl Wire {
             .tel
             .span("wire", "sim.net", name)
             .with_attr("bytes", bytes.len() as u64);
-        self.clock.advance_ns(self.params.transit_ns(bytes.len()));
+        // Requests ride the client's private uplink; replies serialize
+        // onto the server's shared downlink, which `sharers()` streams
+        // time-share.
+        let transit_ns = match dir {
+            Direction::Request => self.params.transit_ns(bytes.len()),
+            Direction::Reply => self.params.latency_ns + self.sharers() * self.ser_ns(bytes.len()),
+        };
+        self.clock.advance_ns(transit_ns);
         match self.route(dir, bytes) {
             Fate::Deliver(b) => Ok((b, false)),
             Fate::Duplicate(b) => Ok((b, true)),
@@ -395,14 +461,15 @@ impl Wire {
         let mut reply_link_free = 0u64;
         let mut out: Vec<ExchangeReply> = Vec::new();
         let mut answered = 0u64;
+        let sharers = self.sharers();
         for (arrival, _idx, bytes, dup) in arrivals {
             for _ in 0..if dup { 2 } else { 1 } {
                 let start = arrival.max(server_free);
                 let ((replies, extra_ns), dt) = self.clock.measure(|| server(&bytes));
-                let end = start + extra_ns + dt.as_nanos();
+                let end = start + sharers * (extra_ns + dt.as_nanos());
                 server_free = end;
                 for rbytes in replies {
-                    let ser = self.ser_ns(rbytes.len());
+                    let ser = sharers * self.ser_ns(rbytes.len());
                     let depart = end.max(reply_link_free);
                     reply_link_free = depart + ser;
                     let r_arrival = depart + ser + self.params.latency_ns;
@@ -472,6 +539,14 @@ impl Wire {
         self.bump("net.round_trips", 1);
         drop(span);
         Ok(got)
+    }
+}
+
+impl Drop for Wire {
+    fn drop(&mut self) {
+        if let Some(load) = self.load.take() {
+            load.detach();
+        }
     }
 }
 
@@ -624,6 +699,74 @@ mod tests {
         assert!(
             w.clock().now().as_nanos() >= clean.clock().now().as_nanos() + 10_000_000,
             "both directions should be delayed 5ms"
+        );
+    }
+
+    #[test]
+    fn server_load_scales_reply_serialization() {
+        // Two streams attached to one server machine: replies take the
+        // shared downlink at half rate, so the contended call is slower
+        // than the uncontended one but cheaper than two full transits
+        // (propagation latency is not shared).
+        let free = wire();
+        free.call(vec![0; 64], |_| vec![0; 60_000]).unwrap();
+
+        let load = ServerLoad::new();
+        let mut w = wire();
+        w.set_server_load(load.clone());
+        let mut other = wire();
+        other.set_server_load(load.clone());
+        assert_eq!(load.streams(), 2);
+        w.call(vec![0; 64], |_| vec![0; 60_000]).unwrap();
+        let contended = w.clock().now().as_nanos();
+        let uncontended = free.clock().now().as_nanos();
+        assert!(
+            contended > uncontended,
+            "contended {contended} must exceed uncontended {uncontended}"
+        );
+        assert!(contended < 2 * uncontended);
+        drop(other);
+        assert_eq!(load.streams(), 1);
+    }
+
+    #[test]
+    fn server_load_single_stream_is_time_neutral() {
+        // One attached stream must cost exactly what an unattached wire
+        // does, in both the blocking and pipelined paths.
+        let free = wire();
+        free.call(vec![0; 512], |_| vec![0; 4096]).unwrap();
+        let mut w = wire();
+        w.set_server_load(ServerLoad::new());
+        w.call(vec![0; 512], |_| vec![0; 4096]).unwrap();
+        assert_eq!(w.clock().now(), free.clock().now());
+
+        let free = wire();
+        let sent = free.clock().now();
+        free.exchange(vec![(sent, vec![0; 512])], |_| (vec![vec![0; 4096]], 1000));
+        let mut w = wire();
+        w.set_server_load(ServerLoad::new());
+        let sent = w.clock().now();
+        w.exchange(vec![(sent, vec![0; 512])], |_| (vec![vec![0; 4096]], 1000));
+        assert_eq!(w.clock().now(), free.clock().now());
+    }
+
+    #[test]
+    fn server_load_scales_exchange_service_time() {
+        const CPU: u64 = 1_000_000;
+        let free = wire();
+        let sent = free.clock().now();
+        free.exchange(vec![(sent, vec![0; 64])], |_| (vec![vec![0; 64]], CPU));
+
+        let load = ServerLoad::new();
+        let mut w = wire();
+        w.set_server_load(load.clone());
+        let mut _other = wire();
+        _other.set_server_load(load.clone());
+        let sent = w.clock().now();
+        w.exchange(vec![(sent, vec![0; 64])], |_| (vec![vec![0; 64]], CPU));
+        assert!(
+            w.clock().now().as_nanos() >= free.clock().now().as_nanos() + CPU,
+            "two sharers double the 1ms service time"
         );
     }
 
