@@ -241,6 +241,240 @@ impl FaultOpt {
     }
 }
 
+/// One operation kind in a scenario op mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioOp {
+    /// `GETATTR` through the attribute cache.
+    Stat,
+    /// Read `io_bytes` from a committed region of a file.
+    Read,
+    /// Append `io_bytes` and flush (a synchronous commit point).
+    Write,
+    /// Create a fresh file instance in a retired slot.
+    Create,
+    /// Remove a live file instance.
+    Unlink,
+    /// Open: close-to-open attribute + access check.
+    Open,
+}
+
+impl ScenarioOp {
+    /// Every op kind, in canonical (encode) order.
+    pub const ALL: [ScenarioOp; 6] = [
+        ScenarioOp::Stat,
+        ScenarioOp::Read,
+        ScenarioOp::Write,
+        ScenarioOp::Create,
+        ScenarioOp::Unlink,
+        ScenarioOp::Open,
+    ];
+
+    /// The spec-grammar name of this op.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioOp::Stat => "stat",
+            ScenarioOp::Read => "read",
+            ScenarioOp::Write => "write",
+            ScenarioOp::Create => "create",
+            ScenarioOp::Unlink => "unlink",
+            ScenarioOp::Open => "open",
+        }
+    }
+
+    /// Parses a spec-grammar op name.
+    pub fn parse(s: &str) -> Option<ScenarioOp> {
+        Self::ALL.iter().copied().find(|op| op.label() == s)
+    }
+}
+
+/// A declarative workload scenario: op-mix percentages, file-set shape,
+/// client count, and duration, in one comma-separated spec string the
+/// `scenarios` binary and the engine share
+/// (`seed=7,clients=4,dirs=8,files=64,file_bytes=8192,io_bytes=8192,ops=1200,cpu_ns=0,mix=stat:13+read:22+write:15+create:2+unlink:1+open:34`).
+///
+/// [`ScenarioSpec::encode`] is the canonical form: `parse(encode(s)) ==
+/// s` for every valid spec, which is what the round-trip property tests
+/// enforce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// Seed for the deterministic op/file/client choices.
+    pub seed: u64,
+    /// Concurrent clients sharing the server (1–64).
+    pub clients: usize,
+    /// Directories the file set is spread over.
+    pub dirs: usize,
+    /// File slots (each slot holds one live file instance at a time).
+    pub files: usize,
+    /// Initial bytes per file instance.
+    pub file_bytes: usize,
+    /// Bytes per read/append.
+    pub io_bytes: usize,
+    /// Operations to execute after setup.
+    pub ops: usize,
+    /// CPU burned per write op, ns (models compilation between I/Os).
+    pub cpu_ns: u64,
+    /// Weighted op mix, in spec order. Non-empty; weights positive.
+    pub mix: Vec<(ScenarioOp, u32)>,
+}
+
+/// Hard cap on `clients`: beyond this the simulated single-server world
+/// stops resembling the testbed the cost model was calibrated for.
+pub const MAX_SCENARIO_CLIENTS: usize = 64;
+
+impl ScenarioSpec {
+    /// Parses a scenario spec. Unknown keys, malformed numbers, and
+    /// structurally invalid mixes are rejected with errors that name the
+    /// offending key or entry.
+    pub fn parse(s: &str) -> Result<ScenarioSpec, String> {
+        let mut spec = ScenarioSpec {
+            seed: 1,
+            clients: 1,
+            dirs: 1,
+            files: 16,
+            file_bytes: 4096,
+            io_bytes: 1024,
+            ops: 100,
+            cpu_ns: 0,
+            mix: Vec::new(),
+        };
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                format!("scenario spec entry {part:?} is not of the form key=value")
+            })?;
+            let int = |what: &str| -> Result<u64, String> {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("{what}={value:?} is not a non-negative integer"))
+            };
+            match key {
+                "seed" => spec.seed = int("seed")?,
+                "clients" => spec.clients = int("clients")? as usize,
+                "dirs" => spec.dirs = int("dirs")? as usize,
+                "files" => spec.files = int("files")? as usize,
+                "file_bytes" => spec.file_bytes = int("file_bytes")? as usize,
+                "io_bytes" => spec.io_bytes = int("io_bytes")? as usize,
+                "ops" => spec.ops = int("ops")? as usize,
+                "cpu_ns" => spec.cpu_ns = parse_ns(value)?,
+                "mix" => spec.mix = parse_mix(value)?,
+                other => {
+                    return Err(format!(
+                        "unknown scenario spec key {other:?} (known keys: seed, clients, \
+                         dirs, files, file_bytes, io_bytes, ops, cpu_ns, mix)"
+                    ))
+                }
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// The canonical spec string: every field, fixed order, mix in
+    /// stored order. `parse(encode(x)) == x`.
+    pub fn encode(&self) -> String {
+        let mix: Vec<String> = self
+            .mix
+            .iter()
+            .map(|(op, w)| format!("{}:{}", op.label(), w))
+            .collect();
+        format!(
+            "seed={},clients={},dirs={},files={},file_bytes={},io_bytes={},ops={},cpu_ns={},mix={}",
+            self.seed,
+            self.clients,
+            self.dirs,
+            self.files,
+            self.file_bytes,
+            self.io_bytes,
+            self.ops,
+            self.cpu_ns,
+            mix.join("+")
+        )
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.clients == 0 {
+            return Err("clients=0: a scenario needs at least one client".into());
+        }
+        if self.clients > MAX_SCENARIO_CLIENTS {
+            return Err(format!(
+                "clients={} exceeds the maximum of {MAX_SCENARIO_CLIENTS}",
+                self.clients
+            ));
+        }
+        if self.dirs == 0 {
+            return Err("dirs=0: the file set needs at least one directory".into());
+        }
+        if self.files < 2 {
+            return Err(format!(
+                "files={}: need at least 2 file slots so unlink can always leave one live file",
+                self.files
+            ));
+        }
+        if self.file_bytes == 0 || self.io_bytes == 0 {
+            return Err("file_bytes and io_bytes must be at least 1".into());
+        }
+        if self.ops == 0 {
+            return Err("ops=0: the scenario would do nothing after setup".into());
+        }
+        if self.mix.is_empty() {
+            return Err(
+                "scenario spec needs a mix= op table, e.g. mix=stat:30+read:50+write:20".into(),
+            );
+        }
+        let total: u64 = self.mix.iter().map(|(_, w)| *w as u64).sum();
+        if total > 100_000 {
+            return Err(format!("mix weights sum to {total}, above the 100000 cap"));
+        }
+        Ok(())
+    }
+}
+
+fn parse_mix(value: &str) -> Result<Vec<(ScenarioOp, u32)>, String> {
+    let mut mix = Vec::new();
+    for entry in value.split('+') {
+        let (name, weight) = entry.split_once(':').ok_or_else(|| {
+            format!("mix entry {entry:?} is not of the form op:weight (e.g. read:30)")
+        })?;
+        let op = ScenarioOp::parse(name).ok_or_else(|| {
+            format!("unknown mix op {name:?} (known ops: stat, read, write, create, unlink, open)")
+        })?;
+        let w: u32 = weight
+            .parse()
+            .map_err(|_| format!("mix weight {weight:?} for {name} is not an integer"))?;
+        if w == 0 {
+            return Err(format!("mix weight for {name} must be positive"));
+        }
+        if mix.iter().any(|(o, _)| *o == op) {
+            return Err(format!("mix lists {name} twice"));
+        }
+        mix.push((op, w));
+    }
+    Ok(mix)
+}
+
+/// Parses a duration as plain nanoseconds or with an `ns`/`us`/`ms`/`s`
+/// suffix (`cpu_ns=2ms`).
+fn parse_ns(value: &str) -> Result<u64, String> {
+    let (digits, mult) = if let Some(v) = value.strip_suffix("ns") {
+        (v, 1)
+    } else if let Some(v) = value.strip_suffix("us") {
+        (v, 1_000)
+    } else if let Some(v) = value.strip_suffix("ms") {
+        (v, 1_000_000)
+    } else if let Some(v) = value.strip_suffix('s') {
+        (v, 1_000_000_000)
+    } else {
+        (value, 1)
+    };
+    digits
+        .parse::<u64>()
+        .map(|n| n * mult)
+        .map_err(|_| format!("duration {value:?} is not an integer with optional ns/us/ms/s"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,18 +23,24 @@
 //! runs that mode); the assertions hold there too because virtual time
 //! is deterministic at any scale.
 //!
-//! Usage: `cargo run --release -p sfs-bench --bin fanout [-- --smoke] [--out PATH]`
+//! `--faults <spec>` threads a seeded fault plan through every client's
+//! wire; the perf envelope is skipped (drops legitimately break
+//! monotone scaling and force failovers) but the fault envelope is
+//! asserted instead — a faulted run must actually inject what its spec
+//! promises.
+//!
+//! Usage: `cargo run --release -p sfs-bench --bin fanout [-- --smoke] [--out PATH] [--faults SPEC]`
 
 use sfs::client::Router;
 use sfs::roclient::RoMount;
 use sfs::server::RoReplicaServer;
-use sfs_bench::args::Args;
+use sfs_bench::args::{Args, FaultOpt};
 use sfs_bignum::XorShiftSource;
 use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
 use sfs_proto::pathname::SelfCertifyingPath;
 use sfs_proto::readonly::RoDatabase;
 use sfs_relay::ReplicaGroup;
-use sfs_sim::{NetParams, SimClock, Transport, Wire};
+use sfs_sim::{FaultPlan, NetParams, SimClock, Transport, Wire};
 use sfs_vfs::{Credentials, Vfs};
 
 const LOCATION: &str = "ro.lcs.mit.edu";
@@ -83,7 +89,13 @@ fn published_bundle(key: &RabinPrivateKey, files: usize, file_bytes: usize) -> V
 
 /// One sweep point: `r` keyless replicas of the bundle behind a relay,
 /// the full client fleet reading the entire tree with verification on.
-fn run_replicas(r: usize, key: &RabinPrivateKey, bundle: &[u8], files: usize) -> Row {
+fn run_replicas(
+    r: usize,
+    key: &RabinPrivateKey,
+    bundle: &[u8],
+    files: usize,
+    plan: Option<&FaultPlan>,
+) -> Row {
     let path = SelfCertifyingPath::for_server(LOCATION, key.public());
     let group = ReplicaGroup::new(path.clone());
     for _ in 0..r {
@@ -93,15 +105,37 @@ fn run_replicas(r: usize, key: &RabinPrivateKey, bundle: &[u8], files: usize) ->
     // Attach the whole fleet first so every read below runs under the
     // steady-state per-replica stream count (CLIENTS / r).
     let mut fleet: Vec<(SimClock, RoMount)> = Vec::new();
-    for _ in 0..CLIENTS {
-        let clock = SimClock::new();
-        let mut wire = Wire::new(clock.clone(), NetParams::switched_100mbit(Transport::Tcp));
-        let routed = group.route_ro().expect("group has live replicas");
-        if let Some(load) = routed.load {
-            wire.set_server_load(load);
+    for c in 0..CLIENTS {
+        // Under faults the handshake itself can time out; retry a few
+        // times (each attempt re-routes), and only then drop the client
+        // from the fleet.
+        let attempts = if plan.is_some() { 3 } else { 1 };
+        let mut connected = false;
+        for _ in 0..attempts {
+            let clock = SimClock::new();
+            let mut wire = Wire::new(clock.clone(), NetParams::switched_100mbit(Transport::Tcp));
+            if let Some(p) = plan {
+                wire.set_fault_plan(p.clone());
+            }
+            let routed = group.route_ro().expect("group has live replicas");
+            if let Some(load) = routed.load {
+                wire.set_server_load(load);
+            }
+            match RoMount::connect(path.clone(), wire, routed.conn) {
+                Ok(mount) => {
+                    fleet.push((clock, mount));
+                    connected = true;
+                    break;
+                }
+                Err(e) if plan.is_some() => {
+                    eprintln!("  client {c} handshake failed under faults: {e:?}");
+                }
+                Err(e) => panic!("handshake: {e:?}"),
+            }
         }
-        let mount = RoMount::connect(path.clone(), wire, routed.conn).expect("handshake");
-        fleet.push((clock, mount));
+        if !connected {
+            eprintln!("  client {c} never connected under faults; running without it");
+        }
     }
 
     let mut total_bytes = 0u64;
@@ -110,9 +144,17 @@ fn run_replicas(r: usize, key: &RabinPrivateKey, bundle: &[u8], files: usize) ->
     let mut failovers = 0u64;
     for (clock, mount) in &fleet {
         for f in 0..files {
-            let data = mount
-                .read_file(&format!("/data/f{f}"))
-                .expect("verified read");
+            // Under faults a read may fail outright once retries and
+            // failover are exhausted; what must never happen — faults
+            // or not — is an unverified byte getting through.
+            let data = match mount.read_file(&format!("/data/f{f}")) {
+                Ok(data) => data,
+                Err(e) if plan.is_some() => {
+                    eprintln!("  read of f{f} failed under faults: {e:?}");
+                    continue;
+                }
+                Err(e) => panic!("verified read of f{f}: {e:?}"),
+            };
             assert_eq!(
                 data,
                 file_body(f, data.len()),
@@ -170,8 +212,9 @@ fn write_json(path: &str, mode: &str, files: usize, file_bytes: usize, rows: &[R
 
 fn main() {
     let args = Args::from_env();
-    args.enforce_known(&["out"], &["smoke"]);
+    args.enforce_known(&["out", "faults"], &["smoke"]);
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let faults = FaultOpt::from_args();
     let out_path = args
         .opt("out")
         .unwrap_or_else(|| "BENCH_fanout.json".into());
@@ -193,7 +236,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for r in REPLICAS {
-        let row = run_replicas(r, &key, &bundle, files);
+        let row = run_replicas(r, &key, &bundle, files, faults.plan());
         println!(
             "  replicas {:>2}  {:>12} ns makespan   {:>8.2} MB/s aggregate   {:>6.2} MB/s per client   {} RPCs   {} failovers",
             row.replicas,
@@ -212,6 +255,17 @@ fn main() {
         file_bytes,
         &rows,
     );
+
+    // Under --faults the perf envelope does not apply — drops break
+    // monotone scaling and legitimately force failovers — but the fault
+    // envelope must hold: the plan actually injected what it promised.
+    let final_ns = rows.iter().map(|r| r.virtual_ns).max().unwrap_or(0);
+    faults.finish();
+    faults.assert_envelope(final_ns);
+    if faults.enabled() {
+        println!("perf envelope skipped under --faults");
+        return;
+    }
 
     // Regression envelope. Virtual time is deterministic, so these are
     // exact checks, not statistical ones.

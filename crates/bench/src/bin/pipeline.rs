@@ -15,13 +15,20 @@
 //! that mode); the assertions hold there too because virtual time is
 //! deterministic at any scale.
 //!
-//! Usage: `cargo run --release -p sfs-bench --bin pipeline [-- --smoke] [--out PATH]`
+//! `--faults <spec>` threads a seeded fault plan through the wire,
+//! server, and disk; the perf envelope is skipped (dropped packets make
+//! the window sweep non-monotone by design) but the fault envelope is
+//! asserted instead — a faulted run must actually inject what its spec
+//! promises.
+//!
+//! Usage: `cargo run --release -p sfs-bench --bin pipeline [-- --smoke] [--out PATH] [--faults SPEC]`
 
 use std::time::Instant;
 
-use sfs_bench::args::Args;
-use sfs_bench::calib::{build_fs_with_cpu, System};
-use sfs_sim::CpuCosts;
+use sfs_bench::args::{Args, FaultOpt};
+use sfs_bench::calib::{build_fs_chaos, System};
+use sfs_sim::FaultPlan;
+use sfs_telemetry::{Telemetry, ZeroClock};
 
 /// The windows swept; 1 doubles as the blocking baseline row.
 const WINDOWS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -43,12 +50,13 @@ struct Row {
     virtual_ns_per_read: u64,
     wall_ns_per_read: u128,
     rpcs: u64,
+    final_clock_ns: u64,
 }
 
 /// One full-stack sequential read of `total` bytes with the given
-/// pipeline window, on a fresh testbed.
-fn run_window(window: usize, total: usize) -> Row {
-    let (fs, clock, prefix, _) = build_fs_with_cpu(System::Sfs, CpuCosts::pentium_iii_550());
+/// pipeline window, on a fresh testbed sharing the run's fault plan.
+fn run_window(window: usize, total: usize, tel: &Telemetry, plan: Option<&FaultPlan>) -> Row {
+    let (fs, clock, prefix, _) = build_fs_chaos(System::Sfs, tel, plan);
     fs.set_pipeline_window(window);
     let path = if prefix.is_empty() {
         "pipefile".to_string()
@@ -86,6 +94,7 @@ fn run_window(window: usize, total: usize) -> Row {
         virtual_ns_per_read: virtual_ns / n_reads as u64,
         wall_ns_per_read: wall_ns / n_reads as u128,
         rpcs: fs.rpcs() - rpcs_before,
+        final_clock_ns: clock.now().as_nanos(),
     }
 }
 
@@ -121,7 +130,10 @@ fn write_json(path: &str, mode: &str, total: usize, rows: &[Row]) {
 
 fn main() {
     let args = Args::from_env();
+    args.enforce_known(&["out", "faults"], &["smoke"]);
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let faults = FaultOpt::from_args();
+    let tel = Telemetry::recording(ZeroClock);
     let out_path = args
         .opt("out")
         .unwrap_or_else(|| "BENCH_pipeline.json".into());
@@ -130,7 +142,7 @@ fn main() {
     println!("== pipeline: sequential 8 KiB reads, window sweep ==");
     let mut rows = Vec::new();
     for window in WINDOWS {
-        let row = run_window(window, total);
+        let row = run_window(window, total, &tel, faults.plan());
         println!(
             "  window {:>2}{}  {:>12} ns virtual   {:>8.2} MB/s   {:>8} ns/read (virtual)   {:>8} ns/read (wall)   {} RPCs",
             row.window,
@@ -149,6 +161,17 @@ fn main() {
         total,
         &rows,
     );
+
+    // Under --faults the perf envelope does not apply (a dropped or
+    // delayed packet can legitimately slow any window), but the fault
+    // envelope must hold: the plan actually injected what it promised.
+    let final_ns = rows.iter().map(|r| r.final_clock_ns).max().unwrap_or(0);
+    faults.finish();
+    faults.assert_envelope(final_ns);
+    if faults.enabled() {
+        println!("perf envelope skipped under --faults");
+        return;
+    }
 
     // Regression envelope. Virtual time is deterministic, so these are
     // exact checks, not statistical ones.

@@ -1,0 +1,346 @@
+//! `scenarios`: the trace-driven workload engine and churn-storm driver.
+//!
+//! Replays the built-in declarative workloads — the LADDIS-style op mix,
+//! the compile-a-tree mix, the mail-spool mix — and the "million-user
+//! day" churn storms (mass remount waves, agent key rollover, lease-
+//! expiry stampedes, a §2.5 revocation broadcast) through the full SFS
+//! stack under virtual time. Every scenario is self-asserting: the
+//! coherence oracle checks each observation against the committed file
+//! history, and each scenario runs **twice** so the binary can prove the
+//! run is deterministic byte-for-byte (op log, final clock, and latency
+//! table all identical).
+//!
+//! Options:
+//!
+//! - `--scenario NAME|SPEC`: run one scenario — a built-in name (see
+//!   `--list`) or an inline `ScenarioSpec` (`seed=7,clients=2,...,mix=...`);
+//!   default runs every built-in mix and storm;
+//! - `--faults SPEC`: thread a seeded fault plan through the wire,
+//!   server, and disk of every run; the envelope is asserted per run;
+//! - `--smoke`: shrink op counts and populations for CI;
+//! - `--out PATH`: results JSON (default `BENCH_scenarios.json`);
+//! - `--latency-out PATH`: per-procedure latency tables (default
+//!   `BENCH_scenarios_latency.txt`);
+//! - `--record PATH`: write the byte-replayable request trace of a mix
+//!   scenario (requires `--scenario` naming a mix);
+//! - `--replay PATH`: replay a recorded trace against a fresh world and
+//!   verify the re-recorded trace is byte-identical;
+//! - `--list`: print the built-in scenario names.
+
+use sfs_bench::args::{Args, FaultOpt, ScenarioSpec};
+use sfs_bench::kernel::SfsBench;
+use sfs_bench::scenario::{
+    build_world, builtin_mixes, encode_trace, parse_trace, replay_trace, run_mix, run_storm,
+    RecordingFs, ScenarioOutcome, TraceSink, STORM_NAMES,
+};
+use sfs_telemetry::sync::Mutex;
+use sfs_telemetry::{Telemetry, ZeroClock};
+use std::sync::Arc;
+
+use sfs_bench::calib::BENCH_UID;
+use sfs_bench::kernel::FsBench;
+
+/// FNV-1a 64-bit, used to commit the op log compactly into the JSON.
+fn fnv64(lines: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in lines {
+        for b in line.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= b'\n' as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+struct Row {
+    name: String,
+    kind: &'static str,
+    clients: usize,
+    ops: usize,
+    final_ns: u64,
+    oracle_checks: u64,
+    oplog_fnv64: u64,
+    injected_faults: u64,
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("scenarios: {msg}");
+    std::process::exit(2)
+}
+
+/// Builds a fresh fault option from the run's `--faults` spec; each of
+/// the two determinism runs needs its own plan so injected-event
+/// tallies don't leak between them.
+fn fresh_faults(spec: &Option<String>) -> FaultOpt {
+    FaultOpt::with_spec(spec.clone()).unwrap_or_else(|e| die(format!("--faults: {e}")))
+}
+
+/// One scenario execution with its own telemetry and fault plan.
+/// Returns the outcome, the rendered latency table, and the injected-
+/// fault count; asserts the fault envelope before returning.
+fn execute(
+    name: &str,
+    kind: &'static str,
+    fault_spec: &Option<String>,
+    smoke: bool,
+    spec: Option<&ScenarioSpec>,
+    trace: Option<&TraceSink>,
+) -> (ScenarioOutcome, String, u64) {
+    let faults = fresh_faults(fault_spec);
+    let tel = Telemetry::recording(ZeroClock);
+    let outcome = match kind {
+        "mix" => run_mix(name, spec.expect("mix spec"), &tel, faults.plan(), trace),
+        _ => run_storm(name, &tel, faults.plan(), smoke)
+            .unwrap_or_else(|| die(format!("unknown storm {name:?}"))),
+    };
+    faults.finish();
+    faults.assert_envelope(outcome.final_ns);
+    let injected = faults.plan().map(|p| p.injected() as u64).unwrap_or(0);
+    (outcome, tel.histograms_json(), injected)
+}
+
+/// Runs one scenario twice and verifies the two runs agree on every
+/// observable byte. Returns the first run's row and latency table.
+fn run_twice(
+    name: &str,
+    kind: &'static str,
+    fault_spec: &Option<String>,
+    smoke: bool,
+    spec: Option<&ScenarioSpec>,
+    trace: Option<&TraceSink>,
+) -> (Row, String) {
+    println!("== scenario {name} ({kind}) ==");
+    let (a, table_a, injected) = execute(name, kind, fault_spec, smoke, spec, trace);
+    let (b, table_b, _) = execute(name, kind, fault_spec, smoke, spec, None);
+    if a.op_log != b.op_log {
+        let divergence = a
+            .op_log
+            .iter()
+            .zip(b.op_log.iter())
+            .position(|(x, y)| x != y)
+            .map(|i| {
+                format!(
+                    "first divergence at op {i}: {:?} vs {:?}",
+                    a.op_log[i], b.op_log[i]
+                )
+            })
+            .unwrap_or_else(|| {
+                format!("op counts differ: {} vs {}", a.op_log.len(), b.op_log.len())
+            });
+        eprintln!("FAIL: scenario {name} is not deterministic ({divergence})");
+        std::process::exit(1);
+    }
+    if a.final_ns != b.final_ns {
+        eprintln!(
+            "FAIL: scenario {name} final clock differs between runs: {} vs {}",
+            a.final_ns, b.final_ns
+        );
+        std::process::exit(1);
+    }
+    if table_a != table_b {
+        eprintln!("FAIL: scenario {name} latency table differs between identical runs");
+        std::process::exit(1);
+    }
+    let (clients, ops) = match spec {
+        Some(s) => (s.clients, s.ops),
+        None => (0, a.op_log.len()),
+    };
+    println!(
+        "  {} ops, final clock {} ns, {} oracle checks, deterministic across 2 runs{}",
+        a.op_log.len(),
+        a.final_ns,
+        a.oracle_checks,
+        if injected > 0 {
+            format!(", {injected} faults injected")
+        } else {
+            String::new()
+        }
+    );
+    (
+        Row {
+            name: name.to_string(),
+            kind,
+            clients,
+            ops,
+            final_ns: a.final_ns,
+            oracle_checks: a.oracle_checks,
+            oplog_fnv64: fnv64(&a.op_log),
+            injected_faults: injected,
+        },
+        table_a,
+    )
+}
+
+fn write_results(path: &str, mode: &str, fault_spec: &Option<String>, rows: &[Row]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"sfs-bench/scenarios/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    match fault_spec {
+        Some(s) => out.push_str(&format!("  \"faults\": \"{s}\",\n")),
+        None => out.push_str("  \"faults\": null,\n"),
+    }
+    out.push_str("  \"determinism\": \"each scenario ran twice; op log, final clock, and latency table were byte-identical\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"clients\": {}, \"ops\": {}, \"final_ns\": {}, \"oracle_checks\": {}, \"oplog_fnv64\": \"{:016x}\", \"injected_faults\": {}, \"deterministic\": true}}{}\n",
+            r.name,
+            r.kind,
+            r.clients,
+            r.ops,
+            r.final_ns,
+            r.oracle_checks,
+            r.oplog_fnv64,
+            r.injected_faults,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| die(format!("write {path}: {e}")));
+    println!("wrote {path}");
+}
+
+/// Replays a recorded trace against a fresh single-client world while
+/// re-recording it, then verifies the re-recording is byte-identical to
+/// the input — the trace format's round-trip guarantee through the real
+/// stack, not just the parser.
+fn replay_file(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(format!("read {path}: {e}")));
+    let ops = parse_trace(&text).unwrap_or_else(|e| die(format!("{path}: {e}")));
+    let tel = Telemetry::recording(ZeroClock);
+    let world = build_world(1, 1, None, &tel, None);
+    let prefix = world.prefix(0);
+    let bench: Box<dyn FsBench> = Box::new(SfsBench::new(
+        "SFS",
+        world.clients[0].clone(),
+        BENCH_UID,
+        &prefix,
+    ));
+    let sink: TraceSink = Arc::new(Mutex::new(Vec::new()));
+    let rec = RecordingFs::new(bench, sink.clone());
+    replay_trace(&rec, &ops).unwrap_or_else(|e| die(format!("replaying {path}: {e:?}")));
+    let replayed = encode_trace(&sink.lock());
+    if replayed != encode_trace(&ops) {
+        eprintln!("FAIL: replay of {path} did not reproduce the trace byte-for-byte");
+        std::process::exit(1);
+    }
+    println!(
+        "replayed {} ops from {path}; re-recorded trace is byte-identical",
+        ops.len()
+    );
+}
+
+fn main() {
+    let args = Args::from_env();
+    args.enforce_known(
+        &[
+            "scenario",
+            "faults",
+            "out",
+            "latency-out",
+            "record",
+            "replay",
+        ],
+        &["smoke", "list"],
+    );
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if std::env::args().any(|a| a == "--list") {
+        for (name, spec) in builtin_mixes() {
+            println!("{name:<18} mix    {}", spec.encode());
+        }
+        for name in STORM_NAMES {
+            println!("{name:<18} storm");
+        }
+        return;
+    }
+    // Validate the fault spec once up front, then rebuild per run.
+    let fault_spec = args.opt("faults");
+    let _ = fresh_faults(&fault_spec);
+
+    if let Some(path) = args.opt("replay") {
+        replay_file(&path);
+        return;
+    }
+
+    // Resolve the scenario set: everything by default, or one chosen by
+    // name / inline spec.
+    let mut mixes: Vec<(String, ScenarioSpec)> = Vec::new();
+    let mut storms: Vec<String> = Vec::new();
+    match args.opt("scenario") {
+        None => {
+            mixes = builtin_mixes()
+                .into_iter()
+                .map(|(n, s)| (n.to_string(), s))
+                .collect();
+            storms = STORM_NAMES.iter().map(|s| s.to_string()).collect();
+        }
+        Some(sel) => {
+            if let Some((_, spec)) = builtin_mixes().iter().find(|(n, _)| *n == sel) {
+                mixes.push((sel.clone(), spec.clone()));
+            } else if STORM_NAMES.contains(&sel.as_str()) {
+                storms.push(sel.clone());
+            } else if sel.contains('=') {
+                let spec =
+                    ScenarioSpec::parse(&sel).unwrap_or_else(|e| die(format!("--scenario: {e}")));
+                mixes.push(("custom".to_string(), spec));
+            } else {
+                die(format!(
+                    "unknown scenario {sel:?} (see --list for built-ins, or pass an inline spec)"
+                ));
+            }
+        }
+    }
+    if smoke {
+        for (_, spec) in &mut mixes {
+            spec.ops = spec.ops.min(120);
+            spec.clients = spec.clients.min(2);
+        }
+    }
+
+    let record = args.opt("record");
+    if record.is_some() && mixes.len() != 1 {
+        die("--record requires --scenario naming exactly one mix scenario".into());
+    }
+
+    let out_path = args
+        .opt("out")
+        .unwrap_or_else(|| "BENCH_scenarios.json".into());
+    let latency_path = args
+        .opt("latency-out")
+        .unwrap_or_else(|| "BENCH_scenarios_latency.txt".into());
+
+    let mut rows = Vec::new();
+    let mut tables = String::new();
+    for (name, spec) in &mixes {
+        let sink: Option<TraceSink> = record.as_ref().map(|_| Arc::new(Mutex::new(Vec::new())));
+        let (row, table) = run_twice(name, "mix", &fault_spec, smoke, Some(spec), sink.as_ref());
+        if let (Some(path), Some(sink)) = (&record, &sink) {
+            let text = encode_trace(&sink.lock());
+            std::fs::write(path, &text).unwrap_or_else(|e| die(format!("write {path}: {e}")));
+            println!("recorded {} trace ops to {path}", sink.lock().len());
+        }
+        tables.push_str(&format!(
+            "== {name} (mix: {}) ==\n{table}\n\n",
+            spec.encode()
+        ));
+        rows.push(row);
+    }
+    for name in &storms {
+        let (row, table) = run_twice(name, "storm", &fault_spec, smoke, None, None);
+        tables.push_str(&format!("== {name} (storm) ==\n{table}\n\n"));
+        rows.push(row);
+    }
+
+    std::fs::write(&latency_path, &tables)
+        .unwrap_or_else(|e| die(format!("write {latency_path}: {e}")));
+    println!("wrote {latency_path}");
+    write_results(
+        &out_path,
+        if smoke { "smoke" } else { "full" },
+        &fault_spec,
+        &rows,
+    );
+}

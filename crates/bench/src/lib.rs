@@ -20,6 +20,7 @@ pub mod calib;
 pub mod kernel;
 pub mod microbench;
 pub mod report;
+pub mod scenario;
 pub mod trace;
 pub mod workloads;
 

@@ -102,6 +102,32 @@ impl Agent {
         self.keys.push(key);
     }
 
+    /// Replaces the key at `index` with `key` — the agent half of a §2.5
+    /// key rollover: after `sfskey` registers a new public key with the
+    /// authserver, the agent swaps in the matching private key so future
+    /// authentications use it. Returns false if `index` is out of range
+    /// (the old key is then untouched).
+    pub fn replace_key(&mut self, index: usize, key: RabinPrivateKey) -> bool {
+        match self.keys.get_mut(index) {
+            Some(slot) => {
+                *slot = key;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops the key at `index` (e.g. after rollover, once no server
+    /// session still depends on it). Returns false if out of range.
+    pub fn remove_key(&mut self, index: usize) -> bool {
+        if index < self.keys.len() {
+            self.keys.remove(index);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Number of keys held.
     pub fn key_count(&self) -> usize {
         self.keys.len()

@@ -1526,8 +1526,22 @@ impl SfsClient {
         uid: u32,
         req: &Nfs3Request,
     ) -> Result<Nfs3Reply, ClientError> {
+        self.refuse_if_revoked(mount, uid)?;
         self.barrier(mount)?;
         self.call_nfs_unqueued(mount, uid, req)
+    }
+
+    /// Re-checks agent revocation/blocking policy on an already-mounted
+    /// server. `mount()` refuses revoked HostIDs at mount time, but a
+    /// §2.5 revocation broadcast must also cut off clients holding live
+    /// mounts — a cached [`Mount`] is exactly the capability a
+    /// revocation exists to invalidate, so every NFS call re-consults
+    /// the agent before touching the wire.
+    fn refuse_if_revoked(&self, mount: &Mount, uid: u32) -> Result<(), ClientError> {
+        if self.agent(uid).lock().refuses(mount.path.host_id) {
+            return Err(ClientError::Blocked);
+        }
+        Ok(())
     }
 
     /// [`Self::call_nfs`] without the write-behind barrier (the flush
@@ -1579,6 +1593,7 @@ impl SfsClient {
         uid: u32,
         reqs: &[Nfs3Request],
     ) -> Result<Vec<Nfs3Reply>, ClientError> {
+        self.refuse_if_revoked(mount, uid)?;
         self.barrier(mount)?;
         self.call_nfs_window_unqueued(mount, uid, reqs)
     }
@@ -2118,6 +2133,9 @@ impl SfsClient {
     /// GETATTR with the enhanced cache: served locally while the lease is
     /// valid.
     pub fn getattr(&self, mount: &Mount, uid: u32, fh: &FileHandle) -> Result<Fattr3, ClientError> {
+        // A revoked HostID is refused even on a lease-held cache hit:
+        // §2.5 revocation blocks *access*, not just wire traffic.
+        self.refuse_if_revoked(mount, uid)?;
         if self.caching.load(Ordering::SeqCst) {
             if let Some(c) = mount.attr_cache.lock().get(&fh.0) {
                 if self.clock.now() < c.expires {
@@ -2144,6 +2162,7 @@ impl SfsClient {
         fh: &FileHandle,
         mask: u32,
     ) -> Result<u32, ClientError> {
+        self.refuse_if_revoked(mount, uid)?;
         let key = (fh.0.clone(), uid, mask);
         if self.caching.load(Ordering::SeqCst) {
             if let Some(c) = mount.access_cache.lock().get(&key) {

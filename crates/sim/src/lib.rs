@@ -22,8 +22,12 @@
 //! - [`cpu`]: per-byte and per-operation CPU cost accounting (user-level
 //!   crossings, software crypto);
 //! - [`ipc`]: authenticated local inter-process calls standing in for
-//!   Unix-domain sockets plus the `suidconnect` helper (§3.2).
+//!   Unix-domain sockets plus the `suidconnect` helper (§3.2);
+//! - [`churn`]: seeded population-churn schedules ([`ChurnSchedule`]) for
+//!   "million-user day" storm scenarios — mass remounts, key rollover,
+//!   lease-expiry waves, revocation broadcast.
 
+pub mod churn;
 pub mod cpu;
 pub mod disk;
 pub mod fault;
@@ -32,6 +36,7 @@ pub mod journal;
 pub mod net;
 pub mod time;
 
+pub use churn::{ChurnSchedule, ChurnWave};
 pub use cpu::CpuCosts;
 pub use disk::{DiskParams, SimDisk};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, NetAction};

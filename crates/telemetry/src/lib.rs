@@ -405,6 +405,34 @@ impl Telemetry {
             .collect()
     }
 
+    /// Every histogram as one deterministic JSON array — the
+    /// per-scenario latency export benchmark binaries commit as
+    /// artifacts. Rows are sorted by `(process, name)` and every field
+    /// is an integer, so identical runs serialize byte-for-byte
+    /// identically.
+    pub fn histograms_json(&self) -> String {
+        let mut out = String::from("[\n");
+        let hists = self.histograms();
+        for (i, (proc, name, h)) in hists.iter().enumerate() {
+            let q = |p: f64| h.quantile(p).unwrap_or(0);
+            out.push_str(&format!(
+                "  {{\"process\": \"{}\", \"name\": \"{}\", \"count\": {}, \"mean_ns\": {}, \
+                 \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}{}\n",
+                proc,
+                name,
+                h.count(),
+                h.mean(),
+                q(0.5),
+                q(0.9),
+                q(0.99),
+                h.max(),
+                if i + 1 == hists.len() { "" } else { "," }
+            ));
+        }
+        out.push(']');
+        out
+    }
+
     /// Quantile of histogram `(proc, name)`, if it exists and is
     /// non-empty.
     pub fn quantile(&self, proc: &str, name: &'static str, q: f64) -> Option<u64> {
@@ -799,6 +827,24 @@ mod tests {
         assert_eq!(t.counter("client", "x"), 0);
         assert!(t.finished_spans().is_empty());
         assert_eq!(t.chrome_trace(), "{\"traceEvents\":[]}\n");
+    }
+
+    #[test]
+    fn histograms_json_is_sorted_and_integer_only() {
+        let t = Telemetry::recording(ZeroClock);
+        t.record("srv", "nfs3_read", 1_000);
+        t.record("srv", "nfs3_read", 3_000);
+        t.record("cli", "ops_stat", 500);
+        let json = t.histograms_json();
+        // Sorted by (process, name): cli row first.
+        let cli = json.find("\"process\": \"cli\"").expect("cli row");
+        let srv = json.find("\"process\": \"srv\"").expect("srv row");
+        assert!(cli < srv);
+        assert!(json.contains("\"count\": 2"));
+        assert!(json.contains("\"mean_ns\": 2000"));
+        assert!(!json.contains('.'), "all fields integral: {json}");
+        // Deterministic: a second serialization is byte-identical.
+        assert_eq!(json, t.histograms_json());
     }
 
     #[test]

@@ -243,3 +243,79 @@ fn key_change_via_two_pathnames() {
         SelfCertifyingPath::parse_full(&via_new).unwrap().0,
     );
 }
+
+#[test]
+fn mass_revocation_storm_under_faults() {
+    // The §2.5 "million-user day" slice: a fleet of clients holding live
+    // mounts on two servers when a revocation broadcast lands for one of
+    // them, on a degraded network. Every revoked access — cached mount
+    // or fresh — must be refused for every client, no unrevoked access
+    // may regress, and the seeded fault plan must have actually injected
+    // faults into the run.
+    let w = World::new();
+    let plan = sfs_sim::FaultPlan::from_spec("seed=77,drop=15,delay=30,delay_ns=500us").unwrap();
+    w.net.set_fault_plan(plan.clone());
+    let revoked = w.add_server(0, "revoked.example.org");
+    let healthy = w.add_server(1, "healthy.example.org");
+    w.login_alice();
+    let mut clients = vec![w.client.clone()];
+    for c in 0..2 {
+        let client = sfs::client::SfsClient::new(w.net.clone(), format!("storm-{c}").as_bytes());
+        client.agent(ALICE_UID).lock().add_key(common::alice_key());
+        clients.push(client);
+    }
+    let via_revoked = format!("{}/pub/hello", revoked.path().full_path());
+    let via_healthy = format!("{}/pub/hello", healthy.path().full_path());
+
+    // Warm phase: every client holds live mounts on both servers.
+    for client in &clients {
+        assert_eq!(
+            client.read_file(ALICE_UID, &via_revoked).unwrap(),
+            b"hello from revoked.example.org"
+        );
+        assert_eq!(
+            client.read_file(ALICE_UID, &via_healthy).unwrap(),
+            b"hello from healthy.example.org"
+        );
+    }
+
+    // The broadcast, mid-workload: the self-authenticating certificate
+    // reaches the server and every agent.
+    let cert = RevocationCert::issue(&common::server_key(0), "revoked.example.org");
+    revoked.install_revocation(cert.clone());
+    for (c, client) in clients.iter().enumerate() {
+        assert!(
+            client
+                .agent(ALICE_UID)
+                .lock()
+                .submit_revocation(cert.clone()),
+            "client {c} agent rejected a valid certificate"
+        );
+    }
+
+    for (c, client) in clients.iter().enumerate() {
+        // Cached-mount access: refused without touching the wire.
+        assert_eq!(
+            client.read_file(ALICE_UID, &via_revoked).unwrap_err(),
+            ClientError::Blocked,
+            "client {c} cached-mount access survived revocation"
+        );
+        // Fresh mount: refused too.
+        client.unmount_all();
+        let err = client.read_file(ALICE_UID, &via_revoked).unwrap_err();
+        assert!(
+            matches!(err, ClientError::Blocked | ClientError::Revoked),
+            "client {c} remounted a revoked HostID: {err:?}"
+        );
+        // The unrevoked server regresses in no way.
+        assert_eq!(
+            client.read_file(ALICE_UID, &via_healthy).unwrap(),
+            b"hello from healthy.example.org",
+            "client {c} lost access to the unrevoked server"
+        );
+    }
+    assert!(
+        plan.injected() > 0,
+        "the storm ran fault-free; the plan was not wired into the network"
+    );
+}
