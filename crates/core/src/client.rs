@@ -115,6 +115,10 @@ pub enum ClientError {
     Revoked,
     /// The user's agent has blocked this HostID.
     Blocked,
+    /// The routing tier refused the dial under admission control (a
+    /// cold-start reconnect storm is being metered). Transient by
+    /// definition: retried with the normal reconnect backoff.
+    Busy,
     /// NFS-level error.
     Nfs(Status),
     /// Too many levels of symbolic links.
@@ -136,6 +140,7 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::Revoked => write!(f, "pathname revoked"),
             ClientError::Blocked => write!(f, "HostID blocked by agent"),
+            ClientError::Busy => write!(f, "server busy: dial throttled by admission control"),
             ClientError::Nfs(s) => write!(f, "file system error: {s:?}"),
             ClientError::SymlinkLoop => write!(f, "too many symbolic links"),
             ClientError::Protocol(e) => write!(f, "protocol: {e}"),
@@ -181,6 +186,17 @@ pub struct RoutedRo {
     pub load: Option<ServerLoad>,
 }
 
+/// Outcome of a metered read-write routing decision.
+pub enum RwRoute {
+    /// A replica was chosen; proceed with the handshake.
+    Routed(RoutedRw),
+    /// The group is alive but admission control is metering reconnects;
+    /// back off and redial.
+    Busy,
+    /// No live replica can take the connection.
+    Unavailable,
+}
+
 /// A routing tier fronting a replica group for one `Location:HostID`.
 ///
 /// The network consults it on every dial, which is the single seam the
@@ -192,6 +208,16 @@ pub trait Router: Send + Sync {
     fn route_rw(&self) -> Option<RoutedRw>;
     /// Picks a replica able to serve the read-only dialect.
     fn route_ro(&self) -> Option<RoutedRo>;
+    /// [`Self::route_rw`] with admission control surfaced: routers that
+    /// meter cold-start stampedes return [`RwRoute::Busy`] instead of
+    /// conflating "throttled" with "nobody home". The default adapter
+    /// keeps plain routers working unchanged.
+    fn route_rw_metered(&self) -> RwRoute {
+        match self.route_rw() {
+            Some(r) => RwRoute::Routed(r),
+            None => RwRoute::Unavailable,
+        }
+    }
 }
 
 /// What a Location resolves to: a single machine, or a routing tier
@@ -293,19 +319,33 @@ impl SfsNetwork {
     /// Behind a relay, each dial is routed anew — which is exactly how a
     /// reconnecting client lands on a surviving replica.
     pub fn dial(&self, location: &str) -> Option<(Wire, ServerConn)> {
-        let endpoint = self.servers.lock().get(location).cloned()?;
+        self.dial_checked(location).ok()
+    }
+
+    /// [`Self::dial`] distinguishing *why* a dial yielded no connection:
+    /// an unknown/empty Location is [`ClientError::NoSuchHost`] (fatal to
+    /// the caller's retry loop), while a router metering a reconnect
+    /// storm is [`ClientError::Busy`] (retried with backoff).
+    pub fn dial_checked(&self, location: &str) -> Result<(Wire, ServerConn), ClientError> {
+        let endpoint = self
+            .servers
+            .lock()
+            .get(location)
+            .cloned()
+            .ok_or_else(|| ClientError::NoSuchHost(location.to_string()))?;
         let (conn, load) = match endpoint {
             Endpoint::Server(s) => (s.accept(), None),
-            Endpoint::Relay(r) => {
-                let routed = r.route_rw()?;
-                (routed.conn, routed.load)
-            }
+            Endpoint::Relay(r) => match r.route_rw_metered() {
+                RwRoute::Routed(routed) => (routed.conn, routed.load),
+                RwRoute::Busy => return Err(ClientError::Busy),
+                RwRoute::Unavailable => return Err(ClientError::NoSuchHost(location.to_string())),
+            },
         };
         let mut wire = self.fresh_wire();
         if let Some(load) = load {
             wire.set_server_load(load);
         }
-        Some((wire, conn))
+        Ok((wire, conn))
     }
 
     /// Dials a location for the read-only dialect. Behind a relay this
@@ -424,6 +464,13 @@ impl Mount {
     /// The current session ID (changes on every rekey).
     pub fn session_id(&self) -> [u8; 20] {
         self.link.lock().session_id
+    }
+
+    /// The next authentication seqno this mount will sign. Monotone
+    /// across reconnects and failovers by construction; exposed so tests
+    /// can assert it never moves backwards.
+    pub fn seqno(&self) -> u32 {
+        self.next_seq.load(Ordering::SeqCst)
     }
 
     /// How many times this mount has reconnected and renegotiated keys.
@@ -1143,10 +1190,7 @@ impl SfsClient {
         generation: u64,
     ) -> Result<Link, ClientError> {
         let tel = self.tel();
-        let (wire, conn) = self
-            .net
-            .dial(&path.location)
-            .ok_or_else(|| ClientError::NoSuchHost(path.location.clone()))?;
+        let (wire, conn) = self.net.dial_checked(&path.location)?;
 
         // Key negotiation (Figure 3), one span per phase.
         let keyneg_span = tel.span("client", "proto.keyneg", "negotiate");

@@ -264,10 +264,14 @@ impl ClientJournal {
     }
 
     /// Replays the journal into a folded [`RecoveredState`], charging
-    /// disk reads.
+    /// disk reads. Frames are CRC-verified: a torn tail (crash
+    /// mid-append) is truncated and tolerated, while mid-log corruption
+    /// of a once-durable record is fatal — folding around a hole would
+    /// silently resurrect pre-hole state.
     pub fn replay(&self) -> Result<RecoveredState, String> {
+        let checked = self.disk.replay_checked().map_err(|e| e.to_string())?;
         let mut out = RecoveredState::default();
-        for bytes in self.disk.replay() {
+        for bytes in checked.records {
             out.records += 1;
             match JournalRecord::from_xdr(&bytes)? {
                 JournalRecord::Mount {

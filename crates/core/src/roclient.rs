@@ -51,7 +51,15 @@ pub enum RoClientError {
     DigestMismatch,
     /// The replica refused service (down for maintenance, mid-crash).
     Unavailable(String),
-    /// Path or block not present.
+    /// The replica does not hold a block the verified hash tree names.
+    /// Replica-specific by construction — a correct replica of the
+    /// current snapshot holds every reachable block — so it is grounds
+    /// for failover, not an authoritative absence. Seen mid-rolling-
+    /// republish, when a replica has swapped to a snapshot the client's
+    /// root (older *or* newer) does not describe.
+    MissingBlock,
+    /// Path not present. Authoritative: proven absent by a verified
+    /// directory listing, not inferred from a replica's block store.
     NotFound,
     /// Unexpected protocol reply.
     Protocol(String),
@@ -66,6 +74,7 @@ impl std::fmt::Display for RoClientError {
             RoClientError::Rollback => write!(f, "replica served an older snapshot"),
             RoClientError::DigestMismatch => write!(f, "block does not match digest"),
             RoClientError::Unavailable(e) => write!(f, "replica unavailable: {e}"),
+            RoClientError::MissingBlock => write!(f, "replica lacks a block the hash tree names"),
             RoClientError::NotFound => write!(f, "no such file"),
             RoClientError::Protocol(e) => write!(f, "protocol: {e}"),
         }
@@ -89,6 +98,7 @@ impl RoClientError {
             self,
             RoClientError::Net(_)
                 | RoClientError::Unavailable(_)
+                | RoClientError::MissingBlock
                 | RoClientError::DigestMismatch
                 | RoClientError::BadRootSignature
                 | RoClientError::Rollback
@@ -255,7 +265,20 @@ impl RoMount {
                 Ok(node) => return Ok(node),
                 Err(e) if e.failover_worthy() && attempts < MAX_FAILOVERS => {
                     attempts += 1;
-                    self.failover()?;
+                    // A failed failover can itself be replica-specific —
+                    // the redial landed on a dead machine, or (mid
+                    // rolling republish) on a replica still presenting
+                    // an older root, which the monotone-version check
+                    // rejects as Rollback. Keep moving through the
+                    // budget; only non-failover-worthy handshake errors
+                    // surface immediately.
+                    match self.failover() {
+                        Ok(()) => {}
+                        Err(fe) if fe.failover_worthy() && attempts < MAX_FAILOVERS => {
+                            attempts += 1;
+                        }
+                        Err(fe) => return Err(fe),
+                    }
                 }
                 Err(e) => return Err(e),
             }
@@ -267,6 +290,12 @@ impl RoMount {
             ReplyMsg::RoBlock(b) => b,
             ReplyMsg::Error(e) if e.contains("unavailable") => {
                 return Err(RoClientError::Unavailable(e))
+            }
+            // The hash tree named this digest, so on a correct replica
+            // of the right snapshot it exists; a replica without it is
+            // wrong or mid-republish, never proof of absence.
+            ReplyMsg::Error(e) if e.contains("no such block") => {
+                return Err(RoClientError::MissingBlock)
             }
             ReplyMsg::Error(_) => return Err(RoClientError::NotFound),
             other => return Err(RoClientError::Protocol(format!("{other:?}"))),
@@ -282,7 +311,24 @@ impl RoMount {
     }
 
     /// Resolves a `/`-separated path to a node.
+    ///
+    /// A rolling republish can swap the snapshot mid-walk: blocks of
+    /// the root this walk started from vanish from upgraded replicas.
+    /// When that happens, the fetch-level failover has already pulled a
+    /// newer (version-monotone) signed root, so the walk restarts from
+    /// it instead of surfacing the transient hole.
     pub fn resolve(&self, path: &str) -> Result<RoNode, RoClientError> {
+        for _ in 0..3 {
+            let start_version = self.root.lock().version;
+            match self.resolve_walk(path) {
+                Err(RoClientError::MissingBlock) if self.version() > start_version => continue,
+                out => return out,
+            }
+        }
+        self.resolve_walk(path)
+    }
+
+    fn resolve_walk(&self, path: &str) -> Result<RoNode, RoClientError> {
         let root_digest = self.root.lock().root_digest;
         let mut node = self.fetch(root_digest)?;
         for comp in path.split('/').filter(|c| !c.is_empty()) {

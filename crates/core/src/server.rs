@@ -272,7 +272,41 @@ pub struct SfsServer {
     /// Contention tracker for this server machine; wires attached by a
     /// relay count as concurrent streams sharing its link and CPU.
     load: ServerLoad,
+    /// When this server is the primary of a replica group, the hook that
+    /// ships each executed mutating op to the backups before the reply
+    /// is released (acknowledged-commit).
+    replicator: Mutex<Option<Arc<dyn Replicator>>>,
     tel: Mutex<Telemetry>,
+}
+
+/// Ships executed mutating operations to a replica group.
+///
+/// Installed on a primary via [`SfsServer::set_replicator`] and invoked
+/// *inside* NFS dispatch, after the local execution succeeds but before
+/// the reply is encoded — so the client's acknowledgement inherently
+/// waits for the group's quorum-durability barrier. `req` is the
+/// NFS-form request (plaintext handles) with the caller's resolved
+/// credentials; backups holding the same group key re-derive identical
+/// wire handles.
+pub trait Replicator: Send + Sync {
+    fn replicate(&self, creds: &Credentials, req: &Nfs3Request);
+}
+
+/// Whether an NFSv3 procedure mutates the file system (and therefore
+/// must be shipped to backups before its reply is released).
+pub fn proc_is_mutating(proc: Proc) -> bool {
+    matches!(
+        proc,
+        Proc::SetAttr
+            | Proc::Write
+            | Proc::Create
+            | Proc::Mkdir
+            | Proc::Symlink
+            | Proc::Remove
+            | Proc::Rmdir
+            | Proc::Rename
+            | Proc::Link
+    )
 }
 
 impl SfsServer {
@@ -309,6 +343,7 @@ impl SfsServer {
             seen_plan_epoch: AtomicU64::new(0),
             fault: Mutex::new(None),
             load: ServerLoad::new(),
+            replicator: Mutex::new(None),
             tel: Mutex::new(Telemetry::disabled()),
         })
     }
@@ -420,6 +455,21 @@ impl SfsServer {
     /// lazily as the virtual clock passes each scheduled instant.
     pub fn set_fault_plan(&self, plan: FaultPlan) {
         *self.fault.lock() = Some(plan);
+    }
+
+    /// Installs (or clears) the log-shipping hook run for every mutating
+    /// NFS operation this server executes as a replica-group primary.
+    pub fn set_replicator(&self, repl: Option<Arc<dyn Replicator>>) {
+        *self.replicator.lock() = repl;
+    }
+
+    /// Applies one logged NFS-form operation to this server's file
+    /// system — the backup side of log shipping, and log replay at
+    /// promotion. Runs the same relay path a live dispatch uses, but
+    /// without handle translation (logged ops are already NFS-form) and
+    /// without re-entering the replicator.
+    pub fn apply_logged(&self, creds: &Credentials, req: &Nfs3Request) -> Nfs3Reply {
+        self.nfs.handle(creds, req)
     }
 
     /// Crash-restarts the server by hand: every live connection's state
@@ -1079,6 +1129,16 @@ impl ServerConn {
             Err(status) => return err(status, enc),
         };
         let reply = self.nfs_relay(creds, &req);
+        // Acknowledged commit: a successful mutation is shipped to the
+        // replica group's quorum *before* the reply is encoded, so the
+        // client's ack implies quorum durability. Failed ops and replays
+        // answered from the reply cache never reach this point twice.
+        if proc_is_mutating(req.proc()) && !matches!(reply, Nfs3Reply::Error { .. }) {
+            let repl = self.server.replicator.lock().clone();
+            if let Some(repl) = repl {
+                repl.replicate(creds, &req);
+            }
+        }
         // Translate handles in the reply back to SFS form.
         let reply = map_reply_handles(reply, &mut |fh| self.server.encrypt_handle(fh));
         reply.encode_results_into(enc)

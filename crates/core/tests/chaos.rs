@@ -457,3 +457,103 @@ fn blocking_and_windowed_soaks_agree_on_payloads() {
         blocking.total_ns
     );
 }
+
+#[test]
+fn backoff_cap_holds_when_partition_outlives_the_retransmit_schedule() {
+    // A partition long enough to consume the entire per-RPC retransmit
+    // schedule and push the reconnect loop to its backoff ceiling. Three
+    // things must hold while the client waits it out: every backoff
+    // interval respects the configured cap (within the ±25% jitter
+    // spread), the mount's auth seqnos only move forward across the
+    // forced reconnects, and the write that straddled the partition
+    // executes exactly once — the file ends up byte-identical to the
+    // single acked write, reissues notwithstanding.
+    use sfs::client::RetryPolicy;
+    use sfs_telemetry::Telemetry;
+
+    const CAP_NS: u64 = 2_000_000_000;
+
+    fn backoff_intervals(trace: &str) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut rest = trace;
+        while let Some(i) = rest.find("\"name\":\"backoff\"") {
+            rest = &rest[i..];
+            let key = "\"args\":{\"ns\":\"";
+            let a = rest.find(key).expect("backoff instant carries its ns") + key.len();
+            let tail = &rest[a..];
+            let end = tail.find('"').unwrap();
+            out.push(tail[..end].parse().unwrap());
+            rest = tail;
+        }
+        out
+    }
+
+    let run = || {
+        let plan = FaultPlan::from_spec("seed=170,partition=1s+20s").unwrap();
+        let w = build_chaos_world(&plan);
+        let tel = Telemetry::recording(w.clock.clone());
+        w.client.set_telemetry(&tel);
+        w.client.set_retry_policy(RetryPolicy {
+            max_retransmits: 3,
+            max_reconnects: 16,
+            base_backoff_ns: 100_000_000,
+            max_backoff_ns: CAP_NS,
+        });
+        let file = format!("{}/home/alice/longhaul", w.path.full_path());
+        w.client.write_file(ALICE_UID, &file, b"before").unwrap();
+        let (mount, _, _) = w.client.resolve(ALICE_UID, &file).unwrap();
+        let seq_before = mount.seqno();
+        assert!(
+            w.clock.now().as_nanos() < 1_000_000_000,
+            "setup overran the scheduled partition start"
+        );
+        // Step into the partition: this write's retransmissions all die,
+        // the schedule escalates to reconnect, and the capped reconnect
+        // backoff rides out the remaining ~20 seconds.
+        w.clock.advance_ns(1_000_000_000);
+        w.client.write_file(ALICE_UID, &file, b"across").unwrap();
+        assert!(
+            w.clock.now().as_nanos() > 21_000_000_000,
+            "the workload cannot have finished inside the partition"
+        );
+        assert!(
+            mount.reconnects() >= 1,
+            "outliving the retransmit schedule must escalate to reconnect"
+        );
+        let seq_after = mount.seqno();
+        assert!(
+            seq_after > seq_before,
+            "auth seqnos must move strictly forward across reconnects"
+        );
+        assert_eq!(
+            w.client.read_file(ALICE_UID, &file).unwrap(),
+            b"across",
+            "the straddling write must land exactly once, byte-for-byte"
+        );
+
+        let intervals = backoff_intervals(&tel.chrome_trace());
+        assert!(
+            intervals.len() >= 4,
+            "waiting out a 20s partition must back off repeatedly: {intervals:?}"
+        );
+        let spread = CAP_NS / 4;
+        assert!(
+            intervals.iter().all(|&ns| ns <= CAP_NS + spread),
+            "a backoff exceeded the cap plus jitter: {intervals:?}"
+        );
+        assert!(
+            intervals.iter().any(|&ns| ns >= CAP_NS - spread),
+            "the schedule never reached its ceiling: {intervals:?}"
+        );
+        (
+            w.clock.now().as_nanos(),
+            plan.events(),
+            mount.reconnects(),
+            seq_after,
+            intervals,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "the capped-backoff run must reproduce bit-for-bit");
+}

@@ -21,6 +21,7 @@ pub mod channel;
 pub mod keyneg;
 pub mod pathname;
 pub mod readonly;
+pub mod repl;
 pub mod revoke;
 pub mod userauth;
 
@@ -28,5 +29,6 @@ pub use channel::{ChannelError, SecureChannelEnd};
 pub use keyneg::{KeyNegClient, KeyNegServerReply, SessionKeys};
 pub use pathname::{HostId, PathError, SelfCertifyingPath, SFS_ROOT};
 pub use readonly::{RoDatabase, RoNode, SignedRoot};
+pub use repl::{ReplOp, ReplRecord};
 pub use revoke::{ForwardingPointer, RevocationCert};
 pub use userauth::{AuthInfo, AuthMsg, SeqWindow, AUTHNO_ANONYMOUS};

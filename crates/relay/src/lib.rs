@@ -33,6 +33,10 @@ use sfs_proto::pathname::SelfCertifyingPath;
 use sfs_telemetry::sync::Mutex;
 use sfs_telemetry::Telemetry;
 
+pub mod repl;
+
+pub use repl::{AdmissionControl, MemberStats, ReplGroup, ReplHealth};
+
 /// One read-write replica and what the relay knows about it.
 struct RwSlot {
     server: Arc<SfsServer>,
@@ -41,6 +45,12 @@ struct RwSlot {
     /// Administratively removed from rotation (the relay's own view; a
     /// crashed server needs no marking — its epoch does the work).
     down: AtomicBool,
+    /// The last health check caught this replica mid-crash (its epoch
+    /// had advanced): round-robin skips it instead of learning the hard
+    /// way on a client's dial. Cleared by the next health check that
+    /// sees a stable epoch, or by routing absorbing the restart when no
+    /// better replica exists.
+    stale: AtomicBool,
 }
 
 /// A health-check summary of the realm.
@@ -70,6 +80,7 @@ pub struct ReplicaGroup {
     next_rw: AtomicUsize,
     next_ro: AtomicUsize,
     reboots: AtomicU64,
+    skipped_dead: AtomicU64,
     tel: Mutex<Telemetry>,
 }
 
@@ -83,6 +94,7 @@ impl ReplicaGroup {
             next_rw: AtomicUsize::new(0),
             next_ro: AtomicUsize::new(0),
             reboots: AtomicU64::new(0),
+            skipped_dead: AtomicU64::new(0),
             tel: Mutex::new(Telemetry::disabled()),
         })
     }
@@ -110,6 +122,7 @@ impl ReplicaGroup {
             last_epoch: AtomicU64::new(server.current_epoch()),
             server,
             down: AtomicBool::new(false),
+            stale: AtomicBool::new(false),
         }));
     }
 
@@ -131,6 +144,12 @@ impl ReplicaGroup {
     /// Read-only replicas registered (live or not).
     pub fn ro_count(&self) -> usize {
         self.ro.lock().len()
+    }
+
+    /// Dials routed away from a replica whose last health check showed
+    /// a stale/dead epoch.
+    pub fn skipped_dead(&self) -> u64 {
+        self.skipped_dead.load(Ordering::SeqCst)
     }
 
     /// Takes read-write replica `idx` out of rotation.
@@ -158,6 +177,11 @@ impl ReplicaGroup {
             if epoch > last {
                 self.reboots.fetch_add(epoch - last, Ordering::SeqCst);
                 tel.count("relay", "health.reboots", epoch - last);
+                // Caught mid-crash: keep routing away until a later
+                // check sees the epoch hold still.
+                slot.stale.store(true, Ordering::SeqCst);
+            } else {
+                slot.stale.store(false, Ordering::SeqCst);
             }
             tel.gauge_set(&format!("relay/rw{i}"), "health.epoch", epoch);
             if slot.down.load(Ordering::SeqCst) {
@@ -195,12 +219,31 @@ impl Router for ReplicaGroup {
         let slots = self.rw.lock();
         // Round-robin over live replicas, starting where the last dial
         // left off; a fully-down (or empty) group routes nothing.
+        // Replicas whose last health check caught a crashed epoch are
+        // skipped (and counted) rather than handed to a client to
+        // discover; if *every* candidate is in that state — a whole-group
+        // crash — routing absorbs one restart rather than going dark.
         let start = self.next_rw.fetch_add(1, Ordering::SeqCst);
+        let mut fallback: Option<&Arc<RwSlot>> = None;
         for offset in 0..slots.len() {
             let slot = &slots[(start + offset) % slots.len()];
             if slot.down.load(Ordering::SeqCst) {
                 continue;
             }
+            if slot.stale.load(Ordering::SeqCst) {
+                self.skipped_dead.fetch_add(1, Ordering::SeqCst);
+                tel.count("relay", "route.skipped_dead", 1);
+                fallback.get_or_insert(slot);
+                continue;
+            }
+            tel.count("relay", "route.rw", 1);
+            return Some(RoutedRw {
+                conn: slot.server.accept(),
+                load: Some(slot.server.load()),
+            });
+        }
+        if let Some(slot) = fallback {
+            slot.stale.store(false, Ordering::SeqCst);
             tel.count("relay", "route.rw", 1);
             return Some(RoutedRw {
                 conn: slot.server.accept(),

@@ -478,6 +478,72 @@ fn relay_coherence_runs_reproduce_byte_for_byte() {
 }
 
 #[test]
+fn routing_skips_dead_epoch_replicas_until_stable() {
+    // Satellite of the health checker: a replica whose last health check
+    // caught a crashed (advanced) boot epoch is skipped by round-robin —
+    // and counted — instead of being handed to a client to discover the
+    // hard way. A later check that sees the epoch hold still clears the
+    // flag; and if *every* replica is in that state (a whole-group
+    // crash), routing absorbs one restart rather than going dark.
+    let h = relay_harness("seed=950", 1);
+    let attached = (0..N_RW)
+        .find(|&r| h.servers[r].load().streams() > 0)
+        .expect("the mount streams through some replica");
+    let survivor = 1 - attached;
+
+    h.servers[attached].crash_restart();
+    let health = h.group.health_check();
+    assert!(health.reboots_observed >= 1);
+    let skipped_before = h.group.skipped_dead();
+    let survivor_streams = h.servers[survivor].load().streams();
+
+    let fresh = |tag: &str| {
+        let c = SfsClient::with_ephemeral(h.net.clone(), tag.as_bytes(), client_ephemeral());
+        c.install_agent_key(ALICE_UID, user_key());
+        c
+    };
+    // Two consecutive dials: round-robin advances its start slot each
+    // time, so at least one of them begins at the stale replica and must
+    // skip it. Both land on the survivor either way.
+    let c1 = fresh("skip-dead-1");
+    c1.mount(ALICE_UID, &h.path).unwrap();
+    let c1b = fresh("skip-dead-1b");
+    c1b.mount(ALICE_UID, &h.path).unwrap();
+    assert!(
+        h.group.skipped_dead() > skipped_before,
+        "a dial starting at the stale-epoch replica must skip it"
+    );
+    assert_eq!(
+        h.servers[survivor].load().streams(),
+        survivor_streams + 2,
+        "both fresh mounts must land on the survivor"
+    );
+
+    // The epoch held still across another check: back in rotation,
+    // no more skips.
+    let _ = h.group.health_check();
+    let skipped_stable = h.group.skipped_dead();
+    let c2 = fresh("skip-dead-2");
+    c2.mount(ALICE_UID, &h.path).unwrap();
+    assert_eq!(
+        h.group.skipped_dead(),
+        skipped_stable,
+        "a stable replica must not be skipped"
+    );
+
+    // Whole-group crash: every replica looks stale, yet routing must
+    // still serve by absorbing one of the restarts.
+    for r in 0..N_RW {
+        h.servers[r].crash_restart();
+    }
+    let _ = h.group.health_check();
+    let c3 = fresh("skip-dead-3");
+    c3.mount(ALICE_UID, &h.path)
+        .expect("an all-stale group must still route");
+    assert!(h.group.skipped_dead() > skipped_stable);
+}
+
+#[test]
 fn crash_during_handoff_lands_on_surviving_replica() {
     // A client streams appends through one replica of a two-replica
     // group. The health monitor pulls that replica from rotation for

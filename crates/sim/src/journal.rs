@@ -10,24 +10,98 @@
 //!
 //! Appends are synchronous by design: a record is durable before the
 //! operation it protects proceeds, so a crash at any instant leaves a
-//! prefix of the logical record sequence — never a torn suffix.
+//! prefix of the logical record sequence — plus, at worst, one torn
+//! record at the tail. Every record carries a CRC32 over its payload;
+//! [`JournalDisk::replay_checked`] verifies the frames and
+//! distinguishes the two failure shapes a recovering process can meet:
+//!
+//! - a **torn tail** (bad frames extending to the end of the log) is
+//!   what a crash mid-append legitimately leaves behind — it is
+//!   truncated, counted, and recovery proceeds from the valid prefix;
+//! - a **mid-log mismatch** (a bad frame followed by a valid one) can
+//!   only mean the medium corrupted a record that was once durable —
+//!   that is fatal, because silently dropping an interior record would
+//!   fold the wrong state.
 
 use std::sync::Arc;
 
 use sfs_telemetry::sync::Mutex;
+use sfs_telemetry::Telemetry;
 
 use crate::disk::SimDisk;
 
-/// Fixed per-record framing overhead charged to the disk (length word).
-const RECORD_HEADER_BYTES: usize = 4;
+/// Fixed per-record framing overhead charged to the disk
+/// (length word + CRC32).
+const RECORD_HEADER_BYTES: usize = 8;
+
+/// CRC32 (IEEE, reflected, poly 0xEDB88320) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A checked replay failed: record `index` has a CRC mismatch but a
+/// later record is intact, so the damage is interior — not a torn
+/// tail — and the log cannot be trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    Corrupt { index: usize },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Corrupt { index } => {
+                write!(f, "journal record {index} failed CRC mid-log; log unusable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Result of a successful [`JournalDisk::replay_checked`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// The valid record payloads, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Torn frames truncated from the tail (0 on a clean log).
+    pub torn_truncated: usize,
+}
+
+struct StoredRecord {
+    payload: Vec<u8>,
+    crc: u32,
+}
+
+impl StoredRecord {
+    fn new(payload: &[u8]) -> Self {
+        StoredRecord {
+            payload: payload.to_vec(),
+            crc: crc32(payload),
+        }
+    }
+
+    fn intact(&self) -> bool {
+        crc32(&self.payload) == self.crc
+    }
+}
 
 struct JournalState {
-    records: Vec<Vec<u8>>,
+    records: Vec<StoredRecord>,
     /// Next block to write; appends advance it so seek accounting is
     /// realistic for a log laid out sequentially.
     next_block: u64,
     /// Block of each record, for replay read charging.
     blocks: Vec<u64>,
+    tel: Telemetry,
 }
 
 /// An append-only, crash-surviving record log on a [`SimDisk`].
@@ -50,8 +124,16 @@ impl JournalDisk {
                 records: Vec::new(),
                 next_block: base_block,
                 blocks: Vec::new(),
+                tel: Telemetry::disabled(),
             })),
         }
+    }
+
+    /// Attaches a telemetry sink for replay-verification counters
+    /// (`journal` / `replay.torn_tail`, `replay.corrupt`). Shared by
+    /// clones.
+    pub fn set_telemetry(&self, tel: &Telemetry) {
+        self.state.lock().tel = tel.clone();
     }
 
     /// Appends one record, charging a synchronous write. The record is
@@ -62,7 +144,7 @@ impl JournalDisk {
             let mut st = self.state.lock();
             let block = st.next_block;
             st.next_block += 1;
-            st.records.push(record.to_vec());
+            st.records.push(StoredRecord::new(record));
             st.blocks.push(block);
             block
         };
@@ -72,23 +154,66 @@ impl JournalDisk {
     }
 
     /// Reads every record back in append order, charging one disk read
-    /// per record — the cost a recovering client actually pays.
+    /// per record. Frames are **not** CRC-verified — recovery paths must
+    /// use [`replay_checked`](Self::replay_checked); this raw form exists
+    /// for assertions and for logs known intact.
     pub fn replay(&self) -> Vec<Vec<u8>> {
-        let (records, reads): (Vec<Vec<u8>>, Vec<(u64, usize)>) = {
-            let st = self.state.lock();
-            (
-                st.records.clone(),
-                st.records
-                    .iter()
-                    .zip(&st.blocks)
-                    .map(|(r, b)| (*b, RECORD_HEADER_BYTES + r.len()))
-                    .collect(),
-            )
-        };
+        let (records, reads) = self.snapshot_for_replay();
         for (block, len) in reads {
             self.disk.read(block, len);
         }
         records
+    }
+
+    /// Reads every record back in append order, charging one disk read
+    /// per frame scanned, and verifies each CRC32.
+    ///
+    /// Bad frames that extend to the end of the log are a torn tail —
+    /// the shape a crash mid-append leaves — and are truncated from the
+    /// journal (counted in [`ReplayOutcome::torn_truncated`] and the
+    /// `journal`/`replay.torn_tail` telemetry counter); replay returns
+    /// the valid prefix. A bad frame *followed by* an intact one means
+    /// interior corruption of a once-durable record: fatal
+    /// ([`JournalError::Corrupt`], counter `replay.corrupt`).
+    pub fn replay_checked(&self) -> Result<ReplayOutcome, JournalError> {
+        let (reads, verdicts) = {
+            let st = self.state.lock();
+            let reads: Vec<(u64, usize)> = st
+                .records
+                .iter()
+                .zip(&st.blocks)
+                .map(|(r, b)| (*b, RECORD_HEADER_BYTES + r.payload.len()))
+                .collect();
+            let verdicts: Vec<bool> = st.records.iter().map(StoredRecord::intact).collect();
+            (reads, verdicts)
+        };
+        // A recovering process scans the whole log before deciding; it
+        // pays the read for every frame, torn or not.
+        for (block, len) in reads {
+            self.disk.read(block, len);
+        }
+        let first_bad = verdicts.iter().position(|ok| !ok);
+        let mut st = self.state.lock();
+        match first_bad {
+            None => Ok(ReplayOutcome {
+                records: st.records.iter().map(|r| r.payload.clone()).collect(),
+                torn_truncated: 0,
+            }),
+            Some(i) if verdicts[i..].iter().all(|ok| !ok) => {
+                let torn = st.records.len() - i;
+                st.records.truncate(i);
+                st.blocks.truncate(i);
+                st.tel.count("journal", "replay.torn_tail", torn as u64);
+                Ok(ReplayOutcome {
+                    records: st.records.iter().map(|r| r.payload.clone()).collect(),
+                    torn_truncated: torn,
+                })
+            }
+            Some(i) => {
+                st.tel.count("journal", "replay.corrupt", 1);
+                Err(JournalError::Corrupt { index: i })
+            }
+        }
     }
 
     /// Atomically replaces the log's contents with `records` — the
@@ -105,7 +230,7 @@ impl JournalDisk {
             for r in records {
                 let block = st.next_block;
                 st.next_block += 1;
-                st.records.push(r.clone());
+                st.records.push(StoredRecord::new(r));
                 st.blocks.push(block);
                 writes.push((block, RECORD_HEADER_BYTES + r.len()));
             }
@@ -113,6 +238,37 @@ impl JournalDisk {
         };
         for (block, len) in writes {
             self.disk.write_sync(block, len);
+        }
+    }
+
+    /// Fault-injection hook: flips one payload byte of record `index`
+    /// without updating its stored CRC, modelling medium corruption of
+    /// a once-durable frame. No-op timing-wise.
+    pub fn corrupt_record(&self, index: usize) {
+        let mut st = self.state.lock();
+        let rec = &mut st.records[index];
+        if rec.payload.is_empty() {
+            // Zero-length payload: damage the frame itself.
+            rec.crc ^= 0xFF;
+        } else {
+            rec.payload[0] ^= 0xFF;
+        }
+    }
+
+    /// Fault-injection hook: tears the final record as a crash between
+    /// the data write and its completion would — the stored frame loses
+    /// the tail half of its payload while keeping the original CRC.
+    /// No-op on an empty journal.
+    pub fn tear_tail(&self) {
+        let mut st = self.state.lock();
+        if let Some(rec) = st.records.last_mut() {
+            let keep = rec.payload.len() / 2;
+            rec.payload.truncate(keep);
+            if rec.intact() {
+                // Degenerate payloads (empty, or equal-CRC halves) still
+                // need to present as torn.
+                rec.crc ^= 0xFF;
+            }
         }
     }
 
@@ -128,18 +284,40 @@ impl JournalDisk {
 
     /// Total record payload bytes (excluding framing).
     pub fn byte_len(&self) -> usize {
-        self.state.lock().records.iter().map(Vec::len).sum()
+        self.state
+            .lock()
+            .records
+            .iter()
+            .map(|r| r.payload.len())
+            .sum()
     }
 
     /// Snapshot of the raw records without charging any disk time —
     /// for assertions, not for recovery paths.
     pub fn records(&self) -> Vec<Vec<u8>> {
-        self.state.lock().records.clone()
+        self.state
+            .lock()
+            .records
+            .iter()
+            .map(|r| r.payload.clone())
+            .collect()
     }
 
     /// The underlying disk's clock.
     pub fn disk(&self) -> &SimDisk {
         &self.disk
+    }
+
+    fn snapshot_for_replay(&self) -> (Vec<Vec<u8>>, Vec<(u64, usize)>) {
+        let st = self.state.lock();
+        (
+            st.records.iter().map(|r| r.payload.clone()).collect(),
+            st.records
+                .iter()
+                .zip(&st.blocks)
+                .map(|(r, b)| (*b, RECORD_HEADER_BYTES + r.payload.len()))
+                .collect(),
+        )
     }
 }
 
@@ -223,6 +401,86 @@ mod tests {
             }
             let replayed = j.replay();
             (replayed, clock.now())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn clean_log_replays_checked_with_no_truncation() {
+        let (_clock, j) = journal();
+        j.append(b"one");
+        j.append(b"two");
+        let out = j.replay_checked().expect("clean log");
+        assert_eq!(out.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(out.torn_truncated, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_counted_and_tolerated() {
+        let (clock, j) = journal();
+        let tel = Telemetry::counters();
+        j.set_telemetry(&tel);
+        j.append(b"alpha record");
+        j.append(b"beta record");
+        j.append(b"gamma record torn mid-append");
+        j.tear_tail();
+        let out = j.replay_checked().expect("torn tail is recoverable");
+        assert_eq!(
+            out.records,
+            vec![b"alpha record".to_vec(), b"beta record".to_vec()]
+        );
+        assert_eq!(out.torn_truncated, 1);
+        assert_eq!(tel.counter("journal", "replay.torn_tail"), 1);
+        // The truncation is durable state: a second checked replay sees a
+        // clean two-record log and counts nothing further.
+        let again = j.replay_checked().expect("already truncated");
+        assert_eq!(again.records.len(), 2);
+        assert_eq!(again.torn_truncated, 0);
+        assert_eq!(tel.counter("journal", "replay.torn_tail"), 1);
+        // Appends continue after the truncated tail.
+        j.append(b"delta");
+        assert_eq!(j.replay_checked().unwrap().records.len(), 3);
+        assert!(clock.now().as_nanos() > 0);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_fatal_and_counted() {
+        let (_clock, j) = journal();
+        let tel = Telemetry::counters();
+        j.set_telemetry(&tel);
+        j.append(b"first");
+        j.append(b"second");
+        j.append(b"third");
+        j.corrupt_record(1);
+        assert_eq!(
+            j.replay_checked(),
+            Err(JournalError::Corrupt { index: 1 }),
+            "a bad frame before an intact one is not a torn tail"
+        );
+        assert_eq!(tel.counter("journal", "replay.corrupt"), 1);
+        assert_eq!(tel.counter("journal", "replay.torn_tail"), 0);
+        // Fatal corruption does not mutate the log; the damage stays
+        // visible to whoever inspects it next.
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn checked_replay_is_deterministic_across_reruns() {
+        let run = || {
+            let (clock, j) = journal();
+            for i in 0..6u8 {
+                j.append(&[i; 11]);
+            }
+            j.tear_tail();
+            let out = j.replay_checked().unwrap();
+            (out, clock.now())
         };
         assert_eq!(run(), run());
     }

@@ -34,6 +34,7 @@ pub mod fault;
 pub mod ipc;
 pub mod journal;
 pub mod net;
+pub mod repl;
 pub mod time;
 
 pub use churn::{ChurnSchedule, ChurnWave};
@@ -41,8 +42,9 @@ pub use cpu::CpuCosts;
 pub use disk::{DiskParams, SimDisk};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, NetAction};
 pub use ipc::{LocalEndpoint, LocalIdentity};
-pub use journal::JournalDisk;
+pub use journal::{crc32, JournalDisk, JournalError, ReplayOutcome};
 pub use net::{
     Direction, Interceptor, NetParams, PacketLog, ServerLoad, Transport, Verdict, Wire, WireError,
 };
+pub use repl::{ReplLink, ReplTransport};
 pub use time::{SimClock, SimTime};
