@@ -9,10 +9,13 @@
 //! - `--faults <spec>`: thread a seeded fault plan through every layer,
 //!   showing the breakdown under a degraded network;
 //! - `--window N`: override the client pipeline depth (default 8);
-//!   `--window 1` shows the breakdown under the blocking protocol.
+//!   `--window 1` shows the breakdown under the blocking protocol;
+//! - `--cores N`: install the multi-core shard engine on the SFS
+//!   server, so the table (and any `--trace` dump) also carries the
+//!   per-shard `server.shard.*` / `server.disk.batch_size` series.
 
 use sfs_bench::args::{Args, FaultOpt};
-use sfs_bench::calib::{build_fs_chaos, System};
+use sfs_bench::calib::{build_fs_chaos_cores, System};
 use sfs_bench::report::latency_table;
 use sfs_bench::trace::TraceOpt;
 use sfs_bench::workloads::{mab, MabConfig};
@@ -20,12 +23,18 @@ use sfs_telemetry::{Telemetry, ZeroClock};
 
 fn main() {
     let args = Args::from_env();
-    args.enforce_known(&["trace", "faults", "window"], &[]);
+    args.enforce_known(&["trace", "faults", "window", "cores"], &[]);
     let trace = TraceOpt::from_args();
     let faults = FaultOpt::from_args();
     let window: Option<usize> = args.opt("window").map(|w| {
         w.parse().unwrap_or_else(|_| {
             eprintln!("--window: not a positive integer: {w:?}");
+            std::process::exit(2)
+        })
+    });
+    let cores: Option<usize> = args.opt("cores").map(|c| {
+        c.parse().unwrap_or_else(|_| {
+            eprintln!("--cores: not a positive integer: {c:?}");
             std::process::exit(2)
         })
     });
@@ -40,11 +49,36 @@ fn main() {
     let mut final_ns = 0u64;
     for system in System::main_four() {
         let scoped = tel.scoped(system.label());
-        let (fs, clock, prefix, _) = build_fs_chaos(system, &scoped, faults.plan());
+        let (fs, clock, prefix, _, engine) =
+            build_fs_chaos_cores(system, &scoped, faults.plan(), cores);
         if let Some(w) = window {
             fs.set_pipeline_window(w);
         }
         let _ = mab(fs.as_ref(), &prefix, &cfg);
+        if let Some(engine) = engine {
+            // The MAB's files are small enough that every RPC degenerates
+            // to a single-frame (blocking) exchange, which never consults
+            // the shard engine. Stream one large file through the
+            // write-behind queue so the table actually has per-shard
+            // series to show.
+            let p = format!("{prefix}/shard-stream");
+            fs.create(&p).expect("create shard-stream");
+            let chunk: Vec<u8> = (0..32_768u32).map(|i| (i % 249) as u8).collect();
+            for i in 0..8u64 {
+                fs.write(&p, i * 32_768, &chunk)
+                    .expect("write shard-stream");
+            }
+            fs.flush(&p).expect("flush shard-stream");
+            // `--window 1` forces the blocking protocol, which never
+            // consults the engine — only multi-frame windows dispatch.
+            if window.is_none_or(|w| w > 1) {
+                assert!(
+                    engine.frames_scheduled() > 0,
+                    "--cores was given but no frame ever reached the shard engine"
+                );
+            }
+            engine.finish(&scoped);
+        }
         final_ns = final_ns.max(clock.now().as_nanos());
     }
     println!("{}", latency_table(&tel));

@@ -1,0 +1,436 @@
+//! `scale`: multi-core server throughput sweep (clients × cores).
+//!
+//! The single-machine cost model serializes every frame's seal/open on
+//! one simulated CPU; DESIGN.md §15's [`sfs::ShardEngine`] lifts that
+//! limit by scheduling each frame's server-side work on the
+//! earliest-free core of an N-core calendar and each request's disk
+//! work on a per-shard commit queue with group commit. This sweep
+//! measures what that buys: a fleet of clients (each on its own virtual
+//! clock, all dialing the same server) drives two workloads against a
+//! server swept over core counts:
+//!
+//! - **crypto-bound**: windowed batches of 1 KiB READs of a warm file.
+//!   Per-frame CPU (user crossing + RPC processing + copies, ~325 µs on
+//!   the Pentium III 550 model) dwarfs the 1 KiB wire time, so
+//!   aggregate MB/s tracks core count nearly linearly until the fleet's
+//!   own reply links saturate.
+//! - **disk-bound**: streamed rewrites of a 64 KiB file, each closed
+//!   with a sync commit. The spindle dominates, so extra cores buy
+//!   little beyond what per-shard group commit amortizes — the curve
+//!   flattens exactly where the simulated disk saturates.
+//!
+//! Aggregate throughput is total payload bytes over the fleet makespan
+//! (the slowest client's elapsed virtual time). Every sweep point runs
+//! twice and must reproduce byte-for-byte — the engine's placement is
+//! deterministic (earliest start, lowest core index) and holds no
+//! wall-clock state.
+//!
+//! Results land in `BENCH_scale.json`. The binary asserts its own
+//! envelope and exits nonzero on regression: the crypto-bound workload
+//! at the full fleet must scale ≥ 3× from 1 to 4 cores (≥ 1.8× in
+//! `--smoke`, which CI runs), stay monotone in cores, and the
+//! disk-bound workload must actually exercise group commit (joined
+//! commits > 0).
+//!
+//! Usage: `cargo run --release -p sfs-bench --bin scale [-- --smoke] [--out PATH]`
+
+use std::sync::Arc;
+
+use sfs::authserver::{AuthServer, UserRecord};
+use sfs::client::{SfsClient, SfsNetwork};
+use sfs::server::{ServerConfig, SfsServer};
+use sfs_bench::args::Args;
+use sfs_bench::calib::{bench_disk_params, BENCH_UID};
+use sfs_bignum::XorShiftSource;
+use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
+use sfs_crypto::srp::SrpGroup;
+use sfs_crypto::SfsPrg;
+use sfs_nfs3::proto::{Nfs3Reply, Nfs3Request};
+use sfs_sim::{CpuCosts, NetParams, SimClock, SimDisk, Transport};
+use sfs_telemetry::{Telemetry, ZeroClock};
+use sfs_vfs::{Credentials, Vfs};
+
+/// Frames kept in flight per client batch.
+const WINDOW: usize = 16;
+
+/// Crypto-bound READ size: small enough that per-frame CPU dominates
+/// the wire.
+const READ_CHUNK: usize = 1024;
+
+/// The warm file each client re-reads, one window per round.
+const READ_FILE_BYTES: usize = WINDOW * READ_CHUNK;
+
+/// Disk-bound rewrite payload per round (streamed, then sync-committed).
+const WRITE_BYTES: usize = 64 * 1024;
+
+/// Cores swept; 1 doubles as the single-core baseline row.
+const CORES: [usize; 4] = [1, 2, 4, 8];
+
+/// 4 cores must beat 1 core by at least this factor on the crypto-bound
+/// workload at the full fleet.
+const REQUIRED_SPEEDUP_FULL: f64 = 3.0;
+const REQUIRED_SPEEDUP_SMOKE: f64 = 1.8;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    CryptoReads,
+    DiskWrites,
+}
+
+impl Workload {
+    fn label(self) -> &'static str {
+        match self {
+            Workload::CryptoReads => "crypto_reads",
+            Workload::DiskWrites => "disk_writes",
+        }
+    }
+}
+
+#[derive(Clone, PartialEq)]
+struct Row {
+    workload: &'static str,
+    clients: usize,
+    cores: usize,
+    virtual_ns: u64,
+    total_bytes: u64,
+    ops: u64,
+    aggregate_mb_per_s: f64,
+    per_client_mb_per_s: f64,
+    mean_op_us: f64,
+    frames_scheduled: u64,
+    disk_commits: u64,
+    disk_batches: u64,
+    disk_joined: u64,
+}
+
+fn server_key() -> RabinPrivateKey {
+    let mut rng = XorShiftSource::new(0x5CA1E);
+    generate_keypair(768, &mut rng)
+}
+
+fn user_key() -> RabinPrivateKey {
+    let mut rng = XorShiftSource::new(0x5CA1E + 1);
+    generate_keypair(512, &mut rng)
+}
+
+fn srp_group() -> SrpGroup {
+    let mut rng = XorShiftSource::new(0x5CA1E + 2);
+    SrpGroup::generate(128, &mut rng)
+}
+
+fn body(c: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((c * 137 + i) % 251) as u8).collect()
+}
+
+/// One fleet member: a client on its own virtual clock, dialed into the
+/// shared server through its own network.
+struct Member {
+    clock: SimClock,
+    client: Arc<SfsClient>,
+    path: String,
+}
+
+/// Builds the shared N-core server plus a fleet of `clients` windowed
+/// clients, each on an independent clock. The server's VFS sits on its
+/// own clock with the benchmark disk attached, so measured-phase disk
+/// work flows through the engine's per-shard commit queues.
+fn build_fleet(clients: usize, cores: usize, tel: &Telemetry) -> (Arc<SfsServer>, Vec<Member>) {
+    let server_clock = SimClock::new();
+    let disk = SimDisk::new(server_clock.clone(), bench_disk_params());
+    let vfs = Vfs::new(7, server_clock).with_disk(disk);
+    let root = Credentials::root();
+    let bench_dir = vfs.mkdir_p("/bench").unwrap();
+    vfs.setattr(
+        &root,
+        bench_dir,
+        sfs_vfs::SetAttr {
+            mode: Some(0o777),
+            uid: Some(BENCH_UID),
+            gid: Some(100),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let auth = Arc::new(AuthServer::new(srp_group(), 2));
+    auth.register_user(UserRecord {
+        user: "bench".into(),
+        uid: BENCH_UID,
+        gids: vec![100],
+        public_key: user_key().public().to_bytes(),
+    });
+    let server = SfsServer::new(
+        ServerConfig::new("scale.bench"),
+        server_key(),
+        vfs,
+        auth,
+        SfsPrg::from_entropy(b"scale-server"),
+    );
+    server.set_cores(cores);
+    server.set_telemetry(tel);
+    let prefix = format!("{}/bench", server.path().full_path());
+
+    let fleet = (0..clients)
+        .map(|c| {
+            let clock = SimClock::new();
+            let net = SfsNetwork::new(clock.clone(), NetParams::switched_100mbit(Transport::Tcp));
+            net.register(server.clone());
+            let client = SfsClient::with_costs(
+                net,
+                format!("scale-client-{c}").as_bytes(),
+                CpuCosts::pentium_iii_550(),
+            );
+            client.set_pipeline_window(WINDOW);
+            client.agent(BENCH_UID).lock().add_key(user_key());
+            Member {
+                clock,
+                client,
+                path: format!("{prefix}/scale-{c}"),
+            }
+        })
+        .collect();
+    (server, fleet)
+}
+
+/// One sweep point: builds a fresh world, warms every client's file and
+/// caches, then runs `rounds` measured rounds interleaved across the
+/// fleet so their service windows overlap on the engine's calendars.
+fn run_point(workload: Workload, clients: usize, cores: usize, rounds: usize) -> Row {
+    let tel = Telemetry::recording(ZeroClock);
+    let (server, fleet) = build_fleet(clients, cores, &tel);
+
+    // Warm-up (unmeasured): mount + auth handshakes, file creation, and
+    // one read so attribute caches and stream detectors are hot.
+    for (c, m) in fleet.iter().enumerate() {
+        m.client
+            .write_file(BENCH_UID, &m.path, &body(c, READ_FILE_BYTES))
+            .unwrap();
+        assert_eq!(
+            m.client.read_file(BENCH_UID, &m.path).unwrap(),
+            body(c, READ_FILE_BYTES)
+        );
+    }
+
+    let resolved: Vec<_> = fleet
+        .iter()
+        .map(|m| {
+            let (mount, fh, _) = m.client.resolve(BENCH_UID, &m.path).unwrap();
+            (mount, fh)
+        })
+        .collect();
+    let t0: Vec<u64> = fleet.iter().map(|m| m.clock.now().as_nanos()).collect();
+
+    let mut total_bytes = 0u64;
+    let mut ops = 0u64;
+    for round in 0..rounds {
+        for (c, m) in fleet.iter().enumerate() {
+            match workload {
+                Workload::CryptoReads => {
+                    let (mount, fh) = &resolved[c];
+                    let reqs: Vec<Nfs3Request> = (0..WINDOW)
+                        .map(|i| Nfs3Request::Read {
+                            fh: fh.clone(),
+                            offset: (i * READ_CHUNK) as u64,
+                            count: READ_CHUNK as u32,
+                        })
+                        .collect();
+                    let replies = m.client.call_nfs_window(mount, BENCH_UID, &reqs).unwrap();
+                    let want = body(c, READ_FILE_BYTES);
+                    for (i, reply) in replies.iter().enumerate() {
+                        match reply {
+                            Nfs3Reply::Read { data, .. } => {
+                                assert_eq!(
+                                    data.as_slice(),
+                                    &want[i * READ_CHUNK..(i + 1) * READ_CHUNK],
+                                    "client {c} round {round} read {i}: payload mismatch"
+                                );
+                                total_bytes += data.len() as u64;
+                            }
+                            other => panic!("client {c}: unexpected reply {other:?}"),
+                        }
+                        ops += 1;
+                    }
+                }
+                Workload::DiskWrites => {
+                    let data = body(c + round, WRITE_BYTES);
+                    m.client.write_file(BENCH_UID, &m.path, &data).unwrap();
+                    total_bytes += data.len() as u64;
+                    ops += 1;
+                }
+            }
+        }
+    }
+
+    let engine = server.shard_engine().expect("engine installed");
+    engine.finish(&tel);
+    assert!(
+        engine.frames_scheduled() > 0,
+        "the shard engine never scheduled any work"
+    );
+    let elapsed: Vec<u64> = fleet
+        .iter()
+        .zip(&t0)
+        .map(|(m, t)| m.clock.now().as_nanos() - t)
+        .collect();
+    let makespan = *elapsed.iter().max().unwrap();
+    let secs = makespan as f64 / 1e9;
+    let disk = engine.disk_stats();
+    Row {
+        workload: workload.label(),
+        clients,
+        cores,
+        virtual_ns: makespan,
+        total_bytes,
+        ops,
+        aggregate_mb_per_s: total_bytes as f64 / 1_000_000.0 / secs,
+        per_client_mb_per_s: total_bytes as f64 / clients as f64 / 1_000_000.0 / secs,
+        mean_op_us: elapsed.iter().sum::<u64>() as f64 / 1_000.0 / ops as f64,
+        frames_scheduled: engine.frames_scheduled(),
+        disk_commits: disk.iter().map(|s| s.commits).sum(),
+        disk_batches: disk.iter().map(|s| s.batches).sum(),
+        disk_joined: disk.iter().map(|s| s.joined).sum(),
+    }
+}
+
+fn write_json(path: &str, mode: &str, rows: &[Row]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"sfs-bench/scale/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!(
+        "  \"workloads\": {{\"crypto_reads\": {{\"window\": {WINDOW}, \"read_bytes\": {READ_CHUNK}}}, \"disk_writes\": {{\"rewrite_bytes\": {WRITE_BYTES}}}}},\n"
+    ));
+    out.push_str(
+        "  \"unit\": {\"aggregate_mb_per_s\": \"MB/s of virtual time, fleet makespan\", \"virtual_ns\": \"nanoseconds\", \"mean_op_us\": \"microseconds per op, fleet mean\"},\n",
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"clients\": {}, \"cores\": {}, \"virtual_ns\": {}, \"aggregate_mb_per_s\": {:.3}, \"per_client_mb_per_s\": {:.3}, \"mean_op_us\": {:.1}, \"total_bytes\": {}, \"ops\": {}, \"frames_scheduled\": {}, \"disk_commits\": {}, \"disk_batches\": {}, \"disk_joined\": {}}}{}\n",
+            r.workload,
+            r.clients,
+            r.cores,
+            r.virtual_ns,
+            r.aggregate_mb_per_s,
+            r.per_client_mb_per_s,
+            r.mean_op_us,
+            r.total_bytes,
+            r.ops,
+            r.frames_scheduled,
+            r.disk_commits,
+            r.disk_batches,
+            r.disk_joined,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write benchmark JSON");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args = Args::from_env();
+    args.enforce_known(&["out"], &["smoke"]);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let out_path = args.opt("out").unwrap_or_else(|| "BENCH_scale.json".into());
+    let (client_sweep, rounds_read, rounds_write): (&[usize], usize, usize) =
+        if smoke { (&[4], 4, 2) } else { (&[2, 8], 8, 4) };
+    let fleet_max = *client_sweep.iter().max().unwrap();
+
+    println!("== scale: clients × cores sweep, windowed fleet against one server ==");
+    let mut rows: Vec<Row> = Vec::new();
+    for &workload in &[Workload::CryptoReads, Workload::DiskWrites] {
+        let rounds = match workload {
+            Workload::CryptoReads => rounds_read,
+            Workload::DiskWrites => rounds_write,
+        };
+        for &clients in client_sweep {
+            for cores in CORES {
+                let row = run_point(workload, clients, cores, rounds);
+                // Virtual time is deterministic: the identical sweep
+                // point must reproduce byte-for-byte.
+                let again = run_point(workload, clients, cores, rounds);
+                assert!(
+                    row == again,
+                    "sweep point diverged across reruns: {} clients={clients} cores={cores}",
+                    workload.label()
+                );
+                println!(
+                    "  {:>12}  clients {:>2}  cores {:>2}  {:>13} ns makespan  {:>8.2} MB/s aggregate  {:>8.1} µs/op  batches {:>4} (joined {:>4})",
+                    row.workload,
+                    row.clients,
+                    row.cores,
+                    row.virtual_ns,
+                    row.aggregate_mb_per_s,
+                    row.mean_op_us,
+                    row.disk_batches,
+                    row.disk_joined,
+                );
+                rows.push(row);
+            }
+        }
+    }
+    write_json(&out_path, if smoke { "smoke" } else { "full" }, &rows);
+
+    // Regression envelope. Virtual time is deterministic, so these are
+    // exact checks, not statistical ones.
+    let mut failed = false;
+    let read_rows: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.workload == Workload::CryptoReads.label() && r.clients == fleet_max)
+        .collect();
+    for pair in read_rows.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        // Allow a hair of slack at saturation; below it the curve must
+        // rise with cores.
+        if b.aggregate_mb_per_s < a.aggregate_mb_per_s * 0.98 {
+            eprintln!(
+                "FAIL: crypto-bound aggregate fell with cores: {} cores = {:.3} MB/s < {} cores = {:.3} MB/s",
+                b.cores, b.aggregate_mb_per_s, a.cores, a.aggregate_mb_per_s
+            );
+            failed = true;
+        }
+    }
+    let c1 = read_rows.iter().find(|r| r.cores == 1).expect("1-core row");
+    let c4 = read_rows.iter().find(|r| r.cores == 4).expect("4-core row");
+    let speedup = c4.aggregate_mb_per_s / c1.aggregate_mb_per_s;
+    let required = if smoke {
+        REQUIRED_SPEEDUP_SMOKE
+    } else {
+        REQUIRED_SPEEDUP_FULL
+    };
+    println!("crypto-bound, {fleet_max} clients: 4 cores vs 1 = {speedup:.2}x aggregate");
+    if speedup < required {
+        eprintln!(
+            "FAIL: 4 cores must deliver at least {required}x the single-core aggregate \
+             on the crypto-bound workload, got {speedup:.2}x"
+        );
+        failed = true;
+    }
+    for r in rows
+        .iter()
+        .filter(|r| r.workload == Workload::DiskWrites.label())
+    {
+        // With at least as many disk shards as clients, every file can
+        // land on its own spindle and there is legitimately nothing to
+        // group; below that, commits contend and batching must show up.
+        if r.cores < r.clients && r.disk_joined == 0 {
+            eprintln!(
+                "FAIL: disk-bound point clients={} cores={} never joined a commit batch — \
+                 group commit is not being exercised",
+                r.clients, r.cores
+            );
+            failed = true;
+        }
+        if r.disk_commits == 0 {
+            eprintln!(
+                "FAIL: disk-bound point clients={} cores={} scheduled no disk commits",
+                r.clients, r.cores
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

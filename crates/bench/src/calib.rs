@@ -15,6 +15,7 @@ use std::sync::Arc;
 use sfs::authserver::{AuthServer, UserRecord};
 use sfs::client::{SfsClient, SfsNetwork};
 use sfs::server::{ServerConfig, SfsServer};
+use sfs::ShardEngine;
 use sfs_bignum::XorShiftSource;
 use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
 use sfs_crypto::srp::SrpGroup;
@@ -86,6 +87,10 @@ pub struct Testbed {
     pub fs: Box<dyn FsBench>,
     /// The server-side file system (for cache-state control).
     pub server_vfs: Vfs,
+    /// The multi-core scheduler, when built with `cores` on an SFS
+    /// system — so reporters can flush its final open commit batches
+    /// into the `server.disk.batch_size` histogram after the workload.
+    pub shard_engine: Option<Arc<ShardEngine>>,
 }
 
 fn server_key() -> RabinPrivateKey {
@@ -114,18 +119,18 @@ impl Testbed {
     /// Builds the testbed for one system with tracing attached to every
     /// layer (wire, disk, NFS3 engine, SFS server + client).
     pub fn build_traced(system: System, tel: &Telemetry) -> Testbed {
-        Self::build_full(system, CpuCosts::pentium_iii_550(), Some(tel), None)
+        Self::build_full(system, CpuCosts::pentium_iii_550(), Some(tel), None, None)
     }
 
     /// Builds the testbed with explicit CPU costs (the §4.5 hardware-
     /// trend experiment swaps in slower/faster processors).
     pub fn build_with_cpu(system: System, cpu: CpuCosts) -> Testbed {
-        Self::build_full(system, cpu, None, None)
+        Self::build_full(system, cpu, None, None, None)
     }
 
     /// [`Self::build_traced`] with explicit CPU costs.
     pub fn build_traced_with_cpu(system: System, cpu: CpuCosts, tel: &Telemetry) -> Testbed {
-        Self::build_full(system, cpu, Some(tel), None)
+        Self::build_full(system, cpu, Some(tel), None, None)
     }
 
     /// Builds the testbed with a seeded fault plan threaded through every
@@ -138,7 +143,19 @@ impl Testbed {
         tel: Option<&Telemetry>,
         plan: Option<&FaultPlan>,
     ) -> Testbed {
-        Self::build_full(system, CpuCosts::pentium_iii_550(), tel, plan)
+        Self::build_full(system, CpuCosts::pentium_iii_550(), tel, plan, None)
+    }
+
+    /// [`Self::build_chaos`] with the multi-core `sfs::ShardEngine`
+    /// installed on the SFS server (ignored by the non-SFS systems,
+    /// which have no sharded dispatch to configure).
+    pub fn build_chaos_cores(
+        system: System,
+        tel: Option<&Telemetry>,
+        plan: Option<&FaultPlan>,
+        cores: Option<usize>,
+    ) -> Testbed {
+        Self::build_full(system, CpuCosts::pentium_iii_550(), tel, plan, cores)
     }
 
     fn build_full(
@@ -146,6 +163,7 @@ impl Testbed {
         cpu: CpuCosts,
         tel: Option<&Telemetry>,
         fault: Option<&FaultPlan>,
+        cores: Option<usize>,
     ) -> Testbed {
         let clock = SimClock::new();
         let disk = SimDisk::new(clock.clone(), bench_disk_params());
@@ -214,6 +232,9 @@ impl Testbed {
                     auth,
                     SfsPrg::from_entropy(b"bench-server"),
                 );
+                if let Some(n) = cores {
+                    server.set_cores(n);
+                }
                 let net =
                     SfsNetwork::new(clock.clone(), NetParams::switched_100mbit(Transport::Tcp));
                 net.register(server.clone());
@@ -233,11 +254,13 @@ impl Testbed {
                     _ => {}
                 }
                 let prefix = format!("{}/bench", server.path().full_path());
+                let shard_engine = server.shard_engine();
                 let bench = SfsBench::new(system.label(), client, BENCH_UID, &prefix);
                 return Testbed {
                     clock,
                     fs: Box::new(bench),
                     server_vfs: vfs,
+                    shard_engine,
                 };
             }
         };
@@ -245,6 +268,7 @@ impl Testbed {
             clock,
             fs,
             server_vfs: vfs,
+            shard_engine: None,
         }
     }
 
@@ -298,6 +322,28 @@ pub fn build_fs_chaos(
     let tb = Testbed::build_chaos(system, Some(tel), plan);
     let prefix = tb.root_dir(system).to_string();
     (tb.fs, tb.clock, prefix, tb.server_vfs)
+}
+
+/// [`build_fs_chaos`] with the multi-core shard engine installed on the
+/// SFS server (no-op for the non-SFS systems). Also returns the engine
+/// handle so the caller can flush its final open commit batches into
+/// telemetry once the workload finishes.
+#[allow(clippy::type_complexity)]
+pub fn build_fs_chaos_cores(
+    system: System,
+    tel: &Telemetry,
+    plan: Option<&FaultPlan>,
+    cores: Option<usize>,
+) -> (
+    Box<dyn FsBench>,
+    SimClock,
+    String,
+    Vfs,
+    Option<Arc<ShardEngine>>,
+) {
+    let tb = Testbed::build_chaos_cores(system, Some(tel), plan, cores);
+    let prefix = tb.root_dir(system).to_string();
+    (tb.fs, tb.clock, prefix, tb.server_vfs, tb.shard_engine)
 }
 
 /// [`build_fs_traced`] with explicit CPU costs.

@@ -170,6 +170,71 @@ pub fn latency_table(tel: &Telemetry) -> String {
             ));
         }
     }
+    out.push_str(&shard_table(tel, &hists));
+    out
+}
+
+/// Renders the multi-core shard breakdown when a `ShardEngine` recorded
+/// any per-shard series: CPU busy time per simulated core
+/// (`server.shard.busy_ticks`), the disk commit queue's depth high-water
+/// mark (`server.shard.queue_depth`), and the group-commit batch-size
+/// histogram (`server.disk.batch_size`). Empty string when no shard
+/// engine ran, so single-core tables stay byte-identical.
+fn shard_table(
+    tel: &Telemetry,
+    hists: &[(String, &'static str, sfs_telemetry::Histogram)],
+) -> String {
+    let mut busy: BTreeMap<String, u64> = BTreeMap::new();
+    for (process, name, total) in tel.counters_snapshot() {
+        if name == "server.shard.busy_ticks" {
+            busy.insert(process, total);
+        }
+    }
+    let mut queue_hwm: BTreeMap<String, u64> = BTreeMap::new();
+    for (process, name, _current, hwm) in tel.gauges_snapshot() {
+        if name == "server.shard.queue_depth" {
+            queue_hwm.insert(process, hwm);
+        }
+    }
+    let mut batches: BTreeMap<String, &sfs_telemetry::Histogram> = BTreeMap::new();
+    for (process, name, h) in hists {
+        if *name == "server.disk.batch_size" {
+            batches.insert(process.clone(), h);
+        }
+    }
+    let shards: std::collections::BTreeSet<&String> = busy
+        .keys()
+        .chain(queue_hwm.keys())
+        .chain(batches.keys())
+        .collect();
+    if shards.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str("\n== Multi-core shard breakdown ==\n");
+    out.push_str(&format!(
+        "  {:<24} {:>12} {:>10} {:>8} {:>11} {:>10}\n",
+        "shard", "busy (µs)", "queue hwm", "batches", "batch mean", "batch max"
+    ));
+    for shard in shards {
+        let (count, mean, max) = match batches.get(shard) {
+            Some(h) => (
+                h.count().to_string(),
+                h.mean().to_string(),
+                h.max().to_string(),
+            ),
+            None => ("0".into(), "-".into(), "-".into()),
+        };
+        out.push_str(&format!(
+            "  {:<24} {:>12} {:>10} {:>8} {:>11} {:>10}\n",
+            shard,
+            us(busy.get(shard).copied().unwrap_or(0)),
+            queue_hwm.get(shard).copied().unwrap_or(0),
+            count,
+            mean,
+            max,
+        ));
+    }
     out
 }
 
@@ -247,5 +312,32 @@ mod tests {
     fn latency_table_empty_without_tracing() {
         let s = latency_table(&Telemetry::disabled());
         assert!(s.contains("no per-procedure histograms"));
+    }
+
+    #[test]
+    fn latency_table_surfaces_shard_series_when_present() {
+        let t = Telemetry::recording(sfs_telemetry::ZeroClock);
+        t.record("SFS/server", "READ", 90_000);
+        // No shard series recorded: the shard section must not render,
+        // so single-core tables stay byte-identical to the pre-shard
+        // format.
+        assert!(!latency_table(&t).contains("Multi-core shard breakdown"));
+
+        t.count("SFS/shard0", "server.shard.busy_ticks", 1_250_000);
+        t.count("SFS/shard1", "server.shard.busy_ticks", 980_000);
+        t.gauge_set("SFS/shard0", "server.shard.queue_depth", 3);
+        t.gauge_set("SFS/shard0", "server.shard.queue_depth", 1);
+        t.record("SFS/shard0", "server.disk.batch_size", 4);
+        t.record("SFS/shard0", "server.disk.batch_size", 2);
+        let s = latency_table(&t);
+        assert!(s.contains("Multi-core shard breakdown"), "{s}");
+        assert!(s.contains("SFS/shard0"), "{s}");
+        assert!(s.contains("SFS/shard1"), "{s}");
+        // busy_ticks rendered in µs; queue hwm keeps the peak (3), not
+        // the final level (1); batch stats come from the histogram.
+        assert!(s.contains("1250.000"), "{s}");
+        let shard0_row = s.lines().find(|l| l.contains("SFS/shard0")).unwrap();
+        assert!(shard0_row.contains(" 3 "), "{shard0_row}");
+        assert_eq!(s, latency_table(&t), "deterministic render");
     }
 }

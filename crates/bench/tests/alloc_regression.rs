@@ -28,6 +28,7 @@ static ALLOC: CountingAlloc = CountingAlloc;
 const UID: u32 = 1000;
 const GETATTR_ALLOC_CEILING: f64 = 16.0;
 const READ_ALLOC_CEILING: f64 = 20.0;
+const SHARDED_READ_ALLOC_CEILING: f64 = 30.0;
 
 #[test]
 fn steady_state_relay_allocations_stay_pinned() {
@@ -114,5 +115,97 @@ fn steady_state_relay_allocations_stay_pinned() {
         per_read <= READ_ALLOC_CEILING,
         "4 KiB READ now costs {per_read:.2} allocs/RPC (ceiling {READ_ALLOC_CEILING}); \
          the pooled hot path has regressed"
+    );
+}
+
+#[test]
+fn sharded_windowed_allocations_stay_pinned() {
+    // The multi-core dispatch path: windowed batches through a 4-core
+    // `ShardEngine`. Per-RPC the windowed engine legitimately costs more
+    // than the blocking loop (sealed frames are kept for retransmission,
+    // the reorder buffer and reply cache bookkeep per frame), but the
+    // engine itself must stay allocation-lean — measured 25.4 allocs per
+    // windowed 4 KiB READ with the engine installed, so the ceiling
+    // pins the whole sharded steady state with a small cushion.
+    let clock = SimClock::new();
+    let vfs = Vfs::new(7, clock.clone());
+    let dir = vfs.mkdir_p("/bench").unwrap();
+    vfs.setattr(
+        &Credentials::root(),
+        dir,
+        sfs_vfs::SetAttr {
+            mode: Some(0o777),
+            uid: Some(UID),
+            gid: Some(100),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut rng = XorShiftSource::new(0x51EF);
+    let auth = Arc::new(AuthServer::new(SrpGroup::generate(128, &mut rng), 2));
+    let user_key = generate_keypair(512, &mut rng);
+    auth.register_user(UserRecord {
+        user: "bench".into(),
+        uid: UID,
+        gids: vec![100],
+        public_key: user_key.public().to_bytes(),
+    });
+    let server = SfsServer::new(
+        ServerConfig::new("server.shardallocs"),
+        generate_keypair(768, &mut rng),
+        vfs,
+        auth,
+        SfsPrg::from_entropy(b"alloc-regression-shard-server"),
+    );
+    server.set_cores(4);
+    let net = SfsNetwork::new(clock, NetParams::switched_100mbit(Transport::Tcp));
+    net.register(server.clone());
+    let client = SfsClient::new(net, b"alloc-regression-shard-client");
+    client.agent(UID).lock().add_key(user_key);
+
+    let path = server.path();
+    let mount = client.mount(UID, path).expect("mount");
+    let file = format!("{}/bench/data", path.full_path());
+    client
+        .write_file(UID, &file, &vec![0xCDu8; 8 * 4096])
+        .expect("write");
+    let (_, fh, _) = client.resolve(UID, &file).expect("resolve");
+    client.set_caching(false);
+    client.set_pipeline_window(8);
+
+    const BATCH: usize = 8;
+    let reqs: Vec<Nfs3Request> = (0..BATCH)
+        .map(|i| Nfs3Request::Read {
+            fh: fh.clone(),
+            offset: (i * 4096) as u64,
+            count: 4096,
+        })
+        .collect();
+    // Warm pools, sequencer capacity, and the engine's calendars.
+    for _ in 0..4 {
+        client.call_nfs_window(&mount, UID, &reqs).unwrap();
+    }
+
+    const ITERS: u64 = 16;
+    let (_, allocs) = count_allocs(|| {
+        for _ in 0..ITERS {
+            for reply in client.call_nfs_window(&mount, UID, &reqs).unwrap() {
+                match reply {
+                    Nfs3Reply::Read { data, .. } => assert_eq!(data.len(), 4096),
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+        }
+    });
+    let engine = server.shard_engine().expect("engine installed");
+    assert!(
+        engine.frames_scheduled() > 0,
+        "the windowed batches never went through the shard engine"
+    );
+    let per_rpc = allocs as f64 / (ITERS * BATCH as u64) as f64;
+    assert!(
+        per_rpc <= SHARDED_READ_ALLOC_CEILING,
+        "sharded windowed 4 KiB READ now costs {per_rpc:.2} allocs/RPC \
+         (ceiling {SHARDED_READ_ALLOC_CEILING}); the multi-core hot path has regressed"
     );
 }

@@ -14,7 +14,19 @@
 //! may keep reading a buffer up to the moment it re-enters circulation).
 //! Hits and misses are telemetry-counted (`bufpool.hits` /
 //! `bufpool.misses`) so benchmarks and tests can pin reuse rates.
+//!
+//! **Ownership under multi-core dispatch.** Each pool is created by
+//! [`crate::SfsServer::accept`] (or the client link setup) for exactly
+//! one connection, and both ends of that simulated loopback share it;
+//! no pool is ever reachable from two connections. The multi-core
+//! `ShardEngine` schedules *time*, not buffers — worker shards never
+//! exchange `Vec<u8>`s — so a buffer recycled on one shard cannot alias
+//! an in-flight frame on another: the only path back into circulation
+//! is `put` on the same connection's pool, and a buffer only re-enters
+//! a *different* pool by deep copy. Every pool carries a process-unique
+//! [`BufPool::id`] so tests can pin this single-owner discipline.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sfs_telemetry::sync::Mutex;
@@ -29,11 +41,15 @@ const MAX_POOLED: usize = 8;
 /// huge READ/WRITE burst does not pin megabytes forever.
 const MAX_RETAINED_CAPACITY: usize = 1 << 20;
 
+/// Process-unique pool identities, so ownership can be asserted.
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
 /// A freelist of reusable `Vec<u8>`s shared by a connection's two ends.
 pub struct BufPool {
     free: Mutex<Vec<Vec<u8>>>,
     tel: Mutex<Telemetry>,
     host: &'static str,
+    id: u64,
 }
 
 impl BufPool {
@@ -43,7 +59,16 @@ impl BufPool {
             free: Mutex::new(Vec::new()),
             tel: Mutex::new(Telemetry::disabled()),
             host,
+            id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
         })
+    }
+
+    /// This pool's process-unique identity. Two connections must never
+    /// report the same id — that would mean a shared freelist, and with
+    /// it the possibility of one shard recycling a buffer that aliases
+    /// another connection's in-flight frame.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Routes hit/miss counters to `tel`.
@@ -172,6 +197,27 @@ mod tests {
         pool.put(Vec::new());
         pool.put(Vec::with_capacity(MAX_RETAINED_CAPACITY + 1));
         assert_eq!(pool.idle(), before);
+    }
+
+    #[test]
+    fn pools_are_single_owner_never_cross_recycled() {
+        // The cross-shard aliasing regression: a buffer returned to one
+        // connection's pool must never surface from another's freelist.
+        let a = BufPool::new("server");
+        let b = BufPool::new("server");
+        assert_ne!(a.id(), b.id(), "pool identities must be unique");
+        let mut buf = Vec::with_capacity(128);
+        buf.extend_from_slice(b"frame-in-flight");
+        let marker = buf.as_ptr();
+        a.put(buf);
+        assert_eq!(a.idle(), 1);
+        assert_eq!(b.idle(), 0, "pool B must not see pool A's buffer");
+        // Drain B: everything it hands out is freshly allocated, so no
+        // pointer from A's freelist can alias it.
+        let from_b = b.get();
+        assert_eq!(from_b.capacity(), 0, "B had nothing pooled to reuse");
+        let from_a = a.get();
+        assert_eq!(from_a.as_ptr(), marker, "A recycles its own buffer");
     }
 
     #[test]

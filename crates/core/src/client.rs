@@ -1844,9 +1844,13 @@ impl SfsClient {
                     (sent_at[i], msg)
                 })
                 .collect();
-            let replies = link.wire.exchange(sends, |b| {
+            // Each frame's server cost is either the classic serial
+            // discipline or, when the server has a multi-core
+            // `ShardEngine` installed, an absolute completion instant
+            // scheduled across its simulated cores and disk shards.
+            let replies = link.wire.exchange_on(sends, |arrival_ns, b| {
                 let extra_ns = self.server_frame_cost_ns(b.len());
-                (link.conn.handle_frames(b), extra_ns)
+                link.conn.handle_frames_on(arrival_ns, extra_ns, b)
             });
             for reply in replies {
                 let bytes = reply.bytes;

@@ -45,6 +45,7 @@ pub mod roclient;
 pub mod sealbox;
 pub mod server;
 pub mod sfskey;
+pub mod shard;
 pub mod wire;
 
 pub use agent::Agent;
@@ -54,3 +55,4 @@ pub use client::{ClientError, RecoveryReport, RoutedRo, RoutedRw, Router, SfsCli
 pub use journal::{ClientJournal, JournalRecord, RecoveredState};
 pub use roclient::{RoClientError, RoMount};
 pub use server::{RoConnection, RoReplicaServer, ServerConfig, SfsServer};
+pub use shard::{ShardEngine, ShardedReplyCache};

@@ -14,7 +14,7 @@
 //! generates its file handles by adding redundancy to NFS handles and
 //! encrypting them in CBC mode with a 20-byte Blowfish key" (§3.3).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -32,7 +32,7 @@ use sfs_proto::pathname::SelfCertifyingPath;
 use sfs_proto::readonly::{RoDatabase, RoError};
 use sfs_proto::revoke::{ForwardingPointer, RevocationCert};
 use sfs_proto::userauth::{AuthInfo, SeqWindow, AUTHNO_ANONYMOUS};
-use sfs_sim::{FaultPlan, ServerLoad};
+use sfs_sim::{FaultPlan, ServerCost, ServerLoad};
 use sfs_telemetry::sync::Mutex;
 use sfs_telemetry::Telemetry;
 use sfs_vfs::{Credentials, Vfs};
@@ -42,6 +42,7 @@ use crate::authserver::AuthServer;
 use crate::bufpool::BufPool;
 use crate::config::DispatchTable;
 use crate::sealbox;
+use crate::shard::{ShardEngine, ShardedReplyCache};
 use crate::wire::{
     sealed_env_begin, sealed_env_finish, sealed_envelope_frame, seq_call_envelope, seq_env_begin,
     seq_env_finish, CallMsg, Dialect, InnerCall, InnerReply, ReplyMsg, Service,
@@ -276,6 +277,9 @@ pub struct SfsServer {
     /// ships each executed mutating op to the backups before the reply
     /// is released (acknowledged-commit).
     replicator: Mutex<Option<Arc<dyn Replicator>>>,
+    /// Multi-core dispatch scheduler; `None` keeps the classic
+    /// single-server discipline byte-for-byte.
+    shards: Mutex<Option<Arc<ShardEngine>>>,
     tel: Mutex<Telemetry>,
 }
 
@@ -344,8 +348,23 @@ impl SfsServer {
             fault: Mutex::new(None),
             load: ServerLoad::new(),
             replicator: Mutex::new(None),
+            shards: Mutex::new(None),
             tel: Mutex::new(Telemetry::disabled()),
         })
+    }
+
+    /// Installs an `n`-core [`ShardEngine`]: pipelined frames are
+    /// scheduled across `n` simulated cores (crypto on any core, disk
+    /// work on the owning handle shard with group commit) instead of
+    /// queueing on one logical server. Unset (the default), dispatch
+    /// timing is byte-for-byte the classic single-server discipline.
+    pub fn set_cores(&self, n: usize) {
+        *self.shards.lock() = Some(ShardEngine::new(n));
+    }
+
+    /// The installed multi-core scheduler, if any.
+    pub fn shard_engine(&self) -> Option<Arc<ShardEngine>> {
+        self.shards.lock().clone()
     }
 
     /// This machine's contention tracker. A routing tier attaches each
@@ -532,6 +551,7 @@ impl SfsServer {
             server: self.clone(),
             state: Mutex::new(ConnState::Idle),
             pool,
+            last_shard: Mutex::new(None),
         }
     }
 }
@@ -565,8 +585,9 @@ struct Established {
     seq_buf: FrameSequencer,
     /// Sealed replies keyed by the request's channel sequence number,
     /// resent verbatim on retransmission (the send cipher must not
-    /// advance for a frame the client may already have).
-    reply_cache: BTreeMap<u64, Vec<u8>>,
+    /// advance for a frame the client may already have). Sharded by
+    /// chanseq so each dispatch worker owns its slice.
+    reply_cache: ShardedReplyCache,
 }
 
 enum ConnState {
@@ -599,6 +620,10 @@ pub struct ServerConn {
     /// Freelist shared with the client end of this (loopback) connection
     /// so steady-state sealed RPCs recycle the same few buffers.
     pool: Arc<BufPool>,
+    /// The handle shard touched by the most recent dispatched request,
+    /// recorded by `dispatch_nfs_into` for the multi-core scheduler
+    /// (first file handle of the request wins).
+    last_shard: Mutex<Option<u32>>,
 }
 
 impl ServerConn {
@@ -755,6 +780,48 @@ impl ServerConn {
         }
     }
 
+    /// [`Self::handle_frames`] under multi-core dispatch: the scheduling
+    /// entry point used by [`sfs_sim::Wire::exchange_on`].
+    ///
+    /// Without a [`ShardEngine`] installed this is exactly
+    /// `handle_frames` with the classic serial cost — byte-for-byte the
+    /// single-server discipline. With one, the frame's analytic CPU cost
+    /// (`frame_cost_ns`, the seal/open + dispatch work) is placed on the
+    /// earliest-free simulated core starting at `arrival_ns`, and any
+    /// disk work the dispatch performed is captured via the disk's tally
+    /// mode and placed on the owning handle shard's commit queue (where
+    /// back-to-back commits batch). The returned [`ServerCost`] carries
+    /// the absolute completion instant.
+    ///
+    /// Ordering: cipher state still advances strictly in channel-
+    /// sequence order — the `FrameSequencer` drain inside
+    /// `handle_frames` runs before any scheduling decision, so the
+    /// engine only chooses *when* the work completes, never in what
+    /// order the channel is touched. Completion instants may therefore
+    /// be out of order across frames (different cores), which the
+    /// client's own reorder buffer absorbs.
+    pub fn handle_frames_on(
+        &self,
+        arrival_ns: u64,
+        frame_cost_ns: u64,
+        bytes: &[u8],
+    ) -> (Vec<Vec<u8>>, ServerCost) {
+        let Some(engine) = self.server.shard_engine() else {
+            return (self.handle_frames(bytes), ServerCost::Serial(frame_cost_ns));
+        };
+        let disk = self.server.vfs().disk().cloned();
+        if let Some(d) = &disk {
+            d.tally_begin();
+        }
+        *self.last_shard.lock() = None;
+        let replies = self.handle_frames(bytes);
+        let tally = disk.as_ref().map(|d| d.tally_end()).unwrap_or_default();
+        let shard = self.last_shard.lock().take();
+        let tel = self.server.tel.lock().clone();
+        let done = engine.schedule(arrival_ns, frame_cost_ns, tally, shard, &tel);
+        (replies, ServerCost::Scheduled(done))
+    }
+
     /// Services one sequenced pipelined frame. Frames are decrypted
     /// strictly in channel-sequence order regardless of arrival order:
     /// early frames buffer, retransmissions of already-consumed frames
@@ -782,7 +849,7 @@ impl ServerConn {
             }
             SeqPush::Duplicate => {
                 tel.count("server", "pipeline.retransmits", 1);
-                match est.reply_cache.get(&chanseq) {
+                match est.reply_cache.get(chanseq) {
                     Some(cached) => vec![cached.clone()],
                     None => vec![
                         ReplyMsg::Error("channel failure: replay beyond cache".into()).to_xdr(),
@@ -838,15 +905,14 @@ impl ServerConn {
             }
             Err(e) => ReplyMsg::Error(format!("channel failure: {e}")).to_xdr(),
         };
-        est.reply_cache.insert(req_seq, bytes.clone());
-        // Oldest-first eviction: a retransmission can only ask for a
-        // recent sequence number (the client's window bounds how far back
-        // it retries), so dropping the lowest keys preserves exactly-once
-        // for every answerable replay.
-        while est.reply_cache.len() > REPLY_CACHE_CAPACITY {
-            let oldest = *est.reply_cache.keys().next().expect("cache non-empty");
-            est.reply_cache.remove(&oldest);
-            tel.count("server", "replycache.evictions", 1);
+        // Oldest-first eviction (inside the sharded cache): a
+        // retransmission can only ask for a recent sequence number (the
+        // client's window bounds how far back it retries), so dropping
+        // the globally lowest keys preserves exactly-once for every
+        // answerable replay.
+        let evicted = est.reply_cache.insert(req_seq, bytes.clone());
+        if evicted > 0 {
+            tel.count("server", "replycache.evictions", evicted);
         }
         tel.gauge_set("server", "replycache.size", est.reply_cache.len() as u64);
         bytes
@@ -937,7 +1003,10 @@ impl ServerConn {
                             next_authno: 1,
                             seqwin: SeqWindow::new(32),
                             seq_buf: FrameSequencer::new(SEQ_BUF_CAPACITY),
-                            reply_cache: BTreeMap::new(),
+                            reply_cache: ShardedReplyCache::new(
+                                REPLY_CACHE_CAPACITY,
+                                self.server.shard_engine().map_or(1, |e| e.cores()),
+                            ),
                         };
                         *state = ConnState::Established(Box::new(est));
                         ReplyMsg::ServerKeys(msg4)
@@ -1123,11 +1192,29 @@ impl ServerConn {
         let Ok(req) = Nfs3Request::decode_args(proc, args) else {
             return err(Status::Inval, enc);
         };
-        // Translate public SFS handles to private NFS handles.
-        let req = match map_request_handles(req, &mut |fh| self.server.decrypt_handle(&fh)) {
+        // Translate public SFS handles to private NFS handles, noting
+        // which worker shard owns the request's first handle so the
+        // multi-core scheduler can route its disk work.
+        let mut first_fh: Option<u32> = None;
+        let engine = self.server.shard_engine();
+        let req = match map_request_handles(req, &mut |fh| {
+            let nfs = self.server.decrypt_handle(&fh)?;
+            if first_fh.is_none() {
+                if let Some(e) = &engine {
+                    first_fh = Some(e.shard_of(&nfs.0));
+                }
+            }
+            Ok(nfs)
+        }) {
             Ok(r) => r,
             Err(status) => return err(status, enc),
         };
+        if let Some(shard) = first_fh {
+            let mut hint = self.last_shard.lock();
+            if hint.is_none() {
+                *hint = Some(shard);
+            }
+        }
         let reply = self.nfs_relay(creds, &req);
         // Acknowledged commit: a successful mutation is shipped to the
         // replica group's quorum *before* the reply is encoded, so the

@@ -165,8 +165,20 @@ struct Outcome {
 /// crashes) land between RPCs. Panics if the workload fails or any
 /// payload comes back altered.
 fn soak_with_window(spec: &str, mid_advance_ns: u64, window: usize) -> Outcome {
+    soak_with_window_cores(spec, mid_advance_ns, window, 0)
+}
+
+/// [`soak_with_window`] with the multi-core shard engine installed on
+/// the server (`cores == 0` leaves the legacy single-core path). With an
+/// engine present the streamed workload's seal/open work really is
+/// scheduled across core timelines, which the soak asserts by checking
+/// the engine accumulated busy time.
+fn soak_with_window_cores(spec: &str, mid_advance_ns: u64, window: usize, cores: usize) -> Outcome {
     let plan = FaultPlan::from_spec(spec).unwrap();
     let w = build_chaos_world(&plan);
+    if cores > 0 {
+        w.server.set_cores(cores);
+    }
     w.client.set_pipeline_window(window);
     let home = format!("{}/home/alice", w.path.full_path());
     let files: Vec<(String, Vec<u8>)> = (0..5)
@@ -196,6 +208,25 @@ fn soak_with_window(spec: &str, mid_advance_ns: u64, window: usize) -> Outcome {
         b"welcome to sfs"
     );
     let (mount, _, _) = w.client.resolve(ALICE_UID, &motd).unwrap();
+    if cores > 0 {
+        // The five chaos files are single-WRITE payloads, which the
+        // windowed client degenerates to blocking calls — so stream one
+        // multi-chunk file too, forcing real windowed batches through
+        // the engine, and pin that the engine actually scheduled them.
+        let big = format!("{}/home/alice/chaos-stream", w.path.full_path());
+        let stream: Vec<u8> = (0..65_536u32).map(|i| (i % 253) as u8).collect();
+        w.client.write_file(ALICE_UID, &big, &stream).unwrap();
+        assert_eq!(
+            w.client.read_file(ALICE_UID, &big).unwrap(),
+            stream,
+            "streamed payload corrupted under {spec:?} at cores={cores}"
+        );
+        let engine = w.server.shard_engine().expect("engine installed");
+        assert!(
+            engine.frames_scheduled() > 0,
+            "the shard engine never scheduled any work in {spec:?}"
+        );
+    }
     Outcome {
         total_ns: w.clock.now().as_nanos(),
         events: plan.events(),
@@ -367,6 +398,25 @@ fn mixed_chaos_soak_completes_and_reproduces() {
             "no mixed plan injected {:?}; saw {seen:?}",
             kind.label()
         );
+    }
+}
+
+#[test]
+fn mixed_storm_survives_multicore_dispatch() {
+    // The mixed-fault battery reruns with the shard engine installed at
+    // cores ∈ {1, 4}: streamed payloads must still survive the storm
+    // byte-for-byte (asserted inside the soak), the engine must actually
+    // schedule work, and every configuration must reproduce exactly
+    // across reruns.
+    for cores in [1usize, 4] {
+        for (spec, jump) in &MIXED_SPECS[..6] {
+            let a = soak_with_window_cores(spec, *jump, DEFAULT_PIPELINE_WINDOW, cores);
+            let b = soak_with_window_cores(spec, *jump, DEFAULT_PIPELINE_WINDOW, cores);
+            assert_eq!(
+                a, b,
+                "multicore soak diverged across reruns of {spec:?} at cores={cores}"
+            );
+        }
     }
 }
 

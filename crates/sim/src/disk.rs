@@ -7,13 +7,15 @@
 //! costs) from asynchronous writes absorbed by the write-behind cache and
 //! flushed in batches.
 
+use std::collections::BTreeMap;
+use std::ops::Bound;
 use std::sync::Arc;
 
 use sfs_telemetry::sync::Mutex;
 use sfs_telemetry::Telemetry;
 
 use crate::fault::FaultPlan;
-use crate::time::SimClock;
+use crate::time::{SimClock, Timeline};
 
 /// Disk performance parameters.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +49,19 @@ impl DiskParams {
     }
 }
 
+/// Device time accumulated while a [`SimDisk`] is in tally mode, split
+/// into total cost and the positioning (seek + rotation) share that a
+/// batched commit can skip.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DiskTally {
+    /// Total device time the tallied operations would have charged.
+    pub total_ns: u64,
+    /// The positioning share of `total_ns`.
+    pub positioning_ns: u64,
+    /// Operations tallied.
+    pub ops: u64,
+}
+
 #[derive(Debug, Default)]
 struct DiskState {
     /// Position of the head (block number), to distinguish sequential from
@@ -66,6 +81,9 @@ struct DiskState {
     fault: Option<FaultPlan>,
     /// Transient sync-write failures absorbed by the retry path.
     sync_failures: u64,
+    /// When set, device costs accumulate here instead of advancing the
+    /// clock, so a scheduler can place them on a per-shard timeline.
+    tally: Option<DiskTally>,
 }
 
 /// A simulated disk charging a [`SimClock`].
@@ -104,6 +122,42 @@ impl SimDisk {
         self.state.lock().sync_failures
     }
 
+    /// Enters tally mode: until [`Self::tally_end`], device costs
+    /// accumulate in a [`DiskTally`] instead of advancing the clock.
+    /// A multi-core scheduler uses this to capture one request's disk
+    /// work and place it on a per-shard disk timeline (where commits
+    /// arriving back-to-back can batch), rather than charging the
+    /// single shared clock serially. Stats and telemetry counters are
+    /// recorded as usual.
+    pub fn tally_begin(&self) {
+        self.state.lock().tally = Some(DiskTally::default());
+    }
+
+    /// Leaves tally mode, returning the accumulated device time.
+    /// Returns a zero tally if tally mode was never entered.
+    pub fn tally_end(&self) -> DiskTally {
+        self.state.lock().tally.take().unwrap_or_default()
+    }
+
+    /// Charges `ns` of device time: accumulated when tallying, otherwise
+    /// advanced on the shared clock.
+    fn charge(&self, st: &mut DiskState, ns: u64, positioning: bool) {
+        if let Some(t) = st.tally.as_mut() {
+            t.total_ns += ns;
+            if positioning {
+                t.positioning_ns += ns;
+            }
+        } else {
+            self.clock.advance_ns(ns);
+        }
+    }
+
+    fn note_op(st: &mut DiskState) {
+        if let Some(t) = st.tally.as_mut() {
+            t.ops += 1;
+        }
+    }
+
     /// Reads `len` bytes at block `block`, charging positioning when the
     /// access is not sequential with the previous one.
     pub fn read(&self, block: u64, len: usize) {
@@ -113,14 +167,15 @@ impl SimDisk {
             .span("server", "sim.disk", "read")
             .with_attr("bytes", len);
         st.reads += 1;
+        Self::note_op(&mut st);
         st.tel.count("server", "disk.reads", 1);
         st.tel.count("server", "disk.bytes_read", len as u64);
         if st.head != block {
             st.seeks += 1;
             st.tel.count("server", "disk.seeks", 1);
-            self.clock.advance_ns(self.params.seek_ns);
+            self.charge(&mut st, self.params.seek_ns, true);
         }
-        self.clock.advance_ns(self.params.transfer_ns(len));
+        self.charge(&mut st, self.params.transfer_ns(len), false);
         st.head = block + (len / self.params.block_size.max(1)) as u64;
         drop(span);
     }
@@ -131,11 +186,15 @@ impl SimDisk {
     pub fn write_async(&self, len: usize) {
         let mut st = self.state.lock();
         st.writes += 1;
+        Self::note_op(&mut st);
         st.dirty_bytes += len as u64;
         st.tel.count("server", "disk.writes", 1);
         st.tel.count("server", "disk.bytes_written", len as u64);
-        self.clock
-            .advance_ns(self.params.write_path_ns_per_byte * len as u64);
+        self.charge(
+            &mut st,
+            self.params.write_path_ns_per_byte * len as u64,
+            false,
+        );
     }
 
     /// Synchronously writes `len` bytes at `block` (e.g. metadata updates,
@@ -148,6 +207,7 @@ impl SimDisk {
             .with_attr("bytes", len);
         st.writes += 1;
         st.syncs += 1;
+        Self::note_op(&mut st);
         st.tel.count("server", "disk.writes", 1);
         st.tel.count("server", "disk.syncs", 1);
         st.tel.count("server", "disk.bytes_written", len as u64);
@@ -162,14 +222,14 @@ impl SimDisk {
             st.sync_failures += 1;
             st.tel.count("server", "disk.sync_failures", 1);
             st.tel.instant("server", "sim.disk", "sync_write_retry");
-            self.clock.advance_ns(self.params.seek_ns);
+            self.charge(&mut st, self.params.seek_ns, true);
         }
         if st.head != block {
             st.seeks += 1;
             st.tel.count("server", "disk.seeks", 1);
-            self.clock.advance_ns(self.params.seek_ns);
+            self.charge(&mut st, self.params.seek_ns, true);
         }
-        self.clock.advance_ns(self.params.transfer_ns(len));
+        self.charge(&mut st, self.params.transfer_ns(len), false);
         st.head = block + (len / self.params.block_size.max(1)) as u64;
         drop(span);
     }
@@ -186,10 +246,11 @@ impl SimDisk {
             .span("server", "sim.disk", "flush")
             .with_attr("bytes", st.dirty_bytes);
         st.seeks += 1;
+        Self::note_op(&mut st);
         st.tel.count("server", "disk.seeks", 1);
-        self.clock.advance_ns(self.params.seek_ns);
-        self.clock
-            .advance_ns(self.params.transfer_ns(st.dirty_bytes as usize));
+        self.charge(&mut st, self.params.seek_ns, true);
+        let transfer = self.params.transfer_ns(st.dirty_bytes as usize);
+        self.charge(&mut st, transfer, false);
         st.dirty_bytes = 0;
         drop(span);
     }
@@ -203,6 +264,141 @@ impl SimDisk {
     /// The disk's clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock
+    }
+}
+
+/// The outcome of scheduling one commit on a [`DiskCommitQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskCommit {
+    /// Absolute completion time of this commit.
+    pub done_ns: u64,
+    /// Whether the commit arrived while the queue was busy and joined an
+    /// in-progress batch (skipping its positioning cost).
+    pub joined: bool,
+    /// Size of the batch this commit belongs to, so far.
+    pub batch_size: u64,
+    /// When this commit opened a new batch, the size of the batch it
+    /// closed (for batch-size histograms).
+    pub closed_batch: Option<u64>,
+    /// Commits still outstanding when this one arrived (queue depth).
+    pub queued_behind: u64,
+}
+
+/// Aggregate [`DiskCommitQueue`] statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskQueueStats {
+    /// Commits scheduled.
+    pub commits: u64,
+    /// Batches opened.
+    pub batches: u64,
+    /// Commits that joined a batch (and skipped positioning).
+    pub joined: u64,
+    /// Total device time reserved.
+    pub busy_ns: u64,
+}
+
+/// A per-shard disk commit queue with group commit.
+///
+/// Commits carry the device cost a [`SimDisk`] tallied for them, split
+/// into positioning and transfer. The queue lays them out on one
+/// [`Timeline`] (the shard's spindle): a commit that arrives while the
+/// spindle is busy queues behind it back-to-back and *joins the batch* —
+/// the head is already positioned from the previous write, so only the
+/// transfer cost is paid, which is exactly the group-commit win of
+/// gathering several connections' fsync barriers into one sync write. A
+/// commit that finds the spindle idle pays full positioning and opens a
+/// new batch.
+#[derive(Debug, Clone, Default)]
+pub struct DiskCommitQueue {
+    lane: Timeline,
+    /// Tail of the most recent batch.
+    batch_end: u64,
+    /// Commits in the current (still-open) batch.
+    batch_size: u64,
+    /// Completion times of scheduled commits, for queue-depth gauges.
+    ends: BTreeMap<u64, u32>,
+    commits: u64,
+    batches: u64,
+    joined: u64,
+}
+
+impl DiskCommitQueue {
+    /// An idle queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Commits still outstanding (scheduled but not finished) at `at`.
+    pub fn pending_at(&self, at: u64) -> u64 {
+        self.ends
+            .range((Bound::Excluded(at), Bound::Unbounded))
+            .map(|(_, &c)| c as u64)
+            .sum()
+    }
+
+    /// Size of the batch currently being appended to.
+    pub fn current_batch(&self) -> u64 {
+        self.batch_size
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> DiskQueueStats {
+        DiskQueueStats {
+            commits: self.commits,
+            batches: self.batches,
+            joined: self.joined,
+            busy_ns: self.lane.busy_ns(),
+        }
+    }
+
+    /// Schedules a commit whose tallied device cost is `total_ns`, of
+    /// which `positioning_ns` is seek/rotation, ready at `ready_ns`.
+    pub fn commit(&mut self, ready_ns: u64, total_ns: u64, positioning_ns: u64) -> DiskCommit {
+        let queued_behind = self.pending_at(ready_ns);
+        self.commits += 1;
+        if total_ns == 0 {
+            return DiskCommit {
+                done_ns: ready_ns,
+                joined: false,
+                batch_size: self.batch_size,
+                closed_batch: None,
+                queued_behind,
+            };
+        }
+        // Busy (or no gap big enough) at arrival ⇒ the commit queues and
+        // rides the previous write's head position: transfer only.
+        let joined = self.lane.probe(ready_ns, total_ns) > ready_ns;
+        let work = if joined {
+            total_ns.saturating_sub(positioning_ns).max(1)
+        } else {
+            total_ns
+        };
+        let (start, done) = self.lane.reserve(ready_ns, work);
+        let mut closed_batch = None;
+        if joined && start == self.batch_end {
+            self.batch_size += 1;
+            self.joined += 1;
+        } else {
+            if self.batch_size > 0 {
+                closed_batch = Some(self.batch_size);
+            }
+            self.batch_size = 1;
+            self.batches += 1;
+            if joined {
+                self.joined += 1;
+            }
+        }
+        if done > self.batch_end {
+            self.batch_end = done;
+        }
+        *self.ends.entry(done).or_insert(0) += 1;
+        DiskCommit {
+            done_ns: done,
+            joined,
+            batch_size: self.batch_size,
+            closed_batch,
+            queued_behind,
+        }
     }
 }
 
@@ -283,6 +479,80 @@ mod tests {
         assert!(failures > 0, "seed 99 at 500‰ must inject failures");
         let (_, w, s, _) = d.stats();
         assert_eq!((w, s), (40, 40), "every write still completes");
+    }
+
+    #[test]
+    fn tally_mode_accumulates_instead_of_advancing() {
+        let d = disk();
+        d.read(0, 8192); // position the head, charging the clock
+        let before = d.clock().now();
+        d.tally_begin();
+        d.write_sync(500, 4096); // random: seek + transfer
+        d.read(500, 4096); // sequential after the write? head moved — may seek
+        let tally = d.tally_end();
+        assert_eq!(
+            d.clock().now(),
+            before,
+            "tally mode must not advance the clock"
+        );
+        assert!(tally.total_ns > 0);
+        assert!(tally.positioning_ns >= DiskParams::ibm_18es().seek_ns);
+        assert!(tally.positioning_ns < tally.total_ns);
+        assert_eq!(tally.ops, 2);
+        // Stats still recorded under tally.
+        let (r, w, s, _) = d.stats();
+        assert_eq!((r, w, s), (2, 1, 1));
+        // Back to normal charging afterwards.
+        d.write_sync(9_000, 4096);
+        assert!(d.clock().now() > before);
+    }
+
+    #[test]
+    fn commit_queue_batches_back_to_back_commits() {
+        let mut q = DiskCommitQueue::new();
+        let c1 = q.commit(0, 1_100, 1_000);
+        assert!(!c1.joined);
+        assert_eq!(c1.done_ns, 1_100);
+        assert_eq!(c1.batch_size, 1);
+        // Arrives while the spindle is busy: joins the batch, pays only
+        // the 100 ns transfer.
+        let c2 = q.commit(50, 1_100, 1_000);
+        assert!(c2.joined);
+        assert_eq!(c2.done_ns, 1_200);
+        assert_eq!(c2.batch_size, 2);
+        assert_eq!(c2.queued_behind, 1);
+        // Arrives long after: new batch, full positioning, closes the old.
+        let c3 = q.commit(5_000, 1_100, 1_000);
+        assert!(!c3.joined);
+        assert_eq!(c3.done_ns, 6_100);
+        assert_eq!(c3.closed_batch, Some(2));
+        let st = q.stats();
+        assert_eq!((st.commits, st.batches, st.joined), (3, 2, 1));
+    }
+
+    #[test]
+    fn commit_queue_group_commit_beats_serial_sync() {
+        // Ten fsync barriers landing together: one positioning cost plus
+        // ten transfers, versus ten full positioning costs serially.
+        let mut grouped = DiskCommitQueue::new();
+        let done = (0..10)
+            .map(|_| grouped.commit(0, 1_100, 1_000).done_ns)
+            .max()
+            .unwrap();
+        let serial = 10 * 1_100;
+        assert_eq!(done, 1_100 + 9 * 100);
+        assert!(done < serial);
+    }
+
+    #[test]
+    fn commit_queue_is_deterministic() {
+        let run = || {
+            let mut q = DiskCommitQueue::new();
+            (0..64)
+                .map(|i| q.commit((i * 331) % 4_000, 900 + (i % 7) * 50, 700))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -39,12 +39,13 @@ pub mod time;
 
 pub use churn::{ChurnSchedule, ChurnWave};
 pub use cpu::CpuCosts;
-pub use disk::{DiskParams, SimDisk};
+pub use disk::{DiskCommit, DiskCommitQueue, DiskParams, DiskQueueStats, DiskTally, SimDisk};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, NetAction};
 pub use ipc::{LocalEndpoint, LocalIdentity};
 pub use journal::{crc32, JournalDisk, JournalError, ReplayOutcome};
 pub use net::{
-    Direction, Interceptor, NetParams, PacketLog, ServerLoad, Transport, Verdict, Wire, WireError,
+    Direction, Interceptor, NetParams, PacketLog, ServerCost, ServerLoad, Transport, Verdict, Wire,
+    WireError,
 };
 pub use repl::{ReplLink, ReplTransport};
-pub use time::{SimClock, SimTime};
+pub use time::{CoreReservation, CoreSet, SimClock, SimTime, Timeline};

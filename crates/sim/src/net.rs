@@ -200,6 +200,20 @@ enum Fate {
     Drop,
 }
 
+/// How one request's service time is accounted in
+/// [`Wire::exchange_on`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerCost {
+    /// Analytic CPU nanoseconds for this request; the wire serializes it
+    /// on the single logical server (plus any clock time the closure
+    /// consumed, e.g. disk I/O), scaled by [`ServerLoad`] sharers.
+    Serial(u64),
+    /// An absolute completion instant already placed on per-core/per-
+    /// shard timelines by an external scheduler; the wire imposes no
+    /// server serialization of its own.
+    Scheduled(u64),
+}
+
 /// A reply frame delivered by [`Wire::exchange`], stamped with its
 /// logical arrival time at the client.
 #[derive(Debug, Clone)]
@@ -432,6 +446,27 @@ impl Wire {
         frames: Vec<(SimTime, Vec<u8>)>,
         mut server: impl FnMut(&[u8]) -> (Vec<Vec<u8>>, u64),
     ) -> Vec<ExchangeReply> {
+        self.exchange_on(frames, |_arrival, bytes| {
+            let (replies, extra_ns) = server(bytes);
+            (replies, ServerCost::Serial(extra_ns))
+        })
+    }
+
+    /// Like [`Wire::exchange`], but the server closure sees each frame's
+    /// absolute arrival time and decides how its service time is
+    /// accounted: [`ServerCost::Serial`] keeps the classic single-server
+    /// discipline (one request at a time, scaled by [`ServerLoad`]
+    /// sharers), while [`ServerCost::Scheduled`] hands back an absolute
+    /// completion instant computed by an external scheduler (a multi-core
+    /// [`crate::CoreSet`] + per-shard disk queues) — the wire then treats
+    /// the server as parallel and does not serialize requests against
+    /// each other. Reply-link serialization is unaffected: the downlink
+    /// is one NIC regardless of how many cores fed it.
+    pub fn exchange_on(
+        &self,
+        frames: Vec<(SimTime, Vec<u8>)>,
+        mut server: impl FnMut(u64, &[u8]) -> (Vec<Vec<u8>>, ServerCost),
+    ) -> Vec<ExchangeReply> {
         if frames.is_empty() {
             return Vec::new();
         }
@@ -464,10 +499,23 @@ impl Wire {
         let sharers = self.sharers();
         for (arrival, _idx, bytes, dup) in arrivals {
             for _ in 0..if dup { 2 } else { 1 } {
-                let start = arrival.max(server_free);
-                let ((replies, extra_ns), dt) = self.clock.measure(|| server(&bytes));
-                let end = start + sharers * (extra_ns + dt.as_nanos());
-                server_free = end;
+                let ((replies, cost), dt) = self.clock.measure(|| server(arrival, &bytes));
+                let end = match cost {
+                    // One server core: requests queue behind each other,
+                    // and `sharers` streams time-share it.
+                    ServerCost::Serial(extra_ns) => {
+                        let start = arrival.max(server_free);
+                        let end = start + sharers * (extra_ns + dt.as_nanos());
+                        server_free = end;
+                        end
+                    }
+                    // An external scheduler already placed the work on a
+                    // core/disk timeline: its completion instant stands,
+                    // and the server is not a serial bottleneck here (the
+                    // closure's own clock consumption was tallied by the
+                    // scheduler, so `dt` is not re-charged).
+                    ServerCost::Scheduled(done_ns) => done_ns.max(arrival),
+                };
                 for rbytes in replies {
                     let ser = sharers * self.ser_ns(rbytes.len());
                     let depart = end.max(reply_link_free);

@@ -5,6 +5,8 @@
 //! Virtual time makes benchmark output deterministic across machines while
 //! preserving the *relative* costs the paper's evaluation measures.
 
+use std::collections::BTreeMap;
+use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -120,6 +122,179 @@ impl sfs_telemetry::Clock for SimClock {
     }
 }
 
+/// A gap-filling reservation calendar over absolute virtual time.
+///
+/// One `Timeline` models one serially-reusable resource (a CPU core, a
+/// disk spindle). Callers reserve `work_ns` of exclusive use starting no
+/// earlier than `ready_ns`; the timeline places the reservation in the
+/// earliest gap that fits, so independently-clocked request streams that
+/// overlap in absolute virtual time genuinely contend, while idle gaps
+/// left by one stream can be back-filled by another. Adjacent and merged
+/// intervals are coalesced, so the calendar stays small (one entry per
+/// *gap*, not per reservation).
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Non-overlapping busy intervals, keyed by start, coalesced when
+    /// they touch.
+    busy: BTreeMap<u64, u64>,
+    /// Total work ever reserved.
+    busy_ns: u64,
+}
+
+impl Timeline {
+    /// An empty (fully idle) timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Where a reservation of `work_ns` starting no earlier than
+    /// `ready_ns` would be placed, without placing it.
+    pub fn probe(&self, ready_ns: u64, work_ns: u64) -> u64 {
+        let mut t = ready_ns;
+        let before = self
+            .busy
+            .range(..=t)
+            .next_back()
+            .map(|(&s, &e)| (s, e))
+            .into_iter();
+        let after = self
+            .busy
+            .range((Bound::Excluded(t), Bound::Unbounded))
+            .map(|(&s, &e)| (s, e));
+        for (s, e) in before.chain(after) {
+            if s >= t.saturating_add(work_ns.max(1)) {
+                break; // the gap [t, s) fits
+            }
+            if e > t {
+                t = e;
+            }
+        }
+        t
+    }
+
+    /// Reserves `work_ns` of exclusive time starting no earlier than
+    /// `ready_ns`, in the earliest gap that fits. Returns
+    /// `(start_ns, end_ns)`. A zero-length reservation returns
+    /// `(ready_ns, ready_ns)` without touching the calendar.
+    pub fn reserve(&mut self, ready_ns: u64, work_ns: u64) -> (u64, u64) {
+        if work_ns == 0 {
+            return (ready_ns, ready_ns);
+        }
+        let start = self.probe(ready_ns, work_ns);
+        let end = start + work_ns;
+        self.insert(start, end);
+        self.busy_ns += work_ns;
+        (start, end)
+    }
+
+    fn insert(&mut self, start: u64, end: u64) {
+        let mut s = start;
+        let mut e = end;
+        if let Some((&ps, &pe)) = self.busy.range(..=s).next_back() {
+            if pe == s {
+                s = ps;
+                self.busy.remove(&ps);
+                e = e.max(pe);
+            }
+        }
+        if let Some((&ns_, &ne)) = self.busy.range(e..).next() {
+            if ns_ == e {
+                e = ne;
+                self.busy.remove(&ns_);
+            }
+        }
+        self.busy.insert(s, e);
+    }
+
+    /// Total work reserved so far.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// The end of the latest reservation (0 when idle forever).
+    pub fn horizon_ns(&self) -> u64 {
+        self.busy.iter().next_back().map(|(_, &e)| e).unwrap_or(0)
+    }
+}
+
+/// A placed [`CoreSet`] reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreReservation {
+    /// Which core ran the work.
+    pub core: usize,
+    /// When the work started (≥ the requested ready time).
+    pub start_ns: u64,
+    /// When the work completed.
+    pub end_ns: u64,
+}
+
+/// Per-core virtual timelines: N serially-reusable CPU cores sharing one
+/// absolute virtual-time axis.
+///
+/// This is how the simulation models true parallelism: the shared
+/// [`SimClock`] still serializes the *driver*, but work scheduled through
+/// a `CoreSet` lands on whichever core timeline can start it earliest, so
+/// two requests whose service windows overlap in absolute time run on
+/// different cores instead of queueing — until all cores are busy, at
+/// which point queueing (and thus sub-linear scaling) emerges naturally.
+/// Placement is deterministic: earliest feasible start wins, ties go to
+/// the lowest core index.
+#[derive(Debug, Clone)]
+pub struct CoreSet {
+    cores: Vec<Timeline>,
+}
+
+impl CoreSet {
+    /// A set of `n` idle cores (at least one).
+    pub fn new(n: usize) -> Self {
+        CoreSet {
+            cores: vec![Timeline::new(); n.max(1)],
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Reserves `work_ns` on whichever core can start it earliest at or
+    /// after `ready_ns` (lowest index wins ties).
+    pub fn reserve(&mut self, ready_ns: u64, work_ns: u64) -> CoreReservation {
+        let mut best = 0usize;
+        let mut best_start = u64::MAX;
+        for (i, core) in self.cores.iter().enumerate() {
+            let start = core.probe(ready_ns, work_ns);
+            if start < best_start {
+                best = i;
+                best_start = start;
+            }
+            if start == ready_ns {
+                break; // can't do better than starting immediately
+            }
+        }
+        let (start_ns, end_ns) = self.cores[best].reserve(ready_ns, work_ns);
+        CoreReservation {
+            core: best,
+            start_ns,
+            end_ns,
+        }
+    }
+
+    /// Total work reserved on core `i`.
+    pub fn busy_ns(&self, i: usize) -> u64 {
+        self.cores.get(i).map(Timeline::busy_ns).unwrap_or(0)
+    }
+
+    /// The end of the latest reservation across all cores.
+    pub fn horizon_ns(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(Timeline::horizon_ns)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +351,70 @@ mod tests {
         let b = SimTime(10);
         assert_eq!(a.since(b), SimTime::ZERO);
         assert_eq!(b.since(a).as_nanos(), 5);
+    }
+
+    #[test]
+    fn timeline_back_to_back_and_queueing() {
+        let mut t = Timeline::new();
+        assert_eq!(t.reserve(100, 50), (100, 150));
+        // Arrives while busy: queues behind.
+        assert_eq!(t.reserve(120, 30), (150, 180));
+        // Arrives after the tail: starts on time.
+        assert_eq!(t.reserve(500, 10), (500, 510));
+        assert_eq!(t.busy_ns(), 90);
+        assert_eq!(t.horizon_ns(), 510);
+    }
+
+    #[test]
+    fn timeline_fills_gaps() {
+        let mut t = Timeline::new();
+        t.reserve(0, 100);
+        t.reserve(1_000, 100);
+        // A 100 ns job ready at 50 fits the [100, 1000) gap at 100.
+        assert_eq!(t.reserve(50, 100), (100, 200));
+        // A 900 ns job ready at 0 no longer fits any gap before 1100.
+        assert_eq!(t.reserve(0, 900), (1_100, 2_000));
+    }
+
+    #[test]
+    fn timeline_zero_work_is_free() {
+        let mut t = Timeline::new();
+        t.reserve(0, 100);
+        assert_eq!(t.reserve(10, 0), (10, 10));
+        assert_eq!(t.busy_ns(), 100);
+    }
+
+    #[test]
+    fn coreset_spreads_overlapping_work() {
+        let mut cs = CoreSet::new(2);
+        let a = cs.reserve(0, 100);
+        let b = cs.reserve(0, 100);
+        let c = cs.reserve(0, 100);
+        assert_eq!((a.core, a.start_ns, a.end_ns), (0, 0, 100));
+        assert_eq!((b.core, b.start_ns, b.end_ns), (1, 0, 100));
+        // Third job queues on the earliest-free core (tie → core 0).
+        assert_eq!((c.core, c.start_ns, c.end_ns), (0, 100, 200));
+        assert_eq!(cs.busy_ns(0), 200);
+        assert_eq!(cs.busy_ns(1), 100);
+    }
+
+    #[test]
+    fn coreset_single_core_serializes() {
+        let mut cs = CoreSet::new(1);
+        cs.reserve(0, 100);
+        let r = cs.reserve(0, 100);
+        assert_eq!((r.core, r.start_ns, r.end_ns), (0, 100, 200));
+    }
+
+    #[test]
+    fn coreset_placement_is_deterministic() {
+        let jobs: Vec<(u64, u64)> = (0..64).map(|i| (i * 37 % 500, 20 + i * 13 % 90)).collect();
+        let run = |jobs: &[(u64, u64)]| {
+            let mut cs = CoreSet::new(4);
+            jobs.iter()
+                .map(|&(r, w)| cs.reserve(r, w))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(&jobs), run(&jobs));
     }
 }

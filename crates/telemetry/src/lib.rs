@@ -93,6 +93,7 @@ struct CounterState {
 struct GaugeState {
     current: u64,
     hwm: u64,
+    last_ns: u64,
 }
 
 #[derive(Default)]
@@ -326,11 +327,13 @@ impl Telemetry {
     /// Works in counters-only and full modes.
     pub fn gauge_set(&self, proc: &str, name: &'static str, value: u64) {
         let Some(inner) = &self.inner else { return };
+        let ts = if inner.full { self.clock.now_ns() } else { 0 };
         let proc = self.qualify(proc);
         let mut st = inner.state.lock();
         let g = st.gauges.entry((proc, name)).or_default();
         g.current = value;
         g.hwm = g.hwm.max(value);
+        g.last_ns = g.last_ns.max(ts);
     }
 
     /// Current value of gauge `(proc, name)` (0 if never written).
@@ -370,6 +373,39 @@ impl Telemetry {
             .get(&(proc, name))
             .map(|c| c.total)
             .unwrap_or(0)
+    }
+
+    /// Snapshot of every counter as `(process, name, total)`, sorted by
+    /// `(process, name)` (the map order). Lets reporters discover series
+    /// they did not know the process names for (e.g. per-shard
+    /// `server.shard.busy_ticks` under dynamically-numbered shard
+    /// processes).
+    pub fn counters_snapshot(&self) -> Vec<(String, &'static str, u64)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        inner
+            .state
+            .lock()
+            .counters
+            .iter()
+            .map(|((p, n), c)| (p.clone(), *n, c.total))
+            .collect()
+    }
+
+    /// Snapshot of every gauge as `(process, name, current, high-water
+    /// mark)`, sorted by `(process, name)`.
+    pub fn gauges_snapshot(&self) -> Vec<(String, &'static str, u64, u64)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        inner
+            .state
+            .lock()
+            .gauges
+            .iter()
+            .map(|((p, n), g)| (p.clone(), *n, g.current, g.hwm))
+            .collect()
     }
 
     /// Records `value` into histogram `(proc, name)`. No-op unless
@@ -502,6 +538,9 @@ impl Telemetry {
         for (proc, _) in st.counters.keys() {
             procs.insert(proc.clone());
         }
+        for (proc, _) in st.gauges.keys() {
+            procs.insert(proc.clone());
+        }
         let pid_of: BTreeMap<&String, usize> =
             procs.iter().enumerate().map(|(i, p)| (p, i + 1)).collect();
         let tid_of: BTreeMap<&(String, &'static str), usize> = {
@@ -612,6 +651,29 @@ impl Telemetry {
                     json_string(name),
                     micros(c.last_ns),
                     c.total
+                ),
+            );
+        }
+
+        // Gauges: same counter-track rendering, with the level and its
+        // high-water mark as two series on one track.
+        for ((proc, name), g) in &st.gauges {
+            let pid = pid_of[proc];
+            emit(
+                &mut out,
+                format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"pid\":{pid},\"ts\":0.000,\"args\":{{\"value\":0,\"hwm\":0}}}}",
+                    json_string(name)
+                ),
+            );
+            emit(
+                &mut out,
+                format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"pid\":{pid},\"ts\":{},\"args\":{{\"value\":{},\"hwm\":{}}}}}",
+                    json_string(name),
+                    micros(g.last_ns),
+                    g.current,
+                    g.hwm
                 ),
             );
         }

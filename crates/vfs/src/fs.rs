@@ -120,6 +120,13 @@ impl Vfs {
         self
     }
 
+    /// The attached simulated disk, if any (clones share state). A
+    /// multi-core scheduler uses this to put the disk in tally mode
+    /// around dispatch.
+    pub fn disk(&self) -> Option<&SimDisk> {
+        self.disk.as_ref()
+    }
+
     /// Marks the file system read-only (used for replicated read-only
     /// exports, §2.4).
     pub fn set_read_only(&mut self, ro: bool) {
