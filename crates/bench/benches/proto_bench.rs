@@ -77,8 +77,9 @@ fn bench_key_negotiation() {
         let client = KeyNegClient::new(path.clone(), ephemeral.clone());
         let reply = KeyNegServerReply::ServerKey(server.public().to_bytes());
         let (awaiting, msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
-        let (skeys, msg4) = server_process_client_keys(&server, &msg3, &mut srng).unwrap();
-        let ckeys = awaiting.on_server_halves(&msg4).unwrap();
+        let (skeys, _suite, msg4) =
+            server_process_client_keys(&server, &msg3, "", &mut srng).unwrap();
+        let (ckeys, _) = awaiting.on_server_halves(&msg4).unwrap();
         assert_eq!(skeys.session_id, ckeys.session_id);
     });
 }

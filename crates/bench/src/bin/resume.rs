@@ -1,0 +1,344 @@
+//! `resume`: the post-restart reconnect storm — session-resumption
+//! tickets against the full Figure-3 re-handshake.
+//!
+//! A fleet of clients, each on its own virtual clock, mounts one
+//! server, banks a resumption ticket per session, and keeps working.
+//! The server then crash-restarts (all session state gone; only its
+//! private key survives, and with it the ticket-sealing key), and the
+//! whole fleet reconnects at once through the first post-restart
+//! operation. The experiment runs twice:
+//!
+//! - **resumed** arm: tickets on — every reconnect should present its
+//!   banked single-use ticket and pay one round trip;
+//! - **full-handshake** arm: `set_resumption(false)` — every reconnect
+//!   repeats the 2-RT key negotiation, Rabin decryption included.
+//!
+//! Self-asserting envelope (exit nonzero on regression):
+//!
+//! - ≥ 90% of the resumed arm's reconnects are ticket hits (here every
+//!   client banked a ticket, so anything less means the machinery
+//!   dropped some);
+//! - the resumed arm's **worst-client** storm latency beats the
+//!   full-handshake arm's — the tail is what a restart storm is about;
+//! - the entire experiment, rerun from fresh worlds, reproduces every
+//!   row byte-for-byte (virtual time: same storm, same nanoseconds).
+//!
+//! Options: `--suite NAME` (default `chacha20-poly1305`), `--clients N`
+//! (default 64, smoke 8), `--smoke`, `--out PATH` (default
+//! `BENCH_resume.json`).
+
+use std::sync::{Arc, OnceLock};
+
+use sfs::authserver::{AuthServer, UserRecord};
+use sfs::client::{SfsClient, SfsNetwork};
+use sfs::server::{ServerConfig, SfsServer};
+use sfs_bench::args::Args;
+use sfs_bignum::XorShiftSource;
+use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
+use sfs_crypto::srp::SrpGroup;
+use sfs_crypto::SfsPrg;
+use sfs_proto::channel::SuiteId;
+use sfs_sim::{CpuCosts, NetParams, SimClock, Transport};
+use sfs_vfs::{Credentials, Vfs};
+
+const BENCH_UID: u32 = 4242;
+
+fn server_key() -> RabinPrivateKey {
+    static KEY: OnceLock<RabinPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = XorShiftSource::new(0x7E5);
+        generate_keypair(768, &mut rng)
+    })
+    .clone()
+}
+
+fn user_key() -> RabinPrivateKey {
+    static KEY: OnceLock<RabinPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = XorShiftSource::new(0x7E6);
+        generate_keypair(512, &mut rng)
+    })
+    .clone()
+}
+
+fn srp_group() -> SrpGroup {
+    static G: OnceLock<SrpGroup> = OnceLock::new();
+    G.get_or_init(|| {
+        let mut rng = XorShiftSource::new(0x7E7);
+        SrpGroup::generate(128, &mut rng)
+    })
+    .clone()
+}
+
+struct Member {
+    clock: SimClock,
+    client: Arc<SfsClient>,
+    path: String,
+}
+
+/// One server, `clients` fleet members each on an independent clock and
+/// network (a restart storm is many machines reconnecting at once, not
+/// one shared timeline).
+fn build_fleet(clients: usize, suite: SuiteId, resumption: bool) -> (Arc<SfsServer>, Vec<Member>) {
+    let server_clock = SimClock::new();
+    let vfs = Vfs::new(7, server_clock);
+    let root = Credentials::root();
+    let dir = vfs.mkdir_p("/bench").unwrap();
+    vfs.setattr(
+        &root,
+        dir,
+        sfs_vfs::SetAttr {
+            mode: Some(0o777),
+            uid: Some(BENCH_UID),
+            gid: Some(100),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let auth = Arc::new(AuthServer::new(srp_group(), 2));
+    auth.register_user(UserRecord {
+        user: "bench".into(),
+        uid: BENCH_UID,
+        gids: vec![100],
+        public_key: user_key().public().to_bytes(),
+    });
+    let server = SfsServer::new(
+        ServerConfig::new("resume.bench"),
+        server_key(),
+        vfs,
+        auth,
+        SfsPrg::from_entropy(b"resume-bench-server"),
+    );
+    let prefix = format!("{}/bench", server.path().full_path());
+    let fleet = (0..clients)
+        .map(|c| {
+            let clock = SimClock::new();
+            let net = SfsNetwork::new(clock.clone(), NetParams::switched_100mbit(Transport::Tcp));
+            net.register(server.clone());
+            let client = SfsClient::with_costs(
+                net,
+                format!("resume-client-{c}").as_bytes(),
+                CpuCosts::pentium_iii_550(),
+            );
+            client.set_suite_offer(&[suite]);
+            client.set_resumption(resumption);
+            client.install_agent_key(BENCH_UID, user_key());
+            Member {
+                clock,
+                client,
+                path: format!("{prefix}/f{c}"),
+            }
+        })
+        .collect();
+    (server, fleet)
+}
+
+struct ArmResult {
+    arm: &'static str,
+    clients: usize,
+    hits: u64,
+    misses: u64,
+    rejected: u64,
+    reconnects: u64,
+    storm_rts: u64,
+    worst_ns: u64,
+    mean_ns: u64,
+}
+
+/// Runs one arm: warm the fleet (mount + bank tickets), crash-restart
+/// the server, then drive every client through one post-restart write —
+/// the reconnect storm — measuring each client's latency on its own
+/// clock.
+fn run_arm(arm: &'static str, clients: usize, suite: SuiteId, resumption: bool) -> ArmResult {
+    let (server, fleet) = build_fleet(clients, suite, resumption);
+    for (c, m) in fleet.iter().enumerate() {
+        let body = format!("warm-{c}");
+        m.client
+            .write_file(BENCH_UID, &m.path, body.as_bytes())
+            .unwrap();
+    }
+    let rts_before: u64 = fleet
+        .iter()
+        .map(|m| {
+            let (mount, _, _) = m.client.resolve(BENCH_UID, &m.path).unwrap();
+            mount.round_trips()
+        })
+        .sum();
+
+    server.crash_restart();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(clients);
+    for (c, m) in fleet.iter().enumerate() {
+        let start = m.clock.now().as_nanos();
+        let body = format!("storm-{c}");
+        m.client
+            .write_file(BENCH_UID, &m.path, body.as_bytes())
+            .unwrap();
+        latencies.push(m.clock.now().as_nanos() - start);
+    }
+
+    let (mut hits, mut misses, mut rejected, mut reconnects, mut rts_after) = (0, 0, 0, 0, 0u64);
+    for m in &fleet {
+        let (h, mi, rj) = m.client.resume_stats();
+        hits += h;
+        misses += mi;
+        rejected += rj;
+        let (mount, _, _) = m.client.resolve(BENCH_UID, &m.path).unwrap();
+        reconnects += mount.reconnects();
+        rts_after += mount.round_trips();
+    }
+    let worst_ns = *latencies.iter().max().unwrap();
+    let mean_ns = latencies.iter().sum::<u64>() / clients as u64;
+    ArmResult {
+        arm,
+        clients,
+        hits,
+        misses,
+        rejected,
+        reconnects,
+        storm_rts: rts_after - rts_before,
+        worst_ns,
+        mean_ns,
+    }
+}
+
+fn encode_rows(rows: &[ArmResult]) -> String {
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"arm\": \"{}\", \"clients\": {}, \"ticket_hits\": {}, \"ticket_misses\": {}, \"ticket_rejected\": {}, \"reconnects\": {}, \"storm_round_trips\": {}, \"worst_client_ns\": {}, \"mean_client_ns\": {}}}{}\n",
+            r.arm,
+            r.clients,
+            r.hits,
+            r.misses,
+            r.rejected,
+            r.reconnects,
+            r.storm_rts,
+            r.worst_ns,
+            r.mean_ns,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out
+}
+
+fn run_experiment(clients: usize, suite: SuiteId) -> Vec<ArmResult> {
+    vec![
+        run_arm("resumed", clients, suite, true),
+        run_arm("full-handshake", clients, suite, false),
+    ]
+}
+
+fn main() {
+    let args = Args::from_env();
+    args.enforce_known(&["suite", "clients", "out"], &["smoke"]);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let suite = match args.opt("suite") {
+        None => SuiteId::ChaCha20Poly1305,
+        Some(label) => SuiteId::parse(&label).unwrap_or_else(|| {
+            eprintln!("resume: unknown suite {label:?} (arc4-sha1 | chacha20-poly1305)");
+            std::process::exit(2)
+        }),
+    };
+    let clients: usize = args
+        .opt("clients")
+        .map(|v| v.parse().expect("--clients takes a number"))
+        .unwrap_or(if smoke { 8 } else { 64 });
+    let out_path = args
+        .opt("out")
+        .unwrap_or_else(|| "BENCH_resume.json".into());
+
+    println!(
+        "== resume: {clients}-client post-restart reconnect storm ({}) ==",
+        suite.label()
+    );
+    let rows = run_experiment(clients, suite);
+    let encoded = encode_rows(&rows);
+    // Same storm from fresh worlds must reproduce every row
+    // byte-for-byte — virtual time leaves nothing for the host to vary.
+    let again = encode_rows(&run_experiment(clients, suite));
+    if encoded != again {
+        eprintln!("FAIL: reconnect storm is not deterministic across reruns");
+        eprintln!("--- first ---\n{encoded}--- second ---\n{again}");
+        std::process::exit(1);
+    }
+
+    for r in &rows {
+        println!(
+            "  {:>14}: {} reconnects, tickets {}h/{}m/{}r, {} storm RTs, worst client {:.1} µs, mean {:.1} µs",
+            r.arm,
+            r.reconnects,
+            r.hits,
+            r.misses,
+            r.rejected,
+            r.storm_rts,
+            r.worst_ns as f64 / 1_000.0,
+            r.mean_ns as f64 / 1_000.0,
+        );
+    }
+
+    let resumed = &rows[0];
+    let control = &rows[1];
+    if resumed.reconnects != clients as u64 || control.reconnects != clients as u64 {
+        eprintln!("FAIL: every client must reconnect exactly once after the restart");
+        std::process::exit(1);
+    }
+    let hit_rate = resumed.hits as f64 / resumed.reconnects as f64;
+    if hit_rate < 0.90 {
+        eprintln!(
+            "FAIL: ticket-resume hit rate {:.0}% is below the 90% floor ({} hits / {} reconnects)",
+            hit_rate * 100.0,
+            resumed.hits,
+            resumed.reconnects
+        );
+        std::process::exit(1);
+    }
+    if control.hits != 0 {
+        eprintln!("FAIL: the full-handshake arm must never touch the ticket machinery");
+        std::process::exit(1);
+    }
+    if resumed.worst_ns >= control.worst_ns {
+        eprintln!(
+            "FAIL: resumed worst-client latency {} ns must beat the full-handshake arm's {} ns",
+            resumed.worst_ns, control.worst_ns
+        );
+        std::process::exit(1);
+    }
+    if resumed.storm_rts + resumed.reconnects != control.storm_rts {
+        eprintln!(
+            "FAIL: each resumed reconnect must save exactly one round trip \
+             (resumed {} RTs + {} reconnects != control {} RTs)",
+            resumed.storm_rts, resumed.reconnects, control.storm_rts
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "resume storm: {:.0}% ticket hits; worst client {:.1} µs vs {:.1} µs full handshake ({:.2}x)",
+        hit_rate * 100.0,
+        resumed.worst_ns as f64 / 1_000.0,
+        control.worst_ns as f64 / 1_000.0,
+        control.worst_ns as f64 / resumed.worst_ns as f64
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"sfs-bench/resume/v1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    out.push_str(&format!("  \"suite\": \"{}\",\n", suite.label()));
+    out.push_str("  \"hit_rate_floor\": 0.90,\n");
+    out.push_str(&format!("  \"hit_rate\": {hit_rate:.4},\n"));
+    out.push_str(
+        "  \"determinism\": \"both arms reran from fresh worlds; every row was byte-identical\",\n",
+    );
+    out.push_str("  \"rows\": [\n");
+    out.push_str(&encoded);
+    out.push_str("  ]\n}\n");
+    std::fs::write(&out_path, out).unwrap_or_else(|e| {
+        eprintln!("resume: write {out_path}: {e}");
+        std::process::exit(2)
+    });
+    println!("wrote {out_path}");
+}

@@ -46,6 +46,7 @@ use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
 use sfs_crypto::srp::SrpGroup;
 use sfs_crypto::SfsPrg;
 use sfs_nfs3::proto::{Nfs3Reply, Nfs3Request};
+use sfs_proto::channel::SuiteId;
 use sfs_sim::{CpuCosts, NetParams, SimClock, SimDisk, Transport};
 use sfs_telemetry::{Telemetry, ZeroClock};
 use sfs_vfs::{Credentials, Vfs};
@@ -134,7 +135,12 @@ struct Member {
 /// clients, each on an independent clock. The server's VFS sits on its
 /// own clock with the benchmark disk attached, so measured-phase disk
 /// work flows through the engine's per-shard commit queues.
-fn build_fleet(clients: usize, cores: usize, tel: &Telemetry) -> (Arc<SfsServer>, Vec<Member>) {
+fn build_fleet(
+    clients: usize,
+    cores: usize,
+    suite: SuiteId,
+    tel: &Telemetry,
+) -> (Arc<SfsServer>, Vec<Member>) {
     let server_clock = SimClock::new();
     let disk = SimDisk::new(server_clock.clone(), bench_disk_params());
     let vfs = Vfs::new(7, server_clock).with_disk(disk);
@@ -181,6 +187,7 @@ fn build_fleet(clients: usize, cores: usize, tel: &Telemetry) -> (Arc<SfsServer>
                 CpuCosts::pentium_iii_550(),
             );
             client.set_pipeline_window(WINDOW);
+            client.set_suite_offer(&[suite]);
             client.agent(BENCH_UID).lock().add_key(user_key());
             Member {
                 clock,
@@ -195,9 +202,15 @@ fn build_fleet(clients: usize, cores: usize, tel: &Telemetry) -> (Arc<SfsServer>
 /// One sweep point: builds a fresh world, warms every client's file and
 /// caches, then runs `rounds` measured rounds interleaved across the
 /// fleet so their service windows overlap on the engine's calendars.
-fn run_point(workload: Workload, clients: usize, cores: usize, rounds: usize) -> Row {
+fn run_point(
+    workload: Workload,
+    clients: usize,
+    cores: usize,
+    suite: SuiteId,
+    rounds: usize,
+) -> Row {
     let tel = Telemetry::recording(ZeroClock);
-    let (server, fleet) = build_fleet(clients, cores, &tel);
+    let (server, fleet) = build_fleet(clients, cores, suite, &tel);
 
     // Warm-up (unmeasured): mount + auth handshakes, file creation, and
     // one read so attribute caches and stream detectors are hot.
@@ -292,11 +305,12 @@ fn run_point(workload: Workload, clients: usize, cores: usize, rounds: usize) ->
     }
 }
 
-fn write_json(path: &str, mode: &str, rows: &[Row]) {
+fn write_json(path: &str, mode: &str, suite: SuiteId, rows: &[Row]) {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"sfs-bench/scale/v1\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"suite\": \"{}\",\n", suite.label()));
     out.push_str(&format!(
         "  \"workloads\": {{\"crypto_reads\": {{\"window\": {WINDOW}, \"read_bytes\": {READ_CHUNK}}}, \"disk_writes\": {{\"rewrite_bytes\": {WRITE_BYTES}}}}},\n"
     ));
@@ -330,9 +344,16 @@ fn write_json(path: &str, mode: &str, rows: &[Row]) {
 
 fn main() {
     let args = Args::from_env();
-    args.enforce_known(&["out"], &["smoke"]);
+    args.enforce_known(&["out", "suite"], &["smoke"]);
     let smoke = std::env::args().any(|a| a == "--smoke");
     let out_path = args.opt("out").unwrap_or_else(|| "BENCH_scale.json".into());
+    // The sweep runs the negotiated fast suite end-to-end by default;
+    // `--suite arc4-sha1` keeps the paper-parity baseline reachable.
+    let suite_label = args
+        .opt("suite")
+        .unwrap_or_else(|| SuiteId::ChaCha20Poly1305.label().into());
+    let suite = SuiteId::parse(&suite_label)
+        .unwrap_or_else(|| panic!("unknown suite {suite_label:?} (arc4-sha1 | chacha20-poly1305)"));
     let (client_sweep, rounds_read, rounds_write): (&[usize], usize, usize) =
         if smoke { (&[4], 4, 2) } else { (&[2, 8], 8, 4) };
     let fleet_max = *client_sweep.iter().max().unwrap();
@@ -346,10 +367,10 @@ fn main() {
         };
         for &clients in client_sweep {
             for cores in CORES {
-                let row = run_point(workload, clients, cores, rounds);
+                let row = run_point(workload, clients, cores, suite, rounds);
                 // Virtual time is deterministic: the identical sweep
                 // point must reproduce byte-for-byte.
-                let again = run_point(workload, clients, cores, rounds);
+                let again = run_point(workload, clients, cores, suite, rounds);
                 assert!(
                     row == again,
                     "sweep point diverged across reruns: {} clients={clients} cores={cores}",
@@ -370,7 +391,12 @@ fn main() {
             }
         }
     }
-    write_json(&out_path, if smoke { "smoke" } else { "full" }, &rows);
+    write_json(
+        &out_path,
+        if smoke { "smoke" } else { "full" },
+        suite,
+        &rows,
+    );
 
     // Regression envelope. Virtual time is deterministic, so these are
     // exact checks, not statistical ones.

@@ -17,6 +17,10 @@
 //!   default runs every built-in mix and storm;
 //! - `--faults SPEC`: thread a seeded fault plan through the wire,
 //!   server, and disk of every run; the envelope is asserted per run;
+//! - `--suite NAME`: cipher suite every client offers (`arc4-sha1` |
+//!   `chacha20-poly1305`; default the negotiated AEAD fast path) — the
+//!   suite changes virtual-time results because the simulator charges
+//!   crypto at the suite's measured per-byte rate;
 //! - `--smoke`: shrink op counts and populations for CI;
 //! - `--out PATH`: results JSON (default `BENCH_scenarios.json`);
 //! - `--latency-out PATH`: per-procedure latency tables (default
@@ -31,8 +35,9 @@ use sfs_bench::args::{Args, FaultOpt, ScenarioSpec};
 use sfs_bench::kernel::SfsBench;
 use sfs_bench::scenario::{
     build_world, builtin_mixes, encode_trace, parse_trace, replay_trace, run_mix, run_storm,
-    RecordingFs, ScenarioOutcome, TraceSink, STORM_NAMES,
+    scenario_suite, set_scenario_suite, RecordingFs, ScenarioOutcome, TraceSink, STORM_NAMES,
 };
+use sfs_proto::channel::SuiteId;
 use sfs_telemetry::sync::Mutex;
 use sfs_telemetry::{Telemetry, ZeroClock};
 use std::sync::Arc;
@@ -178,6 +183,7 @@ fn write_results(path: &str, mode: &str, fault_spec: &Option<String>, rows: &[Ro
     out.push_str("{\n");
     out.push_str("  \"schema\": \"sfs-bench/scenarios/v1\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"suite\": \"{}\",\n", scenario_suite().label()));
     match fault_spec {
         Some(s) => out.push_str(&format!("  \"faults\": \"{s}\",\n")),
         None => out.push_str("  \"faults\": null,\n"),
@@ -239,6 +245,7 @@ fn main() {
         &[
             "scenario",
             "faults",
+            "suite",
             "out",
             "latency-out",
             "record",
@@ -247,6 +254,14 @@ fn main() {
         &["smoke", "list"],
     );
     let smoke = std::env::args().any(|a| a == "--smoke");
+    if let Some(label) = args.opt("suite") {
+        let suite = SuiteId::parse(&label).unwrap_or_else(|| {
+            die(format!(
+                "unknown suite {label:?} (arc4-sha1 | chacha20-poly1305)"
+            ))
+        });
+        set_scenario_suite(suite);
+    }
     if std::env::args().any(|a| a == "--list") {
         for (name, spec) in builtin_mixes() {
             println!("{name:<18} mix    {}", spec.encode());

@@ -34,6 +34,7 @@
 //! `scenarios` binary asserts exactly that before writing its JSON.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use sfs::authserver::{sign_key_update, AuthServer, UserRecord};
@@ -43,6 +44,7 @@ use sfs_bignum::{RandomSource, XorShiftSource};
 use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey};
 use sfs_crypto::srp::SrpGroup;
 use sfs_crypto::SfsPrg;
+use sfs_proto::channel::SuiteId;
 use sfs_proto::revoke::RevocationCert;
 use sfs_sim::{ChurnSchedule, FaultPlan, NetParams, SimClock, SimDisk, Transport};
 use sfs_telemetry::sync::Mutex;
@@ -57,6 +59,25 @@ use crate::kernel::{BenchFsError, FsBench, SfsBench};
 /// [`ServerConfig::new`] default; [`build_world`] only overrides it for
 /// the lease storm).
 pub const DEFAULT_LEASE_NS: u64 = 30_000_000_000;
+
+/// Cipher suite every scenario client offers (stored as the suite's
+/// wire id). Defaults to the negotiated AEAD fast path so scenarios
+/// exercise the suite real deployments land on; `scenarios --suite
+/// arc4-sha1` flips the whole world back to the paper baseline.
+static SCENARIO_SUITE: AtomicU32 = AtomicU32::new(SuiteId::ChaCha20Poly1305.wire_id());
+
+/// Sets the cipher suite [`build_world`] clients offer. Process-global
+/// by design: a scenario world's suite is part of its determinism
+/// contract, so it is fixed once by the driver, not threaded per run.
+pub fn set_scenario_suite(suite: SuiteId) {
+    SCENARIO_SUITE.store(suite.wire_id(), Ordering::Relaxed);
+}
+
+/// The suite [`build_world`] clients currently offer.
+pub fn scenario_suite() -> SuiteId {
+    SuiteId::from_wire(SCENARIO_SUITE.load(Ordering::Relaxed))
+        .expect("scenario suite is always stored from a valid SuiteId")
+}
 
 // ---------------------------------------------------------------- keys
 
@@ -216,6 +237,7 @@ pub fn build_world(
     let mut cls = Vec::new();
     for c in 0..clients {
         let client = SfsClient::new(net.clone(), format!("scenario-client-{c}").as_bytes());
+        client.set_suite_offer(&[scenario_suite()]);
         client.set_telemetry(tel);
         client.agent(BENCH_UID).lock().add_key(ukey.clone());
         cls.push(client);

@@ -2,11 +2,12 @@
 //!
 //! Wall-clock perf regressions need a benchmark run to notice;
 //! allocation-count regressions are exact and deterministic, so they can
-//! gate in an ordinary test. These ceilings were measured after the
-//! zero-copy hot path landed (11 allocs per GETATTR, 14 per 4 KiB READ;
-//! 36/38 before it). A small cushion absorbs platform differences in
-//! collection growth; anything above it means the pooled buffer flow
-//! broke somewhere.
+//! gate in an ordinary test. These ceilings track the measured counts
+//! down each pass over the hot path: 36/38 allocs per GETATTR/4 KiB
+//! READ before the zero-copy work, 11/14 after it, 7/9 after the
+//! direct-encode call path and stack-buffer handle decryption. A small
+//! cushion absorbs platform differences in collection growth; anything
+//! above it means the pooled buffer flow broke somewhere.
 
 use std::sync::Arc;
 
@@ -26,9 +27,9 @@ use sfs_vfs::{Credentials, Vfs};
 static ALLOC: CountingAlloc = CountingAlloc;
 
 const UID: u32 = 1000;
-const GETATTR_ALLOC_CEILING: f64 = 16.0;
-const READ_ALLOC_CEILING: f64 = 20.0;
-const SHARDED_READ_ALLOC_CEILING: f64 = 30.0;
+const GETATTR_ALLOC_CEILING: f64 = 9.0;
+const READ_ALLOC_CEILING: f64 = 13.0;
+const SHARDED_READ_ALLOC_CEILING: f64 = 24.0;
 
 #[test]
 fn steady_state_relay_allocations_stay_pinned() {

@@ -19,16 +19,21 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use sfs_bignum::RandomSource;
 use sfs_crypto::rabin::{generate_keypair, RabinPrivateKey, RabinPublicKey};
+use sfs_crypto::sha1::DIGEST_LEN;
 use sfs_crypto::SfsPrg;
 use sfs_nfs3::proto::{
     Fattr3, FileHandle, Nfs3Reply, Nfs3Request, PostOpAttr, Sattr3, StableHow, Status,
 };
 use sfs_proto::channel::{
-    ChannelError, FrameSequencer, SecureChannelEnd, SeqPush, FRAME_HEADER_LEN,
+    ChannelError, FrameSequencer, SecureChannelEnd, SeqPush, SuiteId, FRAME_HEADER_LEN,
 };
-use sfs_proto::keyneg::{KeyNegClient, KeyNegError, KeyNegServerReply};
-use sfs_proto::pathname::{PathError, SelfCertifyingPath};
+use sfs_proto::keyneg::{
+    resume_confirm, resume_secret, resume_session, KeyNegClient, KeyNegError, KeyNegServerReply,
+    RESUME_NONCE_LEN,
+};
+use sfs_proto::pathname::{HostId, PathError, SelfCertifyingPath};
 use sfs_proto::userauth::{AuthInfo, AUTHNO_ANONYMOUS};
 use sfs_sim::ipc::{LocalEndpoint, LocalHandler, LocalIdentity};
 use sfs_sim::{
@@ -418,6 +423,17 @@ struct Link {
     generation: u64,
 }
 
+/// Client-held half of a session-resumption ticket: the server's opaque
+/// sealed blob plus the resumption secret it certifies (derived from the
+/// session that minted it — the client cannot read the blob itself) and
+/// the cipher suite that session negotiated. Single-use: taken from the
+/// cache on a resume attempt, replaced by the rotated ticket on success.
+struct ResumeState {
+    ticket: Vec<u8>,
+    secret: [u8; DIGEST_LEN],
+    suite: SuiteId,
+}
+
 /// One mounted remote file system.
 pub struct Mount {
     /// The self-certifying pathname this mount serves.
@@ -581,6 +597,19 @@ pub struct SfsClient {
     pipeline_window: AtomicUsize,
     attr_hits: AtomicU64,
     attr_misses: AtomicU64,
+    /// Cipher suites offered in every hello, in preference order. The
+    /// default offers only the paper's ARC4+SHA-1 baseline, keeping the
+    /// handshake byte-identical to the original protocol.
+    suite_offer: Mutex<Vec<SuiteId>>,
+    /// Whether reconnects may shortcut the handshake with a resumption
+    /// ticket. Off forces the full Figure-3 negotiation every time (the
+    /// benchmark control arm).
+    resumption: AtomicBool,
+    /// Live resumption tickets, one per server HostID.
+    tickets: Mutex<HashMap<HostId, ResumeState>>,
+    resume_hits: AtomicU64,
+    resume_misses: AtomicU64,
+    resume_rejected: AtomicU64,
     /// Crash-surviving state journal (None: diskless client, nothing
     /// persisted — the paper's original behaviour).
     journal: Mutex<Option<ClientJournal>>,
@@ -638,6 +667,12 @@ impl SfsClient {
             pipeline_window: AtomicUsize::new(DEFAULT_PIPELINE_WINDOW),
             attr_hits: AtomicU64::new(0),
             attr_misses: AtomicU64::new(0),
+            suite_offer: Mutex::new(vec![SuiteId::Arc4Sha1]),
+            resumption: AtomicBool::new(true),
+            tickets: Mutex::new(HashMap::new()),
+            resume_hits: AtomicU64::new(0),
+            resume_misses: AtomicU64::new(0),
+            resume_rejected: AtomicU64::new(0),
             journal: Mutex::new(None),
             ignore_invalidations: AtomicBool::new(false),
             tel: Mutex::new(Telemetry::disabled()),
@@ -670,6 +705,36 @@ impl SfsClient {
     /// Replaces the retransmission/reconnect pacing policy.
     pub fn set_retry_policy(&self, policy: RetryPolicy) {
         *self.retry.lock() = policy;
+    }
+
+    /// Sets the cipher suites offered in hellos, in preference order.
+    /// The paper-parity baseline (ARC4+SHA-1) is always offered last
+    /// even if absent from `suites`, so negotiation cannot dead-end.
+    pub fn set_suite_offer(&self, suites: &[SuiteId]) {
+        let mut offer = suites.to_vec();
+        if !offer.contains(&SuiteId::Arc4Sha1) {
+            offer.push(SuiteId::Arc4Sha1);
+        }
+        *self.suite_offer.lock() = offer;
+    }
+
+    /// Enables or disables ticket resumption on reconnect. Disabled,
+    /// every reconnect pays the full Figure-3 handshake (two round trips
+    /// plus a Rabin decryption on the server).
+    pub fn set_resumption(&self, on: bool) {
+        self.resumption.store(on, Ordering::SeqCst);
+    }
+
+    /// Resumption outcomes so far: `(hits, misses, rejected)` — resumes
+    /// that succeeded, reconnects with no ticket in hand, and tickets
+    /// the server turned down (each of those fell back to a full
+    /// handshake).
+    pub fn resume_stats(&self) -> (u64, u64, u64) {
+        (
+            self.resume_hits.load(Ordering::SeqCst),
+            self.resume_misses.load(Ordering::SeqCst),
+            self.resume_rejected.load(Ordering::SeqCst),
+        )
     }
 
     fn retry_policy(&self) -> RetryPolicy {
@@ -1120,13 +1185,14 @@ impl SfsClient {
         }
     }
 
-    fn charge_crypto_cost(&self, len: usize) {
+    fn charge_crypto_cost(&self, suite: SuiteId, len: usize) {
         if let Some(cpu) = &self.cpu {
             if self.charge_crypto.load(Ordering::SeqCst) {
                 self.tel
                     .lock()
                     .count("client", "cpu.crypto_bytes", len as u64);
-                cpu.charge_crypto(&self.clock, len);
+                let (num, den) = suite.cost_ratio();
+                cpu.charge_crypto_scaled(&self.clock, len, num, den);
             }
         }
     }
@@ -1195,13 +1261,14 @@ impl SfsClient {
         // Key negotiation (Figure 3), one span per phase.
         let keyneg_span = tel.span("client", "proto.keyneg", "negotiate");
         let ephemeral = self.ephemeral.lock().clone();
-        let neg = KeyNegClient::new(path.clone(), ephemeral);
+        let offer = self.suite_offer.lock().clone();
+        let neg = KeyNegClient::with_suites(path.clone(), ephemeral, &offer);
         let hello = CallMsg::Hello {
             req: neg.hello(),
             service: Service::File,
             dialect: Dialect::ReadWrite,
             version: PROTOCOL_VERSION,
-            extensions: String::new(),
+            extensions: neg.offer_extensions(),
         };
         let phase = tel.span("client", "proto.keyneg", "hello");
         let reply = self.raw_call(&wire, &conn, hello)?;
@@ -1236,13 +1303,24 @@ impl SfsClient {
             return Err(ClientError::Protocol("expected server key halves".into()));
         };
         let phase = tel.span("client", "proto.keyneg", "session_keys");
-        let keys = awaiting
+        let (keys, suite) = awaiting
             .on_server_halves(&msg4)
             .map_err(|e| ClientError::KeyNeg(e.to_string()))?;
         drop(phase);
         drop(keyneg_span);
         tel.count("client", "keyneg.completed", 1);
-        let mut channel = SecureChannelEnd::client(&keys);
+        // Bank the server's resumption ticket for later reconnects.
+        if !msg4.ticket.is_empty() && self.resumption.load(Ordering::SeqCst) {
+            self.tickets.lock().insert(
+                path.host_id,
+                ResumeState {
+                    ticket: msg4.ticket,
+                    secret: resume_secret(&keys),
+                    suite,
+                },
+            );
+        }
+        let mut channel = SecureChannelEnd::client_with_suite(&keys, suite);
         channel.set_telemetry(tel.clone());
         let pool = conn.buf_pool().clone();
         pool.set_telemetry(tel.clone());
@@ -1255,6 +1333,115 @@ impl SfsClient {
             server_key,
             generation,
         })
+    }
+
+    /// Attempts a one-round-trip session resumption on a freshly dialed
+    /// connection using `rs` (a banked ticket). Any failure — transport,
+    /// server rejection, or a bad confirmation — simply reports an error;
+    /// the caller falls back to the full handshake. The ticket was
+    /// already taken from the cache, so a failed attempt cannot loop.
+    fn resume_once(
+        &self,
+        path: &SelfCertifyingPath,
+        rs: &ResumeState,
+        server_key: Vec<u8>,
+        generation: u64,
+    ) -> Result<Link, ClientError> {
+        let tel = self.tel();
+        let _span = tel.span("client", "proto.keyneg", "resume");
+        let (wire, conn) = self.net.dial_checked(&path.location)?;
+        let mut client_nonce = [0u8; RESUME_NONCE_LEN];
+        self.rng.lock().fill(&mut client_nonce);
+        let reply = self.raw_call(
+            &wire,
+            &conn,
+            CallMsg::Resume {
+                ticket: rs.ticket.clone(),
+                nonce: client_nonce,
+            },
+        )?;
+        let (server_nonce, confirm, new_ticket) = match reply {
+            ReplyMsg::ResumeOk {
+                nonce,
+                confirm,
+                ticket,
+            } => (nonce, confirm, ticket),
+            ReplyMsg::ResumeReject(why) => {
+                return Err(ClientError::KeyNeg(format!("resume rejected: {why}")))
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected reply to resume: {}",
+                    other.describe()
+                )))
+            }
+        };
+        let keys = resume_session(&rs.secret, rs.suite, &client_nonce, &server_nonce);
+        if confirm != resume_confirm(&keys) {
+            // The peer does not actually hold the ticket's secret.
+            return Err(ClientError::KeyNeg("resume confirmation mismatch".into()));
+        }
+        if !new_ticket.is_empty() {
+            self.tickets.lock().insert(
+                path.host_id,
+                ResumeState {
+                    ticket: new_ticket,
+                    secret: resume_secret(&keys),
+                    suite: rs.suite,
+                },
+            );
+        }
+        let mut channel = SecureChannelEnd::client_with_suite(&keys, rs.suite);
+        channel.set_telemetry(tel.clone());
+        let pool = conn.buf_pool().clone();
+        pool.set_telemetry(tel.clone());
+        Ok(Link {
+            wire,
+            conn,
+            channel,
+            pool,
+            session_id: keys.session_id,
+            server_key,
+            generation,
+        })
+    }
+
+    /// Builds a reconnect link: ticket resumption when enabled and a
+    /// ticket is banked for this host, the full handshake otherwise (or
+    /// as the fallback when the resume attempt fails).
+    fn resume_or_negotiate(
+        &self,
+        path: &SelfCertifyingPath,
+        agent: &Arc<Mutex<Agent>>,
+        server_key: &[u8],
+        generation: u64,
+    ) -> Result<Link, ClientError> {
+        let tel = self.tel();
+        if self.resumption.load(Ordering::SeqCst) {
+            // Take (not peek): tickets are single-use, and a failed
+            // attempt must not retry the same ticket forever.
+            let banked = self.tickets.lock().remove(&path.host_id);
+            match banked {
+                Some(rs) => match self.resume_once(path, &rs, server_key.to_vec(), generation) {
+                    Ok(link) => {
+                        self.resume_hits.fetch_add(1, Ordering::SeqCst);
+                        tel.count("client", "resume.hit", 1);
+                        return Ok(link);
+                    }
+                    Err(e) => {
+                        self.resume_rejected.fetch_add(1, Ordering::SeqCst);
+                        tel.count("client", "resume.rejected", 1);
+                        tel.instant("client", "core.client", "resume_fallback");
+                        let _ = e; // fall through to the full handshake
+                    }
+                },
+                None => {
+                    self.resume_misses.fetch_add(1, Ordering::SeqCst);
+                    tel.count("client", "resume.miss", 1);
+                }
+            }
+        }
+        self.negotiate_with_retry(path, agent, generation)
     }
 
     /// Negotiates with backoff-paced retries. Transient failures (lost or
@@ -1332,10 +1519,13 @@ impl SfsClient {
         }
         tel.count("client", "reconnect.attempts", 1);
         tel.instant("client", "core.client", "reconnect");
-        // The handshake itself runs over the faulty network: retry it
-        // with backoff rather than letting one lost keyneg packet turn
-        // into a hard error.
-        let link = self.negotiate_with_retry(&mount.path, &agent, observed_generation + 1)?;
+        // Try the one-round-trip ticket resumption first; fall back to
+        // the full handshake, which itself runs over the faulty network
+        // and is retried with backoff rather than letting one lost
+        // keyneg packet turn into a hard error.
+        let server_key = guard.server_key.clone();
+        let link =
+            self.resume_or_negotiate(&mount.path, &agent, &server_key, observed_generation + 1)?;
         mount.install_link(&mut guard, link);
         drop(guard);
         mount.authnos.lock().clear();
@@ -1376,11 +1566,49 @@ impl SfsClient {
         let pool = mount.link.lock().pool.clone();
         let mut plaintext = pool.get_guard();
         call.encode_into(&mut plaintext);
+        self.sealed_exchange(mount, &plaintext)
+    }
+
+    /// [`Self::sealed_call`] for the hot NFS path: the `InnerCall::Nfs`
+    /// wire form is encoded straight into the pooled plaintext buffer,
+    /// skipping the per-RPC argument `Vec` that building the enum first
+    /// would allocate.
+    fn sealed_call_nfs(
+        &self,
+        mount: &Mount,
+        authno: u32,
+        req: &Nfs3Request,
+    ) -> Result<InnerReply, ClientError> {
+        let pool = mount.link.lock().pool.clone();
+        let mut plaintext = pool.get_guard();
+        let buf: &mut Vec<u8> = &mut plaintext;
+        buf.clear();
+        let mut enc = XdrEncoder::from_vec(std::mem::take(buf));
+        enc.put_u32(1); // InnerCall::Nfs discriminant
+        enc.put_u32(authno);
+        enc.put_u32(req.proc() as u32);
+        // Opaque args field, length word patched after encoding in
+        // place. Marshaled NFS3 arguments are always 4-aligned, so the
+        // field needs no padding.
+        let len_pos = enc.bytes().len();
+        enc.put_u32(0);
+        let args_start = enc.bytes().len();
+        req.encode_args_into(&mut enc);
+        let args_len = enc.bytes().len() - args_start;
+        *buf = enc.into_bytes();
+        buf[len_pos..len_pos + 4].copy_from_slice(&(args_len as u32).to_be_bytes());
+        self.sealed_exchange(mount, &plaintext)
+    }
+
+    /// The reconnect-surviving exchange loop shared by the sealed-call
+    /// entry points: the pre-encoded plaintext is re-sealed on whatever
+    /// channel is current each round.
+    fn sealed_exchange(&self, mount: &Mount, plaintext: &[u8]) -> Result<InnerReply, ClientError> {
         let max = self.retry_policy().max_reconnects;
         let mut round = 0;
         loop {
             let generation = mount.generation();
-            match self.sealed_call_once(mount, &plaintext) {
+            match self.sealed_call_once(mount, plaintext) {
                 Ok(inner) => return Ok(inner),
                 Err(e) if Self::session_dead(&e) => {
                     if round >= max {
@@ -1406,9 +1634,9 @@ impl SfsClient {
         self.charge_crossing();
         self.charge_rpc();
         self.charge_user_copy(plaintext.len());
-        self.charge_crypto_cost(plaintext.len());
         let mut guard = mount.link.lock();
         let link = &mut *guard;
+        self.charge_crypto_cost(link.channel.suite(), plaintext.len());
         let pool = link.pool.clone();
         // Build the sealed wire envelope in place in one pooled buffer:
         // byte-identical to `CallMsg::Sealed(channel.seal(..)).to_xdr()`
@@ -1458,7 +1686,7 @@ impl SfsClient {
         // error classification is unchanged.
         if let Some(frame) = sealed_envelope_frame(&reply_bytes) {
             self.charge_user_copy(frame.len());
-            self.charge_crypto_cost(frame.len());
+            self.charge_crypto_cost(link.channel.suite(), frame.len());
             let plain = link.channel.open_in_place(&mut reply_bytes[frame])?;
             let inner =
                 InnerReply::from_xdr(plain).map_err(|e| ClientError::Protocol(e.to_string()))?;
@@ -1481,7 +1709,7 @@ impl SfsClient {
             };
         };
         self.charge_user_copy(sealed.len());
-        self.charge_crypto_cost(sealed.len());
+        self.charge_crypto_cost(link.channel.suite(), sealed.len());
         let plain = link.channel.open(&sealed)?;
         drop(guard);
         let inner =
@@ -1602,12 +1830,7 @@ impl SfsClient {
         loop {
             let authno = self.ensure_auth(mount, uid)?;
             let generation = mount.generation();
-            let call = InnerCall::Nfs {
-                authno,
-                proc: proc as u32,
-                args: req.encode_args(),
-            };
-            let reply = self.sealed_call(mount, call)?;
+            let reply = self.sealed_call_nfs(mount, authno, req)?;
             if mount.generation() != generation && rounds < reissue_cap {
                 // Reconnected while this call was in flight: the server
                 // executed it (if at all) with stale credentials.
@@ -1757,14 +1980,15 @@ impl SfsClient {
     /// directly — the windowed engine runs these costs on a CPU
     /// timeline seeded by each reply's arrival, so decrypting one reply
     /// overlaps later replies still in transit.
-    fn client_open_cost_ns(&self, len: usize) -> u64 {
+    fn client_open_cost_ns(&self, suite: SuiteId, len: usize) -> u64 {
         let Some(cpu) = &self.cpu else { return 0 };
         let tel = self.tel.lock();
         tel.count("client", "cpu.user_copy_bytes", len as u64);
         let mut ns = len as u64 * cpu.user_copy_per_byte_ns;
         if self.charge_crypto.load(Ordering::SeqCst) {
             tel.count("client", "cpu.crypto_bytes", len as u64);
-            ns += cpu.crypto_per_message_ns + len as u64 * cpu.crypto_per_byte_ns;
+            let (num, den) = suite.cost_ratio();
+            ns += cpu.crypto_per_message_ns + len as u64 * cpu.crypto_per_byte_ns * num / den;
         }
         ns
     }
@@ -1807,7 +2031,7 @@ impl SfsClient {
             let plain_len = env.len() - SEALED_SEQ_ENV_FRAME_START - FRAME_HEADER_LEN;
             self.charge_rpc();
             self.charge_user_copy(plain_len);
-            self.charge_crypto_cost(plain_len);
+            self.charge_crypto_cost(link.channel.suite(), plain_len);
             link.channel
                 .seal_into(&mut env, SEALED_SEQ_ENV_FRAME_START)?;
             seq_env_finish(&mut env);
@@ -1900,7 +2124,8 @@ impl SfsClient {
                         break;
                     };
                     let arrival = arrivals.remove(&pos).unwrap_or(0);
-                    cpu_free = cpu_free.max(arrival) + self.client_open_cost_ns(frame.len());
+                    cpu_free = cpu_free.max(arrival)
+                        + self.client_open_cost_ns(link.channel.suite(), frame.len());
                     let plain = link.channel.open_in_place(&mut frame)?;
                     let inner = InnerReply::from_xdr(plain)
                         .map_err(|e| ClientError::Protocol(e.to_string()))?;

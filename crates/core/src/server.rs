@@ -18,16 +18,20 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
-use sfs_bignum::Nat;
+use sfs_bignum::{Nat, RandomSource};
 use sfs_crypto::blowfish::Blowfish;
+use sfs_crypto::chachapoly;
 use sfs_crypto::rabin::{RabinPrivateKey, RabinPublicKey};
-use sfs_crypto::sha1::sha1_concat;
+use sfs_crypto::sha1::{sha1_concat, DIGEST_LEN};
 use sfs_crypto::srp::SrpServer;
 use sfs_crypto::SfsPrg;
 use sfs_nfs3::proto::{FileHandle, Nfs3Reply, Nfs3Request, Proc, Status};
 use sfs_nfs3::Nfs3Server;
-use sfs_proto::channel::{FrameSequencer, SecureChannelEnd, SeqPush};
-use sfs_proto::keyneg::{server_process_client_keys, KeyNegServerReply};
+use sfs_proto::channel::{FrameSequencer, SecureChannelEnd, SeqPush, SuiteId};
+use sfs_proto::keyneg::{
+    resume_confirm, resume_secret, resume_session, server_process_client_keys, strip_suites_ext,
+    KeyNegServerReply, RESUME_NONCE_LEN,
+};
 use sfs_proto::pathname::SelfCertifyingPath;
 use sfs_proto::readonly::{RoDatabase, RoError};
 use sfs_proto::revoke::{ForwardingPointer, RevocationCert};
@@ -255,6 +259,11 @@ pub struct SfsServer {
     nfs: Nfs3Server,
     auth: Arc<AuthServer>,
     fh_cipher: Blowfish,
+    /// AEAD key sealing session-resumption tickets. Derived from the
+    /// server key (like the file-handle cipher) so tickets minted before
+    /// a crash-restart still unseal afterwards — resumption is exactly
+    /// the recovery path that must survive a reboot.
+    ticket_key: [u8; 32],
     rng: Mutex<SfsPrg>,
     /// When set, served in response to hellos for the revoked HostID.
     revocation: Mutex<Option<RevocationCert>>,
@@ -313,6 +322,14 @@ pub fn proc_is_mutating(proc: Proc) -> bool {
     )
 }
 
+/// Domain separator authenticated into every resumption ticket.
+const TICKET_AAD: &[u8] = b"SFS-resume-ticket";
+
+/// How long a resumption ticket stays honored after minting (virtual
+/// time). Long enough to cover any realistic reconnect storm, short
+/// enough that a stolen ticket ages out.
+const TICKET_LIFETIME_NS: u64 = 3_600_000_000_000;
+
 impl SfsServer {
     /// Creates a server exporting `vfs`.
     pub fn new(
@@ -329,6 +346,11 @@ impl SfsServer {
         // stay stable across restarts.
         let fh_key = sha1_concat(&[b"SFS-fh-key", &key.to_bytes()]);
         let fh_cipher = Blowfish::new(&fh_key);
+        let t1 = sha1_concat(&[b"SFS-ticket-key/1", &key.to_bytes()]);
+        let t2 = sha1_concat(&[b"SFS-ticket-key/2", &key.to_bytes()]);
+        let mut ticket_key = [0u8; 32];
+        ticket_key[..DIGEST_LEN].copy_from_slice(&t1);
+        ticket_key[DIGEST_LEN..].copy_from_slice(&t2[..32 - DIGEST_LEN]);
         let invalidations = InvalidationHub::new();
         let sink = invalidations.clone();
         nfs.set_invalidation_sink(Arc::new(move |fh| sink.broadcast(fh)));
@@ -339,6 +361,7 @@ impl SfsServer {
             nfs,
             auth,
             fh_cipher,
+            ticket_key,
             rng: Mutex::new(rng),
             revocation: Mutex::new(None),
             ro_db: Mutex::new(None),
@@ -455,12 +478,15 @@ impl SfsServer {
         FileHandle(buf)
     }
 
-    /// Decrypts and validates an SFS handle back to NFS form.
+    /// Decrypts and validates an SFS handle back to NFS form. Works in a
+    /// stack buffer (wire handles are exactly 24 bytes) so the hot relay
+    /// path pays one allocation — the returned handle — not three.
     pub fn decrypt_handle(&self, fh: &FileHandle) -> Result<FileHandle, Status> {
         if fh.0.len() != 24 {
             return Err(Status::BadHandle);
         }
-        let mut buf = fh.0.clone();
+        let mut buf = [0u8; 24];
+        buf.copy_from_slice(&fh.0);
         self.fh_cipher.cbc_decrypt(&mut buf);
         let (inner, red) = buf.split_at(16);
         let expect = sha1_concat(&[b"SFS-fh-redundancy", inner]);
@@ -468,6 +494,52 @@ impl SfsServer {
             return Err(Status::BadHandle);
         }
         Ok(FileHandle(inner.to_vec()))
+    }
+
+    /// Seals a session-resumption ticket: an opaque blob only this
+    /// server (or a restarted instance holding the same key) can read.
+    /// Layout: `nonce[12] ‖ AEAD(secret ‖ suite ‖ issued_ns) ‖ tag`.
+    fn mint_ticket(&self, secret: &[u8; DIGEST_LEN], suite: SuiteId, issued_ns: u64) -> Vec<u8> {
+        let mut enc = XdrEncoder::new();
+        enc.put_opaque_fixed(secret);
+        enc.put_u32(suite.wire_id());
+        enc.put_u64(issued_ns);
+        let mut nonce = [0u8; chachapoly::NONCE_LEN];
+        self.rng.lock().fill(&mut nonce);
+        let mut ticket = nonce.to_vec();
+        ticket.extend_from_slice(&chachapoly::seal(
+            &self.ticket_key,
+            &nonce,
+            TICKET_AAD,
+            enc.bytes(),
+        ));
+        ticket
+    }
+
+    /// Unseals and validates a resumption ticket. Only authenticity and
+    /// well-formedness are checked here; freshness (expiry) is the
+    /// caller's policy.
+    fn unseal_ticket(&self, ticket: &[u8]) -> Result<([u8; DIGEST_LEN], SuiteId, u64), String> {
+        if ticket.len() < chachapoly::NONCE_LEN + chachapoly::TAG_LEN {
+            return Err("ticket too short".into());
+        }
+        let (nonce, sealed) = ticket.split_at(chachapoly::NONCE_LEN);
+        let nonce: [u8; chachapoly::NONCE_LEN] = nonce.try_into().expect("split length");
+        let payload = chachapoly::open(&self.ticket_key, &nonce, TICKET_AAD, sealed)
+            .map_err(|_| "ticket authentication failed".to_string())?;
+        let mut dec = XdrDecoder::new(&payload);
+        let bad = |e: sfs_xdr::XdrError| format!("malformed ticket payload: {e}");
+        let secret: [u8; DIGEST_LEN] = dec
+            .get_opaque_fixed(DIGEST_LEN)
+            .map_err(bad)?
+            .try_into()
+            .expect("fixed length");
+        let suite_wire = dec.get_u32().map_err(bad)?;
+        let issued_ns = dec.get_u64().map_err(bad)?;
+        dec.finish().map_err(bad)?;
+        let suite = SuiteId::from_wire(suite_wire)
+            .ok_or_else(|| format!("ticket names unknown suite {suite_wire}"))?;
+        Ok((secret, suite, issued_ns))
     }
 
     /// Attaches a seeded fault plan; its crash schedule takes effect
@@ -594,8 +666,9 @@ enum ConnState {
     /// Nothing received yet; `sfssd` will route on the first message.
     Idle,
     /// Read-write hello done, awaiting the client's key-negotiation
-    /// message.
-    AwaitClientKeys,
+    /// message. Carries the hello's raw cipher-suite offer so key
+    /// derivation can bind it (downgrade protection).
+    AwaitClientKeys { offer: String },
     /// Secure channel up.
     Established(Box<Established>),
     /// Read-only dialect selected.
@@ -630,6 +703,28 @@ impl ServerConn {
     /// The server behind this connection.
     pub fn server(&self) -> &Arc<SfsServer> {
         &self.server
+    }
+
+    /// Fresh per-session state around a newly keyed channel — shared by
+    /// full key negotiation and ticket resumption (a resumed session is
+    /// a *new* session: empty authnos, fresh seqno window, empty caches).
+    fn establish(
+        &self,
+        channel: SecureChannelEnd,
+        session_id: [u8; DIGEST_LEN],
+    ) -> Box<Established> {
+        Box::new(Established {
+            channel,
+            session_id,
+            authnos: HashMap::new(),
+            next_authno: 1,
+            seqwin: SeqWindow::new(32),
+            seq_buf: FrameSequencer::new(SEQ_BUF_CAPACITY),
+            reply_cache: ShardedReplyCache::new(
+                REPLY_CACHE_CAPACITY,
+                self.server.shard_engine().map_or(1, |e| e.cores()),
+            ),
+        })
     }
 
     /// This connection's buffer freelist. The client side of the
@@ -730,12 +825,20 @@ impl ServerConn {
             out.extend_from_slice(&reply.to_xdr());
             return Ok(());
         };
+        // Borrow the session's credentials in place: the dispatch below
+        // never touches `est`, and skipping the clone keeps the per-RPC
+        // allocation count down (gids is a Vec).
+        let anon;
         let creds = if authno == AUTHNO_ANONYMOUS {
-            Credentials::anonymous()
+            anon = Credentials::anonymous();
+            &anon
         } else {
             match est.authnos.get(&authno) {
-                Some((_, creds)) => creds.clone(),
-                None => Credentials::anonymous(),
+                Some((_, creds)) => creds,
+                None => {
+                    anon = Credentials::anonymous();
+                    &anon
+                }
             }
         };
         // Encode the `InnerReply::Nfs` plaintext directly into the reply
@@ -746,7 +849,7 @@ impl ServerConn {
         out.extend_from_slice(&[0u8; 4]);
         let results_start = out.len();
         let mut enc = XdrEncoder::from_vec(std::mem::take(out));
-        self.dispatch_nfs_into(&creds, proc, args, &mut enc);
+        self.dispatch_nfs_into(creds, proc, args, &mut enc);
         *out = enc.into_bytes();
         let results_len = out.len() - results_start;
         out[len_pos..len_pos + 4].copy_from_slice(&(results_len as u32).to_be_bytes());
@@ -930,6 +1033,7 @@ impl ServerConn {
             CallMsg::SrpStart { .. } => "srp_start",
             CallMsg::SrpFinish { .. } => "srp_finish",
             CallMsg::SealedSeq { .. } => "sealed_seq",
+            CallMsg::Resume { .. } => "resume",
         };
         let _span = tel.span("server", "core.server", name);
         tel.count("server", "dispatch.calls", 1);
@@ -951,12 +1055,15 @@ impl ServerConn {
                 extensions,
             } => {
                 // `sfssd` hands the connection to a subsidiary daemon per
-                // the configured dispatch table (§3.2).
+                // the configured dispatch table (§3.2). The cipher-suite
+                // offer rides the extensions string but is negotiation
+                // input, not a dispatch key — strip it before matching.
+                let dispatch_ext = strip_suites_ext(&extensions);
                 let Some(_daemon) =
                     self.server
                         .config
                         .dispatch
-                        .dispatch(service, dialect, version, &extensions)
+                        .dispatch(service, dialect, version, &dispatch_ext)
                 else {
                     return ReplyMsg::Error(format!(
                         "no daemon configured for service {service:?} dialect {dialect:?}                          version {version} extensions {extensions:?}"
@@ -976,7 +1083,7 @@ impl ServerConn {
                 }
                 match dialect {
                     Dialect::ReadWrite => {
-                        *state = ConnState::AwaitClientKeys;
+                        *state = ConnState::AwaitClientKeys { offer: extensions };
                     }
                     Dialect::ReadOnly => {
                         *state = ConnState::ReadOnly;
@@ -987,31 +1094,72 @@ impl ServerConn {
                 ))
             }
             CallMsg::ClientKeys(ck) => {
-                if !matches!(*state, ConnState::AwaitClientKeys) {
+                let ConnState::AwaitClientKeys { offer } = &*state else {
                     return ReplyMsg::Error("key negotiation out of order".into());
-                }
-                let mut rng = self.server.rng.lock();
-                match server_process_client_keys(&self.server.key, &ck, &mut *rng) {
-                    Ok((keys, msg4)) => {
-                        let mut channel = SecureChannelEnd::server(&keys);
+                };
+                let offer = offer.clone();
+                let result = {
+                    let mut rng = self.server.rng.lock();
+                    server_process_client_keys(&self.server.key, &ck, &offer, &mut *rng)
+                };
+                match result {
+                    Ok((keys, suite, mut msg4)) => {
+                        let mut channel = SecureChannelEnd::server_with_suite(&keys, suite);
                         channel.set_telemetry(tel.clone());
                         tel.count("server", "keyneg.completed", 1);
-                        let est = Established {
-                            channel,
-                            session_id: keys.session_id,
-                            authnos: HashMap::new(),
-                            next_authno: 1,
-                            seqwin: SeqWindow::new(32),
-                            seq_buf: FrameSequencer::new(SEQ_BUF_CAPACITY),
-                            reply_cache: ShardedReplyCache::new(
-                                REPLY_CACHE_CAPACITY,
-                                self.server.shard_engine().map_or(1, |e| e.cores()),
-                            ),
-                        };
-                        *state = ConnState::Established(Box::new(est));
+                        // Hand the client a resumption ticket alongside
+                        // the key halves: a later reconnect can skip the
+                        // Rabin decryption entirely.
+                        msg4.ticket = self.server.mint_ticket(
+                            &resume_secret(&keys),
+                            suite,
+                            self.server.nfs.vfs().clock().now().as_nanos(),
+                        );
+                        let session_id = keys.session_id;
+                        *state = ConnState::Established(self.establish(channel, session_id));
                         ReplyMsg::ServerKeys(msg4)
                     }
                     Err(e) => ReplyMsg::Error(format!("key negotiation failed: {e}")),
+                }
+            }
+            CallMsg::Resume { ticket, nonce } => {
+                if !matches!(*state, ConnState::Idle) {
+                    return ReplyMsg::Error("resume out of order".into());
+                }
+                // A revoked server must not shortcut clients back onto a
+                // channel its compromised key once blessed.
+                if self.server.revocation.lock().is_some() {
+                    tel.count("server", "resume.rejected", 1);
+                    return ReplyMsg::ResumeReject("server key revoked".into());
+                }
+                let (secret, suite, issued_ns) = match self.server.unseal_ticket(&ticket) {
+                    Ok(t) => t,
+                    Err(why) => {
+                        tel.count("server", "resume.rejected", 1);
+                        return ReplyMsg::ResumeReject(why);
+                    }
+                };
+                let now = self.server.nfs.vfs().clock().now().as_nanos();
+                if now.saturating_sub(issued_ns) > TICKET_LIFETIME_NS {
+                    tel.count("server", "resume.rejected", 1);
+                    return ReplyMsg::ResumeReject("ticket expired".into());
+                }
+                let mut server_nonce = [0u8; RESUME_NONCE_LEN];
+                self.server.rng.lock().fill(&mut server_nonce);
+                let keys = resume_session(&secret, suite, &nonce, &server_nonce);
+                let confirm = resume_confirm(&keys);
+                // Single-use rotation: the reply carries a fresh ticket
+                // bound to the *new* session's secret.
+                let new_ticket = self.server.mint_ticket(&resume_secret(&keys), suite, now);
+                let mut channel = SecureChannelEnd::server_with_suite(&keys, suite);
+                channel.set_telemetry(tel.clone());
+                tel.count("server", "resume.accepted", 1);
+                let session_id = keys.session_id;
+                *state = ConnState::Established(self.establish(channel, session_id));
+                ReplyMsg::ResumeOk {
+                    nonce: server_nonce,
+                    confirm,
+                    ticket: new_ticket,
                 }
             }
             CallMsg::Sealed(frame) => {

@@ -12,7 +12,9 @@
 
 use sfs_nfs3::proto::FileHandle;
 use sfs_proto::channel::FRAME_HEADER_LEN;
-use sfs_proto::keyneg::{KeyNegClientKeys, KeyNegRequest, KeyNegServerReply};
+use sfs_proto::keyneg::{
+    KeyNegClientKeys, KeyNegRequest, KeyNegServerHalves, KeyNegServerReply, RESUME_NONCE_LEN,
+};
 use sfs_proto::readonly::SignedRoot;
 use sfs_proto::userauth::AuthMsg;
 use sfs_xdr::enc::MAX_VAR_LEN;
@@ -231,6 +233,14 @@ pub enum CallMsg {
         /// The sealed frame.
         frame: Vec<u8>,
     },
+    /// Session resumption: present a server-issued ticket instead of
+    /// re-running stages 1–4. One round trip, no public-key operations.
+    Resume {
+        /// The opaque ticket from a previous negotiation or resume.
+        ticket: Vec<u8>,
+        /// Fresh client nonce mixed into the resumed session keys.
+        nonce: [u8; RESUME_NONCE_LEN],
+    },
 }
 
 /// A server→client message.
@@ -238,8 +248,9 @@ pub enum CallMsg {
 pub enum ReplyMsg {
     /// Stage-2: the server's public key, or a revocation certificate.
     ServerReply(KeyNegServerReply),
-    /// Stage-4: the encrypted server key halves.
-    ServerKeys(Vec<u8>),
+    /// Stage-4: the encrypted server key halves, suite choice, and
+    /// resumption ticket.
+    ServerKeys(KeyNegServerHalves),
     /// A sealed secure-channel frame containing an [`InnerReply`].
     Sealed(Vec<u8>),
     /// Read-only dialect: the signed root.
@@ -281,6 +292,19 @@ pub enum ReplyMsg {
         /// The sealed frame.
         frame: Vec<u8>,
     },
+    /// Resumption accepted: the server's nonce, its proof it could
+    /// unseal the ticket, and a rotated ticket for the *next* resume.
+    ResumeOk {
+        /// Fresh server nonce mixed into the resumed session keys.
+        nonce: [u8; RESUME_NONCE_LEN],
+        /// SHA-1 proof of possession over the resumed keys.
+        confirm: [u8; 20],
+        /// Replacement ticket sealing the new session's secret.
+        ticket: Vec<u8>,
+    },
+    /// Resumption declined (expired, unreadable, or revoked ticket);
+    /// the client falls back to a full negotiation.
+    ResumeReject(String),
 }
 
 /// The plaintext of a sealed client frame.
@@ -386,6 +410,9 @@ impl CallMsg {
             } => {
                 format!("SEALED-SEQ seq={chanseq} xid={xid} [{} bytes]", frame.len())
             }
+            CallMsg::Resume { ticket, .. } => {
+                format!("RESUME ticket={}B", ticket.len())
+            }
         }
     }
 }
@@ -400,7 +427,12 @@ impl ReplyMsg {
             ReplyMsg::ServerReply(KeyNegServerReply::Revoked(c)) => {
                 format!("REVOKED {}", c.location)
             }
-            ReplyMsg::ServerKeys(k) => format!("SERVER-KEYS [{} bytes]", k.len()),
+            ReplyMsg::ServerKeys(h) => format!(
+                "SERVER-KEYS halves={}B suite={} ticket={}B",
+                h.encrypted_halves.len(),
+                h.chosen,
+                h.ticket.len()
+            ),
             ReplyMsg::Sealed(frame) => format!("SEALED [{} bytes]", frame.len()),
             ReplyMsg::RoRoot(root) => format!("RO-ROOT v{}", root.version),
             ReplyMsg::RoBlock(b) => format!("RO-BLOCK [{} bytes]", b.len()),
@@ -414,6 +446,10 @@ impl ReplyMsg {
             } => {
                 format!("SEALED-SEQ seq={chanseq} xid={xid} [{} bytes]", frame.len())
             }
+            ReplyMsg::ResumeOk { ticket, .. } => {
+                format!("RESUME-OK ticket={}B", ticket.len())
+            }
+            ReplyMsg::ResumeReject(why) => format!("RESUME-REJECT {why:?}"),
         }
     }
 }
@@ -499,6 +535,11 @@ impl Xdr for CallMsg {
                 enc.put_u32(*xid);
                 enc.put_opaque(frame);
             }
+            CallMsg::Resume { ticket, nonce } => {
+                enc.put_u32(8);
+                enc.put_opaque(ticket);
+                enc.put_opaque_fixed(nonce);
+            }
         }
     }
 
@@ -531,6 +572,13 @@ impl Xdr for CallMsg {
                 xid: dec.get_u32()?,
                 frame: dec.get_opaque()?,
             }),
+            8 => Ok(CallMsg::Resume {
+                ticket: dec.get_opaque()?,
+                nonce: dec
+                    .get_opaque_fixed(RESUME_NONCE_LEN)?
+                    .try_into()
+                    .expect("length checked"),
+            }),
             other => Err(XdrError::BadDiscriminant(other)),
         }
     }
@@ -543,9 +591,9 @@ impl Xdr for ReplyMsg {
                 enc.put_u32(0);
                 r.encode(enc);
             }
-            ReplyMsg::ServerKeys(k) => {
+            ReplyMsg::ServerKeys(h) => {
                 enc.put_u32(1);
-                enc.put_opaque(k);
+                h.encode(enc);
             }
             ReplyMsg::Sealed(frame) => {
                 enc.put_u32(2);
@@ -590,13 +638,27 @@ impl Xdr for ReplyMsg {
                 enc.put_u32(*xid);
                 enc.put_opaque(frame);
             }
+            ReplyMsg::ResumeOk {
+                nonce,
+                confirm,
+                ticket,
+            } => {
+                enc.put_u32(9);
+                enc.put_opaque_fixed(nonce);
+                enc.put_opaque_fixed(confirm);
+                enc.put_opaque(ticket);
+            }
+            ReplyMsg::ResumeReject(why) => {
+                enc.put_u32(10);
+                enc.put_string(why);
+            }
         }
     }
 
     fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
         match dec.get_u32()? {
             0 => Ok(ReplyMsg::ServerReply(KeyNegServerReply::decode(dec)?)),
-            1 => Ok(ReplyMsg::ServerKeys(dec.get_opaque()?)),
+            1 => Ok(ReplyMsg::ServerKeys(KeyNegServerHalves::decode(dec)?)),
             2 => Ok(ReplyMsg::Sealed(dec.get_opaque()?)),
             3 => Ok(ReplyMsg::RoRoot(SignedRoot::decode(dec)?)),
             4 => Ok(ReplyMsg::RoBlock(dec.get_opaque()?)),
@@ -616,6 +678,18 @@ impl Xdr for ReplyMsg {
                 xid: dec.get_u32()?,
                 frame: dec.get_opaque()?,
             }),
+            9 => Ok(ReplyMsg::ResumeOk {
+                nonce: dec
+                    .get_opaque_fixed(RESUME_NONCE_LEN)?
+                    .try_into()
+                    .expect("length checked"),
+                confirm: dec
+                    .get_opaque_fixed(20)?
+                    .try_into()
+                    .expect("length checked"),
+                ticket: dec.get_opaque()?,
+            }),
+            10 => Ok(ReplyMsg::ResumeReject(dec.get_string()?)),
             other => Err(XdrError::BadDiscriminant(other)),
         }
     }
@@ -742,6 +816,10 @@ mod tests {
             CallMsg::Sealed(vec![9; 40]),
             CallMsg::RoGetRoot,
             CallMsg::RoGetBlock([5u8; 20]),
+            CallMsg::Resume {
+                ticket: vec![8; 52],
+                nonce: [3u8; RESUME_NONCE_LEN],
+            },
         ];
         for m in msgs {
             assert_eq!(CallMsg::from_xdr(&m.to_xdr()).unwrap(), m);
@@ -752,7 +830,18 @@ mod tests {
     fn reply_msgs_roundtrip() {
         let msgs = vec![
             ReplyMsg::ServerReply(KeyNegServerReply::ServerKey(vec![1, 2, 3])),
-            ReplyMsg::ServerKeys(vec![4, 5]),
+            ReplyMsg::ServerKeys(KeyNegServerHalves {
+                encrypted_halves: vec![4, 5],
+                chosen: 2,
+                confirm: [6u8; 20],
+                ticket: vec![7; 44],
+            }),
+            ReplyMsg::ResumeOk {
+                nonce: [1u8; RESUME_NONCE_LEN],
+                confirm: [2u8; 20],
+                ticket: vec![3; 44],
+            },
+            ReplyMsg::ResumeReject("ticket expired".into()),
             ReplyMsg::Sealed(vec![6; 30]),
             ReplyMsg::RoRoot(SignedRoot {
                 root_digest: [1u8; 20],

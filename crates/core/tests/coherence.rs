@@ -49,6 +49,7 @@ use sfs_crypto::sha1::sha1;
 use sfs_crypto::srp::SrpGroup;
 use sfs_crypto::SfsPrg;
 use sfs_nfs3::proto::{FileHandle, Nfs3Reply, Nfs3Request, StableHow};
+use sfs_proto::channel::SuiteId;
 use sfs_proto::pathname::SelfCertifyingPath;
 use sfs_sim::{
     DiskParams, FaultEvent, FaultKind, FaultPlan, JournalDisk, NetParams, SimClock, SimDisk,
@@ -140,6 +141,9 @@ struct Harness {
     guaranteed_delivery: bool,
     /// Pipeline window applied to every client incarnation.
     window: usize,
+    /// Cipher suite offered by every client incarnation (None: the
+    /// default paper-baseline offer).
+    suite: Option<SuiteId>,
 }
 
 fn build_harness(spec: &str, n_clients: usize, guaranteed_delivery: bool) -> Harness {
@@ -158,6 +162,18 @@ fn build_harness_windowed(
     n_clients: usize,
     guaranteed_delivery: bool,
     window: usize,
+) -> Harness {
+    build_harness_suited(spec, n_clients, guaranteed_delivery, window, None)
+}
+
+/// [`build_harness_windowed`] with an explicit cipher-suite offer made
+/// by every client incarnation, crash-reborn ones included.
+fn build_harness_suited(
+    spec: &str,
+    n_clients: usize,
+    guaranteed_delivery: bool,
+    window: usize,
+    suite: Option<SuiteId>,
 ) -> Harness {
     let plan = FaultPlan::from_spec(spec).unwrap();
     let clock = SimClock::new();
@@ -208,6 +224,9 @@ fn build_harness_windowed(
             client_ephemeral(),
         );
         client.set_pipeline_window(window);
+        if let Some(s) = suite {
+            client.set_suite_offer(&[s]);
+        }
         client.attach_journal(journal.clone());
         client.install_agent_key(ALICE_UID, user_key());
         let mount = client.mount(ALICE_UID, &path).unwrap();
@@ -249,6 +268,7 @@ fn build_harness_windowed(
         violations: Vec::new(),
         guaranteed_delivery,
         window,
+        suite,
     }
 }
 
@@ -267,6 +287,9 @@ impl Harness {
                 client_ephemeral(),
             );
             reborn.set_pipeline_window(self.window);
+            if let Some(s) = self.suite {
+                reborn.set_suite_offer(&[s]);
+            }
             reborn.attach_journal(self.journals[victim].clone());
             let report = reborn.recover(ALICE_UID).unwrap();
             assert_eq!(
@@ -576,6 +599,43 @@ fn multicore_dispatch_causes_no_semantic_drift_in_the_oracle_battery() {
                  at cores={cores}"
             );
         }
+    }
+}
+
+#[test]
+fn negotiated_chacha_suite_passes_the_oracle_battery_at_both_core_counts() {
+    // The full 21-plan battery reruns with every client incarnation
+    // offering ChaCha20-Poly1305 (negotiated, not assumed: a stripped
+    // offer would fail key confirmation and show up as violations or a
+    // hang) at cores ∈ {1, 4}. Frame sizes differ from the ARC4 baseline
+    // (16-byte tag vs 20-byte MAC) so virtual-time totals are not
+    // compared — the oracle's coherence rules and per-configuration
+    // determinism are the invariants.
+    for (spec, n) in COHERENCE_SPECS {
+        let mut per_core = Vec::new();
+        for cores in [1usize, 4] {
+            let h = build_harness_suited(
+                spec,
+                *n,
+                false,
+                DEFAULT_PIPELINE_WINDOW,
+                Some(SuiteId::ChaCha20Poly1305),
+            );
+            h.server.set_cores(cores);
+            let out = h.run(0x5EED);
+            assert!(
+                out.violations.is_empty(),
+                "coherence violated under {spec:?} with chacha at cores={cores}: {:#?}",
+                out.violations
+            );
+            per_core.push(out);
+        }
+        // The shard engine must not perturb the blocking oracle workload
+        // under the negotiated suite either.
+        assert_eq!(
+            per_core[0], per_core[1],
+            "chacha oracle run drifted between core counts under {spec:?}"
+        );
     }
 }
 

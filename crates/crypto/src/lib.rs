@@ -21,12 +21,27 @@
 //!   entropy pool of external sources (§3.1.3).
 //! - [`srp`]: the Secure Remote Password protocol used for password
 //!   authentication of servers (§2.4).
+//!
+//! Beyond the paper's toolbox, the crate carries the negotiated fast
+//! suite — the paper's separation of key management from the transport
+//! cipher (§3) is exactly what makes the cipher swappable:
+//!
+//! - [`chacha20`]: the ChaCha20 stream cipher (RFC 8439), four blocks at
+//!   a time in an auto-vectorizable lane layout.
+//! - [`poly1305`]: the Poly1305 one-time authenticator, 44-bit limbs on
+//!   `u128` products.
+//! - [`chachapoly`]: the ChaCha20-Poly1305 AEAD composing the two, with
+//!   in-place seal/open for the zero-copy channel path and a detached
+//!   frame form for sealing session-resumption tickets.
 
 pub mod arc4;
 pub mod blowfish;
+pub mod chacha20;
+pub mod chachapoly;
 pub mod eksblowfish;
 pub mod mac;
 pub mod pi;
+pub mod poly1305;
 pub mod prg;
 pub mod rabin;
 pub mod sha1;
@@ -34,7 +49,9 @@ pub mod srp;
 
 pub use arc4::Arc4;
 pub use blowfish::Blowfish;
+pub use chacha20::ChaCha20;
 pub use mac::SfsMac;
+pub use poly1305::Poly1305;
 pub use prg::{EntropyPool, SfsPrg};
 pub use rabin::{RabinPrivateKey, RabinPublicKey};
 pub use sha1::{sha1, Sha1};

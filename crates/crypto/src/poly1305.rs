@@ -1,0 +1,301 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Poly1305 evaluates the message as a polynomial in the clamped key `r`
+//! over the prime field 2^130 − 5, then adds the pad `s`. Security rests
+//! on the key being used for exactly one message — which the AEAD layer
+//! guarantees by deriving a fresh key per nonce from the ChaCha20 block
+//! function (§2.6).
+//!
+//! The field arithmetic uses three 44/44/42-bit limbs with `u128`
+//! products: one block costs nine widening multiplies and a short carry
+//! chain, all on full 64-bit registers — the same "work in machine words,
+//! not bytes" discipline as the ARC4 and SHA-1 inner loops. The bulk
+//! path takes blocks two at a time as `(h + m₁)·r² + m₂·r`: the multiply
+//! count is unchanged but the two products are independent (so they
+//! pipeline) and one carry chain serves both blocks.
+
+/// Authenticator tag length in bytes.
+pub const TAG_LEN: usize = 16;
+/// One-time key length in bytes (`r` ‖ `s`).
+pub const KEY_LEN: usize = 32;
+/// Internal block size in bytes.
+pub const BLOCK_LEN: usize = 16;
+
+const MASK44: u64 = (1 << 44) - 1;
+const MASK42: u64 = (1 << 42) - 1;
+
+/// Schoolbook 3-limb multiply mod 2^130−5 with the reduction folded in:
+/// `bs` holds `[20·b1, 20·b2]` (2^132 ≡ 20 at this radix). Returns the
+/// unreduced column sums.
+#[inline(always)]
+fn mul3(a: [u64; 3], b: [u64; 3], bs: [u64; 2]) -> [u128; 3] {
+    [
+        (a[0] as u128) * (b[0] as u128)
+            + (a[1] as u128) * (bs[1] as u128)
+            + (a[2] as u128) * (bs[0] as u128),
+        (a[0] as u128) * (b[1] as u128)
+            + (a[1] as u128) * (b[0] as u128)
+            + (a[2] as u128) * (bs[1] as u128),
+        (a[0] as u128) * (b[2] as u128)
+            + (a[1] as u128) * (b[1] as u128)
+            + (a[2] as u128) * (b[0] as u128),
+    ]
+}
+
+/// Propagates carries on unreduced column sums back to 44/44/42 limbs
+/// (the top limb's spill re-enters at ×5).
+#[inline(always)]
+fn carry3(d: [u128; 3]) -> [u64; 3] {
+    let [d0, mut d1, mut d2] = d;
+    let mut c = (d0 >> 44) as u64;
+    let h0 = (d0 as u64) & MASK44;
+    d1 += c as u128;
+    c = (d1 >> 44) as u64;
+    let h1 = (d1 as u64) & MASK44;
+    d2 += c as u128;
+    c = (d2 >> 42) as u64;
+    let h2 = (d2 as u64) & MASK42;
+    let h0 = h0 + c * 5;
+    let c = h0 >> 44;
+    [h0 & MASK44, h1 + c, h2]
+}
+
+/// Splits a 16-byte block into 44/44/42 limbs, ORing `hibit` (the 2^128
+/// marker) into the top limb.
+#[inline(always)]
+fn limbs(m: &[u8], hibit: u64) -> [u64; 3] {
+    let t0 = u64::from_le_bytes(m[0..8].try_into().unwrap());
+    let t1 = u64::from_le_bytes(m[8..16].try_into().unwrap());
+    [
+        t0 & MASK44,
+        ((t0 >> 44) | (t1 << 20)) & MASK44,
+        ((t1 >> 24) & MASK42) | hibit,
+    ]
+}
+
+/// Streaming Poly1305 state.
+///
+/// `update` may be fed arbitrary-length fragments; a 16-byte internal
+/// buffer re-aligns them to blocks, so bulk callers that feed multiples
+/// of 16 never touch it.
+#[derive(Clone)]
+pub struct Poly1305 {
+    /// Clamped `r`, split 44/44/42, with its folded `[20·r1, 20·r2]`.
+    r: [u64; 3],
+    s: [u64; 2],
+    /// `r²` and its folded multipliers, for the two-block bulk path.
+    r2: [u64; 3],
+    s2: [u64; 2],
+    /// Accumulator, split 44/44/42 (plus carries in flight).
+    h: [u64; 3],
+    /// The pad `s` from the second key half, added after the polynomial.
+    pad: [u64; 2],
+    /// Partial-block staging.
+    buf: [u8; BLOCK_LEN],
+    buffered: usize,
+}
+
+impl Poly1305 {
+    /// Initializes from a 32-byte one-time key, clamping `r` per §2.5.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let t0 = u64::from_le_bytes(key[0..8].try_into().unwrap());
+        let t1 = u64::from_le_bytes(key[8..16].try_into().unwrap());
+        let r0 = t0 & 0x0000_0ffc_0fff_ffff;
+        let r1 = ((t0 >> 44) | (t1 << 20)) & 0x0000_0fff_ffc0_ffff;
+        let r2 = (t1 >> 24) & 0x0000_000f_ffff_fc0f;
+        let r = [r0, r1, r2];
+        let s = [r1 * 20, r2 * 20];
+        let rsq = carry3(mul3(r, r, s));
+        Poly1305 {
+            r,
+            s,
+            r2: rsq,
+            s2: [rsq[1] * 20, rsq[2] * 20],
+            h: [0; 3],
+            pad: [
+                u64::from_le_bytes(key[16..24].try_into().unwrap()),
+                u64::from_le_bytes(key[24..32].try_into().unwrap()),
+            ],
+            buf: [0u8; BLOCK_LEN],
+            buffered: 0,
+        }
+    }
+
+    /// Absorbs one 16-byte block. `hibit` is `1 << 40` (the 2^128 marker
+    /// in the top limb) for full blocks and 0 for the padded final
+    /// fragment, which carries its own 0x01 marker byte.
+    #[inline(always)]
+    fn block(&mut self, m: &[u8], hibit: u64) {
+        let t = limbs(m, hibit);
+        let a = [self.h[0] + t[0], self.h[1] + t[1], self.h[2] + t[2]];
+        self.h = carry3(mul3(a, self.r, self.s));
+    }
+
+    /// Absorbs two full 16-byte blocks as `(h + m₁)·r² + m₂·r`: the two
+    /// products have no data dependency, so they pipeline, and one carry
+    /// chain finishes both.
+    #[inline(always)]
+    fn block_pair(&mut self, m: &[u8]) {
+        let m1 = limbs(&m[..BLOCK_LEN], 1 << 40);
+        let m2 = limbs(&m[BLOCK_LEN..], 1 << 40);
+        let a = [self.h[0] + m1[0], self.h[1] + m1[1], self.h[2] + m1[2]];
+        let d = mul3(a, self.r2, self.s2);
+        let u = mul3(m2, self.r, self.s);
+        self.h = carry3([d[0] + u[0], d[1] + u[1], d[2] + u[2]]);
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buffered > 0 {
+            let take = (BLOCK_LEN - self.buffered).min(data.len());
+            self.buf[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered < BLOCK_LEN {
+                return; // fragment fully staged, nothing block-aligned yet
+            }
+            let block = self.buf;
+            self.block(&block, 1 << 40);
+            self.buffered = 0;
+        }
+        let mut pairs = data.chunks_exact(2 * BLOCK_LEN);
+        for p in &mut pairs {
+            self.block_pair(p);
+        }
+        let mut blocks = pairs.remainder().chunks_exact(BLOCK_LEN);
+        for b in &mut blocks {
+            self.block(b, 1 << 40);
+        }
+        let rest = blocks.remainder();
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buffered = rest.len();
+    }
+
+    /// Absorbs `data` then zero-pads to a 16-byte boundary (the AEAD
+    /// `pad16` step, §2.8). Must only be called on a block-aligned state.
+    pub fn update_padded(&mut self, data: &[u8]) {
+        debug_assert_eq!(self.buffered, 0, "update_padded on unaligned state");
+        self.update(data);
+        if self.buffered > 0 {
+            let zeros = [0u8; BLOCK_LEN];
+            let pad = BLOCK_LEN - self.buffered;
+            self.update(&zeros[..pad]);
+        }
+    }
+
+    /// Finishes the polynomial, adds the pad, and returns the tag.
+    pub fn finish(mut self) -> [u8; TAG_LEN] {
+        if self.buffered > 0 {
+            // Final fragment: append 0x01 then zero-fill; no 2^128 bit.
+            let mut last = [0u8; BLOCK_LEN];
+            last[..self.buffered].copy_from_slice(&self.buf[..self.buffered]);
+            last[self.buffered] = 1;
+            self.block(&last, 0);
+        }
+        let [mut h0, mut h1, mut h2] = self.h;
+        // Fully propagate carries.
+        let mut c = h1 >> 44;
+        h1 &= MASK44;
+        h2 += c;
+        c = h2 >> 42;
+        h2 &= MASK42;
+        h0 += c * 5;
+        c = h0 >> 44;
+        h0 &= MASK44;
+        h1 += c;
+        c = h1 >> 44;
+        h1 &= MASK44;
+        h2 += c;
+        c = h2 >> 42;
+        h2 &= MASK42;
+        h0 += c * 5;
+        c = h0 >> 44;
+        h0 &= MASK44;
+        h1 += c;
+
+        // Compute h − p; select it when h ≥ p, branch-free.
+        let g0 = h0.wrapping_add(5);
+        c = g0 >> 44;
+        let g0 = g0 & MASK44;
+        let g1 = h1.wrapping_add(c);
+        c = g1 >> 44;
+        let g1 = g1 & MASK44;
+        let g2 = h2.wrapping_add(c).wrapping_sub(1 << 42);
+        let keep_g = (g2 >> 63).wrapping_sub(1); // all-ones iff no borrow
+        h0 = (h0 & !keep_g) | (g0 & keep_g);
+        h1 = (h1 & !keep_g) | (g1 & keep_g);
+        h2 = (h2 & !keep_g) | (g2 & keep_g);
+
+        // Add the pad mod 2^128 and serialize little-endian.
+        let t0 = self.pad[0];
+        let t1 = self.pad[1];
+        h0 += t0 & MASK44;
+        c = h0 >> 44;
+        h0 &= MASK44;
+        h1 += (((t0 >> 44) | (t1 << 20)) & MASK44) + c;
+        c = h1 >> 44;
+        h1 &= MASK44;
+        h2 += ((t1 >> 24) & MASK42) + c;
+        h2 &= MASK42;
+
+        let mut tag = [0u8; TAG_LEN];
+        tag[0..8].copy_from_slice(&(h0 | (h1 << 44)).to_le_bytes());
+        tag[8..16].copy_from_slice(&((h1 >> 20) | (h2 << 24)).to_le_bytes());
+        tag
+    }
+}
+
+/// One-shot tag over a single message.
+pub fn poly1305(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
+    let mut p = Poly1305::new(key);
+    p.update(msg);
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_tag_vector() {
+        // §2.5.2.
+        let key: [u8; 32] = [
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf,
+            0x41, 0x49, 0xf5, 0x1b,
+        ];
+        let tag = poly1305(&key, b"Cryptographic Forum Research Group");
+        let expected: [u8; 16] = [
+            0xa8, 0x06, 0x1d, 0xc1, 0x30, 0x51, 0x36, 0xc6, 0xc2, 0x2b, 0x8b, 0xaf, 0x0c, 0x01,
+            0x27, 0xa9,
+        ];
+        assert_eq!(tag, expected);
+    }
+
+    #[test]
+    fn streaming_fragments_match_one_shot() {
+        let key: [u8; 32] = core::array::from_fn(|i| (i * 7 + 3) as u8);
+        let msg: Vec<u8> = (0..517).map(|i| (i % 251) as u8).collect();
+        let whole = poly1305(&key, &msg);
+        for split in [1usize, 15, 16, 17, 64, 255] {
+            let mut p = Poly1305::new(&key);
+            for chunk in msg.chunks(split) {
+                p.update(chunk);
+            }
+            assert_eq!(p.finish(), whole, "split {split}");
+        }
+    }
+
+    #[test]
+    fn update_padded_pads_to_block_boundary() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8 ^ 0x5a);
+        let mut padded = Poly1305::new(&key);
+        padded.update_padded(&[0xAB; 12]);
+        padded.update(&[0xCD; 16]);
+        let mut manual = Poly1305::new(&key);
+        manual.update(&[0xAB; 12]);
+        manual.update(&[0u8; 4]);
+        manual.update(&[0xCD; 16]);
+        assert_eq!(padded.finish(), manual.finish());
+    }
+}

@@ -13,9 +13,22 @@
 //! Freshness/replay protection falls out of the stream position: a
 //! replayed, dropped, or reordered ciphertext decrypts under the wrong part
 //! of the key stream and fails the MAC, which poisons the channel.
+//!
+//! The paper separates key management from the transport cipher (§3), so
+//! the channel is cipher-agile: both ends agree on a [`SuiteId`] during
+//! key negotiation and construct their ends with
+//! [`SecureChannelEnd::client_with_suite`] /
+//! [`SecureChannelEnd::server_with_suite`]. [`SuiteId::Arc4Sha1`] is the
+//! paper-parity baseline above; [`SuiteId::ChaCha20Poly1305`] replaces
+//! the stream-position discipline with a per-direction message counter
+//! used as the AEAD nonce — a replayed, dropped, or reordered frame is
+//! authenticated under the wrong nonce and fails the tag, poisoning the
+//! channel with exactly the same semantics.
 
 use sfs_crypto::arc4::Arc4;
+use sfs_crypto::chachapoly;
 use sfs_crypto::mac::{SfsMac, MAC_KEY_LEN, MAC_LEN};
+use sfs_crypto::sha1::sha1_concat;
 use sfs_telemetry::Telemetry;
 
 use crate::keyneg::SessionKeys;
@@ -56,8 +69,132 @@ pub const MAX_MESSAGE: usize = 1 << 24;
 /// bytes between `frame_start` and the plaintext.
 pub const FRAME_HEADER_LEN: usize = 4;
 
-/// Bytes appended to every frame (the encrypted MAC).
+/// Bytes appended to every frame (the encrypted MAC) under the baseline
+/// suite. Suite-aware callers should use [`SuiteId::trailer_len`].
 pub const FRAME_TRAILER_LEN: usize = MAC_LEN;
+
+/// A negotiable cipher suite for the secure channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteId {
+    /// The paper's §3.1.3 construction: per-direction ARC4 streams with a
+    /// per-message SHA-1 MAC keyed from the stream. Always offered; keeps
+    /// byte-level parity with the pre-negotiation wire format.
+    Arc4Sha1,
+    /// ChaCha20-Poly1305 (RFC 8439) per direction, nonce = message
+    /// counter. The negotiated fast path.
+    ChaCha20Poly1305,
+}
+
+impl SuiteId {
+    /// Stable wire identifier (bound into the suite-confirmation MAC).
+    pub const fn wire_id(self) -> u32 {
+        match self {
+            SuiteId::Arc4Sha1 => 1,
+            SuiteId::ChaCha20Poly1305 => 2,
+        }
+    }
+
+    /// Inverse of [`Self::wire_id`].
+    pub fn from_wire(id: u32) -> Option<SuiteId> {
+        match id {
+            1 => Some(SuiteId::Arc4Sha1),
+            2 => Some(SuiteId::ChaCha20Poly1305),
+            _ => None,
+        }
+    }
+
+    /// The label used in hello-extension offers.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SuiteId::Arc4Sha1 => "arc4-sha1",
+            SuiteId::ChaCha20Poly1305 => "chacha20-poly1305",
+        }
+    }
+
+    /// Inverse of [`Self::label`].
+    pub fn parse(label: &str) -> Option<SuiteId> {
+        match label {
+            "arc4-sha1" => Some(SuiteId::Arc4Sha1),
+            "chacha20-poly1305" => Some(SuiteId::ChaCha20Poly1305),
+            _ => None,
+        }
+    }
+
+    /// Relative per-byte CPU cost of this suite as a `(num, den)`
+    /// fraction of the paper-baseline ARC4+SHA-1 channel, for the
+    /// simulator's virtual cost model. The ChaCha20-Poly1305 ratio
+    /// matches the measured `BENCH_hotpath.json` 8 KiB seal+open gap
+    /// (≈4×).
+    pub const fn cost_ratio(self) -> (u64, u64) {
+        match self {
+            SuiteId::Arc4Sha1 => (1, 1),
+            SuiteId::ChaCha20Poly1305 => (1, 4),
+        }
+    }
+
+    /// Bytes this suite appends to every frame.
+    pub const fn trailer_len(self) -> usize {
+        match self {
+            SuiteId::Arc4Sha1 => MAC_LEN,
+            SuiteId::ChaCha20Poly1305 => chachapoly::TAG_LEN,
+        }
+    }
+}
+
+impl std::fmt::Display for SuiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Expands a 20-byte directional session key into the 32 bytes the
+/// ChaCha20-Poly1305 suite needs.
+fn expand_channel_key(dir_key: &[u8; 20]) -> [u8; chachapoly::KEY_LEN] {
+    let a = sha1_concat(&[b"suite-key/1", dir_key]);
+    let b = sha1_concat(&[b"suite-key/2", dir_key]);
+    let mut key = [0u8; chachapoly::KEY_LEN];
+    key[..20].copy_from_slice(&a);
+    key[20..].copy_from_slice(&b[..12]);
+    key
+}
+
+/// The per-direction nonce: 4 zero bytes then the message counter LE.
+/// Counters are per direction and per session key, so (key, nonce) pairs
+/// never repeat.
+fn chacha_nonce(seq: u64) -> [u8; chachapoly::NONCE_LEN] {
+    let mut nonce = [0u8; chachapoly::NONCE_LEN];
+    nonce[4..].copy_from_slice(&seq.to_le_bytes());
+    nonce
+}
+
+/// One direction's cipher state.
+///
+/// The ARC4 variant carries its full 1 KiB permutation inline: channel
+/// ends are built once per session and the cipher state is touched on
+/// every sealed frame, so the indirection a `Box` would add to the hot
+/// path buys nothing for a one-time size saving.
+#[allow(clippy::large_enum_variant)]
+enum DirectionCipher {
+    /// Long-lived ARC4 stream; MAC keys and frame bytes both advance it.
+    Arc4Sha1(Arc4),
+    /// AEAD key plus the message counter that forms the nonce.
+    ChaChaPoly {
+        key: [u8; chachapoly::KEY_LEN],
+        seq: u64,
+    },
+}
+
+impl DirectionCipher {
+    fn new(suite: SuiteId, dir_key: &[u8; 20]) -> DirectionCipher {
+        match suite {
+            SuiteId::Arc4Sha1 => DirectionCipher::Arc4Sha1(Arc4::new(dir_key)),
+            SuiteId::ChaCha20Poly1305 => DirectionCipher::ChaChaPoly {
+                key: expand_channel_key(dir_key),
+                seq: 0,
+            },
+        }
+    }
+}
 
 /// One endpoint of a secure channel.
 ///
@@ -66,8 +203,9 @@ pub const FRAME_TRAILER_LEN: usize = MAC_LEN;
 /// [`seal`](Self::seal) outgoing and [`open`](Self::open) incoming
 /// messages.
 pub struct SecureChannelEnd {
-    send: Arc4,
-    recv: Arc4,
+    suite: SuiteId,
+    send: DirectionCipher,
+    recv: DirectionCipher,
     poisoned: bool,
     sent: u64,
     received: u64,
@@ -76,11 +214,24 @@ pub struct SecureChannelEnd {
 }
 
 impl SecureChannelEnd {
-    /// The client end: sends under k_CS, receives under k_SC.
+    /// The client end under the paper-baseline suite: sends under k_CS,
+    /// receives under k_SC.
     pub fn client(keys: &SessionKeys) -> Self {
+        Self::client_with_suite(keys, SuiteId::Arc4Sha1)
+    }
+
+    /// The server end under the paper-baseline suite: sends under k_SC,
+    /// receives under k_CS.
+    pub fn server(keys: &SessionKeys) -> Self {
+        Self::server_with_suite(keys, SuiteId::Arc4Sha1)
+    }
+
+    /// The client end under a negotiated suite.
+    pub fn client_with_suite(keys: &SessionKeys, suite: SuiteId) -> Self {
         SecureChannelEnd {
-            send: Arc4::new(&keys.kcs),
-            recv: Arc4::new(&keys.ksc),
+            suite,
+            send: DirectionCipher::new(suite, &keys.kcs),
+            recv: DirectionCipher::new(suite, &keys.ksc),
             poisoned: false,
             sent: 0,
             received: 0,
@@ -89,17 +240,23 @@ impl SecureChannelEnd {
         }
     }
 
-    /// The server end: sends under k_SC, receives under k_CS.
-    pub fn server(keys: &SessionKeys) -> Self {
+    /// The server end under a negotiated suite.
+    pub fn server_with_suite(keys: &SessionKeys, suite: SuiteId) -> Self {
         SecureChannelEnd {
-            send: Arc4::new(&keys.ksc),
-            recv: Arc4::new(&keys.kcs),
+            suite,
+            send: DirectionCipher::new(suite, &keys.ksc),
+            recv: DirectionCipher::new(suite, &keys.kcs),
             poisoned: false,
             sent: 0,
             received: 0,
             tel: Telemetry::disabled(),
             host: "server",
         }
+    }
+
+    /// The suite this end runs.
+    pub fn suite(&self) -> SuiteId {
+        self.suite
     }
 
     /// Attaches a tracing sink. Byte/message counters (and the poison
@@ -130,7 +287,8 @@ impl SecureChannelEnd {
     /// The whole frame is encrypted; the MAC key is 32 stream bytes pulled
     /// first.
     pub fn seal(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, ChannelError> {
-        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + plaintext.len() + MAC_LEN);
+        let trailer = self.suite.trailer_len();
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + plaintext.len() + trailer);
         frame.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
         frame.extend_from_slice(plaintext);
         self.seal_into(&mut frame, 0)?;
@@ -154,14 +312,27 @@ impl SecureChannelEnd {
         if plen > MAX_MESSAGE {
             return Err(ChannelError::TooLong);
         }
-        // Pull the per-message MAC key (not used for encryption).
-        let mut mac_key = [0u8; MAC_KEY_LEN];
-        self.send.keystream(&mut mac_key);
-        let mac = SfsMac::compute(&mac_key, &buf[frame_start + FRAME_HEADER_LEN..]);
-        buf[frame_start..frame_start + FRAME_HEADER_LEN]
-            .copy_from_slice(&(plen as u32).to_be_bytes());
-        buf.extend_from_slice(&mac);
-        self.send.process(&mut buf[frame_start..]);
+        match &mut self.send {
+            DirectionCipher::Arc4Sha1(stream) => {
+                // Pull the per-message MAC key (not used for encryption).
+                let mut mac_key = [0u8; MAC_KEY_LEN];
+                stream.keystream(&mut mac_key);
+                let mac = SfsMac::compute(&mac_key, &buf[frame_start + FRAME_HEADER_LEN..]);
+                buf[frame_start..frame_start + FRAME_HEADER_LEN]
+                    .copy_from_slice(&(plen as u32).to_be_bytes());
+                buf.extend_from_slice(&mac);
+                stream.process(&mut buf[frame_start..]);
+            }
+            DirectionCipher::ChaChaPoly { key, seq } => {
+                // Single AEAD pass over len ‖ plaintext; tag appended.
+                buf[frame_start..frame_start + FRAME_HEADER_LEN]
+                    .copy_from_slice(&(plen as u32).to_be_bytes());
+                let nonce = chacha_nonce(*seq);
+                let tag = chachapoly::seal_in_place(key, &nonce, &[], &mut buf[frame_start..]);
+                buf.extend_from_slice(&tag);
+                *seq += 1;
+            }
+        }
         self.sent += 1;
         self.tel.count(self.host, "channel.msgs_sealed", 1);
         self.tel
@@ -202,24 +373,52 @@ impl SecureChannelEnd {
     }
 
     fn open_in_place_inner<'a>(&mut self, frame: &'a mut [u8]) -> Result<&'a [u8], ChannelError> {
-        if frame.len() < FRAME_HEADER_LEN + MAC_LEN {
-            return Err(ChannelError::Truncated);
-        }
-        let mut mac_key = [0u8; MAC_KEY_LEN];
-        self.recv.keystream(&mut mac_key);
-        self.recv.process(frame);
-        let len = u32::from_be_bytes(frame[..FRAME_HEADER_LEN].try_into().unwrap()) as usize;
-        if len > MAX_MESSAGE {
-            return Err(ChannelError::TooLong);
-        }
-        if frame.len() != FRAME_HEADER_LEN + len + MAC_LEN {
-            return Err(ChannelError::Truncated);
-        }
-        let (head, mac) = frame.split_at(FRAME_HEADER_LEN + len);
-        let plaintext = &head[FRAME_HEADER_LEN..];
-        if !SfsMac::verify(&mac_key, plaintext, mac) {
-            return Err(ChannelError::MacFailure);
-        }
+        let plaintext = match &mut self.recv {
+            DirectionCipher::Arc4Sha1(stream) => {
+                if frame.len() < FRAME_HEADER_LEN + MAC_LEN {
+                    return Err(ChannelError::Truncated);
+                }
+                let mut mac_key = [0u8; MAC_KEY_LEN];
+                stream.keystream(&mut mac_key);
+                stream.process(frame);
+                let len =
+                    u32::from_be_bytes(frame[..FRAME_HEADER_LEN].try_into().unwrap()) as usize;
+                if len > MAX_MESSAGE {
+                    return Err(ChannelError::TooLong);
+                }
+                if frame.len() != FRAME_HEADER_LEN + len + MAC_LEN {
+                    return Err(ChannelError::Truncated);
+                }
+                let (head, mac) = frame.split_at(FRAME_HEADER_LEN + len);
+                let plaintext = &head[FRAME_HEADER_LEN..];
+                if !SfsMac::verify(&mac_key, plaintext, mac) {
+                    return Err(ChannelError::MacFailure);
+                }
+                plaintext
+            }
+            DirectionCipher::ChaChaPoly { key, seq } => {
+                if frame.len() < FRAME_HEADER_LEN + chachapoly::TAG_LEN {
+                    return Err(ChannelError::Truncated);
+                }
+                let split = frame.len() - chachapoly::TAG_LEN;
+                let (body, tag) = frame.split_at_mut(split);
+                let nonce = chacha_nonce(*seq);
+                // Tag verification happens before any decryption; a
+                // replayed or reordered frame authenticates under the
+                // wrong nonce and fails here.
+                chachapoly::open_in_place(key, &nonce, &[], body, tag)
+                    .map_err(|_| ChannelError::MacFailure)?;
+                *seq += 1;
+                let len = u32::from_be_bytes(body[..FRAME_HEADER_LEN].try_into().unwrap()) as usize;
+                if len > MAX_MESSAGE {
+                    return Err(ChannelError::TooLong);
+                }
+                if body.len() != FRAME_HEADER_LEN + len {
+                    return Err(ChannelError::Truncated);
+                }
+                &body[FRAME_HEADER_LEN..]
+            }
+        };
         self.received += 1;
         Ok(plaintext)
     }
@@ -228,6 +427,7 @@ impl SecureChannelEnd {
 impl std::fmt::Debug for SecureChannelEnd {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SecureChannelEnd")
+            .field("suite", &self.suite)
             .field("sent", &self.sent)
             .field("received", &self.received)
             .field("poisoned", &self.poisoned)
@@ -581,6 +781,156 @@ mod tests {
         assert_eq!(seq.push(100, 0, vec![], 0), SeqPush::Overflow);
         // Window slides with `expected`.
         assert_eq!(seq.push(4, 0, vec![], 1), SeqPush::Buffered);
+    }
+
+    fn chacha_pair() -> (SecureChannelEnd, SecureChannelEnd) {
+        let k = keys();
+        (
+            SecureChannelEnd::client_with_suite(&k, SuiteId::ChaCha20Poly1305),
+            SecureChannelEnd::server_with_suite(&k, SuiteId::ChaCha20Poly1305),
+        )
+    }
+
+    #[test]
+    fn suite_id_wire_and_label_roundtrip() {
+        for suite in [SuiteId::Arc4Sha1, SuiteId::ChaCha20Poly1305] {
+            assert_eq!(SuiteId::from_wire(suite.wire_id()), Some(suite));
+            assert_eq!(SuiteId::parse(suite.label()), Some(suite));
+        }
+        assert_eq!(SuiteId::from_wire(0), None);
+        assert_eq!(SuiteId::from_wire(3), None);
+        assert_eq!(SuiteId::parse("rot13"), None);
+    }
+
+    #[test]
+    fn default_constructors_run_the_baseline_suite() {
+        let (c, s) = pair();
+        assert_eq!(c.suite(), SuiteId::Arc4Sha1);
+        assert_eq!(s.suite(), SuiteId::Arc4Sha1);
+    }
+
+    #[test]
+    fn chacha_roundtrip_both_directions() {
+        let (mut c, mut s) = chacha_pair();
+        for i in 0..50u32 {
+            let msg = format!("negotiated message {i}");
+            let f = c.seal(msg.as_bytes()).unwrap();
+            assert_eq!(
+                f.len(),
+                FRAME_HEADER_LEN + msg.len() + SuiteId::ChaCha20Poly1305.trailer_len()
+            );
+            assert_eq!(s.open(&f).unwrap(), msg.as_bytes());
+            let r = s.seal(b"reply").unwrap();
+            assert_eq!(c.open(&r).unwrap(), b"reply");
+        }
+        assert_eq!(c.messages_sent(), 50);
+        assert_eq!(s.messages_received(), 50);
+    }
+
+    #[test]
+    fn chacha_seal_into_is_byte_identical_to_seal() {
+        let k = keys();
+        let mut old = SecureChannelEnd::client_with_suite(&k, SuiteId::ChaCha20Poly1305);
+        let mut new = SecureChannelEnd::client_with_suite(&k, SuiteId::ChaCha20Poly1305);
+        for (i, &n) in GOLDEN_SIZES.iter().enumerate() {
+            let plaintext = vec![i as u8 + 1; n];
+            let golden = old.seal(&plaintext).unwrap();
+            let mut buf = b"ENVELOPE".to_vec();
+            buf.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
+            buf.extend_from_slice(&plaintext);
+            new.seal_into(&mut buf, 8).unwrap();
+            assert_eq!(&buf[..8], b"ENVELOPE");
+            assert_eq!(&buf[8..], &golden[..], "size {n}");
+        }
+    }
+
+    #[test]
+    fn chacha_open_in_place_matches_open() {
+        let k = keys();
+        let mut c = SecureChannelEnd::client_with_suite(&k, SuiteId::ChaCha20Poly1305);
+        let mut s_old = SecureChannelEnd::server_with_suite(&k, SuiteId::ChaCha20Poly1305);
+        let mut s_new = SecureChannelEnd::server_with_suite(&k, SuiteId::ChaCha20Poly1305);
+        for (i, &n) in GOLDEN_SIZES.iter().enumerate() {
+            let plaintext = vec![i as u8 + 7; n];
+            let frame = c.seal(&plaintext).unwrap();
+            let via_open = s_old.open(&frame).unwrap();
+            let mut buf = frame.clone();
+            let via_in_place = s_new.open_in_place(&mut buf).unwrap();
+            assert_eq!(via_in_place, &via_open[..], "size {n}");
+            assert_eq!(via_in_place, &plaintext[..], "size {n}");
+        }
+    }
+
+    #[test]
+    fn chacha_tampering_detected_and_poisons() {
+        let (mut c, mut s) = chacha_pair();
+        let mut f = c.seal(b"chmod 0644").unwrap();
+        f[6] ^= 0x01;
+        assert_eq!(s.open(&f).unwrap_err(), ChannelError::MacFailure);
+        assert!(s.is_poisoned());
+        let f2 = c.seal(b"next").unwrap();
+        assert_eq!(s.open(&f2).unwrap_err(), ChannelError::Poisoned);
+    }
+
+    #[test]
+    fn chacha_replay_reorder_and_drop_detected() {
+        // Replay: same frame, advanced nonce.
+        let (mut c, mut s) = chacha_pair();
+        let f1 = c.seal(b"pay alice $1").unwrap();
+        assert!(s.open(&f1).is_ok());
+        assert_eq!(s.open(&f1).unwrap_err(), ChannelError::MacFailure);
+        assert!(s.is_poisoned());
+        // Reorder: second frame under first nonce.
+        let (mut c, mut s) = chacha_pair();
+        let _f1 = c.seal(b"first").unwrap();
+        let f2 = c.seal(b"second").unwrap();
+        assert_eq!(s.open(&f2).unwrap_err(), ChannelError::MacFailure);
+        assert!(s.is_poisoned());
+        // Drop: the gap surfaces on the next delivered frame.
+        let (mut c, mut s) = chacha_pair();
+        let _lost = c.seal(b"lost in transit").unwrap();
+        let f2 = c.seal(b"arrives").unwrap();
+        assert!(s.open(&f2).is_err());
+        assert!(s.is_poisoned());
+    }
+
+    #[test]
+    fn chacha_ciphertext_hides_plaintext() {
+        let (mut c, _) = chacha_pair();
+        let f = c.seal(b"super secret data").unwrap();
+        assert!(!f
+            .windows(b"super secret".len())
+            .any(|w| w == b"super secret"));
+    }
+
+    #[test]
+    fn chacha_wrong_direction_and_cross_suite_rejected() {
+        let k = keys();
+        // Same suite, wrong direction.
+        let mut c1 = SecureChannelEnd::client_with_suite(&k, SuiteId::ChaCha20Poly1305);
+        let mut c2 = SecureChannelEnd::client_with_suite(&k, SuiteId::ChaCha20Poly1305);
+        let f = c1.seal(b"hello").unwrap();
+        assert!(c2.open(&f).is_err());
+        // Same keys, mismatched suites — ends that disagree on the
+        // negotiated suite must not interoperate.
+        let mut c = SecureChannelEnd::client_with_suite(&k, SuiteId::ChaCha20Poly1305);
+        let mut s = SecureChannelEnd::server(&k);
+        let f = c.seal(b"hello").unwrap();
+        assert!(s.open(&f).is_err());
+    }
+
+    #[test]
+    fn chacha_truncated_and_empty_frames() {
+        let (mut c, mut s) = chacha_pair();
+        let f = c.seal(b"").unwrap();
+        assert_eq!(
+            f.len(),
+            FRAME_HEADER_LEN + SuiteId::ChaCha20Poly1305.trailer_len()
+        );
+        assert_eq!(s.open(&f).unwrap(), b"");
+        let f2 = c.seal(b"hello").unwrap();
+        assert_eq!(s.open(&f2[..10]).unwrap_err(), ChannelError::Truncated);
+        assert!(s.is_poisoned());
     }
 
     #[test]

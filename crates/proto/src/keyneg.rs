@@ -21,17 +21,106 @@
 //! the two SHA-1 derivations is not printable from the paper's damaged
 //! glyphs; the structure above (constant, server key, server half, client
 //! key, client half) follows the visible subscripts.
+//!
+//! # Suite negotiation
+//!
+//! The channel cipher is negotiable (§3's separation of key management
+//! from the transport cipher). The client's hello carries its offered
+//! suite list in the extensions string (`suites=…`); the server picks one
+//! and announces it in message 4. Downgrade protection comes from binding
+//! the *raw offer string* and the chosen suite into the session-key
+//! derivation, and from a confirmation MAC over the derived keys in
+//! message 4: a man in the middle who strips or reorders the offer makes
+//! the two sides derive different keys, so the confirmation check fails
+//! and the client aborts instead of silently running the weaker suite.
+//!
+//! # Session resumption
+//!
+//! A completed negotiation also yields a *resumption secret* (derived
+//! from the session keys, never sent in clear). The server hands the
+//! client an opaque ticket — the secret sealed under a server-local
+//! ticket key. On reconnect the client presents the ticket plus a fresh
+//! nonce; both sides derive fresh keys from the secret and the two
+//! nonces, skipping the Rabin decryptions entirely. Forward secrecy is
+//! preserved at ticket-lifetime granularity rather than per-session.
 
 use sfs_bignum::RandomSource;
 use sfs_crypto::rabin::{RabinError, RabinPrivateKey, RabinPublicKey};
 use sfs_crypto::sha1::{sha1_concat, DIGEST_LEN};
 use sfs_xdr::{Xdr, XdrDecoder, XdrEncoder, XdrError};
 
+use crate::channel::SuiteId;
 use crate::pathname::{HostId, SelfCertifyingPath};
 use crate::revoke::RevocationCert;
 
 /// Length of each random key half.
 pub const KEY_HALF_LEN: usize = 16;
+
+/// Length of the client/server nonces in a ticket resume.
+pub const RESUME_NONCE_LEN: usize = 16;
+
+/// The extensions-string token prefix carrying the suite offer.
+pub const SUITES_EXT_PREFIX: &str = "suites=";
+
+/// Renders a suite offer as an extensions-string token. The
+/// baseline-only offer renders as the empty string, keeping legacy
+/// clients and the paper's wire format byte-identical.
+pub fn offer_extensions(suites: &[SuiteId]) -> String {
+    if suites == [SuiteId::Arc4Sha1] {
+        return String::new();
+    }
+    let labels: Vec<&str> = suites.iter().map(|s| s.label()).collect();
+    format!("{SUITES_EXT_PREFIX}{}", labels.join(","))
+}
+
+/// Parses the offered suite list out of a hello extensions string. No
+/// `suites=` token means a legacy client: baseline only. Unknown labels
+/// are ignored (a newer client may offer suites we do not know).
+pub fn offered_suites(extensions: &str) -> Vec<SuiteId> {
+    for token in extensions.split_whitespace() {
+        if let Some(list) = token.strip_prefix(SUITES_EXT_PREFIX) {
+            let mut suites: Vec<SuiteId> = list.split(',').filter_map(SuiteId::parse).collect();
+            if !suites.contains(&SuiteId::Arc4Sha1) {
+                suites.push(SuiteId::Arc4Sha1);
+            }
+            return suites;
+        }
+    }
+    vec![SuiteId::Arc4Sha1]
+}
+
+/// Removes the `suites=` token from an extensions string, returning what
+/// dispatch rules should see (they match extensions exactly and predate
+/// suite negotiation).
+pub fn strip_suites_ext(extensions: &str) -> String {
+    extensions
+        .split_whitespace()
+        .filter(|t| !t.starts_with(SUITES_EXT_PREFIX))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The server's pick: the first offered suite, in the client's
+/// preference order. The offer always contains at least the baseline.
+pub fn choose_suite(offered: &[SuiteId]) -> SuiteId {
+    offered.first().copied().unwrap_or(SuiteId::Arc4Sha1)
+}
+
+/// The negotiation transcript digest bound into key derivation: the raw
+/// offer string exactly as the client sent it, plus the server's choice.
+fn suite_transcript(offer_ext: &str, chosen: SuiteId) -> [u8; DIGEST_LEN] {
+    sha1_concat(&[
+        b"SuiteOffer",
+        offer_ext.as_bytes(),
+        &chosen.wire_id().to_be_bytes(),
+    ])
+}
+
+/// The message-4 confirmation MAC proving the server derived the same
+/// keys over the same transcript.
+fn suite_confirm(keys: &SessionKeys, transcript: &[u8; DIGEST_LEN]) -> [u8; DIGEST_LEN] {
+    sha1_concat(&[b"SuiteConfirm", &keys.kcs, &keys.ksc, transcript])
+}
 
 /// Errors during key negotiation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +135,10 @@ pub enum KeyNegError {
     /// The server answered with a valid revocation certificate for this
     /// path.
     Revoked(Box<RevocationCert>),
+    /// Suite negotiation failed its downgrade check: the server chose a
+    /// suite we never offered, or the confirmation MAC did not match —
+    /// someone tampered with the offer in flight.
+    Downgrade(String),
 }
 
 impl std::fmt::Display for KeyNegError {
@@ -57,6 +150,9 @@ impl std::fmt::Display for KeyNegError {
             KeyNegError::Crypto(e) => write!(f, "key negotiation crypto failure: {e}"),
             KeyNegError::Xdr(e) => write!(f, "key negotiation decode failure: {e}"),
             KeyNegError::Revoked(_) => write!(f, "pathname has been revoked"),
+            KeyNegError::Downgrade(why) => {
+                write!(f, "suite negotiation downgrade detected: {why}")
+            }
         }
     }
 }
@@ -93,13 +189,17 @@ impl SessionKeys {
         client_key: &RabinPublicKey,
         kc: &KeyHalves,
         ks: &KeyHalves,
+        transcript: &[u8; DIGEST_LEN],
     ) -> SessionKeys {
+        // The suite transcript is always appended — a legacy empty offer
+        // hashes to a fixed digest, so both sides still agree.
         let kcs = sha1_concat(&[
             b"KCS",
             &server_key.to_bytes(),
             &ks.half1,
             &client_key.to_bytes(),
             &kc.half1,
+            transcript,
         ]);
         let ksc = sha1_concat(&[
             b"KSC",
@@ -107,6 +207,7 @@ impl SessionKeys {
             &ks.half2,
             &client_key.to_bytes(),
             &kc.half2,
+            transcript,
         ]);
         let session_id = sha1_concat(&[b"SessionInfo", &ksc, &kcs]);
         SessionKeys {
@@ -241,10 +342,47 @@ impl Xdr for KeyNegClientKeys {
     }
 }
 
+/// Step 4 — the server's encrypted key halves, its suite choice with the
+/// downgrade-protecting confirmation MAC, and a resumption ticket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyNegServerHalves {
+    /// {k_S1, k_S2} encrypted to the ephemeral K_C.
+    pub encrypted_halves: Vec<u8>,
+    /// Wire id of the suite the server chose ([`SuiteId::wire_id`]).
+    pub chosen: u32,
+    /// SHA-1("SuiteConfirm", k_CS, k_SC, transcript) — only computable
+    /// by a server that saw the genuine offer and derived the same keys.
+    pub confirm: [u8; DIGEST_LEN],
+    /// An opaque session-resumption ticket (empty if the server does not
+    /// issue them).
+    pub ticket: Vec<u8>,
+}
+
+impl Xdr for KeyNegServerHalves {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_opaque(&self.encrypted_halves);
+        enc.put_u32(self.chosen);
+        enc.put_opaque_fixed(&self.confirm);
+        enc.put_opaque(&self.ticket);
+    }
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(KeyNegServerHalves {
+            encrypted_halves: dec.get_opaque()?,
+            chosen: dec.get_u32()?,
+            confirm: dec
+                .get_opaque_fixed(DIGEST_LEN)?
+                .try_into()
+                .expect("length checked"),
+            ticket: dec.get_opaque()?,
+        })
+    }
+}
+
 /// The client's half of the key negotiation.
 pub struct KeyNegClient {
     path: SelfCertifyingPath,
     ephemeral: RabinPrivateKey,
+    suites: Vec<SuiteId>,
 }
 
 /// Client state between receiving the server key and the server halves.
@@ -254,13 +392,33 @@ pub struct KeyNegClientAwaitingHalves {
     server_key: RabinPublicKey,
     ephemeral: RabinPrivateKey,
     kc: KeyHalves,
+    suites: Vec<SuiteId>,
+    offer_ext: String,
 }
 
 impl KeyNegClient {
     /// Starts a negotiation for `path` using the client's current
-    /// `ephemeral` key (regenerated hourly in the client master).
+    /// `ephemeral` key (regenerated hourly in the client master),
+    /// offering only the paper-baseline suite.
     pub fn new(path: SelfCertifyingPath, ephemeral: RabinPrivateKey) -> Self {
-        KeyNegClient { path, ephemeral }
+        Self::with_suites(path, ephemeral, &[SuiteId::Arc4Sha1])
+    }
+
+    /// Starts a negotiation offering `suites` in preference order.
+    pub fn with_suites(
+        path: SelfCertifyingPath,
+        ephemeral: RabinPrivateKey,
+        suites: &[SuiteId],
+    ) -> Self {
+        let mut suites = suites.to_vec();
+        if !suites.contains(&SuiteId::Arc4Sha1) {
+            suites.push(SuiteId::Arc4Sha1);
+        }
+        KeyNegClient {
+            path,
+            ephemeral,
+            suites,
+        }
     }
 
     /// Step 1: the hello message.
@@ -269,6 +427,13 @@ impl KeyNegClient {
             location: self.path.location.clone(),
             host_id: self.path.host_id,
         }
+    }
+
+    /// The extensions-string token carrying this client's suite offer
+    /// (empty for a baseline-only offer). Must be sent verbatim in the
+    /// hello: it is what both sides bind into key derivation.
+    pub fn offer_extensions(&self) -> String {
+        offer_extensions(&self.suites)
     }
 
     /// Step 2→3: verify the server key against the HostID (the
@@ -303,6 +468,8 @@ impl KeyNegClient {
                 server_key,
                 ephemeral: self.ephemeral,
                 kc,
+                offer_ext: offer_extensions(&self.suites),
+                suites: self.suites,
             },
             msg,
         ))
@@ -316,32 +483,105 @@ impl std::fmt::Debug for KeyNegClientAwaitingHalves {
 }
 
 impl KeyNegClientAwaitingHalves {
-    /// Step 4: decrypt the server's key halves and derive the session
-    /// keys.
-    pub fn on_server_halves(self, encrypted: &[u8]) -> Result<SessionKeys, KeyNegError> {
-        let ks = KeyHalves::from_xdr_bytes(&self.ephemeral.decrypt(encrypted)?)?;
-        Ok(SessionKeys::derive(
+    /// Step 4: verify the server's suite choice against our offer,
+    /// decrypt its key halves, derive the session keys, and check the
+    /// confirmation MAC. Any mismatch — a choice we never offered, or a
+    /// confirm computed over a different transcript — is a downgrade
+    /// attack and aborts the handshake.
+    pub fn on_server_halves(
+        self,
+        msg: &KeyNegServerHalves,
+    ) -> Result<(SessionKeys, SuiteId), KeyNegError> {
+        let chosen = SuiteId::from_wire(msg.chosen)
+            .ok_or_else(|| KeyNegError::Downgrade(format!("unknown suite id {}", msg.chosen)))?;
+        if !self.suites.contains(&chosen) {
+            return Err(KeyNegError::Downgrade(format!(
+                "server chose {chosen}, which we never offered"
+            )));
+        }
+        let ks = KeyHalves::from_xdr_bytes(&self.ephemeral.decrypt(&msg.encrypted_halves)?)?;
+        let transcript = suite_transcript(&self.offer_ext, chosen);
+        let keys = SessionKeys::derive(
             &self.server_key,
             self.ephemeral.public(),
             &self.kc,
             &ks,
-        ))
+            &transcript,
+        );
+        if suite_confirm(&keys, &transcript) != msg.confirm {
+            return Err(KeyNegError::Downgrade(
+                "confirmation MAC mismatch: the offer the server saw is not the offer we sent"
+                    .into(),
+            ));
+        }
+        Ok((keys, chosen))
     }
 }
 
-/// The server's half of the negotiation: processes step 3 and produces
-/// step 4 plus its own session keys.
+/// The server's half of the negotiation: processes step 3 (given the
+/// offer string from the client's hello, verbatim) and produces step 4
+/// plus its own session keys and chosen suite. The returned message's
+/// `ticket` is empty; a server that issues resumption tickets fills it
+/// in before replying.
 pub fn server_process_client_keys<R: RandomSource>(
     server_key: &RabinPrivateKey,
     msg: &KeyNegClientKeys,
+    offer_ext: &str,
     rng: &mut R,
-) -> Result<(SessionKeys, Vec<u8>), KeyNegError> {
+) -> Result<(SessionKeys, SuiteId, KeyNegServerHalves), KeyNegError> {
     let client_key = RabinPublicKey::from_bytes(&msg.client_key)?;
     let kc = KeyHalves::from_xdr_bytes(&server_key.decrypt(&msg.encrypted_halves)?)?;
     let ks = KeyHalves::random(rng);
     let encrypted = client_key.encrypt(&ks.to_xdr_bytes(), rng)?;
-    let keys = SessionKeys::derive(server_key.public(), &client_key, &kc, &ks);
-    Ok((keys, encrypted))
+    let chosen = choose_suite(&offered_suites(offer_ext));
+    let transcript = suite_transcript(offer_ext, chosen);
+    let keys = SessionKeys::derive(server_key.public(), &client_key, &kc, &ks, &transcript);
+    let confirm = suite_confirm(&keys, &transcript);
+    Ok((
+        keys,
+        chosen,
+        KeyNegServerHalves {
+            encrypted_halves: encrypted,
+            chosen: chosen.wire_id(),
+            confirm,
+            ticket: Vec::new(),
+        },
+    ))
+}
+
+/// The resumption secret both sides hold after a completed negotiation.
+/// Derived from (not equal to) the session keys; it is what a ticket
+/// seals and what fresh keys are derived from on resume.
+pub fn resume_secret(keys: &SessionKeys) -> [u8; DIGEST_LEN] {
+    sha1_concat(&[b"ResumeSecret", &keys.kcs, &keys.ksc])
+}
+
+/// Derives fresh session keys for a ticket-resumed session. Both nonces
+/// are fresh per resume, so a replayed Resume message yields keys the
+/// replaying party cannot use; the suite is bound in so a resume cannot
+/// silently change suites.
+pub fn resume_session(
+    secret: &[u8; DIGEST_LEN],
+    suite: SuiteId,
+    client_nonce: &[u8; RESUME_NONCE_LEN],
+    server_nonce: &[u8; RESUME_NONCE_LEN],
+) -> SessionKeys {
+    let suite_id = suite.wire_id().to_be_bytes();
+    let kcs = sha1_concat(&[b"Resume-KCS", secret, &suite_id, client_nonce, server_nonce]);
+    let ksc = sha1_concat(&[b"Resume-KSC", secret, &suite_id, client_nonce, server_nonce]);
+    let session_id = sha1_concat(&[b"SessionInfo", &ksc, &kcs]);
+    SessionKeys {
+        kcs,
+        ksc,
+        session_id,
+    }
+}
+
+/// The server's proof-of-possession in ResumeOk: only a server that
+/// could unseal the ticket (and therefore knows the secret) can compute
+/// the resumed keys.
+pub fn resume_confirm(keys: &SessionKeys) -> [u8; DIGEST_LEN] {
+    sha1_concat(&[b"ResumeConfirm", &keys.kcs, &keys.ksc])
 }
 
 #[cfg(test)]
@@ -369,19 +609,32 @@ mod tests {
         .clone()
     }
 
-    fn run_negotiation() -> (SessionKeys, SessionKeys) {
+    /// Runs a full negotiation with the given client suite offer,
+    /// returning both sides' keys and chosen suites.
+    fn run_negotiation_with(
+        suites: &[SuiteId],
+        cseed: u64,
+        sseed: u64,
+    ) -> ((SessionKeys, SuiteId), (SessionKeys, SuiteId)) {
         let skey = server_key();
         let path = SelfCertifyingPath::for_server("sfs.lcs.mit.edu", skey.public());
-        let mut crng = XorShiftSource::new(11);
-        let mut srng = XorShiftSource::new(22);
+        let mut crng = XorShiftSource::new(cseed);
+        let mut srng = XorShiftSource::new(sseed);
 
-        let client = KeyNegClient::new(path, ephemeral_key());
+        let client = KeyNegClient::with_suites(path, ephemeral_key(), suites);
         let _hello = client.hello();
+        let offer = client.offer_extensions();
         let reply = KeyNegServerReply::ServerKey(skey.public().to_bytes());
         let (awaiting, msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
-        let (server_keys, msg4) = server_process_client_keys(skey, &msg3, &mut srng).unwrap();
-        let client_keys = awaiting.on_server_halves(&msg4).unwrap();
-        (client_keys, server_keys)
+        let (server_keys, chosen, msg4) =
+            server_process_client_keys(skey, &msg3, &offer, &mut srng).unwrap();
+        let (client_keys, client_chosen) = awaiting.on_server_halves(&msg4).unwrap();
+        ((client_keys, client_chosen), (server_keys, chosen))
+    }
+
+    fn run_negotiation() -> (SessionKeys, SessionKeys) {
+        let ((c, _), (s, _)) = run_negotiation_with(&[SuiteId::Arc4Sha1], 11, 22);
+        (c, s)
     }
 
     #[test]
@@ -395,16 +648,122 @@ mod tests {
     fn sessions_are_unique() {
         let (a, _) = run_negotiation();
         // Different randomness yields different keys.
+        let ((b, _), _) = run_negotiation_with(&[SuiteId::Arc4Sha1], 77, 88);
+        assert_ne!(a.session_id, b.session_id);
+    }
+
+    #[test]
+    fn negotiation_picks_the_offered_fast_suite() {
+        let ((c, c_suite), (s, s_suite)) =
+            run_negotiation_with(&[SuiteId::ChaCha20Poly1305, SuiteId::Arc4Sha1], 31, 32);
+        assert_eq!(c, s);
+        assert_eq!(c_suite, SuiteId::ChaCha20Poly1305);
+        assert_eq!(s_suite, SuiteId::ChaCha20Poly1305);
+    }
+
+    #[test]
+    fn legacy_and_negotiated_offers_derive_distinct_keys() {
+        // The offer string is bound into derivation, so the same
+        // randomness with a different offer yields different keys.
+        let ((a, _), _) = run_negotiation_with(&[SuiteId::Arc4Sha1], 11, 22);
+        let ((b, _), _) =
+            run_negotiation_with(&[SuiteId::ChaCha20Poly1305, SuiteId::Arc4Sha1], 11, 22);
+        assert_ne!(a.kcs, b.kcs);
+        assert_ne!(a.session_id, b.session_id);
+    }
+
+    #[test]
+    fn offer_extension_helpers_roundtrip() {
+        assert_eq!(offer_extensions(&[SuiteId::Arc4Sha1]), "");
+        let offer = offer_extensions(&[SuiteId::ChaCha20Poly1305, SuiteId::Arc4Sha1]);
+        assert_eq!(offer, "suites=chacha20-poly1305,arc4-sha1");
+        assert_eq!(
+            offered_suites(&offer),
+            vec![SuiteId::ChaCha20Poly1305, SuiteId::Arc4Sha1]
+        );
+        assert_eq!(offered_suites(""), vec![SuiteId::Arc4Sha1]);
+        assert_eq!(offered_suites("newcache"), vec![SuiteId::Arc4Sha1]);
+        // Unknown labels are skipped; the baseline is always present.
+        assert_eq!(
+            offered_suites("suites=quantum-foo,chacha20-poly1305"),
+            vec![SuiteId::ChaCha20Poly1305, SuiteId::Arc4Sha1]
+        );
+        // Stripping leaves only what dispatch rules expect.
+        assert_eq!(strip_suites_ext(&format!("newcache {offer}")), "newcache");
+        assert_eq!(strip_suites_ext(&offer), "");
+        assert_eq!(strip_suites_ext("newcache"), "newcache");
+    }
+
+    #[test]
+    fn stripped_offer_fails_confirmation() {
+        // A MITM strips the client's suite offer before it reaches the
+        // server (hoping to force the weaker baseline). The server
+        // processes an empty offer; its confirm is computed over a
+        // different transcript, so the client aborts.
         let skey = server_key();
         let path = SelfCertifyingPath::for_server("sfs.lcs.mit.edu", skey.public());
-        let mut crng = XorShiftSource::new(77);
-        let mut srng = XorShiftSource::new(88);
-        let client = KeyNegClient::new(path, ephemeral_key());
+        let mut crng = XorShiftSource::new(41);
+        let mut srng = XorShiftSource::new(42);
+        let client = KeyNegClient::with_suites(
+            path,
+            ephemeral_key(),
+            &[SuiteId::ChaCha20Poly1305, SuiteId::Arc4Sha1],
+        );
         let reply = KeyNegServerReply::ServerKey(skey.public().to_bytes());
         let (awaiting, msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
-        let (_, msg4) = server_process_client_keys(skey, &msg3, &mut srng).unwrap();
-        let b = awaiting.on_server_halves(&msg4).unwrap();
-        assert_ne!(a.session_id, b.session_id);
+        // The attack: offer stripped to "" in flight.
+        let (_, chosen, msg4) = server_process_client_keys(skey, &msg3, "", &mut srng).unwrap();
+        assert_eq!(chosen, SuiteId::Arc4Sha1, "server fell back to baseline");
+        let err = awaiting.on_server_halves(&msg4).unwrap_err();
+        assert!(matches!(err, KeyNegError::Downgrade(_)), "{err:?}");
+    }
+
+    #[test]
+    fn forged_suite_choice_rejected() {
+        // A MITM rewrites the server's choice without being able to fix
+        // the confirm MAC (it does not know the session keys).
+        let skey = server_key();
+        let path = SelfCertifyingPath::for_server("sfs.lcs.mit.edu", skey.public());
+        let mut crng = XorShiftSource::new(51);
+        let mut srng = XorShiftSource::new(52);
+        let client = KeyNegClient::with_suites(
+            path,
+            ephemeral_key(),
+            &[SuiteId::ChaCha20Poly1305, SuiteId::Arc4Sha1],
+        );
+        let offer = client.offer_extensions();
+        let reply = KeyNegServerReply::ServerKey(skey.public().to_bytes());
+        let (awaiting, msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
+        let (_, _, mut msg4) = server_process_client_keys(skey, &msg3, &offer, &mut srng).unwrap();
+        msg4.chosen = SuiteId::Arc4Sha1.wire_id();
+        let err = awaiting.on_server_halves(&msg4).unwrap_err();
+        assert!(matches!(err, KeyNegError::Downgrade(_)), "{err:?}");
+    }
+
+    #[test]
+    fn resume_derivations_agree_and_bind_everything() {
+        let (keys, _) = run_negotiation();
+        let secret = resume_secret(&keys);
+        assert_ne!(&secret[..], &keys.kcs[..]);
+        let cn = [1u8; RESUME_NONCE_LEN];
+        let sn = [2u8; RESUME_NONCE_LEN];
+        let a = resume_session(&secret, SuiteId::ChaCha20Poly1305, &cn, &sn);
+        let b = resume_session(&secret, SuiteId::ChaCha20Poly1305, &cn, &sn);
+        assert_eq!(a, b, "both sides derive the same resumed keys");
+        assert_ne!(a.kcs, keys.kcs, "resumed keys are fresh");
+        // Every input changes the result.
+        assert_ne!(a, resume_session(&secret, SuiteId::Arc4Sha1, &cn, &sn));
+        assert_ne!(
+            a,
+            resume_session(&secret, SuiteId::ChaCha20Poly1305, &sn, &cn)
+        );
+        let mut other = secret;
+        other[0] ^= 1;
+        assert_ne!(
+            a,
+            resume_session(&other, SuiteId::ChaCha20Poly1305, &cn, &sn)
+        );
+        assert_ne!(resume_confirm(&a), resume_confirm(&keys));
     }
 
     #[test]
@@ -430,8 +789,8 @@ mod tests {
         let client = KeyNegClient::new(path, ephemeral_key());
         let reply = KeyNegServerReply::ServerKey(skey.public().to_bytes());
         let (awaiting, msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
-        let (_, mut msg4) = server_process_client_keys(skey, &msg3, &mut srng).unwrap();
-        msg4[5] ^= 1;
+        let (_, _, mut msg4) = server_process_client_keys(skey, &msg3, "", &mut srng).unwrap();
+        msg4.encrypted_halves[5] ^= 1;
         assert!(matches!(
             awaiting.on_server_halves(&msg4).unwrap_err(),
             KeyNegError::Crypto(_)
@@ -448,7 +807,7 @@ mod tests {
         let reply = KeyNegServerReply::ServerKey(skey.public().to_bytes());
         let (_awaiting, mut msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
         msg3.encrypted_halves[7] ^= 1;
-        assert!(server_process_client_keys(skey, &msg3, &mut srng).is_err());
+        assert!(server_process_client_keys(skey, &msg3, "", &mut srng).is_err());
     }
 
     #[test]
@@ -467,6 +826,16 @@ mod tests {
             encrypted_halves: vec![4, 5],
         };
         assert_eq!(KeyNegClientKeys::from_xdr(&msg.to_xdr()).unwrap(), msg);
+        let halves = KeyNegServerHalves {
+            encrypted_halves: vec![6, 7, 8],
+            chosen: SuiteId::ChaCha20Poly1305.wire_id(),
+            confirm: [0xAB; DIGEST_LEN],
+            ticket: vec![9; 40],
+        };
+        assert_eq!(
+            KeyNegServerHalves::from_xdr(&halves.to_xdr()).unwrap(),
+            halves
+        );
     }
 
     #[test]
@@ -484,8 +853,8 @@ mod tests {
         let client = KeyNegClient::new(path, ephemeral_key());
         let reply = KeyNegServerReply::ServerKey(skey.public().to_bytes());
         let (_awaiting, msg3) = client.on_server_reply(&reply, &mut crng).unwrap();
-        let (_, msg4) = server_process_client_keys(skey, &msg3, &mut srng).unwrap();
+        let (_, _, msg4) = server_process_client_keys(skey, &msg3, "", &mut srng).unwrap();
         // The server's long-lived key cannot decrypt message 4.
-        assert!(skey.decrypt(&msg4).is_err());
+        assert!(skey.decrypt(&msg4.encrypted_halves).is_err());
     }
 }

@@ -25,8 +25,8 @@ pub mod repl;
 pub mod revoke;
 pub mod userauth;
 
-pub use channel::{ChannelError, SecureChannelEnd};
-pub use keyneg::{KeyNegClient, KeyNegServerReply, SessionKeys};
+pub use channel::{ChannelError, SecureChannelEnd, SuiteId};
+pub use keyneg::{KeyNegClient, KeyNegServerHalves, KeyNegServerReply, SessionKeys};
 pub use pathname::{HostId, PathError, SelfCertifyingPath, SFS_ROOT};
 pub use readonly::{RoDatabase, RoNode, SignedRoot};
 pub use repl::{ReplOp, ReplRecord};

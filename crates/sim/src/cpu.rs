@@ -89,9 +89,24 @@ impl CpuCosts {
         clock.advance_ns(self.user_copy_per_byte_ns * len as u64);
     }
 
-    /// Charges crypto work over `len` bytes.
+    /// Charges crypto work over `len` bytes at the baseline suite's
+    /// rate.
     pub fn charge_crypto(&self, clock: &SimClock, len: usize) {
-        clock.advance_ns(self.crypto_per_message_ns + self.crypto_per_byte_ns * len as u64);
+        self.charge_crypto_scaled(clock, len, 1, 1);
+    }
+
+    /// Charges crypto work over `len` bytes with the per-byte rate
+    /// scaled by `num/den`. The calibrated [`Self::crypto_per_byte_ns`]
+    /// models the baseline ARC4+SHA-1 channel; a negotiated suite passes
+    /// its relative cost (e.g. 1/4 for the single-pass AEAD, matching
+    /// the measured hotpath ratio) so suite choice shows up in virtual
+    /// time exactly as it does on real silicon. The fixed per-message
+    /// cost is unscaled: finalization and key setup don't shrink with
+    /// the cipher's byte rate.
+    pub fn charge_crypto_scaled(&self, clock: &SimClock, len: usize, num: u64, den: u64) {
+        clock.advance_ns(
+            self.crypto_per_message_ns + self.crypto_per_byte_ns * len as u64 * num / den,
+        );
     }
 
     /// Charges generic RPC processing.
